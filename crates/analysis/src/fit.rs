@@ -1,0 +1,99 @@
+//! Power-law (log–log least squares) fitting.
+//!
+//! The Figure 5 reproduction compares *measured* overhead growth rates
+//! against the paper's asymptotic entries (e.g. `T_o = O(p²)` for the 1-D
+//! solvers): we fit `y = a·xᵇ` to measured `(x, y)` points and report the
+//! exponent `b` with its coefficient of determination.
+
+/// Result of a least-squares fit of `y = a·xᵇ` in log–log space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Multiplicative constant `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+    /// Coefficient of determination in log space (1 = perfect).
+    pub r2: f64,
+}
+
+/// Fit `y = a·xᵇ` through positive data points. Panics on fewer than two
+/// points or non-positive values.
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let b = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + b * p.0)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    PowerLawFit {
+        a: intercept.exp(),
+        b,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 3.0 * x.powf(1.5))
+        })
+        .collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.b - 1.5).abs() < 1e-10);
+        assert!((fit.a - 3.0).abs() < 1e-8);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = (2.0f64).powi(i);
+                let noise = 1.0 + 0.05 * ((i * 37 % 11) as f64 / 11.0 - 0.5);
+                (x, x.powf(2.0) * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.b - 2.0).abs() < 0.1, "exponent {}", fit.b);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn rejects_nonpositive() {
+        fit_power_law(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        fit_power_law(&[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Scalability metrics and experiment-table utilities.
+//!
+//! Implements the quantitative vocabulary of the paper's Section 3:
+//! speedup, efficiency, the overhead function `T_o = p·T_P − T_S`, the
+//! isoefficiency relation `W ∝ T_o(W, p)`, plus the growth-exponent
+//! fitting and table formatting the `fig*` harness binaries use.
+
+pub mod fit;
+pub mod metrics;
+pub mod table;
+
+pub use fit::{fit_power_law, PowerLawFit};
+pub use metrics::{efficiency, isoefficiency_problem_size, overhead, speedup};
+pub use table::Table;

@@ -1,0 +1,84 @@
+//! Speedup, efficiency, overhead, and isoefficiency search.
+
+/// Speedup `S = T_S / T_P`.
+pub fn speedup(t_serial: f64, t_parallel: f64) -> f64 {
+    assert!(t_serial > 0.0 && t_parallel > 0.0);
+    t_serial / t_parallel
+}
+
+/// Efficiency `E = S / p = T_S / (p·T_P)`.
+pub fn efficiency(t_serial: f64, t_parallel: f64, p: usize) -> f64 {
+    speedup(t_serial, t_parallel) / p as f64
+}
+
+/// Overhead function `T_o(W, p) = p·T_P − T_S` (paper §3.2).
+pub fn overhead(t_serial: f64, t_parallel: f64, p: usize) -> f64 {
+    p as f64 * t_parallel - t_serial
+}
+
+/// Empirical isoefficiency point: the smallest candidate problem size
+/// whose measured efficiency reaches `target_e` on `p` processors.
+///
+/// `run` maps a candidate problem-size parameter (e.g. grid side) to
+/// `(t_serial, t_parallel)`. Candidates must be in increasing size order.
+/// Returns `None` if no candidate reaches the target.
+pub fn isoefficiency_problem_size(
+    candidates: &[usize],
+    p: usize,
+    target_e: f64,
+    mut run: impl FnMut(usize) -> (f64, f64),
+) -> Option<(usize, f64)> {
+    for &c in candidates {
+        let (ts, tp) = run(c);
+        let e = efficiency(ts, tp, p);
+        if e >= target_e {
+            return Some((c, e));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert_eq!(speedup(10.0, 2.0), 5.0);
+        assert_eq!(efficiency(10.0, 2.5, 8), 0.5);
+    }
+
+    #[test]
+    fn overhead_zero_at_perfect_scaling() {
+        assert_eq!(overhead(8.0, 2.0, 4), 0.0);
+        assert!(overhead(8.0, 3.0, 4) > 0.0);
+    }
+
+    #[test]
+    fn isoefficiency_search_finds_threshold() {
+        // model: T_S = n, T_P = n/p + 1  ⇒  E = n / (n + p)
+        // E ≥ 0.5  ⇔  n ≥ p
+        let p = 16;
+        let found = isoefficiency_problem_size(
+            &[2, 4, 8, 16, 32],
+            p,
+            0.5,
+            |n| (n as f64, n as f64 / p as f64 + 1.0),
+        );
+        assert_eq!(found.map(|(n, _)| n), Some(16));
+    }
+
+    #[test]
+    fn isoefficiency_search_can_fail() {
+        let found = isoefficiency_problem_size(&[1, 2], 64, 0.99, |n| {
+            (n as f64, n as f64)
+        });
+        assert!(found.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_rejects_zero_time() {
+        speedup(1.0, 0.0);
+    }
+}

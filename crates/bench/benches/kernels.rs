@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks for the dense and pipelined kernels.
+//!
+//! These are regression benches (real wall-clock, not virtual time): the
+//! paper-figure artifacts come from the `fig*` binaries instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trisolv_core::pipeline::{forward_column_priority, LocalTrapezoid};
+use trisolv_factor::blas;
+use trisolv_machine::{BlockCyclic1d, Group, Machine, MachineParams};
+use trisolv_matrix::{gen, DenseMatrix};
+
+fn random_lower(n: usize, seed: u64) -> DenseMatrix {
+    let vals = gen::random_rhs(n * n, 1, seed);
+    let mut l = DenseMatrix::zeros(n, n);
+    for j in 0..n {
+        for i in j..n {
+            l[(i, j)] = if i == j {
+                3.0 + vals.as_slice()[i + j * n].abs()
+            } else {
+                vals.as_slice()[i + j * n] * 0.01
+            };
+        }
+    }
+    l
+}
+
+fn bench_blas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blas");
+    for n in [64usize, 128] {
+        let a = random_lower(n, 1);
+        g.bench_with_input(BenchmarkId::new("potrf", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = a.clone();
+                blas::potrf_lower(m.as_mut_slice(), n, n).unwrap();
+                m
+            })
+        });
+        let l = {
+            let mut m = a.clone();
+            blas::potrf_lower(m.as_mut_slice(), n, n).unwrap();
+            m
+        };
+        let rhs = gen::random_rhs(n, 8, 2);
+        g.bench_with_input(BenchmarkId::new("trsm_lower_left_8rhs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut x = rhs.clone();
+                blas::trsm_lower_left(l.as_slice(), n, x.as_mut_slice(), n, n, 8);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    for q in [2usize, 4, 8] {
+        let (n, t, b) = (256usize, 128usize, 8usize);
+        let trap = {
+            let full = random_lower(n, 3);
+            full.sub_block(0, n, 0, t)
+        };
+        let layout = BlockCyclic1d::new(n, b, q);
+        g.bench_with_input(BenchmarkId::new("forward_column_priority", q), &q, |bch, &q| {
+            let machine = Machine::new(q, MachineParams::t3d());
+            bch.iter(|| {
+                machine.run(|p| {
+                    let group = Group::world(q);
+                    let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
+                    let mut rhs = DenseMatrix::zeros(local.positions.len(), 1);
+                    for v in rhs.as_mut_slice() {
+                        *v = 1.0;
+                    }
+                    forward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut rhs);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_seq_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.sample_size(10);
+    let a = gen::grid2d_laplacian(63, 63);
+    let solver = trisolv_core::SparseCholeskySolver::factor(&a).unwrap();
+    let b1 = gen::random_rhs(a.ncols(), 1, 1);
+    let b10 = gen::random_rhs(a.ncols(), 10, 1);
+    g.bench_function("seq_fb_grid63_nrhs1", |bch| {
+        bch.iter(|| solver.solve(&b1))
+    });
+    g.bench_function("seq_fb_grid63_nrhs10", |bch| {
+        bch.iter(|| solver.solve(&b10))
+    });
+    let f = solver.factor_matrix();
+    g.bench_function("threaded_fb_grid63_nrhs10", |bch| {
+        bch.iter(|| trisolv_core::threaded::forward_backward(f, &b10))
+    });
+    // wall-clock effect of supernode amalgamation (fatter dense blocks)
+    {
+        let graph = trisolv_graph::Graph::from_sym_lower(&a);
+        let perm = trisolv_graph::nd::nested_dissection(
+            &graph,
+            trisolv_graph::nd::NdOptions::default(),
+        );
+        let an = trisolv_factor::seqchol::analyze_with_perm(&a, &perm);
+        let am = an.part.amalgamate(16, 0.15);
+        let f_am = trisolv_factor::seqchol::factor_supernodal(&an.pa, &am).unwrap();
+        g.bench_function("seq_fb_grid63_nrhs10_amalgamated", |bch| {
+            bch.iter(|| trisolv_core::seq::forward_backward(&f_am, &b10))
+        });
+        // simplicial CSC baseline: same arithmetic, column-at-a-time
+        let l_csc = trisolv_factor::seqchol::factor_simplicial(&an.pa, &an.sym).unwrap();
+        g.bench_function("seq_fb_grid63_nrhs10_simplicial_csc", |bch| {
+            bch.iter(|| {
+                let y = trisolv_core::seq::forward_csc(&l_csc, &b10);
+                trisolv_core::seq::backward_csc(&l_csc, &y)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering");
+    g.sample_size(10);
+    let a = gen::grid2d_laplacian(32, 32);
+    let graph = trisolv_graph::Graph::from_sym_lower(&a);
+    let coords = trisolv_graph::nd::grid2d_coords(32, 32, 1);
+    g.bench_function("nd_coords_grid32", |bch| {
+        bch.iter(|| {
+            trisolv_graph::nd::nested_dissection_coords(
+                &graph,
+                &coords,
+                trisolv_graph::nd::NdOptions::default(),
+            )
+        })
+    });
+    g.bench_function("nd_bfs_grid32", |bch| {
+        bch.iter(|| {
+            trisolv_graph::nd::nested_dissection(
+                &graph,
+                trisolv_graph::nd::NdOptions::default(),
+            )
+        })
+    });
+    g.bench_function("rcm_grid32", |bch| {
+        bch.iter(|| trisolv_graph::rcm::reverse_cuthill_mckee(&graph))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blas, bench_pipeline, bench_seq_solve, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: row-priority vs column-priority pipelined forward
+//! elimination (the paper's Figure 3(b) vs 3(c) variants).
+//!
+//! Both perform identical arithmetic and identical messages; they differ
+//! only in the order each processor interleaves its local updates with the
+//! pipeline, which changes how early each `x_k` is injected. The paper
+//! chose column-priority for its implementation; this harness measures
+//! both on the same trapezoids.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin ablation_priority`
+
+use trisolv_analysis::Table;
+use trisolv_core::pipeline::{
+    forward_column_priority, forward_row_priority, LocalTrapezoid,
+};
+use trisolv_machine::{BlockCyclic1d, Group, Machine, MachineParams};
+use trisolv_matrix::{gen, DenseMatrix};
+
+fn trapezoid(n: usize, t: usize, seed: u64) -> DenseMatrix {
+    let vals = gen::random_rhs(n * t, 1, seed);
+    let mut trap = DenseMatrix::zeros(n, t);
+    for j in 0..t {
+        for i in j..n {
+            trap[(i, j)] = if i == j {
+                4.0
+            } else {
+                vals.as_slice()[i + j * n] * 0.01
+            };
+        }
+    }
+    trap
+}
+
+fn run(trap: &DenseMatrix, q: usize, b: usize, row_priority: bool) -> f64 {
+    let (n, t) = trap.shape();
+    let layout = BlockCyclic1d::new(n, b, q);
+    let machine = Machine::new(q, MachineParams::t3d());
+    let res = machine.run(|p| {
+        let group = Group::world(q);
+        let local = LocalTrapezoid::from_global(trap, &layout, p.rank());
+        let mut rhs = DenseMatrix::zeros(local.positions.len(), 1);
+        for v in rhs.as_mut_slice() {
+            *v = 1.0;
+        }
+        if row_priority {
+            forward_row_priority(p, &group, 1, &layout, t, 1, &local, &mut rhs);
+        } else {
+            forward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut rhs);
+        }
+    });
+    res.parallel_time()
+}
+
+fn main() {
+    println!("row- vs column-priority pipelined forward elimination\n");
+    let mut table = Table::new(vec![
+        "n", "t", "q", "b", "column (ms)", "row (ms)", "row/column",
+    ]);
+    for (n, t) in [(256usize, 128usize), (512, 256), (512, 128)] {
+        for q in [4usize, 8, 16] {
+            let trap = trapezoid(n, t, 1);
+            let b = 8;
+            let col = run(&trap, q, b, false) * 1e3;
+            let row = run(&trap, q, b, true) * 1e3;
+            table.push_row(vec![
+                n.to_string(),
+                t.to_string(),
+                q.to_string(),
+                b.to_string(),
+                format!("{col:.3}"),
+                format!("{row:.3}"),
+                format!("{:.2}", row / col),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Both variants move identical data; the ratio reflects only pipeline-injection");
+    println!("timing. Values near 1.0 confirm the paper's observation that the two");
+    println!("formulations are interchangeable in cost (Figure 3(b) vs 3(c)).");
+}

@@ -1,0 +1,64 @@
+//! Ablation: interconnect topology and the locality of subtree-to-subcube.
+//!
+//! The paper's analysis uses a flat `t_s + m·t_w` cost model, justified by
+//! the T3D's wormhole-routed 3-D torus (per-hop latency ~ns). This harness
+//! quantifies that justification: the same solve is timed under the flat
+//! model, a wormhole-class torus (2 ns/hop), and an artificial
+//! store-and-forward-class torus (2 µs/hop) where distance genuinely
+//! matters — showing how much of the algorithm's traffic is
+//! neighbor-local thanks to the contiguous-rank subcube groups.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin ablation_topology`
+
+use trisolv_analysis::Table;
+use trisolv_bench::{Prepared, Problem};
+use trisolv_core::mapping::SubcubeMapping;
+use trisolv_core::tree::{solve_fb, SolveConfig};
+use trisolv_machine::MachineParams;
+use trisolv_matrix::gen;
+
+fn main() {
+    let prep = Prepared::build(&Problem::grid2d(63));
+    let n = prep.n();
+    println!(
+        "topology ablation on {} (N = {n}), NRHS = 1, b = 8\n",
+        prep.name
+    );
+    let mut table = Table::new(vec![
+        "p",
+        "torus",
+        "flat (ms)",
+        "wormhole 2ns/hop (ms)",
+        "store&fwd 2us/hop (ms)",
+        "s&f / flat",
+    ]);
+    for (p, dims) in [(16usize, [4usize, 2, 2]), (64, [4, 4, 4])] {
+        let mapping = SubcubeMapping::new(&prep.analysis.part, p);
+        let b = gen::random_rhs(n, 1, 3);
+        let time = |params: MachineParams| {
+            let config = SolveConfig {
+                nprocs: p,
+                block: 8,
+                params,
+            };
+            solve_fb(&prep.factor, &mapping, &b, &config).1.total_time
+        };
+        let flat = time(MachineParams::t3d());
+        let wormhole = time(MachineParams::t3d_torus(dims, 2e-9));
+        let snf = time(MachineParams::t3d_torus(dims, 2e-6));
+        table.push_row(vec![
+            p.to_string(),
+            format!("{}x{}x{}", dims[0], dims[1], dims[2]),
+            format!("{:.3}", flat * 1e3),
+            format!("{:.3}", wormhole * 1e3),
+            format!("{:.3}", snf * 1e3),
+            format!("{:.2}", snf / flat),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading: under wormhole routing the torus is indistinguishable from the flat");
+    println!("model — the paper's modelling assumption. Even with per-hop latency equal to");
+    println!("the message startup (store-and-forward class), the slowdown stays modest");
+    println!("because subtree-to-subcube keeps groups on contiguous ranks, so most pipeline");
+    println!("and exchange traffic crosses few links.");
+}

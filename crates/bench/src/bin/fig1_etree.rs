@@ -1,0 +1,97 @@
+//! Figure 1 / Figure 2 reproduction: a small symmetric sparse matrix, its
+//! fill-in, the (supernodal) elimination tree, and the subtree-to-subcube
+//! mapping onto 8 processors, followed by a trace of the forward
+//! elimination dataflow across the tree levels.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin fig1_etree`
+
+use trisolv_core::mapping::SubcubeMapping;
+use trisolv_factor::seqchol;
+use trisolv_graph::{nd, Graph};
+use trisolv_matrix::gen;
+
+fn main() {
+    // A 2-D grid problem small enough to print (paper Figure 1 uses an
+    // 18-node example; we use a 4x4 grid = 16 nodes).
+    let (kx, ky) = (4, 4);
+    let a = gen::grid2d_laplacian(kx, ky);
+    let g = Graph::from_sym_lower(&a);
+    let perm = nd::nested_dissection_coords(
+        &g,
+        &nd::grid2d_coords(kx, ky, 1),
+        nd::NdOptions { leaf_size: 2 },
+    );
+    let an = seqchol::analyze_with_perm(&a, &perm);
+    let n = an.pa.nrows();
+
+    println!("== Figure 1(a): matrix pattern after nested dissection ==");
+    println!("   ('x' = original nonzero, 'o' = fill-in, '.' = zero)\n");
+    let full = an.pa.sym_expand().expect("square");
+    for i in 0..n {
+        let mut line = String::new();
+        for j in 0..n {
+            let orig = full.get(i, j) != 0.0;
+            let (lo, hi) = if i >= j { (i, j) } else { (j, i) };
+            let filled = an.sym.col_rows(hi).contains(&lo);
+            line.push(if orig {
+                'x'
+            } else if filled {
+                'o'
+            } else {
+                '.'
+            });
+            line.push(' ');
+        }
+        println!("  {line}");
+    }
+
+    println!("\n== Figure 1(b): supernodal elimination tree with subtree-to-subcube mapping (p = 8) ==\n");
+    let part = &an.part;
+    let mapping = SubcubeMapping::new(part, 8);
+    let children = part.children();
+    // print the tree sideways, root first
+    fn print_tree(
+        s: usize,
+        depth: usize,
+        part: &trisolv_symbolic::SupernodePartition,
+        children: &[Vec<usize>],
+        mapping: &SubcubeMapping,
+    ) {
+        let cols: Vec<usize> = part.cols(s).collect();
+        let procs = mapping.group(s).ranks().to_vec();
+        println!(
+            "  {:indent$}snode {s}: cols {:?} (t={}, n={})  procs {:?}",
+            "",
+            cols,
+            part.width(s),
+            part.height(s),
+            procs,
+            indent = depth * 2
+        );
+        for &c in children[s].iter().rev() {
+            print_tree(c, depth + 1, part, children, mapping);
+        }
+    }
+    for &r in part.roots().iter().rev() {
+        print_tree(r, 0, part, &children, &mapping);
+    }
+
+    println!("\n== Figure 2: forward-elimination dataflow (per-supernode trace) ==\n");
+    let f = seqchol::factor_supernodal(&an.pa, &an.part).expect("SPD");
+    for s in 0..part.nsup() {
+        let t = part.width(s);
+        let ns = part.height(s);
+        let below = part.below_rows(s);
+        println!(
+            "  supernode {s}: gather rhs for cols {:?}; solve {t}x{t} triangle; \
+             update {} below rows {:?}",
+            part.cols(s).collect::<Vec<_>>(),
+            ns - t,
+            below
+        );
+    }
+    let _ = f;
+    println!("\nLevels in tree: {}", part.to_etree().height());
+    println!("Supernodes: {}", part.nsup());
+    println!("Factor nonzeros: {} (matrix nnz: {})", an.sym.nnz(), a.nnz());
+}

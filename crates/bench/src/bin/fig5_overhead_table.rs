@@ -1,0 +1,255 @@
+//! Figure 5 reproduction: communication overheads and isoefficiency
+//! functions for factorization and triangular solution under 1-D and 2-D
+//! partitionings.
+//!
+//! The paper's Figure 5 is an *analytical* table. We regenerate its
+//! content empirically, per scheme:
+//!
+//! * measured **efficiency** at p ∈ {4, 16, 64, 128} and fixed problem
+//!   size — the 2-D-partitioned triangular solve collapses like `1/√p`
+//!   (only one block row/column of the grid is active per wavefront step:
+//!   the paper's "Unscalable" entries), while the 1-D pipelined solvers
+//!   degrade gracefully and factorization degrades slowest;
+//! * the fitted growth exponent β of the overhead function
+//!   `T_o = p·T_P − T_S ∝ p^β` at fixed W. (With W fixed, β blends the
+//!   `O(p²)` startup term with the `O(N·p)`-class terms; the *ordering* of
+//!   the schemes is the reproducible signal. The isoefficiency growth
+//!   `W ∝ p²` itself is measured in `examples/scalability_study.rs`.)
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin fig5_overhead_table`
+
+use trisolv_analysis::{fit_power_law, Table};
+use trisolv_bench::{Prepared, Problem};
+use trisolv_core::dense as cdense;
+use trisolv_machine::MachineParams;
+use trisolv_matrix::{gen, DenseMatrix};
+
+const PS: [usize; 4] = [4, 16, 64, 128];
+
+fn random_lower(n: usize, seed: u64) -> DenseMatrix {
+    let vals = gen::random_rhs(n * n, 1, seed);
+    let mut l = DenseMatrix::zeros(n, n);
+    for j in 0..n {
+        for i in j..n {
+            l[(i, j)] = if i == j {
+                3.0 + vals.as_slice()[i + j * n].abs()
+            } else {
+                vals.as_slice()[i + j * n] * 0.1
+            };
+        }
+    }
+    l
+}
+
+/// One measured scheme: serial time plus T_P at each p in `PS`.
+struct Scheme {
+    matrix: &'static str,
+    partitioning: &'static str,
+    phase: &'static str,
+    paper_overhead: &'static str,
+    paper_isoeff: &'static str,
+    t_serial: f64,
+    t_parallel: Vec<f64>,
+}
+
+impl Scheme {
+    fn efficiencies(&self) -> Vec<f64> {
+        self.t_parallel
+            .iter()
+            .zip(PS)
+            .map(|(&tp, p)| self.t_serial / (p as f64 * tp))
+            .collect()
+    }
+
+    fn beta(&self) -> f64 {
+        let pts: Vec<(f64, f64)> = self
+            .t_parallel
+            .iter()
+            .zip(PS)
+            .map(|(&tp, p)| (p as f64, (p as f64 * tp - self.t_serial).max(1e-12)))
+            .collect();
+        fit_power_law(&pts).b
+    }
+}
+
+fn main() {
+    let block = 4;
+    let params = MachineParams::t3d();
+    let mut schemes = Vec::new();
+
+    // dense triangular solves, 1-D pipelined and 2-D fan-out
+    {
+        let n = 512;
+        let l = random_lower(n, 1);
+        let b = gen::random_rhs(n, 1, 2);
+        let t_serial = cdense::forward_1d(&l, &b, 1, block, params).time;
+        schemes.push(Scheme {
+            matrix: "dense",
+            partitioning: "1-D pipelined",
+            phase: "fw solve",
+            paper_overhead: "O(p^2)+O(Np)",
+            paper_isoeff: "O(p^2)",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| cdense::forward_1d(&l, &b, p, block, params).time)
+                .collect(),
+        });
+        schemes.push(Scheme {
+            matrix: "dense",
+            partitioning: "2-D fan-out",
+            phase: "fw solve",
+            paper_overhead: "step-serialized",
+            paper_isoeff: "Unscalable",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| cdense::forward_2d(&l, &b, p, block, params).time)
+                .collect(),
+        });
+    }
+
+    // dense factorizations, 1-D and 2-D
+    {
+        let n = 192;
+        let a = {
+            let mut l = random_lower(n, 5);
+            // make an SPD matrix A = L·Lᵀ from the random lower factor
+            let lt = l.transpose();
+            for j in 0..n {
+                for i in 0..j {
+                    l[(i, j)] = 0.0;
+                }
+            }
+            l.matmul(&lt).expect("square")
+        };
+        let t_serial = trisolv_factor::dense_par::cholesky_1d(&a, 1, block, params)
+            .expect("SPD")
+            .time;
+        schemes.push(Scheme {
+            matrix: "dense",
+            partitioning: "1-D fan-out",
+            phase: "factorization",
+            paper_overhead: "O(N^2 …)",
+            paper_isoeff: "O(p^3)",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| {
+                    trisolv_factor::dense_par::cholesky_1d(&a, p, block, params)
+                        .expect("SPD")
+                        .time
+                })
+                .collect(),
+        });
+        schemes.push(Scheme {
+            matrix: "dense",
+            partitioning: "2-D fan-out",
+            phase: "factorization",
+            paper_overhead: "O(N p^1/2)",
+            paper_isoeff: "O(p^3/2)",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| {
+                    trisolv_factor::dense_par::cholesky_2d(&a, p, block, params)
+                        .expect("SPD")
+                        .time
+                })
+                .collect(),
+        });
+    }
+
+    // sparse solves on 2-D and 3-D neighborhood graphs, 1-D subtree-subcube
+    {
+        let prep = Prepared::build(&Problem::grid2d(63));
+        let t_serial = prep.solve(1, 1, block).total_time;
+        schemes.push(Scheme {
+            matrix: "sparse 2-D graph",
+            partitioning: "1-D subtree-subcube",
+            phase: "fw+bw solve",
+            paper_overhead: "O(p^2)+O(N^1/2 p)",
+            paper_isoeff: "O(p^2)",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| prep.solve(p, 1, block).total_time)
+                .collect(),
+        });
+    }
+    {
+        let prep = Prepared::build(&Problem::grid3d(15));
+        let t_serial = prep.solve(1, 1, block).total_time;
+        schemes.push(Scheme {
+            matrix: "sparse 3-D graph",
+            partitioning: "1-D subtree-subcube",
+            phase: "fw+bw solve",
+            paper_overhead: "O(p^2)+O(N^2/3 p)",
+            paper_isoeff: "O(p^2)",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| prep.solve(p, 1, block).total_time)
+                .collect(),
+        });
+    }
+
+    // sparse factorization, 2-D subtree-subcube (the scalable pairing)
+    {
+        let prep = Prepared::build(&Problem::grid2d(63));
+        let t_serial = prep.factor_parallel(1, block).time;
+        schemes.push(Scheme {
+            matrix: "sparse 2-D graph",
+            partitioning: "2-D subtree-subcube",
+            phase: "factorization",
+            paper_overhead: "O(N p^1/2)",
+            paper_isoeff: "O(p^3/2)",
+            t_serial,
+            t_parallel: PS
+                .iter()
+                .map(|&p| prep.factor_parallel(p, block).time)
+                .collect(),
+        });
+    }
+
+    let mut header = vec![
+        "matrix".to_string(),
+        "partitioning".to_string(),
+        "phase".to_string(),
+        "paper T_o".to_string(),
+        "paper isoeff.".to_string(),
+    ];
+    header.extend(PS.iter().map(|p| format!("E(p={p})")));
+    header.push("beta".to_string());
+    let mut table = Table::new(header)
+        .with_title("Figure 5: measured efficiency & overhead growth vs paper asymptotics");
+    for s in &schemes {
+        let mut row = vec![
+            s.matrix.to_string(),
+            s.partitioning.to_string(),
+            s.phase.to_string(),
+            s.paper_overhead.to_string(),
+            s.paper_isoeff.to_string(),
+        ];
+        row.extend(s.efficiencies().iter().map(|e| format!("{e:.2}")));
+        row.push(format!("{:.2}", s.beta()));
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "Machine model: t_s = {:.1} us, t_w = {:.3} us/word, vector {} MFLOPS, matrix {} MFLOPS\n",
+        params.t_s * 1e6,
+        params.t_w * 1e6,
+        params.vector_mflops,
+        params.matrix_mflops
+    );
+    println!("Shape checks vs the paper's Figure 5:");
+    println!(" * the 2-D-partitioned triangular solve is the clear loser — its efficiency");
+    println!("   collapses with p (structurally ~1/sqrt(p) active processors): 'Unscalable';");
+    println!(" * the 1-D pipelined solvers (dense and sparse) retain useful efficiency to");
+    println!("   large p at fixed W — their isoefficiency is O(p^2), measured directly in");
+    println!("   examples/scalability_study.rs;");
+    println!(" * factorization keeps the highest efficiency at every p, consistent with its");
+    println!("   smaller O(p^3/2) isoefficiency — the basis of the paper's conclusion that a");
+    println!("   1-D solve after a 2-D factorization leaves factorization dominant.");
+}

@@ -1,0 +1,81 @@
+//! Figure 6 / Section 4 reproduction: converting the two-dimensional
+//! partitioning of a supernode into a one-dimensional partitioning, and
+//! the cost of redistributing the whole factor relative to one triangular
+//! solve (the paper reports a ratio of at most 0.9, average ≈ 0.5, on the
+//! T3D).
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin fig6_redistribution`
+
+use trisolv_analysis::Table;
+use trisolv_bench::{Prepared, Problem};
+use trisolv_machine::{BlockCyclic1d, BlockCyclic2d};
+
+fn main() {
+    // --- part 1: the single-supernode picture (Figure 6) ---
+    println!("== Figure 6: 2-D -> 1-D conversion of one supernode (n=8, t=4, q=4, b=1) ==\n");
+    let (n, t, q, b) = (8usize, 4usize, 4usize, 1usize);
+    let (pr, pc) = BlockCyclic2d::square_grid(q);
+    let src = BlockCyclic2d::new(n, t, b, pr, pc);
+    let dst = BlockCyclic1d::new(n, b, q);
+    println!("   2-D owners (grid {pr}x{pc}):          1-D owners (row block-cyclic):");
+    for i in 0..n {
+        let mut left = String::new();
+        let mut right = String::new();
+        for j in 0..t {
+            if j > i {
+                left.push_str("  .");
+            } else {
+                left.push_str(&format!(" P{}", src.owner(i, j)));
+            }
+        }
+        for j in 0..t {
+            if j > i {
+                right.push_str("  .");
+            } else {
+                right.push_str(&format!(" P{}", dst.owner(i)));
+            }
+        }
+        println!("   {left}        {right}");
+    }
+    println!("\n   Every (grid-row stripe) moves as an all-to-all personalized exchange");
+    println!("   among the q processors — O(n·t/q) words per processor.\n");
+
+    // --- part 2: whole-factor redistribution vs solve time (Section 4) ---
+    println!("== Section 4 experiment: redistribution time vs. one FB solve (NRHS=1) ==\n");
+    let mut table = Table::new(vec![
+        "problem",
+        "N",
+        "p",
+        "redistribute (s)",
+        "FBsolve (s)",
+        "ratio",
+    ]);
+    let block = 8;
+    let mut ratios = Vec::new();
+    for prob in [
+        Problem::grid2d(63),
+        Problem::grid3d(13),
+        Problem::paper_suite().remove(0),
+    ] {
+        let prep = Prepared::build(&prob);
+        for p in [16usize, 64] {
+            let redist = prep.redistribute(p, block);
+            let solve = prep.solve(p, 1, block).total_time;
+            let ratio = redist / solve;
+            ratios.push(ratio);
+            table.push_row(vec![
+                prep.name.clone(),
+                prep.n().to_string(),
+                p.to_string(),
+                format!("{redist:.6}"),
+                format!("{solve:.6}"),
+                format!("{ratio:.2}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max = ratios.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!("average ratio {avg:.2}, max ratio {max:.2}");
+    println!("(paper, Cray T3D: average ~0.5, max 0.9 — amortized further over repeated solves)");
+}

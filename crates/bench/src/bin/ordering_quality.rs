@@ -1,0 +1,89 @@
+//! Ordering-quality survey: fill, factorization opcount, and
+//! elimination-tree height for every ordering in the workspace across the
+//! matrix classes the paper analyzes.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin ordering_quality`
+
+use trisolv_analysis::Table;
+use trisolv_factor::seqchol;
+use trisolv_graph::{mindeg, multilevel, nd, rcm, Graph, Permutation};
+use trisolv_matrix::{gen, CscMatrix};
+
+struct Candidate {
+    name: &'static str,
+    perm: Permutation,
+}
+
+fn orderings(g: &Graph, coords: Option<&[[f64; 3]]>) -> Vec<Candidate> {
+    let n = g.nvertices();
+    let mut out = vec![
+        Candidate {
+            name: "natural",
+            perm: Permutation::identity(n),
+        },
+        Candidate {
+            name: "RCM",
+            perm: rcm::reverse_cuthill_mckee(g),
+        },
+        Candidate {
+            name: "min degree",
+            perm: mindeg::minimum_degree(g),
+        },
+        Candidate {
+            name: "BFS ND",
+            perm: nd::nested_dissection(g, nd::NdOptions::default()),
+        },
+        Candidate {
+            name: "multilevel ND",
+            perm: multilevel::nested_dissection_multilevel(
+                g,
+                multilevel::MlOptions::default(),
+            ),
+        },
+    ];
+    if let Some(c) = coords {
+        out.push(Candidate {
+            name: "geometric ND",
+            perm: nd::nested_dissection_coords(g, c, nd::NdOptions::default()),
+        });
+    }
+    out
+}
+
+fn survey(title: &str, a: &CscMatrix, coords: Option<&[[f64; 3]]>) {
+    let g = Graph::from_sym_lower(a);
+    let mut table = Table::new(vec![
+        "ordering",
+        "factor nnz",
+        "fill ratio",
+        "factor Mflop",
+        "etree height",
+        "supernodes",
+    ])
+    .with_title(format!("{title}  (N = {}, nnz = {})", a.ncols(), a.nnz()));
+    for cand in orderings(&g, coords) {
+        let an = seqchol::analyze_with_perm(a, &cand.perm);
+        table.push_row(vec![
+            cand.name.to_string(),
+            an.part.nnz().to_string(),
+            format!("{:.2}", an.part.nnz() as f64 / a.nnz() as f64),
+            format!("{:.1}", an.part.factor_flops() as f64 / 1e6),
+            an.sym.tree().height().to_string(),
+            an.part.nsup().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    survey("2-D grid (5-point)", &gen::grid2d_laplacian(40, 40), Some(&nd::grid2d_coords(40, 40, 1)));
+    survey("3-D grid (7-point)", &gen::grid3d_laplacian(11, 11, 11), Some(&nd::grid3d_coords(11, 11, 11, 1)));
+    let (irr, pts) = gen::mesh2d_irregular(36, 5);
+    survey("irregular 2-D mesh", &irr, Some(&pts));
+    survey("random sparse SPD", &gen::random_spd(900, 4, 9), None);
+    println!("Reading: on mesh classes the dissection orderings give both the least fill");
+    println!("and the shallowest (most parallelizable) trees — geometric ND when");
+    println!("coordinates exist, multilevel ND otherwise; minimum degree competes on fill");
+    println!("but yields taller trees; banded orderings (natural, RCM) are hopeless for");
+    println!("tree parallelism. This is the paper's ordering prerequisite, quantified.");
+}

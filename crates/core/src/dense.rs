@@ -1,0 +1,519 @@
+//! Parallel *dense* triangular solvers (Heath & Romine), the scalability
+//! yardstick of the paper's Figure 5 table.
+//!
+//! * [`forward_1d`] / [`backward_1d`] — row-wise block-cyclic pipelined
+//!   solvers: a dense triangular matrix is just one big supernode with
+//!   `n = t`, so these reuse the trapezoid kernels directly. Communication
+//!   `b(p−1) + n` ⇒ overhead `O(p²) + O(n·p)` ⇒ isoefficiency `O(p²)`.
+//! * [`forward_2d`] — the two-dimensionally partitioned variant. Each
+//!   block step serializes a row-reduction and a column-broadcast, so the
+//!   formulation is **unscalable** (per-step latency does not pipeline
+//!   away) — exactly the "Unscalable" entries of Figure 5.
+
+use crate::pipeline::{self, LocalTrapezoid};
+use trisolv_factor::blas;
+use trisolv_machine::{coll, BlockCyclic1d, BlockCyclic2d, Group, Machine, MachineParams};
+use trisolv_matrix::DenseMatrix;
+
+/// Result of a simulated dense triangular solve.
+#[derive(Debug, Clone)]
+pub struct DenseSolveResult {
+    /// The solution block.
+    pub x: DenseMatrix,
+    /// Virtual parallel time in seconds.
+    pub time: f64,
+    /// Overhead function `T_o = p·T_P − Σ compute`.
+    pub overhead: f64,
+    /// Words communicated.
+    pub words: u64,
+}
+
+/// Solve `L·x = b` for dense lower-triangular `L` with the 1-D row-wise
+/// block-cyclic pipelined algorithm on `p` simulated processors.
+pub fn forward_1d(
+    l: &DenseMatrix,
+    b: &DenseMatrix,
+    p: usize,
+    block: usize,
+    params: MachineParams,
+) -> DenseSolveResult {
+    let (n, m) = l.shape();
+    assert_eq!(n, m, "triangular matrix must be square");
+    let nrhs = b.ncols();
+    let layout = BlockCyclic1d::new(n, block, p);
+    let machine = Machine::new(p, params);
+    let run = machine.run(|proc| {
+        let group = Group::world(p);
+        let local = LocalTrapezoid::from_global(l, &layout, proc.rank());
+        let mut rhs = DenseMatrix::zeros(local.positions.len(), nrhs);
+        for c in 0..nrhs {
+            for (li, &gi) in local.positions.iter().enumerate() {
+                rhs[(li, c)] = b[(gi, c)];
+            }
+        }
+        pipeline::forward_column_priority(proc, &group, 1, &layout, n, nrhs, &local, &mut rhs);
+        (local.positions, rhs)
+    });
+    assemble(run, n, nrhs)
+}
+
+/// Solve `Lᵀ·x = b` with the 1-D pipelined back-substitution kernel.
+pub fn backward_1d(
+    l: &DenseMatrix,
+    b: &DenseMatrix,
+    p: usize,
+    block: usize,
+    params: MachineParams,
+) -> DenseSolveResult {
+    let (n, m) = l.shape();
+    assert_eq!(n, m);
+    let nrhs = b.ncols();
+    let layout = BlockCyclic1d::new(n, block, p);
+    let machine = Machine::new(p, params);
+    let run = machine.run(|proc| {
+        let group = Group::world(p);
+        let local = LocalTrapezoid::from_global(l, &layout, proc.rank());
+        let mut rhs = DenseMatrix::zeros(local.positions.len(), nrhs);
+        for c in 0..nrhs {
+            for (li, &gi) in local.positions.iter().enumerate() {
+                rhs[(li, c)] = b[(gi, c)];
+            }
+        }
+        pipeline::backward_column_priority(proc, &group, 1, &layout, n, nrhs, &local, &mut rhs);
+        (local.positions, rhs)
+    });
+    assemble(run, n, nrhs)
+}
+
+fn assemble(
+    run: trisolv_machine::RunResult<(Vec<usize>, DenseMatrix)>,
+    n: usize,
+    nrhs: usize,
+) -> DenseSolveResult {
+    let mut x = DenseMatrix::zeros(n, nrhs);
+    for (positions, rhs) in &run.results {
+        for c in 0..nrhs {
+            for (li, &gi) in positions.iter().enumerate() {
+                x[(gi, c)] = rhs[(li, c)];
+            }
+        }
+    }
+    DenseSolveResult {
+        x,
+        time: run.parallel_time(),
+        overhead: run.overhead(),
+        words: run.total_words(),
+    }
+}
+
+/// Solve `L·x = b` with a **2-D block-cyclic** partitioning over a
+/// near-square processor grid — the non-pipelinable formulation whose
+/// overhead makes 2-D triangular solves unscalable (Figure 5).
+///
+/// Per block step `i`: every grid processor accumulates its local partial
+/// sums for row block `i`, the partials are summed across the grid row to
+/// the diagonal owner, the owner solves, and the solution block is
+/// broadcast along the diagonal owner's grid column.
+pub fn forward_2d(
+    l: &DenseMatrix,
+    b: &DenseMatrix,
+    p: usize,
+    block: usize,
+    params: MachineParams,
+) -> DenseSolveResult {
+    let (n, m) = l.shape();
+    assert_eq!(n, m);
+    let nrhs = b.ncols();
+    let (pr, pc) = BlockCyclic2d::square_grid(p);
+    let grid = BlockCyclic2d::new(n, n, block, pr, pc);
+    let nb = n.div_ceil(block);
+    let machine = Machine::new(p, params);
+    let run = machine.run(|proc| {
+        let me = proc.rank();
+        let (my_r, my_c) = (me / pc, me % pc);
+        let rate = proc.params().solve_rate(nrhs);
+        // x blocks known to this processor's grid column
+        let mut xs: Vec<Option<DenseMatrix>> = vec![None; nb];
+        let mut out: Vec<(Vec<usize>, DenseMatrix)> = Vec::new();
+        for i in 0..nb {
+            let r0 = i * block;
+            let r1 = (r0 + block).min(n);
+            let rows = r1 - r0;
+            if grid.rows.owner(r0) != my_r {
+                // not my grid row: still participate in column broadcasts
+                // of x blocks my column owns
+                if grid.cols.owner(r0) == my_c {
+                    let col_group = Group::from_ranks(
+                        (0..pr).map(|r| r * pc + my_c).collect(),
+                    );
+                    let root = col_group
+                        .group_rank(grid.rows.owner(r0) * pc + my_c)
+                        .expect("diag owner in its column");
+                    let xi = coll::bcast(proc, &col_group, (2 * i + 1) as u64, root, Vec::new());
+                    let mut xm = DenseMatrix::zeros(rows, nrhs);
+                    for c in 0..nrhs {
+                        xm.col_mut(c)
+                            .copy_from_slice(&xi[c * rows..(c + 1) * rows]);
+                    }
+                    xs[i] = Some(xm);
+                }
+                continue;
+            }
+            // partial sums over my local column blocks k < i
+            let mut partial = DenseMatrix::zeros(rows, nrhs);
+            for k in 0..i {
+                let c0 = k * block;
+                let c1 = (c0 + block).min(n);
+                if grid.cols.owner(c0) != my_c {
+                    continue;
+                }
+                let xk = xs[k].as_ref().expect("x_k broadcast before use");
+                for c in 0..nrhs {
+                    for (jj, j) in (c0..c1).enumerate() {
+                        let xv = xk[(jj, c)];
+                        for (ii, gi) in (r0..r1).enumerate() {
+                            partial[(ii, c)] += l[(gi, j)] * xv;
+                        }
+                    }
+                }
+                proc.compute_flops_at((2 * rows * (c1 - c0) * nrhs) as f64, rate);
+            }
+            // reduce partials across my grid row to the diagonal owner
+            let diag_c = grid.cols.owner(r0);
+            let row_group = Group::from_ranks((0..pc).map(|c| my_r * pc + c).collect());
+            let root = row_group.group_rank(my_r * pc + diag_c).expect("in row");
+            let reduced = coll::reduce_sum(
+                proc,
+                &row_group,
+                (2 * i) as u64,
+                root,
+                partial.as_slice().to_vec(),
+            );
+            if let Some(sum) = reduced {
+                // I own the diagonal block: solve it
+                let mut xi = DenseMatrix::zeros(rows, nrhs);
+                for c in 0..nrhs {
+                    for (ii, gi) in (r0..r1).enumerate() {
+                        xi[(ii, c)] = b[(gi, c)] - sum[c * rows + ii];
+                    }
+                }
+                let mut tri = DenseMatrix::zeros(rows, rows);
+                for (jj, j) in (r0..r1).enumerate() {
+                    for (ii, gi) in (r0..r1).enumerate() {
+                        if gi >= j {
+                            tri[(ii, jj)] = l[(gi, j)];
+                        }
+                    }
+                }
+                blas::trsm_lower_left(tri.as_slice(), rows, xi.as_mut_slice(), rows, rows, nrhs);
+                proc.compute_flops_at((rows * rows * nrhs) as f64, rate);
+                // broadcast down my grid column for future steps
+                let col_group =
+                    Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
+                let root = col_group.group_rank(me).expect("self in column");
+                let payload = xi.as_slice().to_vec();
+                let _ = coll::bcast(proc, &col_group, (2 * i + 1) as u64, root, payload);
+                out.push(((r0..r1).collect(), xi.clone()));
+                xs[i] = Some(xi);
+            } else if grid.cols.owner(r0) == my_c {
+                unreachable!("reduce root is the diagonal-column owner");
+            }
+        }
+        // flatten this processor's solved blocks
+        let mut positions = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for (pos, m) in &out {
+            positions.extend_from_slice(pos);
+            let _ = m;
+        }
+        let mut xm = DenseMatrix::zeros(positions.len(), nrhs);
+        let mut at = 0;
+        for (pos, m) in &out {
+            for c in 0..nrhs {
+                xm.col_mut(c)[at..at + pos.len()].copy_from_slice(m.col(c));
+            }
+            at += pos.len();
+        }
+        let _ = &mut vals;
+        (positions, xm)
+    });
+    assemble(run, n, nrhs)
+}
+
+/// Solve `Lᵀ·x = b` with a **2-D block-cyclic** partitioning — the
+/// back-substitution mirror of [`forward_2d`], equally step-serialized and
+/// hence equally unscalable.
+///
+/// Per block step `i` (processed last-to-first): grid-column owners of
+/// block column `i` accumulate `Σ_{k>i} L[k,i]ᵀ·x_k` from their local
+/// rows, reduce along the grid column to the diagonal owner, which solves
+/// and broadcasts `x_i` along its grid row (rows `i` live there).
+pub fn backward_2d(
+    l: &DenseMatrix,
+    b: &DenseMatrix,
+    p: usize,
+    block: usize,
+    params: MachineParams,
+) -> DenseSolveResult {
+    let (n, m) = l.shape();
+    assert_eq!(n, m);
+    let nrhs = b.ncols();
+    let (pr, pc) = BlockCyclic2d::square_grid(p);
+    let grid = BlockCyclic2d::new(n, n, block, pr, pc);
+    let nb = n.div_ceil(block);
+    let machine = Machine::new(p, params);
+    let run = machine.run(|proc| {
+        let me = proc.rank();
+        let (my_r, my_c) = (me / pc, me % pc);
+        let rate = proc.params().solve_rate(nrhs);
+        let mut xs: Vec<Option<DenseMatrix>> = vec![None; nb];
+        let mut out: Vec<(Vec<usize>, DenseMatrix)> = Vec::new();
+        for i in (0..nb).rev() {
+            let r0 = i * block;
+            let r1 = (r0 + block).min(n);
+            let rows = r1 - r0;
+            let diag_r = grid.rows.owner(r0);
+            let diag_c = grid.cols.owner(r0);
+            // partials computed by grid column diag_c from their local rows k > i
+            if my_c == diag_c {
+                let mut partial = DenseMatrix::zeros(rows, nrhs);
+                for k in i + 1..nb {
+                    let k0 = k * block;
+                    let k1 = (k0 + block).min(n);
+                    if grid.rows.owner(k0) != my_r {
+                        continue;
+                    }
+                    let xk = xs[k].as_ref().expect("x_k broadcast before use");
+                    for c in 0..nrhs {
+                        for (jj, j) in (r0..r1).enumerate() {
+                            let mut sum = 0.0;
+                            for (kk, gk) in (k0..k1).enumerate() {
+                                sum += l[(gk, j)] * xk[(kk, c)];
+                            }
+                            partial[(jj, c)] += sum;
+                        }
+                    }
+                    proc.compute_flops_at((2 * rows * (k1 - k0) * nrhs) as f64, rate);
+                }
+                let col_group =
+                    Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
+                let root = col_group
+                    .group_rank(diag_r * pc + diag_c)
+                    .expect("diag owner in column");
+                let reduced = coll::reduce_sum(
+                    proc,
+                    &col_group,
+                    (2 * i) as u64,
+                    root,
+                    partial.as_slice().to_vec(),
+                );
+                if let Some(sum) = reduced {
+                    let mut xi = DenseMatrix::zeros(rows, nrhs);
+                    for c in 0..nrhs {
+                        for (jj, gj) in (r0..r1).enumerate() {
+                            xi[(jj, c)] = b[(gj, c)] - sum[c * rows + jj];
+                        }
+                    }
+                    let mut tri = DenseMatrix::zeros(rows, rows);
+                    for (jj, j) in (r0..r1).enumerate() {
+                        for (ii, gi) in (r0..r1).enumerate() {
+                            if gi >= j {
+                                tri[(ii, jj)] = l[(gi, j)];
+                            }
+                        }
+                    }
+                    blas::trsm_lower_trans_left(
+                        tri.as_slice(),
+                        rows,
+                        xi.as_mut_slice(),
+                        rows,
+                        rows,
+                        nrhs,
+                    );
+                    proc.compute_flops_at((rows * rows * nrhs) as f64, rate);
+                    // broadcast x_i along the diag owner's grid row (all
+                    // columns of grid row diag_r hold row block i)
+                    let row_group =
+                        Group::from_ranks((0..pc).map(|c| diag_r * pc + c).collect());
+                    let root = row_group.group_rank(me).expect("self in row");
+                    let _ = coll::bcast(
+                        proc,
+                        &row_group,
+                        (2 * i + 1) as u64,
+                        root,
+                        xi.as_slice().to_vec(),
+                    );
+                    out.push(((r0..r1).collect(), xi.clone()));
+                    xs[i] = Some(xi);
+                }
+            } else if my_r == diag_r {
+                // receive x_i along the grid row
+                let row_group =
+                    Group::from_ranks((0..pc).map(|c| diag_r * pc + c).collect());
+                let root = row_group
+                    .group_rank(diag_r * pc + diag_c)
+                    .expect("diag owner in row");
+                let data = coll::bcast(proc, &row_group, (2 * i + 1) as u64, root, Vec::new());
+                let mut xi = DenseMatrix::zeros(rows, nrhs);
+                for c in 0..nrhs {
+                    xi.col_mut(c).copy_from_slice(&data[c * rows..(c + 1) * rows]);
+                }
+                xs[i] = Some(xi);
+            }
+        }
+        // flatten
+        let mut positions = Vec::new();
+        for (pos, _) in &out {
+            positions.extend_from_slice(pos);
+        }
+        let mut xm = DenseMatrix::zeros(positions.len(), nrhs);
+        let mut at = 0;
+        for (pos, mtx) in &out {
+            for c in 0..nrhs {
+                xm.col_mut(c)[at..at + pos.len()].copy_from_slice(mtx.col(c));
+            }
+            at += pos.len();
+        }
+        (positions, xm)
+    });
+    assemble(run, n, nrhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_factor::blas;
+    use trisolv_matrix::gen;
+
+    fn random_lower(n: usize, seed: u64) -> DenseMatrix {
+        let vals = gen::random_rhs(n * n, 1, seed);
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = if i == j {
+                    3.0 + vals.as_slice()[i + j * n].abs()
+                } else {
+                    vals.as_slice()[i + j * n]
+                };
+            }
+        }
+        l
+    }
+
+    fn reference_forward(l: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let n = l.nrows();
+        let mut x = b.clone();
+        blas::trsm_lower_left(l.as_slice(), n, x.as_mut_slice(), n, n, b.ncols());
+        x
+    }
+
+    #[test]
+    fn forward_1d_matches_reference() {
+        for (n, p, b, nrhs) in [(16, 4, 2, 1), (20, 8, 2, 3), (15, 3, 4, 2)] {
+            let l = random_lower(n, 1);
+            let rhs = gen::random_rhs(n, nrhs, 2);
+            let res = forward_1d(&l, &rhs, p, b, MachineParams::t3d());
+            let expect = reference_forward(&l, &rhs);
+            assert!(
+                res.x.max_abs_diff(&expect).unwrap() < 1e-9,
+                "n={n} p={p} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_1d_matches_reference() {
+        let (n, p, b) = (18, 4, 2);
+        let l = random_lower(n, 3);
+        let x_true = gen::random_rhs(n, 2, 4);
+        let rhs = l.transpose().matmul(&x_true).unwrap();
+        let res = backward_1d(&l, &rhs, p, b, MachineParams::t3d());
+        assert!(res.x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn forward_2d_matches_reference() {
+        for (n, p, b) in [(16, 4, 2), (24, 8, 3), (12, 2, 2), (20, 16, 2)] {
+            let l = random_lower(n, 5);
+            let rhs = gen::random_rhs(n, 2, 6);
+            let res = forward_2d(&l, &rhs, p, b, MachineParams::t3d());
+            let expect = reference_forward(&l, &rhs);
+            assert!(
+                res.x.max_abs_diff(&expect).unwrap() < 1e-9,
+                "n={n} p={p} b={b}: {:?}",
+                res.x.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_2d_matches_reference() {
+        for (n, p, b) in [(16, 4, 2), (24, 8, 3), (12, 2, 2), (20, 16, 2)] {
+            let l = random_lower(n, 15);
+            let x_true = gen::random_rhs(n, 2, 16);
+            let rhs = l.transpose().matmul(&x_true).unwrap();
+            let res = backward_2d(&l, &rhs, p, b, MachineParams::t3d());
+            assert!(
+                res.x.max_abs_diff(&x_true).unwrap() < 1e-8,
+                "n={n} p={p} b={b}: {:?}",
+                res.x.max_abs_diff(&x_true)
+            );
+        }
+    }
+
+    #[test]
+    fn two_d_forward_backward_roundtrip() {
+        let (n, p, b) = (20, 4, 2);
+        let l = random_lower(n, 17);
+        let x_true = gen::random_rhs(n, 1, 18);
+        // b = L Lᵀ x
+        let llt = l.matmul(&l.transpose()).unwrap();
+        let rhs = llt.matmul(&x_true).unwrap();
+        let y = forward_2d(&l, &rhs, p, b, MachineParams::t3d());
+        let x = backward_2d(&l, &y.x, p, b, MachineParams::t3d());
+        assert!(x.x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn one_d_scales_better_than_two_d() {
+        // Figure 5's qualitative content: for a solve-only workload the
+        // pipelined 1-D formulation beats the step-serialized 2-D one.
+        let n = 256;
+        let p = 16;
+        let l = random_lower(n, 7);
+        let rhs = gen::random_rhs(n, 1, 8);
+        let r1 = forward_1d(&l, &rhs, p, 4, MachineParams::t3d());
+        let r2 = forward_2d(&l, &rhs, p, 4, MachineParams::t3d());
+        assert!(
+            r1.time < r2.time,
+            "1-D {} should beat 2-D {}",
+            r1.time,
+            r2.time
+        );
+    }
+
+    #[test]
+    fn overhead_grows_superlinearly_for_2d() {
+        // unscalability indicator: T_o at fixed n grows faster than p
+        let n = 128;
+        let l = random_lower(n, 9);
+        let rhs = gen::random_rhs(n, 1, 10);
+        let o4 = forward_2d(&l, &rhs, 4, 4, MachineParams::t3d()).overhead;
+        let o16 = forward_2d(&l, &rhs, 16, 4, MachineParams::t3d()).overhead;
+        assert!(
+            o16 > 3.0 * o4,
+            "2-D overhead p=4 {o4} vs p=16 {o16} grew too slowly"
+        );
+    }
+
+    #[test]
+    fn single_processor_no_communication() {
+        let n = 10;
+        let l = random_lower(n, 11);
+        let rhs = gen::random_rhs(n, 1, 12);
+        let res = forward_1d(&l, &rhs, 1, 2, MachineParams::t3d());
+        assert_eq!(res.words, 0);
+        let expect = reference_forward(&l, &rhs);
+        assert!(res.x.max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+}

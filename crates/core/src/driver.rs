@@ -1,0 +1,232 @@
+//! End-to-end simulated parallel solver facade.
+//!
+//! [`ParallelSolver::build`] runs the complete pipeline of the paper's
+//! overall direct solver on the virtual machine — nested-dissection
+//! ordering, symbolic analysis, parallel multifrontal factorization (2-D
+//! frontal distribution), 2-D → 1-D redistribution of `L` — after which
+//! [`ParallelSolver::solve`] answers any number of right-hand-side blocks
+//! with the parallel forward/backward substitution, handling the
+//! permutation bookkeeping internally.
+
+use crate::mapping::SubcubeMapping;
+use crate::redistribute::{redistribute_factor, RedistributeReport};
+use crate::tree::{solve_fb, SolveConfig, SolveReport};
+use trisolv_factor::par::{factor_parallel, FactorConfig, FactorReport};
+use trisolv_factor::seqchol;
+use trisolv_factor::SupernodalFactor;
+use trisolv_graph::{nd, Graph, Permutation};
+use trisolv_machine::MachineParams;
+use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError};
+
+/// Options for building a [`ParallelSolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSolverOptions {
+    /// Number of virtual processors.
+    pub nprocs: usize,
+    /// Block size of the block-cyclic distributions (both phases).
+    pub block: usize,
+    /// Machine cost model.
+    pub params: MachineParams,
+    /// Relaxed supernode amalgamation `(relax_abs, relax_frac)`;
+    /// `(0, 0.0)` keeps fundamental supernodes.
+    pub amalgamation: (usize, f64),
+}
+
+impl ParallelSolverOptions {
+    /// T3D-flavoured defaults at a given processor count.
+    pub fn t3d(nprocs: usize) -> Self {
+        ParallelSolverOptions {
+            nprocs,
+            block: 8,
+            params: MachineParams::t3d(),
+            amalgamation: (0, 0.0),
+        }
+    }
+}
+
+/// A factored system ready for repeated simulated-parallel solves.
+///
+/// ```
+/// use trisolv_core::{ParallelSolver, ParallelSolverOptions};
+/// use trisolv_graph::nd;
+/// use trisolv_matrix::gen;
+///
+/// let a = gen::grid2d_laplacian(12, 12);
+/// let coords = nd::grid2d_coords(12, 12, 1);
+/// let solver =
+///     ParallelSolver::build(&a, Some(&coords), &ParallelSolverOptions::t3d(8)).unwrap();
+/// let x_true = gen::random_rhs(144, 1, 3);
+/// let b = a.spmv_sym_lower(&x_true).unwrap();
+/// let (x, report) = solver.solve(&b);
+/// assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+/// assert!(report.total_time > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ParallelSolver {
+    perm: Permutation,
+    factor: SupernodalFactor,
+    mapping: SubcubeMapping,
+    config: SolveConfig,
+    factor_report: FactorReport,
+    redistribute_report: RedistributeReport,
+}
+
+impl ParallelSolver {
+    /// Order, analyze, factor (in parallel on the virtual machine), and
+    /// redistribute `L` for solving. `coords` enables geometric nested
+    /// dissection for mesh problems; without them the multilevel general
+    /// dissection is used.
+    pub fn build(
+        a: &CscMatrix,
+        coords: Option<&[[f64; 3]]>,
+        options: &ParallelSolverOptions,
+    ) -> Result<Self, MatrixError> {
+        let g = Graph::from_sym_lower(a);
+        let fill_perm = match coords {
+            Some(c) => nd::nested_dissection_coords(&g, c, nd::NdOptions::default()),
+            None => trisolv_graph::multilevel::nested_dissection_multilevel(
+                &g,
+                trisolv_graph::multilevel::MlOptions::default(),
+            ),
+        };
+        let an = seqchol::analyze_with_perm(a, &fill_perm);
+        let part = if options.amalgamation.0 > 0 || options.amalgamation.1 > 0.0 {
+            an.part.amalgamate(options.amalgamation.0, options.amalgamation.1)
+        } else {
+            an.part.clone()
+        };
+        let mapping = SubcubeMapping::new(&part, options.nprocs);
+        let fconfig = FactorConfig {
+            nprocs: options.nprocs,
+            block: options.block,
+            params: options.params,
+        };
+        let (factor, factor_report) = factor_parallel(&an.pa, &part, &mapping, &fconfig)?;
+        let redistribute_report = redistribute_factor(
+            &factor,
+            &mapping,
+            options.block,
+            options.block,
+            options.params,
+        );
+        Ok(ParallelSolver {
+            perm: an.perm,
+            factor,
+            mapping,
+            config: SolveConfig {
+                nprocs: options.nprocs,
+                block: options.block,
+                params: options.params,
+            },
+            factor_report,
+            redistribute_report,
+        })
+    }
+
+    /// Solve `A·X = B` on the virtual machine; returns the solution in the
+    /// original (unpermuted) index space plus the solve timing report.
+    pub fn solve(&self, b: &DenseMatrix) -> (DenseMatrix, SolveReport) {
+        let n = self.factor.n();
+        assert_eq!(b.nrows(), n, "rhs must have n rows");
+        let nrhs = b.ncols();
+        let mut pb = DenseMatrix::zeros(n, nrhs);
+        for c in 0..nrhs {
+            for i in 0..n {
+                pb[(self.perm.apply(i), c)] = b[(i, c)];
+            }
+        }
+        let (px, report) = solve_fb(&self.factor, &self.mapping, &pb, &self.config);
+        let mut x = DenseMatrix::zeros(n, nrhs);
+        for c in 0..nrhs {
+            for i in 0..n {
+                x[(i, c)] = px[(self.perm.apply(i), c)];
+            }
+        }
+        (x, report)
+    }
+
+    /// The factorization timing (paid once).
+    pub fn factor_report(&self) -> &FactorReport {
+        &self.factor_report
+    }
+
+    /// The 2-D → 1-D redistribution timing (paid once).
+    pub fn redistribute_report(&self) -> &RedistributeReport {
+        &self.redistribute_report
+    }
+
+    /// The factor (permuted index space).
+    pub fn factor_matrix(&self) -> &SupernodalFactor {
+        &self.factor
+    }
+
+    /// The combined fill-reducing + postorder permutation.
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// The subtree-to-subcube mapping in use.
+    pub fn mapping(&self) -> &SubcubeMapping {
+        &self.mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_graph::nd as gnd;
+    use trisolv_matrix::gen;
+
+    #[test]
+    fn builds_and_solves_mesh_problem() {
+        // big enough that factorization work dominates a solve
+        let (kx, ky) = (31, 29);
+        let a = gen::grid2d_laplacian(kx, ky);
+        let coords = gnd::grid2d_coords(kx, ky, 1);
+        let solver =
+            ParallelSolver::build(&a, Some(&coords), &ParallelSolverOptions::t3d(8)).unwrap();
+        let x_true = gen::random_rhs(a.ncols(), 3, 1);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        let (x, report) = solver.solve(&b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+        assert!(report.total_time > 0.0);
+        // headline relations hold end to end
+        assert!(report.total_time < solver.factor_report().time);
+        assert!(solver.redistribute_report().time < solver.factor_report().time);
+    }
+
+    #[test]
+    fn builds_without_coordinates_via_multilevel_nd() {
+        let a = gen::random_spd(120, 4, 2);
+        let solver = ParallelSolver::build(&a, None, &ParallelSolverOptions::t3d(4)).unwrap();
+        let x_true = gen::random_rhs(120, 1, 3);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        let (x, _) = solver.solve(&b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn amalgamation_option_respected() {
+        let a = gen::grid2d_laplacian(12, 12);
+        let coords = gnd::grid2d_coords(12, 12, 1);
+        let plain =
+            ParallelSolver::build(&a, Some(&coords), &ParallelSolverOptions::t3d(4)).unwrap();
+        let mut opts = ParallelSolverOptions::t3d(4);
+        opts.amalgamation = (16, 0.2);
+        let fat = ParallelSolver::build(&a, Some(&coords), &opts).unwrap();
+        assert!(fat.factor_matrix().nsup() < plain.factor_matrix().nsup());
+        // both solve correctly
+        let x_true = gen::random_rhs(144, 2, 4);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        assert!(fat.solve(&b).0.max_abs_diff(&x_true).unwrap() < 1e-8);
+        assert!(plain.solve(&b).0.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn indefinite_build_errors() {
+        let mut a = gen::grid2d_laplacian(6, 6);
+        let base = a.colptr()[0];
+        a.values_mut()[base] = -4.0;
+        assert!(ParallelSolver::build(&a, None, &ParallelSolverOptions::t3d(4)).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Numerical diagnostics built on the factorization: log-determinant,
+//! inertia, and a LAPACK-style 1-norm condition estimate.
+//!
+//! These are the standard post-factorization queries a production direct
+//! solver exposes (the WSMP lineage included); all of them reuse the
+//! factor and the triangular solvers, costing only O(solve) work.
+
+use crate::seq;
+use trisolv_factor::SupernodalFactor;
+use trisolv_matrix::{CscMatrix, DenseMatrix};
+
+/// `log |det A| = 2·Σ log L_jj` from a Cholesky factor.
+pub fn logdet(f: &SupernodalFactor) -> f64 {
+    let part = f.partition();
+    let mut acc = 0.0;
+    for s in 0..part.nsup() {
+        let blk = f.block(s);
+        for k in 0..part.width(s) {
+            acc += blk[(k, k)].abs().ln();
+        }
+    }
+    2.0 * acc
+}
+
+/// Matrix inertia `(n_pos, n_neg, n_zero)` from an LDLᵀ diagonal — by
+/// Sylvester's law of inertia, these count the positive/negative/zero
+/// eigenvalues of `A`.
+pub fn inertia(d: &[f64]) -> (usize, usize, usize) {
+    let mut pos = 0;
+    let mut neg = 0;
+    let mut zero = 0;
+    for &v in d {
+        if v > 0.0 {
+            pos += 1;
+        } else if v < 0.0 {
+            neg += 1;
+        } else {
+            zero += 1;
+        }
+    }
+    (pos, neg, zero)
+}
+
+/// Hager–Higham 1-norm estimator for `‖A⁻¹‖₁` using the factor's solves;
+/// multiplied by `‖A‖₁` this gives the standard 1-norm condition estimate.
+///
+/// Runs at most `max_iters` power-like iterations (2 is usually exact on
+/// the matrices here; LAPACK uses 5).
+pub fn inverse_norm1_estimate(
+    f: &SupernodalFactor,
+    max_iters: usize,
+) -> f64 {
+    let n = f.n();
+    // x = e / n
+    let mut x = DenseMatrix::zeros(n, 1);
+    for v in x.as_mut_slice() {
+        *v = 1.0 / n as f64;
+    }
+    let mut est = 0.0f64;
+    let mut last_j = usize::MAX;
+    for _ in 0..max_iters.max(1) {
+        // y = A⁻¹ x  (A symmetric → A⁻ᵀ = A⁻¹)
+        let y = seq::forward_backward(f, &x);
+        est = y.col(0).iter().map(|v| v.abs()).sum();
+        // ξ = sign(y); z = A⁻ᵀ ξ = A⁻¹ ξ
+        let mut xi = DenseMatrix::zeros(n, 1);
+        for (i, v) in xi.as_mut_slice().iter_mut().enumerate() {
+            *v = if y.col(0)[i] >= 0.0 { 1.0 } else { -1.0 };
+        }
+        let z = seq::forward_backward(f, &xi);
+        // j = argmax |z_j|
+        let (j, zj) = z
+            .col(0)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.abs()))
+            .fold((0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+        let ztx: f64 = z.col(0).iter().zip(x.col(0)).map(|(a, b)| a * b).sum();
+        if zj <= ztx.abs() || j == last_j {
+            break;
+        }
+        last_j = j;
+        x = DenseMatrix::zeros(n, 1);
+        x[(j, 0)] = 1.0;
+    }
+    est
+}
+
+/// 1-norm of a symmetric matrix stored lower-triangular:
+/// `max_j Σ_i |A_ij|` over the implicit full matrix.
+pub fn norm1_sym_lower(a: &CscMatrix) -> f64 {
+    let n = a.ncols();
+    let mut colsum = vec![0.0f64; n];
+    for j in 0..n {
+        for (k, &i) in a.col_rows(j).iter().enumerate() {
+            let v = a.col_values(j)[k].abs();
+            colsum[j] += v;
+            if i != j {
+                colsum[i] += v;
+            }
+        }
+    }
+    colsum.into_iter().fold(0.0, f64::max)
+}
+
+/// 1-norm condition estimate `κ₁(A) ≈ ‖A‖₁ · est(‖A⁻¹‖₁)`.
+pub fn condition_estimate(a: &CscMatrix, f: &SupernodalFactor) -> f64 {
+    norm1_sym_lower(a) * inverse_norm1_estimate(f, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_factor::seqchol::{analyze_with_perm, factor_simplicial_ldlt, factor_supernodal};
+    use trisolv_graph::Permutation;
+    use trisolv_matrix::{gen, TripletMatrix};
+
+    #[test]
+    fn logdet_of_diagonal_matrix() {
+        let mut t = TripletMatrix::new(3, 3);
+        for (i, v) in [2.0, 4.0, 8.0].iter().enumerate() {
+            t.push(i, i, *v).unwrap();
+        }
+        let a = t.to_csc();
+        let an = analyze_with_perm(&a, &Permutation::identity(3));
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let expect = (2.0f64 * 4.0 * 8.0).ln();
+        assert!((logdet(&f) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logdet_matches_dense_product() {
+        let a = gen::random_spd(25, 3, 7);
+        let an = analyze_with_perm(&a, &Permutation::identity(25));
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        // det via dense Cholesky diagonal
+        let dense = trisolv_factor::dense::DenseCholesky::factor(
+            &a.sym_expand().unwrap().to_dense(),
+        )
+        .unwrap();
+        let expect: f64 = (0..25).map(|i| dense.l()[(i, i)].ln()).sum::<f64>() * 2.0;
+        assert!((logdet(&f) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_counts_signs() {
+        assert_eq!(inertia(&[1.0, 2.0, -3.0, 0.0, 5.0]), (3, 1, 1));
+        // SPD system: all positive
+        let a = gen::grid2d_laplacian(5, 5);
+        let an = analyze_with_perm(&a, &Permutation::identity(25));
+        let (_, d) = factor_simplicial_ldlt(&an.pa, &an.sym).unwrap();
+        assert_eq!(inertia(&d), (25, 0, 0));
+    }
+
+    #[test]
+    fn condition_estimate_exact_on_diagonal() {
+        // diag(1, 10): κ₁ = 10 exactly
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 1, 10.0).unwrap();
+        let a = t.to_csc();
+        let an = analyze_with_perm(&a, &Permutation::identity(2));
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let k = condition_estimate(&a, &f);
+        assert!((k - 10.0).abs() < 1e-10, "estimate {k}");
+    }
+
+    #[test]
+    fn condition_estimate_within_bounds() {
+        // the estimator must lower-bound the true κ₁ and stay within a
+        // small factor of it (compute the truth densely)
+        let a = gen::grid2d_laplacian(6, 6);
+        let an = analyze_with_perm(&a, &Permutation::identity(36));
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let est = condition_estimate(&a, &f);
+        // true ‖A⁻¹‖₁ via dense inverse columns
+        let dense = a.sym_expand().unwrap().to_dense();
+        let ch = trisolv_factor::dense::DenseCholesky::factor(&dense).unwrap();
+        let mut inv_norm1 = 0.0f64;
+        for j in 0..36 {
+            let mut e = DenseMatrix::zeros(36, 1);
+            e[(j, 0)] = 1.0;
+            let col = ch.solve(&e);
+            inv_norm1 = inv_norm1.max(col.col(0).iter().map(|v| v.abs()).sum());
+        }
+        let truth = norm1_sym_lower(&a) * inv_norm1;
+        assert!(est <= truth * 1.0001, "estimate {est} above truth {truth}");
+        assert!(est >= truth / 3.0, "estimate {est} far below truth {truth}");
+    }
+
+    #[test]
+    fn norm1_counts_both_triangles() {
+        // [[2, -1], [-1, 3]]: column sums 3 and 4
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 2.0).unwrap();
+        t.push(1, 0, -1.0).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        let a = t.to_csc();
+        assert_eq!(norm1_sym_lower(&a), 4.0);
+    }
+}

@@ -1,0 +1,1045 @@
+//! Pipelined block-cyclic trapezoid kernels (paper §2, Figures 3–4).
+//!
+//! A supernode of the factor is a dense `n×t` trapezoid (`t` triangle
+//! columns on top, an `(n−t)×t` rectangle below). At the parallel levels of
+//! the elimination tree the trapezoid's **rows** are distributed
+//! block-cyclically over the supernode's processor group, and the solves
+//! proceed as pipelined wavefronts:
+//!
+//! * forward elimination (column-priority): the owner of diagonal block `k`
+//!   solves a `b×b` triangle and injects `x_k` into the ring; every
+//!   processor forwards it and immediately updates all of its rows below
+//!   block `k`. Communication per supernode ≈ `b(q−1) + t` — the paper's
+//!   §3.1 analysis.
+//! * back substitution (column-priority): partial inner products flow
+//!   *toward* the owner of each diagonal block along the reversed ring,
+//!   which then solves `x_k = L_kk⁻ᵀ(y_k − Σ …)`.
+//!
+//! [`Schedule`] additionally generates the closed-form time-step grids of
+//! the paper's Figures 3 and 4 (EREW-PRAM, row-priority, column-priority),
+//! used by the `fig3`/`fig4` harness binaries and as ordering oracles in
+//! tests.
+
+use trisolv_factor::blas;
+use trisolv_machine::{BlockCyclic1d, Group, Proc};
+use trisolv_matrix::DenseMatrix;
+
+/// The rows of one supernode trapezoid held by one processor.
+#[derive(Debug, Clone)]
+pub struct LocalTrapezoid {
+    /// Global positions (0-based row indices within the trapezoid) of the
+    /// local rows, ascending.
+    pub positions: Vec<usize>,
+    /// The local rows of `L` packed in `positions` order:
+    /// `positions.len() × t` column-major.
+    pub l: DenseMatrix,
+}
+
+impl LocalTrapezoid {
+    /// Extract the rows of `trap` owned by group rank `owner_rank` under
+    /// `layout`.
+    pub fn from_global(trap: &DenseMatrix, layout: &BlockCyclic1d, owner_rank: usize) -> Self {
+        let t = trap.ncols();
+        let positions: Vec<usize> = (0..trap.nrows())
+            .filter(|&i| layout.owner(i) == owner_rank)
+            .collect();
+        let mut l = DenseMatrix::zeros(positions.len(), t);
+        for (li, &gi) in positions.iter().enumerate() {
+            for j in 0..t {
+                l[(li, j)] = trap[(gi, j)];
+            }
+        }
+        LocalTrapezoid { positions, l }
+    }
+
+    /// Index of the first local row at or after global position `pos`.
+    fn first_at_or_after(&self, pos: usize) -> usize {
+        self.positions.partition_point(|&p| p < pos)
+    }
+
+    /// Local index of global position `pos` (must be owned).
+    fn local_of(&self, pos: usize) -> usize {
+        self.positions
+            .binary_search(&pos)
+            .expect("position owned by this processor")
+    }
+}
+
+/// Flatten rows `r0..r1` of `m` column-major into a message payload.
+fn pack(m: &DenseMatrix, r0: usize, r1: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity((r1 - r0) * m.ncols());
+    for c in 0..m.ncols() {
+        out.extend_from_slice(&m.col(c)[r0..r1]);
+    }
+    out
+}
+
+/// Inverse of [`pack`].
+fn unpack(m: &mut DenseMatrix, r0: usize, r1: usize, data: &[f64]) {
+    let len = r1 - r0;
+    debug_assert_eq!(data.len(), len * m.ncols());
+    for c in 0..m.ncols() {
+        m.col_mut(c)[r0..r1].copy_from_slice(&data[c * len..(c + 1) * len]);
+    }
+}
+
+/// Pipelined column-priority **forward elimination** over one trapezoid.
+///
+/// On entry, `rhs` (shape `positions.len() × nrhs`) holds the gathered
+/// right-hand-side values for the triangle rows this processor owns and
+/// zeros for its below-triangle rows. On exit, triangle rows hold the
+/// solution `x` and below rows hold `−L21·x` contributions (ready to be
+/// added into the caller's update accumulator).
+///
+/// All members of `group` must call with identical `layout`, `t`, `nrhs`,
+/// and `tag`.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_column_priority(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    layout: &BlockCyclic1d,
+    t: usize,
+    nrhs: usize,
+    local: &LocalTrapezoid,
+    rhs: &mut DenseMatrix,
+) {
+    let q = group.size();
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be in the supernode group");
+    debug_assert_eq!(layout.nprocs, q);
+    debug_assert_eq!(rhs.nrows(), local.positions.len());
+    debug_assert_eq!(rhs.ncols(), nrhs);
+    let rate = proc.params().solve_rate(nrhs);
+    let lrows = local.positions.len();
+    let b = layout.block;
+    let nb_tri = t.div_ceil(b);
+
+    for k in 0..nb_tri {
+        let c0 = k * b;
+        let c1 = (c0 + b).min(t);
+        let len = c1 - c0;
+        let owner = layout.owner_of_block(k);
+        let xk = if me == owner {
+            // solve the diagonal len×len triangle against this block's rhs
+            let lr = local.local_of(c0);
+            debug_assert_eq!(local.positions[lr + len - 1], c1 - 1);
+            let mut tri = DenseMatrix::zeros(len, len);
+            for j in 0..len {
+                for i in j..len {
+                    tri[(i, j)] = local.l[(lr + i, c0 + j)];
+                }
+            }
+            let mut xk = DenseMatrix::zeros(len, nrhs);
+            for c in 0..nrhs {
+                xk.col_mut(c).copy_from_slice(&rhs.col(c)[lr..lr + len]);
+            }
+            blas::trsm_lower_left(tri.as_slice(), len, xk.as_mut_slice(), len, len, nrhs);
+            proc.compute_flops_at((len * len * nrhs) as f64, rate);
+            for c in 0..nrhs {
+                rhs.col_mut(c)[lr..lr + len].copy_from_slice(xk.col(c));
+            }
+            if q > 1 {
+                proc.send(group.world_rank((me + 1) % q), tag, pack(&xk, 0, len));
+            }
+            xk
+        } else {
+            let prev = group.world_rank((me + q - 1) % q);
+            let data = proc.recv(prev, tag);
+            let next = (me + 1) % q;
+            if next != owner {
+                proc.send(group.world_rank(next), tag, data.clone());
+            }
+            let mut xk = DenseMatrix::zeros(len, nrhs);
+            unpack(&mut xk, 0, len, &data);
+            xk
+        };
+        // column-priority update: apply x_k to every local row below c1
+        let tail = local.first_at_or_after(c1);
+        let m = lrows - tail;
+        if m > 0 {
+            let lslice = local.l.as_slice();
+            for c in 0..nrhs {
+                let rcol = &mut rhs.col_mut(c)[tail..];
+                for (jj, j) in (c0..c1).enumerate() {
+                    let xv = xk[(jj, c)];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let lcol = &lslice[j * lrows + tail..j * lrows + lrows];
+                    for i in 0..m {
+                        rcol[i] -= lcol[i] * xv;
+                    }
+                }
+            }
+            proc.compute_flops_at((2 * m * len * nrhs) as f64, rate);
+        }
+    }
+}
+
+/// Pipelined **row-priority** forward elimination (paper Figure 3(b)):
+/// identical arithmetic and messages, but each processor finishes a whole
+/// local row block (applying every pending `x_k` to it) before moving to
+/// the next — the ablation counterpart of the column-priority kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_row_priority(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    layout: &BlockCyclic1d,
+    t: usize,
+    nrhs: usize,
+    local: &LocalTrapezoid,
+    rhs: &mut DenseMatrix,
+) {
+    let q = group.size();
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be in the supernode group");
+    let rate = proc.params().solve_rate(nrhs);
+    let lrows = local.positions.len();
+    let b = layout.block;
+    let nb_tri = t.div_ceil(b);
+
+    // x blocks received or produced so far, by block index
+    let mut xs: Vec<Option<DenseMatrix>> = vec![None; nb_tri];
+    let mut next_rx = 0usize; // smallest remote block not yet received
+
+    // receive (and forward) remote x blocks in ascending order up to and
+    // including block k
+    fn obtain(
+        proc: &mut Proc,
+        group: &Group,
+        tag: u64,
+        layout: &BlockCyclic1d,
+        t: usize,
+        nrhs: usize,
+        me: usize,
+        xs: &mut [Option<DenseMatrix>],
+        next_rx: &mut usize,
+        k: usize,
+    ) {
+        let q = group.size();
+        let b = layout.block;
+        while *next_rx <= k {
+            let kk = *next_rx;
+            *next_rx += 1;
+            if layout.owner_of_block(kk) == me {
+                debug_assert!(xs[kk].is_some(), "own block solved before use");
+                continue;
+            }
+            let c0 = kk * b;
+            let len = (c0 + b).min(t) - c0;
+            let prev = group.world_rank((me + q - 1) % q);
+            let data = proc.recv(prev, tag);
+            let nxt = (me + 1) % q;
+            if nxt != layout.owner_of_block(kk) {
+                proc.send(group.world_rank(nxt), tag, data.clone());
+            }
+            let mut xk = DenseMatrix::zeros(len, nrhs);
+            unpack(&mut xk, 0, len, &data);
+            xs[kk] = Some(xk);
+        }
+    }
+
+    // walk my local row blocks in ascending position order
+    let mut li = 0usize;
+    while li < lrows {
+        let pos0 = local.positions[li];
+        let blk = pos0 / b;
+        let blk_end = ((blk + 1) * b).min(layout.nitems);
+        let mut lend = li;
+        while lend < lrows && local.positions[lend] < blk_end {
+            lend += 1;
+        }
+        let m = lend - li;
+        // apply all x_k with k < min(blk, nb_tri) to this row block
+        let kmax = blk.min(nb_tri);
+        for k in 0..kmax {
+            obtain(
+                proc, group, tag, layout, t, nrhs, me, &mut xs, &mut next_rx, k,
+            );
+            let xk = xs[k].as_ref().expect("x_k available");
+            let c0 = k * b;
+            let len = xk.nrows();
+            for c in 0..nrhs {
+                for jj in 0..len {
+                    let xv = xk[(jj, c)];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let lcol = &local.l.col(c0 + jj)[li..lend];
+                    let rcol = &mut rhs.col_mut(c)[li..lend];
+                    for i in 0..m {
+                        rcol[i] -= lcol[i] * xv;
+                    }
+                }
+            }
+            proc.compute_flops_at((2 * m * len * nrhs) as f64, rate);
+        }
+        // if this row block is a diagonal block, it is mine: solve it.
+        // Note the row block may straddle `t` (short last triangle block):
+        // only its first `len` rows are triangle rows.
+        if blk < nb_tri {
+            debug_assert_eq!(layout.owner_of_block(blk), me);
+            let c0 = blk * b;
+            let len = (c0 + b).min(t) - c0;
+            debug_assert!(len <= m);
+            let mut tri = DenseMatrix::zeros(len, len);
+            for j in 0..len {
+                for i in j..len {
+                    tri[(i, j)] = local.l[(li + i, c0 + j)];
+                }
+            }
+            let mut xk = DenseMatrix::zeros(len, nrhs);
+            for c in 0..nrhs {
+                xk.col_mut(c).copy_from_slice(&rhs.col(c)[li..li + len]);
+            }
+            blas::trsm_lower_left(tri.as_slice(), len, xk.as_mut_slice(), len, len, nrhs);
+            proc.compute_flops_at((len * len * nrhs) as f64, rate);
+            for c in 0..nrhs {
+                rhs.col_mut(c)[li..li + len].copy_from_slice(xk.col(c));
+            }
+            if q > 1 {
+                proc.send(group.world_rank((me + 1) % q), tag, pack(&xk, 0, len));
+            }
+            // apply x_blk to the straddling below-triangle rows (if any)
+            let s0 = li + len;
+            if s0 < lend {
+                let ms = lend - s0;
+                for c in 0..nrhs {
+                    for jj in 0..len {
+                        let xv = xk[(jj, c)];
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let lcol = &local.l.col(c0 + jj)[s0..lend];
+                        let rcol = &mut rhs.col_mut(c)[s0..lend];
+                        for i in 0..ms {
+                            rcol[i] -= lcol[i] * xv;
+                        }
+                    }
+                }
+                proc.compute_flops_at((2 * ms * len * nrhs) as f64, rate);
+            }
+            xs[blk] = Some(xk);
+        }
+        li = lend;
+    }
+    // drain x blocks never needed locally but still requiring forwarding
+    if nb_tri > 0 {
+        obtain(
+            proc,
+            group,
+            tag,
+            layout,
+            t,
+            nrhs,
+            me,
+            &mut xs,
+            &mut next_rx,
+            nb_tri - 1,
+        );
+    }
+}
+
+/// Pipelined column-priority **back substitution** over one trapezoid.
+///
+/// On entry, `rhs` holds `y` values for this processor's triangle rows and
+/// already-solved `x` values for its below-triangle rows. On exit, triangle
+/// rows hold the solution `x` (below rows are unchanged).
+///
+/// Partial sums for each diagonal block flow along the ring toward the
+/// block's owner — the mirrored wave of the paper's Figure 4.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_column_priority(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    layout: &BlockCyclic1d,
+    t: usize,
+    nrhs: usize,
+    local: &LocalTrapezoid,
+    rhs: &mut DenseMatrix,
+) {
+    let q = group.size();
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be in the supernode group");
+    let rate = proc.params().solve_rate(nrhs);
+    let lrows = local.positions.len();
+    let b = layout.block;
+    let nb_tri = t.div_ceil(b);
+
+    for k in (0..nb_tri).rev() {
+        let c0 = k * b;
+        let c1 = (c0 + b).min(t);
+        let len = c1 - c0;
+        let owner = layout.owner_of_block(k);
+        // my partial: Σ over local rows at positions ≥ c1 of
+        // L[row, c0..c1]ᵀ · x[row]
+        let tail = local.first_at_or_after(c1);
+        let m = lrows - tail;
+        let mut partial = DenseMatrix::zeros(len, nrhs);
+        if m > 0 {
+            let lslice = local.l.as_slice();
+            for c in 0..nrhs {
+                let xcol = &rhs.col(c)[tail..];
+                for (jj, j) in (c0..c1).enumerate() {
+                    let lcol = &lslice[j * lrows + tail..j * lrows + lrows];
+                    let mut sum = 0.0;
+                    for i in 0..m {
+                        sum += lcol[i] * xcol[i];
+                    }
+                    partial[(jj, c)] += sum;
+                }
+            }
+            proc.compute_flops_at((2 * m * len * nrhs) as f64, rate);
+        }
+        if q == 1 {
+            solve_diag_transposed(proc, local, rhs, c0, len, nrhs, &partial, rate);
+            continue;
+        }
+        // The carry ring runs in the DESCENDING rank direction (start at
+        // owner−1, hop to rank−1, end at the owner). With blocks processed
+        // high-to-low and block-cyclic owners this offsets consecutive
+        // chains by one hop, so the waves pipeline — running the ring the
+        // other way would serialize every chain behind the previous one.
+        let start = (owner + q - 1) % q;
+        if me == owner {
+            let prev = group.world_rank((me + 1) % q);
+            let carry = proc.recv(prev, tag);
+            let mut carry_m = DenseMatrix::zeros(len, nrhs);
+            unpack(&mut carry_m, 0, len, &carry);
+            partial.axpy(1.0, &carry_m).expect("same shape");
+            solve_diag_transposed(proc, local, rhs, c0, len, nrhs, &partial, rate);
+        } else {
+            if me != start {
+                let prev = group.world_rank((me + 1) % q);
+                let carry = proc.recv(prev, tag);
+                let mut carry_m = DenseMatrix::zeros(len, nrhs);
+                unpack(&mut carry_m, 0, len, &carry);
+                partial.axpy(1.0, &carry_m).expect("same shape");
+            }
+            proc.send(
+                group.world_rank((me + q - 1) % q),
+                tag,
+                pack(&partial, 0, len),
+            );
+        }
+    }
+}
+
+/// Solve `L_kkᵀ·x_k = y_k − partial` in place at the diagonal-block owner.
+#[allow(clippy::too_many_arguments)]
+fn solve_diag_transposed(
+    proc: &mut Proc,
+    local: &LocalTrapezoid,
+    rhs: &mut DenseMatrix,
+    c0: usize,
+    len: usize,
+    nrhs: usize,
+    partial: &DenseMatrix,
+    rate: f64,
+) {
+    let lr = local.local_of(c0);
+    let mut tri = DenseMatrix::zeros(len, len);
+    for j in 0..len {
+        for i in j..len {
+            tri[(i, j)] = local.l[(lr + i, c0 + j)];
+        }
+    }
+    let mut xk = DenseMatrix::zeros(len, nrhs);
+    for c in 0..nrhs {
+        for i in 0..len {
+            xk[(i, c)] = rhs[(lr + i, c)] - partial[(i, c)];
+        }
+    }
+    blas::trsm_lower_trans_left(tri.as_slice(), len, xk.as_mut_slice(), len, len, nrhs);
+    proc.compute_flops_at((len * len * nrhs) as f64, rate);
+    for c in 0..nrhs {
+        for i in 0..len {
+            rhs[(lr + i, c)] = xk[(i, c)];
+        }
+    }
+}
+
+/// Closed-form schedule grids reproducing the paper's Figures 3 and 4: the
+/// time step at which each `b×b` block of a hypothetical trapezoid is used.
+///
+/// ```
+/// use trisolv_core::pipeline::Schedule;
+///
+/// let s = Schedule::erew_pram(8, 4);
+/// assert_eq!(s.makespan, 11);                       // diagonal wave: n_b + t_b − 1
+/// assert!(s.max_concurrency() <= 4usize.max(8 / 2)); // paper: ≤ max(t, n/2) busy
+/// println!("{}", s.render());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// `steps[i][k]` = 1-based time step at which row block `i`, column
+    /// block `k` is processed (`usize::MAX` = above the diagonal).
+    pub steps: Vec<Vec<usize>>,
+    /// Total number of time steps.
+    pub makespan: usize,
+}
+
+/// Priority rule for the greedy list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Finish a column before starting the next (Figure 3(c) / Figure 4).
+    Column,
+    /// Finish a row before starting the next (Figure 3(b)).
+    Row,
+}
+
+impl Schedule {
+    /// EREW-PRAM schedule with unlimited processors (Figure 3(a)): a
+    /// diagonal wave — block `(i, k)` runs at step `i + k + 1`. At any step
+    /// only one block per row and one per column is active, so at most
+    /// `max(t, n/2)` processors are ever busy (the paper's §2.1
+    /// observation).
+    pub fn erew_pram(nb_rows: usize, nb_cols: usize) -> Schedule {
+        let mut steps = vec![vec![usize::MAX; nb_cols]; nb_rows];
+        let mut makespan = 0;
+        for (i, row) in steps.iter_mut().enumerate() {
+            for (k, cell) in row.iter_mut().enumerate() {
+                if k > i {
+                    continue; // above the diagonal of the triangle
+                }
+                *cell = i + k + 1;
+                makespan = makespan.max(i + k + 1);
+            }
+        }
+        Schedule { steps, makespan }
+    }
+
+    /// Greedy one-block-per-step-per-processor schedule with `q` processors
+    /// and cyclic row mapping (row block `i` on processor `i mod q`),
+    /// ignoring communication delays — the model behind Figures 3(b), 3(c)
+    /// and 4.
+    pub fn pipelined_forward(
+        nb_rows: usize,
+        nb_cols: usize,
+        q: usize,
+        prio: Priority,
+    ) -> Schedule {
+        let mut steps = vec![vec![usize::MAX; nb_cols]; nb_rows];
+        let mut solved = vec![usize::MAX; nb_cols]; // step at which x_k exists
+        let mut makespan = 0;
+        let mut done = 0usize;
+        let total: usize = (0..nb_rows).map(|i| nb_cols.min(i + 1)).sum();
+        let mut step = 1usize;
+        while done < total {
+            for proc in 0..q {
+                let mut best: Option<(usize, usize)> = None;
+                for i in (proc..nb_rows).step_by(q) {
+                    for k in 0..nb_cols.min(i + 1) {
+                        if steps[i][k] != usize::MAX {
+                            continue;
+                        }
+                        let dep_ok = if i == k {
+                            // solve cell: everything to its left done
+                            (0..k).all(|kk| steps[i][kk] != usize::MAX)
+                        } else {
+                            solved[k] != usize::MAX && solved[k] < step
+                        };
+                        if !dep_ok {
+                            continue;
+                        }
+                        let key = match prio {
+                            Priority::Column => (k, i),
+                            Priority::Row => (i, k),
+                        };
+                        let better = match best {
+                            None => true,
+                            Some((bi, bk)) => {
+                                key < match prio {
+                                    Priority::Column => (bk, bi),
+                                    Priority::Row => (bi, bk),
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some((i, k));
+                        }
+                    }
+                }
+                if let Some((i, k)) = best {
+                    steps[i][k] = step;
+                    if i == k {
+                        solved[k] = step;
+                    }
+                    makespan = makespan.max(step);
+                    done += 1;
+                }
+            }
+            step += 1;
+            assert!(step < 100 * (total + 2), "scheduler failed to progress");
+        }
+        Schedule { steps, makespan }
+    }
+
+    /// Greedy schedule for column-priority **back substitution** on the
+    /// transposed trapezoid (paper Figure 4): columns are processed
+    /// right-to-left; cell `(i, k)` (the contribution of row block `i > k`
+    /// to column `k`) needs `x_i` (cell `(i, i)`) first, and the solve cell
+    /// `(k, k)` needs every cell below it in column `k` done.
+    pub fn pipelined_backward(nb_rows: usize, nb_cols: usize, q: usize) -> Schedule {
+        let mut steps = vec![vec![usize::MAX; nb_cols]; nb_rows];
+        let mut solved = vec![usize::MAX; nb_rows.min(nb_cols) + nb_rows]; // x_i availability
+        solved.truncate(nb_rows);
+        let mut makespan = 0;
+        let total: usize = (0..nb_rows).map(|i| nb_cols.min(i + 1)).sum();
+        let mut done = 0usize;
+        let mut step = 1usize;
+        while done < total {
+            for proc in 0..q {
+                let mut best: Option<(usize, usize)> = None;
+                for i in (proc..nb_rows).step_by(q) {
+                    for k in (0..nb_cols.min(i + 1)).rev() {
+                        if steps[i][k] != usize::MAX {
+                            continue;
+                        }
+                        let dep_ok = if i == k {
+                            (k + 1..nb_rows).all(|ii| steps[ii][k] != usize::MAX)
+                        } else {
+                            // needs x_i: rows beyond the triangle (i ≥
+                            // nb_cols) hold already-known values
+                            i >= nb_cols || (solved[i] != usize::MAX && solved[i] < step)
+                        };
+                        if !dep_ok {
+                            continue;
+                        }
+                        // column priority, right-to-left
+                        let key = (usize::MAX - k, i);
+                        let better = match best {
+                            None => true,
+                            Some((bi, bk)) => key < (usize::MAX - bk, bi),
+                        };
+                        if better {
+                            best = Some((i, k));
+                        }
+                    }
+                }
+                if let Some((i, k)) = best {
+                    steps[i][k] = step;
+                    if i == k {
+                        solved[k] = step;
+                    }
+                    makespan = makespan.max(step);
+                    done += 1;
+                }
+            }
+            step += 1;
+            assert!(step < 100 * (total + 2), "scheduler failed to progress");
+        }
+        Schedule { steps, makespan }
+    }
+
+    /// Maximum number of blocks active at any single step.
+    pub fn max_concurrency(&self) -> usize {
+        let mut count = std::collections::HashMap::new();
+        for row in &self.steps {
+            for &s in row {
+                if s != usize::MAX {
+                    *count.entry(s).or_insert(0usize) += 1;
+                }
+            }
+        }
+        count.values().copied().max().unwrap_or(0)
+    }
+
+    /// Render in the paper's figure style: one line per row block; entries
+    /// are time steps, `.` marks cells above the diagonal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.steps {
+            for &s in row {
+                if s == usize::MAX {
+                    out.push_str("   .");
+                } else {
+                    out.push_str(&format!("{s:4}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_factor::blas;
+    use trisolv_machine::{Machine, MachineParams};
+    use trisolv_matrix::gen;
+
+    /// Build a random dense lower trapezoid with a dominant diagonal.
+    fn random_trapezoid(n: usize, t: usize, seed: u64) -> DenseMatrix {
+        let vals = gen::random_rhs(n * t, 1, seed);
+        let vals = vals.as_slice();
+        let mut trap = DenseMatrix::zeros(n, t);
+        let mut idx = 0;
+        for j in 0..t {
+            for i in 0..n {
+                if i >= j {
+                    trap[(i, j)] = if i == j {
+                        4.0 + vals[idx].abs()
+                    } else {
+                        vals[idx]
+                    };
+                }
+                idx += 1;
+            }
+        }
+        trap
+    }
+
+    /// Sequential reference forward elimination on a trapezoid.
+    fn reference_forward(trap: &DenseMatrix, rhs: &DenseMatrix) -> DenseMatrix {
+        let (n, t) = trap.shape();
+        let nrhs = rhs.ncols();
+        let mut out = rhs.clone();
+        blas::trsm_lower_left(trap.as_slice(), n, out.as_mut_slice(), n, t, nrhs);
+        for c in 0..nrhs {
+            for j in 0..t {
+                let xv = out[(j, c)];
+                for i in t..n {
+                    let upd = trap[(i, j)] * xv;
+                    out[(i, c)] -= upd;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sequential reference back substitution: rhs rows ≥ t hold x_below,
+    /// rows < t hold y; returns x_top.
+    fn reference_backward(trap: &DenseMatrix, rhs: &DenseMatrix) -> DenseMatrix {
+        let (n, t) = trap.shape();
+        let nrhs = rhs.ncols();
+        let mut top = DenseMatrix::zeros(t, nrhs);
+        for c in 0..nrhs {
+            for j in 0..t {
+                let mut v = rhs[(j, c)];
+                for i in t..n {
+                    v -= trap[(i, j)] * rhs[(i, c)];
+                }
+                top[(j, c)] = v;
+            }
+        }
+        blas::trsm_lower_trans_left(trap.as_slice(), n, top.as_mut_slice(), t, t, nrhs);
+        top
+    }
+
+    fn run_forward_kernel(
+        trap: &DenseMatrix,
+        rhs_global: &DenseMatrix,
+        q: usize,
+        b: usize,
+        row_priority: bool,
+    ) -> DenseMatrix {
+        let (n, t) = trap.shape();
+        let nrhs = rhs_global.ncols();
+        let layout = BlockCyclic1d::new(n, b, q);
+        let machine = Machine::new(q, MachineParams::t3d());
+        let res = machine.run(|p| {
+            let group = Group::world(q);
+            let local = LocalTrapezoid::from_global(trap, &layout, p.rank());
+            let mut rhs = DenseMatrix::zeros(local.positions.len(), nrhs);
+            for c in 0..nrhs {
+                for (li, &gi) in local.positions.iter().enumerate() {
+                    rhs[(li, c)] = if gi < t { rhs_global[(gi, c)] } else { 0.0 };
+                }
+            }
+            if row_priority {
+                forward_row_priority(p, &group, 1, &layout, t, nrhs, &local, &mut rhs);
+            } else {
+                forward_column_priority(p, &group, 1, &layout, t, nrhs, &local, &mut rhs);
+            }
+            (local.positions, rhs)
+        });
+        let mut out = DenseMatrix::zeros(n, nrhs);
+        for (positions, rhs) in res.results {
+            for c in 0..nrhs {
+                for (li, &gi) in positions.iter().enumerate() {
+                    out[(gi, c)] = rhs[(li, c)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_kernel_matches_reference() {
+        for (n, t, q, b, nrhs) in [
+            (12, 6, 3, 2, 1),
+            (16, 8, 4, 2, 3),
+            (10, 10, 2, 3, 2),
+            (9, 4, 4, 1, 1),
+            (7, 3, 2, 4, 2),
+        ] {
+            let trap = random_trapezoid(n, t, 42 + n as u64);
+            let rhs = gen::random_rhs(n, nrhs, 7);
+            let reference = {
+                let r = reference_forward(&trap, &rhs);
+                let mut expect = r.clone();
+                // kernel's below rows start at zero, so they end holding
+                // only the update: subtract the original rhs
+                for c in 0..nrhs {
+                    for i in t..n {
+                        expect[(i, c)] = r[(i, c)] - rhs[(i, c)];
+                    }
+                }
+                expect
+            };
+            let got = run_forward_kernel(&trap, &rhs, q, b, false);
+            assert!(
+                got.max_abs_diff(&reference).unwrap() < 1e-10,
+                "n={n} t={t} q={q} b={b} nrhs={nrhs}: diff {:?}",
+                got.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn row_priority_matches_column_priority() {
+        for (n, t, q, b, nrhs) in [(12, 6, 3, 2, 2), (16, 8, 4, 2, 1), (11, 5, 2, 3, 1)] {
+            let trap = random_trapezoid(n, t, 5);
+            let rhs = gen::random_rhs(n, nrhs, 9);
+            let a = run_forward_kernel(&trap, &rhs, q, b, false);
+            let c = run_forward_kernel(&trap, &rhs, q, b, true);
+            assert!(
+                a.max_abs_diff(&c).unwrap() < 1e-12,
+                "n={n} t={t} q={q} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_kernel_single_proc() {
+        let trap = random_trapezoid(8, 5, 3);
+        let rhs = gen::random_rhs(8, 2, 4);
+        let got = run_forward_kernel(&trap, &rhs, 1, 2, false);
+        let reference = reference_forward(&trap, &rhs);
+        for c in 0..2 {
+            for i in 0..5 {
+                assert!((got[(i, c)] - reference[(i, c)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    fn run_backward_kernel(
+        trap: &DenseMatrix,
+        rhs_global: &DenseMatrix,
+        q: usize,
+        b: usize,
+    ) -> DenseMatrix {
+        let (n, t) = trap.shape();
+        let nrhs = rhs_global.ncols();
+        let layout = BlockCyclic1d::new(n, b, q);
+        let machine = Machine::new(q, MachineParams::t3d());
+        let res = machine.run(|p| {
+            let group = Group::world(q);
+            let local = LocalTrapezoid::from_global(trap, &layout, p.rank());
+            let mut rhs = DenseMatrix::zeros(local.positions.len(), nrhs);
+            for c in 0..nrhs {
+                for (li, &gi) in local.positions.iter().enumerate() {
+                    rhs[(li, c)] = rhs_global[(gi, c)];
+                }
+            }
+            backward_column_priority(p, &group, 1, &layout, t, nrhs, &local, &mut rhs);
+            (local.positions, rhs)
+        });
+        let mut out = DenseMatrix::zeros(t, nrhs);
+        for (positions, rhs) in res.results {
+            for c in 0..nrhs {
+                for (li, &gi) in positions.iter().enumerate() {
+                    if gi < t {
+                        out[(gi, c)] = rhs[(li, c)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn backward_kernel_matches_reference() {
+        for (n, t, q, b, nrhs) in [
+            (12, 6, 3, 2, 1),
+            (16, 8, 4, 2, 3),
+            (10, 10, 2, 3, 2),
+            (9, 4, 4, 1, 1),
+            (13, 5, 5, 2, 2),
+        ] {
+            let trap = random_trapezoid(n, t, 100 + n as u64);
+            let rhs = gen::random_rhs(n, nrhs, 17);
+            let expect = reference_backward(&trap, &rhs);
+            let got = run_backward_kernel(&trap, &rhs, q, b);
+            assert!(
+                got.max_abs_diff(&expect).unwrap() < 1e-10,
+                "n={n} t={t} q={q} b={b} nrhs={nrhs}: diff {:?}",
+                got.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_roundtrip_forward_backward() {
+        let (n, t, q, b) = (14, 7, 4, 2);
+        let trap = random_trapezoid(n, t, 77);
+        let x_true = gen::random_rhs(t, 2, 3);
+        let mut tri = DenseMatrix::zeros(t, t);
+        for j in 0..t {
+            for i in j..t {
+                tri[(i, j)] = trap[(i, j)];
+            }
+        }
+        let y = tri.transpose().matmul(&x_true).unwrap();
+        let mut rhs = DenseMatrix::zeros(n, 2);
+        for c in 0..2 {
+            for i in 0..t {
+                rhs[(i, c)] = y[(i, c)];
+            }
+        }
+        let got = run_backward_kernel(&trap, &rhs, q, b);
+        assert!(got.max_abs_diff(&x_true).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn communication_volume_matches_analysis() {
+        // forward: each x block of size b travels q−1 hops:
+        // words = (t/b) · (q−1) · b · nrhs = t (q−1) nrhs
+        let (n, t, q, b) = (24, 12, 4, 2);
+        let trap = random_trapezoid(n, t, 1);
+        let rhs = gen::random_rhs(n, 1, 2);
+        let layout = BlockCyclic1d::new(n, b, q);
+        let machine = Machine::new(q, MachineParams::t3d());
+        let res = machine.run(|p| {
+            let group = Group::world(q);
+            let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
+            let mut r = DenseMatrix::zeros(local.positions.len(), 1);
+            for (li, &gi) in local.positions.iter().enumerate() {
+                r[(li, 0)] = if gi < t { rhs[(gi, 0)] } else { 0.0 };
+            }
+            forward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut r);
+        });
+        assert_eq!(res.total_words(), (t * (q - 1)) as u64);
+        let res_b = machine.run(|p| {
+            let group = Group::world(q);
+            let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
+            let mut r = DenseMatrix::zeros(local.positions.len(), 1);
+            for (li, &gi) in local.positions.iter().enumerate() {
+                r[(li, 0)] = rhs[(gi, 0)];
+            }
+            backward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut r);
+        });
+        assert_eq!(res_b.total_words(), (t * (q - 1)) as u64);
+    }
+
+    #[test]
+    fn pipelined_time_scales_like_bq_plus_t() {
+        // doubling t should roughly double the pipelined time's t-term;
+        // check the t=2T run is much less than 2x a (bq)-dominated run
+        let q = 8;
+        let b = 2;
+        let time_for = |t: usize| {
+            let n = t;
+            let trap = random_trapezoid(n, t, 3);
+            let layout = BlockCyclic1d::new(n, b, q);
+            let machine = Machine::new(q, MachineParams::t3d());
+            let res = machine.run(|p| {
+                let group = Group::world(q);
+                let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
+                let mut r = DenseMatrix::zeros(local.positions.len(), 1);
+                for (li, &gi) in local.positions.iter().enumerate() {
+                    let _ = gi;
+                    r[(li, 0)] = 1.0;
+                }
+                forward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut r);
+            });
+            res.parallel_time()
+        };
+        let t1 = time_for(64);
+        let t2 = time_for(128);
+        assert!(t2 > t1, "more columns must take longer");
+        assert!(t2 < 4.0 * t1, "time grew superlinearly: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn erew_schedule_diagonal_wave() {
+        let s = Schedule::erew_pram(8, 4);
+        assert_eq!(s.steps[0][0], 1);
+        assert_eq!(s.steps[3][2], 6);
+        assert_eq!(s.steps[1][3], usize::MAX);
+        assert_eq!(s.makespan, 8 + 4 - 1);
+        assert!(s.max_concurrency() <= 4.max(8 / 2));
+    }
+
+    #[test]
+    fn pipelined_schedules_complete_all_cells() {
+        for prio in [Priority::Column, Priority::Row] {
+            let s = Schedule::pipelined_forward(8, 4, 4, prio);
+            for i in 0..8 {
+                for k in 0..4.min(i + 1) {
+                    assert_ne!(s.steps[i][k], usize::MAX, "cell ({i},{k}) unscheduled");
+                }
+            }
+            for k in 0..4 {
+                let solve = s.steps[k][k];
+                for i in k + 1..8 {
+                    assert!(s.steps[i][k] > solve, "{prio:?} cell ({i},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_priority_schedule_is_efficient() {
+        let (nbr, nbc, q) = (12, 6, 4);
+        let total: usize = (0..nbr).map(|i| nbc.min(i + 1)).sum();
+        let s = Schedule::pipelined_forward(nbr, nbc, q, Priority::Column);
+        assert!(
+            s.makespan <= total / q + nbc + q,
+            "makespan {} too large",
+            s.makespan
+        );
+    }
+
+    #[test]
+    fn backward_schedule_respects_dependencies() {
+        let (nbr, nbc, q) = (8, 4, 4);
+        let s = Schedule::pipelined_backward(nbr, nbc, q);
+        for i in 0..nbr {
+            for k in 0..nbc.min(i + 1) {
+                assert_ne!(s.steps[i][k], usize::MAX, "cell ({i},{k}) unscheduled");
+            }
+        }
+        for k in 0..nbc {
+            // solve (k,k) after every below cell in column k
+            for i in k + 1..nbr {
+                assert!(s.steps[k][k] > s.steps[i][k], "solve ({k}) before ({i},{k})");
+            }
+            // triangle contributions need x_i first
+            for i in k + 1..nbc {
+                if i != k {
+                    assert!(
+                        s.steps[i][k] > s.steps[i][i],
+                        "cell ({i},{k}) before x_{i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_renders() {
+        let s = Schedule::erew_pram(4, 3);
+        let text = s.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('.'));
+    }
+}

@@ -1,0 +1,258 @@
+//! 2-D → 1-D redistribution of supernode trapezoids (paper §4, Figure 6).
+//!
+//! Parallel factorization wants every parallel supernode partitioned
+//! **two-dimensionally** over a processor grid, while the triangular
+//! solvers are only scalable with a **one-dimensional** (row-wise)
+//! partitioning. Converting between the two is, per (grid-row) stripe, a
+//! transpose realized as an all-to-all personalized exchange within the
+//! supernode's group, moving `n·t/q` words per processor — the same order
+//! as the work one processor does in the solve itself, which is why the
+//! paper finds redistribution costs at most a small constant times one
+//! single-RHS solve.
+
+use crate::mapping::SubcubeMapping;
+use crate::pipeline::LocalTrapezoid;
+use trisolv_factor::SupernodalFactor;
+use trisolv_machine::{coll, BlockCyclic1d, BlockCyclic2d, Group, Machine, MachineParams, Proc};
+use trisolv_matrix::DenseMatrix;
+
+/// Convert one supernode trapezoid from a 2-D block-cyclic layout to a 1-D
+/// row block-cyclic layout, inside an SPMD program.
+///
+/// `trap` is the global trapezoid (the simulator's stand-in for "the local
+/// pieces each processor already owns" — each processor only reads the
+/// entries the 2-D layout assigns to it). Returns this processor's rows
+/// under the 1-D layout. Message payloads are run-length encoded as
+/// `[row, col0, len, v…]` per contiguous run, so the simulated volume is
+/// `n·t/q + O(runs)` words per processor, matching the §4 analysis.
+pub fn convert_2d_to_1d(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    trap: &DenseMatrix,
+    src: &BlockCyclic2d,
+    dst: &BlockCyclic1d,
+) -> LocalTrapezoid {
+    let q = group.size();
+    let me = group.group_rank(proc.rank()).expect("member of group");
+    assert_eq!(src.nprocs(), q, "2-D grid must cover the group");
+    assert_eq!(dst.nprocs, q, "1-D layout must cover the group");
+    let (n, t) = trap.shape();
+    assert_eq!(src.rows.nitems, n);
+    assert_eq!(src.cols.nitems, t);
+    assert_eq!(dst.nitems, n);
+
+    // package my 2-D entries per 1-D destination, one run per
+    // (row, contiguous-column-block) pair
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); q];
+    let pcol = src.cols.nprocs;
+    let my_grow = me / pcol;
+    let my_gcol = me % pcol;
+    for i in 0..n {
+        if src.rows.owner(i) != my_grow {
+            continue;
+        }
+        let dest = dst.owner(i);
+        let buf = &mut out[dest];
+        let mut j = 0;
+        while j < t {
+            if src.cols.owner(j) != my_gcol {
+                j += 1;
+                continue;
+            }
+            // extend the run while ownership continues
+            let j0 = j;
+            while j < t && src.cols.owner(j) == my_gcol {
+                j += 1;
+            }
+            buf.push(i as f64);
+            buf.push(j0 as f64);
+            buf.push((j - j0) as f64);
+            for jj in j0..j {
+                buf.push(trap[(i, jj)]);
+            }
+        }
+    }
+    // group-uniform hint: each processor moves ~n·t/q words
+    let hint = n * t / q + 1;
+    let incoming = coll::all_to_all_personalized(proc, group, tag, out, hint);
+
+    // assemble my 1-D rows
+    let positions: Vec<usize> = (0..n).filter(|&i| dst.owner(i) == me).collect();
+    let mut l = DenseMatrix::zeros(positions.len(), t);
+    for chunk in &incoming {
+        let mut at = 0;
+        while at < chunk.len() {
+            let i = chunk[at] as usize;
+            let j0 = chunk[at + 1] as usize;
+            let len = chunk[at + 2] as usize;
+            let li = positions.binary_search(&i).expect("routed to 1-D owner");
+            for (off, &v) in chunk[at + 3..at + 3 + len].iter().enumerate() {
+                l[(li, j0 + off)] = v;
+            }
+            at += 3 + len;
+        }
+    }
+    LocalTrapezoid { positions, l }
+}
+
+/// Timing summary of a whole-factor redistribution.
+#[derive(Debug, Clone, Copy)]
+pub struct RedistributeReport {
+    /// Virtual seconds for converting every parallel supernode.
+    pub time: f64,
+    /// Total words moved.
+    pub words: u64,
+    /// Total messages.
+    pub msgs: u64,
+}
+
+/// Redistribute every parallel supernode of the factor from 2-D
+/// block-cyclic (near-square grid per group, tile size `block2d`) to 1-D
+/// row block-cyclic with block `block1d`, and report the virtual cost —
+/// the quantity the paper's main table lists as "Time to redistribute L".
+pub fn redistribute_factor(
+    factor: &SupernodalFactor,
+    mapping: &SubcubeMapping,
+    block2d: usize,
+    block1d: usize,
+    params: MachineParams,
+) -> RedistributeReport {
+    let part = factor.partition();
+    let machine = Machine::new(mapping.nprocs(), params);
+    let run = machine.run(|proc| {
+        for &s in mapping.parallel_snodes() {
+            let group = mapping.group(s);
+            if !group.contains(proc.rank()) {
+                continue;
+            }
+            let (ns, t) = (part.height(s), part.width(s));
+            let (pr, pc) = BlockCyclic2d::square_grid(group.size());
+            let src = BlockCyclic2d::new(ns, t, block2d, pr, pc);
+            let dst = BlockCyclic1d::new(ns, block1d, group.size());
+            let _ = convert_2d_to_1d(proc, group, s as u64, factor.block(s), &src, &dst);
+        }
+    });
+    RedistributeReport {
+        time: run.parallel_time(),
+        words: run.total_words(),
+        msgs: run.total_msgs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::SubcubeMapping;
+    use trisolv_factor::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn random_trapezoid(n: usize, t: usize, seed: u64) -> DenseMatrix {
+        let vals = gen::random_rhs(n * t, 1, seed);
+        let mut trap = DenseMatrix::zeros(n, t);
+        for j in 0..t {
+            for i in j..n {
+                trap[(i, j)] = vals.as_slice()[i + j * n];
+            }
+        }
+        trap
+    }
+
+    fn convert_and_collect(
+        trap: &DenseMatrix,
+        q: usize,
+        block2d: usize,
+        block1d: usize,
+    ) -> (Vec<LocalTrapezoid>, u64) {
+        let (n, t) = trap.shape();
+        let machine = Machine::new(q, MachineParams::t3d());
+        let (pr, pc) = BlockCyclic2d::square_grid(q);
+        let src = BlockCyclic2d::new(n, t, block2d, pr, pc);
+        let dst = BlockCyclic1d::new(n, block1d, q);
+        let run = machine.run(|p| {
+            let group = Group::world(q);
+            convert_2d_to_1d(p, &group, 1, trap, &src, &dst)
+        });
+        let words = run.total_words();
+        (run.results, words)
+    }
+
+    #[test]
+    fn conversion_reproduces_1d_layout() {
+        for (n, t, q, b2, b1) in [
+            (16, 8, 4, 2, 2),
+            (20, 10, 8, 2, 4),
+            (13, 5, 4, 3, 2),
+            (9, 9, 2, 2, 1),
+        ] {
+            let trap = random_trapezoid(n, t, 7);
+            let (locals, _) = convert_and_collect(&trap, q, b2, b1);
+            let dst = BlockCyclic1d::new(n, b1, q);
+            for (rank, got) in locals.iter().enumerate() {
+                let expect = LocalTrapezoid::from_global(&trap, &dst, rank);
+                assert_eq!(got.positions, expect.positions, "q={q} rank={rank}");
+                assert!(
+                    got.l.max_abs_diff(&expect.l).unwrap() < 1e-15,
+                    "n={n} t={t} q={q} rank={rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn volume_scales_as_nt() {
+        // words moved ≈ entries not already on their 1-D owner + run
+        // headers; total must stay within a small multiple of n·t
+        let (n, t, q) = (64, 32, 8);
+        let trap = random_trapezoid(n, t, 3);
+        let (_, words) = convert_and_collect(&trap, q, 4, 4);
+        let volume = (n * t) as u64;
+        // bound covers run headers plus the ≤log q store-and-forward
+        // factor if the adaptive exchange picks the Bruck algorithm
+        assert!(words <= 3 * volume, "words {words} vs n·t {volume}");
+        assert!(words >= volume / 4, "suspiciously little data moved");
+    }
+
+    #[test]
+    fn single_proc_group_moves_nothing() {
+        let trap = random_trapezoid(10, 5, 1);
+        let (locals, words) = convert_and_collect(&trap, 1, 2, 2);
+        assert_eq!(words, 0);
+        assert_eq!(locals[0].positions.len(), 10);
+    }
+
+    #[test]
+    fn factor_redistribution_cost_is_fraction_of_solve() {
+        // the paper's headline §4 claim: redistribution ≤ ~1× one
+        // single-RHS solve
+        let k = 31;
+        let a = gen::grid2d_laplacian(k, k);
+        let g = Graph::from_sym_lower(&a);
+        let p = nd::nested_dissection_coords(
+            &g,
+            &nd::grid2d_coords(k, k, 1),
+            nd::NdOptions::default(),
+        );
+        let an = analyze_with_perm(&a, &p);
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let nprocs = 8;
+        let mapping = SubcubeMapping::new(f.partition(), nprocs);
+        let report = redistribute_factor(&f, &mapping, 4, 4, MachineParams::t3d());
+        assert!(report.time > 0.0);
+        let config = crate::tree::SolveConfig {
+            nprocs,
+            block: 4,
+            params: MachineParams::t3d(),
+        };
+        let b = gen::random_rhs(f.n(), 1, 2);
+        let (_, solve) = crate::tree::solve_fb(&f, &mapping, &b, &config);
+        let ratio = report.time / solve.total_time;
+        assert!(
+            ratio < 2.0,
+            "redistribution {} vs solve {} (ratio {ratio})",
+            report.time,
+            solve.total_time
+        );
+    }
+}

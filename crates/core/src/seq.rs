@@ -1,0 +1,486 @@
+//! Sequential supernodal triangular solvers and the end-to-end driver.
+//!
+//! These are the single-processor baselines of every speedup and MFLOPS
+//! figure in the paper, and the reference implementations the parallel
+//! solvers are validated against bit-for-bit (the parallel algorithms
+//! perform the same floating-point operations in a compatible order per
+//! supernode).
+
+use trisolv_factor::{blas, seqchol, SupernodalFactor};
+use trisolv_graph::Permutation;
+use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError};
+
+/// Solve `L·Y = B` (forward elimination) over a supernodal factor.
+///
+/// Walks supernodes leaf-to-root (ascending index — the partition is
+/// postordered). For each supernode: gather the right-hand-side entries of
+/// its columns plus accumulated updates, solve the dense `t×t` triangle,
+/// then push the `(n−t)×t` rectangle's update into the accumulator
+/// (paper §2.1).
+pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
+    let part = f.partition();
+    let n = part.n();
+    let nrhs = b.ncols();
+    assert_eq!(b.nrows(), n, "rhs must have n rows");
+    let mut y = DenseMatrix::zeros(n, nrhs);
+    // accumulated updates, indexed by global row
+    let mut accum = DenseMatrix::zeros(n, nrhs);
+
+    // workspace sized to the largest supernode
+    let max_h = (0..part.nsup()).map(|s| part.height(s)).max().unwrap_or(0);
+    let mut work = DenseMatrix::zeros(max_h, nrhs);
+
+    for s in 0..part.nsup() {
+        let rows = part.rows(s);
+        let t = part.width(s);
+        let ns = rows.len();
+        let blk = f.block(s);
+        // gather: top t entries are b + accum for the supernode's columns
+        for r in 0..nrhs {
+            let bc = b.col(r);
+            let ac = accum.col(r);
+            let wc = work.col_mut(r);
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                wc[k] = bc[gi] + ac[gi];
+            }
+        }
+        // solve the dense triangle: x_top = L11⁻¹ w_top
+        blas::trsm_lower_left(blk.as_slice(), ns, work.as_mut_slice(), max_h, t, nrhs);
+        // record solution
+        for r in 0..nrhs {
+            let yc = y.col_mut(r);
+            let wc = work.col(r);
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                yc[gi] = wc[k];
+            }
+        }
+        // rectangle update: accum[below] -= L21 · x_top
+        if ns > t {
+            for r in 0..nrhs {
+                for k in 0..t {
+                    let xk = work.col(r)[k];
+                    if xk == 0.0 {
+                        continue;
+                    }
+                    let lcol = &blk.col(k)[t..ns];
+                    let ac = accum.col_mut(r);
+                    for (off, &gi) in rows[t..].iter().enumerate() {
+                        ac[gi] -= lcol[off] * xk;
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Solve `Lᵀ·X = Y` (back substitution) over a supernodal factor.
+///
+/// Walks supernodes root-to-leaf (descending index). For each supernode:
+/// read the already-solved values for its below-triangle rows, subtract the
+/// rectangle product from the top `t` right-hand-side entries, and solve
+/// the transposed dense triangle (paper §2.2).
+pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
+    let part = f.partition();
+    let n = part.n();
+    let nrhs = y.ncols();
+    assert_eq!(y.nrows(), n, "rhs must have n rows");
+    let mut x = DenseMatrix::zeros(n, nrhs);
+
+    let max_h = (0..part.nsup()).map(|s| part.height(s)).max().unwrap_or(0);
+    let mut work = DenseMatrix::zeros(max_h, nrhs);
+
+    for s in (0..part.nsup()).rev() {
+        let rows = part.rows(s);
+        let t = part.width(s);
+        let ns = rows.len();
+        let blk = f.block(s);
+        // w_top = y[cols]; w_top -= L21ᵀ · x[below]
+        for r in 0..nrhs {
+            let yc = y.col(r);
+            let wc = work.col_mut(r);
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                wc[k] = yc[gi];
+            }
+        }
+        if ns > t {
+            for r in 0..nrhs {
+                let xc = x.col(r);
+                let wc = work.col_mut(r);
+                for k in 0..t {
+                    let lcol = &blk.col(k)[t..ns];
+                    let mut sum = 0.0;
+                    for (off, &gi) in rows[t..].iter().enumerate() {
+                        sum += lcol[off] * xc[gi];
+                    }
+                    wc[k] -= sum;
+                }
+            }
+        }
+        // solve L11ᵀ x_top = w_top
+        blas::trsm_lower_trans_left(blk.as_slice(), ns, work.as_mut_slice(), max_h, t, nrhs);
+        for r in 0..nrhs {
+            let xc = x.col_mut(r);
+            let wc = work.col(r);
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                xc[gi] = wc[k];
+            }
+        }
+    }
+    x
+}
+
+/// Forward + backward solve in the permuted index space.
+pub fn forward_backward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
+    let y = forward(f, b);
+    backward(f, &y)
+}
+
+/// Simplicial forward elimination on a CSC lower-triangular factor
+/// (`L·Y = B`, diagonal stored). The column-at-a-time baseline the
+/// supernodal kernels are measured against.
+pub fn forward_csc(l: &CscMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n);
+    assert_eq!(b.nrows(), n);
+    let mut y = b.clone();
+    for c in 0..b.ncols() {
+        let col = y.col_mut(c);
+        for j in 0..n {
+            let rows = l.col_rows(j);
+            let vals = l.col_values(j);
+            debug_assert_eq!(rows[0], j, "missing diagonal");
+            let xj = col[j] / vals[0];
+            col[j] = xj;
+            if xj != 0.0 {
+                for (k, &i) in rows.iter().enumerate().skip(1) {
+                    col[i] -= vals[k] * xj;
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Simplicial back substitution on a CSC lower-triangular factor
+/// (`Lᵀ·X = Y`).
+pub fn backward_csc(l: &CscMatrix, y: &DenseMatrix) -> DenseMatrix {
+    let n = l.ncols();
+    assert_eq!(y.nrows(), n);
+    let mut x = y.clone();
+    for c in 0..y.ncols() {
+        let col = x.col_mut(c);
+        for j in (0..n).rev() {
+            let rows = l.col_rows(j);
+            let vals = l.col_values(j);
+            let mut s = col[j];
+            for (k, &i) in rows.iter().enumerate().skip(1) {
+                s -= vals[k] * col[i];
+            }
+            col[j] = s / vals[0];
+        }
+    }
+    x
+}
+
+/// Solve `L·D·Lᵀ·X = B` from a simplicial LDLᵀ factorization (unit-lower
+/// `L` in CSC form, diagonal `D`).
+pub fn solve_ldlt_csc(l: &CscMatrix, d: &[f64], b: &DenseMatrix) -> DenseMatrix {
+    let n = l.ncols();
+    assert_eq!(d.len(), n);
+    let mut z = forward_csc(l, b);
+    for c in 0..z.ncols() {
+        let col = z.col_mut(c);
+        for j in 0..n {
+            col[j] /= d[j];
+        }
+    }
+    // Lᵀ x = z with unit diagonal: reuse backward_csc (diagonal is 1)
+    backward_csc(l, &z)
+}
+
+/// End-to-end sequential sparse SPD solver: ordering + symbolic +
+/// factorization are done once at construction, after which any number of
+/// right-hand-side blocks can be solved.
+///
+/// ```
+/// use trisolv_core::SparseCholeskySolver;
+/// use trisolv_matrix::gen;
+///
+/// let a = gen::grid2d_laplacian(10, 10);
+/// let solver = SparseCholeskySolver::factor(&a).unwrap();
+/// let x_true = gen::random_rhs(100, 2, 7);
+/// let b = a.spmv_sym_lower(&x_true).unwrap();
+/// let x = solver.solve(&b);
+/// assert!(x.max_abs_diff(&x_true).unwrap() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseCholeskySolver {
+    perm: Permutation,
+    factor: SupernodalFactor,
+}
+
+impl SparseCholeskySolver {
+    /// Factor a symmetric positive-definite matrix (lower triangle) under a
+    /// caller-chosen fill-reducing permutation.
+    pub fn factor_with_perm(a: &CscMatrix, fill_perm: &Permutation) -> Result<Self, MatrixError> {
+        let an = seqchol::analyze_with_perm(a, fill_perm);
+        let factor = seqchol::factor_supernodal(&an.pa, &an.part)?;
+        Ok(SparseCholeskySolver {
+            perm: an.perm,
+            factor,
+        })
+    }
+
+    /// Factor with a nested-dissection ordering computed from the matrix
+    /// graph (the default choice; the paper's analysis assumes it).
+    pub fn factor(a: &CscMatrix) -> Result<Self, MatrixError> {
+        let g = trisolv_graph::Graph::from_sym_lower(a);
+        let p = trisolv_graph::nd::nested_dissection(&g, trisolv_graph::nd::NdOptions::default());
+        Self::factor_with_perm(a, &p)
+    }
+
+    /// The combined permutation (fill-reducing ∘ postorder).
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// The supernodal factor (in the permuted index space).
+    pub fn factor_matrix(&self) -> &SupernodalFactor {
+        &self.factor
+    }
+
+    /// Solve `A·X = B` with iterative refinement: after the direct solve,
+    /// up to `max_iters` residual-correction sweeps
+    /// (`r = B − A·X; X += A⁻¹·r`) run until the relative residual drops
+    /// below `tol`. Returns the solution and the final relative residual.
+    ///
+    /// Refinement needs the original matrix (the factor alone cannot form
+    /// residuals), so `a` must be the matrix this solver was built from.
+    pub fn solve_refined(
+        &self,
+        a: &CscMatrix,
+        b: &DenseMatrix,
+        max_iters: usize,
+        tol: f64,
+    ) -> (DenseMatrix, f64) {
+        let mut x = self.solve(b);
+        let bnorm = b.norm_max().max(f64::MIN_POSITIVE);
+        let mut rel = f64::INFINITY;
+        for _ in 0..max_iters {
+            let ax = a.spmv_sym_lower(&x).expect("matching dimensions");
+            let mut r = b.clone();
+            r.axpy(-1.0, &ax).expect("same shape");
+            rel = r.norm_max() / bnorm;
+            if rel <= tol {
+                break;
+            }
+            let dx = self.solve(&r);
+            x.axpy(1.0, &dx).expect("same shape");
+        }
+        if rel.is_infinite() {
+            // max_iters == 0: report the unrefined residual
+            let ax = a.spmv_sym_lower(&x).expect("matching dimensions");
+            let mut r = b.clone();
+            r.axpy(-1.0, &ax).expect("same shape");
+            rel = r.norm_max() / bnorm;
+        }
+        (x, rel)
+    }
+
+    /// Solve `A·X = B` for a dense right-hand-side block.
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        let n = self.factor.n();
+        assert_eq!(b.nrows(), n);
+        let nrhs = b.ncols();
+        // permute rhs: pb[perm[i]] = b[i]
+        let mut pb = DenseMatrix::zeros(n, nrhs);
+        for r in 0..nrhs {
+            let src = b.col(r);
+            let dst = pb.col_mut(r);
+            for i in 0..n {
+                dst[self.perm.apply(i)] = src[i];
+            }
+        }
+        let px = forward_backward(&self.factor, &pb);
+        // unpermute: x[i] = px[perm[i]]
+        let mut x = DenseMatrix::zeros(n, nrhs);
+        for r in 0..nrhs {
+            let src = px.col(r);
+            let dst = x.col_mut(r);
+            for i in 0..n {
+                dst[i] = src[self.perm.apply(i)];
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_factor::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn factor_grid(k: usize) -> SupernodalFactor {
+        let a = gen::grid2d_laplacian(k, k);
+        let g = Graph::from_sym_lower(&a);
+        let p = nd::nested_dissection_coords(
+            &g,
+            &nd::grid2d_coords(k, k, 1),
+            nd::NdOptions::default(),
+        );
+        let an = analyze_with_perm(&a, &p);
+        factor_supernodal(&an.pa, &an.part).unwrap()
+    }
+
+    #[test]
+    fn forward_inverts_l() {
+        let f = factor_grid(7);
+        let n = f.n();
+        let x_true = gen::random_rhs(n, 3, 1);
+        let b = f.l_times(&x_true);
+        let y = forward(&f, &b);
+        assert!(y.max_abs_diff(&x_true).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn backward_inverts_lt() {
+        let f = factor_grid(7);
+        let n = f.n();
+        let x_true = gen::random_rhs(n, 2, 2);
+        let l = f.to_csc();
+        let b = l.transpose().spmv(&x_true).unwrap();
+        let x = backward(&f, &b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn forward_backward_solves_permuted_system() {
+        let f = factor_grid(8);
+        let n = f.n();
+        let x_true = gen::random_rhs(n, 4, 3);
+        let b = f.llt_times(&x_true);
+        let x = forward_backward(&f, &b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn driver_solves_original_system() {
+        for (name, a) in [
+            ("grid2d", gen::grid2d_laplacian(9, 7)),
+            ("grid3d", gen::grid3d_laplacian(4, 4, 4)),
+            ("fem2d", gen::fem2d(5, 4, 3)),
+            ("random", gen::random_spd(80, 4, 7)),
+        ] {
+            let n = a.ncols();
+            let solver = SparseCholeskySolver::factor(&a).unwrap();
+            let x_true = gen::random_rhs(n, 3, 11);
+            let b = a.spmv_sym_lower(&x_true).unwrap();
+            let x = solver.solve(&b);
+            assert!(
+                x.max_abs_diff(&x_true).unwrap() < 1e-7,
+                "{name}: error {}",
+                x.max_abs_diff(&x_true).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn driver_multiple_solves_reuse_factor() {
+        let a = gen::grid2d_laplacian(6, 6);
+        let solver = SparseCholeskySolver::factor(&a).unwrap();
+        for seed in 0..3 {
+            let x_true = gen::random_rhs(36, 1, seed);
+            let b = a.spmv_sym_lower(&x_true).unwrap();
+            let x = solver.solve(&b);
+            assert!(x.max_abs_diff(&x_true).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_rhs_matches_multi_rhs_column() {
+        let f = factor_grid(6);
+        let n = f.n();
+        let b = gen::random_rhs(n, 3, 5);
+        let y_all = forward(&f, &b);
+        for r in 0..3 {
+            let br = DenseMatrix::column_vector(b.col(r));
+            let yr = forward(&f, &br);
+            for i in 0..n {
+                assert_eq!(yr[(i, 0)], y_all[(i, r)], "rhs {r} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterative_refinement_tightens_residual() {
+        let a = gen::fem3d(4, 3, 3, 2);
+        let n = a.ncols();
+        let solver = SparseCholeskySolver::factor(&a).unwrap();
+        let x_true = gen::random_rhs(n, 2, 4);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        let (x, rel) = solver.solve_refined(&a, &b, 3, 1e-14);
+        assert!(rel < 1e-12, "relative residual {rel}");
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-9);
+        // zero iterations still reports the plain-solve residual
+        let (_, rel0) = solver.solve_refined(&a, &b, 0, 0.0);
+        assert!(rel0.is_finite() && rel0 < 1e-8);
+    }
+
+    #[test]
+    fn csc_solvers_match_supernodal() {
+        let a = gen::grid2d_laplacian(8, 7);
+        let an = analyze_with_perm(&a, &Permutation::identity(56));
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let l_csc = trisolv_factor::seqchol::factor_simplicial(&an.pa, &an.sym).unwrap();
+        let b = gen::random_rhs(56, 2, 8);
+        let y_sn = forward(&f, &b);
+        let y_csc = forward_csc(&l_csc, &b);
+        assert!(y_sn.max_abs_diff(&y_csc).unwrap() < 1e-11);
+        let x_sn = backward(&f, &y_sn);
+        let x_csc = backward_csc(&l_csc, &y_csc);
+        assert!(x_sn.max_abs_diff(&x_csc).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn ldlt_solves_spd_system() {
+        let a = gen::fem2d(5, 4, 2);
+        let n = a.ncols();
+        let an = analyze_with_perm(&a, &Permutation::identity(n));
+        let (l, d) = trisolv_factor::seqchol::factor_simplicial_ldlt(&an.pa, &an.sym).unwrap();
+        assert!(d.iter().all(|&v| v > 0.0), "SPD gives positive D");
+        let x_true = gen::random_rhs(n, 3, 9);
+        let b = an.pa.spmv_sym_lower(&x_true).unwrap();
+        let x = solve_ldlt_csc(&l, &d, &b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn ldlt_matches_cholesky_solution() {
+        let a = gen::random_spd(50, 3, 12);
+        let an = analyze_with_perm(&a, &Permutation::identity(50));
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let (l, d) = trisolv_factor::seqchol::factor_simplicial_ldlt(&an.pa, &an.sym).unwrap();
+        let b = gen::random_rhs(50, 1, 13);
+        let x_chol = forward_backward(&f, &b);
+        let x_ldlt = solve_ldlt_csc(&l, &d, &b);
+        assert!(x_chol.max_abs_diff(&x_ldlt).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn identity_factor_passthrough() {
+        // a diagonal matrix: L = sqrt(D); forward/backward just scale
+        let mut t = trisolv_matrix::TripletMatrix::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 4.0).unwrap();
+        }
+        let a = t.to_csc();
+        let solver = SparseCholeskySolver::factor(&a).unwrap();
+        let b = DenseMatrix::column_vector(&[4.0, 8.0, 12.0, 16.0, 20.0]);
+        let x = solver.solve(&b);
+        let expect = DenseMatrix::column_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(x.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+//! Shared-memory parallel triangular solves (extension, not part of the
+//! paper reproduction path).
+//!
+//! A modern counterpart to the paper's distributed-memory algorithms:
+//! the supernodal elimination tree is walked with recursive fork-join
+//! parallelism (`rayon::join` at every branching), which is exactly the
+//! multifrontal dataflow — each supernode receives dense update vectors
+//! from its children (forward) or the solved ancestor values (backward),
+//! so siblings never write shared state and the computation is
+//! deterministic.
+
+use rayon::prelude::*;
+use trisolv_factor::{blas, SupernodalFactor};
+use trisolv_matrix::DenseMatrix;
+
+/// Per-supernode working vector carried up (forward) the tree: the
+/// contribution of a subtree to its ancestors, indexed like
+/// `partition.below_rows(s)`.
+struct Update {
+    snode: usize,
+    vals: DenseMatrix, // below-rows × nrhs
+}
+
+/// Solved `(global row, values)` pairs produced by one subtree.
+type SolvedRows = Vec<(usize, Vec<f64>)>;
+
+/// Solve `L·Y = B` with fork-join parallelism over the supernodal tree.
+/// Produces bitwise the same result as [`crate::seq::forward`] on trees
+/// where each root subtree is independent (the arithmetic per supernode is
+/// identical; only sibling execution order differs, and siblings touch
+/// disjoint data).
+pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
+    let part = f.partition();
+    let n = part.n();
+    let nrhs = b.ncols();
+    assert_eq!(b.nrows(), n);
+    let children = part.children();
+    let mut y = DenseMatrix::zeros(n, nrhs);
+    // Solve each root subtree independently; collect per-column solutions.
+    let roots = part.roots();
+    let pieces: Vec<SolvedRows> = roots
+        .par_iter()
+        .map(|&r| {
+            let mut out = Vec::new();
+            let upd = forward_rec(f, &children, r, b, &mut out);
+            debug_assert!(upd.vals.nrows() == part.below_rows(r).len());
+            out
+        })
+        .collect();
+    for piece in pieces {
+        for (gi, vals) in piece {
+            for (c, v) in vals.into_iter().enumerate() {
+                y[(gi, c)] = v;
+            }
+        }
+    }
+    y
+}
+
+/// Recursive forward worker: returns this subtree's update contribution to
+/// its ancestors and appends solved `(row, values)` pairs to `out`.
+fn forward_rec(
+    f: &SupernodalFactor,
+    children: &[Vec<usize>],
+    s: usize,
+    b: &DenseMatrix,
+    out: &mut SolvedRows,
+) -> Update {
+    let part = f.partition();
+    let nrhs = b.ncols();
+    // recurse into children in parallel
+    let child_updates: Vec<(Update, SolvedRows)> = children[s]
+        .par_iter()
+        .map(|&c| {
+            let mut sub_out = Vec::new();
+            let u = forward_rec(f, children, c, b, &mut sub_out);
+            (u, sub_out)
+        })
+        .collect();
+
+    let rows = part.rows(s);
+    let t = part.width(s);
+    let ns = rows.len();
+    let blk = f.block(s);
+    // assemble: w = b over the supernode's full height, plus child updates
+    let mut w = DenseMatrix::zeros(ns, nrhs);
+    for c in 0..nrhs {
+        for (k, &gi) in rows[..t].iter().enumerate() {
+            w[(k, c)] = b[(gi, c)];
+        }
+    }
+    for (u, sub_out) in child_updates {
+        out.extend(sub_out);
+        let crows = part.below_rows(u.snode);
+        // extend-add: child's below rows land inside this supernode's rows
+        let mut pos = 0usize;
+        for (ci, &gi) in crows.iter().enumerate() {
+            while rows[pos] != gi {
+                pos += 1;
+            }
+            for c in 0..nrhs {
+                w[(pos, c)] += u.vals[(ci, c)];
+            }
+        }
+    }
+    // solve the triangle, apply the rectangle
+    blas::trsm_lower_left(blk.as_slice(), ns, w.as_mut_slice(), ns, t, nrhs);
+    for c in 0..nrhs {
+        for k in 0..t {
+            let xv = w[(k, c)];
+            if xv == 0.0 {
+                continue;
+            }
+            for i in t..ns {
+                let upd = blk[(i, k)] * xv;
+                w[(i, c)] -= upd;
+            }
+        }
+    }
+    for (k, &gi) in rows[..t].iter().enumerate() {
+        let mut v = Vec::with_capacity(nrhs);
+        for c in 0..nrhs {
+            v.push(w[(k, c)]);
+        }
+        out.push((gi, v));
+    }
+    let mut vals = DenseMatrix::zeros(ns - t, nrhs);
+    for c in 0..nrhs {
+        vals.col_mut(c).copy_from_slice(&w.col(c)[t..ns]);
+    }
+    Update { snode: s, vals }
+}
+
+/// Solve `Lᵀ·X = Y` with fork-join parallelism over the supernodal tree.
+pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
+    let part = f.partition();
+    let n = part.n();
+    let nrhs = y.ncols();
+    assert_eq!(y.nrows(), n);
+    let children = part.children();
+    let mut x = DenseMatrix::zeros(n, nrhs);
+    let pieces: Vec<SolvedRows> = part
+        .roots()
+        .par_iter()
+        .map(|&r| {
+            let mut out = Vec::new();
+            // roots have no ancestors: empty below-values
+            let below = DenseMatrix::zeros(part.below_rows(r).len(), nrhs);
+            backward_rec(f, &children, r, y, &below, &mut out);
+            out
+        })
+        .collect();
+    for piece in pieces {
+        for (gi, vals) in piece {
+            for (c, v) in vals.into_iter().enumerate() {
+                x[(gi, c)] = v;
+            }
+        }
+    }
+    x
+}
+
+/// Recursive backward worker. `below` holds the already-solved x values
+/// for `partition.below_rows(s)`.
+fn backward_rec(
+    f: &SupernodalFactor,
+    children: &[Vec<usize>],
+    s: usize,
+    y: &DenseMatrix,
+    below: &DenseMatrix,
+    out: &mut SolvedRows,
+) {
+    let part = f.partition();
+    let nrhs = y.ncols();
+    let rows = part.rows(s);
+    let t = part.width(s);
+    let ns = rows.len();
+    let blk = f.block(s);
+    // w_top = y[cols] − L21ᵀ·x_below, then solve L11ᵀ
+    let mut top = DenseMatrix::zeros(t, nrhs);
+    for c in 0..nrhs {
+        for (k, &gi) in rows[..t].iter().enumerate() {
+            top[(k, c)] = y[(gi, c)];
+        }
+        for k in 0..t {
+            let mut sum = 0.0;
+            for i in t..ns {
+                sum += blk[(i, k)] * below[(i - t, c)];
+            }
+            top[(k, c)] -= sum;
+        }
+    }
+    blas::trsm_lower_trans_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
+    for (k, &gi) in rows[..t].iter().enumerate() {
+        let mut v = Vec::with_capacity(nrhs);
+        for c in 0..nrhs {
+            v.push(top[(k, c)]);
+        }
+        out.push((gi, v));
+    }
+    // local x over the full supernode height, for children to slice from
+    let mut xfull = DenseMatrix::zeros(ns, nrhs);
+    for c in 0..nrhs {
+        xfull.col_mut(c)[..t].copy_from_slice(top.col(c));
+        xfull.col_mut(c)[t..].copy_from_slice(below.col(c));
+    }
+    let child_outs: Vec<SolvedRows> = children[s]
+        .par_iter()
+        .map(|&c| {
+            let crows = part.below_rows(c);
+            let mut cbelow = DenseMatrix::zeros(crows.len(), nrhs);
+            let mut pos = 0usize;
+            for (ci, &gi) in crows.iter().enumerate() {
+                while rows[pos] != gi {
+                    pos += 1;
+                }
+                for cc in 0..nrhs {
+                    cbelow[(ci, cc)] = xfull[(pos, cc)];
+                }
+            }
+            let mut sub_out = Vec::new();
+            backward_rec(f, children, c, y, &cbelow, &mut sub_out);
+            sub_out
+        })
+        .collect();
+    for sub in child_outs {
+        out.extend(sub);
+    }
+}
+
+/// Forward + backward with the threaded solvers.
+pub fn forward_backward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
+    let y = forward(f, b);
+    backward(f, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use trisolv_factor::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn build(a: &trisolv_matrix::CscMatrix) -> SupernodalFactor {
+        let g = Graph::from_sym_lower(a);
+        let p = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = analyze_with_perm(a, &p);
+        factor_supernodal(&an.pa, &an.part).unwrap()
+    }
+
+    #[test]
+    fn threaded_forward_matches_seq() {
+        let a = gen::grid2d_laplacian(12, 12);
+        let f = build(&a);
+        let b = gen::random_rhs(f.n(), 3, 1);
+        let seq_y = seq::forward(&f, &b);
+        let par_y = forward(&f, &b);
+        assert!(par_y.max_abs_diff(&seq_y).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_backward_matches_seq() {
+        let a = gen::grid3d_laplacian(4, 4, 4);
+        let f = build(&a);
+        let y = gen::random_rhs(f.n(), 2, 2);
+        let seq_x = seq::backward(&f, &y);
+        let par_x = backward(&f, &y);
+        assert!(par_x.max_abs_diff(&seq_x).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_roundtrip_solves() {
+        let a = gen::fem2d(5, 5, 2);
+        let f = build(&a);
+        let x_true = gen::random_rhs(f.n(), 2, 3);
+        let b = f.llt_times(&x_true);
+        let x = forward_backward(&f, &b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn handles_forest_of_roots() {
+        // block-diagonal matrix → multiple etree roots
+        let mut t = trisolv_matrix::TripletMatrix::new(8, 8);
+        for i in 0..8 {
+            t.push(i, i, 4.0).unwrap();
+        }
+        for i in [0, 2, 4, 6] {
+            t.push(i + 1, i, -1.0).unwrap();
+        }
+        let a = t.to_csc();
+        let f = build(&a);
+        let b = gen::random_rhs(8, 1, 4);
+        let seq_y = seq::forward(&f, &b);
+        let par_y = forward(&f, &b);
+        assert!(par_y.max_abs_diff(&seq_y).unwrap() < 1e-13);
+    }
+}

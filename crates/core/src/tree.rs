@@ -1,0 +1,655 @@
+//! Simulated-parallel forward and back substitution over the whole
+//! elimination tree (paper §2).
+//!
+//! Each virtual processor:
+//!
+//! 1. **Forward** — solves its sequential subtree supernodes leaf-to-root
+//!    (accumulating updates in a per-processor sparse accumulator), then
+//!    joins the pipelined kernels for each parallel supernode on its path.
+//!    Moving between tree levels, accumulated contributions are exchanged
+//!    with an all-to-all personalized communication inside the supernode's
+//!    group (the `O(t/q)` step of §3.1).
+//! 2. **Backward** — mirrors the traversal root-to-leaf: pipelined kernels
+//!    at the parallel levels (the solved sub-vector is all-gathered inside
+//!    the group so descendants can read it, the paper's "copied from the
+//!    vector accompanying the parent supernode"), then the sequential
+//!    subtree top-down.
+//!
+//! The returned [`SolveReport`] carries virtual times, flop counts, and
+//! communication volumes; MFLOPS figures are algorithmic-flops / virtual
+//! parallel time, the same accounting the paper uses.
+
+use crate::mapping::SubcubeMapping;
+use crate::pipeline::{self, LocalTrapezoid};
+use std::collections::HashMap;
+use trisolv_factor::{blas, SupernodalFactor};
+use trisolv_machine::{coll, BlockCyclic1d, Group, Machine, MachineParams};
+use trisolv_matrix::DenseMatrix;
+
+/// Configuration of a simulated parallel triangular solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveConfig {
+    /// Number of virtual processors.
+    pub nprocs: usize,
+    /// Block size `b` of the 1-D block-cyclic supernode partitioning.
+    pub block: usize,
+    /// Machine cost model.
+    pub params: MachineParams,
+}
+
+impl SolveConfig {
+    /// A T3D-flavoured configuration with the paper's typical block size.
+    pub fn t3d(nprocs: usize) -> Self {
+        SolveConfig {
+            nprocs,
+            block: 8,
+            params: MachineParams::t3d(),
+        }
+    }
+}
+
+/// Timing and accounting of one forward+backward solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Virtual seconds of the forward-elimination phase (max over procs).
+    pub forward_time: f64,
+    /// Virtual seconds of the back-substitution phase.
+    pub backward_time: f64,
+    /// Total virtual seconds (forward + barrier + backward).
+    pub total_time: f64,
+    /// Algorithmic flop count (fw+bw, all right-hand sides).
+    pub flops: u64,
+    /// Total 8-byte words communicated.
+    pub words: u64,
+    /// Total messages.
+    pub msgs: u64,
+    /// Largest per-processor busy (compute) time — `total_time` minus this
+    /// on the critical processor is pure overhead.
+    pub max_compute: f64,
+    /// Mean per-processor busy time (max/mean = load imbalance factor).
+    pub mean_compute: f64,
+    /// Largest per-processor time spent blocked on messages.
+    pub max_wait: f64,
+    /// Per-phase virtual-time breakdown, maxed over processors:
+    /// `[seq_fw, gather, pipe_fw, pipe_bw, allgather, seq_bw]`.
+    pub phase_breakdown: [f64; 6],
+}
+
+impl SolveReport {
+    /// MFLOPS achieved: algorithmic flops / total virtual time.
+    pub fn mflops(&self) -> f64 {
+        self.flops as f64 / self.total_time / 1e6
+    }
+}
+
+/// Per-processor payload returned from the SPMD closure.
+struct ProcOutput {
+    x_pieces: Vec<(usize, Vec<f64>)>,
+    t_forward: f64,
+    t_total: f64,
+    /// virtual time in [seq_fw, gather, pipe_fw, pipe_bw, allgather, seq_bw]
+    phases: [f64; 6],
+}
+
+/// Encode a sparse set of (position, values) pairs as a flat payload.
+fn encode_entries(entries: &[(usize, &[f64])]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(entries.len() * (1 + entries.first().map_or(0, |e| e.1.len())));
+    for (pos, vals) in entries {
+        out.push(*pos as f64);
+        out.extend_from_slice(vals);
+    }
+    out
+}
+
+/// Decode the payload produced by [`encode_entries`].
+fn decode_entries(data: &[f64], nrhs: usize) -> Vec<(usize, &[f64])> {
+    let stride = 1 + nrhs;
+    debug_assert_eq!(data.len() % stride, 0);
+    data.chunks_exact(stride)
+        .map(|c| (c[0] as usize, &c[1..]))
+        .collect()
+}
+
+/// Run a simulated parallel forward + backward solve.
+///
+/// `b_rhs` is the right-hand-side block in the **permuted** index space
+/// (same space as `factor`). Returns the solution `X` (permuted space) and
+/// the timing report. With `config.nprocs == 1` this degenerates to the
+/// sequential algorithm and its virtual time is the `T_S` baseline of all
+/// speedup figures.
+pub fn solve_fb(
+    factor: &SupernodalFactor,
+    mapping: &SubcubeMapping,
+    b_rhs: &DenseMatrix,
+    config: &SolveConfig,
+) -> (DenseMatrix, SolveReport) {
+    let (x, report, _) = solve_fb_inner(factor, mapping, b_rhs, config, false);
+    (x, report)
+}
+
+/// Like [`solve_fb`], additionally returning per-processor timeline traces
+/// (renderable with `trisolv_machine::trace::render_gantt`).
+pub fn solve_fb_traced(
+    factor: &SupernodalFactor,
+    mapping: &SubcubeMapping,
+    b_rhs: &DenseMatrix,
+    config: &SolveConfig,
+) -> (DenseMatrix, SolveReport, Vec<Vec<trisolv_machine::Segment>>) {
+    solve_fb_inner(factor, mapping, b_rhs, config, true)
+}
+
+fn solve_fb_inner(
+    factor: &SupernodalFactor,
+    mapping: &SubcubeMapping,
+    b_rhs: &DenseMatrix,
+    config: &SolveConfig,
+    traced: bool,
+) -> (DenseMatrix, SolveReport, Vec<Vec<trisolv_machine::Segment>>) {
+    let part = factor.partition();
+    let n = part.n();
+    let nrhs = b_rhs.ncols();
+    assert!(nrhs >= 1);
+    assert_eq!(b_rhs.nrows(), n);
+    assert_eq!(mapping.nprocs(), config.nprocs);
+    let nsup = part.nsup() as u64;
+    let machine = if traced {
+        Machine::new(config.nprocs, config.params).with_trace()
+    } else {
+        Machine::new(config.nprocs, config.params)
+    };
+
+    let run = machine.run(|proc| {
+        let me = proc.rank();
+        let rate = proc.params().solve_rate(nrhs);
+        // sparse accumulator: global row -> additive update values
+        let mut accum: HashMap<usize, Vec<f64>> = HashMap::new();
+        // solved x values known to this processor: global row -> values
+        let mut xknown: HashMap<usize, Vec<f64>> = HashMap::new();
+        // forward outputs stashed for the backward phase
+        let mut seq_stash: HashMap<usize, DenseMatrix> = HashMap::new();
+        let mut par_stash: HashMap<usize, DenseMatrix> = HashMap::new();
+        let mut par_local: HashMap<usize, (BlockCyclic1d, LocalTrapezoid, Group)> =
+            HashMap::new();
+        let mut x_pieces: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut phases = [0.0f64; 6];
+
+        // ---------- forward elimination ----------
+        let mut mark = proc.time();
+        for &s in mapping.seq_snodes(me) {
+            let rows = part.rows(s);
+            let t = part.width(s);
+            let ns = rows.len();
+            let blk = factor.block(s);
+            // gather b + accumulated updates for the supernode columns
+            let mut top = DenseMatrix::zeros(t, nrhs);
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                let acc = accum.remove(&gi);
+                for c in 0..nrhs {
+                    top[(k, c)] =
+                        b_rhs[(gi, c)] + acc.as_ref().map_or(0.0, |v| v[c]);
+                }
+            }
+            blas::trsm_lower_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
+            // rectangle update into the accumulator
+            if ns > t {
+                for (off, &gi) in rows[t..].iter().enumerate() {
+                    let acc = accum.entry(gi).or_insert_with(|| vec![0.0; nrhs]);
+                    for c in 0..nrhs {
+                        let mut sum = 0.0;
+                        for k in 0..t {
+                            sum += blk[(t + off, k)] * top[(k, c)];
+                        }
+                        acc[c] -= sum;
+                    }
+                }
+            }
+            proc.compute_flops_at(
+                ((t * t + 2 * (ns - t) * t) * nrhs) as f64,
+                rate,
+            );
+            seq_stash.insert(s, top);
+        }
+        phases[0] += proc.time() - mark;
+        for &s in &mapping.parallel_path(me) {
+            let group = mapping.group(s);
+            let gq = group.size();
+            let gme = group.group_rank(me).expect("on path");
+            let rows = part.rows(s);
+            let t = part.width(s);
+            let ns = rows.len();
+            // When the supernode has fewer row blocks than the group has
+            // processors, only the first `q_act` group ranks own data — the
+            // pipeline ring spans just those, so idle processors do not
+            // lengthen the wavefront.
+            let q_act = gq.min(ns.div_ceil(config.block)).max(1);
+            let active = Group::from_ranks(group.ranks()[..q_act].to_vec());
+            let layout = BlockCyclic1d::new(ns, config.block, q_act);
+            let local = LocalTrapezoid::from_global(factor.block(s), &layout, gme.min(q_act));
+            // gather: route accumulated contributions for this supernode's
+            // columns to the owner of each row position
+            let col_range = part.cols(s);
+            let mut per_dest: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); gq];
+            let keys: Vec<usize> = accum
+                .keys()
+                .copied()
+                .filter(|k| col_range.contains(k))
+                .collect();
+            for gi in keys {
+                let vals = accum.remove(&gi).expect("key present");
+                let pos = gi - col_range.start;
+                per_dest[layout.owner(pos)].push((pos, vals));
+            }
+            let out: Vec<Vec<f64>> = per_dest
+                .iter()
+                .map(|chunk| {
+                    encode_entries(
+                        &chunk
+                            .iter()
+                            .map(|(p, v)| (*p, v.as_slice()))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            // group-uniform size hint: every contribution for this
+            // supernode's t columns once, with one index word per entry
+            let hint = t * (1 + nrhs) / gq.max(1) + 1;
+            mark = proc.time();
+            let incoming =
+                coll::all_to_all_personalized(proc, group, s as u64 * 4, out, hint);
+            phases[1] += proc.time() - mark;
+            // local rhs: b for my triangle rows plus routed contributions
+            let mut rhs = DenseMatrix::zeros(local.positions.len(), nrhs);
+            for (li, &pos) in local.positions.iter().enumerate() {
+                if pos < t {
+                    let gi = rows[pos];
+                    for c in 0..nrhs {
+                        rhs[(li, c)] = b_rhs[(gi, c)];
+                    }
+                }
+            }
+            for chunk in &incoming {
+                for (pos, vals) in decode_entries(chunk, nrhs) {
+                    let li = local
+                        .positions
+                        .binary_search(&pos)
+                        .expect("routed to owner");
+                    for c in 0..nrhs {
+                        rhs[(li, c)] += vals[c];
+                    }
+                }
+            }
+            mark = proc.time();
+            if gme < q_act {
+                pipeline::forward_column_priority(
+                    proc,
+                    &active,
+                    s as u64 * 4 + 1,
+                    &layout,
+                    t,
+                    nrhs,
+                    &local,
+                    &mut rhs,
+                );
+            }
+            phases[2] += proc.time() - mark;
+            // below rows: push kernel updates into the accumulator
+            for (li, &pos) in local.positions.iter().enumerate() {
+                if pos >= t {
+                    let gi = rows[pos];
+                    let acc = accum.entry(gi).or_insert_with(|| vec![0.0; nrhs]);
+                    for c in 0..nrhs {
+                        acc[c] += rhs[(li, c)];
+                    }
+                }
+            }
+            par_stash.insert(s, rhs);
+            par_local.insert(s, (layout, local, active));
+        }
+        debug_assert!(
+            accum.values().all(|v| v.iter().all(|&x| x == 0.0)),
+            "unconsumed forward contributions"
+        );
+        coll::barrier(proc, &Group::world(config.nprocs), nsup * 4);
+        let t_forward = proc.time();
+
+        // ---------- back substitution ----------
+        for &s in mapping.parallel_path(me).iter().rev() {
+            let group = mapping.group(s);
+            let rows = part.rows(s);
+            let t = part.width(s);
+            let (layout, local, active) = par_local.remove(&s).expect("built in forward");
+            let mut rhs = par_stash.remove(&s).expect("stashed in forward");
+            // below rows: already-solved ancestor values
+            for (li, &pos) in local.positions.iter().enumerate() {
+                if pos >= t {
+                    let gi = rows[pos];
+                    let vals = xknown.get(&gi).expect("ancestor solved and gathered");
+                    for c in 0..nrhs {
+                        rhs[(li, c)] = vals[c];
+                    }
+                }
+            }
+            mark = proc.time();
+            if active.contains(me) {
+                pipeline::backward_column_priority(
+                    proc,
+                    &active,
+                    s as u64 * 4 + 2,
+                    &layout,
+                    t,
+                    nrhs,
+                    &local,
+                    &mut rhs,
+                );
+            }
+            phases[3] += proc.time() - mark;
+            // all-gather the solved triangle so every group member (and its
+            // descendants) can read x for these columns
+            let mut flat: Vec<(usize, Vec<f64>)> = Vec::new();
+            for (li, &pos) in local.positions.iter().enumerate() {
+                if pos < t {
+                    let mut v = Vec::with_capacity(nrhs);
+                    for c in 0..nrhs {
+                        v.push(rhs[(li, c)]);
+                    }
+                    flat.push((pos, v));
+                }
+            }
+            let payload = encode_entries(
+                &flat.iter().map(|(p, v)| (*p, v.as_slice())).collect::<Vec<_>>(),
+            );
+            let hint = t * (1 + nrhs) / group.size().max(1) + 1;
+            mark = proc.time();
+            let gathered = coll::allgather(proc, group, s as u64 * 4 + 3, payload, hint);
+            phases[4] += proc.time() - mark;
+            for chunk in &gathered {
+                for (pos, vals) in decode_entries(chunk, nrhs) {
+                    xknown.insert(rows[pos], vals.to_vec());
+                }
+            }
+            // output my own triangle rows
+            for (pos, vals) in flat {
+                x_pieces.push((rows[pos], vals));
+            }
+        }
+        mark = proc.time();
+        for &s in mapping.seq_snodes(me).iter().rev() {
+            let rows = part.rows(s);
+            let t = part.width(s);
+            let ns = rows.len();
+            let blk = factor.block(s);
+            let mut top = seq_stash.remove(&s).expect("stashed in forward");
+            // top -= L21ᵀ · x_below
+            if ns > t {
+                for c in 0..nrhs {
+                    for k in 0..t {
+                        let mut sum = 0.0;
+                        for (off, &gi) in rows[t..].iter().enumerate() {
+                            sum += blk[(t + off, k)] * xknown[&gi][c];
+                        }
+                        top[(k, c)] -= sum;
+                    }
+                }
+            }
+            blas::trsm_lower_trans_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
+            proc.compute_flops_at(
+                ((t * t + 2 * (ns - t) * t) * nrhs) as f64,
+                rate,
+            );
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                let mut v = Vec::with_capacity(nrhs);
+                for c in 0..nrhs {
+                    v.push(top[(k, c)]);
+                }
+                xknown.insert(gi, v.clone());
+                x_pieces.push((gi, v));
+            }
+        }
+        phases[5] += proc.time() - mark;
+        coll::barrier(proc, &Group::world(config.nprocs), nsup * 4 + 1);
+        ProcOutput {
+            x_pieces,
+            t_forward,
+            t_total: proc.time(),
+            phases,
+        }
+    });
+
+    // assemble the solution
+    let mut x = DenseMatrix::zeros(n, nrhs);
+    let mut written = vec![false; n];
+    for out in &run.results {
+        for (gi, vals) in &out.x_pieces {
+            assert!(!written[*gi], "row {gi} produced twice");
+            written[*gi] = true;
+            for c in 0..nrhs {
+                x[(*gi, c)] = vals[c];
+            }
+        }
+    }
+    assert!(written.iter().all(|&w| w), "missing solution rows");
+
+    let t_forward = run
+        .results
+        .iter()
+        .map(|o| o.t_forward)
+        .fold(0.0f64, f64::max);
+    let t_total = run
+        .results
+        .iter()
+        .map(|o| o.t_total)
+        .fold(0.0f64, f64::max);
+    let max_compute = run
+        .stats
+        .iter()
+        .map(|s| s.compute_seconds)
+        .fold(0.0f64, f64::max);
+    let mean_compute = run.stats.iter().map(|s| s.compute_seconds).sum::<f64>()
+        / run.stats.len() as f64;
+    let max_wait = run
+        .stats
+        .iter()
+        .map(|s| s.wait_seconds)
+        .fold(0.0f64, f64::max);
+    let mut phase_breakdown = [0.0f64; 6];
+    for o in &run.results {
+        for (i, v) in o.phases.iter().enumerate() {
+            phase_breakdown[i] = phase_breakdown[i].max(*v);
+        }
+    }
+    let report = SolveReport {
+        forward_time: t_forward,
+        backward_time: t_total - t_forward,
+        total_time: t_total,
+        flops: part.solve_flops(nrhs),
+        words: run.total_words(),
+        msgs: run.total_msgs(),
+        max_compute,
+        mean_compute,
+        max_wait,
+        phase_breakdown,
+    };
+    (x, report, run.traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use trisolv_factor::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn build_factor(a: &trisolv_matrix::CscMatrix, coords: Option<&[[f64; 3]]>) -> SupernodalFactor {
+        let g = Graph::from_sym_lower(a);
+        let p = match coords {
+            Some(c) => nd::nested_dissection_coords(&g, c, nd::NdOptions::default()),
+            None => nd::nested_dissection(&g, nd::NdOptions::default()),
+        };
+        let an = analyze_with_perm(a, &p);
+        factor_supernodal(&an.pa, &an.part).unwrap()
+    }
+
+    fn check_parallel_matches_seq(
+        factor: &SupernodalFactor,
+        nprocs: usize,
+        block: usize,
+        nrhs: usize,
+    ) -> SolveReport {
+        let n = factor.n();
+        let b = gen::random_rhs(n, nrhs, 5);
+        let expect = seq::forward_backward(factor, &b);
+        let mapping = SubcubeMapping::new(factor.partition(), nprocs);
+        let config = SolveConfig {
+            nprocs,
+            block,
+            params: MachineParams::t3d(),
+        };
+        let (x, report) = solve_fb(factor, &mapping, &b, &config);
+        let diff = x.max_abs_diff(&expect).unwrap();
+        assert!(
+            diff < 1e-9,
+            "p={nprocs} b={block} nrhs={nrhs}: diff {diff}"
+        );
+        report
+    }
+
+    #[test]
+    fn matches_sequential_on_grid_various_p() {
+        let a = gen::grid2d_laplacian(13, 13);
+        let coords = nd::grid2d_coords(13, 13, 1);
+        let f = build_factor(&a, Some(&coords));
+        for p in [1, 2, 4, 8] {
+            check_parallel_matches_seq(&f, p, 2, 1);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_multi_rhs() {
+        let a = gen::grid2d_laplacian(11, 11);
+        let coords = nd::grid2d_coords(11, 11, 1);
+        let f = build_factor(&a, Some(&coords));
+        for nrhs in [1, 3, 5] {
+            check_parallel_matches_seq(&f, 4, 2, nrhs);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_3d_problem() {
+        let a = gen::grid3d_laplacian(5, 5, 5);
+        let coords = nd::grid3d_coords(5, 5, 5, 1);
+        let f = build_factor(&a, Some(&coords));
+        check_parallel_matches_seq(&f, 8, 2, 2);
+    }
+
+    #[test]
+    fn matches_sequential_on_fem_dof_blocks() {
+        let a = gen::fem2d(6, 6, 3);
+        let coords = nd::grid2d_coords(6, 6, 3);
+        let f = build_factor(&a, Some(&coords));
+        check_parallel_matches_seq(&f, 4, 3, 2);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_structure() {
+        let a = gen::random_spd(120, 4, 13);
+        let f = build_factor(&a, None);
+        for p in [2, 5, 8] {
+            check_parallel_matches_seq(&f, p, 2, 1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_procs() {
+        let a = gen::grid2d_laplacian(12, 12);
+        let coords = nd::grid2d_coords(12, 12, 1);
+        let f = build_factor(&a, Some(&coords));
+        for p in [3, 5, 6, 7] {
+            check_parallel_matches_seq(&f, p, 2, 1);
+        }
+    }
+
+    #[test]
+    fn block_size_does_not_change_answer() {
+        let a = gen::grid2d_laplacian(10, 10);
+        let coords = nd::grid2d_coords(10, 10, 1);
+        let f = build_factor(&a, Some(&coords));
+        for b in [1, 2, 4, 8] {
+            check_parallel_matches_seq(&f, 4, b, 2);
+        }
+    }
+
+    #[test]
+    fn single_proc_time_matches_flop_model() {
+        let a = gen::grid2d_laplacian(9, 9);
+        let coords = nd::grid2d_coords(9, 9, 1);
+        let f = build_factor(&a, Some(&coords));
+        let mapping = SubcubeMapping::new(f.partition(), 1);
+        let config = SolveConfig {
+            nprocs: 1,
+            block: 4,
+            params: MachineParams::t3d(),
+        };
+        let b = gen::random_rhs(f.n(), 1, 2);
+        let (_, report) = solve_fb(&f, &mapping, &b, &config);
+        let expect = f.partition().solve_flops(1) as f64 / config.params.solve_rate(1);
+        assert!(
+            (report.total_time - expect).abs() / expect < 1e-9,
+            "time {} vs model {}",
+            report.total_time,
+            expect
+        );
+        assert_eq!(report.words, 0);
+    }
+
+    #[test]
+    fn parallel_time_decreases_with_procs() {
+        // needs a problem big enough that p=16 beats its startup costs —
+        // exactly the isoefficiency effect the paper analyzes
+        let k = 63;
+        let a = gen::grid2d_laplacian(k, k);
+        let coords = nd::grid2d_coords(k, k, 1);
+        let f = build_factor(&a, Some(&coords));
+        let b = gen::random_rhs(f.n(), 1, 1);
+        let mut prev = f64::INFINITY;
+        for p in [1, 4, 16] {
+            let mapping = SubcubeMapping::new(f.partition(), p);
+            let config = SolveConfig {
+                nprocs: p,
+                block: 4,
+                params: MachineParams::t3d(),
+            };
+            let (_, report) = solve_fb(&f, &mapping, &b, &config);
+            assert!(
+                report.total_time < prev,
+                "p={p}: {} not below {prev}",
+                report.total_time
+            );
+            prev = report.total_time;
+        }
+    }
+
+    #[test]
+    fn multi_rhs_improves_mflops() {
+        let k = 21;
+        let a = gen::grid2d_laplacian(k, k);
+        let coords = nd::grid2d_coords(k, k, 1);
+        let f = build_factor(&a, Some(&coords));
+        let mapping = SubcubeMapping::new(f.partition(), 8);
+        let config = SolveConfig {
+            nprocs: 8,
+            block: 4,
+            params: MachineParams::t3d(),
+        };
+        let b1 = gen::random_rhs(f.n(), 1, 1);
+        let b10 = gen::random_rhs(f.n(), 10, 1);
+        let (_, r1) = solve_fb(&f, &mapping, &b1, &config);
+        let (_, r10) = solve_fb(&f, &mapping, &b10, &config);
+        assert!(
+            r10.mflops() > 2.0 * r1.mflops(),
+            "nrhs=10 {} vs nrhs=1 {}",
+            r10.mflops(),
+            r1.mflops()
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! Dense BLAS-like kernels on column-major storage.
+//!
+//! All kernels take raw slices with explicit leading dimensions so they can
+//! operate on sub-blocks of larger matrices without copies. Entry `(i, j)`
+//! of an operand lives at `buf[i + j * ld]`. Kernels are written with the
+//! inner loop running down a column (unit stride) per the perf-book
+//! guidance; no allocation happens inside any kernel.
+
+use trisolv_matrix::MatrixError;
+
+/// `C ← C − A·B` where `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+pub fn gemm_update(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m && lda >= m && ldb >= k);
+    for j in 0..n {
+        for l in 0..k {
+            let blj = b[l + j * ldb];
+            if blj == 0.0 {
+                continue;
+            }
+            let a_col = &a[l * lda..l * lda + m];
+            let c_col = &mut c[j * ldc..j * ldc + m];
+            for i in 0..m {
+                c_col[i] -= a_col[i] * blj;
+            }
+        }
+    }
+}
+
+/// `C ← C − A·Bᵀ` where `A` is `m×k`, `B` is `n×k`, `C` is `m×n`.
+pub fn gemm_nt_update(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m && lda >= m && ldb >= n);
+    for j in 0..n {
+        for l in 0..k {
+            let bjl = b[j + l * ldb];
+            if bjl == 0.0 {
+                continue;
+            }
+            let a_col = &a[l * lda..l * lda + m];
+            let c_col = &mut c[j * ldc..j * ldc + m];
+            for i in 0..m {
+                c_col[i] -= a_col[i] * bjl;
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update on the lower triangle:
+/// `C ← C − A·Aᵀ` for `C` `n×n` (only entries `i ≥ j` touched), `A` `n×k`.
+pub fn syrk_lower_update(c: &mut [f64], ldc: usize, a: &[f64], lda: usize, n: usize, k: usize) {
+    debug_assert!(ldc >= n && lda >= n);
+    for j in 0..n {
+        for l in 0..k {
+            let ajl = a[j + l * lda];
+            if ajl == 0.0 {
+                continue;
+            }
+            let a_col = &a[l * lda..l * lda + n];
+            let c_col = &mut c[j * ldc..j * ldc + n];
+            for i in j..n {
+                c_col[i] -= a_col[i] * ajl;
+            }
+        }
+    }
+}
+
+/// In-place dense Cholesky of the lower triangle: `A = L·Lᵀ`, `A` `n×n`
+/// with leading dimension `lda`; on success the lower triangle holds `L`.
+/// The strict upper triangle is not referenced.
+pub fn potrf_lower(a: &mut [f64], lda: usize, n: usize) -> Result<(), MatrixError> {
+    for j in 0..n {
+        // update column j with columns 0..j
+        for k in 0..j {
+            let ajk = a[j + k * lda];
+            if ajk == 0.0 {
+                continue;
+            }
+            for i in j..n {
+                a[i + j * lda] -= a[i + k * lda] * ajk;
+            }
+        }
+        let pivot = a[j + j * lda];
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite { column: j, pivot });
+        }
+        let d = pivot.sqrt();
+        a[j + j * lda] = d;
+        let inv = 1.0 / d;
+        for i in j + 1..n {
+            a[i + j * lda] *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// `X ← L⁻¹·X` where `L` is `m×m` lower-triangular (leading dim `ldl`) and
+/// `X` is `m×n` (leading dim `ldx`): forward substitution on a block.
+pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
+    debug_assert!(ldl >= m && ldx >= m);
+    for j in 0..n {
+        let x_col = &mut x[j * ldx..j * ldx + m];
+        for k in 0..m {
+            let xk = x_col[k] / l[k + k * ldl];
+            x_col[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for i in k + 1..m {
+                x_col[i] -= l[i + k * ldl] * xk;
+            }
+        }
+    }
+}
+
+/// `X ← L⁻ᵀ·X` where `L` is `m×m` lower-triangular and `X` is `m×n`:
+/// backward substitution on a block.
+pub fn trsm_lower_trans_left(
+    l: &[f64],
+    ldl: usize,
+    x: &mut [f64],
+    ldx: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert!(ldl >= m && ldx >= m);
+    for j in 0..n {
+        let x_col = &mut x[j * ldx..j * ldx + m];
+        for k in (0..m).rev() {
+            let mut s = x_col[k];
+            for i in k + 1..m {
+                s -= l[i + k * ldl] * x_col[i];
+            }
+            x_col[k] = s / l[k + k * ldl];
+        }
+    }
+}
+
+/// `B ← B·L⁻ᵀ` where `L` is `n×n` lower-triangular and `B` is `m×n`: the
+/// panel scaling step of a trapezoid factorization
+/// (`L21 = A21·L11⁻ᵀ`).
+pub fn trsm_right_lower_trans(
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert!(ldl >= n && ldb >= m);
+    // Solve X Lᵀ = B column-block by column-block: column j of X depends on
+    // columns 0..j (of X).
+    for j in 0..n {
+        // b_col_j -= X[:, 0..j] * L[j, 0..j]ᵀ  (already-computed columns)
+        for k in 0..j {
+            let ljk = l[j + k * ldl];
+            if ljk == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.split_at_mut(j * ldb);
+            let x_col_k = &head[k * ldb..k * ldb + m];
+            let b_col_j = &mut tail[..m];
+            for i in 0..m {
+                b_col_j[i] -= x_col_k[i] * ljk;
+            }
+        }
+        let inv = 1.0 / l[j + j * ldl];
+        for i in 0..m {
+            b[i + j * ldb] *= inv;
+        }
+    }
+}
+
+/// In-place dense LDLᵀ factorization of the lower triangle (no square
+/// roots): on success the strict lower triangle holds the unit-lower `L`
+/// and the diagonal holds `D`. Fails on zero pivots (no pivoting — meant
+/// for SPD or symmetric quasi-definite matrices).
+pub fn ldlt_lower(a: &mut [f64], lda: usize, n: usize) -> Result<(), MatrixError> {
+    for j in 0..n {
+        // d_j = a_jj − Σ_{k<j} L_jk² d_k
+        let mut dj = a[j + j * lda];
+        for k in 0..j {
+            let ljk = a[j + k * lda];
+            dj -= ljk * ljk * a[k + k * lda];
+        }
+        if dj == 0.0 || !dj.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite {
+                column: j,
+                pivot: dj,
+            });
+        }
+        a[j + j * lda] = dj;
+        for i in j + 1..n {
+            let mut v = a[i + j * lda];
+            for k in 0..j {
+                v -= a[i + k * lda] * a[j + k * lda] * a[k + k * lda];
+            }
+            a[i + j * lda] = v / dj;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L·D·Lᵀ·x = b` given the packed output of [`ldlt_lower`]; `x` has
+/// `n` rows and any number of columns (leading dimension `ldx`).
+pub fn ldlt_solve(a: &[f64], lda: usize, x: &mut [f64], ldx: usize, n: usize, nrhs: usize) {
+    for c in 0..nrhs {
+        let col = &mut x[c * ldx..c * ldx + n];
+        // forward: L y = b (unit diagonal)
+        for k in 0..n {
+            let yk = col[k];
+            if yk != 0.0 {
+                for i in k + 1..n {
+                    col[i] -= a[i + k * lda] * yk;
+                }
+            }
+        }
+        // diagonal: D z = y
+        for k in 0..n {
+            col[k] /= a[k + k * lda];
+        }
+        // backward: Lᵀ x = z
+        for k in (0..n).rev() {
+            let mut s = col[k];
+            for i in k + 1..n {
+                s -= a[i + k * lda] * col[i];
+            }
+            col[k] = s;
+        }
+    }
+}
+
+/// Flop count of a `gemm_update`-style multiply (2·m·n·k).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Flop count of a dense Cholesky of order `n` (n³/3 + lower-order).
+pub fn potrf_flops(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * n / 3 + n * n
+}
+
+/// Flop count of a triangular solve `m×m` against `n` columns (m²·n).
+pub fn trsm_flops(m: usize, n: usize) -> u64 {
+    m as u64 * m as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::DenseMatrix;
+
+    fn approx_eq(a: &DenseMatrix, b: &DenseMatrix, tol: f64) {
+        assert!(
+            a.max_abs_diff(b).unwrap() < tol,
+            "matrices differ by {:?}",
+            a.max_abs_diff(b)
+        );
+    }
+
+    fn spd(n: usize, seed: u64) -> DenseMatrix {
+        // A = M Mᵀ + n·I for a deterministic pseudo-random M
+        let mut m = DenseMatrix::zeros(n, n);
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        m.fill_with(|_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let mut a = m.matmul(&m.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn gemm_update_matches_reference() {
+        let a = spd(4, 1).sub_block(0, 4, 0, 3); // 4x3
+        let b = spd(5, 2).sub_block(0, 3, 0, 5); // 3x5
+        let mut c = spd(6, 3).sub_block(0, 4, 0, 5); // 4x5
+        let reference = {
+            let mut r = c.clone();
+            let prod = a.matmul(&b).unwrap();
+            r.axpy(-1.0, &prod).unwrap();
+            r
+        };
+        gemm_update(c.as_mut_slice(), 4, a.as_slice(), 4, b.as_slice(), 3, 4, 5, 3);
+        approx_eq(&c, &reference, 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_update_matches_reference() {
+        let a = spd(4, 3).sub_block(0, 4, 0, 3); // 4x3
+        let b = spd(5, 4).sub_block(0, 5, 0, 3); // 5x3
+        let mut c = spd(6, 5).sub_block(0, 4, 0, 5); // 4x5
+        let reference = {
+            let mut r = c.clone();
+            let prod = a.matmul(&b.transpose()).unwrap();
+            r.axpy(-1.0, &prod).unwrap();
+            r
+        };
+        gemm_nt_update(c.as_mut_slice(), 4, a.as_slice(), 4, b.as_slice(), 5, 4, 5, 3);
+        approx_eq(&c, &reference, 1e-12);
+    }
+
+    #[test]
+    fn syrk_touches_lower_only() {
+        let a = spd(4, 5).sub_block(0, 4, 0, 2); // 4x2
+        let mut c = DenseMatrix::zeros(4, 4);
+        c.fill_with(|i, j| if i == j { 100.0 } else { 0.0 });
+        let before = c.clone();
+        syrk_lower_update(c.as_mut_slice(), 4, a.as_slice(), 4, 4, 2);
+        let full = a.matmul(&a.transpose()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i >= j {
+                    assert!((c[(i, j)] - (before[(i, j)] - full[(i, j)])).abs() < 1e-12);
+                } else {
+                    assert_eq!(c[(i, j)], before[(i, j)], "upper entry touched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        let a = spd(6, 7);
+        let mut l = a.clone();
+        potrf_lower(l.as_mut_slice(), 6, 6).unwrap();
+        // zero out the strict upper triangle (not referenced by potrf)
+        for j in 0..6 {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        let recon = l.matmul(&l.transpose()).unwrap();
+        approx_eq(&recon, &a, 1e-10);
+    }
+
+    #[test]
+    fn potrf_detects_indefinite() {
+        let mut a = DenseMatrix::identity(3);
+        a[(2, 2)] = -1.0;
+        let err = potrf_lower(a.as_mut_slice(), 3, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::NotPositiveDefinite { column: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn trsm_lower_left_solves() {
+        let a = spd(5, 9);
+        let mut l = a.clone();
+        potrf_lower(l.as_mut_slice(), 5, 5).unwrap();
+        let x_true = spd(5, 10).sub_block(0, 5, 0, 2);
+        // b = L x
+        let mut lc = l.clone();
+        for j in 0..5 {
+            for i in 0..j {
+                lc[(i, j)] = 0.0;
+            }
+        }
+        let mut b = lc.matmul(&x_true).unwrap();
+        trsm_lower_left(l.as_slice(), 5, b.as_mut_slice(), 5, 5, 2);
+        approx_eq(&b, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn trsm_lower_trans_left_solves() {
+        let a = spd(5, 11);
+        let mut l = a.clone();
+        potrf_lower(l.as_mut_slice(), 5, 5).unwrap();
+        let mut lc = l.clone();
+        for j in 0..5 {
+            for i in 0..j {
+                lc[(i, j)] = 0.0;
+            }
+        }
+        let x_true = spd(5, 12).sub_block(0, 5, 0, 3);
+        let mut b = lc.transpose().matmul(&x_true).unwrap();
+        trsm_lower_trans_left(l.as_slice(), 5, b.as_mut_slice(), 5, 5, 3);
+        approx_eq(&b, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_lower_trans_solves() {
+        // X Lᵀ = B  =>  X = B L⁻ᵀ
+        let a = spd(4, 13);
+        let mut l = a.clone();
+        potrf_lower(l.as_mut_slice(), 4, 4).unwrap();
+        let mut lc = l.clone();
+        for j in 0..4 {
+            for i in 0..j {
+                lc[(i, j)] = 0.0;
+            }
+        }
+        let x_true = spd(6, 14).sub_block(0, 6, 0, 4); // 6x4
+        let mut b = x_true.matmul(&lc.transpose()).unwrap();
+        trsm_right_lower_trans(l.as_slice(), 4, b.as_mut_slice(), 6, 6, 4);
+        approx_eq(&b, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn ldlt_reconstructs_and_solves() {
+        let a = spd(7, 21);
+        let mut f = a.clone();
+        ldlt_lower(f.as_mut_slice(), 7, 7).unwrap();
+        // reconstruct L·D·Lᵀ
+        let mut l = DenseMatrix::identity(7);
+        let mut d = DenseMatrix::zeros(7, 7);
+        for j in 0..7 {
+            d[(j, j)] = f[(j, j)];
+            for i in j + 1..7 {
+                l[(i, j)] = f[(i, j)];
+            }
+        }
+        let recon = l.matmul(&d).unwrap().matmul(&l.transpose()).unwrap();
+        approx_eq(&recon, &a, 1e-9);
+        // solve against a known solution
+        let x_true = spd(7, 22).sub_block(0, 7, 0, 2);
+        let mut b = a.matmul(&x_true).unwrap();
+        ldlt_solve(f.as_slice(), 7, b.as_mut_slice(), 7, 7, 2);
+        approx_eq(&b, &x_true, 1e-8);
+    }
+
+    #[test]
+    fn ldlt_handles_quasi_definite() {
+        // indefinite but factorable without pivoting: D gets a negative
+        // entry, which plain Cholesky would reject
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 2.0, 0.0],
+            vec![2.0, -3.0, 1.0],
+            vec![0.0, 1.0, 5.0],
+        ])
+        .unwrap();
+        assert!(potrf_lower(&mut a.clone().as_mut_slice().to_vec(), 3, 3).is_err());
+        let mut f = a.clone();
+        ldlt_lower(f.as_mut_slice(), 3, 3).unwrap();
+        assert!(f[(1, 1)] < 0.0, "D must carry the negative pivot");
+        let x_true = DenseMatrix::column_vector(&[1.0, -2.0, 0.5]);
+        let mut b = a.matmul(&x_true).unwrap();
+        ldlt_solve(f.as_slice(), 3, b.as_mut_slice(), 3, 3, 1);
+        approx_eq(&b, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn ldlt_rejects_zero_pivot() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(1, 0)] = 1.0;
+        assert!(matches!(
+            ldlt_lower(a.as_mut_slice(), 2, 2),
+            Err(MatrixError::NotPositiveDefinite { column: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn kernels_respect_leading_dimensions() {
+        // embed a 2x2 gemm inside larger buffers with ld > m
+        let a = [1.0, 2.0, 0.0, 3.0, 4.0, 0.0]; // 2x2 in ld=3
+        let b = [5.0, 6.0, 0.0, 7.0, 8.0, 0.0]; // 2x2 in ld=3
+        let mut c = [0.0; 8]; // 2x2 in ld=4
+        gemm_update(&mut c, 4, &a, 3, &b, 3, 2, 2, 2);
+        // C = -A*B ; A = [[1,3],[2,4]], B = [[5,7],[6,8]]
+        assert_eq!(c[0], -(1.0 * 5.0 + 3.0 * 6.0));
+        assert_eq!(c[1], -(2.0 * 5.0 + 4.0 * 6.0));
+        assert_eq!(c[4], -(1.0 * 7.0 + 3.0 * 8.0));
+        assert_eq!(c[5], -(2.0 * 7.0 + 4.0 * 8.0));
+        assert_eq!(c[2], 0.0);
+        assert_eq!(c[3], 0.0);
+    }
+
+    #[test]
+    fn flop_counters() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert!(potrf_flops(10) >= 10 * 10 * 10 / 3);
+        assert_eq!(trsm_flops(4, 2), 32);
+    }
+}

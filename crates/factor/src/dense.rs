@@ -1,0 +1,127 @@
+//! Dense Cholesky factorization and triangular solution.
+//!
+//! Reference numerics for small systems and the sequential baseline for the
+//! dense triangular-solver comparison of the paper's Figure 5 table.
+
+use crate::blas;
+use trisolv_matrix::{DenseMatrix, MatrixError};
+
+/// A dense Cholesky factor (lower triangle; the strict upper triangle of
+/// the backing storage is zeroed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCholesky {
+    l: DenseMatrix,
+}
+
+impl DenseCholesky {
+    /// Factor a dense SPD matrix (only its lower triangle is read).
+    pub fn factor(a: &DenseMatrix) -> Result<Self, MatrixError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(MatrixError::DimensionMismatch {
+                op: "cholesky",
+                lhs: (n, m),
+                rhs: (n, n),
+            });
+        }
+        let mut l = a.clone();
+        blas::potrf_lower(l.as_mut_slice(), n, n)?;
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        Ok(DenseCholesky { l })
+    }
+
+    /// The factor `L`.
+    pub fn l(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Order of the system.
+    pub fn n(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solve `L·Y = B` (forward substitution), in place.
+    pub fn forward(&self, b: &mut DenseMatrix) {
+        let n = self.n();
+        assert_eq!(b.nrows(), n);
+        let nrhs = b.ncols();
+        blas::trsm_lower_left(self.l.as_slice(), n, b.as_mut_slice(), n, n, nrhs);
+    }
+
+    /// Solve `Lᵀ·X = Y` (backward substitution), in place.
+    pub fn backward(&self, y: &mut DenseMatrix) {
+        let n = self.n();
+        assert_eq!(y.nrows(), n);
+        let nrhs = y.ncols();
+        blas::trsm_lower_trans_left(self.l.as_slice(), n, y.as_mut_slice(), n, n, nrhs);
+    }
+
+    /// Solve `A·X = B` via forward + backward substitution.
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        let mut x = b.clone();
+        self.forward(&mut x);
+        self.backward(&mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::gen;
+
+    fn dense_spd(n: usize, seed: u64) -> DenseMatrix {
+        gen::random_spd(n, 3, seed).sym_expand().unwrap().to_dense()
+    }
+
+    #[test]
+    fn factor_and_reconstruct() {
+        let a = dense_spd(8, 1);
+        let ch = DenseCholesky::factor(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = dense_spd(10, 2);
+        let x_true = gen::random_rhs(10, 4, 3);
+        let b = a.matmul(&x_true).unwrap();
+        let ch = DenseCholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn forward_then_backward_composes() {
+        let a = dense_spd(6, 4);
+        let ch = DenseCholesky::factor(&a).unwrap();
+        let x_true = gen::random_rhs(6, 1, 5);
+        let mut y = ch.l().matmul(&x_true).unwrap();
+        ch.forward(&mut y);
+        assert!(y.max_abs_diff(&x_true).unwrap() < 1e-9);
+        let mut z = ch.l().transpose().matmul(&x_true).unwrap();
+        ch.backward(&mut z);
+        assert!(z.max_abs_diff(&x_true).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(3, 4);
+        assert!(DenseCholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let mut a = DenseMatrix::identity(4);
+        a[(1, 1)] = -2.0;
+        assert!(matches!(
+            DenseCholesky::factor(&a),
+            Err(MatrixError::NotPositiveDefinite { column: 1, .. })
+        ));
+    }
+}

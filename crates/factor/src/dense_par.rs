@@ -1,0 +1,501 @@
+//! Simulated-parallel *dense* Cholesky factorization — the dense
+//! factorization rows of the paper's Figure 5 table.
+//!
+//! * [`cholesky_1d`] — columns block-cyclic over all processors; fan-out
+//!   right-looking: the panel owner factors and broadcasts, everyone
+//!   updates. Every panel is broadcast to all `p` processors, so the
+//!   overhead is `O(N²·…)`-class per the paper's analysis: isoefficiency
+//!   `O(p³)` — the poorest pairing in the table.
+//! * [`cholesky_2d`] — 2-D block-cyclic over a near-square grid with row
+//!   and column broadcasts only inside grid rows/columns: overhead
+//!   `O(N·√p)`, isoefficiency `O(p^{3/2})` — the scalable formulation the
+//!   sparse multifrontal kernels inherit.
+
+use crate::blas;
+use trisolv_machine::{coll, BlockCyclic1d, BlockCyclic2d, Group, KernelClass, Machine,
+    MachineParams};
+use trisolv_matrix::{DenseMatrix, MatrixError};
+
+/// Result of a simulated dense factorization.
+#[derive(Debug, Clone)]
+pub struct DenseFactorResult {
+    /// The factor `L` (strict upper triangle zeroed).
+    pub l: DenseMatrix,
+    /// Virtual parallel time.
+    pub time: f64,
+    /// Overhead function `p·T_P − Σ busy`.
+    pub overhead: f64,
+    /// Words communicated.
+    pub words: u64,
+}
+
+/// Fan-out right-looking Cholesky with **1-D column block-cyclic**
+/// distribution.
+pub fn cholesky_1d(
+    a: &DenseMatrix,
+    p: usize,
+    block: usize,
+    params: MachineParams,
+) -> Result<DenseFactorResult, MatrixError> {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "matrix must be square");
+    let layout = BlockCyclic1d::new(n, block, p);
+    let nb = n.div_ceil(block);
+    let machine = Machine::new(p, params);
+    let run = machine.run(|proc| {
+        let me = proc.rank();
+        let group = Group::world(p);
+        // local columns, packed ascending
+        let my_cols: Vec<usize> = (0..n).filter(|&j| layout.owner(j) == me).collect();
+        let mut local = DenseMatrix::zeros(n, my_cols.len());
+        for (lj, &j) in my_cols.iter().enumerate() {
+            for i in j..n {
+                local[(i, lj)] = a[(i, j)];
+            }
+        }
+        let mut failed: Option<usize> = None;
+        for k in 0..nb {
+            let c0 = k * block;
+            let c1 = (c0 + block).min(n);
+            let len = c1 - c0;
+            let owner = layout.owner_of_block(k);
+            // panel = L[c0.., c0..c1] after factorization of the diag tile.
+            // The owner always broadcasts (status word first) so peers can
+            // learn about failures in earlier panels.
+            let payload = if me == owner {
+                if failed.is_none() {
+                let lj0 = my_cols.binary_search(&c0).expect("owner has block");
+                // factor the diagonal tile in place
+                let mut ok = true;
+                {
+                    let lslice = local.as_mut_slice();
+                    // tile occupies rows c0..c1 of local cols lj0..lj0+len
+                    let mut tile = vec![0.0; len * len];
+                    for j in 0..len {
+                        for i in j..len {
+                            tile[i + j * len] = lslice[(c0 + i) + (lj0 + j) * n];
+                        }
+                    }
+                    if blas::potrf_lower(&mut tile, len, len).is_err() {
+                        ok = false;
+                    } else {
+                        for j in 0..len {
+                            for i in j..len {
+                                lslice[(c0 + i) + (lj0 + j) * n] = tile[i + j * len];
+                            }
+                        }
+                        // panel trsm: L[c1.., c0..c1] ← A·L11⁻ᵀ
+                        let rows = n - c1;
+                        if rows > 0 {
+                            let mut panel = vec![0.0; rows * len];
+                            for j in 0..len {
+                                for i in 0..rows {
+                                    panel[i + j * rows] =
+                                        lslice[(c1 + i) + (lj0 + j) * n];
+                                }
+                            }
+                            blas::trsm_right_lower_trans(
+                                &tile, len, &mut panel, rows, rows, len,
+                            );
+                            for j in 0..len {
+                                for i in 0..rows {
+                                    lslice[(c1 + i) + (lj0 + j) * n] =
+                                        panel[i + j * rows];
+                                }
+                            }
+                        }
+                    }
+                }
+                if !ok {
+                    failed = Some(c0);
+                }
+                proc.compute_flops(
+                    (blas::potrf_flops(len) + blas::trsm_flops(len, n - c1)) as f64,
+                    KernelClass::Matrix,
+                );
+                }
+                // broadcast status + the full panel rows c0..n
+                let rows = n - c0;
+                let mut buf = Vec::with_capacity(rows * len + 1);
+                buf.push(if failed.is_some() { 1.0 } else { 0.0 });
+                if failed.is_none() {
+                    let lj0 = my_cols.binary_search(&c0).expect("owner has block");
+                    for j in 0..len {
+                        for i in 0..rows {
+                            buf.push(local[(c0 + i, lj0 + j)]);
+                        }
+                    }
+                }
+                buf
+            } else {
+                Vec::new()
+            };
+            let data = coll::bcast(proc, &group, k as u64, owner, payload);
+            if data[0] != 0.0 {
+                failed.get_or_insert(c0);
+                continue;
+            }
+            if failed.is_some() {
+                continue;
+            }
+            let rows = n - c0;
+            // update my columns j ≥ c1: local[:, j] -= panel · panel_jᵀ
+            let mut flops = 0usize;
+            for (lj, &j) in my_cols.iter().enumerate() {
+                if j < c1 {
+                    continue;
+                }
+                for kk in 0..len {
+                    // panel row for column j: data[1 + kk*rows + (j − c0)]
+                    let ljk = data[1 + kk * rows + (j - c0)];
+                    if ljk == 0.0 {
+                        continue;
+                    }
+                    for i in j..n {
+                        let lik = data[1 + kk * rows + (i - c0)];
+                        local[(i, lj)] -= lik * ljk;
+                    }
+                }
+                flops += 2 * (n - j) * len;
+            }
+            proc.compute_flops(flops as f64, KernelClass::Matrix);
+        }
+        (my_cols, local, failed)
+    });
+    assemble_1d(run, n)
+}
+
+fn assemble_1d(
+    run: trisolv_machine::RunResult<(Vec<usize>, DenseMatrix, Option<usize>)>,
+    n: usize,
+) -> Result<DenseFactorResult, MatrixError> {
+    let mut l = DenseMatrix::zeros(n, n);
+    for (my_cols, local, failed) in &run.results {
+        if let Some(col) = failed {
+            return Err(MatrixError::NotPositiveDefinite {
+                column: *col,
+                pivot: f64::NAN,
+            });
+        }
+        for (lj, &j) in my_cols.iter().enumerate() {
+            for i in j..n {
+                l[(i, j)] = local[(i, lj)];
+            }
+        }
+    }
+    Ok(DenseFactorResult {
+        l,
+        time: run.parallel_time(),
+        overhead: run.overhead(),
+        words: run.total_words(),
+    })
+}
+
+/// Fan-out right-looking Cholesky with **2-D block-cyclic** distribution
+/// over a near-square processor grid.
+pub fn cholesky_2d(
+    a: &DenseMatrix,
+    p: usize,
+    block: usize,
+    params: MachineParams,
+) -> Result<DenseFactorResult, MatrixError> {
+    let (n, m) = a.shape();
+    assert_eq!(n, m);
+    let (pr, pc) = BlockCyclic2d::square_grid(p);
+    let grid = BlockCyclic2d::new(n, n, block, pr, pc);
+    let nb = n.div_ceil(block);
+    let machine = Machine::new(p, params);
+    let run = machine.run(|proc| {
+        let me = proc.rank();
+        let (my_r, my_c) = (me / pc, me % pc);
+        let group = Group::world(p);
+        let row_group =
+            Group::from_ranks((0..pc).map(|c| my_r * pc + c).collect());
+        let col_group =
+            Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
+        let my_rows: Vec<usize> = (0..n).filter(|&i| grid.rows.owner(i) == my_r).collect();
+        let my_cols: Vec<usize> = (0..n).filter(|&j| grid.cols.owner(j) == my_c).collect();
+        let mut local = DenseMatrix::zeros(my_rows.len(), my_cols.len());
+        for (lj, &j) in my_cols.iter().enumerate() {
+            for (li, &i) in my_rows.iter().enumerate() {
+                if i >= j {
+                    local[(li, lj)] = a[(i, j)];
+                }
+            }
+        }
+        let mut failed: Option<usize> = None;
+        for k in 0..nb {
+            let c0 = k * block;
+            let c1 = (c0 + block).min(n);
+            let len = c1 - c0;
+            let rk = grid.rows.owner(c0);
+            let ck = grid.cols.owner(c0);
+            let ktag = 3 * k as u64;
+            // 1. potrf at (rk, ck), column-broadcast the tile
+            let mut tile = DenseMatrix::zeros(len, len);
+            if my_c == ck {
+                let mut status = 0.0;
+                if my_r == rk {
+                    if failed.is_none() {
+                        let li0 = my_rows.binary_search(&c0).expect("diag rows");
+                        let lj0 = my_cols.binary_search(&c0).expect("diag cols");
+                        for j in 0..len {
+                            for i in j..len {
+                                tile[(i, j)] = local[(li0 + i, lj0 + j)];
+                            }
+                        }
+                        if blas::potrf_lower(tile.as_mut_slice(), len, len).is_err() {
+                            failed = Some(c0);
+                            status = 1.0;
+                        } else {
+                            proc.compute_flops(
+                                blas::potrf_flops(len) as f64,
+                                KernelClass::Matrix,
+                            );
+                            for j in 0..len {
+                                for i in j..len {
+                                    local[(li0 + i, lj0 + j)] = tile[(i, j)];
+                                }
+                            }
+                        }
+                    } else {
+                        status = 1.0;
+                    }
+                }
+                let root = col_group
+                    .group_rank(rk * pc + ck)
+                    .expect("diag owner in column");
+                let mut payload = vec![status];
+                payload.extend_from_slice(tile.as_slice());
+                let data = coll::bcast(proc, &col_group, ktag, root, payload);
+                if data[0] != 0.0 {
+                    failed.get_or_insert(c0);
+                } else if my_r != rk {
+                    tile = DenseMatrix::from_column_major(len, len, data[1..].to_vec())
+                        .expect("tile shape");
+                }
+                // 2. panel trsm on my rows below the tile
+                if failed.is_none() {
+                    let tail = my_rows.partition_point(|&i| i < c1);
+                    let mrows = my_rows.len() - tail;
+                    if mrows > 0 {
+                        let lj0 = my_cols.binary_search(&c0).expect("panel cols");
+                        let mut panel = vec![0.0; mrows * len];
+                        for j in 0..len {
+                            for i in 0..mrows {
+                                panel[i + j * mrows] = local[(tail + i, lj0 + j)];
+                            }
+                        }
+                        blas::trsm_right_lower_trans(
+                            tile.as_slice(),
+                            len,
+                            &mut panel,
+                            mrows,
+                            mrows,
+                            len,
+                        );
+                        proc.compute_flops(
+                            blas::trsm_flops(len, mrows) as f64,
+                            KernelClass::Matrix,
+                        );
+                        for j in 0..len {
+                            for i in 0..mrows {
+                                local[(tail + i, lj0 + j)] = panel[i + j * mrows];
+                            }
+                        }
+                    }
+                }
+            }
+            // propagate failure knowledge grid-wide via the row broadcast
+            // 3. row broadcast of panel pieces from grid column ck
+            let tail = my_rows.partition_point(|&i| i < c1);
+            let w_rows: Vec<usize> = my_rows[tail..].to_vec();
+            let payload = if my_c == ck {
+                let mut buf = vec![if failed.is_some() { 1.0 } else { 0.0 }];
+                if failed.is_none() {
+                    let lj0 = my_cols.binary_search(&c0).expect("panel cols");
+                    for (i, &pos) in w_rows.iter().enumerate() {
+                        buf.push(pos as f64);
+                        for j in 0..len {
+                            buf.push(local[(tail + i, lj0 + j)]);
+                        }
+                    }
+                }
+                buf
+            } else {
+                Vec::new()
+            };
+            let root = row_group
+                .group_rank(my_r * pc + ck)
+                .expect("panel col in row group");
+            let wdata = coll::bcast(proc, &row_group, ktag + 1, root, payload);
+            if wdata[0] != 0.0 {
+                failed.get_or_insert(c0);
+            }
+            if failed.is_some() {
+                // keep collective structure consistent: empty exchange
+                let _ = coll::allgather(proc, &col_group, ktag + 2, Vec::new(), 1);
+                continue;
+            }
+            let mut w_mine = DenseMatrix::zeros(w_rows.len(), len);
+            {
+                let stride = 1 + len;
+                for rec in wdata[1..].chunks_exact(stride) {
+                    let pos = rec[0] as usize;
+                    let i = w_rows.binary_search(&pos).expect("my row");
+                    for j in 0..len {
+                        w_mine[(i, j)] = rec[1 + j];
+                    }
+                }
+            }
+            // 4. column exchange: panel rows needed for my column set
+            let contrib: Vec<f64> = {
+                let mut buf = Vec::new();
+                for (i, &pos) in w_rows.iter().enumerate() {
+                    if grid.cols.owner(pos) == my_c {
+                        buf.push(pos as f64);
+                        for j in 0..len {
+                            buf.push(w_mine[(i, j)]);
+                        }
+                    }
+                }
+                buf
+            };
+            let hint = (n - c1) * (1 + len) / p + 1;
+            let gathered = coll::allgather(proc, &col_group, ktag + 2, contrib, hint);
+            let ctail = my_cols.partition_point(|&j| j < c1);
+            let w_cols: Vec<usize> = my_cols[ctail..].to_vec();
+            let mut w_colvals = DenseMatrix::zeros(w_cols.len(), len);
+            for chunk in &gathered {
+                let stride = 1 + len;
+                for rec in chunk.chunks_exact(stride) {
+                    let pos = rec[0] as usize;
+                    if let Ok(j) = w_cols.binary_search(&pos) {
+                        for kk in 0..len {
+                            w_colvals[(j, kk)] = rec[1 + kk];
+                        }
+                    }
+                }
+            }
+            // 5. local symmetric update (lower triangle only)
+            let mut pairs = 0usize;
+            for (j, &pos_j) in w_cols.iter().enumerate() {
+                let jc = ctail + j;
+                let istart = w_rows.partition_point(|&i| i < pos_j);
+                for i in istart..w_rows.len() {
+                    let ir = tail + i;
+                    let mut sum = 0.0;
+                    for kk in 0..len {
+                        sum += w_mine[(i, kk)] * w_colvals[(j, kk)];
+                    }
+                    local[(ir, jc)] -= sum;
+                    pairs += 1;
+                }
+            }
+            proc.compute_flops((2 * pairs * len) as f64, KernelClass::Matrix);
+        }
+        let _ = &group;
+        (my_rows, my_cols, local, failed)
+    });
+
+    let mut l = DenseMatrix::zeros(n, n);
+    for (my_rows, my_cols, local, failed) in &run.results {
+        if let Some(col) = failed {
+            return Err(MatrixError::NotPositiveDefinite {
+                column: *col,
+                pivot: f64::NAN,
+            });
+        }
+        for (lj, &j) in my_cols.iter().enumerate() {
+            for (li, &i) in my_rows.iter().enumerate() {
+                if i >= j {
+                    l[(i, j)] = local[(li, lj)];
+                }
+            }
+        }
+    }
+    Ok(DenseFactorResult {
+        l,
+        time: run.parallel_time(),
+        overhead: run.overhead(),
+        words: run.total_words(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseCholesky;
+    use trisolv_matrix::gen;
+
+    fn dense_spd(n: usize, seed: u64) -> DenseMatrix {
+        gen::random_spd(n, 3, seed).sym_expand().unwrap().to_dense()
+    }
+
+    #[test]
+    fn cholesky_1d_matches_sequential() {
+        for (n, p, b) in [(24, 4, 3), (30, 6, 4), (16, 1, 4), (20, 8, 2)] {
+            let a = dense_spd(n, 1);
+            let reference = DenseCholesky::factor(&a).unwrap();
+            let r = cholesky_1d(&a, p, b, MachineParams::t3d()).unwrap();
+            assert!(
+                r.l.max_abs_diff(reference.l()).unwrap() < 1e-9,
+                "n={n} p={p} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cholesky_2d_matches_sequential() {
+        for (n, p, b) in [(24, 4, 3), (30, 8, 4), (16, 1, 4), (28, 16, 2), (21, 6, 2)] {
+            let a = dense_spd(n, 2);
+            let reference = DenseCholesky::factor(&a).unwrap();
+            let r = cholesky_2d(&a, p, b, MachineParams::t3d()).unwrap();
+            assert!(
+                r.l.max_abs_diff(reference.l()).unwrap() < 1e-9,
+                "n={n} p={p} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn indefinite_detected_1d_and_2d() {
+        let mut a = DenseMatrix::identity(12);
+        a[(7, 7)] = -3.0;
+        assert!(matches!(
+            cholesky_1d(&a, 4, 2, MachineParams::t3d()),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+        assert!(matches!(
+            cholesky_2d(&a, 4, 2, MachineParams::t3d()),
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn two_d_communicates_less_than_one_d_at_scale() {
+        // the scalability story of Figure 5: 1-D broadcasts every panel to
+        // everyone; 2-D confines broadcasts to grid rows/columns
+        let n = 96;
+        let p = 16;
+        let a = dense_spd(n, 3);
+        let r1 = cholesky_1d(&a, p, 4, MachineParams::t3d()).unwrap();
+        let r2 = cholesky_2d(&a, p, 4, MachineParams::t3d()).unwrap();
+        assert!(
+            r2.words < r1.words,
+            "2-D words {} not below 1-D words {}",
+            r2.words,
+            r1.words
+        );
+        assert!(r2.time < r1.time, "2-D {} vs 1-D {}", r2.time, r1.time);
+    }
+
+    #[test]
+    fn single_proc_no_comm() {
+        let a = dense_spd(10, 5);
+        let r = cholesky_1d(&a, 1, 4, MachineParams::t3d()).unwrap();
+        assert_eq!(r.words, 0);
+        let r2 = cholesky_2d(&a, 1, 4, MachineParams::t3d()).unwrap();
+        assert_eq!(r2.words, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Binary persistence for computed factors.
+//!
+//! Factoring is the expensive phase; production workflows persist `L` and
+//! re-load it to answer right-hand sides later ("factor once, solve for
+//! years"). The format is a simple little-endian stream — magic, version,
+//! partition arrays, per-supernode row patterns and dense blocks — with
+//! structural validation on load.
+
+use crate::SupernodalFactor;
+use std::io::{Read, Write};
+use trisolv_matrix::{DenseMatrix, MatrixError};
+use trisolv_symbolic::{SupernodePartition, NONE};
+
+const MAGIC: &[u8; 8] = b"TRISOLV1";
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), MatrixError> {
+    w.write_all(&v.to_le_bytes()).map_err(MatrixError::from)
+}
+
+fn write_f64_slice<W: Write>(w: &mut W, vs: &[f64]) -> Result<(), MatrixError> {
+    for &v in vs {
+        w.write_all(&v.to_le_bytes()).map_err(MatrixError::from)?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, MatrixError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(MatrixError::from)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_usize<R: Read>(r: &mut R, bound: u64) -> Result<usize, MatrixError> {
+    let v = read_u64(r)?;
+    if v > bound {
+        return Err(MatrixError::Io(format!(
+            "corrupt factor file: value {v} exceeds bound {bound}"
+        )));
+    }
+    Ok(v as usize)
+}
+
+fn read_f64_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>, MatrixError> {
+    let mut out = vec![0f64; n];
+    let mut buf = [0u8; 8];
+    for v in &mut out {
+        r.read_exact(&mut buf).map_err(MatrixError::from)?;
+        *v = f64::from_le_bytes(buf);
+    }
+    Ok(out)
+}
+
+/// Serialize a factor to a writer.
+pub fn save_factor<W: Write>(w: &mut W, f: &SupernodalFactor) -> Result<(), MatrixError> {
+    w.write_all(MAGIC).map_err(MatrixError::from)?;
+    let part = f.partition();
+    let n = part.n() as u64;
+    write_u64(w, n)?;
+    write_u64(w, part.nsup() as u64)?;
+    for s in 0..part.nsup() {
+        write_u64(w, part.cols(s).start as u64)?;
+        write_u64(w, part.cols(s).end as u64)?;
+        let rows = part.rows(s);
+        write_u64(w, rows.len() as u64)?;
+        for &r in rows {
+            write_u64(w, r as u64)?;
+        }
+        write_f64_slice(w, f.block(s).as_slice())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a factor from a reader, re-validating all structural
+/// invariants (column tiling, sorted rows, block shapes).
+pub fn load_factor<R: Read>(r: &mut R) -> Result<SupernodalFactor, MatrixError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(MatrixError::from)?;
+    if &magic != MAGIC {
+        return Err(MatrixError::Io("not a trisolv factor file".to_string()));
+    }
+    let n = read_usize(r, u64::MAX >> 16)?;
+    let nsup = read_usize(r, n as u64)?;
+    let mut first_col = Vec::with_capacity(nsup + 1);
+    let mut all_rows: Vec<Vec<usize>> = Vec::with_capacity(nsup);
+    let mut blocks: Vec<DenseMatrix> = Vec::with_capacity(nsup);
+    let mut expect_start = 0usize;
+    for s in 0..nsup {
+        let start = read_usize(r, n as u64)?;
+        let end = read_usize(r, n as u64)?;
+        if start != expect_start || end <= start || end > n {
+            return Err(MatrixError::Io(format!(
+                "corrupt factor file: supernode {s} columns {start}..{end}"
+            )));
+        }
+        expect_start = end;
+        first_col.push(start);
+        let nrows = read_usize(r, n as u64)?;
+        let t = end - start;
+        if nrows < t {
+            return Err(MatrixError::Io(format!(
+                "corrupt factor file: supernode {s} height {nrows} < width {t}"
+            )));
+        }
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            rows.push(read_usize(r, n as u64 - 1)?);
+        }
+        if rows[..t] != (start..end).collect::<Vec<_>>()[..]
+            || rows.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(MatrixError::Io(format!(
+                "corrupt factor file: supernode {s} row pattern invalid"
+            )));
+        }
+        let data = read_f64_vec(r, nrows * t)?;
+        blocks.push(DenseMatrix::from_column_major(nrows, t, data)?);
+        all_rows.push(rows);
+    }
+    if expect_start != n {
+        return Err(MatrixError::Io(
+            "corrupt factor file: columns do not tile 0..n".to_string(),
+        ));
+    }
+    first_col.push(n);
+    // rebuild derived arrays
+    let mut snode_of_col = vec![0usize; n];
+    for s in 0..nsup {
+        for c in first_col[s]..first_col[s + 1] {
+            snode_of_col[c] = s;
+        }
+    }
+    let mut parent = vec![NONE; nsup];
+    for s in 0..nsup {
+        let t = first_col[s + 1] - first_col[s];
+        if let Some(&below0) = all_rows[s].get(t) {
+            parent[s] = snode_of_col[below0];
+        }
+    }
+    let part = SupernodePartition::from_raw(first_col, snode_of_col, all_rows, parent);
+    Ok(SupernodalFactor::new(part, blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn sample_factor() -> SupernodalFactor {
+        let a = gen::grid2d_laplacian(9, 8);
+        let g = Graph::from_sym_lower(&a);
+        let p = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = analyze_with_perm(&a, &p);
+        factor_supernodal(&an.pa, &an.part).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_factor() {
+        let f = sample_factor();
+        let mut buf = Vec::new();
+        save_factor(&mut buf, &f).unwrap();
+        let g = load_factor(&mut &buf[..]).unwrap();
+        assert_eq!(g.n(), f.n());
+        assert_eq!(g.nsup(), f.nsup());
+        for s in 0..f.nsup() {
+            assert_eq!(g.partition().rows(s), f.partition().rows(s));
+            assert_eq!(g.block(s), f.block(s));
+            assert_eq!(g.partition().parent(s), f.partition().parent(s));
+        }
+    }
+
+    #[test]
+    fn loaded_factor_solves() {
+        let f = sample_factor();
+        let mut buf = Vec::new();
+        save_factor(&mut buf, &f).unwrap();
+        let g = load_factor(&mut &buf[..]).unwrap();
+        let x = gen::random_rhs(f.n(), 2, 1);
+        let b = f.llt_times(&x);
+        let b2 = g.llt_times(&x);
+        assert!(b.max_abs_diff(&b2).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOTAFILE".to_vec();
+        assert!(load_factor(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let f = sample_factor();
+        let mut buf = Vec::new();
+        save_factor(&mut buf, &f).unwrap();
+        for cut in [4usize, 12, 40, buf.len() / 2, buf.len() - 3] {
+            assert!(
+                load_factor(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_structure() {
+        let f = sample_factor();
+        let mut buf = Vec::new();
+        save_factor(&mut buf, &f).unwrap();
+        // corrupt the supernode count field (bytes 16..24)
+        let mut bad = buf.clone();
+        bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(load_factor(&mut &bad[..]).is_err());
+        // corrupt a column bound
+        let mut bad = buf.clone();
+        bad[24..32].copy_from_slice(&999_999u64.to_le_bytes());
+        assert!(load_factor(&mut &bad[..]).is_err());
+    }
+}

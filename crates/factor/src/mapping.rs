@@ -1,0 +1,286 @@
+//! Subtree-to-subcube mapping of the supernodal elimination tree.
+//!
+//! The root supernode is shared by all `p` processors; at every branching
+//! the processor group splits in two (work-balanced halves), until groups
+//! become singletons — from that point downward whole subtrees are owned by
+//! a single processor and processed sequentially (paper §2.1, Figure 1).
+
+use trisolv_machine::Group;
+use trisolv_symbolic::SupernodePartition;
+
+/// The subtree-to-subcube assignment for a given processor count.
+#[derive(Debug, Clone)]
+pub struct SubcubeMapping {
+    nprocs: usize,
+    /// Group of processors sharing each supernode (singleton for
+    /// sequential supernodes).
+    group_of: Vec<Group>,
+    /// Supernodes with a group of size ≥ 2, ascending (children first).
+    parallel_snodes: Vec<usize>,
+    /// Sequential supernodes owned by each processor, ascending.
+    seq_snodes: Vec<Vec<usize>>,
+}
+
+impl SubcubeMapping {
+    /// Build the mapping for `nprocs` processors. Children at each
+    /// branching are partitioned into two sets with balanced subtree solve
+    /// work; each set receives half the group (generalizing the binary
+    /// subtree-to-subcube scheme to arbitrary forests).
+    pub fn new(part: &SupernodePartition, nprocs: usize) -> Self {
+        assert!(nprocs >= 1);
+        let nsup = part.nsup();
+        let work = part.subtree_solve_flops(1);
+        let children = part.children();
+        let mut group_of: Vec<Option<Group>> = vec![None; nsup];
+        let mut seq_snodes: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+
+        // Recursive assignment, expressed iteratively with an explicit
+        // stack of (supernode set, group) jobs.
+        enum Job {
+            Set(Vec<usize>, Group),
+            Snode(usize, Group),
+        }
+        let mut stack = vec![Job::Set(part.roots(), Group::world(nprocs))];
+        while let Some(job) = stack.pop() {
+            match job {
+                Job::Snode(s, g) => {
+                    if g.size() == 1 {
+                        // entire subtree is sequential on this processor
+                        let owner = g.world_rank(0);
+                        let mut sub = vec![s];
+                        while let Some(v) = sub.pop() {
+                            group_of[v] = Some(Group::from_ranks(vec![owner]));
+                            seq_snodes[owner].push(v);
+                            sub.extend_from_slice(&children[v]);
+                        }
+                    } else {
+                        group_of[s] = Some(g.clone());
+                        stack.push(Job::Set(children[s].clone(), g));
+                    }
+                }
+                Job::Set(set, g) => {
+                    if set.is_empty() {
+                        continue;
+                    }
+                    if set.len() == 1 {
+                        stack.push(Job::Snode(set[0], g));
+                        continue;
+                    }
+                    if g.size() == 1 {
+                        for s in set {
+                            stack.push(Job::Snode(s, g.clone()));
+                        }
+                        continue;
+                    }
+                    // Greedy balanced bipartition of the set by subtree work.
+                    let mut idx: Vec<usize> = set.clone();
+                    idx.sort_by_key(|&s| std::cmp::Reverse(work[s]));
+                    let (mut wa, mut wb) = (0u64, 0u64);
+                    let (mut sa, mut sb) = (Vec::new(), Vec::new());
+                    for s in idx {
+                        if wa <= wb {
+                            wa += work[s];
+                            sa.push(s);
+                        } else {
+                            wb += work[s];
+                            sb.push(s);
+                        }
+                    }
+                    let (ga, gb) = g.split_half();
+                    stack.push(Job::Set(sa, ga));
+                    stack.push(Job::Set(sb, gb));
+                }
+            }
+        }
+
+        let group_of: Vec<Group> = group_of
+            .into_iter()
+            .map(|g| g.expect("every supernode assigned"))
+            .collect();
+        let parallel_snodes: Vec<usize> =
+            (0..nsup).filter(|&s| group_of[s].size() >= 2).collect();
+        for list in &mut seq_snodes {
+            list.sort_unstable();
+        }
+        SubcubeMapping {
+            nprocs,
+            group_of,
+            parallel_snodes,
+            seq_snodes,
+        }
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The group sharing supernode `s`.
+    pub fn group(&self, s: usize) -> &Group {
+        &self.group_of[s]
+    }
+
+    /// True if `s` is processed with the pipelined parallel kernels.
+    pub fn is_parallel(&self, s: usize) -> bool {
+        self.group_of[s].size() >= 2
+    }
+
+    /// All parallel supernodes, ascending (children before parents).
+    pub fn parallel_snodes(&self) -> &[usize] {
+        &self.parallel_snodes
+    }
+
+    /// Parallel supernodes whose group contains `rank`, ascending — the
+    /// processing path of that processor above its sequential subtree.
+    pub fn parallel_path(&self, rank: usize) -> Vec<usize> {
+        self.parallel_snodes
+            .iter()
+            .copied()
+            .filter(|&s| self.group_of[s].contains(rank))
+            .collect()
+    }
+
+    /// Sequential supernodes owned by `rank`, ascending.
+    pub fn seq_snodes(&self, rank: usize) -> &[usize] {
+        &self.seq_snodes[rank]
+    }
+
+    /// Sequential solve work (flops, fw+bw, 1 RHS) per processor — a load
+    /// balance diagnostic.
+    pub fn seq_work_per_proc(&self, part: &SupernodePartition) -> Vec<u64> {
+        (0..self.nprocs)
+            .map(|q| {
+                self.seq_snodes[q]
+                    .iter()
+                    .map(|&s| 2 * part.solve_flops_snode(s, 1))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqchol::analyze_with_perm;
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn grid_partition(k: usize) -> SupernodePartition {
+        let a = gen::grid2d_laplacian(k, k);
+        let g = Graph::from_sym_lower(&a);
+        let p = nd::nested_dissection_coords(
+            &g,
+            &nd::grid2d_coords(k, k, 1),
+            nd::NdOptions::default(),
+        );
+        analyze_with_perm(&a, &p).part
+    }
+
+    #[test]
+    fn single_proc_everything_sequential() {
+        let part = grid_partition(9);
+        let m = SubcubeMapping::new(&part, 1);
+        assert!(m.parallel_snodes().is_empty());
+        assert_eq!(m.seq_snodes(0).len(), part.nsup());
+    }
+
+    #[test]
+    fn every_snode_gets_a_group() {
+        let part = grid_partition(9);
+        for p in [2, 4, 8] {
+            let m = SubcubeMapping::new(&part, p);
+            for s in 0..part.nsup() {
+                assert!(!m.group(s).ranks().is_empty());
+                assert!(m.group(s).size() <= p);
+            }
+        }
+    }
+
+    #[test]
+    fn root_group_is_world() {
+        let part = grid_partition(11);
+        let m = SubcubeMapping::new(&part, 8);
+        let root = *part.roots().last().unwrap();
+        assert_eq!(m.group(root).size(), 8);
+    }
+
+    #[test]
+    fn child_groups_nest_in_parent() {
+        let part = grid_partition(11);
+        let m = SubcubeMapping::new(&part, 8);
+        for s in 0..part.nsup() {
+            if let Some(p) = part.parent(s) {
+                for &r in m.group(s).ranks() {
+                    assert!(
+                        m.group(p).contains(r),
+                        "rank {r} of snode {s} not in parent group"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_snodes_partition_non_parallel() {
+        let part = grid_partition(9);
+        let m = SubcubeMapping::new(&part, 4);
+        let mut owned = vec![0usize; part.nsup()];
+        for q in 0..4 {
+            for &s in m.seq_snodes(q) {
+                owned[s] += 1;
+                assert!(!m.is_parallel(s));
+            }
+        }
+        for s in 0..part.nsup() {
+            if m.is_parallel(s) {
+                assert_eq!(owned[s], 0);
+            } else {
+                assert_eq!(owned[s], 1, "snode {s} owned {} times", owned[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_is_nested_chain() {
+        let part = grid_partition(13);
+        let m = SubcubeMapping::new(&part, 8);
+        for q in 0..8 {
+            let path = m.parallel_path(q);
+            // group sizes along the path must be non-decreasing
+            for w in path.windows(2) {
+                assert!(
+                    m.group(w[0]).size() <= m.group(w[1]).size(),
+                    "proc {q}: group shrank going up"
+                );
+            }
+            // the last entry must be the root
+            if let Some(&top) = path.last() {
+                assert_eq!(m.group(top).size(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_work_is_roughly_balanced_on_balanced_grid() {
+        let part = grid_partition(17);
+        let m = SubcubeMapping::new(&part, 4);
+        let w = m.seq_work_per_proc(&part);
+        let max = *w.iter().max().unwrap() as f64;
+        let min = *w.iter().min().unwrap() as f64;
+        assert!(
+            max / min.max(1.0) < 3.0,
+            "sequential work imbalanced: {w:?}"
+        );
+    }
+
+    #[test]
+    fn more_procs_than_work_still_valid() {
+        // tiny matrix, many procs: most procs own nothing sequential
+        let part = grid_partition(3);
+        let m = SubcubeMapping::new(&part, 16);
+        let total: usize = (0..16).map(|q| m.seq_snodes(q).len()).sum();
+        let npar = m.parallel_snodes().len();
+        assert_eq!(total + npar, part.nsup());
+    }
+}

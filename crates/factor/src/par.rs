@@ -1,0 +1,635 @@
+//! Simulated-parallel multifrontal Cholesky factorization.
+//!
+//! This is the workspace's stand-in for the highly scalable factorization
+//! of Gupta, Karypis & Kumar (reference `[4]` of the paper): subtrees below
+//! the top `log p` levels are factored sequentially on their owner
+//! processors; each parallel supernode's frontal matrix is distributed
+//! **2-D block-cyclically** over a near-square grid of the supernode's
+//! group and factored with a fan-out right-looking algorithm (diagonal
+//! `potrf` → column broadcast → panel `trsm` → row broadcast + column
+//! exchange → local rank-`b` update). Moving update matrices between tree
+//! levels is an all-to-all personalized exchange within the parent group.
+//!
+//! It supplies (a) the factorization-time columns of the paper's main
+//! table, and (b) the 2-D distributed factor whose conversion to the 1-D
+//! solver layout is the redistribution experiment of §4.
+
+use crate::mapping::SubcubeMapping;
+use crate::{blas, seqchol, SupernodalFactor};
+use std::collections::HashMap;
+use trisolv_machine::{coll, BlockCyclic1d, BlockCyclic2d, Group, Machine, MachineParams, Proc};
+use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError};
+use trisolv_symbolic::SupernodePartition;
+
+/// Configuration of a simulated parallel factorization.
+#[derive(Debug, Clone, Copy)]
+pub struct FactorConfig {
+    /// Number of virtual processors.
+    pub nprocs: usize,
+    /// Tile size of the 2-D block-cyclic frontal distribution.
+    pub block: usize,
+    /// Machine cost model.
+    pub params: MachineParams,
+}
+
+/// Timing and accounting of a parallel factorization.
+#[derive(Debug, Clone)]
+pub struct FactorReport {
+    /// Virtual parallel runtime in seconds.
+    pub time: f64,
+    /// Algorithmic flop count of the factorization.
+    pub flops: u64,
+    /// Words communicated.
+    pub words: u64,
+    /// Messages sent.
+    pub msgs: u64,
+}
+
+impl FactorReport {
+    /// MFLOPS achieved (algorithmic flops / virtual time).
+    pub fn mflops(&self) -> f64 {
+        self.flops as f64 / self.time / 1e6
+    }
+}
+
+/// Entries of a distributed matrix piece: `(row, col, value)` in the
+/// *global* index space.
+type Entries = Vec<(usize, usize, f64)>;
+
+/// Per-processor output: solved L pieces per supernode.
+struct ProcOut {
+    seq_blocks: Vec<(usize, DenseMatrix)>,
+    par_pieces: Vec<(usize, Entries)>,
+}
+
+/// Factor `pa` (lower triangle, already permuted/postordered) on the
+/// simulated machine. Returns the assembled factor — verified in tests to
+/// match [`seqchol::factor_supernodal`] — plus the timing report.
+pub fn factor_parallel(
+    pa: &CscMatrix,
+    part: &SupernodePartition,
+    mapping: &SubcubeMapping,
+    config: &FactorConfig,
+) -> Result<(SupernodalFactor, FactorReport), MatrixError> {
+    assert_eq!(mapping.nprocs(), config.nprocs);
+    let children = part.children();
+    let machine = Machine::new(config.nprocs, config.params);
+
+    // A numerical failure on one virtual processor is handled the way real
+    // distributed codes handle it (MPI_Abort): the failing processor
+    // records the error and panics; the panic cascades through the
+    // machine, is caught here, and is converted back into an `Err`.
+    let error_slot: std::sync::Mutex<Option<MatrixError>> = std::sync::Mutex::new(None);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        machine.run(|proc| {
+        let me = proc.rank();
+        let abort = |e: MatrixError| -> ! {
+            *error_slot.lock().expect("error slot") = Some(e);
+            std::panic::panic_any("simulated machine abort: numerical failure");
+        };
+        let mut out = ProcOut {
+            seq_blocks: Vec::new(),
+            par_pieces: Vec::new(),
+        };
+        // updates of my sequential subtree roots, as dense matrices
+        let mut seq_updates: HashMap<usize, DenseMatrix> = HashMap::new();
+        // my local pieces of parallel supernodes' update matrices (global
+        // index space)
+        let mut par_updates: HashMap<usize, Entries> = HashMap::new();
+
+        // ---- sequential subtrees ----
+        for &s in mapping.seq_snodes(me) {
+            let child_updates: Vec<(usize, DenseMatrix)> = children[s]
+                .iter()
+                .map(|&c| (c, seq_updates.remove(&c).expect("child done")))
+                .collect();
+            match seqchol::process_frontal(pa, part, s, &child_updates) {
+                Ok((blk, update)) => {
+                    let (ns, t) = (part.height(s), part.width(s));
+                    proc.compute_flops(
+                        (blas::potrf_flops(t)
+                            + blas::trsm_flops(t, ns - t)
+                            + blas::gemm_flops(ns - t, ns - t, t) / 2)
+                            as f64,
+                        trisolv_machine::KernelClass::Matrix,
+                    );
+                    seq_updates.insert(s, update);
+                    out.seq_blocks.push((s, blk));
+                }
+                Err(e) => abort(e),
+            }
+        }
+
+        // ---- parallel supernodes along my path ----
+        for &s in &mapping.parallel_path(me) {
+            if let Err(e) = parallel_frontal(
+                proc,
+                pa,
+                part,
+                mapping,
+                s,
+                &children[s],
+                config.block,
+                &mut seq_updates,
+                &mut par_updates,
+                &mut out,
+            ) {
+                abort(e);
+            }
+        }
+        out
+        })
+    }));
+    let run = match run {
+        Ok(r) => r,
+        Err(payload) => {
+            let e = error_slot
+                .lock()
+                .expect("error slot")
+                .take()
+                .unwrap_or_else(|| {
+                    // not a recorded numerical failure: re-raise
+                    std::panic::resume_unwind(payload)
+                });
+            return Err(e);
+        }
+    };
+
+    // assemble
+    let mut blocks: Vec<Option<DenseMatrix>> = (0..part.nsup()).map(|_| None).collect();
+    for po in &run.results {
+        for (s, blk) in &po.seq_blocks {
+            blocks[*s] = Some(blk.clone());
+        }
+    }
+    // parallel pieces: scatter into blocks
+    let mut rowpos: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for po in &run.results {
+        for (s, entries) in &po.par_pieces {
+            let pos = rowpos.entry(*s).or_insert_with(|| {
+                part.rows(*s)
+                    .iter()
+                    .enumerate()
+                    .map(|(li, &gi)| (gi, li))
+                    .collect()
+            });
+            let blk = blocks[*s].get_or_insert_with(|| {
+                DenseMatrix::zeros(part.height(*s), part.width(*s))
+            });
+            let first = part.cols(*s).start;
+            for &(gi, gj, v) in entries {
+                blk[(pos[&gi], gj - first)] = v;
+            }
+        }
+    }
+    let blocks: Vec<DenseMatrix> = blocks
+        .into_iter()
+        .enumerate()
+        .map(|(s, b)| b.unwrap_or_else(|| panic!("supernode {s} unassembled")))
+        .collect();
+    let factor = SupernodalFactor::new(part.clone(), blocks);
+    let report = FactorReport {
+        time: run.parallel_time(),
+        flops: part.factor_flops(),
+        words: run.total_words(),
+        msgs: run.total_msgs(),
+    };
+    Ok((factor, report))
+}
+
+/// Process one parallel supernode's frontal matrix on its group's grid.
+#[allow(clippy::too_many_arguments)]
+fn parallel_frontal(
+    proc: &mut Proc,
+    pa: &CscMatrix,
+    part: &SupernodePartition,
+    mapping: &SubcubeMapping,
+    s: usize,
+    snode_children: &[usize],
+    block: usize,
+    seq_updates: &mut HashMap<usize, DenseMatrix>,
+    par_updates: &mut HashMap<usize, Entries>,
+    out: &mut ProcOut,
+) -> Result<(), MatrixError> {
+    let group = mapping.group(s).clone();
+    let q = group.size();
+    let gme = group.group_rank(proc.rank()).expect("on path");
+    let rows = part.rows(s);
+    let t = part.width(s);
+    let ns = rows.len();
+    let first_col = part.cols(s).start;
+    let (pr, pc) = BlockCyclic2d::square_grid(q);
+    let (my_r, my_c) = (gme / pc, gme % pc);
+    let row_layout = BlockCyclic1d::new(ns, block, pr);
+    let col_layout = BlockCyclic1d::new(ns, block, pc);
+    let tag0 = s as u64 * 1_000_003;
+
+    // global row -> frontal position
+    let gpos: HashMap<usize, usize> = rows
+        .iter()
+        .enumerate()
+        .map(|(li, &gi)| (gi, li))
+        .collect();
+    let my_rows: Vec<usize> = (0..ns).filter(|&i| row_layout.owner(i) == my_r).collect();
+    let my_cols: Vec<usize> = (0..ns).filter(|&j| col_layout.owner(j) == my_c).collect();
+    let rloc = |pos: usize| my_rows.binary_search(&pos).expect("my row");
+    let cloc = |pos: usize| my_cols.binary_search(&pos).expect("my col");
+    let mut f = DenseMatrix::zeros(my_rows.len(), my_cols.len());
+
+    // assemble A entries I own
+    for (lj, j) in part.cols(s).enumerate() {
+        if col_layout.owner(lj) != my_c {
+            continue;
+        }
+        let jc = cloc(lj);
+        for (k, &gi) in pa.col_rows(j).iter().enumerate() {
+            let pi = gpos[&gi];
+            if row_layout.owner(pi) == my_r {
+                f[(rloc(pi), jc)] += pa.col_values(j)[k];
+            }
+        }
+    }
+
+    // ---- extend-add: route child update entries to their 2-D owners ----
+    let mut per_dest: Vec<Vec<f64>> = vec![Vec::new(); q];
+    let route = |entries: &Entries, per_dest: &mut Vec<Vec<f64>>| {
+        for &(gi, gj, v) in entries {
+            let (pi, pj) = (gpos[&gi], gpos[&gj]);
+            let dest = row_layout.owner(pi) * pc + col_layout.owner(pj);
+            per_dest[dest].push(pi as f64);
+            per_dest[dest].push(pj as f64);
+            per_dest[dest].push(v);
+        }
+    };
+    for &c in snode_children {
+        if let Some(u) = seq_updates.remove(&c) {
+            // my whole sequential subtree root update
+            let crows = part.below_rows(c);
+            let mut entries = Entries::new();
+            for (lj, &gj) in crows.iter().enumerate() {
+                for (li, &gi) in crows.iter().enumerate().skip(lj) {
+                    let v = u[(li, lj)];
+                    if v != 0.0 {
+                        entries.push((gi, gj, v));
+                    }
+                }
+            }
+            route(&entries, &mut per_dest);
+        }
+        if let Some(entries) = par_updates.remove(&c) {
+            route(&entries, &mut per_dest);
+        }
+    }
+    // group-uniform hint: total child-update volume (3 words per entry)
+    // split across the group
+    let hint = {
+        let total: usize = snode_children
+            .iter()
+            .map(|&c| {
+                let m = part.below_rows(c).len();
+                m * (m + 1) / 2
+            })
+            .sum();
+        3 * total / q + 1
+    };
+    let incoming = coll::all_to_all_personalized(proc, &group, tag0, per_dest, hint);
+    for chunk in &incoming {
+        for e in chunk.chunks_exact(3) {
+            let (pi, pj, v) = (e[0] as usize, e[1] as usize, e[2]);
+            f[(rloc(pi), cloc(pj))] += v;
+        }
+    }
+
+    // ---- fan-out right-looking panel factorization of the t columns ----
+    let nb_panels = t.div_ceil(block);
+    let row_group =
+        Group::from_ranks((0..pc).map(|c| group.world_rank(my_r * pc + c)).collect());
+    let col_group =
+        Group::from_ranks((0..pr).map(|r| group.world_rank(r * pc + my_c)).collect());
+    for k in 0..nb_panels {
+        let p0 = k * block;
+        let p1 = (p0 + block).min(t);
+        let len = p1 - p0;
+        let rk = row_layout.owner(p0);
+        let ck = col_layout.owner(p0);
+        let ktag = tag0 + 5 * (k as u64 + 1);
+
+        // 1. factor the diagonal tile at (rk, ck); broadcast down column ck
+        let mut tile = DenseMatrix::zeros(len, len);
+        if my_c == ck {
+            if my_r == rk {
+                let (r0, c0) = (rloc(p0), cloc(p0));
+                for j in 0..len {
+                    for i in j..len {
+                        tile[(i, j)] = f[(r0 + i, c0 + j)];
+                    }
+                }
+                blas::potrf_lower(tile.as_mut_slice(), len, len).map_err(|e| match e {
+                    MatrixError::NotPositiveDefinite { column, pivot } => {
+                        MatrixError::NotPositiveDefinite {
+                            column: first_col + p0 + column,
+                            pivot,
+                        }
+                    }
+                    other => other,
+                })?;
+                proc.compute_flops(
+                    blas::potrf_flops(len) as f64,
+                    trisolv_machine::KernelClass::Matrix,
+                );
+                for j in 0..len {
+                    for i in j..len {
+                        f[(r0 + i, c0 + j)] = tile[(i, j)];
+                    }
+                }
+            }
+            let root = col_group
+                .group_rank(group.world_rank(rk * pc + ck))
+                .expect("diag owner in column group");
+            let data = coll::bcast(proc, &col_group, ktag, root, tile.as_slice().to_vec());
+            if my_r != rk {
+                tile = DenseMatrix::from_column_major(len, len, data).expect("tile shape");
+            }
+            // 2. panel trsm on my rows below the tile
+            let tail = my_rows.partition_point(|&p| p < p1);
+            let m = my_rows.len() - tail;
+            if m > 0 {
+                let c0 = cloc(p0);
+                let mut panel = DenseMatrix::zeros(m, len);
+                for j in 0..len {
+                    for i in 0..m {
+                        panel[(i, j)] = f[(tail + i, c0 + j)];
+                    }
+                }
+                blas::trsm_right_lower_trans(
+                    tile.as_slice(),
+                    len,
+                    panel.as_mut_slice(),
+                    m,
+                    m,
+                    len,
+                );
+                proc.compute_flops(
+                    blas::trsm_flops(len, m) as f64,
+                    trisolv_machine::KernelClass::Matrix,
+                );
+                for j in 0..len {
+                    for i in 0..m {
+                        f[(tail + i, c0 + j)] = panel[(i, j)];
+                    }
+                }
+            }
+        }
+        // 3. row broadcast: grid column ck procs send their panel pieces
+        // along their grid rows → every proc gets W for its row set
+        let tail = my_rows.partition_point(|&p| p < p1);
+        let w_rows: Vec<usize> = my_rows[tail..].to_vec();
+        let payload = if my_c == ck {
+            let c0 = cloc(p0);
+            let mut buf = Vec::with_capacity(w_rows.len() * (1 + len));
+            for (i, &pos) in w_rows.iter().enumerate() {
+                buf.push(pos as f64);
+                for j in 0..len {
+                    buf.push(f[(tail + i, c0 + j)]);
+                }
+            }
+            buf
+        } else {
+            Vec::new()
+        };
+        let root = row_group
+            .group_rank(group.world_rank(my_r * pc + ck))
+            .expect("panel owner in row group");
+        let wdata = coll::bcast(proc, &row_group, ktag + 1, root, payload);
+        // W for my rows: pos -> values
+        let mut w_mine = DenseMatrix::zeros(w_rows.len(), len);
+        {
+            let stride = 1 + len;
+            for rec in wdata.chunks_exact(stride) {
+                let pos = rec[0] as usize;
+                let i = w_rows.binary_search(&pos).expect("my row");
+                for j in 0..len {
+                    w_mine[(i, j)] = rec[1 + j];
+                }
+            }
+        }
+        // 4. column exchange: contribute the panel rows whose position is
+        // one of MY GRID COLUMN's positions; all-gather within the column
+        let contrib: Vec<f64> = {
+            let mut buf = Vec::new();
+            for (i, &pos) in w_rows.iter().enumerate() {
+                if col_layout.owner(pos) == my_c {
+                    buf.push(pos as f64);
+                    for j in 0..len {
+                        buf.push(w_mine[(i, j)]);
+                    }
+                }
+            }
+            buf
+        };
+        // group-uniform hint: my grid column's share of the panel rows
+        let hint = (ns - p1) * (1 + len) / (pr * pc) + 1;
+        let gathered = coll::allgather(proc, &col_group, ktag + 2, contrib, hint);
+        let ctail = my_cols.partition_point(|&p| p < p1);
+        let w_cols: Vec<usize> = my_cols[ctail..].to_vec();
+        let mut w_colvals = DenseMatrix::zeros(w_cols.len(), len);
+        for chunk in &gathered {
+            let stride = 1 + len;
+            for rec in chunk.chunks_exact(stride) {
+                let pos = rec[0] as usize;
+                if let Ok(j) = w_cols.binary_search(&pos) {
+                    for kk in 0..len {
+                        w_colvals[(j, kk)] = rec[1 + kk];
+                    }
+                }
+            }
+        }
+        // 5. local update: F[i][j] -= Σ W_row[i]·W_col[j] for pos_i ≥ pos_j ≥ p1
+        let mut pairs = 0usize;
+        for (j, &pos_j) in w_cols.iter().enumerate() {
+            let jc = ctail + j;
+            let istart = w_rows.partition_point(|&p| p < pos_j);
+            for i in istart..w_rows.len() {
+                let ir = tail + i;
+                let mut sum = 0.0;
+                for kk in 0..len {
+                    sum += w_mine[(i, kk)] * w_colvals[(j, kk)];
+                }
+                f[(ir, jc)] -= sum;
+                pairs += 1;
+            }
+        }
+        proc.compute_flops(
+            (2 * pairs * len) as f64,
+            trisolv_machine::KernelClass::Matrix,
+        );
+    }
+
+    // ---- extract my L pieces and my update pieces ----
+    let mut l_entries = Entries::new();
+    let mut u_entries = Entries::new();
+    for (jc, &pos_j) in my_cols.iter().enumerate() {
+        for (ir, &pos_i) in my_rows.iter().enumerate() {
+            if pos_i < pos_j {
+                continue;
+            }
+            let v = f[(ir, jc)];
+            if pos_j < t {
+                if v != 0.0 || pos_i == pos_j {
+                    l_entries.push((rows[pos_i], rows[pos_j], v));
+                }
+            } else if v != 0.0 {
+                u_entries.push((rows[pos_i], rows[pos_j], v));
+            }
+        }
+    }
+    out.par_pieces.push((s, l_entries));
+    par_updates.insert(s, u_entries);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    fn analyze(a: &CscMatrix, coords: Option<&[[f64; 3]]>) -> crate::seqchol::Analysis {
+        let g = Graph::from_sym_lower(a);
+        let p = match coords {
+            Some(c) => nd::nested_dissection_coords(&g, c, nd::NdOptions::default()),
+            None => nd::nested_dissection(&g, nd::NdOptions::default()),
+        };
+        analyze_with_perm(a, &p)
+    }
+
+    fn check_matches_sequential(
+        a: &CscMatrix,
+        coords: Option<&[[f64; 3]]>,
+        nprocs: usize,
+        block: usize,
+    ) -> FactorReport {
+        let an = analyze(a, coords);
+        let expect = factor_supernodal(&an.pa, &an.part).unwrap();
+        let mapping = SubcubeMapping::new(&an.part, nprocs);
+        let config = FactorConfig {
+            nprocs,
+            block,
+            params: MachineParams::t3d(),
+        };
+        let (got, report) = factor_parallel(&an.pa, &an.part, &mapping, &config).unwrap();
+        for s in 0..an.part.nsup() {
+            let diff = got.block(s).max_abs_diff(expect.block(s)).unwrap();
+            assert!(
+                diff < 1e-9,
+                "p={nprocs} b={block} snode {s}: diff {diff}"
+            );
+        }
+        report
+    }
+
+    #[test]
+    fn matches_sequential_on_grid() {
+        let a = gen::grid2d_laplacian(11, 11);
+        let coords = nd::grid2d_coords(11, 11, 1);
+        for p in [1, 2, 4, 8] {
+            check_matches_sequential(&a, Some(&coords), p, 2);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_various_blocks() {
+        let a = gen::grid2d_laplacian(9, 9);
+        let coords = nd::grid2d_coords(9, 9, 1);
+        for b in [1, 2, 3, 8] {
+            check_matches_sequential(&a, Some(&coords), 4, b);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_3d() {
+        let a = gen::grid3d_laplacian(4, 4, 4);
+        let coords = nd::grid3d_coords(4, 4, 4, 1);
+        check_matches_sequential(&a, Some(&coords), 8, 2);
+    }
+
+    #[test]
+    fn matches_sequential_on_random() {
+        let a = gen::random_spd(90, 4, 21);
+        for p in [2, 6] {
+            check_matches_sequential(&a, None, p, 2);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_grid() {
+        let a = gen::grid2d_laplacian(10, 10);
+        let coords = nd::grid2d_coords(10, 10, 1);
+        for p in [3, 5, 12] {
+            check_matches_sequential(&a, Some(&coords), p, 2);
+        }
+    }
+
+    #[test]
+    fn indefinite_reported_from_parallel_region() {
+        let a = gen::grid2d_laplacian(8, 8);
+        let an = analyze(&a, None);
+        // flip a diagonal value in the permuted matrix near the root
+        let mut pa = an.pa.clone();
+        let j = pa.ncols() - 1;
+        let base = pa.colptr()[j];
+        pa.values_mut()[base] = -1.0;
+        let mapping = SubcubeMapping::new(&an.part, 4);
+        let config = FactorConfig {
+            nprocs: 4,
+            block: 2,
+            params: MachineParams::t3d(),
+        };
+        let res = factor_parallel(&pa, &an.part, &mapping, &config);
+        assert!(matches!(
+            res,
+            Err(MatrixError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn factorization_time_decreases_with_procs() {
+        let k = 31;
+        let a = gen::grid2d_laplacian(k, k);
+        let coords = nd::grid2d_coords(k, k, 1);
+        let an = analyze(&a, Some(&coords));
+        let mut prev = f64::INFINITY;
+        for p in [1, 4, 16] {
+            let mapping = SubcubeMapping::new(&an.part, p);
+            let config = FactorConfig {
+                nprocs: p,
+                block: 4,
+                params: MachineParams::t3d(),
+            };
+            let (_, report) = factor_parallel(&an.pa, &an.part, &mapping, &config).unwrap();
+            assert!(
+                report.time < prev,
+                "p={p}: {} not below {prev}",
+                report.time
+            );
+            prev = report.time;
+        }
+    }
+
+    #[test]
+    fn single_proc_factor_time_matches_flop_model() {
+        let a = gen::grid2d_laplacian(9, 9);
+        let an = analyze(&a, None);
+        let mapping = SubcubeMapping::new(&an.part, 1);
+        let config = FactorConfig {
+            nprocs: 1,
+            block: 4,
+            params: MachineParams::t3d(),
+        };
+        let (_, report) = factor_parallel(&an.pa, &an.part, &mapping, &config).unwrap();
+        assert_eq!(report.words, 0);
+        assert!(report.time > 0.0);
+        assert!(report.mflops() > 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Undirected adjacency graphs in CSR form.
+
+use crate::Permutation;
+use trisolv_matrix::CscMatrix;
+
+/// An undirected graph stored in compressed sparse row form.
+///
+/// Neighbour lists are sorted and contain no self-loops. Built from the
+/// lower triangle of a symmetric matrix (both directions of each edge are
+/// stored so `neighbors(v)` is complete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adjncy: Vec<usize>,
+}
+
+impl Graph {
+    /// Build from explicit neighbour lists (deduplicated and sorted here).
+    pub fn from_neighbor_lists(lists: &[Vec<usize>]) -> Self {
+        let n = lists.len();
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::new();
+        xadj.push(0);
+        for (v, list) in lists.iter().enumerate() {
+            let mut l: Vec<usize> = list.iter().copied().filter(|&u| u != v).collect();
+            l.sort_unstable();
+            l.dedup();
+            adjncy.extend_from_slice(&l);
+            xadj.push(adjncy.len());
+        }
+        Graph { xadj, adjncy }
+    }
+
+    /// Build the adjacency graph of a symmetric matrix stored
+    /// lower-triangular: an edge `{i, j}` for every off-diagonal entry.
+    pub fn from_sym_lower(m: &CscMatrix) -> Self {
+        assert_eq!(m.nrows(), m.ncols(), "symmetric matrix must be square");
+        let n = m.nrows();
+        let mut deg = vec![0usize; n];
+        for j in 0..n {
+            for &i in m.col_rows(j) {
+                if i != j {
+                    deg[i] += 1;
+                    deg[j] += 1;
+                }
+            }
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + deg[v];
+        }
+        let mut adjncy = vec![0usize; xadj[n]];
+        let mut next = xadj.clone();
+        for j in 0..n {
+            for &i in m.col_rows(j) {
+                if i != j {
+                    adjncy[next[i]] = j;
+                    next[i] += 1;
+                    adjncy[next[j]] = i;
+                    next[j] += 1;
+                }
+            }
+        }
+        for v in 0..n {
+            adjncy[xadj[v]..xadj[v + 1]].sort_unstable();
+        }
+        Graph { xadj, adjncy }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn nvertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn nedges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Relabel vertices: vertex `v` becomes `perm.apply(v)`.
+    pub fn permute(&self, perm: &Permutation) -> Graph {
+        let n = self.nvertices();
+        assert_eq!(perm.len(), n);
+        let mut lists = vec![Vec::new(); n];
+        for v in 0..n {
+            let pv = perm.apply(v);
+            lists[pv] = self.neighbors(v).iter().map(|&u| perm.apply(u)).collect();
+        }
+        Graph::from_neighbor_lists(&lists)
+    }
+
+    /// Breadth-first search from `start` restricted to vertices where
+    /// `mask[v]` is true. Returns `(order, level)` where `order` lists the
+    /// reached vertices in visit order and `level[v]` is the BFS distance
+    /// (`usize::MAX` if unreached or masked out).
+    pub fn bfs_masked(&self, start: usize, mask: &[bool]) -> (Vec<usize>, Vec<usize>) {
+        let n = self.nvertices();
+        let mut level = vec![usize::MAX; n];
+        let mut order = Vec::new();
+        if !mask[start] {
+            return (order, level);
+        }
+        let mut queue = std::collections::VecDeque::new();
+        level[start] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in self.neighbors(v) {
+                if mask[u] && level[u] == usize::MAX {
+                    level[u] = level[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        (order, level)
+    }
+
+    /// Connected components among vertices with `mask[v]` true; returns one
+    /// vertex list per component.
+    pub fn components_masked(&self, mask: &[bool]) -> Vec<Vec<usize>> {
+        let n = self.nvertices();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for s in 0..n {
+            if !mask[s] || seen[s] {
+                continue;
+            }
+            let (order, _) = self.bfs_masked(s, mask);
+            for &v in &order {
+                seen[v] = true;
+            }
+            comps.push(order);
+        }
+        comps
+    }
+
+    /// A pseudo-peripheral vertex within the masked subgraph containing
+    /// `start` (George–Liu heuristic: repeat BFS from the farthest
+    /// smallest-degree vertex until eccentricity stops growing).
+    pub fn pseudo_peripheral(&self, start: usize, mask: &[bool]) -> usize {
+        let mut v = start;
+        let (order, level) = self.bfs_masked(v, mask);
+        if order.is_empty() {
+            return start;
+        }
+        let mut ecc = order.iter().map(|&u| level[u]).max().unwrap();
+        loop {
+            let (order, level) = self.bfs_masked(v, mask);
+            let far = order.iter().map(|&u| level[u]).max().unwrap();
+            let cand = order
+                .iter()
+                .copied()
+                .filter(|&u| level[u] == far)
+                .min_by_key(|&u| self.degree(u))
+                .unwrap();
+            if far > ecc {
+                ecc = far;
+                v = cand;
+            } else {
+                return cand;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::gen;
+
+    #[test]
+    fn from_sym_lower_builds_both_directions() {
+        let m = gen::grid2d_laplacian(3, 1); // path 0-1-2
+        let g = Graph::from_sym_lower(&m);
+        assert_eq!(g.nvertices(), 3);
+        assert_eq!(g.nedges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn neighbor_lists_deduplicate() {
+        let g = Graph::from_neighbor_lists(&[vec![1, 1, 0], vec![0]]);
+        assert_eq!(g.neighbors(0), &[1]); // self-loop and dup removed
+        assert_eq!(g.nedges(), 1);
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let m = gen::grid2d_laplacian(2, 2); // square 0-1,0-2,1-3,2-3
+        let g = Graph::from_sym_lower(&m);
+        let p = Permutation::from_vec(vec![3, 2, 1, 0]).unwrap();
+        let pg = g.permute(&p);
+        assert_eq!(pg.nedges(), g.nedges());
+        // old edge {0,1} -> new edge {3,2}
+        assert!(pg.neighbors(3).contains(&2));
+        for v in 0..4 {
+            assert_eq!(pg.degree(p.apply(v)), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let m = gen::grid2d_laplacian(5, 1);
+        let g = Graph::from_sym_lower(&m);
+        let mask = vec![true; 5];
+        let (order, level) = g.bfs_masked(0, &mask);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(level[4], 4);
+    }
+
+    #[test]
+    fn bfs_respects_mask() {
+        let m = gen::grid2d_laplacian(5, 1);
+        let g = Graph::from_sym_lower(&m);
+        let mut mask = vec![true; 5];
+        mask[2] = false; // cut the path
+        let (order, level) = g.bfs_masked(0, &mask);
+        assert_eq!(order, vec![0, 1]);
+        assert_eq!(level[3], usize::MAX);
+    }
+
+    #[test]
+    fn components_found() {
+        let m = gen::grid2d_laplacian(6, 1);
+        let g = Graph::from_sym_lower(&m);
+        let mut mask = vec![true; 6];
+        mask[3] = false;
+        let comps = g.components_masked(&mask);
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path_is_an_end() {
+        let m = gen::grid2d_laplacian(7, 1);
+        let g = Graph::from_sym_lower(&m);
+        let mask = vec![true; 7];
+        let v = g.pseudo_peripheral(3, &mask);
+        assert!(v == 0 || v == 6);
+    }
+}

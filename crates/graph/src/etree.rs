@@ -1,0 +1,317 @@
+//! Elimination trees (Liu, 1990).
+//!
+//! The elimination tree of a symmetric matrix `A` has `parent[j] =
+//! min { i > j : L[i, j] ≠ 0 }` where `L` is the Cholesky factor of `A`.
+//! It guides every phase of the solver: column dependencies in
+//! factorization, the gather/scatter pattern of forward and back
+//! substitution, and the subtree-to-subcube processor mapping.
+
+use crate::Permutation;
+use trisolv_matrix::CscMatrix;
+
+/// Sentinel meaning "no parent" (tree root).
+pub const NONE: usize = usize::MAX;
+
+/// An elimination tree (more precisely a forest: reducible matrices yield
+/// several roots) over columns `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationTree {
+    parent: Vec<usize>,
+}
+
+impl EliminationTree {
+    /// Compute the elimination tree of a symmetric matrix given its lower
+    /// triangle, using Liu's algorithm with ancestor path compression —
+    /// O(nnz · α(n)).
+    pub fn from_sym_lower(a: &CscMatrix) -> Self {
+        assert_eq!(a.nrows(), a.ncols());
+        let n = a.ncols();
+        // Column k of the transpose holds the pattern of A(0..k, k), i.e.
+        // row k of the stored lower triangle.
+        let at = a.transpose();
+        let mut parent = vec![NONE; n];
+        let mut ancestor = vec![NONE; n];
+        for k in 0..n {
+            for &i in at.col_rows(k) {
+                if i >= k {
+                    continue;
+                }
+                // Walk from i to the root of its current subtree, pointing
+                // everything at k (path compression).
+                let mut r = i;
+                while ancestor[r] != NONE && ancestor[r] != k {
+                    let next = ancestor[r];
+                    ancestor[r] = k;
+                    r = next;
+                }
+                if ancestor[r] == NONE {
+                    ancestor[r] = k;
+                    parent[r] = k;
+                }
+            }
+        }
+        EliminationTree { parent }
+    }
+
+    /// Build directly from a parent vector (`NONE` marks roots).
+    pub fn from_parent(parent: Vec<usize>) -> Self {
+        for (j, &p) in parent.iter().enumerate() {
+            assert!(
+                p == NONE || (p > j && p < parent.len()),
+                "parent[{j}] = {p} must be NONE or in ({j}, n)"
+            );
+        }
+        EliminationTree { parent }
+    }
+
+    /// Number of columns / tree nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True for the empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `j`, or `None` for roots.
+    #[inline]
+    pub fn parent(&self, j: usize) -> Option<usize> {
+        match self.parent[j] {
+            NONE => None,
+            p => Some(p),
+        }
+    }
+
+    /// Raw parent vector (with [`NONE`] sentinels).
+    pub fn parent_slice(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// All roots (nodes without parents).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&j| self.parent[j] == NONE).collect()
+    }
+
+    /// Children lists, sorted ascending.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.len()];
+        for j in 0..self.len() {
+            if let Some(p) = self.parent(j) {
+                ch[p].push(j);
+            }
+        }
+        ch
+    }
+
+    /// A postordering of the forest: children before parents, each subtree
+    /// contiguous. Returned as a [`Permutation`] (old→new labels).
+    pub fn postorder(&self) -> Permutation {
+        let n = self.len();
+        let children = self.children();
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (node, next child idx)
+        for r in self.roots() {
+            stack.push((r, 0));
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci < children[v].len() {
+                    let c = children[v][*ci];
+                    *ci += 1;
+                    stack.push((c, 0));
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "forest must cover all nodes");
+        Permutation::from_order(order).expect("postorder is a permutation")
+    }
+
+    /// True if labels are already postordered (every node's label exceeds
+    /// all labels in its subtree, and subtrees are contiguous).
+    pub fn is_postordered(&self) -> bool {
+        let sizes = self.subtree_sizes();
+        let children = self.children();
+        (0..self.len()).all(|j| {
+            // subtree of j must be exactly the label range [j+1-size, j]
+            let lo = j + 1 - sizes[j];
+            children[j].iter().all(|&c| c >= lo && c < j)
+        })
+    }
+
+    /// Relabel the tree under a permutation (new tree has
+    /// `parent'[perm[j]] = perm[parent[j]]`). Only valid if the permutation
+    /// preserves the "parent has larger label" invariant, which any
+    /// postorder of this tree does.
+    pub fn permute(&self, perm: &Permutation) -> EliminationTree {
+        let n = self.len();
+        assert_eq!(perm.len(), n);
+        let mut parent = vec![NONE; n];
+        for j in 0..n {
+            if let Some(p) = self.parent(j) {
+                parent[perm.apply(j)] = perm.apply(p);
+            }
+        }
+        EliminationTree::from_parent(parent)
+    }
+
+    /// Number of nodes in each subtree (including the node itself).
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut size = vec![1usize; n];
+        for j in 0..n {
+            if let Some(p) = self.parent(j) {
+                // children have smaller labels, so a single ascending pass
+                // accumulates correctly.
+                size[p] += size[j];
+            }
+        }
+        size
+    }
+
+    /// Level of each node: roots at level 0, children one deeper (the
+    /// paper's Figure 1 convention).
+    pub fn levels(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut level = vec![0usize; n];
+        // parents have larger labels: descending pass sets parents first.
+        for j in (0..n).rev() {
+            if let Some(p) = self.parent(j) {
+                level[j] = level[p] + 1;
+            }
+        }
+        level
+    }
+
+    /// Height of the forest (max level + 1; 0 for empty).
+    pub fn height(&self) -> usize {
+        self.levels().iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// The path from `j` to its root, inclusive.
+    pub fn path_to_root(&self, mut j: usize) -> Vec<usize> {
+        let mut path = vec![j];
+        while let Some(p) = self.parent(j) {
+            path.push(p);
+            j = p;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::{gen, TripletMatrix};
+
+    /// Reference elimination tree: parent[j] = min{i > j : L[i,j] != 0}
+    /// computed from a dense symbolic factorization.
+    fn dense_reference_etree(a: &CscMatrix) -> Vec<usize> {
+        let n = a.nrows();
+        let mut pat = vec![vec![false; n]; n]; // pat[j][i] = L[i][j] nonzero
+        for j in 0..n {
+            for &i in a.col_rows(j) {
+                pat[j][i] = true;
+            }
+        }
+        // left-looking symbolic fill: column j receives pattern of any
+        // column k < j whose first below-diagonal nonzero... simplest: do
+        // full symbolic elimination on the dense pattern.
+        for k in 0..n {
+            // first off-diagonal nonzero of column k
+            if let Some(p) = (k + 1..n).find(|&i| pat[k][i]) {
+                for i in k + 1..n {
+                    if pat[k][i] {
+                        pat[p][i] = true;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|j| (j + 1..n).find(|&i| pat[j][i]).unwrap_or(NONE))
+            .collect()
+    }
+
+    #[test]
+    fn matches_dense_reference_on_grid() {
+        let a = gen::grid2d_laplacian(4, 4);
+        let t = EliminationTree::from_sym_lower(&a);
+        assert_eq!(t.parent_slice(), dense_reference_etree(&a).as_slice());
+    }
+
+    #[test]
+    fn matches_dense_reference_on_random() {
+        for seed in 0..5 {
+            let a = gen::random_spd(30, 3, seed);
+            let t = EliminationTree::from_sym_lower(&a);
+            assert_eq!(
+                t.parent_slice(),
+                dense_reference_etree(&a).as_slice(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tridiagonal_is_a_path() {
+        let a = gen::grid2d_laplacian(5, 1);
+        let t = EliminationTree::from_sym_lower(&a);
+        assert_eq!(t.parent_slice(), &[1, 2, 3, 4, NONE]);
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.path_to_root(0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_all_roots() {
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 1.0).unwrap();
+        }
+        let tree = EliminationTree::from_sym_lower(&t.to_csc());
+        assert_eq!(tree.roots(), vec![0, 1, 2]);
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let a = gen::grid2d_laplacian(5, 5);
+        let t = EliminationTree::from_sym_lower(&a);
+        let p = t.postorder();
+        let pt = t.permute(&p);
+        for j in 0..pt.len() {
+            if let Some(par) = pt.parent(j) {
+                assert!(par > j);
+            }
+        }
+        assert!(pt.is_postordered());
+    }
+
+    #[test]
+    fn subtree_sizes_sum_at_roots() {
+        let a = gen::random_spd(40, 3, 7);
+        let t = EliminationTree::from_sym_lower(&a);
+        let sizes = t.subtree_sizes();
+        let total: usize = t.roots().iter().map(|&r| sizes[r]).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn levels_consistent_with_parents() {
+        let a = gen::grid3d_laplacian(3, 3, 3);
+        let t = EliminationTree::from_sym_lower(&a);
+        let lv = t.levels();
+        for j in 0..t.len() {
+            match t.parent(j) {
+                Some(p) => assert_eq!(lv[j], lv[p] + 1),
+                None => assert_eq!(lv[j], 0),
+            }
+        }
+    }
+
+    #[test]
+    fn from_parent_rejects_smaller_parent() {
+        let result = std::panic::catch_unwind(|| EliminationTree::from_parent(vec![NONE, 0]));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Graphs, elimination trees, and fill-reducing orderings.
+//!
+//! The paper assumes "a nested-dissection based fill-reducing ordering ...
+//! which results in an almost balanced elimination tree" — the
+//! subtree-to-subcube mapping at the heart of the parallel solvers depends
+//! on it. This crate supplies:
+//!
+//! * [`Graph`] — undirected adjacency structure (CSR) built from the lower
+//!   triangle of a symmetric sparse matrix;
+//! * [`Permutation`] — old→new vertex relabelings with composition and
+//!   inversion;
+//! * [`etree`] — Liu's elimination-tree algorithm, postordering, level and
+//!   subtree statistics;
+//! * [`nd`] — nested dissection: coordinate-based (exact, for the grid /
+//!   FEM problems the paper analyzes) and BFS-separator-based (general
+//!   graphs);
+//! * [`mindeg`] — a minimum-degree ordering used as an ablation baseline;
+//! * [`rcm`] — reverse Cuthill-McKee, a profile-reducing baseline.
+
+pub mod adjacency;
+pub mod etree;
+pub mod mindeg;
+pub mod multilevel;
+pub mod nd;
+pub mod perm;
+pub mod rcm;
+
+pub use adjacency::Graph;
+pub use etree::EliminationTree;
+pub use perm::Permutation;

@@ -1,0 +1,348 @@
+//! Nested-dissection orderings.
+//!
+//! Two separator strategies are provided:
+//!
+//! * [`nested_dissection_coords`] — geometric dissection for meshes with
+//!   known node coordinates (the grid / FEM problems from
+//!   `trisolv_matrix::gen`). Splitting along the median plane of the
+//!   longest box axis yields the `O(√N)` (2-D) / `O(N^(2/3))` (3-D)
+//!   separators and the almost-balanced elimination trees the paper's
+//!   analysis assumes.
+//! * [`nested_dissection`] — general graphs, using BFS level-structure
+//!   separators from a pseudo-peripheral vertex (George–Liu style).
+//!
+//! Both order each separator *after* the two halves, so separators float to
+//! the top of the elimination tree.
+
+use crate::{Graph, Permutation};
+
+/// Options controlling the recursion.
+#[derive(Debug, Clone, Copy)]
+pub struct NdOptions {
+    /// Parts of at most this many vertices are ordered directly (no further
+    /// dissection).
+    pub leaf_size: usize,
+}
+
+impl Default for NdOptions {
+    fn default() -> Self {
+        NdOptions { leaf_size: 8 }
+    }
+}
+
+/// Nested dissection with BFS level-structure separators.
+pub fn nested_dissection(g: &Graph, opts: NdOptions) -> Permutation {
+    let n = g.nvertices();
+    let mut mask = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    dissect(g, None, &mut mask, (0..n).collect(), opts, &mut order);
+    debug_assert_eq!(order.len(), n);
+    Permutation::from_order(order).expect("dissection emits each vertex once")
+}
+
+/// Nested dissection with geometric (median-plane) separators.
+///
+/// `coords[v]` gives the spatial position of vertex `v`; co-located
+/// vertices (e.g. the `dof` unknowns of one FEM node) are kept together.
+/// Falls back to BFS separators for parts that are geometrically
+/// degenerate.
+pub fn nested_dissection_coords(
+    g: &Graph,
+    coords: &[[f64; 3]],
+    opts: NdOptions,
+) -> Permutation {
+    let n = g.nvertices();
+    assert_eq!(coords.len(), n);
+    let mut mask = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    dissect(g, Some(coords), &mut mask, (0..n).collect(), opts, &mut order);
+    debug_assert_eq!(order.len(), n);
+    Permutation::from_order(order).expect("dissection emits each vertex once")
+}
+
+/// Node coordinates matching `trisolv_matrix::gen::grid2d_*` / `fem2d`
+/// numbering (`dof` unknowns per node share a position).
+pub fn grid2d_coords(kx: usize, ky: usize, dof: usize) -> Vec<[f64; 3]> {
+    let mut coords = Vec::with_capacity(kx * ky * dof);
+    for y in 0..ky {
+        for x in 0..kx {
+            for _ in 0..dof {
+                coords.push([x as f64, y as f64, 0.0]);
+            }
+        }
+    }
+    coords
+}
+
+/// Node coordinates matching `trisolv_matrix::gen::grid3d_*` / `fem3d`
+/// numbering.
+pub fn grid3d_coords(kx: usize, ky: usize, kz: usize, dof: usize) -> Vec<[f64; 3]> {
+    let mut coords = Vec::with_capacity(kx * ky * kz * dof);
+    for z in 0..kz {
+        for y in 0..ky {
+            for x in 0..kx {
+                for _ in 0..dof {
+                    coords.push([x as f64, y as f64, z as f64]);
+                }
+            }
+        }
+    }
+    coords
+}
+
+/// Recursive worker. `part` lists the vertices of the current subproblem
+/// (all with `mask[v] == true`); vertices are appended to `order` leaves
+/// first, separators last.
+fn dissect(
+    g: &Graph,
+    coords: Option<&[[f64; 3]]>,
+    mask: &mut Vec<bool>,
+    part: Vec<usize>,
+    opts: NdOptions,
+    order: &mut Vec<usize>,
+) {
+    if part.len() <= opts.leaf_size.max(1) {
+        order.extend_from_slice(&part);
+        return;
+    }
+    // Split disconnected parts into components first. The mask is always
+    // exactly the current part, so every component belongs to it.
+    let comps = g.components_masked(mask);
+    if comps.len() > 1 {
+        for c in comps {
+            let mut sub_mask = vec![false; g.nvertices()];
+            for &v in &c {
+                sub_mask[v] = true;
+            }
+            let saved = std::mem::replace(mask, sub_mask);
+            dissect(g, coords, mask, c, opts, order);
+            *mask = saved;
+        }
+        return;
+    }
+
+    let sep = match coords {
+        Some(c) => geometric_separator(c, &part).unwrap_or_else(|| bfs_separator(g, mask, &part)),
+        None => bfs_separator(g, mask, &part),
+    };
+    if sep.len() >= part.len() {
+        // No useful split; order the whole part.
+        order.extend_from_slice(&part);
+        return;
+    }
+    for &v in &sep {
+        mask[v] = false;
+    }
+    // With the separator unmasked, the remaining components are the halves.
+    let halves = g.components_masked(mask);
+    for half in halves {
+        let mut sub_mask = vec![false; g.nvertices()];
+        for &v in &half {
+            sub_mask[v] = true;
+        }
+        let saved = std::mem::replace(mask, sub_mask);
+        dissect(g, coords, mask, half, opts, order);
+        *mask = saved;
+    }
+    order.extend_from_slice(&sep);
+}
+
+/// Median-plane separator: split along the axis with the largest extent at
+/// the median coordinate; the separator is the slab of vertices exactly at
+/// that coordinate. Returns `None` when the part is geometrically
+/// degenerate (single distinct position).
+fn geometric_separator(coords: &[[f64; 3]], part: &[usize]) -> Option<Vec<usize>> {
+    let mut best_axis = 0;
+    let mut best_extent = 0.0f64;
+    for axis in 0..3 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in part {
+            lo = lo.min(coords[v][axis]);
+            hi = hi.max(coords[v][axis]);
+        }
+        if hi - lo > best_extent {
+            best_extent = hi - lo;
+            best_axis = axis;
+        }
+    }
+    if best_extent == 0.0 {
+        return None;
+    }
+    let mut vals: Vec<f64> = part.iter().map(|&v| coords[v][best_axis]).collect();
+    vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = vals[vals.len() / 2];
+    let sep: Vec<usize> = part
+        .iter()
+        .copied()
+        .filter(|&v| coords[v][best_axis] == median)
+        .collect();
+    if sep.is_empty() || sep.len() == part.len() {
+        None
+    } else {
+        Some(sep)
+    }
+}
+
+/// BFS level-structure separator: run BFS from a pseudo-peripheral vertex
+/// and take the level containing the median vertex (by cumulative count).
+fn bfs_separator(g: &Graph, mask: &[bool], part: &[usize]) -> Vec<usize> {
+    let root = g.pseudo_peripheral(part[0], mask);
+    let (order, level) = g.bfs_masked(root, mask);
+    debug_assert_eq!(order.len(), part.len());
+    let max_level = order.iter().map(|&v| level[v]).max().unwrap_or(0);
+    if max_level == 0 {
+        // complete graph or single vertex: no separator smaller than part
+        return part.to_vec();
+    }
+    // Find the level at which the cumulative count crosses half.
+    let mut count = vec![0usize; max_level + 1];
+    for &v in &order {
+        count[level[v]] += 1;
+    }
+    let mut cum = 0;
+    let mut sep_level = max_level / 2;
+    for (l, &c) in count.iter().enumerate() {
+        cum += c;
+        if cum * 2 >= order.len() {
+            sep_level = l;
+            break;
+        }
+    }
+    // Avoid degenerate splits at the extremes (keep at least one level on
+    // the "left" side when the structure is deep enough).
+    let sep_level = if max_level <= 1 {
+        max_level
+    } else {
+        sep_level.clamp(1, max_level - 1)
+    };
+    order
+        .iter()
+        .copied()
+        .filter(|&v| level[v] == sep_level)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EliminationTree;
+    use trisolv_matrix::gen;
+
+    fn check_perm(p: &Permutation, n: usize) {
+        assert_eq!(p.len(), n);
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            assert!(!seen[p.apply(i)]);
+            seen[p.apply(i)] = true;
+        }
+    }
+
+    #[test]
+    fn bfs_nd_is_a_permutation() {
+        let a = gen::grid2d_laplacian(8, 8);
+        let g = Graph::from_sym_lower(&a);
+        let p = nested_dissection(&g, NdOptions::default());
+        check_perm(&p, 64);
+    }
+
+    #[test]
+    fn coord_nd_is_a_permutation() {
+        let a = gen::grid2d_laplacian(9, 7);
+        let g = Graph::from_sym_lower(&a);
+        let coords = grid2d_coords(9, 7, 1);
+        let p = nested_dissection_coords(&g, &coords, NdOptions::default());
+        check_perm(&p, 63);
+    }
+
+    #[test]
+    fn coord_nd_top_separator_is_last() {
+        // In a kx x ky grid with kx > ky, the top separator is a column of
+        // ky vertices; they must receive the highest labels.
+        let (kx, ky) = (9, 5);
+        let a = gen::grid2d_laplacian(kx, ky);
+        let g = Graph::from_sym_lower(&a);
+        let coords = grid2d_coords(kx, ky, 1);
+        let p = nested_dissection_coords(&g, &coords, NdOptions { leaf_size: 1 });
+        let mid = 4.0; // median x
+        for v in 0..kx * ky {
+            if coords[v][0] == mid {
+                assert!(p.apply(v) >= kx * ky - ky, "separator vertex ordered early");
+            }
+        }
+    }
+
+    #[test]
+    fn nd_reduces_fill_vs_natural_on_grid() {
+        // Compare etree heights as a cheap proxy for balance: ND height
+        // should be far below the natural ordering's (which is ~n for a
+        // banded ordering of a grid).
+        let k = 16;
+        let a = gen::grid2d_laplacian(k, k);
+        let g = Graph::from_sym_lower(&a);
+        let coords = grid2d_coords(k, k, 1);
+        let p = nested_dissection_coords(&g, &coords, NdOptions::default());
+        let pa = a.permute_sym_lower(p.as_slice()).unwrap();
+        let nd_height = EliminationTree::from_sym_lower(&pa).height();
+        let nat_height = EliminationTree::from_sym_lower(&a).height();
+        assert!(
+            nd_height * 2 < nat_height,
+            "nd height {nd_height} not much below natural {nat_height}"
+        );
+    }
+
+    #[test]
+    fn coord_nd_produces_balanced_tree() {
+        // The top of the supernodal tree should split node counts roughly
+        // in half: compare subtree sizes of the root's children.
+        let k = 17;
+        let a = gen::grid2d_laplacian(k, k);
+        let g = Graph::from_sym_lower(&a);
+        let coords = grid2d_coords(k, k, 1);
+        let p = nested_dissection_coords(&g, &coords, NdOptions::default());
+        let pa = a.permute_sym_lower(p.as_slice()).unwrap();
+        let t = EliminationTree::from_sym_lower(&pa);
+        let sizes = t.subtree_sizes();
+        // walk down from the root through the top separator chain to the
+        // first branching node
+        let root = *t.roots().last().unwrap();
+        let children = t.children();
+        let mut v = root;
+        while children[v].len() == 1 {
+            v = children[v][0];
+        }
+        let ch = &children[v];
+        assert!(ch.len() >= 2, "expected branching below top separator");
+        let (a_, b_) = (sizes[ch[0]], sizes[ch[1]]);
+        let ratio = a_.max(b_) as f64 / a_.min(b_).max(1) as f64;
+        assert!(ratio < 2.0, "imbalanced split: {a_} vs {b_}");
+    }
+
+    #[test]
+    fn nd_handles_disconnected_graphs() {
+        // two disjoint paths
+        let lists = vec![vec![1], vec![0, 2], vec![1], vec![4], vec![3]];
+        let g = Graph::from_neighbor_lists(&lists);
+        let p = nested_dissection(&g, NdOptions { leaf_size: 1 });
+        check_perm(&p, 5);
+    }
+
+    #[test]
+    fn dof_block_stays_together() {
+        let (kx, ky, dof) = (5, 5, 3);
+        let a = gen::fem2d(kx, ky, dof);
+        let g = Graph::from_sym_lower(&a);
+        let coords = grid2d_coords(kx, ky, dof);
+        let p = nested_dissection_coords(&g, &coords, NdOptions { leaf_size: dof });
+        check_perm(&p, kx * ky * dof);
+    }
+
+    #[test]
+    fn nd_on_3d_grid() {
+        let a = gen::grid3d_laplacian(5, 5, 5);
+        let g = Graph::from_sym_lower(&a);
+        let coords = grid3d_coords(5, 5, 5, 1);
+        let p = nested_dissection_coords(&g, &coords, NdOptions::default());
+        check_perm(&p, 125);
+    }
+}

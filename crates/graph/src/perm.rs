@@ -1,0 +1,179 @@
+//! Vertex permutations.
+
+use std::fmt;
+
+/// A permutation of `{0, …, n−1}`, stored as the old→new map together with
+/// its inverse.
+///
+/// `perm[i]` is the **new** label of old vertex `i`; `inv[k]` is the old
+/// vertex placed at new position `k`. Applying a permutation to a symmetric
+/// matrix `A` produces `P A Pᵀ` with `(PAPᵀ)[perm[i], perm[j]] = A[i, j]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+/// Error produced when a vector is not a valid permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAPermutation(pub String);
+
+impl fmt::Display for NotAPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not a permutation: {}", self.0)
+    }
+}
+
+impl std::error::Error for NotAPermutation {}
+
+impl Permutation {
+    /// Identity permutation of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<usize> = (0..n).collect();
+        Permutation {
+            inv: perm.clone(),
+            perm,
+        }
+    }
+
+    /// Build from an old→new vector, validating it is a bijection.
+    pub fn from_vec(perm: Vec<usize>) -> Result<Self, NotAPermutation> {
+        let n = perm.len();
+        let mut inv = vec![usize::MAX; n];
+        for (old, &new) in perm.iter().enumerate() {
+            if new >= n {
+                return Err(NotAPermutation(format!("image {new} out of range 0..{n}")));
+            }
+            if inv[new] != usize::MAX {
+                return Err(NotAPermutation(format!("image {new} repeated")));
+            }
+            inv[new] = old;
+        }
+        Ok(Permutation { perm, inv })
+    }
+
+    /// Build from the *inverse* (new→old) vector, i.e. an ordering list
+    /// "which old vertex comes k-th".
+    pub fn from_order(order: Vec<usize>) -> Result<Self, NotAPermutation> {
+        let p = Self::from_vec(order)?;
+        Ok(p.inverse())
+    }
+
+    /// Order of the permuted set.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// New label of old vertex `i`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.perm[i]
+    }
+
+    /// Old vertex at new position `k`.
+    #[inline]
+    pub fn apply_inv(&self, k: usize) -> usize {
+        self.inv[k]
+    }
+
+    /// The old→new map as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The new→old map as a slice.
+    pub fn inv_slice(&self) -> &[usize] {
+        &self.inv
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            perm: self.inv.clone(),
+            inv: self.perm.clone(),
+        }
+    }
+
+    /// Composition `other ∘ self`: apply `self` first, then `other`.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        let perm: Vec<usize> = self.perm.iter().map(|&m| other.perm[m]).collect();
+        Permutation::from_vec(perm).expect("composition of bijections is a bijection")
+    }
+
+    /// Permute a data vector: `out[perm[i]] = data[i]`.
+    pub fn permute_vec<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len());
+        let mut out: Vec<T> = data.to_vec();
+        for (old, item) in data.iter().enumerate() {
+            out[self.perm[old]] = item.clone();
+        }
+        out
+    }
+
+    /// True when this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.apply(2), 2);
+        assert_eq!(p.apply_inv(3), 3);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Permutation::from_vec(vec![1, 0, 2]).is_ok());
+        assert!(Permutation::from_vec(vec![1, 1, 2]).is_err());
+        assert!(Permutation::from_vec(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = Permutation::from_vec(vec![2, 0, 3, 1]).unwrap();
+        for i in 0..4 {
+            assert_eq!(p.apply_inv(p.apply(i)), i);
+            assert_eq!(p.apply(p.apply_inv(i)), i);
+        }
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn from_order_semantics() {
+        // order: position k holds old vertex order[k]
+        let p = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply(2), 0); // old 2 comes first
+        assert_eq!(p.apply(0), 1);
+        assert_eq!(p.apply(1), 2);
+    }
+
+    #[test]
+    fn composition_applies_left_then_right() {
+        let a = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let b = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let c = a.then(&b);
+        for i in 0..3 {
+            assert_eq!(c.apply(i), b.apply(a.apply(i)));
+        }
+    }
+
+    #[test]
+    fn permute_vec_moves_elements() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let v = p.permute_vec(&["a", "b", "c"]);
+        assert_eq!(v, ["b", "c", "a"]);
+    }
+}

@@ -1,0 +1,774 @@
+//! Collective operations over processor groups.
+//!
+//! All collectives are built from point-to-point messages with the textbook
+//! algorithms (binomial trees, rings, pairwise exchange), so their virtual
+//! cost matches the models the paper's analysis assumes — e.g.
+//! all-to-all personalized among `q` processors with `m/q` words each costs
+//! `O(m)` plus startup terms.
+//!
+//! Every member of the group must call the collective with the same `tag`
+//! and in the same order. The tag is namespaced away from user messages by
+//! setting the top bit.
+
+use crate::{Group, Proc};
+
+const COLL_BIT: u64 = 1 << 63;
+
+#[inline]
+fn coll_tag(tag: u64) -> u64 {
+    COLL_BIT | tag
+}
+
+/// Synchronize virtual clocks across the group (dissemination barrier,
+/// ⌈log₂ q⌉ rounds). After the barrier every member's clock is at least the
+/// maximum member clock at entry.
+pub fn barrier(proc: &mut Proc, group: &Group, tag: u64) {
+    let q = group.size();
+    if q <= 1 {
+        return;
+    }
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let tag = coll_tag(tag);
+    let mut k = 1;
+    while k < q {
+        let dst = group.world_rank((me + k) % q);
+        let src = group.world_rank((me + q - k) % q);
+        proc.send(dst, tag, Vec::new());
+        let _ = proc.recv(src, tag);
+        k *= 2;
+    }
+}
+
+/// Broadcast `data` from group rank `root` to all members (binomial tree).
+/// Non-root callers pass anything (ignored) and receive the root's data.
+pub fn bcast(proc: &mut Proc, group: &Group, tag: u64, root: usize, data: Vec<f64>) -> Vec<f64> {
+    let q = group.size();
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    if q == 1 {
+        return data;
+    }
+    let tag = coll_tag(tag);
+    let vr = (me + q - root) % q; // rank relative to root
+    let mut buf = if vr == 0 { data } else { Vec::new() };
+    // receive from the parent in the binomial tree
+    if vr != 0 {
+        let mut step = 1;
+        while step * 2 <= vr {
+            step *= 2;
+        }
+        let parent = (vr - step + root) % q;
+        buf = proc.recv(group.world_rank(parent), tag);
+    }
+    // forward to children
+    let mut step = 1;
+    while step * 2 <= vr {
+        step *= 2;
+    }
+    let mut child_step = if vr == 0 { 1 } else { step * 2 };
+    while child_step < q {
+        let child = vr + child_step;
+        if child < q {
+            let dst = group.world_rank((child + root) % q);
+            proc.send(dst, tag, buf.clone());
+        }
+        child_step *= 2;
+    }
+    buf
+}
+
+/// Elementwise-sum reduction to group rank `root` (binomial tree). Returns
+/// `Some(sum)` at the root, `None` elsewhere. All contributions must have
+/// the same length.
+pub fn reduce_sum(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    root: usize,
+    data: Vec<f64>,
+) -> Option<Vec<f64>> {
+    let q = group.size();
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    if q == 1 {
+        return Some(data);
+    }
+    let tag = coll_tag(tag);
+    let vr = (me + q - root) % q;
+    let mut acc = data;
+    let mut step = 1;
+    while step < q {
+        if vr.is_multiple_of(2 * step) {
+            let src = vr + step;
+            if src < q {
+                let got = proc.recv(group.world_rank((src + root) % q), tag);
+                assert_eq!(got.len(), acc.len(), "reduce_sum length mismatch");
+                for (a, g) in acc.iter_mut().zip(&got) {
+                    *a += g;
+                }
+            }
+        } else {
+            let dst = vr - step;
+            proc.send(group.world_rank((dst + root) % q), tag, acc);
+            return None;
+        }
+        step *= 2;
+    }
+    Some(acc)
+}
+
+/// Scatter: group rank `root` distributes one chunk to every member
+/// (binomial tree with payload splitting — each internal node forwards the
+/// chunks of its subtree). Non-root callers pass an empty vec.
+pub fn scatter(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    root: usize,
+    chunks: Vec<Vec<f64>>,
+) -> Vec<f64> {
+    let q = group.size();
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    if q == 1 {
+        return chunks.into_iter().next().unwrap_or_default();
+    }
+    assert!(me != root || chunks.len() == q, "root passes one chunk per member");
+    let tag = coll_tag(tag);
+    let vr = (me + q - root) % q;
+    // records: [relative dest, len, data…]
+    let mut held: Vec<(usize, Vec<f64>)> = if vr == 0 {
+        chunks
+            .into_iter()
+            .enumerate()
+            .map(|(g, c)| ((g + q - root) % q, c))
+            .collect()
+    } else {
+        let mut step = 1;
+        while step * 2 <= vr {
+            step *= 2;
+        }
+        let parent = (vr - step + root) % q;
+        let data = proc.recv(group.world_rank(parent), tag);
+        let mut held = Vec::new();
+        let mut at = 0;
+        while at < data.len() {
+            let d = data[at] as usize;
+            let len = data[at + 1] as usize;
+            held.push((d, data[at + 2..at + 2 + len].to_vec()));
+            at += 2 + len;
+        }
+        held
+    };
+    // forward to binomial children: the subtree rooted at a child joined
+    // with stride `child_step` is the residue class child mod 2·child_step
+    let mut step = 1;
+    while step * 2 <= vr {
+        step *= 2;
+    }
+    let mut child_step = if vr == 0 { 1 } else { step * 2 };
+    while child_step < q {
+        let child = vr + child_step;
+        if child < q {
+            let modulus = 2 * child_step;
+            let (send_now, keep): (Vec<_>, Vec<_>) = held
+                .into_iter()
+                .partition(|(d, _)| *d >= child && d % modulus == child % modulus);
+            held = keep;
+            let mut payload = Vec::new();
+            for (d, c) in &send_now {
+                payload.push(*d as f64);
+                payload.push(c.len() as f64);
+                payload.extend_from_slice(c);
+            }
+            proc.send(group.world_rank((child + root) % q), tag, payload);
+        }
+        child_step *= 2;
+    }
+    debug_assert!(held.len() <= 1);
+    held.into_iter()
+        .find(|(d, _)| *d == vr)
+        .map(|(_, c)| c)
+        .unwrap_or_default()
+}
+
+/// Reduce-scatter: elementwise-sums every member's `q`-chunk contribution
+/// and leaves chunk `g` (summed across the group) at group rank `g`.
+/// Implemented as a pairwise-exchange ring (`q−1` steps with combining) —
+/// the natural dual of [`allgather_ring`].
+pub fn reduce_scatter(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    mut chunks: Vec<Vec<f64>>,
+) -> Vec<f64> {
+    let q = group.size();
+    assert_eq!(chunks.len(), q, "one chunk per member");
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    if q == 1 {
+        return std::mem::take(&mut chunks[0]);
+    }
+    let tag = coll_tag(tag);
+    let next = group.world_rank((me + 1) % q);
+    let prev = group.world_rank((me + q - 1) % q);
+    // ring: the partial destined to `d` starts at proc d+1 and travels +1
+    // each round, accumulating contributions, arriving home after q−1
+    // rounds. In round r, proc `me` sends the partial for (me − r − 1) and
+    // folds its contribution into the one for (me − r − 2).
+    for r in 0..q - 1 {
+        let send_idx = (me + q - r - 1) % q;
+        let recv_idx = (me + 2 * q - r - 2) % q;
+        proc.send(next, tag, std::mem::take(&mut chunks[send_idx]));
+        let got = proc.recv(prev, tag);
+        let acc = &mut chunks[recv_idx];
+        assert_eq!(acc.len(), got.len(), "reduce_scatter length mismatch");
+        for (a, g) in acc.iter_mut().zip(&got) {
+            *a += g;
+        }
+    }
+    std::mem::take(&mut chunks[me])
+}
+
+/// All-gather: every member contributes a chunk and receives all chunks,
+/// indexed by group rank. Chooses between the ring algorithm (optimal
+/// bandwidth for large chunks) and the Bruck doubling algorithm (optimal
+/// latency, `⌈log₂ q⌉` rounds, for small chunks) based on the linear cost
+/// model and `hint_words`, an estimate of the typical chunk size that
+/// **must be computed identically by every member** (the algorithm choice
+/// is part of the protocol).
+pub fn allgather(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    mine: Vec<f64>,
+    hint_words: usize,
+) -> Vec<Vec<f64>> {
+    let q = group.size();
+    if q <= 2 {
+        return allgather_ring(proc, group, tag, mine);
+    }
+    // ring: (q−1)(t_s + m̄·t_w); doubling: log q·t_s + (q−1)·m̄·t_w (plus
+    // small headers). Doubling wins when startup dominates.
+    let params = *proc.params();
+    let m = hint_words as f64;
+    let logq = (q as f64).log2().ceil();
+    let ring_cost = (q as f64 - 1.0) * (params.t_s + m * params.t_w);
+    let dbl_cost = logq * params.t_s + (q as f64 - 1.0) * (m + 2.0) * params.t_w;
+    if ring_cost <= dbl_cost {
+        allgather_ring(proc, group, tag, mine)
+    } else {
+        allgather_doubling(proc, group, tag, mine)
+    }
+}
+
+/// Ring all-gather: `q−1` rounds, each member forwarding one chunk.
+pub fn allgather_ring(proc: &mut Proc, group: &Group, tag: u64, mine: Vec<f64>) -> Vec<Vec<f64>> {
+    let q = group.size();
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let mut chunks: Vec<Vec<f64>> = vec![Vec::new(); q];
+    chunks[me] = mine;
+    if q == 1 {
+        return chunks;
+    }
+    let tag = coll_tag(tag);
+    let next = group.world_rank((me + 1) % q);
+    let prev_rank = (me + q - 1) % q;
+    let prev = group.world_rank(prev_rank);
+    // round r: send the chunk of (me - r), receive the chunk of (me - r - 1)
+    for r in 0..q - 1 {
+        let send_idx = (me + q - r) % q;
+        let recv_idx = (me + q - r - 1) % q;
+        proc.send(next, tag, chunks[send_idx].clone());
+        chunks[recv_idx] = proc.recv(prev, tag);
+    }
+    chunks
+}
+
+/// Bruck-style doubling all-gather: `⌈log₂ q⌉` rounds; works for any `q`.
+/// Each message is a concatenation of `[origin, len, data…]` records.
+pub fn allgather_doubling(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    mine: Vec<f64>,
+) -> Vec<Vec<f64>> {
+    let q = group.size();
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let mut chunks: Vec<Option<Vec<f64>>> = vec![None; q];
+    chunks[me] = Some(mine);
+    if q == 1 {
+        return chunks.into_iter().map(Option::unwrap).collect();
+    }
+    let tag = coll_tag(tag);
+    let mut have = 1usize; // I hold chunks of ranks me, me+1, …, me+have−1 (mod q)
+    let mut step = 1usize;
+    while have < q {
+        let take = step.min(q - have);
+        // send my first `have` chunks... Bruck: send everything I have to
+        // (me − step), receive from (me + step) the next `take` chunks
+        let dst = group.world_rank((me + q - step) % q);
+        let src = group.world_rank((me + step) % q);
+        let mut payload = Vec::new();
+        // send the chunks the receiver is missing: ranks me .. me+take−1
+        for off in 0..take {
+            let r = (me + off) % q;
+            let c = chunks[r].as_ref().expect("held");
+            payload.push(r as f64);
+            payload.push(c.len() as f64);
+            payload.extend_from_slice(c);
+        }
+        proc.send(dst, tag, payload);
+        let data = proc.recv(src, tag);
+        let mut at = 0;
+        while at < data.len() {
+            let r = data[at] as usize;
+            let len = data[at + 1] as usize;
+            chunks[r] = Some(data[at + 2..at + 2 + len].to_vec());
+            at += 2 + len;
+        }
+        have += take;
+        step *= 2;
+    }
+    chunks.into_iter().map(Option::unwrap).collect()
+}
+
+/// All-to-all personalized exchange: `out[g]` is sent to group rank `g`;
+/// returns `in_` where `in_[g]` came from group rank `g`. Chooses between
+/// the direct pairwise schedule (optimal bandwidth) and the Bruck
+/// algorithm (`⌈log₂ q⌉` rounds, optimal latency for small chunks) based
+/// on `hint_words`, an estimate of the per-member total outgoing words
+/// that **must be computed identically by every member** (the algorithm
+/// choice is part of the protocol).
+pub fn all_to_all_personalized(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    out: Vec<Vec<f64>>,
+    hint_words: usize,
+) -> Vec<Vec<f64>> {
+    let q = group.size();
+    if q <= 2 {
+        return all_to_all_direct(proc, group, tag, out);
+    }
+    let params = *proc.params();
+    let m = hint_words as f64;
+    let logq = (q as f64).log2().ceil();
+    // direct: (q−1)·t_s + m·t_w; Bruck: log q·t_s + (m/2 + headers)·log q·t_w
+    let direct_cost = (q as f64 - 1.0) * params.t_s + m * params.t_w;
+    let bruck_cost = logq * (params.t_s + (m / 2.0 + q as f64) * params.t_w);
+    if direct_cost <= bruck_cost {
+        all_to_all_direct(proc, group, tag, out)
+    } else {
+        all_to_all_bruck(proc, group, tag, out)
+    }
+}
+
+/// Direct pairwise all-to-all: `q−1` exchanges (`dst = me + r`,
+/// `src = me − r`).
+pub fn all_to_all_direct(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    mut out: Vec<Vec<f64>>,
+) -> Vec<Vec<f64>> {
+    let q = group.size();
+    assert_eq!(out.len(), q, "need one chunk per group member");
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let mut in_: Vec<Vec<f64>> = vec![Vec::new(); q];
+    in_[me] = std::mem::take(&mut out[me]);
+    let tag = coll_tag(tag);
+    for r in 1..q {
+        let dst = (me + r) % q;
+        let src = (me + q - r) % q;
+        proc.send(group.world_rank(dst), tag, std::mem::take(&mut out[dst]));
+        in_[src] = proc.recv(group.world_rank(src), tag);
+    }
+    in_
+}
+
+/// Bruck all-to-all: `⌈log₂ q⌉` store-and-forward rounds. A chunk whose
+/// remaining relative distance `d = (dest − holder) mod q` has bit `r` set
+/// is forwarded to `holder + 2^r` in round `r`; messages are
+/// concatenations of `[origin, dest, len, data…]` records. Works for any
+/// `q`.
+pub fn all_to_all_bruck(
+    proc: &mut Proc,
+    group: &Group,
+    tag: u64,
+    mut out: Vec<Vec<f64>>,
+) -> Vec<Vec<f64>> {
+    let q = group.size();
+    assert_eq!(out.len(), q, "need one chunk per group member");
+    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let mut in_: Vec<Vec<f64>> = vec![Vec::new(); q];
+    in_[me] = std::mem::take(&mut out[me]);
+    if q == 1 {
+        return in_;
+    }
+    let tag = coll_tag(tag);
+    // holdings: (origin, destination, data)
+    let mut holdings: Vec<(usize, usize, Vec<f64>)> = (0..q)
+        .filter(|&d| d != me)
+        .map(|d| (me, d, std::mem::take(&mut out[d])))
+        .collect();
+    let mut r = 0usize;
+    while (1usize << r) < q {
+        let bit = 1usize << r;
+        let dst = group.world_rank((me + bit) % q);
+        let src = group.world_rank((me + q - bit) % q);
+        let (send_now, keep): (Vec<_>, Vec<_>) = holdings
+            .into_iter()
+            .partition(|(_, dest, _)| ((dest + q - me) % q) & bit != 0);
+        let mut payload = Vec::new();
+        for (origin, dest, data) in &send_now {
+            payload.push(*origin as f64);
+            payload.push(*dest as f64);
+            payload.push(data.len() as f64);
+            payload.extend_from_slice(data);
+        }
+        proc.send(dst, tag, payload);
+        let data = proc.recv(src, tag);
+        holdings = keep;
+        let mut at = 0;
+        while at < data.len() {
+            let origin = data[at] as usize;
+            let dest = data[at + 1] as usize;
+            let len = data[at + 2] as usize;
+            let body = data[at + 3..at + 3 + len].to_vec();
+            at += 3 + len;
+            if dest == me {
+                in_[origin] = body;
+            } else {
+                holdings.push((origin, dest, body));
+            }
+        }
+        r += 1;
+    }
+    debug_assert!(holdings.is_empty(), "undelivered chunks after last round");
+    in_
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelClass, Machine, MachineParams};
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, MachineParams::t3d())
+    }
+
+    #[test]
+    fn barrier_syncs_clocks() {
+        let m = machine(4);
+        let r = m.run(|p| {
+            // staggered compute: proc 3 is slowest at 0.4 s
+            p.compute_flops(1e6 * (p.rank() + 1) as f64, KernelClass::Vector);
+            barrier(p, &Group::world(4), 1);
+            p.time()
+        });
+        for &t in &r.finish_times {
+            assert!(t >= 0.4, "clock {t} below the slowest member");
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_from_any_root() {
+        for root in 0..5 {
+            let m = machine(5);
+            let r = m.run(move |p| {
+                let g = Group::world(5);
+                let data = if p.rank() == root {
+                    vec![42.0, root as f64]
+                } else {
+                    Vec::new()
+                };
+                bcast(p, &g, 2, root, data)
+            });
+            for (rank, got) in r.results.iter().enumerate() {
+                assert_eq!(got, &vec![42.0, root as f64], "rank {rank} root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_on_subgroup() {
+        let m = machine(6);
+        let r = m.run(|p| {
+            let g = Group::from_ranks(vec![1, 3, 5]);
+            if let Some(gr) = g.group_rank(p.rank()) {
+                let data = if gr == 0 { vec![7.0] } else { Vec::new() };
+                bcast(p, &g, 3, 0, data)
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(r.results[3], vec![7.0]);
+        assert_eq!(r.results[5], vec![7.0]);
+        assert!(r.results[0].is_empty());
+    }
+
+    #[test]
+    fn reduce_sum_totals() {
+        let m = machine(7);
+        let r = m.run(|p| {
+            let g = Group::world(7);
+            reduce_sum(p, &g, 4, 2, vec![p.rank() as f64, 1.0])
+        });
+        let expect: f64 = (0..7).map(|x| x as f64).sum();
+        assert_eq!(r.results[2], Some(vec![expect, 7.0]));
+        for (rank, res) in r.results.iter().enumerate() {
+            if rank != 2 {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let m = machine(4);
+        let r = m.run(|p| {
+            let g = Group::world(4);
+            allgather(p, &g, 5, vec![p.rank() as f64; p.rank() + 1], 2)
+        });
+        for res in &r.results {
+            for (g, chunk) in res.iter().enumerate() {
+                assert_eq!(chunk, &vec![g as f64; g + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let m = machine(4);
+        let r = m.run(|p| {
+            let g = Group::world(4);
+            let out: Vec<Vec<f64>> = (0..4)
+                .map(|dst| vec![p.rank() as f64 * 10.0 + dst as f64])
+                .collect();
+            all_to_all_personalized(p, &g, 6, out, 4)
+        });
+        for (me, res) in r.results.iter().enumerate() {
+            for (src, chunk) in res.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as f64 * 10.0 + me as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_on_scattered_subgroup() {
+        let m = machine(8);
+        let r = m.run(|p| {
+            let g = Group::from_ranks(vec![6, 0, 3]);
+            match g.group_rank(p.rank()) {
+                Some(me) => {
+                    let out: Vec<Vec<f64>> =
+                        (0..3).map(|d| vec![(me * 3 + d) as f64]).collect();
+                    all_to_all_personalized(p, &g, 7, out, 3)
+                }
+                None => Vec::new(),
+            }
+        });
+        // member with group rank 1 is world rank 0
+        let res = &r.results[0];
+        assert_eq!(res[0], vec![1.0]); // from group rank 0: 0*3+1
+        assert_eq!(res[1], vec![4.0]); // own: 1*3+1
+        assert_eq!(res[2], vec![7.0]); // from group rank 2: 2*3+1
+    }
+
+    #[test]
+    fn collectives_compose_without_tag_collision() {
+        let m = machine(4);
+        let r = m.run(|p| {
+            let g = Group::world(4);
+            let s = reduce_sum(p, &g, 10, 0, vec![1.0]);
+            let total = bcast(p, &g, 11, 0, s.unwrap_or_default());
+            barrier(p, &g, 12);
+            total[0]
+        });
+        assert!(r.results.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn singleton_group_collectives_are_noops() {
+        let m = machine(2);
+        let r = m.run(|p| {
+            let g = Group::from_ranks(vec![p.rank()]);
+            barrier(p, &g, 1);
+            let b = bcast(p, &g, 2, 0, vec![1.0]);
+            let s = reduce_sum(p, &g, 3, 0, vec![2.0]).unwrap();
+            let ag = allgather(p, &g, 4, vec![3.0], 1);
+            let aa = all_to_all_personalized(p, &g, 5, vec![vec![4.0]], 1);
+            (b[0], s[0], ag[0][0], aa[0][0])
+        });
+        assert_eq!(r.results[0], (1.0, 2.0, 3.0, 4.0));
+        assert_eq!(r.total_msgs(), 0);
+    }
+
+    #[test]
+    fn all_to_all_direct_cost_scales_with_data_not_group_squared() {
+        // Total words for a direct all-to-all with m/q per pair is m per
+        // processor.
+        let q = 8;
+        let m_words = 64usize;
+        let mach = machine(q);
+        let r = mach.run(|p| {
+            let g = Group::world(8);
+            let chunk = m_words / 8;
+            let out: Vec<Vec<f64>> = (0..8).map(|_| vec![0.0; chunk]).collect();
+            all_to_all_direct(p, &g, 1, out);
+        });
+        assert_eq!(r.total_words(), (q * (q - 1) * (m_words / q)) as u64);
+    }
+
+    #[test]
+    fn bruck_matches_direct_results() {
+        for q in [3usize, 4, 5, 8, 13] {
+            let mach = machine(q);
+            let r = mach.run(|p| {
+                let g = Group::world(q);
+                let me = p.rank();
+                let out: Vec<Vec<f64>> = (0..q)
+                    .map(|d| vec![(me * q + d) as f64; (d % 3) + 1])
+                    .collect();
+                all_to_all_bruck(p, &g, 1, out)
+            });
+            for (me, res) in r.results.iter().enumerate() {
+                for (src, chunk) in res.iter().enumerate() {
+                    assert_eq!(
+                        chunk,
+                        &vec![(src * q + me) as f64; (me % 3) + 1],
+                        "q={q} me={me} src={src}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_uses_log_rounds() {
+        let q = 16;
+        let mach = machine(q);
+        let r = mach.run(|p| {
+            let g = Group::world(q);
+            let out: Vec<Vec<f64>> = (0..q).map(|_| vec![1.0]).collect();
+            all_to_all_bruck(p, &g, 1, out);
+        });
+        // each processor sends exactly log2(q) messages
+        assert_eq!(r.total_msgs(), (q * 4) as u64);
+    }
+
+    #[test]
+    fn allgather_doubling_matches_ring() {
+        for q in [2usize, 5, 8, 11] {
+            let mach = machine(q);
+            let r = mach.run(|p| {
+                let g = Group::world(q);
+                let a = allgather_ring(p, &g, 1, vec![p.rank() as f64; p.rank() + 1]);
+                let b = allgather_doubling(p, &g, 2, vec![p.rank() as f64; p.rank() + 1]);
+                assert_eq!(a, b, "q={q} rank={}", p.rank());
+                a.len()
+            });
+            assert!(r.results.iter().all(|&l| l == q));
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_chunks() {
+        for (q, root) in [(4usize, 0usize), (5, 2), (8, 7), (3, 1), (1, 0)] {
+            let mach = machine(q);
+            let r = mach.run(move |p| {
+                let g = Group::world(q);
+                let me = g.group_rank(p.rank()).unwrap();
+                let chunks = if me == root {
+                    (0..q).map(|d| vec![d as f64; d + 1]).collect()
+                } else {
+                    Vec::new()
+                };
+                scatter(p, &g, 1, root, chunks)
+            });
+            for (rank, got) in r.results.iter().enumerate() {
+                assert_eq!(got, &vec![rank as f64; rank + 1], "q={q} root={root} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_moves_less_than_broadcast_of_everything() {
+        // binomial scatter with payload splitting: total words ≈
+        // Σ over levels of (remaining payload) — far below q·total
+        let q = 8;
+        let chunk = 100usize;
+        let mach = machine(q);
+        let r = mach.run(|p| {
+            let g = Group::world(q);
+            let chunks = if p.rank() == 0 {
+                (0..q).map(|_| vec![1.0; chunk]).collect()
+            } else {
+                Vec::new()
+            };
+            scatter(p, &g, 1, 0, chunks);
+        });
+        // a broadcast of all q·chunk words to everyone would be
+        // ~q·q·chunk; the scatter must stay well below q·total
+        assert!(
+            r.total_words() < (2 * q * chunk + 8 * q * 3) as u64,
+            "scatter moved {} words",
+            r.total_words()
+        );
+    }
+
+    #[test]
+    fn reduce_scatter_sums_per_destination() {
+        for q in [2usize, 4, 7] {
+            let mach = machine(q);
+            let r = mach.run(move |p| {
+                let g = Group::world(q);
+                let me = g.group_rank(p.rank()).unwrap();
+                // contribution of rank me for dest d: [me*10 + d]
+                let chunks: Vec<Vec<f64>> =
+                    (0..q).map(|d| vec![(me * 10 + d) as f64]).collect();
+                reduce_scatter(p, &g, 1, chunks)
+            });
+            for (rank, got) in r.results.iter().enumerate() {
+                let expect: f64 = (0..q).map(|src| (src * 10 + rank) as f64).sum();
+                assert_eq!(got, &vec![expect], "q={q} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_equals_allreduce() {
+        // the classic identity behind Rabenseifner's allreduce
+        let q = 4;
+        let mach = machine(q);
+        let r = mach.run(|p| {
+            let g = Group::world(q);
+            let me = p.rank() as f64;
+            let chunks: Vec<Vec<f64>> = (0..q).map(|d| vec![me + d as f64]).collect();
+            let mine = reduce_scatter(p, &g, 1, chunks);
+            let all = allgather(p, &g, 2, mine, 1);
+            all.into_iter().flatten().collect::<Vec<f64>>()
+        });
+        let expect: Vec<f64> = (0..q)
+            .map(|d| (0..q).map(|src| (src + d) as f64).sum())
+            .collect();
+        for got in &r.results {
+            assert_eq!(got, &expect);
+        }
+    }
+
+    #[test]
+    fn adaptive_a2a_picks_bruck_for_small_payloads() {
+        // tiny chunks on a big group: adaptive must take far fewer
+        // messages than the direct schedule would
+        let q = 32;
+        let mach = machine(q);
+        let r = mach.run(|p| {
+            let g = Group::world(q);
+            let out: Vec<Vec<f64>> = (0..q).map(|_| vec![1.0]).collect();
+            all_to_all_personalized(p, &g, 1, out, q);
+        });
+        assert!(
+            r.total_msgs() < (q * (q - 1)) as u64 / 2,
+            "adaptive sent {} msgs",
+            r.total_msgs()
+        );
+    }
+}

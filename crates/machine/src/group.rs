@@ -1,0 +1,148 @@
+//! Processor groups ("subcubes").
+//!
+//! The subtree-to-subcube mapping assigns each supernode at level `l` of
+//! the elimination tree to a group of `p/2^l` processors, halving the group
+//! at every branch. [`Group`] captures such a subset with group-relative
+//! ranks; collectives in [`crate::coll`] operate on groups.
+
+/// An ordered subset of world ranks. Group rank `g` corresponds to world
+/// rank `ranks[g]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// The full machine `0..p`.
+    pub fn world(p: usize) -> Self {
+        Group {
+            ranks: (0..p).collect(),
+        }
+    }
+
+    /// A group from explicit world ranks (must be non-empty and distinct).
+    pub fn from_ranks(ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "group must be non-empty");
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "group ranks must be distinct");
+        Group { ranks }
+    }
+
+    /// Number of processors in the group.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// World rank of group member `g`.
+    #[inline]
+    pub fn world_rank(&self, g: usize) -> usize {
+        self.ranks[g]
+    }
+
+    /// Group rank of a world rank, or `None` if not a member.
+    pub fn group_rank(&self, world: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == world)
+    }
+
+    /// True if `world` belongs to this group.
+    pub fn contains(&self, world: usize) -> bool {
+        self.group_rank(world).is_some()
+    }
+
+    /// The member world ranks in group order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Split into two halves (first ⌈q/2⌉ ranks, rest) — the subcube
+    /// halving used when descending one level of the elimination tree.
+    pub fn split_half(&self) -> (Group, Group) {
+        assert!(self.size() >= 2, "cannot split a singleton group");
+        let mid = self.size().div_ceil(2);
+        (
+            Group {
+                ranks: self.ranks[..mid].to_vec(),
+            },
+            Group {
+                ranks: self.ranks[mid..].to_vec(),
+            },
+        )
+    }
+
+    /// Split into `k` nearly-equal contiguous chunks.
+    pub fn split_chunks(&self, k: usize) -> Vec<Group> {
+        assert!(k >= 1 && k <= self.size());
+        let base = self.size() / k;
+        let extra = self.size() % k;
+        let mut out = Vec::with_capacity(k);
+        let mut at = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            out.push(Group {
+                ranks: self.ranks[at..at + len].to_vec(),
+            });
+            at += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_ranks_identity() {
+        let g = Group::world(4);
+        assert_eq!(g.size(), 4);
+        assert_eq!(g.world_rank(2), 2);
+        assert_eq!(g.group_rank(3), Some(3));
+        assert!(g.contains(0));
+        assert!(!g.contains(4));
+    }
+
+    #[test]
+    fn from_ranks_preserves_order() {
+        let g = Group::from_ranks(vec![5, 2, 9]);
+        assert_eq!(g.world_rank(0), 5);
+        assert_eq!(g.group_rank(9), Some(2));
+        assert_eq!(g.group_rank(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_ranks_rejected() {
+        Group::from_ranks(vec![1, 1]);
+    }
+
+    #[test]
+    fn split_half_partitions() {
+        let g = Group::world(8);
+        let (a, b) = g.split_half();
+        assert_eq!(a.ranks(), &[0, 1, 2, 3]);
+        assert_eq!(b.ranks(), &[4, 5, 6, 7]);
+        let (a2, _) = a.split_half();
+        assert_eq!(a2.ranks(), &[0, 1]);
+    }
+
+    #[test]
+    fn split_half_odd() {
+        let g = Group::world(5);
+        let (a, b) = g.split_half();
+        assert_eq!(a.size(), 3);
+        assert_eq!(b.size(), 2);
+    }
+
+    #[test]
+    fn split_chunks_covers() {
+        let g = Group::world(10);
+        let chunks = g.split_chunks(3);
+        let sizes: Vec<usize> = chunks.iter().map(Group::size).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let all: Vec<usize> = chunks.iter().flat_map(|c| c.ranks().to_vec()).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+}

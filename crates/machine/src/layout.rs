@@ -1,0 +1,267 @@
+//! Block-cyclic data distributions.
+//!
+//! The paper's triangular solvers partition each supernode trapezoid
+//! **one-dimensionally block-cyclically** (row-wise for `L`, column-wise
+//! for `U`), while factorization uses a **two-dimensional block-cyclic**
+//! layout over a processor grid. These descriptors are pure index maps:
+//! `owner`, global↔local translation, and per-processor counts.
+
+/// 1-D block-cyclic distribution of `nitems` items over `nprocs` processors
+/// with blocks of `block` consecutive items: item `i` lives in block
+/// `i / block`, owned by processor `(i / block) % nprocs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCyclic1d {
+    /// Total items distributed.
+    pub nitems: usize,
+    /// Block size `b`.
+    pub block: usize,
+    /// Number of processors.
+    pub nprocs: usize,
+}
+
+impl BlockCyclic1d {
+    /// Create a descriptor (block and procs must be ≥ 1).
+    pub fn new(nitems: usize, block: usize, nprocs: usize) -> Self {
+        assert!(block >= 1 && nprocs >= 1);
+        BlockCyclic1d {
+            nitems,
+            block,
+            nprocs,
+        }
+    }
+
+    /// Number of blocks (the last may be partial).
+    pub fn nblocks(&self) -> usize {
+        self.nitems.div_ceil(self.block)
+    }
+
+    /// Block index of item `i`.
+    #[inline]
+    pub fn block_of(&self, i: usize) -> usize {
+        i / self.block
+    }
+
+    /// Owner (processor) of item `i`.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.nitems);
+        (i / self.block) % self.nprocs
+    }
+
+    /// Owner of block `b`.
+    #[inline]
+    pub fn owner_of_block(&self, b: usize) -> usize {
+        b % self.nprocs
+    }
+
+    /// Size of block `b` (the final block may be short).
+    pub fn block_len(&self, b: usize) -> usize {
+        let start = b * self.block;
+        debug_assert!(start < self.nitems);
+        self.block.min(self.nitems - start)
+    }
+
+    /// Global range of block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let start = b * self.block;
+        start..(start + self.block).min(self.nitems)
+    }
+
+    /// Number of items owned by processor `q`.
+    pub fn local_count(&self, q: usize) -> usize {
+        (0..self.nblocks())
+            .filter(|&b| self.owner_of_block(b) == q)
+            .map(|b| self.block_len(b))
+            .sum()
+    }
+
+    /// Blocks owned by processor `q`, in ascending order.
+    pub fn local_blocks(&self, q: usize) -> Vec<usize> {
+        (0..self.nblocks())
+            .filter(|&b| self.owner_of_block(b) == q)
+            .collect()
+    }
+
+    /// Local offset of item `i` within its owner's packed storage (items
+    /// of each owner are packed block by block in ascending block order).
+    pub fn local_index(&self, i: usize) -> usize {
+        let b = self.block_of(i);
+        let q = self.owner_of_block(b);
+        let mut off = 0;
+        let mut blk = b % self.nprocs; // first block owned by q is blk = q
+        debug_assert_eq!(blk, q);
+        while blk < b {
+            off += self.block_len(blk);
+            blk += self.nprocs;
+        }
+        off + (i - b * self.block)
+    }
+}
+
+/// 2-D block-cyclic distribution of an `nrows × ncols` matrix over a
+/// `prow × pcol` processor grid with `block × block` tiles. Processor
+/// `(r, c)` has linear rank `r * pcol + c` (row-major grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCyclic2d {
+    /// Row distribution over `prow` grid rows.
+    pub rows: BlockCyclic1d,
+    /// Column distribution over `pcol` grid columns.
+    pub cols: BlockCyclic1d,
+}
+
+impl BlockCyclic2d {
+    /// Create a descriptor for an `nrows × ncols` matrix on a
+    /// `prow × pcol` grid with square tiles of `block`.
+    pub fn new(nrows: usize, ncols: usize, block: usize, prow: usize, pcol: usize) -> Self {
+        BlockCyclic2d {
+            rows: BlockCyclic1d::new(nrows, block, prow),
+            cols: BlockCyclic1d::new(ncols, block, pcol),
+        }
+    }
+
+    /// Grid shape `(prow, pcol)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.rows.nprocs, self.cols.nprocs)
+    }
+
+    /// Total processors in the grid.
+    pub fn nprocs(&self) -> usize {
+        self.rows.nprocs * self.cols.nprocs
+    }
+
+    /// Linear rank of the owner of entry `(i, j)`.
+    #[inline]
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        self.rows.owner(i) * self.cols.nprocs + self.cols.owner(j)
+    }
+
+    /// Number of entries owned by linear rank `q`.
+    pub fn local_count(&self, q: usize) -> usize {
+        let (r, c) = (q / self.cols.nprocs, q % self.cols.nprocs);
+        self.rows.local_count(r) * self.cols.local_count(c)
+    }
+
+    /// A near-square grid factorization `prow × pcol = p` with
+    /// `prow ≤ pcol` and both powers of two when `p` is (the subcube
+    /// shapes used by the factorization phase).
+    pub fn square_grid(p: usize) -> (usize, usize) {
+        let mut prow = 1;
+        while (prow * 2) * (prow * 2) <= p {
+            prow *= 2;
+        }
+        // adjust so prow * pcol == p exactly when p is a power of two;
+        // otherwise fall back to the largest divisor pair.
+        if p.is_multiple_of(prow) {
+            let pcol = p / prow;
+            if prow <= pcol {
+                return (prow, pcol);
+            }
+            return (pcol, prow);
+        }
+        let mut best = (1, p);
+        let mut d = 1;
+        while d * d <= p {
+            if p.is_multiple_of(d) {
+                best = (d, p / d);
+            }
+            d += 1;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_cycles_over_blocks() {
+        let l = BlockCyclic1d::new(20, 2, 3);
+        // blocks: 0..10, owners 0,1,2,0,1,2,...
+        assert_eq!(l.owner(0), 0);
+        assert_eq!(l.owner(1), 0);
+        assert_eq!(l.owner(2), 1);
+        assert_eq!(l.owner(5), 2);
+        assert_eq!(l.owner(6), 0);
+        assert_eq!(l.nblocks(), 10);
+    }
+
+    #[test]
+    fn last_block_may_be_short() {
+        let l = BlockCyclic1d::new(7, 3, 2);
+        assert_eq!(l.nblocks(), 3);
+        assert_eq!(l.block_len(0), 3);
+        assert_eq!(l.block_len(2), 1);
+        assert_eq!(l.block_range(2), 6..7);
+    }
+
+    #[test]
+    fn local_counts_partition_items() {
+        for (n, b, p) in [(20, 2, 3), (17, 4, 4), (5, 8, 2), (100, 1, 7)] {
+            let l = BlockCyclic1d::new(n, b, p);
+            let total: usize = (0..p).map(|q| l.local_count(q)).sum();
+            assert_eq!(total, n, "n={n} b={b} p={p}");
+        }
+    }
+
+    #[test]
+    fn local_index_is_packed_and_bijective() {
+        let l = BlockCyclic1d::new(23, 3, 4);
+        for q in 0..4 {
+            let mut seen = vec![false; l.local_count(q)];
+            for i in 0..23 {
+                if l.owner(i) == q {
+                    let li = l.local_index(i);
+                    assert!(!seen[li], "local index {li} repeated on proc {q}");
+                    seen[li] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn local_index_orders_by_global() {
+        let l = BlockCyclic1d::new(30, 4, 3);
+        for q in 0..3 {
+            let mut last = None;
+            for i in 0..30 {
+                if l.owner(i) == q {
+                    let li = l.local_index(i);
+                    if let Some(prev) = last {
+                        assert!(li > prev);
+                    }
+                    last = Some(li);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_owner_combines_row_and_col() {
+        let d = BlockCyclic2d::new(8, 8, 2, 2, 2);
+        assert_eq!(d.owner(0, 0), 0);
+        assert_eq!(d.owner(0, 2), 1);
+        assert_eq!(d.owner(2, 0), 2);
+        assert_eq!(d.owner(2, 2), 3);
+        assert_eq!(d.owner(4, 4), 0); // wraps
+    }
+
+    #[test]
+    fn grid_local_counts_partition_matrix() {
+        let d = BlockCyclic2d::new(10, 13, 3, 2, 3);
+        let total: usize = (0..6).map(|q| d.local_count(q)).sum();
+        assert_eq!(total, 130);
+    }
+
+    #[test]
+    fn square_grid_factors() {
+        assert_eq!(BlockCyclic2d::square_grid(16), (4, 4));
+        assert_eq!(BlockCyclic2d::square_grid(8), (2, 4));
+        assert_eq!(BlockCyclic2d::square_grid(2), (1, 2));
+        assert_eq!(BlockCyclic2d::square_grid(1), (1, 1));
+        let (a, b) = BlockCyclic2d::square_grid(12);
+        assert_eq!(a * b, 12);
+        assert!(a <= b);
+    }
+}

@@ -1,0 +1,40 @@
+//! A virtual-time distributed-memory machine simulator.
+//!
+//! The Gupta & Kumar paper evaluates its algorithms on a 256-processor
+//! Cray T3D. This crate substitutes a **virtual-time simulator**: each
+//! virtual processor runs as an OS thread with private memory and a private
+//! virtual clock; processors exchange messages over typed channels; and the
+//! clock advances according to the same linear cost model
+//! (`t_s + m·t_w` per message, calibrated per-flop compute rates) that the
+//! paper's analysis uses.
+//!
+//! Because time flows only through computation and messages, the simulated
+//! parallel runtime is **deterministic**: it depends on the algorithm's
+//! communication structure, not on host scheduling. Real numerics are
+//! computed — the solvers produce actual solutions, and the reported times
+//! are what the cost model implies for a T3D-class machine.
+//!
+//! Key pieces:
+//!
+//! * [`MachineParams`] — the cost model (latency, bandwidth, BLAS-level
+//!   compute rates) with a [`MachineParams::t3d`] calibration;
+//! * [`Machine::run`] — SPMD execution: one closure, `p` virtual
+//!   processors, per-processor results and virtual finish times;
+//! * [`Proc`] — the per-processor handle: `send` / `recv` / `compute`;
+//! * [`Group`] — processor subsets (the "subcubes" of subtree-to-subcube
+//!   mapping) with group-relative ranks;
+//! * [`coll`] — collectives built on point-to-point messages: barrier,
+//!   broadcast, reduce, all-gather, all-to-all personalized;
+//! * [`layout`] — 1-D and 2-D block-cyclic distribution maps.
+
+pub mod coll;
+pub mod group;
+pub mod layout;
+pub mod params;
+pub mod sim;
+pub mod trace;
+
+pub use group::Group;
+pub use layout::{BlockCyclic1d, BlockCyclic2d};
+pub use params::{KernelClass, MachineParams, Topology};
+pub use sim::{Activity, Machine, Proc, ProcStats, RunResult, Segment};

@@ -1,0 +1,226 @@
+//! The machine cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Kernel class used to pick an effective compute rate.
+///
+/// Mid-90s microprocessors (and modern ones, for different reasons) run
+/// memory-bound BLAS-1/2 operations far below their BLAS-3 peak. The paper
+/// observes exactly this: single-processor triangular solves run at
+/// ~8 MFLOPS while multi-RHS solves and factorization reach 30–45 MFLOPS
+/// thanks to BLAS-3 blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Vector-rate work: triangular solves / GEMV with a single RHS.
+    Vector,
+    /// Matrix-rate work: blocked GEMM-like kernels (factorization,
+    /// multi-RHS updates at large `nrhs`).
+    Matrix,
+}
+
+/// Interconnect topology used for per-hop latency accounting.
+///
+/// The Cray T3D's network was a 3-D torus with wormhole routing: per-hop
+/// latency was tiny (~1–2 ns), which is why the paper's flat
+/// `t_s + m·t_w` model is accurate for it. The torus variant makes the
+/// hop distance explicit so the locality of the subtree-to-subcube
+/// mapping can be measured under store-and-forward-class networks (see
+/// the `ablation_topology` harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Fully-connected (distance-independent) network — the paper's model.
+    Flat,
+    /// 3-D torus of the given dimensions; processor `r` sits at
+    /// `(r % dx, (r / dx) % dy, r / (dx·dy))`.
+    Torus3d {
+        /// Torus dimensions `[dx, dy, dz]`.
+        dims: [usize; 3],
+    },
+}
+
+impl Topology {
+    /// Network hops between two ranks (0 under [`Topology::Flat`]).
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        match *self {
+            Topology::Flat => 0,
+            Topology::Torus3d { dims } => {
+                let coord = |r: usize| {
+                    [
+                        r % dims[0],
+                        (r / dims[0]) % dims[1],
+                        r / (dims[0] * dims[1]),
+                    ]
+                };
+                let (a, b) = (coord(src), coord(dst));
+                (0..3)
+                    .map(|ax| {
+                        let d = a[ax].abs_diff(b[ax]);
+                        d.min(dims[ax] - d) // ring wrap-around
+                    })
+                    .sum()
+            }
+        }
+    }
+}
+
+/// Linear cost model of a distributed-memory machine.
+///
+/// * a message of `m` 8-byte words from `src` to `dst` costs
+///   `t_s + hops(src, dst)·t_hop + m·t_w` seconds from send start to
+///   availability at the receiver;
+/// * `flops` floating-point operations in class `c` cost
+///   `flops / rate(c)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Message startup (latency) in seconds.
+    pub t_s: f64,
+    /// Per-word (8-byte) transfer time in seconds.
+    pub t_w: f64,
+    /// Effective MFLOPS for [`KernelClass::Vector`] work.
+    pub vector_mflops: f64,
+    /// Effective MFLOPS for [`KernelClass::Matrix`] work.
+    pub matrix_mflops: f64,
+    /// Interconnect topology (default [`Topology::Flat`]).
+    pub topology: Topology,
+    /// Per-hop network latency in seconds (ignored under `Flat`).
+    pub t_hop: f64,
+}
+
+impl MachineParams {
+    /// Cray-T3D-flavoured calibration (see DESIGN.md §5): ~2 µs message
+    /// startup (shmem-class messaging), ~150 MB/s per-link bandwidth,
+    /// ~10 MFLOPS vector rate and ~45 MFLOPS matrix rate per Alpha EV4
+    /// processor.
+    pub fn t3d() -> Self {
+        MachineParams {
+            t_s: 2e-6,
+            t_w: 0.053e-6,
+            vector_mflops: 10.0,
+            matrix_mflops: 45.0,
+            topology: Topology::Flat,
+            t_hop: 0.0,
+        }
+    }
+
+    /// T3D calibration with its physical 3-D torus made explicit
+    /// (wormhole per-hop latency ≈ 2 ns — nearly flat, as the paper
+    /// assumes). Raise `t_hop` to model store-and-forward-class networks.
+    pub fn t3d_torus(dims: [usize; 3], t_hop: f64) -> Self {
+        MachineParams {
+            topology: Topology::Torus3d { dims },
+            t_hop,
+            ..Self::t3d()
+        }
+    }
+
+    /// A zero-communication-cost model (useful to isolate load imbalance in
+    /// tests and ablations).
+    pub fn free_comm() -> Self {
+        MachineParams {
+            t_s: 0.0,
+            t_w: 0.0,
+            ..Self::t3d()
+        }
+    }
+
+    /// Seconds taken by a message of `words` 8-byte words between
+    /// topology-adjacent endpoints (no hop term).
+    #[inline]
+    pub fn msg_time(&self, words: usize) -> f64 {
+        self.t_s + words as f64 * self.t_w
+    }
+
+    /// Seconds taken by a message of `words` words from `src` to `dst`,
+    /// including the topology hop term.
+    #[inline]
+    pub fn msg_time_between(&self, src: usize, dst: usize, words: usize) -> f64 {
+        self.msg_time(words) + self.topology.hops(src, dst) as f64 * self.t_hop
+    }
+
+    /// Effective rate (flops/second) of a kernel class.
+    #[inline]
+    pub fn rate(&self, class: KernelClass) -> f64 {
+        match class {
+            KernelClass::Vector => self.vector_mflops * 1e6,
+            KernelClass::Matrix => self.matrix_mflops * 1e6,
+        }
+    }
+
+    /// Effective rate for a solve-type kernel operating on `nrhs`
+    /// right-hand sides at once: interpolates from the vector rate
+    /// (`nrhs = 1`) toward the matrix rate as blocking improves,
+    /// `r(m) = r₃ − (r₃ − r₁)/m`.
+    #[inline]
+    pub fn solve_rate(&self, nrhs: usize) -> f64 {
+        let r1 = self.vector_mflops * 1e6;
+        let r3 = self.matrix_mflops * 1e6;
+        r3 - (r3 - r1) / nrhs.max(1) as f64
+    }
+
+    /// Seconds for `flops` operations in `class`.
+    #[inline]
+    pub fn compute_time(&self, flops: f64, class: KernelClass) -> f64 {
+        flops / self.rate(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3d_sanity() {
+        let p = MachineParams::t3d();
+        assert!(p.t_s > p.t_w);
+        assert!(p.matrix_mflops > p.vector_mflops);
+    }
+
+    #[test]
+    fn msg_time_linear() {
+        let p = MachineParams::t3d();
+        let t0 = p.msg_time(0);
+        let t100 = p.msg_time(100);
+        assert!((t0 - p.t_s).abs() < 1e-15);
+        assert!((t100 - t0 - 100.0 * p.t_w).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_rate_interpolates() {
+        let p = MachineParams::t3d();
+        assert!((p.solve_rate(1) - p.rate(KernelClass::Vector)).abs() < 1.0);
+        assert!(p.solve_rate(30) > 0.9 * p.rate(KernelClass::Matrix));
+        assert!(p.solve_rate(2) > p.solve_rate(1));
+        // degenerate nrhs treated as 1
+        assert_eq!(p.solve_rate(0), p.solve_rate(1));
+    }
+
+    #[test]
+    fn torus_hops_wrap_around() {
+        let t = Topology::Torus3d { dims: [4, 4, 2] };
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1); // +x
+        assert_eq!(t.hops(0, 3), 1); // wrap in x (distance min(3, 1))
+        assert_eq!(t.hops(0, 4), 1); // +y
+        assert_eq!(t.hops(0, 16), 1); // +z
+        assert_eq!(t.hops(0, 21), 3); // (1,1,1) away
+        assert_eq!(Topology::Flat.hops(0, 31), 0);
+    }
+
+    #[test]
+    fn hop_term_enters_message_time() {
+        let p = MachineParams::t3d_torus([4, 4, 4], 1e-6);
+        let base = p.msg_time(10);
+        assert_eq!(p.msg_time_between(0, 0, 10), base);
+        assert!((p.msg_time_between(0, 21, 10) - base - 3e-6).abs() < 1e-15);
+        // flat default: no hop term anywhere
+        let f = MachineParams::t3d();
+        assert_eq!(f.msg_time_between(0, 63, 10), f.msg_time(10));
+    }
+
+    #[test]
+    fn free_comm_zeroes_messages_only() {
+        let p = MachineParams::free_comm();
+        assert_eq!(p.msg_time(1000), 0.0);
+        assert!(p.compute_time(1e6, KernelClass::Vector) > 0.0);
+    }
+}

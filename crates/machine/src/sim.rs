@@ -1,0 +1,583 @@
+//! The SPMD execution engine.
+
+use crate::params::{KernelClass, MachineParams};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// A message in flight: payload plus the virtual time at which it becomes
+/// available at the receiver.
+#[derive(Debug, Clone)]
+struct Msg {
+    tag: u64,
+    data: Vec<f64>,
+    arrival: f64,
+}
+
+/// Per-processor accounting, in virtual seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcStats {
+    /// Floating-point operations charged via `compute_flops`.
+    pub flops: f64,
+    /// Virtual seconds spent computing.
+    pub compute_seconds: f64,
+    /// Virtual seconds spent blocked waiting for messages (idle).
+    pub wait_seconds: f64,
+    /// Virtual seconds charged as message-startup overhead on sends.
+    pub send_seconds: f64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// 8-byte words sent.
+    pub words_sent: u64,
+}
+
+/// What a processor was doing during a traced interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Arithmetic (charged via `compute_flops*`).
+    Compute,
+    /// Blocked waiting for a message.
+    Wait,
+    /// Message-send startup overhead.
+    Send,
+}
+
+/// One traced interval of a processor's virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Interval start (virtual seconds).
+    pub start: f64,
+    /// Interval end (virtual seconds).
+    pub end: f64,
+    /// What the processor was doing.
+    pub activity: Activity,
+}
+
+/// Handle through which an SPMD closure interacts with its virtual
+/// processor: clock, messaging, and compute accounting.
+pub struct Proc {
+    rank: usize,
+    nprocs: usize,
+    clock: f64,
+    params: MachineParams,
+    /// `senders[dst]` carries messages to processor `dst`.
+    senders: Vec<Sender<Msg>>,
+    /// `receivers[src]` yields messages sent by processor `src`.
+    receivers: Vec<Receiver<Msg>>,
+    /// Out-of-order messages already drained from a channel, per source.
+    pending: Vec<VecDeque<Msg>>,
+    stats: ProcStats,
+    /// Timeline segments, recorded only when tracing is enabled.
+    trace: Option<Vec<Segment>>,
+}
+
+impl Proc {
+    /// This processor's rank in `0..nprocs`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of virtual processors.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.clock
+    }
+
+    /// The machine's cost model.
+    #[inline]
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    /// Record a traced interval ending at the current clock (merging with
+    /// an adjacent same-activity segment).
+    fn record(&mut self, start: f64, activity: Activity) {
+        if let Some(trace) = &mut self.trace {
+            if self.clock <= start {
+                return;
+            }
+            if let Some(last) = trace.last_mut() {
+                if last.activity == activity && (start - last.end).abs() < 1e-15 {
+                    last.end = self.clock;
+                    return;
+                }
+            }
+            trace.push(Segment {
+                start,
+                end: self.clock,
+                activity,
+            });
+        }
+    }
+
+    /// Charge `flops` floating-point operations at the class rate.
+    pub fn compute_flops(&mut self, flops: f64, class: KernelClass) {
+        let dt = self.params.compute_time(flops, class);
+        let start = self.clock;
+        self.clock += dt;
+        self.stats.flops += flops;
+        self.stats.compute_seconds += dt;
+        self.record(start, Activity::Compute);
+    }
+
+    /// Charge `flops` at an explicit rate (flops/second) — used by solve
+    /// kernels whose effective rate depends on the RHS block width.
+    pub fn compute_flops_at(&mut self, flops: f64, rate: f64) {
+        let dt = flops / rate;
+        let start = self.clock;
+        self.clock += dt;
+        self.stats.flops += flops;
+        self.stats.compute_seconds += dt;
+        self.record(start, Activity::Compute);
+    }
+
+    /// Advance the clock without doing arithmetic (e.g. modelled index
+    /// bookkeeping).
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+    }
+
+    /// Send `data` to `dst` with a `tag`. The sender is charged the
+    /// startup time `t_s`; the message becomes available at
+    /// `send_time + t_s + len·t_w`.
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        assert_ne!(dst, self.rank, "self-send would deadlock recv");
+        let arrival = self.clock + self.params.msg_time_between(self.rank, dst, data.len());
+        self.stats.msgs_sent += 1;
+        self.stats.words_sent += data.len() as u64;
+        self.stats.send_seconds += self.params.t_s;
+        let start = self.clock;
+        self.clock += self.params.t_s;
+        self.record(start, Activity::Send);
+        let msg = Msg {
+            tag,
+            data,
+            arrival,
+        };
+        self.senders[dst]
+            .send(msg)
+            .expect("receiver thread ended with messages in flight");
+    }
+
+    /// Receive the next message with `tag` from `src`, blocking until it
+    /// arrives. The virtual clock advances to the message arrival time.
+    /// Messages from `src` with other tags are buffered.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        assert!(src < self.nprocs);
+        assert_ne!(src, self.rank);
+        // check the pending buffer first
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[src].remove(pos).unwrap();
+            return self.accept(msg);
+        }
+        loop {
+            let msg = self.receivers[src]
+                .recv()
+                .expect("sender thread ended before sending expected message");
+            if msg.tag == tag {
+                return self.accept(msg);
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    fn accept(&mut self, msg: Msg) -> Vec<f64> {
+        if msg.arrival > self.clock {
+            self.stats.wait_seconds += msg.arrival - self.clock;
+            let start = self.clock;
+            self.clock = msg.arrival;
+            self.record(start, Activity::Wait);
+        }
+        msg.data
+    }
+
+    /// Convenience: send-then-receive exchange with a partner (both sides
+    /// call this symmetrically; the send happens before the receive so the
+    /// pair cannot deadlock).
+    pub fn exchange(&mut self, partner: usize, tag: u64, data: Vec<f64>) -> Vec<f64> {
+        self.send(partner, tag, data);
+        self.recv(partner, tag)
+    }
+}
+
+/// Result of an SPMD run.
+#[derive(Debug)]
+pub struct RunResult<R> {
+    /// Per-processor return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-processor virtual finish times (seconds).
+    pub finish_times: Vec<f64>,
+    /// Per-processor accounting.
+    pub stats: Vec<ProcStats>,
+    /// Per-processor timelines (empty unless run with tracing).
+    pub traces: Vec<Vec<Segment>>,
+}
+
+impl<R> RunResult<R> {
+    /// The parallel runtime: the latest virtual finish time.
+    pub fn parallel_time(&self) -> f64 {
+        self.finish_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total flops performed across processors.
+    pub fn total_flops(&self) -> f64 {
+        self.stats.iter().map(|s| s.flops).sum()
+    }
+
+    /// Total words sent across processors.
+    pub fn total_words(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_sent).sum()
+    }
+
+    /// Total messages sent across processors.
+    pub fn total_msgs(&self) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Aggregate MFLOPS achieved: total flops / parallel time.
+    pub fn mflops(&self) -> f64 {
+        self.total_flops() / self.parallel_time() / 1e6
+    }
+
+    /// Overhead function `T_o = p·T_P − Σ busy` — the virtual processor
+    /// seconds not spent computing.
+    pub fn overhead(&self) -> f64 {
+        let p = self.finish_times.len() as f64;
+        let busy: f64 = self.stats.iter().map(|s| s.compute_seconds).sum();
+        p * self.parallel_time() - busy
+    }
+}
+
+/// A virtual machine of `p` processors sharing one cost model.
+///
+/// ```
+/// use trisolv_machine::{KernelClass, Machine, MachineParams};
+///
+/// let machine = Machine::new(2, MachineParams::t3d());
+/// let run = machine.run(|proc| {
+///     if proc.rank() == 0 {
+///         proc.compute_flops(1e6, KernelClass::Vector); // 0.1 s at 10 MFLOPS
+///         proc.send(1, 0, vec![1.0, 2.0]);
+///     } else {
+///         let data = proc.recv(0, 0);
+///         assert_eq!(data, vec![1.0, 2.0]);
+///     }
+///     proc.time()
+/// });
+/// // the receiver's clock includes the sender's compute + message latency
+/// assert!(run.results[1] > 0.1);
+/// assert_eq!(run.total_msgs(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    nprocs: usize,
+    params: MachineParams,
+    trace: bool,
+}
+
+impl Machine {
+    /// Create a machine with `nprocs` virtual processors.
+    pub fn new(nprocs: usize, params: MachineParams) -> Self {
+        assert!(nprocs >= 1);
+        Machine {
+            nprocs,
+            params,
+            trace: false,
+        }
+    }
+
+    /// Enable per-processor timeline tracing (see [`RunResult::traces`] and
+    /// [`crate::trace::render_gantt`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Number of virtual processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The cost model.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Run an SPMD program: `f` is invoked once per virtual processor (on
+    /// its own OS thread) with a [`Proc`] handle. Returns per-processor
+    /// results, finish times, and stats.
+    ///
+    /// Programs must have matching sends/receives; an unmatched `recv`
+    /// panics when its peer thread finishes (rather than deadlocking
+    /// silently).
+    pub fn run<R, F>(&self, f: F) -> RunResult<R>
+    where
+        R: Send,
+        F: Fn(&mut Proc) -> R + Sync,
+    {
+        let p = self.nprocs;
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        for src in 0..p {
+            for dst in 0..p {
+                if src == dst {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        // Dummy channels for the diagonal (never used: self-send asserts).
+        let mut procs: Vec<Proc> = Vec::with_capacity(p);
+        for (rank, (send_row, recv_row)) in senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+        {
+            let senders: Vec<Sender<Msg>> = send_row
+                .into_iter()
+                .map(|s| s.unwrap_or_else(|| unbounded().0))
+                .collect();
+            let receivers: Vec<Receiver<Msg>> = recv_row
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|| unbounded().1))
+                .collect();
+            procs.push(Proc {
+                rank,
+                nprocs: p,
+                clock: 0.0,
+                params: self.params,
+                senders,
+                receivers,
+                pending: (0..p).map(|_| VecDeque::new()).collect(),
+                stats: ProcStats::default(),
+                trace: self.trace.then(Vec::new),
+            });
+        }
+
+        let f = &f;
+        type Slot<R> = (R, f64, ProcStats, Vec<Segment>);
+        let mut slots: Vec<Option<Slot<R>>> = (0..p).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = procs
+                .into_iter()
+                .map(|mut proc| {
+                    scope.spawn(move |_| {
+                        let r = f(&mut proc);
+                        let trace = proc.trace.take().unwrap_or_default();
+                        (proc.rank, r, proc.clock, proc.stats, trace)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (rank, r, clock, stats, trace) =
+                    h.join().expect("virtual processor panicked");
+                slots[rank] = Some((r, clock, stats, trace));
+            }
+        })
+        .expect("simulator thread scope failed");
+
+        let mut results = Vec::with_capacity(p);
+        let mut finish_times = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for slot in slots {
+            let (r, t, s, tr) = slot.expect("every rank reports");
+            results.push(r);
+            finish_times.push(t);
+            stats.push(s);
+            traces.push(tr);
+        }
+        RunResult {
+            results,
+            finish_times,
+            stats,
+            traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(p, MachineParams::t3d())
+    }
+
+    #[test]
+    fn single_proc_computes() {
+        let m = machine(1);
+        let r = m.run(|p| {
+            p.compute_flops(1e6, KernelClass::Vector);
+            p.time()
+        });
+        // 1e6 flops at 10 MFLOPS = 0.1 s
+        assert!((r.results[0] - 0.1).abs() < 1e-12);
+        assert!((r.parallel_time() - 0.1).abs() < 1e-12);
+        assert_eq!(r.total_flops(), 1e6);
+    }
+
+    #[test]
+    fn message_advances_receiver_clock() {
+        let m = machine(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                p.compute_flops(1e6, KernelClass::Vector); // 0.1 s
+                p.send(1, 7, vec![1.0, 2.0, 3.0]);
+                p.time()
+            } else {
+                let data = p.recv(0, 7);
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                p.time()
+            }
+        });
+        let params = MachineParams::t3d();
+        let expect_arrival = 0.1 + params.msg_time(3);
+        assert!((r.results[1] - expect_arrival).abs() < 1e-12);
+        // sender paid only startup
+        assert!((r.results[0] - (0.1 + params.t_s)).abs() < 1e-12);
+        assert_eq!(r.total_msgs(), 1);
+        assert_eq!(r.total_words(), 3);
+    }
+
+    #[test]
+    fn late_receiver_does_not_wait() {
+        let m = machine(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![1.0]);
+            } else {
+                p.compute_flops(10e6, KernelClass::Vector); // 1 s >> arrival
+                let _ = p.recv(0, 0);
+            }
+            (p.time(), p.stats().wait_seconds)
+        });
+        // receiver was already past the arrival time: no wait, clock = 1 s
+        assert!((r.results[1].0 - 1.0).abs() < 1e-9);
+        assert_eq!(r.results[1].1, 0.0);
+        assert!(r.results[1].0 > r.results[0].0);
+    }
+
+    #[test]
+    fn tag_mismatch_buffers_out_of_order() {
+        let m = machine(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                p.send(1, 1, vec![1.0]);
+                p.send(1, 2, vec![2.0]);
+                Vec::new()
+            } else {
+                // receive in reverse tag order
+                let b = p.recv(0, 2);
+                let a = p.recv(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(r.results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn exchange_is_symmetric_and_deadlock_free() {
+        let m = machine(2);
+        let r = m.run(|p| {
+            let partner = 1 - p.rank();
+            let got = p.exchange(partner, 9, vec![p.rank() as f64]);
+            got[0]
+        });
+        assert_eq!(r.results[0], 1.0);
+        assert_eq!(r.results[1], 0.0);
+    }
+
+    #[test]
+    fn deterministic_timing_across_runs() {
+        let m = machine(4);
+        let run = || {
+            m.run(|p| {
+                // ring communication with staggered compute
+                p.compute_flops(1e5 * (p.rank() + 1) as f64, KernelClass::Vector);
+                let next = (p.rank() + 1) % p.nprocs();
+                let prev = (p.rank() + p.nprocs() - 1) % p.nprocs();
+                p.send(next, 0, vec![p.rank() as f64; 10]);
+                let _ = p.recv(prev, 0);
+                p.time()
+            })
+            .finish_times
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overhead_zero_for_embarrassingly_parallel() {
+        let m = Machine::new(4, MachineParams::t3d());
+        let r = m.run(|p| p.compute_flops(1e6, KernelClass::Matrix));
+        assert!(r.overhead().abs() < 1e-12);
+        assert!((r.mflops() - 4.0 * 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wait_time_recorded_for_blocked_receiver() {
+        let m = machine(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                p.compute_flops(1e6, KernelClass::Vector); // 0.1 s
+                p.send(1, 0, vec![0.0; 100]);
+                0.0
+            } else {
+                let _ = p.recv(0, 0);
+                p.stats().wait_seconds
+            }
+        });
+        let params = MachineParams::t3d();
+        let expect = 0.1 + params.msg_time(100);
+        assert!((r.results[1] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual processor panicked")]
+    fn self_send_panics() {
+        let m = machine(1);
+        m.run(|p| p.send(0, 0, vec![]));
+    }
+
+    #[test]
+    fn advance_moves_clock_only() {
+        let m = machine(1);
+        let r = m.run(|p| {
+            p.advance(2.5);
+            (p.time(), p.stats().flops)
+        });
+        assert_eq!(r.results[0], (2.5, 0.0));
+    }
+
+    #[test]
+    fn compute_flops_at_uses_given_rate() {
+        let m = machine(1);
+        let r = m.run(|p| {
+            p.compute_flops_at(1e6, 2e6); // 0.5 s
+            p.time()
+        });
+        assert!((r.results[0] - 0.5).abs() < 1e-12);
+    }
+}

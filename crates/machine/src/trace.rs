@@ -1,0 +1,166 @@
+//! ASCII Gantt rendering of traced machine runs.
+//!
+//! Enable tracing with [`crate::Machine::with_trace`]; the resulting
+//! [`crate::RunResult::traces`] can be rendered into a per-processor
+//! timeline showing compute (`#`), message waits (`.`), send overhead
+//! (`s`), and idle gaps (` `) — the quickest way to *see* pipeline
+//! wavefronts, load imbalance, and synchronization stalls.
+
+use crate::sim::{Activity, Segment};
+
+/// Render per-processor timelines as an ASCII Gantt chart of `width`
+/// character columns.
+///
+/// ```
+/// use trisolv_machine::{trace, KernelClass, Machine, MachineParams};
+///
+/// let machine = Machine::new(2, MachineParams::t3d()).with_trace();
+/// let run = machine.run(|p| {
+///     p.compute_flops(1e5 * (p.rank() + 1) as f64, KernelClass::Vector);
+///     if p.rank() == 0 { let _ = p.recv(1, 0); } else { p.send(0, 0, vec![]); }
+/// });
+/// let chart = trace::render_gantt(&run.traces, 40);
+/// assert!(chart.contains("p0") && chart.contains('#'));
+/// ```
+///
+/// Each row is one processor; each column is a `makespan / width` time
+/// bucket labeled with the activity occupying the largest share of that
+/// bucket.
+pub fn render_gantt(traces: &[Vec<Segment>], width: usize) -> String {
+    assert!(width >= 1);
+    let makespan = traces
+        .iter()
+        .flat_map(|t| t.iter().map(|s| s.end))
+        .fold(0.0f64, f64::max);
+    if makespan <= 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let dt = makespan / width as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time: 0 .. {:.3} ms  ({} buckets of {:.3} us)  legend: #=compute .=wait s=send\n",
+        makespan * 1e3,
+        width,
+        dt * 1e6
+    ));
+    for (rank, trace) in traces.iter().enumerate() {
+        let mut busy = vec![[0.0f64; 3]; width]; // per bucket: compute/wait/send
+        for seg in trace {
+            let kind = match seg.activity {
+                Activity::Compute => 0,
+                Activity::Wait => 1,
+                Activity::Send => 2,
+            };
+            let b0 = ((seg.start / dt) as usize).min(width - 1);
+            let b1 = ((seg.end / dt).ceil() as usize).clamp(b0 + 1, width);
+            for (b, bucket) in busy.iter_mut().enumerate().take(b1).skip(b0) {
+                let lo = (b as f64) * dt;
+                let hi = lo + dt;
+                let overlap = (seg.end.min(hi) - seg.start.max(lo)).max(0.0);
+                bucket[kind] += overlap;
+            }
+        }
+        out.push_str(&format!("p{rank:<3} |"));
+        for bucket in &busy {
+            let total: f64 = bucket.iter().sum();
+            let ch = if total < dt * 0.05 {
+                ' '
+            } else if bucket[0] >= bucket[1] && bucket[0] >= bucket[2] {
+                '#'
+            } else if bucket[1] >= bucket[2] {
+                '.'
+            } else {
+                's'
+            };
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Fraction of the makespan each processor spent computing — a compact
+/// utilization summary of a traced run.
+pub fn utilization(traces: &[Vec<Segment>]) -> Vec<f64> {
+    let makespan = traces
+        .iter()
+        .flat_map(|t| t.iter().map(|s| s.end))
+        .fold(0.0f64, f64::max);
+    traces
+        .iter()
+        .map(|t| {
+            if makespan <= 0.0 {
+                return 0.0;
+            }
+            t.iter()
+                .filter(|s| s.activity == Activity::Compute)
+                .map(|s| s.end - s.start)
+                .sum::<f64>()
+                / makespan
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Group, KernelClass, Machine, MachineParams};
+
+    fn traced_run() -> Vec<Vec<Segment>> {
+        let m = Machine::new(3, MachineParams::t3d()).with_trace();
+        let r = m.run(|p| {
+            p.compute_flops(1e5 * (p.rank() + 1) as f64, KernelClass::Vector);
+            crate::coll::barrier(p, &Group::world(3), 1);
+            p.compute_flops(1e5, KernelClass::Matrix);
+        });
+        r.traces
+    }
+
+    #[test]
+    fn traces_recorded_only_when_enabled() {
+        let m = Machine::new(2, MachineParams::t3d());
+        let r = m.run(|p| p.compute_flops(1e5, KernelClass::Vector));
+        assert!(r.traces.iter().all(Vec::is_empty));
+        let traces = traced_run();
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn segments_are_ordered_and_disjoint() {
+        for trace in traced_run() {
+            for w in trace.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-12);
+            }
+            for s in trace {
+                assert!(s.end > s.start);
+            }
+        }
+    }
+
+    #[test]
+    fn gantt_renders_every_processor() {
+        let traces = traced_run();
+        let g = render_gantt(&traces, 40);
+        assert_eq!(g.lines().count(), 4); // header + 3 procs
+        assert!(g.contains("p0"));
+        assert!(g.contains('#'));
+        // the slowest proc (rank 2) computes longest before the barrier;
+        // rank 0 must show wait time
+        assert!(g.lines().nth(1).unwrap().contains('.'), "{g}");
+    }
+
+    #[test]
+    fn utilization_orders_by_work() {
+        let traces = traced_run();
+        let u = utilization(&traces);
+        assert_eq!(u.len(), 3);
+        // rank 2 did the most pre-barrier work → highest utilization
+        assert!(u[2] > u[0]);
+        assert!(u.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(render_gantt(&[Vec::new()], 10), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,451 @@
+//! Compressed sparse column (CSC) matrices.
+
+use crate::{DenseMatrix, MatrixError, Result};
+
+/// A compressed-sparse-column matrix of `f64` values.
+///
+/// Invariants (checked by [`CscMatrix::validate`]):
+/// * `colptr.len() == ncols + 1`, `colptr[0] == 0`, non-decreasing,
+///   `colptr[ncols] == rowidx.len() == values.len()`;
+/// * within each column, row indices are strictly increasing and `< nrows`.
+///
+/// Symmetric matrices in this workspace are stored **lower-triangular**
+/// (diagonal included); helpers that need both triangles expand on the fly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Build from raw parts, validating the structure.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Self::from_parts_unchecked(nrows, ncols, colptr, rowidx, values);
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Build from raw parts without validation (used by trusted builders).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Check all structural invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.colptr.len() != self.ncols + 1 {
+            return Err(MatrixError::InvalidStructure(format!(
+                "colptr length {} != ncols+1 = {}",
+                self.colptr.len(),
+                self.ncols + 1
+            )));
+        }
+        if self.colptr[0] != 0 {
+            return Err(MatrixError::InvalidStructure(
+                "colptr[0] != 0".to_string(),
+            ));
+        }
+        if *self.colptr.last().unwrap() != self.rowidx.len()
+            || self.rowidx.len() != self.values.len()
+        {
+            return Err(MatrixError::InvalidStructure(
+                "colptr end / rowidx / values length mismatch".to_string(),
+            ));
+        }
+        for j in 0..self.ncols {
+            if self.colptr[j] > self.colptr[j + 1] {
+                return Err(MatrixError::InvalidStructure(format!(
+                    "colptr decreases at column {j}"
+                )));
+            }
+            let rows = &self.rowidx[self.colptr[j]..self.colptr[j + 1]];
+            for w in rows.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "rows not strictly increasing in column {j}"
+                    )));
+                }
+            }
+            if let Some(&last) = rows.last() {
+                if last >= self.nrows {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row index {last} out of bounds in column {j}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// The column pointer array (length `ncols + 1`).
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// The row index array (length `nnz`).
+    #[inline]
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// The value array (length `nnz`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.rowidx[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    #[inline]
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Value at `(i, j)`, zero if not stored. O(log nnz(col)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let rows = self.col_rows(j);
+        match rows.binary_search(&i) {
+            Ok(k) => self.values[self.colptr[j] + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transpose (also converts CSC ↔ CSR views).
+    pub fn transpose(&self) -> CscMatrix {
+        let mut colptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowidx {
+            colptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            colptr[i + 1] += colptr[i];
+        }
+        let mut rowidx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut next = colptr.clone();
+        for j in 0..self.ncols {
+            for k in self.colptr[j]..self.colptr[j + 1] {
+                let r = self.rowidx[k];
+                let slot = next[r];
+                rowidx[slot] = j;
+                values[slot] = self.values[k];
+                next[r] += 1;
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.ncols, self.nrows, colptr, rowidx, values)
+    }
+
+    /// Expand a lower-triangular symmetric matrix into its full (both
+    /// triangles) form.
+    ///
+    /// Returns an error if the matrix is not square or stores
+    /// super-diagonal entries.
+    pub fn sym_expand(&self) -> Result<CscMatrix> {
+        if self.nrows != self.ncols {
+            return Err(MatrixError::InvalidStructure(
+                "sym_expand requires a square matrix".to_string(),
+            ));
+        }
+        let mut t = crate::TripletMatrix::new(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for (k, &i) in self.col_rows(j).iter().enumerate() {
+                if i < j {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "entry ({i}, {j}) above the diagonal in lower-triangular matrix"
+                    )));
+                }
+                let v = self.col_values(j)[k];
+                t.push(i, j, v)?;
+                if i != j {
+                    t.push(j, i, v)?;
+                }
+            }
+        }
+        Ok(t.to_csc())
+    }
+
+    /// `y = A * x` for a general (full-storage) matrix; `x` has one column
+    /// per right-hand side.
+    pub fn spmv(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if x.nrows() != self.ncols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmv",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        let mut y = DenseMatrix::zeros(self.nrows, x.ncols());
+        for rhs in 0..x.ncols() {
+            let xc = x.col(rhs);
+            let yc = y.col_mut(rhs);
+            for j in 0..self.ncols {
+                let xj = xc[j];
+                if xj == 0.0 {
+                    continue;
+                }
+                for k in self.colptr[j]..self.colptr[j + 1] {
+                    yc[self.rowidx[k]] += self.values[k] * xj;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// `y = A * x` where `self` stores only the lower triangle of a
+    /// symmetric `A` — the implicit upper triangle is applied too.
+    pub fn spmv_sym_lower(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.nrows != self.ncols || x.nrows() != self.ncols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmv_sym_lower",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        let mut y = DenseMatrix::zeros(self.nrows, x.ncols());
+        for rhs in 0..x.ncols() {
+            let xc = x.col(rhs);
+            let yc = y.col_mut(rhs);
+            for j in 0..self.ncols {
+                let xj = xc[j];
+                for k in self.colptr[j]..self.colptr[j + 1] {
+                    let i = self.rowidx[k];
+                    let v = self.values[k];
+                    yc[i] += v * xj;
+                    if i != j {
+                        yc[j] += v * xc[i];
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Symmetric permutation `P A Pᵀ` of a lower-triangular symmetric
+    /// matrix, returning the result again in lower-triangular form.
+    ///
+    /// `perm` maps old index → new index (i.e. `new[perm[i]] = old[i]`).
+    pub fn permute_sym_lower(&self, perm: &[usize]) -> Result<CscMatrix> {
+        if self.nrows != self.ncols || perm.len() != self.ncols {
+            return Err(MatrixError::InvalidStructure(
+                "permute_sym_lower: matrix must be square and perm must have length n"
+                    .to_string(),
+            ));
+        }
+        let mut t = crate::TripletMatrix::new(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for (k, &i) in self.col_rows(j).iter().enumerate() {
+                let v = self.col_values(j)[k];
+                let (pi, pj) = (perm[i], perm[j]);
+                let (lo, hi) = if pi >= pj { (pi, pj) } else { (pj, pi) };
+                t.push(lo, hi, v)?;
+            }
+        }
+        Ok(t.to_csc())
+    }
+
+    /// Densify (for tests and small examples).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for k in self.colptr[j]..self.colptr[j + 1] {
+                d[(self.rowidx[k], j)] = self.values[k];
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample_lower() -> CscMatrix {
+        // [ 4 . . ]
+        // [ 1 5 . ]
+        // [ 2 3 6 ]   (lower triangle of a symmetric matrix)
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 4.0).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        t.push(2, 0, 2.0).unwrap();
+        t.push(1, 1, 5.0).unwrap();
+        t.push(2, 1, 3.0).unwrap();
+        t.push(2, 2, 6.0).unwrap();
+        t.to_csc()
+    }
+
+    #[test]
+    fn validate_catches_unsorted_rows() {
+        let m = CscMatrix::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+        assert!(m.is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_colptr() {
+        let m = CscMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(m.is_err());
+        let m = CscMatrix::from_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(m.is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_bounds_row() {
+        let m = CscMatrix::from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]);
+        assert!(m.is_err());
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero() {
+        let m = sample_lower();
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.nnz(), 6);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = sample_lower();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+        assert_eq!(m.transpose().get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn sym_expand_fills_upper() {
+        let m = sample_lower();
+        let f = m.sym_expand().unwrap();
+        assert_eq!(f.get(0, 2), 2.0);
+        assert_eq!(f.get(2, 0), 2.0);
+        assert_eq!(f.nnz(), 9);
+    }
+
+    #[test]
+    fn sym_expand_rejects_upper_entries() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0).unwrap();
+        assert!(t.to_csc().sym_expand().is_err());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample_lower().sym_expand().unwrap();
+        let x = DenseMatrix::column_vector(&[1.0, 2.0, 3.0]);
+        let y = m.spmv(&x).unwrap();
+        let yd = m.to_dense().matmul(&x).unwrap();
+        assert!(y.max_abs_diff(&yd).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn spmv_sym_lower_equals_expanded_spmv() {
+        let m = sample_lower();
+        let f = m.sym_expand().unwrap();
+        let x = DenseMatrix::column_vector(&[0.5, -1.0, 2.0]);
+        let a = m.spmv_sym_lower(&x).unwrap();
+        let b = f.spmv(&x).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn permute_sym_lower_preserves_values() {
+        let m = sample_lower();
+        // perm: old -> new (reverse order)
+        let perm = vec![2, 1, 0];
+        let pm = m.permute_sym_lower(&perm).unwrap();
+        // A[2][0]=2 maps to new (perm[2], perm[0]) = (0, 2) -> stored as (2, 0)
+        assert_eq!(pm.get(2, 0), 2.0);
+        // diagonal follows the permutation
+        assert_eq!(pm.get(0, 0), 6.0);
+        assert_eq!(pm.get(2, 2), 4.0);
+        assert!(pm.validate().is_ok());
+        // full expansions agree after dense permutation
+        let fd = m.sym_expand().unwrap().to_dense();
+        let pd = pm.sym_expand().unwrap().to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(pd[(perm[i], perm[j])], fd[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn to_dense_round_trips_values() {
+        let m = sample_lower();
+        let d = m.to_dense();
+        assert_eq!(d[(2, 1)], 3.0);
+        assert_eq!(d[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn zeros_is_valid_and_empty() {
+        let m = CscMatrix::zeros(4, 3);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (4, 3));
+    }
+}

@@ -1,0 +1,372 @@
+//! Column-major dense matrices.
+//!
+//! [`DenseMatrix`] is the workhorse container for supernode blocks, frontal
+//! matrices, and (multi-)right-hand-side vectors throughout the workspace.
+//! Storage is column-major (Fortran order) because every dense kernel in
+//! `trisolv-factor` walks columns, and because supernode trapezoids are
+//! naturally built one column at a time.
+
+use crate::{MatrixError, Result};
+
+/// A column-major dense `f64` matrix.
+///
+/// Element `(i, j)` lives at `data[i + j * nrows]`. An `n x m` right-hand
+/// side / solution block is represented as a `DenseMatrix` with `m` columns;
+/// a plain vector is the `m == 1` case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Create a zero-filled matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Create an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a column-major data vector.
+    ///
+    /// Returns an error if `data.len() != nrows * ncols`.
+    pub fn from_column_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(MatrixError::InvalidStructure(format!(
+                "column-major data length {} does not match {}x{}",
+                data.len(),
+                nrows,
+                ncols
+            )));
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Create a matrix from rows of data (row-major input, converted).
+    ///
+    /// Returns an error if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(MatrixError::InvalidStructure(
+                    "ragged rows in from_rows".to_string(),
+                ));
+            }
+        }
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build a single-column matrix (a vector) from a slice.
+    pub fn column_vector(v: &[f64]) -> Self {
+        DenseMatrix {
+            nrows: v.len(),
+            ncols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Borrow the raw column-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw column-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return the raw column-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.nrows || j >= self.ncols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[i + j * self.nrows])
+    }
+
+    /// Copy a rectangular sub-block `[r0..r1) x [c0..c1)` into a new matrix.
+    pub fn sub_block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Self {
+        assert!(r0 <= r1 && r1 <= self.nrows && c0 <= c1 && c1 <= self.ncols);
+        let mut out = Self::zeros(r1 - r0, c1 - c0);
+        for j in c0..c1 {
+            let src = &self.col(j)[r0..r1];
+            out.col_mut(j - c0).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.ncols, self.nrows);
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max-absolute-entry norm.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |a, &v| a.max(v.abs()))
+    }
+
+    /// `self += alpha * other`, elementwise.
+    pub fn axpy(&mut self, alpha: f64, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Dense matrix-matrix product `self * other` (naive reference kernel;
+    /// the tuned kernels live in `trisolv-factor::blas`).
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != other.nrows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for j in 0..other.ncols {
+            for k in 0..self.ncols {
+                let b = other[(k, j)];
+                if b == 0.0 {
+                    continue;
+                }
+                let a_col = self.col(k);
+                let o_col = out.col_mut(j);
+                for i in 0..self.nrows {
+                    o_col[i] += a_col[i] * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fill with values from an iterator in column-major order, for tests.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize) -> f64) {
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                self.data[i + j * self.nrows] = f(i, j);
+            }
+        }
+    }
+
+    /// Maximum elementwise absolute difference between two equal-shaped
+    /// matrices; `None` if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Option<f64> {
+        if self.shape() != other.shape() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .fold(0.0f64, |a, (x, y)| a.max((x - y).abs())),
+        )
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = DenseMatrix::zeros(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        m[(2, 1)] = 5.0;
+        assert_eq!(m[(2, 1)], 5.0);
+        assert_eq!(m.get(2, 1).unwrap(), 5.0);
+        assert!(m.get(3, 0).is_err());
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let m = DenseMatrix::from_column_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // data = [a00, a10, a01, a11]
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+        assert_eq!(m.col(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_column_major_rejects_bad_length() {
+        assert!(DenseMatrix::from_column_major(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = DenseMatrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn sub_block_extracts() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        m.fill_with(|i, j| (i * 10 + j) as f64);
+        let s = m.sub_block(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], 12.0);
+        assert_eq!(s[(1, 1)], 23.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]).unwrap();
+        assert!((m.norm_fro() - 5.0).abs() < 1e-12);
+        assert_eq!(m.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn axpy_adds() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::identity(2);
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(0, 1)], 0.0);
+        let c = DenseMatrix::zeros(3, 2);
+        assert!(a.axpy(1.0, &c).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_detects() {
+        let a = DenseMatrix::identity(2);
+        let mut b = DenseMatrix::identity(2);
+        b[(1, 0)] = 0.5;
+        assert_eq!(a.max_abs_diff(&b), Some(0.5));
+        assert_eq!(a.max_abs_diff(&DenseMatrix::zeros(3, 3)), None);
+    }
+}

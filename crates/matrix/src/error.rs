@@ -1,0 +1,102 @@
+//! Error type shared by the matrix crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or operating on matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Offending (row, col) pair.
+        index: (usize, usize),
+        /// Matrix shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// The matrix is structurally invalid (e.g. unsorted or duplicate CSC
+    /// row indices).
+    InvalidStructure(String),
+    /// A numerically singular or non-positive-definite pivot was found.
+    NotPositiveDefinite {
+        /// Column at which the factorization broke down.
+        column: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+    /// A parse or I/O problem while reading matrix text formats.
+    Io(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::InvalidStructure(msg) => write!(f, "invalid matrix structure: {msg}"),
+            MatrixError::NotPositiveDefinite { column, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:e} at column {column}"
+            ),
+            MatrixError::Io(msg) => write!(f, "matrix I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MatrixError::DimensionMismatch {
+            op: "gemm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = MatrixError::IndexOutOfBounds {
+            index: (9, 1),
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(9, 1)"));
+
+        let e = MatrixError::NotPositiveDefinite {
+            column: 7,
+            pivot: -1.0,
+        };
+        assert!(e.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: MatrixError = ioe.into();
+        assert!(matches!(e, MatrixError::Io(_)));
+    }
+}

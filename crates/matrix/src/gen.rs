@@ -1,0 +1,566 @@
+//! Problem generators.
+//!
+//! The Gupta & Kumar analysis is parameterized by the *class* of the
+//! coefficient matrix: sparse SPD matrices whose graphs are two- or
+//! three-dimensional neighborhood graphs (finite-difference and
+//! finite-element discretizations). These generators produce exactly those
+//! classes:
+//!
+//! * [`grid2d_laplacian`] / [`grid3d_laplacian`] — 5-point and 7-point
+//!   finite-difference stencils (the canonical 2-D / 3-D model problems);
+//! * [`grid2d_9pt`] / [`grid3d_27pt`] — denser stencils corresponding to
+//!   bilinear/trilinear finite elements;
+//! * [`fem2d`] / [`fem3d`] — multi-degree-of-freedom variants that couple
+//!   `dof` unknowns per mesh node, producing the block-dense structure of
+//!   structural-mechanics matrices such as the BCSSTK series used in the
+//!   paper's experiments;
+//! * [`random_spd`] — random symmetric diagonally-dominant matrices for
+//!   property-based testing.
+//!
+//! All generators return the **lower triangle** of the symmetric matrix.
+
+use crate::{CscMatrix, DenseMatrix, TripletMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear index of grid node `(x, y)` in a `kx × ky` grid.
+#[inline]
+fn idx2(x: usize, y: usize, kx: usize) -> usize {
+    y * kx + x
+}
+
+/// Linear index of grid node `(x, y, z)` in a `kx × ky × kz` grid.
+#[inline]
+fn idx3(x: usize, y: usize, z: usize, kx: usize, ky: usize) -> usize {
+    (z * ky + y) * kx + x
+}
+
+/// 5-point Laplacian on a `kx × ky` grid: the classic 2-D model problem.
+///
+/// Diagonal 4, off-diagonals −1; SPD with Dirichlet boundary. `N = kx·ky`.
+pub fn grid2d_laplacian(kx: usize, ky: usize) -> CscMatrix {
+    let n = kx * ky;
+    let mut t = TripletMatrix::new(n, n);
+    for y in 0..ky {
+        for x in 0..kx {
+            let i = idx2(x, y, kx);
+            t.push(i, i, 4.0).unwrap();
+            if x + 1 < kx {
+                t.push(idx2(x + 1, y, kx), i, -1.0).unwrap();
+            }
+            if y + 1 < ky {
+                t.push(idx2(x, y + 1, kx), i, -1.0).unwrap();
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// 9-point stencil on a `kx × ky` grid (bilinear quadrilateral elements).
+///
+/// Diagonal 8, edge neighbours −1, diagonal neighbours −0.5; diagonally
+/// dominant, hence SPD.
+pub fn grid2d_9pt(kx: usize, ky: usize) -> CscMatrix {
+    let n = kx * ky;
+    let mut t = TripletMatrix::new(n, n);
+    for y in 0..ky {
+        for x in 0..kx {
+            let i = idx2(x, y, kx);
+            t.push(i, i, 8.0).unwrap();
+            // lower-triangle neighbours only (larger linear index).
+            for (dx, dy, w) in [
+                (1isize, 0isize, -1.0),
+                (-1, 1, -0.5),
+                (0, 1, -1.0),
+                (1, 1, -0.5),
+            ] {
+                let nx = x as isize + dx;
+                let ny = y as isize + dy;
+                if nx >= 0 && (nx as usize) < kx && ny >= 0 && (ny as usize) < ky {
+                    let j = idx2(nx as usize, ny as usize, kx);
+                    debug_assert!(j > i);
+                    t.push(j, i, w).unwrap();
+                }
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// 7-point Laplacian on a `kx × ky × kz` grid: the classic 3-D model
+/// problem. Diagonal 6, off-diagonals −1. `N = kx·ky·kz`.
+pub fn grid3d_laplacian(kx: usize, ky: usize, kz: usize) -> CscMatrix {
+    let n = kx * ky * kz;
+    let mut t = TripletMatrix::new(n, n);
+    for z in 0..kz {
+        for y in 0..ky {
+            for x in 0..kx {
+                let i = idx3(x, y, z, kx, ky);
+                t.push(i, i, 6.0).unwrap();
+                if x + 1 < kx {
+                    t.push(idx3(x + 1, y, z, kx, ky), i, -1.0).unwrap();
+                }
+                if y + 1 < ky {
+                    t.push(idx3(x, y + 1, z, kx, ky), i, -1.0).unwrap();
+                }
+                if z + 1 < kz {
+                    t.push(idx3(x, y, z + 1, kx, ky), i, -1.0).unwrap();
+                }
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// 27-point stencil on a `kx × ky × kz` grid (trilinear hexahedral
+/// elements). Diagonally dominant, hence SPD.
+pub fn grid3d_27pt(kx: usize, ky: usize, kz: usize) -> CscMatrix {
+    let n = kx * ky * kz;
+    let mut t = TripletMatrix::new(n, n);
+    for z in 0..kz {
+        for y in 0..ky {
+            for x in 0..kx {
+                let i = idx3(x, y, z, kx, ky);
+                t.push(i, i, 27.0).unwrap();
+                for dz in -1isize..=1 {
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            let nx = x as isize + dx;
+                            let ny = y as isize + dy;
+                            let nz = z as isize + dz;
+                            if nx < 0
+                                || ny < 0
+                                || nz < 0
+                                || nx as usize >= kx
+                                || ny as usize >= ky
+                                || nz as usize >= kz
+                            {
+                                continue;
+                            }
+                            let j = idx3(nx as usize, ny as usize, nz as usize, kx, ky);
+                            if j > i {
+                                let dist = (dx.abs() + dy.abs() + dz.abs()) as f64;
+                                t.push(j, i, -1.0 / dist).unwrap();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// Expand a scalar neighborhood matrix into a multi-DOF block matrix:
+/// each node of `scalar` becomes a `dof × dof` dense coupling block.
+///
+/// This mimics the structure of structural-mechanics matrices (3–6 DOF per
+/// finite-element node), which is what makes the BCSSTK/HSCT/COPTER
+/// matrices in the paper substantially denser than pure Laplacians.
+fn expand_dof(scalar: &CscMatrix, dof: usize) -> CscMatrix {
+    assert!(dof >= 1);
+    let n = scalar.nrows() * dof;
+    let mut t = TripletMatrix::new(n, n);
+    for j in 0..scalar.ncols() {
+        for (k, &i) in scalar.col_rows(j).iter().enumerate() {
+            let v = scalar.col_values(j)[k];
+            for a in 0..dof {
+                for b in 0..dof {
+                    let (bi, bj) = (i * dof + a, j * dof + b);
+                    if bi < bj {
+                        continue; // keep lower triangle
+                    }
+                    // Diagonal blocks get a dominant diagonal so the
+                    // expanded matrix stays SPD; off-diagonal couplings are
+                    // scaled down by distance within the block.
+                    let w = if i == j {
+                        if a == b {
+                            v * dof as f64
+                        } else {
+                            v * 0.1 / (1.0 + (a as f64 - b as f64).abs())
+                        }
+                    } else {
+                        v / (1.0 + (a as f64 - b as f64).abs())
+                    };
+                    t.push(bi, bj, w).unwrap();
+                }
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// 2-D finite-element analogue with `dof` unknowns per node on a
+/// `kx × ky` mesh (9-point connectivity). `N = kx·ky·dof`.
+pub fn fem2d(kx: usize, ky: usize, dof: usize) -> CscMatrix {
+    expand_dof(&grid2d_9pt(kx, ky), dof)
+}
+
+/// 3-D finite-element analogue with `dof` unknowns per node on a
+/// `kx × ky × kz` mesh (27-point connectivity). `N = kx·ky·kz·dof`.
+pub fn fem3d(kx: usize, ky: usize, kz: usize, dof: usize) -> CscMatrix {
+    expand_dof(&grid3d_27pt(kx, ky, kz), dof)
+}
+
+/// Irregular 2-D mesh problem: points on a jittered grid connected to
+/// geometric neighbours with randomized edge weights, assembled as a
+/// weighted graph Laplacian (+ Dirichlet mass term ⇒ SPD).
+///
+/// This is still a 2-D neighborhood graph in the paper's sense (bounded
+/// degree, geometric separators exist) but with the irregular degrees and
+/// weights of unstructured FEM meshes. Returns the lower triangle and the
+/// node coordinates (for geometric nested dissection).
+pub fn mesh2d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = k * k;
+    // jittered unit-grid points
+    let mut pts = Vec::with_capacity(n);
+    for y in 0..k {
+        for x in 0..k {
+            let jx: f64 = rng.gen_range(-0.35..0.35);
+            let jy: f64 = rng.gen_range(-0.35..0.35);
+            pts.push([x as f64 + jx, y as f64 + jy, 0.0]);
+        }
+    }
+    let mut t = TripletMatrix::new(n, n);
+    let mut degw = vec![0f64; n];
+    for y in 0..k {
+        for x in 0..k {
+            let i = idx2(x, y, k);
+            // candidate neighbours: the 8-cell neighbourhood with larger index
+            for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                let nx = x as isize + dx;
+                let ny = y as isize + dy;
+                if nx < 0 || ny < 0 || nx as usize >= k || ny as usize >= k {
+                    continue;
+                }
+                let j = idx2(nx as usize, ny as usize, k);
+                let d2 = (pts[i][0] - pts[j][0]).powi(2) + (pts[i][1] - pts[j][1]).powi(2);
+                // drop long diagonals at random: irregular connectivity
+                if d2 > 2.6 || (d2 > 1.6 && rng.gen_bool(0.5)) {
+                    continue;
+                }
+                let w: f64 = rng.gen_range(0.2..2.0);
+                t.push(j, i, -w).unwrap();
+                degw[i] += w;
+                degw[j] += w;
+            }
+        }
+    }
+    for (i, &dw) in degw.iter().enumerate() {
+        t.push(i, i, dw + 1.0).unwrap(); // +1: Dirichlet mass ⇒ SPD
+    }
+    (t.to_csc(), pts)
+}
+
+/// Irregular 3-D mesh problem (see [`mesh2d_irregular`]); `N = k³`.
+pub fn mesh3d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = k * k * k;
+    let mut pts = Vec::with_capacity(n);
+    for z in 0..k {
+        for y in 0..k {
+            for x in 0..k {
+                pts.push([
+                    x as f64 + rng.gen_range(-0.3..0.3),
+                    y as f64 + rng.gen_range(-0.3..0.3),
+                    z as f64 + rng.gen_range(-0.3..0.3),
+                ]);
+            }
+        }
+    }
+    let mut t = TripletMatrix::new(n, n);
+    let mut degw = vec![0f64; n];
+    for z in 0..k {
+        for y in 0..k {
+            for x in 0..k {
+                let i = idx3(x, y, z, k, k);
+                for dz in 0..=1isize {
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            if (dz, dy, dx) <= (0, 0, 0) {
+                                continue; // larger-index half-space only
+                            }
+                            let nx = x as isize + dx;
+                            let ny = y as isize + dy;
+                            let nz = z as isize + dz;
+                            if nx < 0
+                                || ny < 0
+                                || nx as usize >= k
+                                || ny as usize >= k
+                                || nz as usize >= k
+                            {
+                                continue;
+                            }
+                            let j = idx3(nx as usize, ny as usize, nz as usize, k, k);
+                            let d2: f64 = (0..3)
+                                .map(|ax| (pts[i][ax] - pts[j][ax]).powi(2))
+                                .sum();
+                            if d2 > 2.4 || (d2 > 1.4 && rng.gen_bool(0.6)) {
+                                continue;
+                            }
+                            let w: f64 = rng.gen_range(0.2..2.0);
+                            t.push(j, i, -w).unwrap();
+                            degw[i] += w;
+                            degw[j] += w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (i, &dw) in degw.iter().enumerate() {
+        t.push(i, i, dw + 1.0).unwrap();
+    }
+    (t.to_csc(), pts)
+}
+
+/// Random symmetric positive-definite matrix (lower triangle) with ~`avg_nnz`
+/// off-diagonal entries per column, made SPD by diagonal dominance.
+pub fn random_spd(n: usize, avg_nnz: usize, seed: u64) -> CscMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(n, n);
+    let mut row_sums = vec![0f64; n];
+    for j in 0..n {
+        for _ in 0..avg_nnz {
+            if j + 1 >= n {
+                break;
+            }
+            let i = rng.gen_range(j + 1..n);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            t.push(i, j, v).unwrap();
+            row_sums[i] += v.abs();
+            row_sums[j] += v.abs();
+        }
+    }
+    for (i, row_sum) in row_sums.iter().enumerate() {
+        // duplicates are summed by to_csc, so use a dominance margin of 2x
+        // the accumulated absolute mass plus 1.
+        t.push(i, i, 2.0 * row_sum + 1.0).unwrap();
+    }
+    t.to_csc()
+}
+
+/// A random multi-RHS solution block with entries in `[-1, 1)`.
+pub fn random_rhs(n: usize, nrhs: usize, seed: u64) -> DenseMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut x = DenseMatrix::zeros(n, nrhs);
+    for v in x.as_mut_slice() {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+    x
+}
+
+/// Named analogue of one of the paper's test matrices (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperMatrix {
+    /// BCSSTK15-like: 2-D structural problem (module of an offshore
+    /// platform); modelled as a 2-D FEM mesh with 3 DOF per node.
+    Bcsstk15,
+    /// BCSSTK31-like: 3-D structural problem (automobile component);
+    /// modelled as a 3-D FEM mesh with 3 DOF per node.
+    Bcsstk31,
+    /// HSCT21954-like: high-speed civil transport 3-D FEM model.
+    Hsct21954,
+    /// CUBE35-like: 35³ regular 3-D grid (we use a smaller cube whose
+    /// factor fits laptop-scale runtimes; side recorded in EXPERIMENTS.md).
+    Cube35,
+    /// COPTER2-like: helicopter rotor 3-D FEM model.
+    Copter2,
+}
+
+impl PaperMatrix {
+    /// All five test matrices in the paper's order.
+    pub const ALL: [PaperMatrix; 5] = [
+        PaperMatrix::Bcsstk15,
+        PaperMatrix::Bcsstk31,
+        PaperMatrix::Hsct21954,
+        PaperMatrix::Cube35,
+        PaperMatrix::Copter2,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperMatrix::Bcsstk15 => "BCSSTK15*",
+            PaperMatrix::Bcsstk31 => "BCSSTK31*",
+            PaperMatrix::Hsct21954 => "HSCT21954*",
+            PaperMatrix::Cube35 => "CUBE35*",
+            PaperMatrix::Copter2 => "COPTER2*",
+        }
+    }
+
+    /// Build the synthetic analogue at the default (laptop-scale) size.
+    pub fn build(self) -> CscMatrix {
+        match self {
+            // BCSSTK15: N=3948. 2-D-ish structural: 37x36 mesh, 3 dof.
+            PaperMatrix::Bcsstk15 => fem2d(37, 36, 3),
+            // BCSSTK31: N=35588 in the paper; scaled-down 3-D FEM.
+            PaperMatrix::Bcsstk31 => fem3d(14, 13, 11, 3),
+            // HSCT21954: N=21954; elongated 3-D FEM (airframe-like).
+            PaperMatrix::Hsct21954 => fem3d(28, 10, 9, 3),
+            // CUBE35: regular cube, pure 7-point Laplacian.
+            PaperMatrix::Cube35 => grid3d_laplacian(25, 25, 25),
+            // COPTER2: N=55476; scaled-down irregular-ish 3-D FEM.
+            PaperMatrix::Copter2 => fem3d(16, 12, 10, 3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spd_structure(m: &CscMatrix) {
+        assert!(m.validate().is_ok());
+        // lower triangular storage: every entry at or below diagonal
+        for j in 0..m.ncols() {
+            for &i in m.col_rows(j) {
+                assert!(i >= j, "entry ({i},{j}) above diagonal");
+            }
+            // diagonal entry present and positive
+            assert!(m.get(j, j) > 0.0, "missing/nonpositive diagonal at {j}");
+        }
+    }
+
+    fn assert_diag_dominant(m: &CscMatrix) {
+        // diagonal dominance of the full symmetric matrix => SPD
+        let f = m.sym_expand().unwrap();
+        for j in 0..f.ncols() {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (k, &i) in f.col_rows(j).iter().enumerate() {
+                let v = f.col_values(j)[k];
+                if i == j {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(
+                diag >= off - 1e-9,
+                "column {j} not diagonally dominant: diag={diag} off={off}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid2d_shape_and_stencil() {
+        let m = grid2d_laplacian(3, 4);
+        assert_eq!(m.nrows(), 12);
+        assert_spd_structure(&m);
+        assert_diag_dominant(&m);
+        // interior node (1,1) = index 4: neighbours 3, 5 (x) and 1, 7 (y)
+        let f = m.sym_expand().unwrap();
+        assert_eq!(f.get(4, 4), 4.0);
+        assert_eq!(f.get(4, 3), -1.0);
+        assert_eq!(f.get(4, 7), -1.0);
+        assert_eq!(f.get(4, 8), 0.0);
+    }
+
+    #[test]
+    fn grid2d_nnz_count() {
+        // k x k grid: k^2 diagonal + 2*k*(k-1) edges in lower triangle
+        let k = 5;
+        let m = grid2d_laplacian(k, k);
+        assert_eq!(m.nnz(), k * k + 2 * k * (k - 1));
+    }
+
+    #[test]
+    fn grid3d_shape_and_stencil() {
+        let m = grid3d_laplacian(3, 3, 3);
+        assert_eq!(m.nrows(), 27);
+        assert_spd_structure(&m);
+        assert_diag_dominant(&m);
+        let f = m.sym_expand().unwrap();
+        // center node 13 has 6 neighbours
+        let deg = f.col_rows(13).len() - 1;
+        assert_eq!(deg, 6);
+    }
+
+    #[test]
+    fn grid2d_9pt_interior_degree() {
+        let m = grid2d_9pt(4, 4).sym_expand().unwrap();
+        // interior node (1,1) = 5 has 8 neighbours
+        assert_eq!(m.col_rows(5).len() - 1, 8);
+        assert_diag_dominant(&grid2d_9pt(4, 4));
+    }
+
+    #[test]
+    fn grid3d_27pt_interior_degree() {
+        let m = grid3d_27pt(3, 3, 3).sym_expand().unwrap();
+        assert_eq!(m.col_rows(13).len() - 1, 26);
+        assert_diag_dominant(&grid3d_27pt(3, 3, 3));
+    }
+
+    #[test]
+    fn fem_expansion_scales_n_and_stays_spd() {
+        let m = fem2d(3, 3, 3);
+        assert_eq!(m.nrows(), 27);
+        assert_spd_structure(&m);
+        assert_diag_dominant(&m);
+        let m3 = fem3d(2, 2, 2, 2);
+        assert_eq!(m3.nrows(), 16);
+        assert_spd_structure(&m3);
+        assert_diag_dominant(&m3);
+    }
+
+    #[test]
+    fn irregular_meshes_are_spd_and_deterministic() {
+        let (a, pts) = mesh2d_irregular(8, 7);
+        assert_eq!(a.nrows(), 64);
+        assert_eq!(pts.len(), 64);
+        assert_spd_structure(&a);
+        assert_diag_dominant(&a);
+        let (b, _) = mesh2d_irregular(8, 7);
+        assert_eq!(a, b);
+        let (c, _) = mesh2d_irregular(8, 8);
+        assert_ne!(a, c, "different seeds give different meshes");
+        let (a3, pts3) = mesh3d_irregular(4, 3);
+        assert_eq!(a3.nrows(), 64);
+        assert_eq!(pts3.len(), 64);
+        assert_spd_structure(&a3);
+        assert_diag_dominant(&a3);
+    }
+
+    #[test]
+    fn irregular_mesh_has_varying_degrees() {
+        let (a, _) = mesh2d_irregular(12, 1);
+        let f = a.sym_expand().unwrap();
+        let degs: Vec<usize> = (0..f.ncols()).map(|j| f.col_rows(j).len() - 1).collect();
+        let min = *degs.iter().min().unwrap();
+        let max = *degs.iter().max().unwrap();
+        assert!(max > min, "degrees should vary: all {min}");
+    }
+
+    #[test]
+    fn random_spd_is_dominant_and_deterministic() {
+        let a = random_spd(50, 4, 42);
+        let b = random_spd(50, 4, 42);
+        assert_eq!(a, b);
+        assert_spd_structure(&a);
+        assert_diag_dominant(&a);
+        let c = random_spd(50, 4, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_rhs_deterministic_and_bounded() {
+        let x = random_rhs(10, 3, 7);
+        let y = random_rhs(10, 3, 7);
+        assert_eq!(x, y);
+        assert!(x.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn paper_matrices_build_and_are_spd() {
+        for pm in PaperMatrix::ALL {
+            let m = pm.build();
+            assert!(m.nrows() > 1000, "{} too small", pm.name());
+            assert_spd_structure(&m);
+        }
+    }
+}

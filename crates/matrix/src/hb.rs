@@ -1,0 +1,403 @@
+//! Harwell-Boeing (HB) sparse-matrix file format.
+//!
+//! The paper's test matrices (BCSSTK15, BCSSTK31, …) are distributed in
+//! this fixed-width FORTRAN format. This module reads and writes the
+//! assembled real subset (`RSA` symmetric / `RUA` unsymmetric): header
+//! card, pointer/index/value cards with FORTRAN format descriptors like
+//! `(10I8)` or `(5E16.8)`. Right-hand-side blocks are skipped on read.
+
+use crate::{CscMatrix, MatrixError, Result};
+use std::io::{BufRead, Write};
+
+/// A parsed FORTRAN edit descriptor: `count` fields of `width` characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Format {
+    count: usize,
+    width: usize,
+}
+
+/// Parse descriptors such as `(10I8)`, `(5E16.8)`, `(1P,4D20.12)`,
+/// `(4E20.12E3)` — extract the field count and width; the kind letter and
+/// precision are irrelevant for fixed-width slicing.
+fn parse_format(s: &str) -> Result<Format> {
+    let inner = s
+        .trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .trim();
+    // drop scale factors like "1P," or "1P"
+    match inner.find(|c: char| "IEDFG".contains(c.to_ascii_uppercase())) {
+        Some(pos) => {
+            // find the start of the repeat count before the kind letter
+            let head = &inner[..pos];
+            let count_start = head
+                .rfind(|c: char| !c.is_ascii_digit())
+                .map_or(0, |i| i + 1);
+            let count: usize = if head[count_start..].is_empty() {
+                1
+            } else {
+                head[count_start..]
+                    .parse()
+                    .map_err(|e| MatrixError::Io(format!("bad repeat count in {s:?}: {e}")))?
+            };
+            let tail = &inner[pos + 1..];
+            let wend = tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            let width: usize = tail[..wend]
+                .parse()
+                .map_err(|e| MatrixError::Io(format!("bad width in {s:?}: {e}")))?;
+            Ok(Format { count, width })
+        }
+        None => Err(MatrixError::Io(format!("unrecognized format {s:?}"))),
+    }
+}
+
+/// Read `n` fixed-width fields from `lines`, parsing each with `parse`.
+fn read_fields<R: BufRead, T>(
+    lines: &mut std::io::Lines<R>,
+    fmt: Format,
+    n: usize,
+    mut parse: impl FnMut(&str) -> Result<T>,
+) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let line = lines
+            .next()
+            .ok_or_else(|| MatrixError::Io("unexpected end of HB file".to_string()))?
+            .map_err(MatrixError::from)?;
+        for k in 0..fmt.count {
+            if out.len() == n {
+                break;
+            }
+            let start = k * fmt.width;
+            if start >= line.len() {
+                break;
+            }
+            let end = (start + fmt.width).min(line.len());
+            let field = line[start..end].trim();
+            if field.is_empty() {
+                continue;
+            }
+            out.push(parse(field)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Read an assembled real Harwell-Boeing matrix (`RSA`/`RUA`/`PSA`/`PUA`).
+///
+/// Symmetric (`?SA`) files produce lower-triangular storage (this
+/// workspace's convention); pattern files (`P??`) get unit values. Returns
+/// the matrix and the title string.
+pub fn read_harwell_boeing<R: BufRead>(reader: R) -> Result<(CscMatrix, String)> {
+    let mut lines = reader.lines();
+    let next_line = |lines: &mut std::io::Lines<R>| -> Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| MatrixError::Io("truncated HB header".to_string()))?
+            .map_err(MatrixError::from)
+    };
+    // card 1: title + key
+    let l1 = next_line(&mut lines)?;
+    let title = l1.get(..72.min(l1.len())).unwrap_or("").trim().to_string();
+    // card 2: card counts
+    let l2 = next_line(&mut lines)?;
+    let counts: Vec<i64> = l2
+        .split_whitespace()
+        .map(|f| f.parse().map_err(|e| MatrixError::Io(format!("bad count: {e}"))))
+        .collect::<Result<_>>()?;
+    if counts.len() < 4 {
+        return Err(MatrixError::Io("short card-count line".to_string()));
+    }
+    let rhscrd = counts.get(4).copied().unwrap_or(0);
+    // card 3: type + dimensions
+    let l3 = next_line(&mut lines)?;
+    let mxtype = l3.get(..3).unwrap_or("").to_ascii_uppercase();
+    let dims: Vec<i64> = l3
+        .get(3..)
+        .unwrap_or("")
+        .split_whitespace()
+        .map(|f| f.parse().map_err(|e| MatrixError::Io(format!("bad dim: {e}"))))
+        .collect::<Result<_>>()?;
+    if dims.len() < 3 {
+        return Err(MatrixError::Io("short dimension line".to_string()));
+    }
+    let (nrow, ncol, nnz) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    let kind = mxtype.chars().next().unwrap_or(' ');
+    let sym = mxtype.chars().nth(1).unwrap_or(' ');
+    let assembled = mxtype.chars().nth(2).unwrap_or(' ');
+    if assembled != 'A' {
+        return Err(MatrixError::Io(format!(
+            "unsupported HB storage {mxtype:?} (only assembled)"
+        )));
+    }
+    if kind != 'R' && kind != 'P' {
+        return Err(MatrixError::Io(format!(
+            "unsupported HB value type {mxtype:?} (only real/pattern)"
+        )));
+    }
+    // card 4: formats (clamp column ranges — writers often drop trailing
+    // blanks)
+    let l4 = next_line(&mut lines)?;
+    let clamp = |a: usize, b: usize| -> &str {
+        let len = l4.len();
+        &l4[a.min(len)..b.min(len)]
+    };
+    let ptrfmt = parse_format(clamp(0, 16))?;
+    let indfmt = parse_format(clamp(16, 32))?;
+    let valfmt = if kind == 'R' {
+        Some(parse_format(clamp(32, 52))?)
+    } else {
+        None
+    };
+    // card 5 (optional): RHS descriptor — skipped
+    if rhscrd > 0 {
+        let _ = next_line(&mut lines)?;
+    }
+
+    let parse_usize = |f: &str| -> Result<usize> {
+        f.parse()
+            .map_err(|e| MatrixError::Io(format!("bad index {f:?}: {e}")))
+    };
+    let parse_f64 = |f: &str| -> Result<f64> {
+        let normalized = f.replace(['D', 'd'], "E");
+        normalized
+            .parse()
+            .map_err(|e| MatrixError::Io(format!("bad value {f:?}: {e}")))
+    };
+
+    let colptr_raw = read_fields(&mut lines, ptrfmt, ncol + 1, parse_usize)?;
+    let rowidx_raw = read_fields(&mut lines, indfmt, nnz, parse_usize)?;
+    let values = match valfmt {
+        Some(f) => read_fields(&mut lines, f, nnz, parse_f64)?,
+        None => vec![1.0; nnz],
+    };
+    // 1-based → 0-based
+    let colptr: Vec<usize> = colptr_raw
+        .iter()
+        .map(|&p| {
+            p.checked_sub(1)
+                .ok_or_else(|| MatrixError::Io("zero column pointer".to_string()))
+        })
+        .collect::<Result<_>>()?;
+    let rowidx: Vec<usize> = rowidx_raw
+        .iter()
+        .map(|&i| {
+            i.checked_sub(1)
+                .ok_or_else(|| MatrixError::Io("zero row index".to_string()))
+        })
+        .collect::<Result<_>>()?;
+    let m = CscMatrix::from_parts(nrow, ncol, colptr, rowidx, values)?;
+    if sym == 'S' {
+        // verify lower-triangular storage
+        for j in 0..m.ncols() {
+            if m.col_rows(j).iter().any(|&i| i < j) {
+                return Err(MatrixError::Io(
+                    "symmetric HB file stores upper-triangle entries".to_string(),
+                ));
+            }
+        }
+    }
+    Ok((m, title))
+}
+
+/// Write a matrix in Harwell-Boeing format. `symmetric` selects `RSA`
+/// (matrix must be lower-triangular) vs `RUA`.
+pub fn write_harwell_boeing<W: Write>(
+    writer: &mut W,
+    m: &CscMatrix,
+    title: &str,
+    key: &str,
+    symmetric: bool,
+) -> Result<()> {
+    if symmetric {
+        for j in 0..m.ncols() {
+            if m.col_rows(j).iter().any(|&i| i < j) {
+                return Err(MatrixError::InvalidStructure(
+                    "RSA write requires lower-triangular storage".to_string(),
+                ));
+            }
+        }
+    }
+    let ncol = m.ncols();
+    let nnz = m.nnz();
+    let per_ptr = 8usize;
+    let per_ind = 8usize;
+    let per_val = 3usize;
+    let ptrcrd = (ncol + 1).div_ceil(per_ptr);
+    let indcrd = nnz.div_ceil(per_ind).max(1);
+    let valcrd = nnz.div_ceil(per_val).max(1);
+    let totcrd = ptrcrd + indcrd + valcrd;
+    writeln!(writer, "{:<72}{:<8}", title.chars().take(72).collect::<String>(), key)?;
+    writeln!(
+        writer,
+        "{totcrd:14}{ptrcrd:14}{indcrd:14}{valcrd:14}{:14}",
+        0
+    )?;
+    let mxtype = if symmetric { "RSA" } else { "RUA" };
+    writeln!(
+        writer,
+        "{mxtype}           {:14}{:14}{:14}{:14}",
+        m.nrows(),
+        ncol,
+        nnz,
+        0
+    )?;
+    writeln!(
+        writer,
+        "{:<16}{:<16}{:<20}{:<20}",
+        format!("({per_ptr}I12)"),
+        format!("({per_ind}I12)"),
+        format!("({per_val}E25.16)"),
+        ""
+    )?;
+    // pointers (1-based)
+    let mut field = 0;
+    for j in 0..=ncol {
+        write!(writer, "{:12}", m.colptr()[j] + 1)?;
+        field += 1;
+        if field == per_ptr {
+            writeln!(writer)?;
+            field = 0;
+        }
+    }
+    if field != 0 {
+        writeln!(writer)?;
+    }
+    // row indices (1-based)
+    field = 0;
+    for &i in m.rowidx() {
+        write!(writer, "{:12}", i + 1)?;
+        field += 1;
+        if field == per_ind {
+            writeln!(writer)?;
+            field = 0;
+        }
+    }
+    if field != 0 {
+        writeln!(writer)?;
+    }
+    // values
+    field = 0;
+    for &v in m.values() {
+        write!(writer, "{:25.16E}", v)?;
+        field += 1;
+        if field == per_val {
+            writeln!(writer)?;
+            field = 0;
+        }
+    }
+    if field != 0 {
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_format_variants() {
+        assert_eq!(parse_format("(10I8)").unwrap(), Format { count: 10, width: 8 });
+        assert_eq!(parse_format("(5E16.8)").unwrap(), Format { count: 5, width: 16 });
+        assert_eq!(
+            parse_format("(1P,4D20.12)").unwrap(),
+            Format { count: 4, width: 20 }
+        );
+        assert_eq!(parse_format(" (16I5) ").unwrap(), Format { count: 16, width: 5 });
+        assert_eq!(parse_format("(I10)").unwrap(), Format { count: 1, width: 10 });
+        assert!(parse_format("(XYZ)").is_err());
+    }
+
+    #[test]
+    fn round_trip_symmetric() {
+        let m = gen::grid2d_laplacian(5, 4);
+        let mut buf = Vec::new();
+        write_harwell_boeing(&mut buf, &m, "grid 5x4 laplacian", "GRID54", true).unwrap();
+        let (m2, title) = read_harwell_boeing(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(title, "grid 5x4 laplacian");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn round_trip_unsymmetric() {
+        let m = gen::random_spd(15, 3, 1).sym_expand().unwrap();
+        let mut buf = Vec::new();
+        write_harwell_boeing(&mut buf, &m, "full random", "RND15", false).unwrap();
+        let (m2, _) = read_harwell_boeing(BufReader::new(&buf[..])).unwrap();
+        assert!(m.to_dense().max_abs_diff(&m2.to_dense()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn reads_hand_written_rsa() {
+        // 3x3 symmetric: diag 4, subdiag -1 — written in classic packed
+        // fixed-width fields with D exponents
+        let text = "\
+tiny test matrix                                                        TINY
+             3             1             1             1
+RSA                        3             3             5             0
+(6I3)           (6I3)           (5D12.4)            \n\
+  1  3  5  6
+  1  2  2  3  3
+  0.4000D+01 -0.1000D+01  0.4000D+01 -0.1000D+01  0.4000D+01
+";
+        let (m, title) = read_harwell_boeing(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(title, "tiny test matrix");
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(m.get(2, 2), 4.0);
+    }
+
+    #[test]
+    fn pattern_matrix_gets_unit_values() {
+        let text = "\
+pattern only                                                            PAT
+             2             1             1             0
+PSA                        2             2             2             0
+(6I3)           (6I3)
+  1  2  3
+  1  2
+";
+        let (m, _) = read_harwell_boeing(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn rejects_unsupported_types() {
+        let text = "\
+complex                                                                 CPLX
+             2             1             1             0
+CSA                        2             2             1             0
+(6I3)           (6I3)           (5D12.4)
+  1  2
+  1
+  0.1D+01
+";
+        assert!(read_harwell_boeing(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_upper_entries_in_rsa() {
+        let m = gen::grid2d_laplacian(3, 3).sym_expand().unwrap();
+        let mut buf = Vec::new();
+        assert!(write_harwell_boeing(&mut buf, &m, "bad", "BAD", true).is_err());
+    }
+
+    #[test]
+    fn solves_after_round_trip() {
+        let m = gen::fem2d(4, 4, 2);
+        let mut buf = Vec::new();
+        write_harwell_boeing(&mut buf, &m, "fem", "FEM", true).unwrap();
+        let (m2, _) = read_harwell_boeing(BufReader::new(&buf[..])).unwrap();
+        // values survive exactly enough for numerics
+        assert!(m.to_dense().max_abs_diff(&m2.to_dense()).unwrap() < 1e-12);
+        assert!(m2.validate().is_ok());
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal Matrix-Market-style text I/O.
+//!
+//! Supports the `%%MatrixMarket matrix coordinate real {general|symmetric}`
+//! header, 1-based indices, and comment lines — enough to exchange the
+//! workspace's matrices with standard tools. Symmetric files are read into
+//! lower-triangular storage (the workspace convention).
+
+use crate::{CscMatrix, MatrixError, Result, TripletMatrix};
+use std::io::{BufRead, Write};
+
+/// Symmetry declared in a Matrix-Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; the upper triangle is implied.
+    Symmetric,
+}
+
+/// Read a coordinate-format real matrix from a reader.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(CscMatrix, Symmetry)> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MatrixError::Io("empty file".to_string()))??;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(MatrixError::Io("missing %%MatrixMarket header".to_string()));
+    }
+    let sym = if header_lc.contains("symmetric") {
+        Symmetry::Symmetric
+    } else if header_lc.contains("general") {
+        Symmetry::General
+    } else {
+        return Err(MatrixError::Io(
+            "header must declare general or symmetric".to_string(),
+        ));
+    };
+    if !header_lc.contains("coordinate") || !header_lc.contains("real") {
+        return Err(MatrixError::Io(
+            "only `coordinate real` matrices are supported".to_string(),
+        ));
+    }
+
+    // Skip comments, read size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MatrixError::Io("missing size line".to_string()))?;
+    let mut it = size_line.split_whitespace();
+    let parse = |s: Option<&str>| -> Result<usize> {
+        s.ok_or_else(|| MatrixError::Io("short size line".to_string()))?
+            .parse()
+            .map_err(|e| MatrixError::Io(format!("bad size field: {e}")))
+    };
+    let nrows = parse(it.next())?;
+    let ncols = parse(it.next())?;
+    let nnz = parse(it.next())?;
+
+    let mut t = TripletMatrix::new(nrows, ncols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = parse(it.next())?;
+        let j: usize = parse(it.next())?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| MatrixError::Io("missing value field".to_string()))?
+            .parse()
+            .map_err(|e| MatrixError::Io(format!("bad value: {e}")))?;
+        if i == 0 || j == 0 {
+            return Err(MatrixError::Io("indices are 1-based".to_string()));
+        }
+        let (i, j) = (i - 1, j - 1);
+        if sym == Symmetry::Symmetric && i < j {
+            return Err(MatrixError::Io(format!(
+                "symmetric file stores upper-triangle entry ({}, {})",
+                i + 1,
+                j + 1
+            )));
+        }
+        t.push(i, j, v)?;
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixError::Io(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok((t.to_csc(), sym))
+}
+
+/// Write a matrix in coordinate format. If `sym` is `Symmetric` the matrix
+/// must already be lower-triangular.
+pub fn write_matrix_market<W: Write>(
+    writer: &mut W,
+    m: &CscMatrix,
+    sym: Symmetry,
+) -> Result<()> {
+    let kind = match sym {
+        Symmetry::General => "general",
+        Symmetry::Symmetric => "symmetric",
+    };
+    writeln!(writer, "%%MatrixMarket matrix coordinate real {kind}")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for j in 0..m.ncols() {
+        for (k, &i) in m.col_rows(j).iter().enumerate() {
+            if sym == Symmetry::Symmetric && i < j {
+                return Err(MatrixError::InvalidStructure(
+                    "symmetric write requires lower-triangular storage".to_string(),
+                ));
+            }
+            writeln!(writer, "{} {} {:.17e}", i + 1, j + 1, m.col_values(j)[k])?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip_symmetric() {
+        let m = gen::grid2d_laplacian(4, 3);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m, Symmetry::Symmetric).unwrap();
+        let (m2, sym) = read_matrix_market(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(sym, Symmetry::Symmetric);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn round_trip_general() {
+        let m = gen::random_spd(20, 3, 1).sym_expand().unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m, Symmetry::General).unwrap();
+        let (m2, sym) = read_matrix_market(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(sym, Symmetry::General);
+        assert!(m.to_dense().max_abs_diff(&m2.to_dense()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    \n\
+                    2 2 2\n\
+                    % another\n\
+                    1 1 1.5\n\
+                    2 2 2.5\n";
+        let (m, _) = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), 2.5);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "not a matrix\n1 1 0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_upper_entry_in_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn symmetric_write_rejects_full_matrix() {
+        let m = gen::grid2d_laplacian(3, 3).sym_expand().unwrap();
+        let mut buf = Vec::new();
+        assert!(write_matrix_market(&mut buf, &m, Symmetry::Symmetric).is_err());
+    }
+}

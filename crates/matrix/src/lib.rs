@@ -1,0 +1,37 @@
+//! Dense and sparse matrix types for the `trisolv` workspace.
+//!
+//! This crate provides the numerical substrate of the Gupta & Kumar (SC'95)
+//! reproduction:
+//!
+//! * [`DenseMatrix`] — a column-major dense matrix used for supernode blocks,
+//!   frontal matrices, and multi-right-hand-side vectors.
+//! * [`CscMatrix`] — compressed sparse column storage used for the assembled
+//!   symmetric coefficient matrices `A` and simplicial factors `L`.
+//! * [`TripletMatrix`] — a coordinate-format builder for assembling matrices
+//!   entry by entry before compressing to CSC.
+//! * [`gen`] — problem generators for the matrix classes the paper analyzes:
+//!   2-D and 3-D neighborhood-graph (finite-difference / finite-element)
+//!   problems, with optional multi-DOF node blocks, plus random SPD matrices
+//!   for testing.
+//! * [`io`] — a minimal Matrix-Market-style text reader/writer so experiment
+//!   inputs and outputs can be inspected and exchanged.
+//!
+//! All numerics are `f64`; all index types are `usize`. Matrices from the
+//! symmetric generators store the **lower triangle only** (including the
+//! diagonal), which is the convention every downstream crate assumes.
+
+pub mod csc;
+pub mod dense;
+pub mod error;
+pub mod gen;
+pub mod hb;
+pub mod io;
+pub mod triplet;
+
+pub use csc::CscMatrix;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+pub use triplet::TripletMatrix;
+
+/// Convenient result alias for fallible matrix operations.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,177 @@
+//! Coordinate-format (triplet) matrix builder.
+
+use crate::{CscMatrix, MatrixError, Result};
+
+/// A matrix under assembly, stored as `(row, col, value)` triplets.
+///
+/// Duplicate entries are **summed** when compressing to CSC, matching the
+/// finite-element assembly convention the generators rely on.
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Create an empty builder with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate summation).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Add `value` at `(row, col)`; duplicates are summed at compression.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+        Ok(())
+    }
+
+    /// Add a symmetric pair: `(i, j)` and `(j, i)` (only one entry if
+    /// `i == j`).
+    pub fn push_sym(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
+        self.push(i, j, value)?;
+        if i != j {
+            self.push(j, i, value)?;
+        }
+        Ok(())
+    }
+
+    /// Compress to CSC, summing duplicates and dropping explicit zeros that
+    /// result from cancellation only if `drop_zeros` is set.
+    pub fn to_csc(&self) -> CscMatrix {
+        // Count entries per column.
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            colptr[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        // Scatter into place.
+        let mut rowidx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut next = colptr.clone();
+        for k in 0..self.nnz() {
+            let c = self.cols[k];
+            let slot = next[c];
+            rowidx[slot] = self.rows[k];
+            values[slot] = self.vals[k];
+            next[c] += 1;
+        }
+        // Sort each column by row and sum duplicates.
+        let mut out_colptr = vec![0usize; self.ncols + 1];
+        let mut out_rowidx = Vec::with_capacity(self.nnz());
+        let mut out_values = Vec::with_capacity(self.nnz());
+        for j in 0..self.ncols {
+            let lo = colptr[j];
+            let hi = colptr[j + 1];
+            let mut entries: Vec<(usize, f64)> = rowidx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
+            entries.sort_unstable_by_key(|&(r, _)| r);
+            let mut k = 0;
+            while k < entries.len() {
+                let r = entries[k].0;
+                let mut v = 0.0;
+                while k < entries.len() && entries[k].0 == r {
+                    v += entries[k].1;
+                    k += 1;
+                }
+                out_rowidx.push(r);
+                out_values.push(v);
+            }
+            out_colptr[j + 1] = out_rowidx.len();
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, out_colptr, out_rowidx, out_values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_bounds_checked() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(t.push(0, 0, 1.0).is_ok());
+        assert!(t.push(2, 0, 1.0).is_err());
+        assert!(t.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 1, 2.0).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        t.push(0, 1, 1.0).unwrap();
+        let m = t.to_csc();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn columns_sorted_after_compress() {
+        let mut t = TripletMatrix::new(4, 1);
+        t.push(3, 0, 3.0).unwrap();
+        t.push(0, 0, 1.0).unwrap();
+        t.push(2, 0, 2.0).unwrap();
+        let m = t.to_csc();
+        assert_eq!(m.col_rows(0), &[0, 2, 3]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn push_sym_mirrors() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push_sym(0, 2, 4.0).unwrap();
+        t.push_sym(1, 1, 7.0).unwrap();
+        let m = t.to_csc();
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(2, 0), 4.0);
+        assert_eq!(m.get(1, 1), 7.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_builder_compresses() {
+        let t = TripletMatrix::new(5, 4);
+        let m = t.to_csc();
+        assert_eq!(m.shape(), (5, 4));
+        assert_eq!(m.nnz(), 0);
+        assert!(m.validate().is_ok());
+    }
+}

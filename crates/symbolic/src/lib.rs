@@ -1,0 +1,18 @@
+//! Symbolic Cholesky factorization.
+//!
+//! Given a (permuted) symmetric matrix `A` and its elimination tree, this
+//! crate computes the nonzero structure of the Cholesky factor `L`, the
+//! per-column counts, and the **fundamental supernode partition** — the
+//! groups of consecutive columns with identical sub-diagonal structure that
+//! the paper's trapezoidal dense kernels operate on.
+//!
+//! The main entry point is [`SymbolicFactor::analyze`], which produces the
+//! column structure, and [`SupernodePartition::from_symbolic`], which
+//! derives the supernodal elimination tree with per-supernode row patterns
+//! and operation counts.
+
+pub mod structure;
+pub mod supernode;
+
+pub use structure::SymbolicFactor;
+pub use supernode::{SupernodePartition, NONE};

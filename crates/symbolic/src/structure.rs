@@ -1,0 +1,207 @@
+//! Column structure of the Cholesky factor.
+
+use trisolv_graph::EliminationTree;
+use trisolv_matrix::CscMatrix;
+
+/// The symbolic Cholesky factor: per-column nonzero row patterns of `L`
+/// (diagonal included), plus the elimination tree they were derived from.
+#[derive(Debug, Clone)]
+pub struct SymbolicFactor {
+    n: usize,
+    /// `col_rows[j]` lists the row indices of `L[:, j]`, sorted ascending,
+    /// starting with `j` itself.
+    col_rows: Vec<Vec<usize>>,
+    tree: EliminationTree,
+}
+
+impl SymbolicFactor {
+    /// Compute the structure of `L` for a symmetric matrix given its lower
+    /// triangle.
+    ///
+    /// Uses the row-subtree characterization: row `i` of `L` contains the
+    /// nodes on the elimination-tree paths from each `j` with `A[i, j] ≠ 0`
+    /// (`j < i`) up toward `i`. Runs in `O(|L|)` time.
+    pub fn analyze(a: &CscMatrix, tree: &EliminationTree) -> Self {
+        assert_eq!(a.nrows(), a.ncols());
+        let n = a.ncols();
+        assert_eq!(tree.len(), n);
+        let mut col_rows: Vec<Vec<usize>> = (0..n).map(|j| vec![j]).collect();
+        let mut mark = vec![usize::MAX; n];
+        // Column k of the transpose = pattern of row k of the lower
+        // triangle = the entries A[k, j], j <= k.
+        let at = a.transpose();
+        for i in 0..n {
+            mark[i] = i; // the diagonal is already present
+            for &j in at.col_rows(i) {
+                let mut k = j;
+                while k < i && mark[k] != i {
+                    col_rows[k].push(i);
+                    mark[k] = i;
+                    k = match tree.parent(k) {
+                        Some(p) => p,
+                        None => break,
+                    };
+                }
+            }
+        }
+        // Row indices were appended in increasing `i` order, so each column
+        // is already sorted.
+        SymbolicFactor {
+            n,
+            col_rows,
+            tree: tree.clone(),
+        }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sorted row pattern of `L[:, j]` (diagonal first).
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.col_rows[j]
+    }
+
+    /// Column count `|L[:, j]|` (diagonal included).
+    pub fn col_count(&self, j: usize) -> usize {
+        self.col_rows[j].len()
+    }
+
+    /// All column counts.
+    pub fn col_counts(&self) -> Vec<usize> {
+        self.col_rows.iter().map(Vec::len).collect()
+    }
+
+    /// Total nonzeros in `L` (diagonal included).
+    pub fn nnz(&self) -> usize {
+        self.col_rows.iter().map(Vec::len).sum()
+    }
+
+    /// The elimination tree the structure was computed from.
+    pub fn tree(&self) -> &EliminationTree {
+        &self.tree
+    }
+
+    /// Floating-point operations of a sequential Cholesky factorization
+    /// using this structure: `Σ_j cnt_j·(cnt_j + 2)` ≈ `Σ cnt²` (one
+    /// sqrt + scale + rank-1 update per column).
+    pub fn factor_flops(&self) -> u64 {
+        self.col_rows
+            .iter()
+            .map(|c| {
+                let k = c.len() as u64;
+                k * (k + 2)
+            })
+            .sum()
+    }
+
+    /// Floating-point operations of one forward **plus** one backward
+    /// solve with `nrhs` right-hand sides: `2 · nrhs · (2·nnz(L) − n)`
+    /// (each stored entry is used once per triangular solve as a
+    /// multiply-add; diagonal entries once as a divide).
+    pub fn solve_flops(&self, nrhs: usize) -> u64 {
+        let nnz = self.nnz() as u64;
+        2 * nrhs as u64 * (2 * nnz - self.n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_graph::EliminationTree;
+    use trisolv_matrix::gen;
+
+    /// Dense-bitmap reference symbolic factorization.
+    fn reference_structure(a: &CscMatrix) -> Vec<Vec<usize>> {
+        let n = a.nrows();
+        let mut pat = vec![vec![false; n]; n];
+        for j in 0..n {
+            for &i in a.col_rows(j) {
+                pat[j][i] = true;
+            }
+        }
+        for k in 0..n {
+            if let Some(p) = (k + 1..n).find(|&i| pat[k][i]) {
+                for i in k + 1..n {
+                    if pat[k][i] {
+                        pat[p][i] = true;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|j| (j..n).filter(|&i| pat[j][i] || i == j).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let a = gen::grid2d_laplacian(5, 4);
+        let t = EliminationTree::from_sym_lower(&a);
+        let s = SymbolicFactor::analyze(&a, &t);
+        let r = reference_structure(&a);
+        for j in 0..a.ncols() {
+            assert_eq!(s.col_rows(j), r[j].as_slice(), "column {j}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random() {
+        for seed in 0..4 {
+            let a = gen::random_spd(35, 3, seed);
+            let t = EliminationTree::from_sym_lower(&a);
+            let s = SymbolicFactor::analyze(&a, &t);
+            let r = reference_structure(&a);
+            for j in 0..a.ncols() {
+                assert_eq!(s.col_rows(j), r[j].as_slice(), "seed {seed} column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn structure_contains_original_entries() {
+        let a = gen::grid3d_laplacian(3, 3, 2);
+        let t = EliminationTree::from_sym_lower(&a);
+        let s = SymbolicFactor::analyze(&a, &t);
+        for j in 0..a.ncols() {
+            for &i in a.col_rows(j) {
+                assert!(s.col_rows(j).contains(&i), "A entry ({i},{j}) missing in L");
+            }
+        }
+    }
+
+    #[test]
+    fn columns_sorted_and_start_with_diagonal() {
+        let a = gen::random_spd(25, 4, 9);
+        let t = EliminationTree::from_sym_lower(&a);
+        let s = SymbolicFactor::analyze(&a, &t);
+        for j in 0..25 {
+            let rows = s.col_rows(j);
+            assert_eq!(rows[0], j);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn tridiagonal_has_no_fill() {
+        let a = gen::grid2d_laplacian(6, 1);
+        let t = EliminationTree::from_sym_lower(&a);
+        let s = SymbolicFactor::analyze(&a, &t);
+        assert_eq!(s.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn flop_counts_positive_and_scale_with_nrhs() {
+        let a = gen::grid2d_laplacian(6, 6);
+        let t = EliminationTree::from_sym_lower(&a);
+        let s = SymbolicFactor::analyze(&a, &t);
+        assert!(s.factor_flops() > 0);
+        assert_eq!(s.solve_flops(2), 2 * s.solve_flops(1));
+        // solve flops with nnz entries: 2*(2nnz - n) per rhs
+        assert_eq!(
+            s.solve_flops(1),
+            2 * (2 * s.nnz() as u64 - a.ncols() as u64)
+        );
+    }
+}

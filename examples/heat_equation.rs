@@ -1,0 +1,87 @@
+//! Implicit heat-equation time stepping: the canonical "factor once, solve
+//! every step" workload that makes triangular-solve performance matter.
+//!
+//! Backward Euler for `u_t = Δu` on a 2-D grid gives
+//! `(I + dt·A)·u^{k+1} = u^k` with `A` the (positive semi-definite graph)
+//! Laplacian — one factorization, then one forward+backward solve per time
+//! step. With several independent initial conditions the steps become
+//! multi-RHS solves, which is exactly where the paper's BLAS-3 effect pays.
+//!
+//! Run: `cargo run --release --example heat_equation`
+
+use trisolv::core::{ParallelSolver, ParallelSolverOptions};
+use trisolv::graph::nd;
+use trisolv::matrix::{gen, DenseMatrix, TripletMatrix};
+
+fn main() {
+    let k = 33;
+    let n = k * k;
+    let dt = 0.1;
+    // I + dt·A, lower triangle
+    let lap = gen::grid2d_laplacian(k, k);
+    let mut t = TripletMatrix::new(n, n);
+    for j in 0..n {
+        for (idx, &i) in lap.col_rows(j).iter().enumerate() {
+            let v = dt * lap.col_values(j)[idx] + if i == j { 1.0 } else { 0.0 };
+            t.push(i, j, v).unwrap();
+        }
+    }
+    let m = t.to_csc();
+
+    // factor once on a 16-processor virtual machine
+    let coords = nd::grid2d_coords(k, k, 1);
+    let solver =
+        ParallelSolver::build(&m, Some(&coords), &ParallelSolverOptions::t3d(16)).expect("SPD");
+    println!(
+        "implicit heat equation on a {k}x{k} grid (N = {n}), dt = {dt}",
+    );
+    println!(
+        "factorization: {:.3} s virtual; redistribution: {:.4} s virtual\n",
+        solver.factor_report().time,
+        solver.redistribute_report().time
+    );
+
+    // four independent initial conditions solved as one RHS block:
+    // hot spots at different grid locations
+    let nrhs = 4;
+    let mut u = DenseMatrix::zeros(n, nrhs);
+    for (c, (hx, hy)) in [(8, 8), (24, 8), (8, 24), (16, 16)].iter().enumerate() {
+        u[(hy * k + hx, c)] = 100.0;
+    }
+    let initial_heat: Vec<f64> = (0..nrhs).map(|c| u.col(c).iter().sum()).collect();
+
+    let steps = 20;
+    let mut solve_total = 0.0;
+    for step in 1..=steps {
+        let (next, report) = solver.solve(&u);
+        solve_total += report.total_time;
+        u = next;
+        if step % 5 == 0 {
+            let peak = u.norm_max();
+            println!(
+                "step {step:>2}: peak temperature {peak:8.3}, solve {:.4} s virtual ({:.0} MFLOPS)",
+                report.total_time,
+                report.mflops()
+            );
+        }
+    }
+
+    // physics sanity: diffusion conserves heat (Neumann-free interior
+    // dissipation is tiny for small dt) and flattens peaks
+    for c in 0..nrhs {
+        let heat: f64 = u.col(c).iter().sum();
+        assert!(
+            (heat - initial_heat[c]).abs() / initial_heat[c] < 0.6,
+            "heat badly lost: {heat} vs {}",
+            initial_heat[c]
+        );
+    }
+    assert!(u.norm_max() < 100.0, "peaks must flatten");
+    println!(
+        "\n{steps} time steps took {solve_total:.3} s virtual total — {:.1}x one factorization;",
+        solve_total / solver.factor_report().time
+    );
+    println!("with a serial solver the steps would dominate wall-clock: parallelizing the");
+    println!("substitution phase is what keeps implicit time stepping scalable (the paper's");
+    println!("motivating scenario).");
+}

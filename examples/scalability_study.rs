@@ -1,0 +1,84 @@
+//! Scalability study: efficiency versus processor count and the empirical
+//! isoefficiency of the parallel triangular solver (paper §3.2).
+//!
+//! For each processor count we search for the smallest 2-D grid whose
+//! solver efficiency reaches 50% — the growth of that problem size with
+//! `p` is the isoefficiency function, which the paper proves is `O(p²)`
+//! (problem size measured in solver flops `W ≈ N log N`).
+//!
+//! Run: `cargo run --release --example scalability_study`
+
+use trisolv::analysis::{efficiency, fit_power_law};
+use trisolv::core::mapping::SubcubeMapping;
+use trisolv::core::tree::{solve_fb, SolveConfig};
+use trisolv::factor::seqchol;
+use trisolv::graph::{nd, Graph};
+use trisolv::machine::MachineParams;
+use trisolv::matrix::gen;
+
+fn solve_times(k: usize, p: usize) -> (f64, f64) {
+    let a = gen::grid2d_laplacian(k, k);
+    let graph = Graph::from_sym_lower(&a);
+    let coords = nd::grid2d_coords(k, k, 1);
+    let perm = nd::nested_dissection_coords(&graph, &coords, nd::NdOptions::default());
+    let an = seqchol::analyze_with_perm(&a, &perm);
+    let factor = seqchol::factor_supernodal(&an.pa, &an.part).expect("SPD");
+    let b = gen::random_rhs(a.ncols(), 1, 3);
+    let run = |nprocs: usize| {
+        let mapping = SubcubeMapping::new(&an.part, nprocs);
+        let config = SolveConfig {
+            nprocs,
+            block: 4,
+            params: MachineParams::t3d(),
+        };
+        solve_fb(&factor, &mapping, &b, &config).1
+    };
+    let serial = run(1);
+    let par = run(p);
+    (serial.total_time, par.total_time)
+}
+
+fn main() {
+    println!("== efficiency at fixed problem size (63x63 grid, NRHS = 1) ==\n");
+    println!("  p   T_P (ms)  speedup  efficiency");
+    let (ts, _) = solve_times(63, 1);
+    for p in [2usize, 4, 8, 16, 32, 64] {
+        let (_, tp) = solve_times(63, p);
+        println!(
+            "{p:3}   {:8.3}  {:7.2}  {:9.2}",
+            tp * 1e3,
+            ts / tp,
+            efficiency(ts, tp, p)
+        );
+    }
+
+    println!("\n== empirical isoefficiency (smallest grid reaching E >= 0.5) ==\n");
+    println!("  p   grid side k   W = solver flops");
+    let mut points = Vec::new();
+    for p in [2usize, 4, 8, 16, 32] {
+        let mut found = None;
+        for k in [15usize, 21, 31, 43, 63, 89, 127, 179] {
+            let (ts, tp) = solve_times(k, p);
+            if efficiency(ts, tp, p) >= 0.5 {
+                // flops proxy: serial time x vector rate
+                let w = ts * MachineParams::t3d().solve_rate(1);
+                found = Some((k, w));
+                break;
+            }
+        }
+        match found {
+            Some((k, w)) => {
+                println!("{p:3}   {k:11}   {w:14.0}");
+                points.push((p as f64, w));
+            }
+            None => println!("{p:3}   (no candidate grid reached E = 0.5)"),
+        }
+    }
+    if points.len() >= 3 {
+        let fit = fit_power_law(&points);
+        println!(
+            "\nfitted isoefficiency W ~ p^{:.2}  (paper: O(p^2); r^2 = {:.3})",
+            fit.b, fit.r2
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Visualize a parallel solve as an ASCII Gantt chart: the pipeline
+//! wavefronts, the gather synchronizations between tree levels, and the
+//! load balance of the sequential subtrees become directly visible.
+//!
+//! Run: `cargo run --release --example trace_pipeline`
+
+use trisolv::core::mapping::SubcubeMapping;
+use trisolv::core::tree::{solve_fb_traced, SolveConfig};
+use trisolv::factor::seqchol;
+use trisolv::graph::{nd, Graph};
+use trisolv::machine::{trace, MachineParams};
+use trisolv::matrix::gen;
+
+fn main() {
+    let k = 31;
+    let a = gen::grid2d_laplacian(k, k);
+    let g = Graph::from_sym_lower(&a);
+    let perm = nd::nested_dissection_coords(
+        &g,
+        &nd::grid2d_coords(k, k, 1),
+        nd::NdOptions::default(),
+    );
+    let an = seqchol::analyze_with_perm(&a, &perm);
+    let factor = seqchol::factor_supernodal(&an.pa, &an.part).expect("SPD");
+
+    let p = 8;
+    let mapping = SubcubeMapping::new(&an.part, p);
+    let config = SolveConfig {
+        nprocs: p,
+        block: 4,
+        params: MachineParams::t3d(),
+    };
+    let b = gen::random_rhs(a.ncols(), 1, 1);
+    let (_, report, traces) = solve_fb_traced(&factor, &mapping, &b, &config);
+
+    println!(
+        "forward+backward solve of GRID2D({k}) on {p} simulated processors \
+         ({:.3} ms, {:.0} MFLOPS)\n",
+        report.total_time * 1e3,
+        report.mflops()
+    );
+    print!("{}", trace::render_gantt(&traces, 100));
+    let util = trace::utilization(&traces);
+    println!(
+        "\nper-processor compute utilization: {}",
+        util.iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("\nHow to read it: the left half is forward elimination — every processor");
+    println!("computes in its sequential subtree, then the pipelined supernode kernels");
+    println!("interleave compute (#) with message waits (.) in a visible wavefront; the");
+    println!("barrier before back substitution shows as a wait column; the right half");
+    println!("mirrors it root-to-leaf.");
+}

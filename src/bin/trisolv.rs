@@ -1,0 +1,14 @@
+//! The `trisolv` command-line tool: inspect, convert, and solve sparse SPD
+//! systems on the simulated parallel machine. See `trisolv::cli` for the
+//! subcommand reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match trisolv::cli::parse_args(&args).and_then(|cmd| trisolv::cli::run(&cmd)) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

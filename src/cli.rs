@@ -1,0 +1,324 @@
+//! Implementation of the `trisolv` command-line tool (argument parsing and
+//! subcommands), kept as a library module so it is unit-testable.
+//!
+//! Subcommands:
+//!
+//! * `info <matrix>` — structural and symbolic statistics;
+//! * `solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering O]` —
+//!   factor and solve on the simulated machine, reporting timings;
+//! * `convert <in> <out>` — convert between Matrix-Market (`.mtx`) and
+//!   Harwell-Boeing (anything else) files.
+//!
+//! Matrices are detected by extension: `.mtx` → Matrix Market, otherwise
+//! Harwell-Boeing.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use trisolv_core::mapping::SubcubeMapping;
+use trisolv_core::tree::{solve_fb, SolveConfig};
+use trisolv_factor::seqchol;
+use trisolv_graph::{mindeg, multilevel, nd, rcm, Graph, Permutation};
+use trisolv_machine::MachineParams;
+use trisolv_matrix::{gen, hb, io as mmio, CscMatrix};
+
+/// Errors surfaced to the CLI user.
+pub type CliError = String;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print structural statistics.
+    Info {
+        /// Input matrix path.
+        path: String,
+    },
+    /// Factor and solve with timing report.
+    Solve {
+        /// Input matrix path.
+        path: String,
+        /// Virtual processors.
+        procs: usize,
+        /// Right-hand sides.
+        nrhs: usize,
+        /// Block-cyclic block size.
+        block: usize,
+        /// Ordering name.
+        ordering: String,
+    },
+    /// Convert between matrix file formats.
+    Convert {
+        /// Input path.
+        input: String,
+        /// Output path.
+        output: String,
+    },
+}
+
+/// Parse CLI arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let usage = "usage: trisolv <info|solve|convert> ...\n\
+                 \x20 trisolv info <matrix>\n\
+                 \x20 trisolv solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering nd|multilevel|mindeg|rcm|natural]\n\
+                 \x20 trisolv convert <in> <out>";
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("info") => {
+            let path = it.next().ok_or_else(|| usage.to_string())?.clone();
+            Ok(Command::Info { path })
+        }
+        Some("solve") => {
+            let path = it.next().ok_or_else(|| usage.to_string())?.clone();
+            let mut procs = 16usize;
+            let mut nrhs = 1usize;
+            let mut block = 8usize;
+            let mut ordering = "nd".to_string();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag.as_str() {
+                    "--procs" => {
+                        procs = value.parse().map_err(|e| format!("bad --procs: {e}"))?
+                    }
+                    "--nrhs" => nrhs = value.parse().map_err(|e| format!("bad --nrhs: {e}"))?,
+                    "--block" => {
+                        block = value.parse().map_err(|e| format!("bad --block: {e}"))?
+                    }
+                    "--ordering" => ordering = value.clone(),
+                    other => return Err(format!("unknown flag {other}\n{usage}")),
+                }
+            }
+            if procs == 0 || nrhs == 0 || block == 0 {
+                return Err("--procs, --nrhs, --block must be positive".to_string());
+            }
+            Ok(Command::Solve {
+                path,
+                procs,
+                nrhs,
+                block,
+                ordering,
+            })
+        }
+        Some("convert") => {
+            let input = it.next().ok_or_else(|| usage.to_string())?.clone();
+            let output = it.next().ok_or_else(|| usage.to_string())?.clone();
+            Ok(Command::Convert { input, output })
+        }
+        _ => Err(usage.to_string()),
+    }
+}
+
+/// Load a matrix by extension (`.mtx` → Matrix Market, else Harwell-Boeing).
+pub fn load_matrix(path: &str) -> Result<(CscMatrix, String), CliError> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    if Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("mtx"))
+    {
+        let (m, _) = mmio::read_matrix_market(reader).map_err(|e| e.to_string())?;
+        Ok((m, Path::new(path).file_name().unwrap().to_string_lossy().into_owned()))
+    } else {
+        let (m, title) = hb::read_harwell_boeing(reader).map_err(|e| e.to_string())?;
+        Ok((m, title))
+    }
+}
+
+fn ordering_perm(name: &str, a: &CscMatrix) -> Result<Permutation, CliError> {
+    let g = Graph::from_sym_lower(a);
+    Ok(match name {
+        "nd" => nd::nested_dissection(&g, nd::NdOptions::default()),
+        "multilevel" => {
+            multilevel::nested_dissection_multilevel(&g, multilevel::MlOptions::default())
+        }
+        "mindeg" => mindeg::minimum_degree(&g),
+        "rcm" => rcm::reverse_cuthill_mckee(&g),
+        "natural" => Permutation::identity(a.ncols()),
+        other => return Err(format!("unknown ordering {other:?}")),
+    })
+}
+
+/// Execute a parsed command, returning the text to print.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Info { path } => {
+            let (a, title) = load_matrix(path)?;
+            let _ = writeln!(out, "matrix:  {title}");
+            let _ = writeln!(out, "order:   {} x {}", a.nrows(), a.ncols());
+            let _ = writeln!(out, "stored:  {} nonzeros (lower triangle)", a.nnz());
+            let perm = ordering_perm("nd", &a)?;
+            let an = seqchol::analyze_with_perm(&a, &perm);
+            let _ = writeln!(out, "--- after nested dissection ---");
+            let _ = writeln!(out, "factor:  {} nonzeros", an.part.nnz());
+            let _ = writeln!(
+                out,
+                "opcount: {:.2} Mflop factorization, {:.3} Mflop per fw+bw solve",
+                an.part.factor_flops() as f64 / 1e6,
+                an.part.solve_flops(1) as f64 / 1e6
+            );
+            let _ = writeln!(out, "supernodes: {}", an.part.nsup());
+            let _ = writeln!(out, "etree height: {}", an.sym.tree().height());
+        }
+        Command::Solve {
+            path,
+            procs,
+            nrhs,
+            block,
+            ordering,
+        } => {
+            let (a, title) = load_matrix(path)?;
+            let perm = ordering_perm(ordering, &a)?;
+            let an = seqchol::analyze_with_perm(&a, &perm);
+            let factor = seqchol::factor_supernodal(&an.pa, &an.part)
+                .map_err(|e| format!("factorization failed: {e}"))?;
+            let mapping = SubcubeMapping::new(&an.part, *procs);
+            let config = SolveConfig {
+                nprocs: *procs,
+                block: *block,
+                params: MachineParams::t3d(),
+            };
+            let b = gen::random_rhs(a.ncols(), *nrhs, 42);
+            let (x, report) = solve_fb(&factor, &mapping, &b, &config);
+            // residual check in the permuted space
+            let ax = an.pa.spmv_sym_lower(&x).map_err(|e| e.to_string())?;
+            let resid = ax.max_abs_diff(&b).unwrap_or(f64::NAN) / b.norm_max().max(1.0);
+            let _ = writeln!(out, "matrix:   {title} (N = {})", a.ncols());
+            let _ = writeln!(
+                out,
+                "ordering: {ordering}; factor nnz {}; {} supernodes",
+                an.part.nnz(),
+                an.part.nsup()
+            );
+            let _ = writeln!(
+                out,
+                "solve:    p = {procs}, NRHS = {nrhs}, b = {block} -> {:.4} s virtual ({:.1} MFLOPS)",
+                report.total_time,
+                report.mflops()
+            );
+            let _ = writeln!(
+                out,
+                "          forward {:.4} s, backward {:.4} s, {} msgs, {} words",
+                report.forward_time, report.backward_time, report.msgs, report.words
+            );
+            let _ = writeln!(out, "residual: {resid:.3e} (relative, random RHS)");
+        }
+        Command::Convert { input, output } => {
+            let (a, title) = load_matrix(input)?;
+            let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            if Path::new(output)
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("mtx"))
+            {
+                mmio::write_matrix_market(&mut w, &a, mmio::Symmetry::Symmetric)
+                    .map_err(|e| e.to_string())?;
+            } else {
+                hb::write_harwell_boeing(&mut w, &a, &title, "TRISOLV", true)
+                    .map_err(|e| e.to_string())?;
+            }
+            let _ = writeln!(out, "wrote {output} ({} nonzeros)", a.nnz());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommands() {
+        assert_eq!(
+            parse_args(&strv(&["info", "m.mtx"])).unwrap(),
+            Command::Info { path: "m.mtx".into() }
+        );
+        let cmd = parse_args(&strv(&[
+            "solve", "m.rsa", "--procs", "64", "--nrhs", "10", "--block", "4",
+            "--ordering", "multilevel",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                path: "m.rsa".into(),
+                procs: 64,
+                nrhs: 10,
+                block: 4,
+                ordering: "multilevel".into()
+            }
+        );
+        assert!(parse_args(&strv(&["solve"])).is_err());
+        assert!(parse_args(&strv(&["bogus"])).is_err());
+        assert!(parse_args(&strv(&["solve", "m", "--procs"])).is_err());
+        assert!(parse_args(&strv(&["solve", "m", "--procs", "0"])).is_err());
+    }
+
+    #[test]
+    fn info_solve_convert_round_trip() {
+        let dir = std::env::temp_dir().join("trisolv-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        let rsa = dir.join("g.rsa");
+        // write a test matrix in Matrix-Market form
+        {
+            let a = gen::grid2d_laplacian(8, 8);
+            let mut f = std::io::BufWriter::new(File::create(&mtx).unwrap());
+            mmio::write_matrix_market(&mut f, &a, mmio::Symmetry::Symmetric).unwrap();
+        }
+        let info = run(&Command::Info {
+            path: mtx.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(info.contains("order:   64 x 64"), "{info}");
+        // convert to Harwell-Boeing and solve from that
+        run(&Command::Convert {
+            input: mtx.to_string_lossy().into_owned(),
+            output: rsa.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        let solved = run(&Command::Solve {
+            path: rsa.to_string_lossy().into_owned(),
+            procs: 4,
+            nrhs: 2,
+            block: 2,
+            ordering: "nd".into(),
+        })
+        .unwrap();
+        assert!(solved.contains("residual:"), "{solved}");
+        // the printed residual must be tiny
+        let resid_line = solved.lines().find(|l| l.starts_with("residual")).unwrap();
+        let val: f64 = resid_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(val < 1e-9, "{resid_line}");
+    }
+
+    #[test]
+    fn unknown_ordering_rejected() {
+        let a = gen::grid2d_laplacian(3, 3);
+        assert!(ordering_perm("zigzag", &a).is_err());
+        for name in ["nd", "multilevel", "mindeg", "rcm", "natural"] {
+            assert_eq!(ordering_perm(name, &a).unwrap().len(), 9);
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&Command::Info {
+            path: "/nonexistent/m.rsa".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

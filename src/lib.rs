@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the trisolv workspace. See README.md.
+pub mod cli;
+pub use trisolv_analysis as analysis;
+pub use trisolv_core as core;
+pub use trisolv_factor as factor;
+pub use trisolv_graph as graph;
+pub use trisolv_machine as machine;
+pub use trisolv_matrix as matrix;
+pub use trisolv_symbolic as symbolic;

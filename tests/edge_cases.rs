@@ -1,0 +1,176 @@
+//! Adversarial structures and edge cases across the stack: degenerate
+//! matrices, pathological elimination trees (paths, stars), more
+//! processors than work, and failure reporting.
+
+use trisolv::core::mapping::SubcubeMapping;
+use trisolv::core::tree::{solve_fb, SolveConfig};
+use trisolv::core::{seq, SparseCholeskySolver};
+use trisolv::factor::par::{factor_parallel, FactorConfig};
+use trisolv::factor::seqchol;
+use trisolv::graph::Permutation;
+use trisolv::machine::MachineParams;
+use trisolv::matrix::{gen, CscMatrix, DenseMatrix, MatrixError, TripletMatrix};
+
+fn solve_check(a: &CscMatrix, nprocs: usize, nrhs: usize) {
+    let n = a.ncols();
+    let solver = SparseCholeskySolver::factor(a).unwrap();
+    let x_true = gen::random_rhs(n, nrhs, 3);
+    let b = a.spmv_sym_lower(&x_true).unwrap();
+    let x = solver.solve(&b);
+    assert!(x.max_abs_diff(&x_true).unwrap() < 1e-7);
+    // and through the simulated-parallel path
+    let part = solver.factor_matrix().partition();
+    let mapping = SubcubeMapping::new(part, nprocs);
+    let config = SolveConfig {
+        nprocs,
+        block: 2,
+        params: MachineParams::t3d(),
+    };
+    let mut pb = DenseMatrix::zeros(n, nrhs);
+    for c in 0..nrhs {
+        for i in 0..n {
+            pb[(solver.perm().apply(i), c)] = b[(i, c)];
+        }
+    }
+    let (px, _) = solve_fb(solver.factor_matrix(), &mapping, &pb, &config);
+    let expect = seq::forward_backward(solver.factor_matrix(), &pb);
+    assert!(px.max_abs_diff(&expect).unwrap() < 1e-9);
+}
+
+#[test]
+fn one_by_one_matrix() {
+    let mut t = TripletMatrix::new(1, 1);
+    t.push(0, 0, 9.0).unwrap();
+    let a = t.to_csc();
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    let b = DenseMatrix::column_vector(&[18.0]);
+    let x = solver.solve(&b);
+    assert!((x[(0, 0)] - 2.0).abs() < 1e-14);
+    solve_check(&a, 4, 2);
+}
+
+#[test]
+fn path_tree_no_tree_parallelism() {
+    // tridiagonal matrix: the elimination tree is a single path — the
+    // worst case for subtree-to-subcube (no branchings to split at)
+    let a = gen::grid2d_laplacian(40, 1);
+    solve_check(&a, 4, 1);
+    solve_check(&a, 8, 3);
+}
+
+#[test]
+fn star_tree_single_fat_root() {
+    // arrow matrix: column 0 coupled to everything → after ordering, one
+    // huge supernode dominates
+    let n = 40;
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, n as f64).unwrap();
+    }
+    for i in 1..n {
+        t.push(i, 0, -1.0).unwrap();
+    }
+    let a = t.to_csc();
+    solve_check(&a, 4, 2);
+}
+
+#[test]
+fn block_diagonal_forest() {
+    // disconnected blocks → elimination forest with many roots
+    let mut t = TripletMatrix::new(30, 30);
+    for b in 0..10 {
+        let base = 3 * b;
+        for i in 0..3 {
+            t.push(base + i, base + i, 4.0).unwrap();
+        }
+        t.push(base + 1, base, -1.0).unwrap();
+        t.push(base + 2, base + 1, -1.0).unwrap();
+    }
+    let a = t.to_csc();
+    solve_check(&a, 4, 1);
+    solve_check(&a, 16, 2);
+}
+
+#[test]
+fn more_processors_than_columns() {
+    let a = gen::grid2d_laplacian(3, 3); // N = 9
+    solve_check(&a, 16, 1);
+}
+
+#[test]
+fn dense_matrix_single_supernode() {
+    // a fully dense SPD matrix: one supernode spanning all columns
+    let n = 24;
+    let d = gen::random_spd(n, n, 5); // avg nnz ≈ n → nearly dense
+    let solver = SparseCholeskySolver::factor(&d).unwrap();
+    assert!(solver.factor_matrix().nsup() < n, "expect fat supernodes");
+    solve_check(&d, 4, 2);
+}
+
+#[test]
+fn singular_matrix_reports_column_not_garbage() {
+    // a PSD-but-singular matrix: last column linearly dependent
+    let mut t = TripletMatrix::new(3, 3);
+    t.push(0, 0, 1.0).unwrap();
+    t.push(1, 1, 1.0).unwrap();
+    t.push(1, 0, 1.0).unwrap(); // makes the 2x2 leading block singular
+    t.push(2, 2, 1.0).unwrap();
+    let a = t.to_csc();
+    let err = SparseCholeskySolver::factor_with_perm(&a, &Permutation::identity(3));
+    match err {
+        Err(MatrixError::NotPositiveDefinite { pivot, .. }) => {
+            assert!(pivot <= 0.0 || !pivot.is_finite());
+        }
+        other => panic!("expected NotPositiveDefinite, got {other:?}"),
+    }
+}
+
+#[test]
+fn parallel_factorization_failure_propagates_cleanly() {
+    // indefinite matrix on a multi-processor machine: every virtual
+    // processor must shut down and the error must surface as Err
+    let mut a = gen::grid2d_laplacian(8, 8);
+    let j = 30;
+    let pos = a.col_rows(j).iter().position(|&i| i == j).unwrap();
+    let base = a.colptr()[j];
+    a.values_mut()[base + pos] = -2.0;
+    let an = seqchol::analyze_with_perm(&a, &Permutation::identity(64));
+    let mapping = SubcubeMapping::new(&an.part, 8);
+    let config = FactorConfig {
+        nprocs: 8,
+        block: 2,
+        params: MachineParams::t3d(),
+    };
+    let res = factor_parallel(&an.pa, &an.part, &mapping, &config);
+    assert!(matches!(res, Err(MatrixError::NotPositiveDefinite { .. })));
+}
+
+#[test]
+fn wide_rhs_block() {
+    // NRHS larger than N exercises the matrix-rate path and buffer reuse
+    let a = gen::grid2d_laplacian(4, 3);
+    solve_check(&a, 2, 20);
+}
+
+#[test]
+fn repeated_solves_are_deterministic() {
+    let a = gen::fem2d(4, 4, 2);
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    let b = gen::random_rhs(a.ncols(), 2, 11);
+    let x1 = solver.solve(&b);
+    let x2 = solver.solve(&b);
+    assert_eq!(x1, x2, "solves must be bitwise deterministic");
+    // simulated runs too (virtual times included)
+    let part = solver.factor_matrix().partition();
+    let mapping = SubcubeMapping::new(part, 4);
+    let config = SolveConfig {
+        nprocs: 4,
+        block: 2,
+        params: MachineParams::t3d(),
+    };
+    let (p1, r1) = solve_fb(solver.factor_matrix(), &mapping, &b, &config);
+    let (p2, r2) = solve_fb(solver.factor_matrix(), &mapping, &b, &config);
+    assert_eq!(p1, p2);
+    assert_eq!(r1.total_time, r2.total_time);
+    assert_eq!(r1.words, r2.words);
+}

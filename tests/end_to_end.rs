@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline from problem
+//! generation through ordering, symbolic analysis, numerical
+//! factorization, and the sequential / threaded / simulated-parallel
+//! triangular solvers.
+
+use trisolv::core::mapping::SubcubeMapping;
+use trisolv::core::tree::{solve_fb, SolveConfig};
+use trisolv::core::{seq, threaded, SparseCholeskySolver};
+use trisolv::factor::par::{factor_parallel, FactorConfig};
+use trisolv::factor::seqchol;
+use trisolv::graph::{nd, Graph};
+use trisolv::machine::MachineParams;
+use trisolv::matrix::{gen, io, CscMatrix, DenseMatrix};
+
+fn residual(a: &CscMatrix, x: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    let ax = a.spmv_sym_lower(x).expect("shape");
+    ax.max_abs_diff(b).expect("shape") / b.norm_max().max(1.0)
+}
+
+#[test]
+fn full_pipeline_2d_problem() {
+    let a = gen::grid2d_laplacian(20, 17);
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    let x_true = gen::random_rhs(a.ncols(), 2, 1);
+    let b = a.spmv_sym_lower(&x_true).unwrap();
+    let x = solver.solve(&b);
+    assert!(residual(&a, &x, &b) < 1e-10);
+    assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+}
+
+#[test]
+fn full_pipeline_3d_fem_problem() {
+    let a = gen::fem3d(5, 4, 3, 3);
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    let x_true = gen::random_rhs(a.ncols(), 4, 2);
+    let b = a.spmv_sym_lower(&x_true).unwrap();
+    let x = solver.solve(&b);
+    assert!(residual(&a, &x, &b) < 1e-9);
+}
+
+#[test]
+fn simulated_parallel_solver_agrees_with_sequential_end_to_end() {
+    let (kx, ky, dof) = (9, 8, 2);
+    let a = gen::fem2d(kx, ky, dof);
+    let g = Graph::from_sym_lower(&a);
+    let coords = nd::grid2d_coords(kx, ky, dof);
+    let perm = nd::nested_dissection_coords(&g, &coords, nd::NdOptions::default());
+    let an = seqchol::analyze_with_perm(&a, &perm);
+    let factor = seqchol::factor_supernodal(&an.pa, &an.part).unwrap();
+    let b = gen::random_rhs(a.ncols(), 3, 5);
+    let expect = seq::forward_backward(&factor, &b);
+    for p in [2usize, 4, 6, 8] {
+        let mapping = SubcubeMapping::new(&an.part, p);
+        let config = SolveConfig {
+            nprocs: p,
+            block: 3,
+            params: MachineParams::t3d(),
+        };
+        let (x, report) = solve_fb(&factor, &mapping, &b, &config);
+        assert!(x.max_abs_diff(&expect).unwrap() < 1e-9, "p = {p}");
+        assert!(report.total_time > 0.0);
+        assert_eq!(report.flops, an.part.solve_flops(3));
+    }
+}
+
+#[test]
+fn threaded_solver_agrees_with_sequential_end_to_end() {
+    let a = gen::grid3d_laplacian(5, 4, 4);
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    let f = solver.factor_matrix();
+    let b = gen::random_rhs(a.ncols(), 2, 9);
+    let seq_y = seq::forward(f, &b);
+    let thr_y = threaded::forward(f, &b);
+    assert!(thr_y.max_abs_diff(&seq_y).unwrap() < 1e-12);
+    let seq_x = seq::backward(f, &seq_y);
+    let thr_x = threaded::backward(f, &seq_y);
+    assert!(thr_x.max_abs_diff(&seq_x).unwrap() < 1e-12);
+}
+
+#[test]
+fn parallel_factorization_feeds_parallel_solver() {
+    // the full simulated workflow: parallel factor -> parallel solve.
+    // Needs a problem large enough that factorization's O(N^1.5) work
+    // clearly dominates the solver's O(N log N) (the paper's headline
+    // relation only holds beyond toy sizes).
+    let a = gen::grid2d_laplacian(31, 31);
+    let g = Graph::from_sym_lower(&a);
+    let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+    let an = seqchol::analyze_with_perm(&a, &perm);
+    let p = 4;
+    let mapping = SubcubeMapping::new(&an.part, p);
+    let fconfig = FactorConfig {
+        nprocs: p,
+        block: 2,
+        params: MachineParams::t3d(),
+    };
+    let (factor, frep) = factor_parallel(&an.pa, &an.part, &mapping, &fconfig).unwrap();
+    let x_true = gen::random_rhs(a.ncols(), 1, 3);
+    let pb = an.pa.spmv_sym_lower(&x_true).unwrap();
+    let sconfig = SolveConfig {
+        nprocs: p,
+        block: 2,
+        params: MachineParams::t3d(),
+    };
+    let (x, srep) = solve_fb(&factor, &mapping, &pb, &sconfig);
+    assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    // the headline relation: solve is much cheaper than factorization
+    assert!(srep.total_time < frep.time);
+}
+
+#[test]
+fn matrix_market_round_trip_preserves_solvability() {
+    let a = gen::random_spd(60, 3, 4);
+    let mut buf = Vec::new();
+    io::write_matrix_market(&mut buf, &a, io::Symmetry::Symmetric).unwrap();
+    let (a2, _) = io::read_matrix_market(std::io::BufReader::new(&buf[..])).unwrap();
+    let solver = SparseCholeskySolver::factor(&a2).unwrap();
+    let x_true = gen::random_rhs(60, 1, 5);
+    let b = a2.spmv_sym_lower(&x_true).unwrap();
+    let x = solver.solve(&b);
+    assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+}
+
+#[test]
+fn ordering_choice_changes_fill_not_solution() {
+    let a = gen::grid2d_laplacian(12, 12);
+    let g = Graph::from_sym_lower(&a);
+    let x_true = gen::random_rhs(a.ncols(), 1, 6);
+    let b = a.spmv_sym_lower(&x_true).unwrap();
+    let mut fills = Vec::new();
+    for perm in [
+        trisolv::graph::Permutation::identity(a.ncols()),
+        nd::nested_dissection(&g, nd::NdOptions::default()),
+        trisolv::graph::mindeg::minimum_degree(&g),
+        trisolv::graph::rcm::reverse_cuthill_mckee(&g),
+    ] {
+        let solver = SparseCholeskySolver::factor_with_perm(&a, &perm).unwrap();
+        let x = solver.solve(&b);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+        fills.push(solver.factor_matrix().nnz());
+    }
+    // nested dissection must beat the natural ordering on a grid
+    assert!(fills[1] < fills[0], "nd fill {} vs natural {}", fills[1], fills[0]);
+}
+
+#[test]
+fn multiple_rhs_consistency_across_solvers() {
+    let a = gen::fem2d(6, 5, 2);
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    let b = gen::random_rhs(a.ncols(), 5, 7);
+    let x_block = solver.solve(&b);
+    for r in 0..5 {
+        let br = DenseMatrix::column_vector(b.col(r));
+        let xr = solver.solve(&br);
+        for i in 0..a.ncols() {
+            assert_eq!(xr[(i, 0)], x_block[(i, r)], "rhs {r} row {i}");
+        }
+    }
+}

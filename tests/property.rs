@@ -1,0 +1,347 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use trisolv::core::mapping::SubcubeMapping;
+use trisolv::core::tree::{solve_fb, SolveConfig};
+use trisolv::core::seq;
+use trisolv::factor::seqchol;
+use trisolv::graph::{nd, EliminationTree, Graph, Permutation};
+use trisolv::machine::{BlockCyclic1d, MachineParams};
+use trisolv::matrix::gen;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The factor reconstructs the matrix: `L·Lᵀ·x = A·x` for random SPD
+    /// matrices and random probes.
+    #[test]
+    fn factorization_reconstructs_matrix(n in 5usize..60, avg in 1usize..5, seed in 0u64..500) {
+        let a = gen::random_spd(n, avg, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let f = seqchol::factor_supernodal(&an.pa, &an.part).unwrap();
+        let x = gen::random_rhs(n, 1, seed.wrapping_add(1));
+        let ax = an.pa.spmv_sym_lower(&x).unwrap();
+        let llx = f.llt_times(&x);
+        let scale = ax.norm_max().max(1.0);
+        prop_assert!(ax.max_abs_diff(&llx).unwrap() / scale < 1e-9);
+    }
+
+    /// The simulated parallel solver produces the sequential answer for
+    /// arbitrary processor counts, block sizes, and RHS widths.
+    #[test]
+    fn parallel_solve_matches_sequential(
+        n in 20usize..80,
+        seed in 0u64..200,
+        p in 1usize..9,
+        block in 1usize..5,
+        nrhs in 1usize..4,
+    ) {
+        let a = gen::random_spd(n, 3, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let f = seqchol::factor_supernodal(&an.pa, &an.part).unwrap();
+        let b = gen::random_rhs(n, nrhs, seed.wrapping_add(7));
+        let expect = seq::forward_backward(&f, &b);
+        let mapping = SubcubeMapping::new(&an.part, p);
+        let config = SolveConfig { nprocs: p, block, params: MachineParams::t3d() };
+        let (x, _) = solve_fb(&f, &mapping, &b, &config);
+        prop_assert!(x.max_abs_diff(&expect).unwrap() < 1e-8);
+    }
+
+    /// Elimination-tree invariant: parents always have larger labels after
+    /// postordering, and subtree sizes telescope.
+    #[test]
+    fn etree_postorder_invariants(n in 3usize..50, avg in 1usize..5, seed in 0u64..300) {
+        let a = gen::random_spd(n, avg, seed);
+        let t = EliminationTree::from_sym_lower(&a);
+        let post = t.postorder();
+        let pt = t.permute(&post);
+        prop_assert!(pt.is_postordered());
+        let sizes = pt.subtree_sizes();
+        let root_total: usize = pt.roots().iter().map(|&r| sizes[r]).sum();
+        prop_assert_eq!(root_total, n);
+    }
+
+    /// Block-cyclic maps are bijections between global indices and
+    /// (owner, local index) pairs.
+    #[test]
+    fn block_cyclic_local_index_bijective(
+        n in 1usize..200,
+        b in 1usize..10,
+        p in 1usize..9,
+    ) {
+        let l = BlockCyclic1d::new(n, b, p);
+        let mut seen = vec![std::collections::HashSet::new(); p];
+        for i in 0..n {
+            let q = l.owner(i);
+            prop_assert!(q < p);
+            prop_assert!(seen[q].insert(l.local_index(i)));
+        }
+        for (q, s) in seen.iter().enumerate() {
+            prop_assert_eq!(s.len(), l.local_count(q));
+        }
+    }
+
+    /// Permutations compose associatively and invert correctly.
+    #[test]
+    fn permutation_algebra(seed in 0u64..1000, n in 1usize..40) {
+        // derive two permutations from orderings of a random graph
+        let a = gen::random_spd(n, 2, seed);
+        let g = Graph::from_sym_lower(&a);
+        let p1 = nd::nested_dissection(&g, nd::NdOptions::default());
+        let p2 = trisolv::graph::rcm::reverse_cuthill_mckee(&g);
+        let c = p1.then(&p2);
+        for i in 0..n {
+            prop_assert_eq!(c.apply(i), p2.apply(p1.apply(i)));
+        }
+        let inv = c.inverse();
+        for i in 0..n {
+            prop_assert_eq!(inv.apply(c.apply(i)), i);
+        }
+        prop_assert_eq!(c.then(&inv), Permutation::identity(n));
+    }
+
+    /// The supernode partition tiles the columns and its per-column
+    /// structure nests into parents.
+    #[test]
+    fn supernode_partition_tiles_columns(n in 5usize..60, seed in 0u64..200) {
+        let a = gen::random_spd(n, 3, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let part = &an.part;
+        let mut count = 0;
+        for s in 0..part.nsup() {
+            count += part.width(s);
+            // below rows must be contained in the parent's row set
+            if let Some(p) = part.parent(s) {
+                for &r in part.below_rows(s) {
+                    prop_assert!(part.rows(p).contains(&r),
+                        "below row {r} of snode {s} missing from parent {p}");
+                }
+            }
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    /// Subtree-to-subcube: groups nest upward and sequential supernodes
+    /// partition the non-parallel set, for arbitrary trees and p.
+    #[test]
+    fn mapping_invariants(n in 10usize..60, seed in 0u64..100, p in 1usize..17) {
+        let a = gen::random_spd(n, 3, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let m = SubcubeMapping::new(&an.part, p);
+        let mut seq_owned = vec![0usize; an.part.nsup()];
+        for q in 0..p {
+            for &s in m.seq_snodes(q) {
+                seq_owned[s] += 1;
+            }
+        }
+        for s in 0..an.part.nsup() {
+            if m.is_parallel(s) {
+                prop_assert_eq!(seq_owned[s], 0);
+            } else {
+                prop_assert_eq!(seq_owned[s], 1);
+            }
+            if let Some(par) = an.part.parent(s) {
+                for &r in m.group(s).ranks() {
+                    prop_assert!(m.group(par).contains(r));
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Bruck all-to-all delivers exactly what the direct schedule
+    /// delivers, for arbitrary group sizes and ragged chunk lengths.
+    #[test]
+    fn bruck_a2a_equals_direct(q in 1usize..10, seed in 0u64..100) {
+        use trisolv::machine::{coll, Group, Machine, MachineParams};
+        let machine = Machine::new(q, MachineParams::t3d());
+        let r = machine.run(|p| {
+            let g = Group::world(q);
+            let me = g.group_rank(p.rank()).unwrap();
+            let chunk = |d: usize| -> Vec<f64> {
+                let len = ((me * 7 + d * 3 + seed as usize) % 5) + 1;
+                vec![(me * 100 + d) as f64; len]
+            };
+            let out: Vec<Vec<f64>> = (0..q).map(chunk).collect();
+            let a = coll::all_to_all_direct(p, &g, 1, out.clone());
+            let b = coll::all_to_all_bruck(p, &g, 2, out);
+            (a, b)
+        });
+        for (a, b) in r.results {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// scatter ∘ allgather round-trips arbitrary chunk sets.
+    #[test]
+    fn scatter_allgather_roundtrip(q in 1usize..10, root in 0usize..10, seed in 0u64..50) {
+        use trisolv::machine::{coll, Group, Machine, MachineParams};
+        let root = root % q;
+        let machine = Machine::new(q, MachineParams::t3d());
+        let r = machine.run(|p| {
+            let g = Group::world(q);
+            let me = g.group_rank(p.rank()).unwrap();
+            let chunks: Vec<Vec<f64>> = (0..q)
+                .map(|d| vec![(d as u64 * 31 + seed) as f64; (d % 3) + 1])
+                .collect();
+            let mine = coll::scatter(p, &g, 1, root, if me == root { chunks } else { Vec::new() });
+            coll::allgather(p, &g, 2, mine, 2)
+        });
+        let expect: Vec<Vec<f64>> = (0..q)
+            .map(|d| vec![(d as u64 * 31 + seed) as f64; (d % 3) + 1])
+            .collect();
+        for got in r.results {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// Harwell-Boeing round trip preserves arbitrary generated matrices.
+    #[test]
+    fn hb_round_trip(n in 2usize..40, avg in 1usize..4, seed in 0u64..200) {
+        use trisolv::matrix::hb;
+        let a = gen::random_spd(n, avg, seed);
+        let mut buf = Vec::new();
+        hb::write_harwell_boeing(&mut buf, &a, "prop", "PROP", true).unwrap();
+        let (b, _) = hb::read_harwell_boeing(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(a.shape(), b.shape());
+        prop_assert!(a.to_dense().max_abs_diff(&b.to_dense()).unwrap() < 1e-12);
+    }
+
+    /// Irregular meshes solve end-to-end through the full parallel driver.
+    #[test]
+    fn irregular_mesh_solves(k in 5usize..12, seed in 0u64..50, p in 1usize..9) {
+        use trisolv::core::{ParallelSolver, ParallelSolverOptions};
+        let (a, coords) = gen::mesh2d_irregular(k, seed);
+        let solver = ParallelSolver::build(
+            &a,
+            Some(&coords),
+            &ParallelSolverOptions::t3d(p),
+        ).unwrap();
+        let x_true = gen::random_rhs(a.ncols(), 1, seed);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        let (x, _) = solver.solve(&b);
+        prop_assert!(x.max_abs_diff(&x_true).unwrap() < 1e-7);
+    }
+
+    /// Factor save/load round-trips bitwise for random problems.
+    #[test]
+    fn factor_io_round_trip(n in 5usize..50, seed in 0u64..100) {
+        use trisolv::factor::fio;
+        let a = gen::random_spd(n, 3, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let f = seqchol::factor_supernodal(&an.pa, &an.part).unwrap();
+        let mut buf = Vec::new();
+        fio::save_factor(&mut buf, &f).unwrap();
+        let g2 = fio::load_factor(&mut &buf[..]).unwrap();
+        for s in 0..f.nsup() {
+            prop_assert_eq!(g2.block(s), f.block(s));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The pipelined forward kernel equals the dense reference on random
+    /// trapezoid shapes, group sizes, and block sizes.
+    #[test]
+    fn pipelined_forward_matches_dense_reference(
+        t in 1usize..24,
+        extra in 0usize..16,
+        q in 1usize..7,
+        block in 1usize..6,
+        nrhs in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        use trisolv::core::pipeline::{forward_column_priority, LocalTrapezoid};
+        use trisolv::factor::blas;
+        use trisolv::machine::{BlockCyclic1d, Group, Machine};
+        use trisolv::matrix::DenseMatrix;
+
+        let n = t + extra;
+        // random diagonally-dominant trapezoid
+        let vals = gen::random_rhs(n * t, 1, seed);
+        let mut trap = DenseMatrix::zeros(n, t);
+        for j in 0..t {
+            for i in j..n {
+                trap[(i, j)] = if i == j { 3.0 } else { 0.3 * vals.as_slice()[i + j * n] };
+            }
+        }
+        let rhs_global = gen::random_rhs(n, nrhs, seed.wrapping_add(1));
+        // dense reference: x_top then the rectangle update
+        let mut reference = rhs_global.clone();
+        blas::trsm_lower_left(trap.as_slice(), n, reference.as_mut_slice(), n, t, nrhs);
+        for c in 0..nrhs {
+            for j in 0..t {
+                let xv = reference[(j, c)];
+                for i in t..n {
+                    let upd = trap[(i, j)] * xv;
+                    reference[(i, c)] -= upd;
+                }
+            }
+            // kernel's below rows start at zero
+            for i in t..n {
+                reference[(i, c)] -= rhs_global[(i, c)];
+            }
+        }
+        let layout = BlockCyclic1d::new(n, block, q);
+        let machine = Machine::new(q, MachineParams::t3d());
+        let run = machine.run(|p| {
+            let g = Group::world(q);
+            let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
+            let mut r = DenseMatrix::zeros(local.positions.len(), nrhs);
+            for c in 0..nrhs {
+                for (li, &gi) in local.positions.iter().enumerate() {
+                    r[(li, c)] = if gi < t { rhs_global[(gi, c)] } else { 0.0 };
+                }
+            }
+            forward_column_priority(p, &g, 1, &layout, t, nrhs, &local, &mut r);
+            (local.positions, r)
+        });
+        for (positions, r) in run.results {
+            for c in 0..nrhs {
+                for (li, &gi) in positions.iter().enumerate() {
+                    prop_assert!(
+                        (r[(li, c)] - reference[(gi, c)]).abs() < 1e-9,
+                        "pos {gi} rhs {c}: {} vs {}", r[(li, c)], reference[(gi, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Amalgamation at random relaxation levels preserves factorization
+    /// correctness.
+    #[test]
+    fn amalgamated_factor_still_correct(
+        n in 20usize..70,
+        seed in 0u64..100,
+        relax_abs in 0usize..40,
+        relax_pct in 0usize..40,
+    ) {
+        let a = gen::random_spd(n, 3, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let part = an.part.amalgamate(relax_abs, relax_pct as f64 / 100.0);
+        let f = seqchol::factor_supernodal(&an.pa, &part).unwrap();
+        let x = gen::random_rhs(n, 1, seed.wrapping_add(3));
+        let ax = an.pa.spmv_sym_lower(&x).unwrap();
+        let llx = f.llt_times(&x);
+        let scale = ax.norm_max().max(1.0);
+        prop_assert!(ax.max_abs_diff(&llx).unwrap() / scale < 1e-9);
+    }
+}
