@@ -60,11 +60,12 @@ mod tests {
 
     #[test]
     fn recovers_exact_power_law() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 3.0 * x.powf(1.5))
-        })
-        .collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
         let fit = fit_power_law(&pts);
         assert!((fit.b - 1.5).abs() < 1e-10);
         assert!((fit.a - 3.0).abs() < 1e-8);

@@ -59,20 +59,15 @@ mod tests {
         // model: T_S = n, T_P = n/p + 1  ⇒  E = n / (n + p)
         // E ≥ 0.5  ⇔  n ≥ p
         let p = 16;
-        let found = isoefficiency_problem_size(
-            &[2, 4, 8, 16, 32],
-            p,
-            0.5,
-            |n| (n as f64, n as f64 / p as f64 + 1.0),
-        );
+        let found = isoefficiency_problem_size(&[2, 4, 8, 16, 32], p, 0.5, |n| {
+            (n as f64, n as f64 / p as f64 + 1.0)
+        });
         assert_eq!(found.map(|(n, _)| n), Some(16));
     }
 
     #[test]
     fn isoefficiency_search_can_fail() {
-        let found = isoefficiency_problem_size(&[1, 2], 64, 0.99, |n| {
-            (n as f64, n as f64)
-        });
+        let found = isoefficiency_problem_size(&[1, 2], 64, 0.99, |n| (n as f64, n as f64));
         assert!(found.is_none());
     }
 

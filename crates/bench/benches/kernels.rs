@@ -1,13 +1,24 @@
-//! Criterion micro-benchmarks for the dense and pipelined kernels.
+//! Wall-clock micro-benchmarks for the dense and pipelined kernels.
 //!
 //! These are regression benches (real wall-clock, not virtual time): the
-//! paper-figure artifacts come from the `fig*` binaries instead.
+//! paper-figure artifacts come from the `fig*` binaries instead. The
+//! harness is `trisolv_bench::timing` (plain `Instant` sampling) so the
+//! suite builds offline with no external benchmarking crate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trisolv_bench::timing::{measure, Stats};
 use trisolv_core::pipeline::{forward_column_priority, LocalTrapezoid};
 use trisolv_factor::blas;
 use trisolv_machine::{BlockCyclic1d, Group, Machine, MachineParams};
 use trisolv_matrix::{gen, DenseMatrix};
+
+fn report(group: &str, name: &str, s: Stats) {
+    println!(
+        "{group:10} {name:42} min {:>10.3?} median {:>10.3?} ({} iters)",
+        std::time::Duration::from_secs_f64(s.min),
+        std::time::Duration::from_secs_f64(s.median),
+        s.iters
+    );
+}
 
 fn random_lower(n: usize, seed: u64) -> DenseMatrix {
     let vals = gen::random_rhs(n * n, 1, seed);
@@ -24,37 +35,31 @@ fn random_lower(n: usize, seed: u64) -> DenseMatrix {
     l
 }
 
-fn bench_blas(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blas");
+fn bench_blas() {
     for n in [64usize, 128] {
         let a = random_lower(n, 1);
-        g.bench_with_input(BenchmarkId::new("potrf", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut m = a.clone();
-                blas::potrf_lower(m.as_mut_slice(), n, n).unwrap();
-                m
-            })
+        let s = measure(20, 0.5, || {
+            let mut m = a.clone();
+            blas::potrf_lower(m.as_mut_slice(), n, n).unwrap();
+            m
         });
+        report("blas", &format!("potrf/{n}"), s);
         let l = {
             let mut m = a.clone();
             blas::potrf_lower(m.as_mut_slice(), n, n).unwrap();
             m
         };
         let rhs = gen::random_rhs(n, 8, 2);
-        g.bench_with_input(BenchmarkId::new("trsm_lower_left_8rhs", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut x = rhs.clone();
-                blas::trsm_lower_left(l.as_slice(), n, x.as_mut_slice(), n, n, 8);
-                x
-            })
+        let s = measure(20, 0.5, || {
+            let mut x = rhs.clone();
+            blas::trsm_lower_left(l.as_slice(), n, x.as_mut_slice(), n, n, 8);
+            x
         });
+        report("blas", &format!("trsm_lower_left_8rhs/{n}"), s);
     }
-    g.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
+fn bench_pipeline() {
     for q in [2usize, 4, 8] {
         let (n, t, b) = (256usize, 128usize, 8usize);
         let trap = {
@@ -62,94 +67,105 @@ fn bench_pipeline(c: &mut Criterion) {
             full.sub_block(0, n, 0, t)
         };
         let layout = BlockCyclic1d::new(n, b, q);
-        g.bench_with_input(BenchmarkId::new("forward_column_priority", q), &q, |bch, &q| {
-            let machine = Machine::new(q, MachineParams::t3d());
-            bch.iter(|| {
-                machine.run(|p| {
-                    let group = Group::world(q);
-                    let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
-                    let mut rhs = DenseMatrix::zeros(local.positions.len(), 1);
-                    for v in rhs.as_mut_slice() {
-                        *v = 1.0;
-                    }
-                    forward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut rhs);
-                })
+        let machine = Machine::new(q, MachineParams::t3d());
+        let s = measure(10, 0.5, || {
+            machine.run(|p| {
+                let group = Group::world(q);
+                let local = LocalTrapezoid::from_global(&trap, &layout, p.rank());
+                let mut rhs = DenseMatrix::zeros(local.positions.len(), 1);
+                for v in rhs.as_mut_slice() {
+                    *v = 1.0;
+                }
+                forward_column_priority(p, &group, 1, &layout, t, 1, &local, &mut rhs);
             })
         });
+        report("pipeline", &format!("forward_column_priority/{q}"), s);
     }
-    g.finish();
 }
 
-fn bench_seq_solve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver");
-    g.sample_size(10);
+fn bench_seq_solve() {
     let a = gen::grid2d_laplacian(63, 63);
     let solver = trisolv_core::SparseCholeskySolver::factor(&a).unwrap();
     let b1 = gen::random_rhs(a.ncols(), 1, 1);
     let b10 = gen::random_rhs(a.ncols(), 10, 1);
-    g.bench_function("seq_fb_grid63_nrhs1", |bch| {
-        bch.iter(|| solver.solve(&b1))
-    });
-    g.bench_function("seq_fb_grid63_nrhs10", |bch| {
-        bch.iter(|| solver.solve(&b10))
-    });
+    report(
+        "solver",
+        "seq_fb_grid63_nrhs1",
+        measure(10, 0.5, || solver.solve(&b1)),
+    );
+    report(
+        "solver",
+        "seq_fb_grid63_nrhs10",
+        measure(10, 0.5, || solver.solve(&b10)),
+    );
     let f = solver.factor_matrix();
-    g.bench_function("threaded_fb_grid63_nrhs10", |bch| {
-        bch.iter(|| trisolv_core::threaded::forward_backward(f, &b10))
-    });
+    report(
+        "solver",
+        "threaded_fb_grid63_nrhs10",
+        measure(10, 0.5, || {
+            trisolv_core::threaded::forward_backward(f, &b10)
+        }),
+    );
     // wall-clock effect of supernode amalgamation (fatter dense blocks)
     {
         let graph = trisolv_graph::Graph::from_sym_lower(&a);
-        let perm = trisolv_graph::nd::nested_dissection(
-            &graph,
-            trisolv_graph::nd::NdOptions::default(),
-        );
+        let perm =
+            trisolv_graph::nd::nested_dissection(&graph, trisolv_graph::nd::NdOptions::default());
         let an = trisolv_factor::seqchol::analyze_with_perm(&a, &perm);
         let am = an.part.amalgamate(16, 0.15);
         let f_am = trisolv_factor::seqchol::factor_supernodal(&an.pa, &am).unwrap();
-        g.bench_function("seq_fb_grid63_nrhs10_amalgamated", |bch| {
-            bch.iter(|| trisolv_core::seq::forward_backward(&f_am, &b10))
-        });
+        report(
+            "solver",
+            "seq_fb_grid63_nrhs10_amalgamated",
+            measure(10, 0.5, || trisolv_core::seq::forward_backward(&f_am, &b10)),
+        );
         // simplicial CSC baseline: same arithmetic, column-at-a-time
         let l_csc = trisolv_factor::seqchol::factor_simplicial(&an.pa, &an.sym).unwrap();
-        g.bench_function("seq_fb_grid63_nrhs10_simplicial_csc", |bch| {
-            bch.iter(|| {
+        report(
+            "solver",
+            "seq_fb_grid63_nrhs10_simplicial_csc",
+            measure(10, 0.5, || {
                 let y = trisolv_core::seq::forward_csc(&l_csc, &b10);
                 trisolv_core::seq::backward_csc(&l_csc, &y)
-            })
-        });
+            }),
+        );
     }
-    g.finish();
 }
 
-fn bench_orderings(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ordering");
-    g.sample_size(10);
+fn bench_orderings() {
     let a = gen::grid2d_laplacian(32, 32);
     let graph = trisolv_graph::Graph::from_sym_lower(&a);
     let coords = trisolv_graph::nd::grid2d_coords(32, 32, 1);
-    g.bench_function("nd_coords_grid32", |bch| {
-        bch.iter(|| {
+    report(
+        "ordering",
+        "nd_coords_grid32",
+        measure(10, 0.5, || {
             trisolv_graph::nd::nested_dissection_coords(
                 &graph,
                 &coords,
                 trisolv_graph::nd::NdOptions::default(),
             )
-        })
-    });
-    g.bench_function("nd_bfs_grid32", |bch| {
-        bch.iter(|| {
-            trisolv_graph::nd::nested_dissection(
-                &graph,
-                trisolv_graph::nd::NdOptions::default(),
-            )
-        })
-    });
-    g.bench_function("rcm_grid32", |bch| {
-        bch.iter(|| trisolv_graph::rcm::reverse_cuthill_mckee(&graph))
-    });
-    g.finish();
+        }),
+    );
+    report(
+        "ordering",
+        "nd_bfs_grid32",
+        measure(10, 0.5, || {
+            trisolv_graph::nd::nested_dissection(&graph, trisolv_graph::nd::NdOptions::default())
+        }),
+    );
+    report(
+        "ordering",
+        "rcm_grid32",
+        measure(10, 0.5, || {
+            trisolv_graph::rcm::reverse_cuthill_mckee(&graph)
+        }),
+    );
 }
 
-criterion_group!(benches, bench_blas, bench_pipeline, bench_seq_solve, bench_orderings);
-criterion_main!(benches);
+fn main() {
+    bench_blas();
+    bench_pipeline();
+    bench_seq_solve();
+    bench_orderings();
+}

@@ -20,11 +20,8 @@ fn main() {
     let k = 41;
     let a = gen::grid2d_laplacian(k, k);
     let g = Graph::from_sym_lower(&a);
-    let perm = nd::nested_dissection_coords(
-        &g,
-        &nd::grid2d_coords(k, k, 1),
-        nd::NdOptions::default(),
-    );
+    let perm =
+        nd::nested_dissection_coords(&g, &nd::grid2d_coords(k, k, 1), nd::NdOptions::default());
     let an = seqchol::analyze_with_perm(&a, &perm);
     println!(
         "amalgamation ablation on GRID2D({k}) (N = {}), p = 16, NRHS ∈ {{1, 10}}\n",

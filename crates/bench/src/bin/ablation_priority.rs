@@ -10,9 +10,7 @@
 //! Run: `cargo run --release -p trisolv-bench --bin ablation_priority`
 
 use trisolv_analysis::Table;
-use trisolv_core::pipeline::{
-    forward_column_priority, forward_row_priority, LocalTrapezoid,
-};
+use trisolv_core::pipeline::{forward_column_priority, forward_row_priority, LocalTrapezoid};
 use trisolv_machine::{BlockCyclic1d, Group, Machine, MachineParams};
 use trisolv_matrix::{gen, DenseMatrix};
 
@@ -54,7 +52,13 @@ fn run(trap: &DenseMatrix, q: usize, b: usize, row_priority: bool) -> f64 {
 fn main() {
     println!("row- vs column-priority pipelined forward elimination\n");
     let mut table = Table::new(vec![
-        "n", "t", "q", "b", "column (ms)", "row (ms)", "row/column",
+        "n",
+        "t",
+        "q",
+        "b",
+        "column (ms)",
+        "row (ms)",
+        "row/column",
     ]);
     for (n, t) in [(256usize, 128usize), (512, 256), (512, 128)] {
         for q in [4usize, 8, 16] {

@@ -1,0 +1,121 @@
+//! Shared-memory solver benchmark: level-scheduled task-pool executor vs
+//! the pre-rewrite fork-join baseline vs the sequential solver.
+//!
+//! Measures forward+backward wall-clock on grid Laplacians for several
+//! RHS widths and writes `BENCH_threaded.json` (plus a table on stdout).
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin bench_threaded`
+
+use trisolv_bench::forkjoin;
+use trisolv_bench::timing::{measure, stats_json, Json, Stats};
+use trisolv_core::{seq, ThreadedSolver};
+use trisolv_factor::seqchol::{analyze_with_perm, factor_supernodal};
+use trisolv_factor::SupernodalFactor;
+use trisolv_graph::{nd, Graph};
+use trisolv_matrix::gen;
+
+struct Case {
+    name: &'static str,
+    matrix: trisolv_matrix::CscMatrix,
+    nrhs: usize,
+}
+
+fn factor(a: &trisolv_matrix::CscMatrix) -> SupernodalFactor {
+    let g = Graph::from_sym_lower(a);
+    let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+    let an = analyze_with_perm(a, &perm);
+    factor_supernodal(&an.pa, &an.part).expect("SPD")
+}
+
+fn row(name: &str, variant: &str, s: Stats, baseline: Option<f64>) {
+    let speedup = baseline.map_or(String::new(), |b| format!("  {:5.2}x", b / s.min));
+    println!(
+        "{name:28} {variant:16} min {:>10.3?} median {:>10.3?}{speedup}",
+        std::time::Duration::from_secs_f64(s.min),
+        std::time::Duration::from_secs_f64(s.median),
+    );
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench_threaded: forward+backward wall-clock ({threads} hw threads)\n");
+
+    let cases = vec![
+        Case {
+            name: "grid2d_64x64_nrhs8",
+            matrix: gen::grid2d_laplacian(64, 64),
+            nrhs: 8,
+        },
+        Case {
+            name: "grid2d_96x96_nrhs8",
+            matrix: gen::grid2d_laplacian(96, 96),
+            nrhs: 8,
+        },
+        Case {
+            name: "grid2d_96x96_nrhs1",
+            matrix: gen::grid2d_laplacian(96, 96),
+            nrhs: 1,
+        },
+        Case {
+            name: "grid3d_20x20x20_nrhs8",
+            matrix: gen::grid3d_laplacian(20, 20, 20),
+            nrhs: 8,
+        },
+    ];
+
+    let mut out = Vec::new();
+    for case in &cases {
+        let f = factor(&case.matrix);
+        let b = gen::random_rhs(f.n(), case.nrhs, 42);
+
+        // correctness gate before timing anything
+        let expect = seq::forward_backward(&f, &b);
+        let solver = ThreadedSolver::new(&f).expect("valid partition");
+        let mut ws = solver.workspace(case.nrhs);
+        let got = solver.forward_backward_with(&b, &mut ws);
+        let err = got.max_abs_diff(&expect).expect("same shape");
+        assert!(err < 1e-12, "{}: threaded diverges ({err:.3e})", case.name);
+        let err_fj = forkjoin::forward_backward(&f, &b)
+            .max_abs_diff(&expect)
+            .expect("same shape");
+        assert!(err_fj < 1e-12, "{}: baseline diverges", case.name);
+
+        let s_seq = measure(10, 1.0, || seq::forward_backward(&f, &b));
+        let s_fj = measure(10, 1.0, || forkjoin::forward_backward(&f, &b));
+        let s_ls = measure(10, 1.0, || solver.forward_backward_with(&b, &mut ws));
+
+        row(case.name, "sequential", s_seq, None);
+        row(case.name, "forkjoin(seed)", s_fj, Some(s_seq.min));
+        row(case.name, "level-sched", s_ls, Some(s_seq.min));
+        println!(
+            "{:28} level-sched vs forkjoin: {:.2}x\n",
+            "",
+            s_fj.min / s_ls.min
+        );
+
+        out.push(Json::obj(vec![
+            ("case", Json::Str(case.name.to_string())),
+            ("n", Json::Int(f.n() as i64)),
+            ("nsup", Json::Int(f.nsup() as i64)),
+            ("nrhs", Json::Int(case.nrhs as i64)),
+            ("nlevels", Json::Int(solver.plan().nlevels() as i64)),
+            (
+                "max_level_width",
+                Json::Int(solver.plan().max_level_width() as i64),
+            ),
+            ("sequential", stats_json(s_seq)),
+            ("forkjoin_seed", stats_json(s_fj)),
+            ("level_scheduled", stats_json(s_ls)),
+            ("speedup_vs_seq", Json::Num(s_seq.min / s_ls.min)),
+            ("speedup_vs_forkjoin", Json::Num(s_fj.min / s_ls.min)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("threaded_solve".into())),
+        ("hw_threads", Json::Int(threads as i64)),
+        ("cases", Json::Arr(out)),
+    ]);
+    std::fs::write("BENCH_threaded.json", doc.pretty()).expect("write BENCH_threaded.json");
+    println!("wrote BENCH_threaded.json");
+}

@@ -93,5 +93,9 @@ fn main() {
     let _ = f;
     println!("\nLevels in tree: {}", part.to_etree().height());
     println!("Supernodes: {}", part.nsup());
-    println!("Factor nonzeros: {} (matrix nnz: {})", an.sym.nnz(), a.nnz());
+    println!(
+        "Factor nonzeros: {} (matrix nnz: {})",
+        an.sym.nnz(),
+        a.nnz()
+    );
 }

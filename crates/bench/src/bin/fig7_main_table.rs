@@ -19,7 +19,11 @@ fn main() {
     let nrhs_list = [1usize, 5, 10, 30];
     for prob in Problem::paper_suite() {
         let prep = Prepared::build(&prob);
-        assert!(prep.verify(16, block), "self-check failed for {}", prep.name);
+        assert!(
+            prep.verify(16, block),
+            "self-check failed for {}",
+            prep.name
+        );
         println!(
             "\n{}: N = {}; Factorization Opcount = {:.1} Million; Nonzeros in factor = {:.2} Million",
             prep.name,
@@ -46,7 +50,12 @@ fn main() {
                 fac.mflops(),
                 redist,
             );
-            let mut t = Table::new(vec!["NRHS", "FBsolve time (s)", "FBsolve MFLOPS", "speedup"]);
+            let mut t = Table::new(vec![
+                "NRHS",
+                "FBsolve time (s)",
+                "FBsolve MFLOPS",
+                "speedup",
+            ]);
             for &nrhs in &nrhs_list {
                 let r = prep.solve(p, nrhs, block);
                 let ser = if nrhs == 1 {

@@ -35,10 +35,7 @@ fn orderings(g: &Graph, coords: Option<&[[f64; 3]]>) -> Vec<Candidate> {
         },
         Candidate {
             name: "multilevel ND",
-            perm: multilevel::nested_dissection_multilevel(
-                g,
-                multilevel::MlOptions::default(),
-            ),
+            perm: multilevel::nested_dissection_multilevel(g, multilevel::MlOptions::default()),
         },
     ];
     if let Some(c) = coords {
@@ -76,8 +73,16 @@ fn survey(title: &str, a: &CscMatrix, coords: Option<&[[f64; 3]]>) {
 }
 
 fn main() {
-    survey("2-D grid (5-point)", &gen::grid2d_laplacian(40, 40), Some(&nd::grid2d_coords(40, 40, 1)));
-    survey("3-D grid (7-point)", &gen::grid3d_laplacian(11, 11, 11), Some(&nd::grid3d_coords(11, 11, 11, 1)));
+    survey(
+        "2-D grid (5-point)",
+        &gen::grid2d_laplacian(40, 40),
+        Some(&nd::grid2d_coords(40, 40, 1)),
+    );
+    survey(
+        "3-D grid (7-point)",
+        &gen::grid3d_laplacian(11, 11, 11),
+        Some(&nd::grid3d_coords(11, 11, 11, 1)),
+    );
     let (irr, pts) = gen::mesh2d_irregular(36, 5);
     survey("irregular 2-D mesh", &irr, Some(&pts));
     survey("random sparse SPD", &gen::random_spd(900, 4, 9), None);

@@ -1,0 +1,244 @@
+//! The pre-rewrite fork-join threaded solver, preserved as a benchmark
+//! baseline.
+//!
+//! This is the algorithm `trisolv_core::threaded` shipped with before the
+//! level-scheduled executor: recursive fork-join over the supernodal tree
+//! (scoped threads standing in for the original work-stealing joins), a
+//! fresh allocation per supernode, linear `while rows[pos] != gi` scatter
+//! searches, and scalar rectangle loops. `bench_threaded` measures the
+//! rewrite against it; it is not part of any solver path.
+
+use trisolv_factor::{blas, SupernodalFactor};
+use trisolv_matrix::DenseMatrix;
+
+/// Per-supernode working vector carried up the tree (forward pass),
+/// indexed like `partition.below_rows(s)`.
+struct Update {
+    snode: usize,
+    vals: DenseMatrix, // below-rows × nrhs
+}
+
+/// Solved `(global row, values)` pairs produced by one subtree.
+type SolvedRows = Vec<(usize, Vec<f64>)>;
+
+/// Spawn depth limit: below this the recursion runs inline, which keeps
+/// the thread count near 2^MAX_SPAWN_DEPTH instead of one per supernode.
+const MAX_SPAWN_DEPTH: usize = 5;
+
+fn fork<T: Send>(depth: usize, kids: &[usize], run: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+    if depth >= MAX_SPAWN_DEPTH || kids.len() < 2 {
+        return kids.iter().map(|&c| run(c)).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = kids.iter().map(|&c| scope.spawn(move || run(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fork-join worker panicked"))
+            .collect()
+    })
+}
+
+/// Solve `L·Y = B` with recursive fork-join parallelism (seed algorithm).
+pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
+    let part = f.partition();
+    let n = part.n();
+    let nrhs = b.ncols();
+    assert_eq!(b.nrows(), n);
+    let children = part.children();
+    let mut y = DenseMatrix::zeros(n, nrhs);
+    let roots = part.roots();
+    let pieces = fork(0, &roots, &|r| {
+        let mut out = Vec::new();
+        forward_rec(f, &children, r, 1, b, &mut out);
+        out
+    });
+    for piece in pieces {
+        for (gi, vals) in piece {
+            for (c, v) in vals.into_iter().enumerate() {
+                y[(gi, c)] = v;
+            }
+        }
+    }
+    y
+}
+
+fn forward_rec(
+    f: &SupernodalFactor,
+    children: &[Vec<usize>],
+    s: usize,
+    depth: usize,
+    b: &DenseMatrix,
+    out: &mut SolvedRows,
+) -> Update {
+    let part = f.partition();
+    let nrhs = b.ncols();
+    let child_updates = fork(depth, &children[s], &|c| {
+        let mut sub_out = Vec::new();
+        let u = forward_rec(f, children, c, depth + 1, b, &mut sub_out);
+        (u, sub_out)
+    });
+
+    let rows = part.rows(s);
+    let t = part.width(s);
+    let ns = rows.len();
+    let blk = f.block(s);
+    let mut w = DenseMatrix::zeros(ns, nrhs);
+    for c in 0..nrhs {
+        for (k, &gi) in rows[..t].iter().enumerate() {
+            w[(k, c)] = b[(gi, c)];
+        }
+    }
+    for (u, sub_out) in child_updates {
+        out.extend(sub_out);
+        let crows = part.below_rows(u.snode);
+        // extend-add via linear search (the baseline's scatter)
+        let mut pos = 0usize;
+        for (ci, &gi) in crows.iter().enumerate() {
+            while rows[pos] != gi {
+                pos += 1;
+            }
+            for c in 0..nrhs {
+                w[(pos, c)] += u.vals[(ci, c)];
+            }
+        }
+    }
+    blas::trsm_lower_left(blk.as_slice(), ns, w.as_mut_slice(), ns, t, nrhs);
+    for c in 0..nrhs {
+        for k in 0..t {
+            let xv = w[(k, c)];
+            if xv == 0.0 {
+                continue;
+            }
+            for i in t..ns {
+                let upd = blk[(i, k)] * xv;
+                w[(i, c)] -= upd;
+            }
+        }
+    }
+    for (k, &gi) in rows[..t].iter().enumerate() {
+        let mut v = Vec::with_capacity(nrhs);
+        for c in 0..nrhs {
+            v.push(w[(k, c)]);
+        }
+        out.push((gi, v));
+    }
+    let mut vals = DenseMatrix::zeros(ns - t, nrhs);
+    for c in 0..nrhs {
+        vals.col_mut(c).copy_from_slice(&w.col(c)[t..ns]);
+    }
+    Update { snode: s, vals }
+}
+
+/// Solve `Lᵀ·X = Y` with recursive fork-join parallelism (seed algorithm).
+pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
+    let part = f.partition();
+    let n = part.n();
+    let nrhs = y.ncols();
+    assert_eq!(y.nrows(), n);
+    let children = part.children();
+    let mut x = DenseMatrix::zeros(n, nrhs);
+    let roots = part.roots();
+    let pieces = fork(0, &roots, &|r| {
+        let mut out = Vec::new();
+        let below = DenseMatrix::zeros(part.below_rows(r).len(), nrhs);
+        backward_rec(f, &children, r, 1, y, &below, &mut out);
+        out
+    });
+    for piece in pieces {
+        for (gi, vals) in piece {
+            for (c, v) in vals.into_iter().enumerate() {
+                x[(gi, c)] = v;
+            }
+        }
+    }
+    x
+}
+
+fn backward_rec(
+    f: &SupernodalFactor,
+    children: &[Vec<usize>],
+    s: usize,
+    depth: usize,
+    y: &DenseMatrix,
+    below: &DenseMatrix,
+    out: &mut SolvedRows,
+) {
+    let part = f.partition();
+    let nrhs = y.ncols();
+    let rows = part.rows(s);
+    let t = part.width(s);
+    let ns = rows.len();
+    let blk = f.block(s);
+    let mut top = DenseMatrix::zeros(t, nrhs);
+    for c in 0..nrhs {
+        for (k, &gi) in rows[..t].iter().enumerate() {
+            top[(k, c)] = y[(gi, c)];
+        }
+        for k in 0..t {
+            let mut sum = 0.0;
+            for i in t..ns {
+                sum += blk[(i, k)] * below[(i - t, c)];
+            }
+            top[(k, c)] -= sum;
+        }
+    }
+    blas::trsm_lower_trans_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
+    for (k, &gi) in rows[..t].iter().enumerate() {
+        let mut v = Vec::with_capacity(nrhs);
+        for c in 0..nrhs {
+            v.push(top[(k, c)]);
+        }
+        out.push((gi, v));
+    }
+    let mut xfull = DenseMatrix::zeros(ns, nrhs);
+    for c in 0..nrhs {
+        xfull.col_mut(c)[..t].copy_from_slice(top.col(c));
+        xfull.col_mut(c)[t..].copy_from_slice(below.col(c));
+    }
+    let child_outs = fork(depth, &children[s], &|c| {
+        let crows = part.below_rows(c);
+        let mut cbelow = DenseMatrix::zeros(crows.len(), nrhs);
+        let mut pos = 0usize;
+        for (ci, &gi) in crows.iter().enumerate() {
+            while rows[pos] != gi {
+                pos += 1;
+            }
+            for cc in 0..nrhs {
+                cbelow[(ci, cc)] = xfull[(pos, cc)];
+            }
+        }
+        let mut sub_out = Vec::new();
+        backward_rec(f, children, c, depth + 1, y, &cbelow, &mut sub_out);
+        sub_out
+    });
+    for sub in child_outs {
+        out.extend(sub);
+    }
+}
+
+/// Forward + backward with the fork-join baseline.
+pub fn forward_backward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
+    let y = forward(f, b);
+    backward(f, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_factor::seqchol::{analyze_with_perm, factor_supernodal};
+    use trisolv_graph::{nd, Graph};
+    use trisolv_matrix::gen;
+
+    #[test]
+    fn baseline_matches_sequential() {
+        let a = gen::grid2d_laplacian(11, 13);
+        let g = Graph::from_sym_lower(&a);
+        let p = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = analyze_with_perm(&a, &p);
+        let f = factor_supernodal(&an.pa, &an.part).unwrap();
+        let b = gen::random_rhs(f.n(), 3, 5);
+        let expect = trisolv_core::seq::forward_backward(&f, &b);
+        let got = forward_backward(&f, &b);
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+}

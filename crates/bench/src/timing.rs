@@ -1,0 +1,177 @@
+//! Minimal wall-clock measurement and JSON emission for the benchmark
+//! harnesses (stands in for an external benchmarking crate; the build
+//! must work offline).
+
+use std::time::Instant;
+
+/// Wall-clock statistics for one benchmark case, in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Minimum over the measured iterations (the usual headline number:
+    /// least noise from scheduling).
+    pub min: f64,
+    /// Median over the measured iterations.
+    pub median: f64,
+    /// Arithmetic mean over the measured iterations.
+    pub mean: f64,
+    /// Number of measured iterations.
+    pub iters: usize,
+}
+
+/// Run `f` repeatedly and report wall-clock statistics: a few warm-up
+/// calls, then either `min_iters` iterations or as many as fit in
+/// `budget_secs`, whichever is larger.
+pub fn measure<T>(min_iters: usize, budget_secs: f64, mut f: impl FnMut() -> T) -> Stats {
+    for _ in 0..2 {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.len() < min_iters
+        || (start.elapsed().as_secs_f64() < budget_secs && samples.len() < 10 * min_iters)
+    {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("time is finite"));
+    let n = samples.len();
+    Stats {
+        min: samples[0],
+        median: samples[n / 2],
+        mean: samples.iter().sum::<f64>() / n as f64,
+        iters: n,
+    }
+}
+
+/// A hand-rolled JSON value tree, sufficient for the benchmark artifacts.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (emitted with full round-trip precision).
+    Num(f64),
+    /// An integer.
+    Int(i64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An ordered list.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Stats as a JSON object.
+pub fn stats_json(s: Stats) -> Json {
+    Json::obj(vec![
+        ("min_s", Json::Num(s.min)),
+        ("median_s", Json::Num(s.median)),
+        ("mean_s", Json::Num(s.mean)),
+        ("iters", Json::Int(s.iters as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_stats() {
+        let mut x = 0u64;
+        let s = measure(5, 0.01, || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(s.iters >= 5);
+        assert!(s.min <= s.median && s.median <= s.mean * 10.0);
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("a\"b\\c\nd".into())),
+            ("vals", Json::Arr(vec![Json::Int(1), Json::Num(0.5)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\\\"b\\\\c\\n"));
+        assert!(s.contains("\"vals\": ["));
+        assert!(s.contains("\"empty\": []"));
+    }
+}

@@ -143,17 +143,14 @@ pub fn forward_2d(
                 // not my grid row: still participate in column broadcasts
                 // of x blocks my column owns
                 if grid.cols.owner(r0) == my_c {
-                    let col_group = Group::from_ranks(
-                        (0..pr).map(|r| r * pc + my_c).collect(),
-                    );
+                    let col_group = Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
                     let root = col_group
                         .group_rank(grid.rows.owner(r0) * pc + my_c)
                         .expect("diag owner in its column");
                     let xi = coll::bcast(proc, &col_group, (2 * i + 1) as u64, root, Vec::new());
                     let mut xm = DenseMatrix::zeros(rows, nrhs);
                     for c in 0..nrhs {
-                        xm.col_mut(c)
-                            .copy_from_slice(&xi[c * rows..(c + 1) * rows]);
+                        xm.col_mut(c).copy_from_slice(&xi[c * rows..(c + 1) * rows]);
                     }
                     xs[i] = Some(xm);
                 }
@@ -208,8 +205,7 @@ pub fn forward_2d(
                 blas::trsm_lower_left(tri.as_slice(), rows, xi.as_mut_slice(), rows, rows, nrhs);
                 proc.compute_flops_at((rows * rows * nrhs) as f64, rate);
                 // broadcast down my grid column for future steps
-                let col_group =
-                    Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
+                let col_group = Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
                 let root = col_group.group_rank(me).expect("self in column");
                 let payload = xi.as_slice().to_vec();
                 let _ = coll::bcast(proc, &col_group, (2 * i + 1) as u64, root, payload);
@@ -295,8 +291,7 @@ pub fn backward_2d(
                     }
                     proc.compute_flops_at((2 * rows * (k1 - k0) * nrhs) as f64, rate);
                 }
-                let col_group =
-                    Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
+                let col_group = Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
                 let root = col_group
                     .group_rank(diag_r * pc + diag_c)
                     .expect("diag owner in column");
@@ -333,8 +328,7 @@ pub fn backward_2d(
                     proc.compute_flops_at((rows * rows * nrhs) as f64, rate);
                     // broadcast x_i along the diag owner's grid row (all
                     // columns of grid row diag_r hold row block i)
-                    let row_group =
-                        Group::from_ranks((0..pc).map(|c| diag_r * pc + c).collect());
+                    let row_group = Group::from_ranks((0..pc).map(|c| diag_r * pc + c).collect());
                     let root = row_group.group_rank(me).expect("self in row");
                     let _ = coll::bcast(
                         proc,
@@ -348,15 +342,15 @@ pub fn backward_2d(
                 }
             } else if my_r == diag_r {
                 // receive x_i along the grid row
-                let row_group =
-                    Group::from_ranks((0..pc).map(|c| diag_r * pc + c).collect());
+                let row_group = Group::from_ranks((0..pc).map(|c| diag_r * pc + c).collect());
                 let root = row_group
                     .group_rank(diag_r * pc + diag_c)
                     .expect("diag owner in row");
                 let data = coll::bcast(proc, &row_group, (2 * i + 1) as u64, root, Vec::new());
                 let mut xi = DenseMatrix::zeros(rows, nrhs);
                 for c in 0..nrhs {
-                    xi.col_mut(c).copy_from_slice(&data[c * rows..(c + 1) * rows]);
+                    xi.col_mut(c)
+                        .copy_from_slice(&data[c * rows..(c + 1) * rows]);
                 }
                 xs[i] = Some(xi);
             }

@@ -91,7 +91,8 @@ impl ParallelSolver {
         };
         let an = seqchol::analyze_with_perm(a, &fill_perm);
         let part = if options.amalgamation.0 > 0 || options.amalgamation.1 > 0.0 {
-            an.part.amalgamate(options.amalgamation.0, options.amalgamation.1)
+            an.part
+                .amalgamate(options.amalgamation.0, options.amalgamation.1)
         } else {
             an.part.clone()
         };

@@ -46,10 +46,7 @@ pub fn inertia(d: &[f64]) -> (usize, usize, usize) {
 ///
 /// Runs at most `max_iters` power-like iterations (2 is usually exact on
 /// the matrices here; LAPACK uses 5).
-pub fn inverse_norm1_estimate(
-    f: &SupernodalFactor,
-    max_iters: usize,
-) -> f64 {
+pub fn inverse_norm1_estimate(f: &SupernodalFactor, max_iters: usize) -> f64 {
     let n = f.n();
     // x = e / n
     let mut x = DenseMatrix::zeros(n, 1);
@@ -134,10 +131,9 @@ mod tests {
         let an = analyze_with_perm(&a, &Permutation::identity(25));
         let f = factor_supernodal(&an.pa, &an.part).unwrap();
         // det via dense Cholesky diagonal
-        let dense = trisolv_factor::dense::DenseCholesky::factor(
-            &a.sym_expand().unwrap().to_dense(),
-        )
-        .unwrap();
+        let dense =
+            trisolv_factor::dense::DenseCholesky::factor(&a.sym_expand().unwrap().to_dense())
+                .unwrap();
         let expect: f64 = (0..25).map(|i| dense.l()[(i, i)].ln()).sum::<f64>() * 2.0;
         assert!((logdet(&f) - expect).abs() < 1e-9);
     }

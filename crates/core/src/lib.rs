@@ -22,7 +22,13 @@
 //! * [`dense`] — Heath–Romine style parallel *dense* triangular solvers
 //!   (1-D pipelined, and the unscalable 2-D variant) used as the
 //!   scalability yardstick in the paper's Figure 5 table;
-//! * [`threaded`] — a modern shared-memory level-scheduled solver
+//! * [`plan`] — precomputed solve schedules ([`plan::SolvePlan`]): the
+//!   topological level ordering of the supernodal tree, static dependency
+//!   counts, and child→parent scatter index maps shared by the
+//!   shared-memory executor;
+//! * [`threaded`] — a modern shared-memory **level-scheduled task-pool**
+//!   solver built on [`plan::SolvePlan`], with reusable
+//!   [`threaded::SolveWorkspace`] buffers and blocked multi-RHS kernels
 //!   (extension; not part of the paper reproduction path).
 
 pub mod dense;
@@ -34,6 +40,7 @@ pub mod mapping {
     pub use trisolv_factor::mapping::*;
 }
 pub mod pipeline;
+pub mod plan;
 pub mod redistribute;
 pub mod seq;
 pub mod threaded;
@@ -41,4 +48,6 @@ pub mod tree;
 
 pub use driver::{ParallelSolver, ParallelSolverOptions};
 pub use mapping::SubcubeMapping;
+pub use plan::{PlanError, SolvePlan};
 pub use seq::SparseCholeskySolver;
+pub use threaded::{SolveWorkspace, ThreadedSolver};

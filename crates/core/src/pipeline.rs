@@ -258,7 +258,16 @@ pub fn forward_row_priority(
         let kmax = blk.min(nb_tri);
         for k in 0..kmax {
             obtain(
-                proc, group, tag, layout, t, nrhs, me, &mut xs, &mut next_rx, k,
+                proc,
+                group,
+                tag,
+                layout,
+                t,
+                nrhs,
+                me,
+                &mut xs,
+                &mut next_rx,
+                k,
             );
             let xk = xs[k].as_ref().expect("x_k available");
             let c0 = k * b;
@@ -519,12 +528,7 @@ impl Schedule {
     /// and cyclic row mapping (row block `i` on processor `i mod q`),
     /// ignoring communication delays — the model behind Figures 3(b), 3(c)
     /// and 4.
-    pub fn pipelined_forward(
-        nb_rows: usize,
-        nb_cols: usize,
-        q: usize,
-        prio: Priority,
-    ) -> Schedule {
+    pub fn pipelined_forward(nb_rows: usize, nb_cols: usize, q: usize, prio: Priority) -> Schedule {
         let mut steps = vec![vec![usize::MAX; nb_cols]; nb_rows];
         let mut solved = vec![usize::MAX; nb_cols]; // step at which x_k exists
         let mut makespan = 0;
@@ -976,7 +980,7 @@ mod tests {
         assert_eq!(s.steps[3][2], 6);
         assert_eq!(s.steps[1][3], usize::MAX);
         assert_eq!(s.makespan, 8 + 4 - 1);
-        assert!(s.max_concurrency() <= 4.max(8 / 2));
+        assert!(s.max_concurrency() <= 8 / 2);
     }
 
     #[test]
@@ -1021,15 +1025,15 @@ mod tests {
         for k in 0..nbc {
             // solve (k,k) after every below cell in column k
             for i in k + 1..nbr {
-                assert!(s.steps[k][k] > s.steps[i][k], "solve ({k}) before ({i},{k})");
+                assert!(
+                    s.steps[k][k] > s.steps[i][k],
+                    "solve ({k}) before ({i},{k})"
+                );
             }
             // triangle contributions need x_i first
             for i in k + 1..nbc {
                 if i != k {
-                    assert!(
-                        s.steps[i][k] > s.steps[i][i],
-                        "cell ({i},{k}) before x_{i}"
-                    );
+                    assert!(s.steps[i][k] > s.steps[i][i], "cell ({i},{k}) before x_{i}");
                 }
             }
         }

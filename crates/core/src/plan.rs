@@ -1,0 +1,424 @@
+//! Precomputed execution plan for the shared-memory triangular solver.
+//!
+//! Triangular solves are latency- and overhead-bound (the paper's central
+//! observation), so everything that can be decided before numerical work
+//! starts is decided here, once per factor:
+//!
+//! * a **topological level schedule** of the supernodal elimination tree
+//!   (leaves at level 0), giving the executor its initial ready set and a
+//!   critical-path bound on achievable parallelism;
+//! * **static dependency counts** (children per supernode), copied into
+//!   atomic counters at solve time and decremented as tasks finish — no
+//!   recursion, no fork-join bookkeeping;
+//! * **scatter index maps** from every child's below-diagonal rows to
+//!   positions in its parent's row pattern, replacing the per-solve linear
+//!   `while rows[pos] != gi` searches of the old fork-join implementation.
+//!
+//! Plan construction validates the structural invariant the maps rely on —
+//! every child below-row must appear in the parent's pattern — and returns
+//! a structured [`PlanError`] instead of walking off the end of an array
+//! when a malformed partition is supplied.
+
+use trisolv_symbolic::supernode::SupernodePartition;
+
+/// Sentinel for "no parent" inside [`SolvePlan`].
+const NONE: usize = usize::MAX;
+
+/// A structural defect found while planning a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A child supernode has a below-diagonal row that does not appear in
+    /// its parent's row pattern, so its update has nowhere to land.
+    NonNestedChild {
+        /// The offending child supernode.
+        child: usize,
+        /// Its parent in the supernodal tree.
+        parent: usize,
+        /// The global row index missing from the parent's pattern.
+        row: usize,
+    },
+    /// A root supernode has rows below its triangle but no parent to
+    /// receive them.
+    RootWithBelowRows {
+        /// The offending root supernode.
+        snode: usize,
+        /// Its first orphaned below-diagonal row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PlanError::NonNestedChild { child, parent, row } => write!(
+                f,
+                "supernode {child}: below-row {row} is missing from the row \
+                 pattern of its parent supernode {parent}"
+            ),
+            PlanError::RootWithBelowRows { snode, row } => write!(
+                f,
+                "root supernode {snode} has below-diagonal row {row} but no \
+                 parent to receive its update"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Precomputed schedule and index maps for level-scheduled solves over one
+/// supernodal factor. Built once (O(|L| pattern) time), reused by every
+/// forward/backward solve.
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    n: usize,
+    /// `first_col[s]..first_col[s+1]` are supernode `s`'s columns (also its
+    /// top rows — the partition stores them contiguously).
+    first_col: Vec<usize>,
+    /// Trapezoid height of each supernode.
+    height: Vec<usize>,
+    /// Parent supernode (`NONE` at roots).
+    parent: Vec<usize>,
+    /// Children lists in CSR form.
+    child_ptr: Vec<usize>,
+    child_idx: Vec<usize>,
+    /// `scatter_idx[scatter_ptr[s] + i]` is the position inside the
+    /// parent's row pattern of `below_rows(s)[i]`.
+    scatter_ptr: Vec<usize>,
+    scatter_idx: Vec<usize>,
+    /// Supernodes grouped by tree level, leaves (level 0) first.
+    level_ptr: Vec<usize>,
+    level_order: Vec<usize>,
+    /// Root supernodes (the backward pass's initial ready set).
+    roots: Vec<usize>,
+}
+
+impl SolvePlan {
+    /// Build a plan from a supernode partition, validating that every
+    /// child's below-rows nest inside its parent's pattern.
+    pub fn new(part: &SupernodePartition) -> Result<SolvePlan, PlanError> {
+        let nsup = part.nsup();
+        let mut first_col = Vec::with_capacity(nsup + 1);
+        for s in 0..nsup {
+            first_col.push(part.cols(s).start);
+        }
+        first_col.push(part.n());
+        let height: Vec<usize> = (0..nsup).map(|s| part.height(s)).collect();
+        let parent: Vec<usize> = (0..nsup).map(|s| part.parent(s).unwrap_or(NONE)).collect();
+
+        // children in CSR form (counting sort over parents)
+        let mut child_ptr = vec![0usize; nsup + 1];
+        for s in 0..nsup {
+            if parent[s] != NONE {
+                child_ptr[parent[s] + 1] += 1;
+            }
+        }
+        for s in 0..nsup {
+            child_ptr[s + 1] += child_ptr[s];
+        }
+        let mut next = child_ptr.clone();
+        let mut child_idx = vec![0usize; child_ptr[nsup]];
+        for s in 0..nsup {
+            if parent[s] != NONE {
+                child_idx[next[parent[s]]] = s;
+                next[parent[s]] += 1;
+            }
+        }
+
+        // scatter maps: merge-walk each child's below rows against the
+        // parent's (strictly increasing) row pattern
+        let mut scatter_ptr = Vec::with_capacity(nsup + 1);
+        scatter_ptr.push(0usize);
+        let mut scatter_idx = Vec::new();
+        for s in 0..nsup {
+            let below = part.below_rows(s);
+            if parent[s] == NONE {
+                if let Some(&row) = below.first() {
+                    return Err(PlanError::RootWithBelowRows { snode: s, row });
+                }
+                scatter_ptr.push(scatter_idx.len());
+                continue;
+            }
+            let prows = part.rows(parent[s]);
+            let mut pos = 0usize;
+            for &gi in below {
+                while pos < prows.len() && prows[pos] < gi {
+                    pos += 1;
+                }
+                if pos >= prows.len() || prows[pos] != gi {
+                    return Err(PlanError::NonNestedChild {
+                        child: s,
+                        parent: parent[s],
+                        row: gi,
+                    });
+                }
+                scatter_idx.push(pos);
+                pos += 1;
+            }
+            scatter_ptr.push(scatter_idx.len());
+        }
+
+        // level schedule: level(s) = 1 + max level over children, leaves 0.
+        // Children always precede parents in the postordered partition, so
+        // one ascending pass suffices.
+        let mut level = vec![0usize; nsup];
+        let mut nlevels = 0usize;
+        for s in 0..nsup {
+            let l = child_idx[child_ptr[s]..child_ptr[s + 1]]
+                .iter()
+                .map(|&c| level[c] + 1)
+                .max()
+                .unwrap_or(0);
+            level[s] = l;
+            nlevels = nlevels.max(l + 1);
+        }
+        let mut level_ptr = vec![0usize; nlevels + 1];
+        for &l in &level {
+            level_ptr[l + 1] += 1;
+        }
+        for l in 0..nlevels {
+            level_ptr[l + 1] += level_ptr[l];
+        }
+        let mut next = level_ptr.clone();
+        let mut level_order = vec![0usize; nsup];
+        for s in 0..nsup {
+            level_order[next[level[s]]] = s;
+            next[level[s]] += 1;
+        }
+
+        let roots = (0..nsup).filter(|&s| parent[s] == NONE).collect();
+        Ok(SolvePlan {
+            n: part.n(),
+            first_col,
+            height,
+            parent,
+            child_ptr,
+            child_idx,
+            scatter_ptr,
+            scatter_idx,
+            level_ptr,
+            level_order,
+            roots,
+        })
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of supernodes.
+    pub fn nsup(&self) -> usize {
+        self.height.len()
+    }
+
+    /// Column range (= top rows) of supernode `s`.
+    pub fn cols(&self, s: usize) -> std::ops::Range<usize> {
+        self.first_col[s]..self.first_col[s + 1]
+    }
+
+    /// Width of supernode `s`.
+    pub fn width(&self, s: usize) -> usize {
+        self.first_col[s + 1] - self.first_col[s]
+    }
+
+    /// Trapezoid height of supernode `s`.
+    pub fn height(&self, s: usize) -> usize {
+        self.height[s]
+    }
+
+    /// Parent supernode, or `None` at a root.
+    pub fn parent(&self, s: usize) -> Option<usize> {
+        match self.parent[s] {
+            NONE => None,
+            p => Some(p),
+        }
+    }
+
+    /// Children of supernode `s`.
+    pub fn children(&self, s: usize) -> &[usize] {
+        &self.child_idx[self.child_ptr[s]..self.child_ptr[s + 1]]
+    }
+
+    /// Number of children of supernode `s` — the forward-solve dependency
+    /// count.
+    pub fn n_children(&self, s: usize) -> usize {
+        self.child_ptr[s + 1] - self.child_ptr[s]
+    }
+
+    /// Positions of `below_rows(s)` inside the parent's row pattern.
+    pub fn scatter(&self, s: usize) -> &[usize] {
+        &self.scatter_idx[self.scatter_ptr[s]..self.scatter_ptr[s + 1]]
+    }
+
+    /// Number of tree levels (the solve's critical-path length in
+    /// supernode tasks).
+    pub fn nlevels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Supernodes at level `l` (leaves are level 0).
+    pub fn level(&self, l: usize) -> &[usize] {
+        &self.level_order[self.level_ptr[l]..self.level_ptr[l + 1]]
+    }
+
+    /// Widest level — an upper bound on exploitable task parallelism.
+    pub fn max_level_width(&self) -> usize {
+        (0..self.nlevels())
+            .map(|l| self.level(l).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Supernodes with no children (the forward pass's initial ready set).
+    pub fn leaves(&self) -> &[usize] {
+        self.level(0)
+    }
+
+    /// Root supernodes (the backward pass's initial ready set).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_symbolic::SymbolicFactor;
+
+    fn partition(a: &trisolv_matrix::CscMatrix) -> SupernodePartition {
+        let t = trisolv_graph::EliminationTree::from_sym_lower(a);
+        let post = t.postorder();
+        let pa = a.permute_sym_lower(post.as_slice()).unwrap();
+        let t = trisolv_graph::EliminationTree::from_sym_lower(&pa);
+        let sym = SymbolicFactor::analyze(&pa, &t);
+        SupernodePartition::from_symbolic(&sym)
+    }
+
+    #[test]
+    fn plan_matches_partition_structure() {
+        let a = trisolv_matrix::gen::grid2d_laplacian(9, 8);
+        let part = partition(&a);
+        let plan = SolvePlan::new(&part).unwrap();
+        assert_eq!(plan.n(), part.n());
+        assert_eq!(plan.nsup(), part.nsup());
+        for s in 0..part.nsup() {
+            assert_eq!(plan.cols(s), part.cols(s));
+            assert_eq!(plan.width(s), part.width(s));
+            assert_eq!(plan.height(s), part.height(s));
+            assert_eq!(plan.parent(s), part.parent(s));
+            assert_eq!(plan.n_children(s), plan.children(s).len());
+            // scatter positions index the right global rows
+            if let Some(p) = part.parent(s) {
+                let prows = part.rows(p);
+                for (i, &gi) in part.below_rows(s).iter().enumerate() {
+                    assert_eq!(prows[plan.scatter(s)[i]], gi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_topologically_ordered() {
+        let a = trisolv_matrix::gen::grid3d_laplacian(4, 4, 3);
+        let part = partition(&a);
+        let plan = SolvePlan::new(&part).unwrap();
+        let mut level_of = vec![0usize; plan.nsup()];
+        let mut seen = 0;
+        for l in 0..plan.nlevels() {
+            for &s in plan.level(l) {
+                level_of[s] = l;
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, plan.nsup());
+        for s in 0..plan.nsup() {
+            for &c in plan.children(s) {
+                assert!(level_of[c] < level_of[s], "child {c} not below parent {s}");
+            }
+            if plan.n_children(s) == 0 {
+                assert_eq!(level_of[s], 0, "leaf {s} must be level 0");
+            }
+        }
+        assert!(plan.max_level_width() >= plan.leaves().len().min(plan.nsup()));
+    }
+
+    #[test]
+    fn roots_and_leaves_cover_forest() {
+        // block-diagonal → forest with several roots
+        let mut t = trisolv_matrix::TripletMatrix::new(6, 6);
+        for i in 0..6 {
+            t.push(i, i, 4.0).unwrap();
+        }
+        for i in [0, 2, 4] {
+            t.push(i + 1, i, -1.0).unwrap();
+        }
+        let part = partition(&t.to_csc());
+        let plan = SolvePlan::new(&part).unwrap();
+        assert_eq!(plan.roots().len(), 3);
+        for &r in plan.roots() {
+            assert!(plan.parent(r).is_none());
+        }
+    }
+
+    #[test]
+    fn nested_hand_built_partition_accepted() {
+        // supernode 0 = col 0 with below-row 2; supernode 1 = cols 1..5
+        // whose pattern contains row 2 -> the scatter map resolves.
+        let ok = SupernodePartition::from_raw(
+            vec![0, 1, 5],
+            vec![0, 1, 1, 1, 1],
+            vec![vec![0, 2], vec![1, 2, 3, 4]],
+            vec![1, usize::MAX],
+        );
+        let plan = SolvePlan::new(&ok).unwrap();
+        assert_eq!(plan.scatter(0), &[1], "row 2 sits at parent position 1");
+    }
+
+    #[test]
+    fn missing_parent_row_is_structured_error() {
+        // supernode 0 = {col 0, below row 3}; parent supernode holds cols
+        // {1,2} with pattern {1,2} only — row 3 lives in supernode 2.
+        // parent(0) = 1 but row 3 is not in supernode 1's pattern.
+        let bad = SupernodePartition::from_raw(
+            vec![0, 1, 3, 4],
+            vec![0, 1, 1, 2],
+            vec![vec![0, 3], vec![1, 2], vec![3]],
+            vec![1, usize::MAX, usize::MAX],
+        );
+        match SolvePlan::new(&bad) {
+            Err(PlanError::NonNestedChild {
+                child: 0,
+                parent: 1,
+                row: 3,
+            }) => {}
+            other => panic!("expected NonNestedChild, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_with_below_rows_is_structured_error() {
+        let bad = SupernodePartition::from_raw(
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![vec![0, 1], vec![1]],
+            vec![usize::MAX, usize::MAX],
+        );
+        match SolvePlan::new(&bad) {
+            Err(PlanError::RootWithBelowRows { snode: 0, row: 1 }) => {}
+            other => panic!("expected RootWithBelowRows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_error_displays() {
+        let e = PlanError::NonNestedChild {
+            child: 1,
+            parent: 2,
+            row: 7,
+        };
+        assert!(e.to_string().contains("supernode 1"));
+        let e = PlanError::RootWithBelowRows { snode: 3, row: 9 };
+        assert!(e.to_string().contains("root supernode 3"));
+    }
+}

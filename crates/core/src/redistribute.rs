@@ -229,11 +229,8 @@ mod tests {
         let k = 31;
         let a = gen::grid2d_laplacian(k, k);
         let g = Graph::from_sym_lower(&a);
-        let p = nd::nested_dissection_coords(
-            &g,
-            &nd::grid2d_coords(k, k, 1),
-            nd::NdOptions::default(),
-        );
+        let p =
+            nd::nested_dissection_coords(&g, &nd::grid2d_coords(k, k, 1), nd::NdOptions::default());
         let an = analyze_with_perm(&a, &p);
         let f = factor_supernodal(&an.pa, &an.part).unwrap();
         let nprocs = 8;

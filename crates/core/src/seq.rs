@@ -326,11 +326,8 @@ mod tests {
     fn factor_grid(k: usize) -> SupernodalFactor {
         let a = gen::grid2d_laplacian(k, k);
         let g = Graph::from_sym_lower(&a);
-        let p = nd::nested_dissection_coords(
-            &g,
-            &nd::grid2d_coords(k, k, 1),
-            nd::NdOptions::default(),
-        );
+        let p =
+            nd::nested_dissection_coords(&g, &nd::grid2d_coords(k, k, 1), nd::NdOptions::default());
         let an = analyze_with_perm(&a, &p);
         factor_supernodal(&an.pa, &an.part).unwrap()
     }

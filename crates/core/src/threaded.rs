@@ -1,237 +1,413 @@
 //! Shared-memory parallel triangular solves (extension, not part of the
 //! paper reproduction path).
 //!
-//! A modern counterpart to the paper's distributed-memory algorithms:
-//! the supernodal elimination tree is walked with recursive fork-join
-//! parallelism (`rayon::join` at every branching), which is exactly the
-//! multifrontal dataflow — each supernode receives dense update vectors
-//! from its children (forward) or the solved ancestor values (backward),
-//! so siblings never write shared state and the computation is
-//! deterministic.
+//! A modern counterpart to the paper's distributed-memory algorithms.
+//! The paper's core observation — triangular solves perform so few flops
+//! that scheduling and memory overhead dominate — drives the design:
+//!
+//! * all scheduling state is precomputed once per factor in a
+//!   [`SolvePlan`]: a topological level schedule of the supernodal tree,
+//!   static dependency counts, and child→parent scatter index maps
+//!   (no recursion, no searches in the hot path);
+//! * a fixed pool of workers drains a ready queue; finishing a task
+//!   decrements its successor's atomic dependency counter and enqueues it
+//!   when the counter hits zero;
+//! * numerical work per task is blocked over all right-hand sides through
+//!   the dense kernels in [`trisolv_factor::blas`] (`trsm` triangles,
+//!   `gemm`-shaped rectangle applies);
+//! * every intermediate lives in a reusable [`SolveWorkspace`], so
+//!   repeated solves against one factor allocate only their output.
+//!
+//! Siblings touch disjoint data and each supernode's arithmetic is
+//! identical to [`crate::seq`], so results match the sequential solver to
+//! rounding order (≤ 1e-12 on well-scaled problems).
 
-use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
 use trisolv_factor::{blas, SupernodalFactor};
 use trisolv_matrix::DenseMatrix;
 
-/// Per-supernode working vector carried up (forward) the tree: the
-/// contribution of a subtree to its ancestors, indexed like
-/// `partition.below_rows(s)`.
-struct Update {
-    snode: usize,
-    vals: DenseMatrix, // below-rows × nrhs
+pub use crate::plan::{PlanError, SolvePlan};
+
+/// Reusable per-factor solve buffers: one working vector per supernode
+/// (sized for both passes at construction) plus the executor's dependency
+/// counters and ready queue. Repeated solves through one workspace do not
+/// allocate.
+///
+/// Buffers sit behind mutexes so safe Rust can hand each in-flight task
+/// its own working vector; the dependency schedule guarantees every lock
+/// is uncontended except for brief child reads at gather time.
+pub struct SolveWorkspace {
+    nrhs: usize,
+    bufs: Vec<Mutex<Vec<f64>>>,
+    deps: Vec<AtomicUsize>,
+    queue: Mutex<VecDeque<usize>>,
+    cond: Condvar,
 }
 
-/// Solved `(global row, values)` pairs produced by one subtree.
-type SolvedRows = Vec<(usize, Vec<f64>)>;
+impl SolveWorkspace {
+    /// Build a workspace for solves with up to `nrhs` right-hand sides.
+    pub fn new(plan: &SolvePlan, nrhs: usize) -> SolveWorkspace {
+        let bufs = (0..plan.nsup())
+            // 2·h·nrhs covers the working vector plus the widest scratch
+            // block either pass needs (top copy ≤ t, below copy ≤ h − t)
+            .map(|s| Mutex::new(Vec::with_capacity(2 * plan.height(s) * nrhs)))
+            .collect();
+        let deps = (0..plan.nsup()).map(|_| AtomicUsize::new(0)).collect();
+        SolveWorkspace {
+            nrhs,
+            bufs,
+            deps,
+            queue: Mutex::new(VecDeque::with_capacity(plan.nsup())),
+            cond: Condvar::new(),
+        }
+    }
 
-/// Solve `L·Y = B` with fork-join parallelism over the supernodal tree.
-/// Produces bitwise the same result as [`crate::seq::forward`] on trees
-/// where each root subtree is independent (the arithmetic per supernode is
-/// identical; only sibling execution order differs, and siblings touch
-/// disjoint data).
+    /// Grow the workspace if `nrhs` exceeds the constructed width (the
+    /// only case where a solve through this workspace allocates).
+    fn ensure(&mut self, plan: &SolvePlan, nrhs: usize) {
+        assert_eq!(self.bufs.len(), plan.nsup(), "workspace/plan mismatch");
+        if nrhs <= self.nrhs {
+            return;
+        }
+        for (s, buf) in self.bufs.iter_mut().enumerate() {
+            let buf = buf.get_mut().expect("workspace lock poisoned");
+            let want = 2 * plan.height(s) * nrhs;
+            if buf.capacity() < want {
+                buf.reserve(want - buf.len());
+            }
+        }
+        self.nrhs = nrhs;
+    }
+}
+
+/// Level-scheduled shared-memory solver over one supernodal factor.
+///
+/// Construction validates the factor's structure and precomputes the
+/// schedule; [`forward`](ThreadedSolver::forward) /
+/// [`backward`](ThreadedSolver::backward) then run allocation-free
+/// (modulo their output) through a caller-held [`SolveWorkspace`].
+pub struct ThreadedSolver<'f> {
+    factor: &'f SupernodalFactor,
+    plan: SolvePlan,
+    nthreads: usize,
+}
+
+impl<'f> ThreadedSolver<'f> {
+    /// Plan solves over `factor`. Fails with a structured error if a
+    /// child supernode's below-rows do not nest in its parent's pattern
+    /// (the old fork-join solver walked off the end of an array instead).
+    pub fn new(factor: &'f SupernodalFactor) -> Result<ThreadedSolver<'f>, PlanError> {
+        let plan = SolvePlan::new(factor.partition())?;
+        let nthreads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Ok(ThreadedSolver {
+            factor,
+            plan,
+            nthreads,
+        })
+    }
+
+    /// Override the worker-pool width (default: available parallelism).
+    /// `1` forces the sequential in-place schedule.
+    pub fn with_threads(mut self, nthreads: usize) -> ThreadedSolver<'f> {
+        self.nthreads = nthreads.max(1);
+        self
+    }
+
+    /// The precomputed schedule.
+    pub fn plan(&self) -> &SolvePlan {
+        &self.plan
+    }
+
+    /// A workspace sized for `nrhs` right-hand sides.
+    pub fn workspace(&self, nrhs: usize) -> SolveWorkspace {
+        SolveWorkspace::new(&self.plan, nrhs)
+    }
+
+    /// Solve `L·Y = B` into `y` through `ws`, allocation-free.
+    pub fn forward_into(&self, b: &DenseMatrix, ws: &mut SolveWorkspace, y: &mut DenseMatrix) {
+        let n = self.plan.n();
+        let nrhs = b.ncols();
+        assert_eq!(b.nrows(), n, "rhs must have n rows");
+        assert_eq!(y.shape(), (n, nrhs), "output shape mismatch");
+        ws.ensure(&self.plan, nrhs);
+        if nrhs == 0 || n == 0 {
+            return;
+        }
+        self.run(ws, true, &|s, ws| self.forward_task(s, b, ws, nrhs));
+        // solved top blocks → output rows (each supernode owns its columns)
+        for s in 0..self.plan.nsup() {
+            let buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+            let ns = self.plan.height(s);
+            let cols = self.plan.cols(s);
+            let t = cols.len();
+            for r in 0..nrhs {
+                y.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+            }
+        }
+    }
+
+    /// Solve `Lᵀ·X = Y` into `x` through `ws`, allocation-free.
+    pub fn backward_into(&self, y: &DenseMatrix, ws: &mut SolveWorkspace, x: &mut DenseMatrix) {
+        let n = self.plan.n();
+        let nrhs = y.ncols();
+        assert_eq!(y.nrows(), n, "rhs must have n rows");
+        assert_eq!(x.shape(), (n, nrhs), "output shape mismatch");
+        ws.ensure(&self.plan, nrhs);
+        if nrhs == 0 || n == 0 {
+            return;
+        }
+        self.run(ws, false, &|s, ws| self.backward_task(s, y, ws, nrhs));
+        for s in 0..self.plan.nsup() {
+            let buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+            let ns = self.plan.height(s);
+            let cols = self.plan.cols(s);
+            let t = cols.len();
+            for r in 0..nrhs {
+                x.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+            }
+        }
+    }
+
+    /// Solve `L·Y = B` through `ws`, allocating only the output.
+    pub fn forward_with(&self, b: &DenseMatrix, ws: &mut SolveWorkspace) -> DenseMatrix {
+        let mut y = DenseMatrix::zeros(self.plan.n(), b.ncols());
+        self.forward_into(b, ws, &mut y);
+        y
+    }
+
+    /// Solve `Lᵀ·X = Y` through `ws`, allocating only the output.
+    pub fn backward_with(&self, y: &DenseMatrix, ws: &mut SolveWorkspace) -> DenseMatrix {
+        let mut x = DenseMatrix::zeros(self.plan.n(), y.ncols());
+        self.backward_into(y, ws, &mut x);
+        x
+    }
+
+    /// Solve `L·Y = B` with a one-shot workspace.
+    pub fn forward(&self, b: &DenseMatrix) -> DenseMatrix {
+        let mut ws = self.workspace(b.ncols());
+        self.forward_with(b, &mut ws)
+    }
+
+    /// Solve `Lᵀ·X = Y` with a one-shot workspace.
+    pub fn backward(&self, y: &DenseMatrix) -> DenseMatrix {
+        let mut ws = self.workspace(y.ncols());
+        self.backward_with(y, &mut ws)
+    }
+
+    /// Forward + backward through one workspace.
+    pub fn forward_backward_with(&self, b: &DenseMatrix, ws: &mut SolveWorkspace) -> DenseMatrix {
+        let y = self.forward_with(b, ws);
+        self.backward_with(&y, ws)
+    }
+
+    /// One forward task: gather `b` and child updates, solve the dense
+    /// triangle over all right-hand sides, push the rectangle update.
+    fn forward_task(&self, s: usize, b: &DenseMatrix, ws: &SolveWorkspace, nrhs: usize) {
+        let plan = &self.plan;
+        let ns = plan.height(s);
+        let cols = plan.cols(s);
+        let t = cols.len();
+        let blk = self.factor.block(s);
+        let mut buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+        buf.clear();
+        buf.resize(ns * nrhs + t * nrhs, 0.0);
+        let (w, top_copy) = buf.split_at_mut(ns * nrhs);
+        // gather: the supernode's own rows of B (its columns, contiguous)
+        for r in 0..nrhs {
+            w[r * ns..r * ns + t].copy_from_slice(&b.col(r)[cols.clone()]);
+        }
+        // extend-add child updates through the precomputed scatter maps
+        for &c in plan.children(s) {
+            let cbuf = ws.bufs[c].lock().expect("workspace lock poisoned");
+            let nsc = plan.height(c);
+            let tc = plan.width(c);
+            let scat = plan.scatter(c);
+            for r in 0..nrhs {
+                let src = &cbuf[r * nsc + tc..r * nsc + nsc];
+                let dst = &mut w[r * ns..(r + 1) * ns];
+                for (i, &pos) in scat.iter().enumerate() {
+                    dst[pos] += src[i];
+                }
+            }
+        }
+        // dense triangle over the whole RHS block
+        blas::trsm_lower_left(blk.as_slice(), ns, w, ns, t, nrhs);
+        // rectangle: w_below −= L21 · x_top (top copied out so the GEMM
+        // sees disjoint operand slices)
+        if ns > t {
+            for r in 0..nrhs {
+                top_copy[r * t..(r + 1) * t].copy_from_slice(&w[r * ns..r * ns + t]);
+            }
+            blas::gemm_update(
+                &mut w[t..],
+                ns,
+                &blk.as_slice()[t..],
+                ns,
+                top_copy,
+                t,
+                ns - t,
+                nrhs,
+                t,
+            );
+        }
+    }
+
+    /// One backward task: gather solved ancestor values from the parent's
+    /// buffer, apply the transposed rectangle, solve the transposed
+    /// triangle, and republish the full-height solution for the children.
+    fn backward_task(&self, s: usize, y: &DenseMatrix, ws: &SolveWorkspace, nrhs: usize) {
+        let plan = &self.plan;
+        let ns = plan.height(s);
+        let cols = plan.cols(s);
+        let t = cols.len();
+        let nb = ns - t;
+        let blk = self.factor.block(s);
+        let mut buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+        buf.clear();
+        buf.resize(ns * nrhs + nb * nrhs, 0.0);
+        let (w, below) = buf.split_at_mut(ns * nrhs);
+        for r in 0..nrhs {
+            w[r * ns..r * ns + t].copy_from_slice(&y.col(r)[cols.clone()]);
+        }
+        if nb > 0 {
+            // already-solved x values for our below rows, read from the
+            // parent's full-height buffer through the scatter map
+            let p = plan.parent(s).expect("validated: non-roots only");
+            {
+                let pbuf = ws.bufs[p].lock().expect("workspace lock poisoned");
+                let nsp = plan.height(p);
+                let scat = plan.scatter(s);
+                for r in 0..nrhs {
+                    let src = &pbuf[r * nsp..(r + 1) * nsp];
+                    let dst = &mut below[r * nb..(r + 1) * nb];
+                    for (i, &pos) in scat.iter().enumerate() {
+                        dst[i] = src[pos];
+                    }
+                }
+            }
+            // w_top −= L21ᵀ · x_below
+            blas::gemm_tn_update(w, ns, &blk.as_slice()[t..], ns, below, nb, t, nrhs, nb);
+        }
+        blas::trsm_lower_trans_left(blk.as_slice(), ns, w, ns, t, nrhs);
+        // republish full-height x so our children can gather from it
+        for r in 0..nrhs {
+            w[r * ns + t..(r + 1) * ns].copy_from_slice(&below[r * nb..(r + 1) * nb]);
+        }
+    }
+
+    /// Drain the task graph with a worker pool. `forward` selects the
+    /// dependency direction: children-before-parents or the reverse.
+    fn run(
+        &self,
+        ws: &SolveWorkspace,
+        forward: bool,
+        process: &(dyn Fn(usize, &SolveWorkspace) + Sync),
+    ) {
+        let plan = &self.plan;
+        let nsup = plan.nsup();
+        // cap the pool at the widest level: extra workers could never run
+        let nthreads = self.nthreads.min(plan.max_level_width()).max(1);
+        if nthreads == 1 || nsup <= 1 {
+            // ascending supernode order is topological (the partition is
+            // postordered); descending is the reverse
+            if forward {
+                (0..nsup).for_each(|s| process(s, ws));
+            } else {
+                (0..nsup).rev().for_each(|s| process(s, ws));
+            }
+            return;
+        }
+        for s in 0..nsup {
+            let d = if forward {
+                plan.n_children(s)
+            } else {
+                usize::from(plan.parent(s).is_some())
+            };
+            ws.deps[s].store(d, Ordering::Relaxed);
+        }
+        {
+            let mut q = ws.queue.lock().expect("queue lock poisoned");
+            q.clear();
+            if forward {
+                q.extend(plan.leaves().iter().copied());
+            } else {
+                q.extend(plan.roots().iter().copied());
+            }
+        }
+        let remaining = AtomicUsize::new(nsup);
+        let remaining = &remaining;
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                scope.spawn(move || loop {
+                    let s = {
+                        let mut q = ws.queue.lock().expect("queue lock poisoned");
+                        loop {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                return;
+                            }
+                            if let Some(s) = q.pop_front() {
+                                break s;
+                            }
+                            q = ws.cond.wait(q).expect("queue lock poisoned");
+                        }
+                    };
+                    process(s, ws);
+                    let push_ready = |t: usize| {
+                        if ws.deps[t].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let mut q = ws.queue.lock().expect("queue lock poisoned");
+                            q.push_back(t);
+                            ws.cond.notify_one();
+                        }
+                    };
+                    if forward {
+                        if let Some(p) = plan.parent(s) {
+                            push_ready(p);
+                        }
+                    } else {
+                        for &c in plan.children(s) {
+                            push_ready(c);
+                        }
+                    }
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // take the lock so no worker can slip between its
+                        // empty-queue check and its wait, then wake all
+                        let _q = ws.queue.lock().expect("queue lock poisoned");
+                        ws.cond.notify_all();
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Solve `L·Y = B` over the supernodal tree with the level-scheduled
+/// worker pool. Produces the same arithmetic per supernode as
+/// [`crate::seq::forward`]; only sibling execution order differs, and
+/// siblings touch disjoint data.
+///
+/// Convenience wrapper that plans on every call; batch workloads should
+/// hold a [`ThreadedSolver`] and a [`SolveWorkspace`] instead.
 pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
-    let part = f.partition();
-    let n = part.n();
-    let nrhs = b.ncols();
-    assert_eq!(b.nrows(), n);
-    let children = part.children();
-    let mut y = DenseMatrix::zeros(n, nrhs);
-    // Solve each root subtree independently; collect per-column solutions.
-    let roots = part.roots();
-    let pieces: Vec<SolvedRows> = roots
-        .par_iter()
-        .map(|&r| {
-            let mut out = Vec::new();
-            let upd = forward_rec(f, &children, r, b, &mut out);
-            debug_assert!(upd.vals.nrows() == part.below_rows(r).len());
-            out
-        })
-        .collect();
-    for piece in pieces {
-        for (gi, vals) in piece {
-            for (c, v) in vals.into_iter().enumerate() {
-                y[(gi, c)] = v;
-            }
-        }
-    }
-    y
+    ThreadedSolver::new(f)
+        .expect("factor partition is structurally valid")
+        .forward(b)
 }
 
-/// Recursive forward worker: returns this subtree's update contribution to
-/// its ancestors and appends solved `(row, values)` pairs to `out`.
-fn forward_rec(
-    f: &SupernodalFactor,
-    children: &[Vec<usize>],
-    s: usize,
-    b: &DenseMatrix,
-    out: &mut SolvedRows,
-) -> Update {
-    let part = f.partition();
-    let nrhs = b.ncols();
-    // recurse into children in parallel
-    let child_updates: Vec<(Update, SolvedRows)> = children[s]
-        .par_iter()
-        .map(|&c| {
-            let mut sub_out = Vec::new();
-            let u = forward_rec(f, children, c, b, &mut sub_out);
-            (u, sub_out)
-        })
-        .collect();
-
-    let rows = part.rows(s);
-    let t = part.width(s);
-    let ns = rows.len();
-    let blk = f.block(s);
-    // assemble: w = b over the supernode's full height, plus child updates
-    let mut w = DenseMatrix::zeros(ns, nrhs);
-    for c in 0..nrhs {
-        for (k, &gi) in rows[..t].iter().enumerate() {
-            w[(k, c)] = b[(gi, c)];
-        }
-    }
-    for (u, sub_out) in child_updates {
-        out.extend(sub_out);
-        let crows = part.below_rows(u.snode);
-        // extend-add: child's below rows land inside this supernode's rows
-        let mut pos = 0usize;
-        for (ci, &gi) in crows.iter().enumerate() {
-            while rows[pos] != gi {
-                pos += 1;
-            }
-            for c in 0..nrhs {
-                w[(pos, c)] += u.vals[(ci, c)];
-            }
-        }
-    }
-    // solve the triangle, apply the rectangle
-    blas::trsm_lower_left(blk.as_slice(), ns, w.as_mut_slice(), ns, t, nrhs);
-    for c in 0..nrhs {
-        for k in 0..t {
-            let xv = w[(k, c)];
-            if xv == 0.0 {
-                continue;
-            }
-            for i in t..ns {
-                let upd = blk[(i, k)] * xv;
-                w[(i, c)] -= upd;
-            }
-        }
-    }
-    for (k, &gi) in rows[..t].iter().enumerate() {
-        let mut v = Vec::with_capacity(nrhs);
-        for c in 0..nrhs {
-            v.push(w[(k, c)]);
-        }
-        out.push((gi, v));
-    }
-    let mut vals = DenseMatrix::zeros(ns - t, nrhs);
-    for c in 0..nrhs {
-        vals.col_mut(c).copy_from_slice(&w.col(c)[t..ns]);
-    }
-    Update { snode: s, vals }
-}
-
-/// Solve `Lᵀ·X = Y` with fork-join parallelism over the supernodal tree.
+/// Solve `Lᵀ·X = Y` with the level-scheduled worker pool (see [`forward`]).
 pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
-    let part = f.partition();
-    let n = part.n();
-    let nrhs = y.ncols();
-    assert_eq!(y.nrows(), n);
-    let children = part.children();
-    let mut x = DenseMatrix::zeros(n, nrhs);
-    let pieces: Vec<SolvedRows> = part
-        .roots()
-        .par_iter()
-        .map(|&r| {
-            let mut out = Vec::new();
-            // roots have no ancestors: empty below-values
-            let below = DenseMatrix::zeros(part.below_rows(r).len(), nrhs);
-            backward_rec(f, &children, r, y, &below, &mut out);
-            out
-        })
-        .collect();
-    for piece in pieces {
-        for (gi, vals) in piece {
-            for (c, v) in vals.into_iter().enumerate() {
-                x[(gi, c)] = v;
-            }
-        }
-    }
-    x
-}
-
-/// Recursive backward worker. `below` holds the already-solved x values
-/// for `partition.below_rows(s)`.
-fn backward_rec(
-    f: &SupernodalFactor,
-    children: &[Vec<usize>],
-    s: usize,
-    y: &DenseMatrix,
-    below: &DenseMatrix,
-    out: &mut SolvedRows,
-) {
-    let part = f.partition();
-    let nrhs = y.ncols();
-    let rows = part.rows(s);
-    let t = part.width(s);
-    let ns = rows.len();
-    let blk = f.block(s);
-    // w_top = y[cols] − L21ᵀ·x_below, then solve L11ᵀ
-    let mut top = DenseMatrix::zeros(t, nrhs);
-    for c in 0..nrhs {
-        for (k, &gi) in rows[..t].iter().enumerate() {
-            top[(k, c)] = y[(gi, c)];
-        }
-        for k in 0..t {
-            let mut sum = 0.0;
-            for i in t..ns {
-                sum += blk[(i, k)] * below[(i - t, c)];
-            }
-            top[(k, c)] -= sum;
-        }
-    }
-    blas::trsm_lower_trans_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
-    for (k, &gi) in rows[..t].iter().enumerate() {
-        let mut v = Vec::with_capacity(nrhs);
-        for c in 0..nrhs {
-            v.push(top[(k, c)]);
-        }
-        out.push((gi, v));
-    }
-    // local x over the full supernode height, for children to slice from
-    let mut xfull = DenseMatrix::zeros(ns, nrhs);
-    for c in 0..nrhs {
-        xfull.col_mut(c)[..t].copy_from_slice(top.col(c));
-        xfull.col_mut(c)[t..].copy_from_slice(below.col(c));
-    }
-    let child_outs: Vec<SolvedRows> = children[s]
-        .par_iter()
-        .map(|&c| {
-            let crows = part.below_rows(c);
-            let mut cbelow = DenseMatrix::zeros(crows.len(), nrhs);
-            let mut pos = 0usize;
-            for (ci, &gi) in crows.iter().enumerate() {
-                while rows[pos] != gi {
-                    pos += 1;
-                }
-                for cc in 0..nrhs {
-                    cbelow[(ci, cc)] = xfull[(pos, cc)];
-                }
-            }
-            let mut sub_out = Vec::new();
-            backward_rec(f, children, c, y, &cbelow, &mut sub_out);
-            sub_out
-        })
-        .collect();
-    for sub in child_outs {
-        out.extend(sub);
-    }
+    ThreadedSolver::new(f)
+        .expect("factor partition is structurally valid")
+        .backward(y)
 }
 
 /// Forward + backward with the threaded solvers.
 pub fn forward_backward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
-    let y = forward(f, b);
-    backward(f, &y)
+    let solver = ThreadedSolver::new(f).expect("factor partition is structurally valid");
+    let mut ws = solver.workspace(b.ncols());
+    solver.forward_backward_with(b, &mut ws)
 }
 
 #[cfg(test)]
@@ -295,5 +471,89 @@ mod tests {
         let seq_y = seq::forward(&f, &b);
         let par_y = forward(&f, &b);
         assert!(par_y.max_abs_diff(&seq_y).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        let a = gen::grid2d_laplacian(10, 9);
+        let f = build(&a);
+        let solver = ThreadedSolver::new(&f).unwrap();
+        let mut ws = solver.workspace(4);
+        for seed in 0..4 {
+            let b = gen::random_rhs(f.n(), 4, seed);
+            let expect = seq::forward_backward(&f, &b);
+            let got = solver.forward_backward_with(&b, &mut ws);
+            assert!(got.max_abs_diff(&expect).unwrap() < 1e-12, "seed {seed}");
+        }
+        // narrower and wider blocks through the same workspace
+        for nrhs in [1usize, 2, 8] {
+            let b = gen::random_rhs(f.n(), nrhs, 17 + nrhs as u64);
+            let expect = seq::forward(&f, &b);
+            let got = solver.forward_with(&b, &mut ws);
+            assert!(got.max_abs_diff(&expect).unwrap() < 1e-12, "nrhs {nrhs}");
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let a = gen::fem2d(6, 5, 2);
+        let f = build(&a);
+        let b = gen::random_rhs(f.n(), 3, 9);
+        let expect = seq::forward_backward(&f, &b);
+        for nthreads in [1usize, 2, 3, 8] {
+            let solver = ThreadedSolver::new(&f).unwrap().with_threads(nthreads);
+            let mut ws = solver.workspace(3);
+            let got = solver.forward_backward_with(&b, &mut ws);
+            assert!(
+                got.max_abs_diff(&expect).unwrap() < 1e-12,
+                "nthreads {nthreads}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rhs_block() {
+        let a = gen::grid2d_laplacian(6, 6);
+        let f = build(&a);
+        let b = DenseMatrix::zeros(f.n(), 0);
+        let y = forward(&f, &b);
+        assert_eq!(y.shape(), (f.n(), 0));
+        let x = backward(&f, &b);
+        assert_eq!(x.shape(), (f.n(), 0));
+    }
+
+    #[test]
+    fn single_supernode_factor() {
+        // a fully dense SPD matrix collapses to one supernode
+        let n = 12;
+        let mut t = trisolv_matrix::TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = if i == j { 2.0 * n as f64 } else { -0.5 };
+                t.push(i, j, v).unwrap();
+            }
+        }
+        let a = t.to_csc();
+        let f = build(&a);
+        let solver = ThreadedSolver::new(&f).unwrap();
+        assert_eq!(solver.plan().nlevels(), 1);
+        let b = gen::random_rhs(n, 2, 5);
+        let seq_y = seq::forward(&f, &b);
+        let par_y = solver.forward(&b);
+        assert!(par_y.max_abs_diff(&seq_y).unwrap() < 1e-12);
+        let x = solver.backward(&par_y);
+        assert!(x.max_abs_diff(&seq::backward(&f, &seq_y)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn plan_exposes_schedule_stats() {
+        let a = gen::grid2d_laplacian(16, 16);
+        let f = build(&a);
+        let solver = ThreadedSolver::new(&f).unwrap();
+        let plan = solver.plan();
+        assert!(plan.nlevels() >= 2, "grid tree must have depth");
+        assert!(plan.max_level_width() >= 2, "grid tree must have breadth");
+        let total: usize = (0..plan.nlevels()).map(|l| plan.level(l).len()).sum();
+        assert_eq!(total, plan.nsup());
     }
 }

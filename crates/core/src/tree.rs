@@ -93,7 +93,8 @@ struct ProcOutput {
 
 /// Encode a sparse set of (position, values) pairs as a flat payload.
 fn encode_entries(entries: &[(usize, &[f64])]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(entries.len() * (1 + entries.first().map_or(0, |e| e.1.len())));
+    let mut out =
+        Vec::with_capacity(entries.len() * (1 + entries.first().map_or(0, |e| e.1.len())));
     for (pos, vals) in entries {
         out.push(*pos as f64);
         out.extend_from_slice(vals);
@@ -168,8 +169,7 @@ fn solve_fb_inner(
         // forward outputs stashed for the backward phase
         let mut seq_stash: HashMap<usize, DenseMatrix> = HashMap::new();
         let mut par_stash: HashMap<usize, DenseMatrix> = HashMap::new();
-        let mut par_local: HashMap<usize, (BlockCyclic1d, LocalTrapezoid, Group)> =
-            HashMap::new();
+        let mut par_local: HashMap<usize, (BlockCyclic1d, LocalTrapezoid, Group)> = HashMap::new();
         let mut x_pieces: Vec<(usize, Vec<f64>)> = Vec::new();
         let mut phases = [0.0f64; 6];
 
@@ -185,8 +185,7 @@ fn solve_fb_inner(
             for (k, &gi) in rows[..t].iter().enumerate() {
                 let acc = accum.remove(&gi);
                 for c in 0..nrhs {
-                    top[(k, c)] =
-                        b_rhs[(gi, c)] + acc.as_ref().map_or(0.0, |v| v[c]);
+                    top[(k, c)] = b_rhs[(gi, c)] + acc.as_ref().map_or(0.0, |v| v[c]);
                 }
             }
             blas::trsm_lower_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
@@ -203,10 +202,7 @@ fn solve_fb_inner(
                     }
                 }
             }
-            proc.compute_flops_at(
-                ((t * t + 2 * (ns - t) * t) * nrhs) as f64,
-                rate,
-            );
+            proc.compute_flops_at(((t * t + 2 * (ns - t) * t) * nrhs) as f64, rate);
             seq_stash.insert(s, top);
         }
         phases[0] += proc.time() - mark;
@@ -254,8 +250,7 @@ fn solve_fb_inner(
             // supernode's t columns once, with one index word per entry
             let hint = t * (1 + nrhs) / gq.max(1) + 1;
             mark = proc.time();
-            let incoming =
-                coll::all_to_all_personalized(proc, group, s as u64 * 4, out, hint);
+            let incoming = coll::all_to_all_personalized(proc, group, s as u64 * 4, out, hint);
             phases[1] += proc.time() - mark;
             // local rhs: b for my triangle rows plus routed contributions
             let mut rhs = DenseMatrix::zeros(local.positions.len(), nrhs);
@@ -356,7 +351,10 @@ fn solve_fb_inner(
                 }
             }
             let payload = encode_entries(
-                &flat.iter().map(|(p, v)| (*p, v.as_slice())).collect::<Vec<_>>(),
+                &flat
+                    .iter()
+                    .map(|(p, v)| (*p, v.as_slice()))
+                    .collect::<Vec<_>>(),
             );
             let hint = t * (1 + nrhs) / group.size().max(1) + 1;
             mark = proc.time();
@@ -392,10 +390,7 @@ fn solve_fb_inner(
                 }
             }
             blas::trsm_lower_trans_left(blk.as_slice(), ns, top.as_mut_slice(), t, t, nrhs);
-            proc.compute_flops_at(
-                ((t * t + 2 * (ns - t) * t) * nrhs) as f64,
-                rate,
-            );
+            proc.compute_flops_at(((t * t + 2 * (ns - t) * t) * nrhs) as f64, rate);
             for (k, &gi) in rows[..t].iter().enumerate() {
                 let mut v = Vec::with_capacity(nrhs);
                 for c in 0..nrhs {
@@ -434,18 +429,14 @@ fn solve_fb_inner(
         .iter()
         .map(|o| o.t_forward)
         .fold(0.0f64, f64::max);
-    let t_total = run
-        .results
-        .iter()
-        .map(|o| o.t_total)
-        .fold(0.0f64, f64::max);
+    let t_total = run.results.iter().map(|o| o.t_total).fold(0.0f64, f64::max);
     let max_compute = run
         .stats
         .iter()
         .map(|s| s.compute_seconds)
         .fold(0.0f64, f64::max);
-    let mean_compute = run.stats.iter().map(|s| s.compute_seconds).sum::<f64>()
-        / run.stats.len() as f64;
+    let mean_compute =
+        run.stats.iter().map(|s| s.compute_seconds).sum::<f64>() / run.stats.len() as f64;
     let max_wait = run
         .stats
         .iter()
@@ -480,7 +471,10 @@ mod tests {
     use trisolv_graph::{nd, Graph};
     use trisolv_matrix::gen;
 
-    fn build_factor(a: &trisolv_matrix::CscMatrix, coords: Option<&[[f64; 3]]>) -> SupernodalFactor {
+    fn build_factor(
+        a: &trisolv_matrix::CscMatrix,
+        coords: Option<&[[f64; 3]]>,
+    ) -> SupernodalFactor {
         let g = Graph::from_sym_lower(a);
         let p = match coords {
             Some(c) => nd::nested_dissection_coords(&g, c, nd::NdOptions::default()),
@@ -507,10 +501,7 @@ mod tests {
         };
         let (x, report) = solve_fb(factor, &mapping, &b, &config);
         let diff = x.max_abs_diff(&expect).unwrap();
-        assert!(
-            diff < 1e-9,
-            "p={nprocs} b={block} nrhs={nrhs}: diff {diff}"
-        );
+        assert!(diff < 1e-9, "p={nprocs} b={block} nrhs={nrhs}: diff {diff}");
         report
     }
 

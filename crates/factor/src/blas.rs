@@ -64,6 +64,37 @@ pub fn gemm_nt_update(
     }
 }
 
+/// `C ← C − Aᵀ·B` where `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
+///
+/// This is the back-substitution rectangle apply: with `A = L21`
+/// (`k = n_s − t` below-rows, `m = t` columns) and `B = x_below`, it
+/// subtracts `L21ᵀ·x_below` from the top block in one blocked pass. Both
+/// inner products run down columns of `A` and `B` (unit stride).
+pub fn gemm_tn_update(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m && lda >= k && ldb >= k);
+    for j in 0..n {
+        let b_col = &b[j * ldb..j * ldb + k];
+        for i in 0..m {
+            let a_col = &a[i * lda..i * lda + k];
+            let mut sum = 0.0;
+            for l in 0..k {
+                sum += a_col[l] * b_col[l];
+            }
+            c[i + j * ldc] -= sum;
+        }
+    }
+}
+
 /// Symmetric rank-k update on the lower triangle:
 /// `C ← C − A·Aᵀ` for `C` `n×n` (only entries `i ≥ j` touched), `A` `n×k`.
 pub fn syrk_lower_update(c: &mut [f64], ldc: usize, a: &[f64], lda: usize, n: usize, k: usize) {
@@ -133,14 +164,7 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
 
 /// `X ← L⁻ᵀ·X` where `L` is `m×m` lower-triangular and `X` is `m×n`:
 /// backward substitution on a block.
-pub fn trsm_lower_trans_left(
-    l: &[f64],
-    ldl: usize,
-    x: &mut [f64],
-    ldx: usize,
-    m: usize,
-    n: usize,
-) {
+pub fn trsm_lower_trans_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
     debug_assert!(ldl >= m && ldx >= m);
     for j in 0..n {
         let x_col = &mut x[j * ldx..j * ldx + m];
@@ -282,7 +306,9 @@ mod tests {
         let mut m = DenseMatrix::zeros(n, n);
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         m.fill_with(|_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         let mut a = m.matmul(&m.transpose()).unwrap();
@@ -303,7 +329,17 @@ mod tests {
             r.axpy(-1.0, &prod).unwrap();
             r
         };
-        gemm_update(c.as_mut_slice(), 4, a.as_slice(), 4, b.as_slice(), 3, 4, 5, 3);
+        gemm_update(
+            c.as_mut_slice(),
+            4,
+            a.as_slice(),
+            4,
+            b.as_slice(),
+            3,
+            4,
+            5,
+            3,
+        );
         approx_eq(&c, &reference, 1e-12);
     }
 
@@ -318,8 +354,59 @@ mod tests {
             r.axpy(-1.0, &prod).unwrap();
             r
         };
-        gemm_nt_update(c.as_mut_slice(), 4, a.as_slice(), 4, b.as_slice(), 5, 4, 5, 3);
+        gemm_nt_update(
+            c.as_mut_slice(),
+            4,
+            a.as_slice(),
+            4,
+            b.as_slice(),
+            5,
+            4,
+            5,
+            3,
+        );
         approx_eq(&c, &reference, 1e-12);
+    }
+
+    #[test]
+    fn gemm_tn_update_matches_reference() {
+        let a = spd(5, 6).sub_block(0, 5, 0, 3); // 5x3 (k=5, m=3)
+        let b = spd(5, 7).sub_block(0, 5, 0, 4); // 5x4 (k=5, n=4)
+        let mut c = spd(6, 8).sub_block(0, 3, 0, 4); // 3x4
+        let reference = {
+            let mut r = c.clone();
+            let prod = a.transpose().matmul(&b).unwrap();
+            r.axpy(-1.0, &prod).unwrap();
+            r
+        };
+        gemm_tn_update(
+            c.as_mut_slice(),
+            3,
+            a.as_slice(),
+            5,
+            b.as_slice(),
+            5,
+            3,
+            4,
+            5,
+        );
+        approx_eq(&c, &reference, 1e-12);
+    }
+
+    #[test]
+    fn gemm_tn_update_respects_leading_dimensions() {
+        // 2x2 result from 2-deep products embedded in taller buffers
+        let a = [1.0, 2.0, 9.0, 3.0, 4.0, 9.0]; // 2x2 in lda=3
+        let b = [5.0, 6.0, 9.0, 7.0, 8.0, 9.0]; // 2x2 in ldb=3
+        let mut c = [0.0; 8]; // 2x2 in ldc=4
+        gemm_tn_update(&mut c, 4, &a, 3, &b, 3, 2, 2, 2);
+        // C = -Aᵀ·B; Aᵀ = [[1,2],[3,4]], B = [[5,7],[6,8]]
+        assert_eq!(c[0], -(1.0 * 5.0 + 2.0 * 6.0));
+        assert_eq!(c[1], -(3.0 * 5.0 + 4.0 * 6.0));
+        assert_eq!(c[4], -(1.0 * 7.0 + 2.0 * 8.0));
+        assert_eq!(c[5], -(3.0 * 7.0 + 4.0 * 8.0));
+        assert_eq!(c[2], 0.0);
+        assert_eq!(c[3], 0.0);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!   sparse multifrontal kernels inherit.
 
 use crate::blas;
-use trisolv_machine::{coll, BlockCyclic1d, BlockCyclic2d, Group, KernelClass, Machine,
-    MachineParams};
+use trisolv_machine::{
+    coll, BlockCyclic1d, BlockCyclic2d, Group, KernelClass, Machine, MachineParams,
+};
 use trisolv_matrix::{DenseMatrix, MatrixError};
 
 /// Result of a simulated dense factorization.
@@ -64,55 +65,53 @@ pub fn cholesky_1d(
             // learn about failures in earlier panels.
             let payload = if me == owner {
                 if failed.is_none() {
-                let lj0 = my_cols.binary_search(&c0).expect("owner has block");
-                // factor the diagonal tile in place
-                let mut ok = true;
-                {
-                    let lslice = local.as_mut_slice();
-                    // tile occupies rows c0..c1 of local cols lj0..lj0+len
-                    let mut tile = vec![0.0; len * len];
-                    for j in 0..len {
-                        for i in j..len {
-                            tile[i + j * len] = lslice[(c0 + i) + (lj0 + j) * n];
-                        }
-                    }
-                    if blas::potrf_lower(&mut tile, len, len).is_err() {
-                        ok = false;
-                    } else {
+                    let lj0 = my_cols.binary_search(&c0).expect("owner has block");
+                    // factor the diagonal tile in place
+                    let mut ok = true;
+                    {
+                        let lslice = local.as_mut_slice();
+                        // tile occupies rows c0..c1 of local cols lj0..lj0+len
+                        let mut tile = vec![0.0; len * len];
                         for j in 0..len {
                             for i in j..len {
-                                lslice[(c0 + i) + (lj0 + j) * n] = tile[i + j * len];
+                                tile[i + j * len] = lslice[(c0 + i) + (lj0 + j) * n];
                             }
                         }
-                        // panel trsm: L[c1.., c0..c1] ← A·L11⁻ᵀ
-                        let rows = n - c1;
-                        if rows > 0 {
-                            let mut panel = vec![0.0; rows * len];
+                        if blas::potrf_lower(&mut tile, len, len).is_err() {
+                            ok = false;
+                        } else {
                             for j in 0..len {
-                                for i in 0..rows {
-                                    panel[i + j * rows] =
-                                        lslice[(c1 + i) + (lj0 + j) * n];
+                                for i in j..len {
+                                    lslice[(c0 + i) + (lj0 + j) * n] = tile[i + j * len];
                                 }
                             }
-                            blas::trsm_right_lower_trans(
-                                &tile, len, &mut panel, rows, rows, len,
-                            );
-                            for j in 0..len {
-                                for i in 0..rows {
-                                    lslice[(c1 + i) + (lj0 + j) * n] =
-                                        panel[i + j * rows];
+                            // panel trsm: L[c1.., c0..c1] ← A·L11⁻ᵀ
+                            let rows = n - c1;
+                            if rows > 0 {
+                                let mut panel = vec![0.0; rows * len];
+                                for j in 0..len {
+                                    for i in 0..rows {
+                                        panel[i + j * rows] = lslice[(c1 + i) + (lj0 + j) * n];
+                                    }
+                                }
+                                blas::trsm_right_lower_trans(
+                                    &tile, len, &mut panel, rows, rows, len,
+                                );
+                                for j in 0..len {
+                                    for i in 0..rows {
+                                        lslice[(c1 + i) + (lj0 + j) * n] = panel[i + j * rows];
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                if !ok {
-                    failed = Some(c0);
-                }
-                proc.compute_flops(
-                    (blas::potrf_flops(len) + blas::trsm_flops(len, n - c1)) as f64,
-                    KernelClass::Matrix,
-                );
+                    if !ok {
+                        failed = Some(c0);
+                    }
+                    proc.compute_flops(
+                        (blas::potrf_flops(len) + blas::trsm_flops(len, n - c1)) as f64,
+                        KernelClass::Matrix,
+                    );
                 }
                 // broadcast status + the full panel rows c0..n
                 let rows = n - c0;
@@ -209,10 +208,8 @@ pub fn cholesky_2d(
         let me = proc.rank();
         let (my_r, my_c) = (me / pc, me % pc);
         let group = Group::world(p);
-        let row_group =
-            Group::from_ranks((0..pc).map(|c| my_r * pc + c).collect());
-        let col_group =
-            Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
+        let row_group = Group::from_ranks((0..pc).map(|c| my_r * pc + c).collect());
+        let col_group = Group::from_ranks((0..pr).map(|r| r * pc + my_c).collect());
         let my_rows: Vec<usize> = (0..n).filter(|&i| grid.rows.owner(i) == my_r).collect();
         let my_cols: Vec<usize> = (0..n).filter(|&j| grid.cols.owner(j) == my_c).collect();
         let mut local = DenseMatrix::zeros(my_rows.len(), my_cols.len());
@@ -248,10 +245,7 @@ pub fn cholesky_2d(
                             failed = Some(c0);
                             status = 1.0;
                         } else {
-                            proc.compute_flops(
-                                blas::potrf_flops(len) as f64,
-                                KernelClass::Matrix,
-                            );
+                            proc.compute_flops(blas::potrf_flops(len) as f64, KernelClass::Matrix);
                             for j in 0..len {
                                 for i in j..len {
                                     local[(li0 + i, lj0 + j)] = tile[(i, j)];

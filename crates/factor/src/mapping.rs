@@ -97,8 +97,7 @@ impl SubcubeMapping {
             .into_iter()
             .map(|g| g.expect("every supernode assigned"))
             .collect();
-        let parallel_snodes: Vec<usize> =
-            (0..nsup).filter(|&s| group_of[s].size() >= 2).collect();
+        let parallel_snodes: Vec<usize> = (0..nsup).filter(|&s| group_of[s].size() >= 2).collect();
         for list in &mut seq_snodes {
             list.sort_unstable();
         }
@@ -169,11 +168,8 @@ mod tests {
     fn grid_partition(k: usize) -> SupernodePartition {
         let a = gen::grid2d_laplacian(k, k);
         let g = Graph::from_sym_lower(&a);
-        let p = nd::nested_dissection_coords(
-            &g,
-            &nd::grid2d_coords(k, k, 1),
-            nd::NdOptions::default(),
-        );
+        let p =
+            nd::nested_dissection_coords(&g, &nd::grid2d_coords(k, k, 1), nd::NdOptions::default());
         analyze_with_perm(&a, &p).part
     }
 

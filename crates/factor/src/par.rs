@@ -82,62 +82,62 @@ pub fn factor_parallel(
     let error_slot: std::sync::Mutex<Option<MatrixError>> = std::sync::Mutex::new(None);
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         machine.run(|proc| {
-        let me = proc.rank();
-        let abort = |e: MatrixError| -> ! {
-            *error_slot.lock().expect("error slot") = Some(e);
-            std::panic::panic_any("simulated machine abort: numerical failure");
-        };
-        let mut out = ProcOut {
-            seq_blocks: Vec::new(),
-            par_pieces: Vec::new(),
-        };
-        // updates of my sequential subtree roots, as dense matrices
-        let mut seq_updates: HashMap<usize, DenseMatrix> = HashMap::new();
-        // my local pieces of parallel supernodes' update matrices (global
-        // index space)
-        let mut par_updates: HashMap<usize, Entries> = HashMap::new();
+            let me = proc.rank();
+            let abort = |e: MatrixError| -> ! {
+                *error_slot.lock().expect("error slot") = Some(e);
+                std::panic::panic_any("simulated machine abort: numerical failure");
+            };
+            let mut out = ProcOut {
+                seq_blocks: Vec::new(),
+                par_pieces: Vec::new(),
+            };
+            // updates of my sequential subtree roots, as dense matrices
+            let mut seq_updates: HashMap<usize, DenseMatrix> = HashMap::new();
+            // my local pieces of parallel supernodes' update matrices (global
+            // index space)
+            let mut par_updates: HashMap<usize, Entries> = HashMap::new();
 
-        // ---- sequential subtrees ----
-        for &s in mapping.seq_snodes(me) {
-            let child_updates: Vec<(usize, DenseMatrix)> = children[s]
-                .iter()
-                .map(|&c| (c, seq_updates.remove(&c).expect("child done")))
-                .collect();
-            match seqchol::process_frontal(pa, part, s, &child_updates) {
-                Ok((blk, update)) => {
-                    let (ns, t) = (part.height(s), part.width(s));
-                    proc.compute_flops(
-                        (blas::potrf_flops(t)
-                            + blas::trsm_flops(t, ns - t)
-                            + blas::gemm_flops(ns - t, ns - t, t) / 2)
-                            as f64,
-                        trisolv_machine::KernelClass::Matrix,
-                    );
-                    seq_updates.insert(s, update);
-                    out.seq_blocks.push((s, blk));
+            // ---- sequential subtrees ----
+            for &s in mapping.seq_snodes(me) {
+                let child_updates: Vec<(usize, DenseMatrix)> = children[s]
+                    .iter()
+                    .map(|&c| (c, seq_updates.remove(&c).expect("child done")))
+                    .collect();
+                match seqchol::process_frontal(pa, part, s, &child_updates) {
+                    Ok((blk, update)) => {
+                        let (ns, t) = (part.height(s), part.width(s));
+                        proc.compute_flops(
+                            (blas::potrf_flops(t)
+                                + blas::trsm_flops(t, ns - t)
+                                + blas::gemm_flops(ns - t, ns - t, t) / 2)
+                                as f64,
+                            trisolv_machine::KernelClass::Matrix,
+                        );
+                        seq_updates.insert(s, update);
+                        out.seq_blocks.push((s, blk));
+                    }
+                    Err(e) => abort(e),
                 }
-                Err(e) => abort(e),
             }
-        }
 
-        // ---- parallel supernodes along my path ----
-        for &s in &mapping.parallel_path(me) {
-            if let Err(e) = parallel_frontal(
-                proc,
-                pa,
-                part,
-                mapping,
-                s,
-                &children[s],
-                config.block,
-                &mut seq_updates,
-                &mut par_updates,
-                &mut out,
-            ) {
-                abort(e);
+            // ---- parallel supernodes along my path ----
+            for &s in &mapping.parallel_path(me) {
+                if let Err(e) = parallel_frontal(
+                    proc,
+                    pa,
+                    part,
+                    mapping,
+                    s,
+                    &children[s],
+                    config.block,
+                    &mut seq_updates,
+                    &mut par_updates,
+                    &mut out,
+                ) {
+                    abort(e);
+                }
             }
-        }
-        out
+            out
         })
     }));
     let run = match run {
@@ -173,9 +173,8 @@ pub fn factor_parallel(
                     .map(|(li, &gi)| (gi, li))
                     .collect()
             });
-            let blk = blocks[*s].get_or_insert_with(|| {
-                DenseMatrix::zeros(part.height(*s), part.width(*s))
-            });
+            let blk = blocks[*s]
+                .get_or_insert_with(|| DenseMatrix::zeros(part.height(*s), part.width(*s)));
             let first = part.cols(*s).start;
             for &(gi, gj, v) in entries {
                 blk[(pos[&gi], gj - first)] = v;
@@ -225,11 +224,7 @@ fn parallel_frontal(
     let tag0 = s as u64 * 1_000_003;
 
     // global row -> frontal position
-    let gpos: HashMap<usize, usize> = rows
-        .iter()
-        .enumerate()
-        .map(|(li, &gi)| (gi, li))
-        .collect();
+    let gpos: HashMap<usize, usize> = rows.iter().enumerate().map(|(li, &gi)| (gi, li)).collect();
     let my_rows: Vec<usize> = (0..ns).filter(|&i| row_layout.owner(i) == my_r).collect();
     let my_cols: Vec<usize> = (0..ns).filter(|&j| col_layout.owner(j) == my_c).collect();
     let rloc = |pos: usize| my_rows.binary_search(&pos).expect("my row");
@@ -302,10 +297,8 @@ fn parallel_frontal(
 
     // ---- fan-out right-looking panel factorization of the t columns ----
     let nb_panels = t.div_ceil(block);
-    let row_group =
-        Group::from_ranks((0..pc).map(|c| group.world_rank(my_r * pc + c)).collect());
-    let col_group =
-        Group::from_ranks((0..pr).map(|r| group.world_rank(r * pc + my_c)).collect());
+    let row_group = Group::from_ranks((0..pc).map(|c| group.world_rank(my_r * pc + c)).collect());
+    let col_group = Group::from_ranks((0..pr).map(|r| group.world_rank(r * pc + my_c)).collect());
     for k in 0..nb_panels {
         let p0 = k * block;
         let p1 = (p0 + block).min(t);
@@ -361,14 +354,7 @@ fn parallel_frontal(
                         panel[(i, j)] = f[(tail + i, c0 + j)];
                     }
                 }
-                blas::trsm_right_lower_trans(
-                    tile.as_slice(),
-                    len,
-                    panel.as_mut_slice(),
-                    m,
-                    m,
-                    len,
-                );
+                blas::trsm_right_lower_trans(tile.as_slice(), len, panel.as_mut_slice(), m, m, len);
                 proc.compute_flops(
                     blas::trsm_flops(len, m) as f64,
                     trisolv_machine::KernelClass::Matrix,
@@ -521,10 +507,7 @@ mod tests {
         let (got, report) = factor_parallel(&an.pa, &an.part, &mapping, &config).unwrap();
         for s in 0..an.part.nsup() {
             let diff = got.block(s).max_abs_diff(expect.block(s)).unwrap();
-            assert!(
-                diff < 1e-9,
-                "p={nprocs} b={block} snode {s}: diff {diff}"
-            );
+            assert!(diff < 1e-9, "p={nprocs} b={block} snode {s}: diff {diff}");
         }
         report
     }
@@ -587,10 +570,7 @@ mod tests {
             params: MachineParams::t3d(),
         };
         let res = factor_parallel(&pa, &an.part, &mapping, &config);
-        assert!(matches!(
-            res,
-            Err(MatrixError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(res, Err(MatrixError::NotPositiveDefinite { .. })));
     }
 
     #[test]

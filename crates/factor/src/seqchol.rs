@@ -57,10 +57,7 @@ pub fn analyze_with_perm(a: &CscMatrix, fill_perm: &Permutation) -> Analysis {
 
 /// Left-looking simplicial Cholesky: returns `L` in CSC form with the
 /// symbolic pattern (including numerically-zero fill entries).
-pub fn factor_simplicial(
-    pa: &CscMatrix,
-    sym: &SymbolicFactor,
-) -> Result<CscMatrix, MatrixError> {
+pub fn factor_simplicial(pa: &CscMatrix, sym: &SymbolicFactor) -> Result<CscMatrix, MatrixError> {
     let n = pa.ncols();
     let mut colptr = vec![0usize; n + 1];
     for j in 0..n {
@@ -188,11 +185,8 @@ pub fn process_frontal(
     let ns = rows.len();
     let first = part.cols(s).start;
     // global row -> local frontal row
-    let gmap: std::collections::HashMap<usize, usize> = rows
-        .iter()
-        .enumerate()
-        .map(|(li, &gi)| (gi, li))
-        .collect();
+    let gmap: std::collections::HashMap<usize, usize> =
+        rows.iter().enumerate().map(|(li, &gi)| (gi, li)).collect();
     let mut f = DenseMatrix::zeros(ns, ns);
     // assemble A's columns
     for (lj, j) in part.cols(s).enumerate() {
@@ -214,12 +208,10 @@ pub fn process_frontal(
     }
     // partial dense factorization of the leading t columns
     blas::potrf_lower(f.as_mut_slice(), ns, t).map_err(|e| match e {
-        MatrixError::NotPositiveDefinite { column, pivot } => {
-            MatrixError::NotPositiveDefinite {
-                column: first + column,
-                pivot,
-            }
-        }
+        MatrixError::NotPositiveDefinite { column, pivot } => MatrixError::NotPositiveDefinite {
+            column: first + column,
+            pivot,
+        },
         other => other,
     })?;
     let update = if ns > t {
@@ -313,10 +305,8 @@ mod tests {
         let a = gen::random_spd(20, 3, 1);
         let an = analyze_with_perm(&a, &Permutation::identity(20));
         let l = factor_simplicial(&an.pa, &an.sym).unwrap();
-        let dense = crate::dense::DenseCholesky::factor(
-            &an.pa.sym_expand().unwrap().to_dense(),
-        )
-        .unwrap();
+        let dense =
+            crate::dense::DenseCholesky::factor(&an.pa.sym_expand().unwrap().to_dense()).unwrap();
         assert!(l.to_dense().max_abs_diff(dense.l()).unwrap() < 1e-9);
     }
 
@@ -400,10 +390,7 @@ mod tests {
         let permuted = an.pa.sym_expand().unwrap().to_dense();
         for i in 0..36 {
             for j in 0..36 {
-                assert_eq!(
-                    permuted[(an.perm.apply(i), an.perm.apply(j))],
-                    orig[(i, j)]
-                );
+                assert_eq!(permuted[(an.perm.apply(i), an.perm.apply(j))], orig[(i, j)]);
             }
         }
     }

@@ -143,9 +143,7 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn wrong_block_shape_rejected() {
         let part = small_partition();
-        let blocks: Vec<DenseMatrix> = (0..part.nsup())
-            .map(|_| DenseMatrix::zeros(1, 1))
-            .collect();
+        let blocks: Vec<DenseMatrix> = (0..part.nsup()).map(|_| DenseMatrix::zeros(1, 1)).collect();
         SupernodalFactor::new(part, blocks);
     }
 

@@ -90,7 +90,9 @@ impl EliminationTree {
 
     /// All roots (nodes without parents).
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&j| self.parent[j] == NONE).collect()
+        (0..self.len())
+            .filter(|&j| self.parent[j] == NONE)
+            .collect()
     }
 
     /// Children lists, sorted ascending.

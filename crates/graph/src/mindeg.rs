@@ -83,7 +83,14 @@ mod tests {
     #[test]
     fn star_center_ordered_last() {
         // star: center 0 connected to 1..5; leaves have degree 1
-        let lists = vec![vec![1, 2, 3, 4, 5], vec![0], vec![0], vec![0], vec![0], vec![0]];
+        let lists = vec![
+            vec![1, 2, 3, 4, 5],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![0],
+        ];
         let g = Graph::from_neighbor_lists(&lists);
         let p = minimum_degree(&g);
         // Once four leaves are gone the hub's degree drops to 1, so it is

@@ -372,8 +372,7 @@ mod tests {
     fn fill_of(a: &trisolv_matrix::CscMatrix, p: &Permutation) -> usize {
         let pa = a.permute_sym_lower(p.as_slice()).unwrap();
         let t = EliminationTree::from_sym_lower(&pa);
-        let sym = trisolv_symbolic_shim::analyze_nnz(&pa, &t);
-        sym
+        trisolv_symbolic_shim::analyze_nnz(&pa, &t)
     }
 
     // tiny shim so the graph crate's tests can count fill without a
@@ -493,7 +492,11 @@ mod tests {
             "imbalanced bisection: {w0} vs {w1}"
         );
         let sep = vertex_separator(&g, &verts, &side);
-        assert!(!sep.is_empty() && sep.len() < k * k / 4, "separator {}", sep.len());
+        assert!(
+            !sep.is_empty() && sep.len() < k * k / 4,
+            "separator {}",
+            sep.len()
+        );
         // removing the separator must disconnect the two sides
         let mut mask = vec![true; k * k];
         for &v in &sep {

@@ -46,16 +46,19 @@ pub fn nested_dissection(g: &Graph, opts: NdOptions) -> Permutation {
 /// vertices (e.g. the `dof` unknowns of one FEM node) are kept together.
 /// Falls back to BFS separators for parts that are geometrically
 /// degenerate.
-pub fn nested_dissection_coords(
-    g: &Graph,
-    coords: &[[f64; 3]],
-    opts: NdOptions,
-) -> Permutation {
+pub fn nested_dissection_coords(g: &Graph, coords: &[[f64; 3]], opts: NdOptions) -> Permutation {
     let n = g.nvertices();
     assert_eq!(coords.len(), n);
     let mut mask = vec![true; n];
     let mut order = Vec::with_capacity(n);
-    dissect(g, Some(coords), &mut mask, (0..n).collect(), opts, &mut order);
+    dissect(
+        g,
+        Some(coords),
+        &mut mask,
+        (0..n).collect(),
+        opts,
+        &mut order,
+    );
     debug_assert_eq!(order.len(), n);
     Permutation::from_order(order).expect("dissection emits each vertex once")
 }

@@ -27,7 +27,9 @@ pub fn barrier(proc: &mut Proc, group: &Group, tag: u64) {
     if q <= 1 {
         return;
     }
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     let tag = coll_tag(tag);
     let mut k = 1;
     while k < q {
@@ -43,7 +45,9 @@ pub fn barrier(proc: &mut Proc, group: &Group, tag: u64) {
 /// Non-root callers pass anything (ignored) and receive the root's data.
 pub fn bcast(proc: &mut Proc, group: &Group, tag: u64, root: usize, data: Vec<f64>) -> Vec<f64> {
     let q = group.size();
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     if q == 1 {
         return data;
     }
@@ -87,7 +91,9 @@ pub fn reduce_sum(
     data: Vec<f64>,
 ) -> Option<Vec<f64>> {
     let q = group.size();
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     if q == 1 {
         return Some(data);
     }
@@ -126,11 +132,16 @@ pub fn scatter(
     chunks: Vec<Vec<f64>>,
 ) -> Vec<f64> {
     let q = group.size();
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     if q == 1 {
         return chunks.into_iter().next().unwrap_or_default();
     }
-    assert!(me != root || chunks.len() == q, "root passes one chunk per member");
+    assert!(
+        me != root || chunks.len() == q,
+        "root passes one chunk per member"
+    );
     let tag = coll_tag(tag);
     let vr = (me + q - root) % q;
     // records: [relative dest, len, data…]
@@ -201,7 +212,9 @@ pub fn reduce_scatter(
 ) -> Vec<f64> {
     let q = group.size();
     assert_eq!(chunks.len(), q, "one chunk per member");
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     if q == 1 {
         return std::mem::take(&mut chunks[0]);
     }
@@ -261,7 +274,9 @@ pub fn allgather(
 /// Ring all-gather: `q−1` rounds, each member forwarding one chunk.
 pub fn allgather_ring(proc: &mut Proc, group: &Group, tag: u64, mine: Vec<f64>) -> Vec<Vec<f64>> {
     let q = group.size();
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     let mut chunks: Vec<Vec<f64>> = vec![Vec::new(); q];
     chunks[me] = mine;
     if q == 1 {
@@ -290,7 +305,9 @@ pub fn allgather_doubling(
     mine: Vec<f64>,
 ) -> Vec<Vec<f64>> {
     let q = group.size();
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     let mut chunks: Vec<Option<Vec<f64>>> = vec![None; q];
     chunks[me] = Some(mine);
     if q == 1 {
@@ -370,7 +387,9 @@ pub fn all_to_all_direct(
 ) -> Vec<Vec<f64>> {
     let q = group.size();
     assert_eq!(out.len(), q, "need one chunk per group member");
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     let mut in_: Vec<Vec<f64>> = vec![Vec::new(); q];
     in_[me] = std::mem::take(&mut out[me]);
     let tag = coll_tag(tag);
@@ -396,7 +415,9 @@ pub fn all_to_all_bruck(
 ) -> Vec<Vec<f64>> {
     let q = group.size();
     assert_eq!(out.len(), q, "need one chunk per group member");
-    let me = group.group_rank(proc.rank()).expect("caller must be a member");
+    let me = group
+        .group_rank(proc.rank())
+        .expect("caller must be a member");
     let mut in_: Vec<Vec<f64>> = vec![Vec::new(); q];
     in_[me] = std::mem::take(&mut out[me]);
     if q == 1 {
@@ -558,8 +579,7 @@ mod tests {
             let g = Group::from_ranks(vec![6, 0, 3]);
             match g.group_rank(p.rank()) {
                 Some(me) => {
-                    let out: Vec<Vec<f64>> =
-                        (0..3).map(|d| vec![(me * 3 + d) as f64]).collect();
+                    let out: Vec<Vec<f64>> = (0..3).map(|d| vec![(me * 3 + d) as f64]).collect();
                     all_to_all_personalized(p, &g, 7, out, 3)
                 }
                 None => Vec::new(),
@@ -684,7 +704,11 @@ mod tests {
                 scatter(p, &g, 1, root, chunks)
             });
             for (rank, got) in r.results.iter().enumerate() {
-                assert_eq!(got, &vec![rank as f64; rank + 1], "q={q} root={root} rank={rank}");
+                assert_eq!(
+                    got,
+                    &vec![rank as f64; rank + 1],
+                    "q={q} root={root} rank={rank}"
+                );
             }
         }
     }
@@ -722,8 +746,7 @@ mod tests {
                 let g = Group::world(q);
                 let me = g.group_rank(p.rank()).unwrap();
                 // contribution of rank me for dest d: [me*10 + d]
-                let chunks: Vec<Vec<f64>> =
-                    (0..q).map(|d| vec![(me * 10 + d) as f64]).collect();
+                let chunks: Vec<Vec<f64>> = (0..q).map(|d| vec![(me * 10 + d) as f64]).collect();
                 reduce_scatter(p, &g, 1, chunks)
             });
             for (rank, got) in r.results.iter().enumerate() {

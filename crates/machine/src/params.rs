@@ -1,7 +1,5 @@
 //! The machine cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// Kernel class used to pick an effective compute rate.
 ///
 /// Mid-90s microprocessors (and modern ones, for different reasons) run
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// observes exactly this: single-processor triangular solves run at
 /// ~8 MFLOPS while multi-RHS solves and factorization reach 30–45 MFLOPS
 /// thanks to BLAS-3 blocking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelClass {
     /// Vector-rate work: triangular solves / GEMV with a single RHS.
     Vector,
@@ -26,7 +24,7 @@ pub enum KernelClass {
 /// hop distance explicit so the locality of the subtree-to-subcube
 /// mapping can be measured under store-and-forward-class networks (see
 /// the `ablation_topology` harness).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Fully-connected (distance-independent) network — the paper's model.
     Flat,
@@ -70,7 +68,7 @@ impl Topology {
 ///   availability at the receiver;
 /// * `flops` floating-point operations in class `c` cost
 ///   `flops / rate(c)` seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Message startup (latency) in seconds.
     pub t_s: f64,

@@ -1,8 +1,8 @@
 //! The SPMD execution engine.
 
 use crate::params::{KernelClass, MachineParams};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A message in flight: payload plus the virtual time at which it becomes
 /// available at the receiver.
@@ -162,11 +162,7 @@ impl Proc {
         let start = self.clock;
         self.clock += self.params.t_s;
         self.record(start, Activity::Send);
-        let msg = Msg {
-            tag,
-            data,
-            arrival,
-        };
+        let msg = Msg { tag, data, arrival };
         self.senders[dst]
             .send(msg)
             .expect("receiver thread ended with messages in flight");
@@ -330,36 +326,30 @@ impl Machine {
     {
         let p = self.nprocs;
         // channels[src][dst]
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             for dst in 0..p {
                 if src == dst {
                     continue;
                 }
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[src][dst] = Some(tx);
                 receivers[dst][src] = Some(rx);
             }
         }
         // Dummy channels for the diagonal (never used: self-send asserts).
         let mut procs: Vec<Proc> = Vec::with_capacity(p);
-        for (rank, (send_row, recv_row)) in senders
-            .into_iter()
-            .zip(receivers)
-            .enumerate()
-        {
+        for (rank, (send_row, recv_row)) in senders.into_iter().zip(receivers).enumerate() {
             let senders: Vec<Sender<Msg>> = send_row
                 .into_iter()
-                .map(|s| s.unwrap_or_else(|| unbounded().0))
+                .map(|s| s.unwrap_or_else(|| channel().0))
                 .collect();
             let receivers: Vec<Receiver<Msg>> = recv_row
                 .into_iter()
-                .map(|r| r.unwrap_or_else(|| unbounded().1))
+                .map(|r| r.unwrap_or_else(|| channel().1))
                 .collect();
             procs.push(Proc {
                 rank,
@@ -377,11 +367,11 @@ impl Machine {
         let f = &f;
         type Slot<R> = (R, f64, ProcStats, Vec<Segment>);
         let mut slots: Vec<Option<Slot<R>>> = (0..p).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = procs
                 .into_iter()
                 .map(|mut proc| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let r = f(&mut proc);
                         let trace = proc.trace.take().unwrap_or_default();
                         (proc.rank, r, proc.clock, proc.stats, trace)
@@ -389,12 +379,10 @@ impl Machine {
                 })
                 .collect();
             for h in handles {
-                let (rank, r, clock, stats, trace) =
-                    h.join().expect("virtual processor panicked");
+                let (rank, r, clock, stats, trace) = h.join().expect("virtual processor panicked");
                 slots[rank] = Some((r, clock, stats, trace));
             }
-        })
-        .expect("simulator thread scope failed");
+        });
 
         let mut results = Vec::with_capacity(p);
         let mut finish_times = Vec::with_capacity(p);

@@ -72,9 +72,7 @@ impl CscMatrix {
             )));
         }
         if self.colptr[0] != 0 {
-            return Err(MatrixError::InvalidStructure(
-                "colptr[0] != 0".to_string(),
-            ));
+            return Err(MatrixError::InvalidStructure("colptr[0] != 0".to_string()));
         }
         if *self.colptr.last().unwrap() != self.rowidx.len()
             || self.rowidx.len() != self.values.len()
@@ -293,8 +291,7 @@ impl CscMatrix {
     pub fn permute_sym_lower(&self, perm: &[usize]) -> Result<CscMatrix> {
         if self.nrows != self.ncols || perm.len() != self.ncols {
             return Err(MatrixError::InvalidStructure(
-                "permute_sym_lower: matrix must be square and perm must have length n"
-                    .to_string(),
+                "permute_sym_lower: matrix must be square and perm must have length n".to_string(),
             ));
         }
         let mut t = crate::TripletMatrix::new(self.nrows, self.ncols);

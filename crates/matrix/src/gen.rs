@@ -19,9 +19,8 @@
 //!
 //! All generators return the **lower triangle** of the symmetric matrix.
 
+use crate::rng::Rng;
 use crate::{CscMatrix, DenseMatrix, TripletMatrix};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Linear index of grid node `(x, y)` in a `kx × ky` grid.
 #[inline]
@@ -214,14 +213,14 @@ pub fn fem3d(kx: usize, ky: usize, kz: usize, dof: usize) -> CscMatrix {
 /// weights of unstructured FEM meshes. Returns the lower triangle and the
 /// node coordinates (for geometric nested dissection).
 pub fn mesh2d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = k * k;
     // jittered unit-grid points
     let mut pts = Vec::with_capacity(n);
     for y in 0..k {
         for x in 0..k {
-            let jx: f64 = rng.gen_range(-0.35..0.35);
-            let jy: f64 = rng.gen_range(-0.35..0.35);
+            let jx: f64 = rng.range_f64(-0.35, 0.35);
+            let jy: f64 = rng.range_f64(-0.35, 0.35);
             pts.push([x as f64 + jx, y as f64 + jy, 0.0]);
         }
     }
@@ -240,10 +239,10 @@ pub fn mesh2d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
                 let j = idx2(nx as usize, ny as usize, k);
                 let d2 = (pts[i][0] - pts[j][0]).powi(2) + (pts[i][1] - pts[j][1]).powi(2);
                 // drop long diagonals at random: irregular connectivity
-                if d2 > 2.6 || (d2 > 1.6 && rng.gen_bool(0.5)) {
+                if d2 > 2.6 || (d2 > 1.6 && rng.bool(0.5)) {
                     continue;
                 }
-                let w: f64 = rng.gen_range(0.2..2.0);
+                let w: f64 = rng.range_f64(0.2, 2.0);
                 t.push(j, i, -w).unwrap();
                 degw[i] += w;
                 degw[j] += w;
@@ -258,16 +257,16 @@ pub fn mesh2d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
 
 /// Irregular 3-D mesh problem (see [`mesh2d_irregular`]); `N = k³`.
 pub fn mesh3d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = k * k * k;
     let mut pts = Vec::with_capacity(n);
     for z in 0..k {
         for y in 0..k {
             for x in 0..k {
                 pts.push([
-                    x as f64 + rng.gen_range(-0.3..0.3),
-                    y as f64 + rng.gen_range(-0.3..0.3),
-                    z as f64 + rng.gen_range(-0.3..0.3),
+                    x as f64 + rng.range_f64(-0.3, 0.3),
+                    y as f64 + rng.range_f64(-0.3, 0.3),
+                    z as f64 + rng.range_f64(-0.3, 0.3),
                 ]);
             }
         }
@@ -296,13 +295,11 @@ pub fn mesh3d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
                                 continue;
                             }
                             let j = idx3(nx as usize, ny as usize, nz as usize, k, k);
-                            let d2: f64 = (0..3)
-                                .map(|ax| (pts[i][ax] - pts[j][ax]).powi(2))
-                                .sum();
-                            if d2 > 2.4 || (d2 > 1.4 && rng.gen_bool(0.6)) {
+                            let d2: f64 = (0..3).map(|ax| (pts[i][ax] - pts[j][ax]).powi(2)).sum();
+                            if d2 > 2.4 || (d2 > 1.4 && rng.bool(0.6)) {
                                 continue;
                             }
-                            let w: f64 = rng.gen_range(0.2..2.0);
+                            let w: f64 = rng.range_f64(0.2, 2.0);
                             t.push(j, i, -w).unwrap();
                             degw[i] += w;
                             degw[j] += w;
@@ -321,7 +318,7 @@ pub fn mesh3d_irregular(k: usize, seed: u64) -> (CscMatrix, Vec<[f64; 3]>) {
 /// Random symmetric positive-definite matrix (lower triangle) with ~`avg_nnz`
 /// off-diagonal entries per column, made SPD by diagonal dominance.
 pub fn random_spd(n: usize, avg_nnz: usize, seed: u64) -> CscMatrix {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut t = TripletMatrix::new(n, n);
     let mut row_sums = vec![0f64; n];
     for j in 0..n {
@@ -329,8 +326,8 @@ pub fn random_spd(n: usize, avg_nnz: usize, seed: u64) -> CscMatrix {
             if j + 1 >= n {
                 break;
             }
-            let i = rng.gen_range(j + 1..n);
-            let v: f64 = rng.gen_range(-1.0..1.0);
+            let i = rng.range_usize(j + 1, n);
+            let v: f64 = rng.range_f64(-1.0, 1.0);
             t.push(i, j, v).unwrap();
             row_sums[i] += v.abs();
             row_sums[j] += v.abs();
@@ -346,10 +343,10 @@ pub fn random_spd(n: usize, avg_nnz: usize, seed: u64) -> CscMatrix {
 
 /// A random multi-RHS solution block with entries in `[-1, 1)`.
 pub fn random_rhs(n: usize, nrhs: usize, seed: u64) -> DenseMatrix {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut x = DenseMatrix::zeros(n, nrhs);
     for v in x.as_mut_slice() {
-        *v = rng.gen_range(-1.0..1.0);
+        *v = rng.range_f64(-1.0, 1.0);
     }
     x
 }

@@ -105,7 +105,10 @@ pub fn read_harwell_boeing<R: BufRead>(reader: R) -> Result<(CscMatrix, String)>
     let l2 = next_line(&mut lines)?;
     let counts: Vec<i64> = l2
         .split_whitespace()
-        .map(|f| f.parse().map_err(|e| MatrixError::Io(format!("bad count: {e}"))))
+        .map(|f| {
+            f.parse()
+                .map_err(|e| MatrixError::Io(format!("bad count: {e}")))
+        })
         .collect::<Result<_>>()?;
     if counts.len() < 4 {
         return Err(MatrixError::Io("short card-count line".to_string()));
@@ -118,7 +121,10 @@ pub fn read_harwell_boeing<R: BufRead>(reader: R) -> Result<(CscMatrix, String)>
         .get(3..)
         .unwrap_or("")
         .split_whitespace()
-        .map(|f| f.parse().map_err(|e| MatrixError::Io(format!("bad dim: {e}"))))
+        .map(|f| {
+            f.parse()
+                .map_err(|e| MatrixError::Io(format!("bad dim: {e}")))
+        })
         .collect::<Result<_>>()?;
     if dims.len() < 3 {
         return Err(MatrixError::Io("short dimension line".to_string()));
@@ -229,7 +235,12 @@ pub fn write_harwell_boeing<W: Write>(
     let indcrd = nnz.div_ceil(per_ind).max(1);
     let valcrd = nnz.div_ceil(per_val).max(1);
     let totcrd = ptrcrd + indcrd + valcrd;
-    writeln!(writer, "{:<72}{:<8}", title.chars().take(72).collect::<String>(), key)?;
+    writeln!(
+        writer,
+        "{:<72}{:<8}",
+        title.chars().take(72).collect::<String>(),
+        key
+    )?;
     writeln!(
         writer,
         "{totcrd:14}{ptrcrd:14}{indcrd:14}{valcrd:14}{:14}",
@@ -302,14 +313,41 @@ mod tests {
 
     #[test]
     fn parse_format_variants() {
-        assert_eq!(parse_format("(10I8)").unwrap(), Format { count: 10, width: 8 });
-        assert_eq!(parse_format("(5E16.8)").unwrap(), Format { count: 5, width: 16 });
+        assert_eq!(
+            parse_format("(10I8)").unwrap(),
+            Format {
+                count: 10,
+                width: 8
+            }
+        );
+        assert_eq!(
+            parse_format("(5E16.8)").unwrap(),
+            Format {
+                count: 5,
+                width: 16
+            }
+        );
         assert_eq!(
             parse_format("(1P,4D20.12)").unwrap(),
-            Format { count: 4, width: 20 }
+            Format {
+                count: 4,
+                width: 20
+            }
         );
-        assert_eq!(parse_format(" (16I5) ").unwrap(), Format { count: 16, width: 5 });
-        assert_eq!(parse_format("(I10)").unwrap(), Format { count: 1, width: 10 });
+        assert_eq!(
+            parse_format(" (16I5) ").unwrap(),
+            Format {
+                count: 16,
+                width: 5
+            }
+        );
+        assert_eq!(
+            parse_format("(I10)").unwrap(),
+            Format {
+                count: 1,
+                width: 10
+            }
+        );
         assert!(parse_format("(XYZ)").is_err());
     }
 

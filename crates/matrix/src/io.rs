@@ -104,11 +104,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(CscMatrix, Symmetry)
 
 /// Write a matrix in coordinate format. If `sym` is `Symmetric` the matrix
 /// must already be lower-triangular.
-pub fn write_matrix_market<W: Write>(
-    writer: &mut W,
-    m: &CscMatrix,
-    sym: Symmetry,
-) -> Result<()> {
+pub fn write_matrix_market<W: Write>(writer: &mut W, m: &CscMatrix, sym: Symmetry) -> Result<()> {
     let kind = match sym {
         Symmetry::General => "general",
         Symmetry::Symmetric => "symmetric",

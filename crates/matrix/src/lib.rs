@@ -15,6 +15,9 @@
 //!   for testing.
 //! * [`io`] — a minimal Matrix-Market-style text reader/writer so experiment
 //!   inputs and outputs can be inspected and exchanged.
+//! * [`rng`] — the in-tree deterministic PRNG used by the generators and
+//!   the randomized tests (keeps the workspace free of external
+//!   dependencies so it builds offline).
 //!
 //! All numerics are `f64`; all index types are `usize`. Matrices from the
 //! symmetric generators store the **lower triangle only** (including the
@@ -26,6 +29,7 @@ pub mod error;
 pub mod gen;
 pub mod hb;
 pub mod io;
+pub mod rng;
 pub mod triplet;
 
 pub use csc::CscMatrix;

@@ -1,0 +1,125 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace must build in offline environments where no external
+//! registry is reachable, so the generators and tests use this in-tree
+//! PRNG instead of the `rand` crate. It is a splitmix64-seeded
+//! xorshift64* generator: statistically solid for test-data purposes,
+//! trivially reproducible, and emphatically **not** cryptographic.
+
+/// Deterministic xorshift64* generator seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed the generator. Equal seeds produce equal streams on every
+    /// platform; the seed is whitened through splitmix64 so small seeds
+    /// (0, 1, 2, …) still start from well-mixed states.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // one splitmix64 step; avoids the all-zero xorshift fixed point
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        Rng {
+            state: z | 1, // never zero
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let width = (hi - lo) as u64;
+        // multiply-shift mapping; bias is < 2⁻⁶⁴·width, irrelevant here
+        lo + ((self.next_u64() as u128 * width as u128) >> 64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_usize_covers_and_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.range_usize(2, 7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = r.range_f64(-0.35, 0.35);
+            assert!((-0.35..0.35).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = Rng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} of 10000");
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut r = Rng::seed_from_u64(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

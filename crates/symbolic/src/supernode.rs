@@ -181,7 +181,9 @@ impl SupernodePartition {
 
     /// Root supernodes.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.nsup()).filter(|&s| self.parent[s] == NONE).collect()
+        (0..self.nsup())
+            .filter(|&s| self.parent[s] == NONE)
+            .collect()
     }
 
     /// Nonzeros of `L` accounted supernode by supernode:
@@ -262,7 +264,8 @@ impl SupernodePartition {
                 // prev's tree parent = supernode of its first below row
                 let prev_t = prev.last + 1 - prev.first;
                 let prev_parent_col = prev.rows.get(prev_t).copied();
-                if prev_parent_col.map(|c| !(node.first..=node.last).contains(&c))
+                if prev_parent_col
+                    .map(|c| !(node.first..=node.last).contains(&c))
                     .unwrap_or(true)
                 {
                     break;
@@ -388,7 +391,8 @@ mod tests {
             let f = cols.start;
             for j in cols.clone() {
                 // below-supernode rows must equal the supernode's shared set
-                let below: Vec<usize> = sym.col_rows(j)
+                let below: Vec<usize> = sym
+                    .col_rows(j)
                     .iter()
                     .copied()
                     .filter(|&i| i >= cols.end)
@@ -482,11 +486,7 @@ mod tests {
         let a = gen::grid2d_laplacian(7, 5);
         let (_, sn) = analyze(&a);
         let w = sn.subtree_solve_flops(1);
-        let total: u64 = sn
-            .roots()
-            .iter()
-            .map(|&r| w[r])
-            .sum();
+        let total: u64 = sn.roots().iter().map(|&r| w[r]).sum();
         let direct: u64 = (0..sn.nsup()).map(|s| sn.solve_flops_snode(s, 1)).sum();
         assert_eq!(total, direct);
     }

@@ -22,7 +22,11 @@ fn main() {
     let an = seqchol::analyze_with_perm(&a, &perm);
 
     println!("after nested dissection + postorder:");
-    println!("  factor nonzeros: {} (fill-in: {})", an.sym.nnz(), an.sym.nnz() - a.nnz());
+    println!(
+        "  factor nonzeros: {} (fill-in: {})",
+        an.sym.nnz(),
+        an.sym.nnz() - a.nnz()
+    );
     println!("  supernodes: {}", an.part.nsup());
     println!("  elimination-tree height: {}\n", an.sym.tree().height());
 

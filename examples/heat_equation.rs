@@ -32,9 +32,7 @@ fn main() {
     let coords = nd::grid2d_coords(k, k, 1);
     let solver =
         ParallelSolver::build(&m, Some(&coords), &ParallelSolverOptions::t3d(16)).expect("SPD");
-    println!(
-        "implicit heat equation on a {k}x{k} grid (N = {n}), dt = {dt}",
-    );
+    println!("implicit heat equation on a {k}x{k} grid (N = {n}), dt = {dt}",);
     println!(
         "factorization: {:.3} s virtual; redistribution: {:.4} s virtual\n",
         solver.factor_report().time,

@@ -15,11 +15,8 @@ fn main() {
     let k = 31;
     let a = gen::grid2d_laplacian(k, k);
     let g = Graph::from_sym_lower(&a);
-    let perm = nd::nested_dissection_coords(
-        &g,
-        &nd::grid2d_coords(k, k, 1),
-        nd::NdOptions::default(),
-    );
+    let perm =
+        nd::nested_dissection_coords(&g, &nd::grid2d_coords(k, k, 1), nd::NdOptions::default());
     let an = seqchol::analyze_with_perm(&a, &perm);
     let factor = seqchol::factor_supernodal(&an.pa, &an.part).expect("SPD");
 

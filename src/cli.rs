@@ -80,13 +80,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .next()
                     .ok_or_else(|| format!("missing value for {flag}"))?;
                 match flag.as_str() {
-                    "--procs" => {
-                        procs = value.parse().map_err(|e| format!("bad --procs: {e}"))?
-                    }
+                    "--procs" => procs = value.parse().map_err(|e| format!("bad --procs: {e}"))?,
                     "--nrhs" => nrhs = value.parse().map_err(|e| format!("bad --nrhs: {e}"))?,
-                    "--block" => {
-                        block = value.parse().map_err(|e| format!("bad --block: {e}"))?
-                    }
+                    "--block" => block = value.parse().map_err(|e| format!("bad --block: {e}"))?,
                     "--ordering" => ordering = value.clone(),
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
@@ -120,7 +116,14 @@ pub fn load_matrix(path: &str) -> Result<(CscMatrix, String), CliError> {
         .is_some_and(|e| e.eq_ignore_ascii_case("mtx"))
     {
         let (m, _) = mmio::read_matrix_market(reader).map_err(|e| e.to_string())?;
-        Ok((m, Path::new(path).file_name().unwrap().to_string_lossy().into_owned()))
+        Ok((
+            m,
+            Path::new(path)
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned(),
+        ))
     } else {
         let (m, title) = hb::read_harwell_boeing(reader).map_err(|e| e.to_string())?;
         Ok((m, title))
@@ -238,11 +241,21 @@ mod tests {
     fn parses_subcommands() {
         assert_eq!(
             parse_args(&strv(&["info", "m.mtx"])).unwrap(),
-            Command::Info { path: "m.mtx".into() }
+            Command::Info {
+                path: "m.mtx".into()
+            }
         );
         let cmd = parse_args(&strv(&[
-            "solve", "m.rsa", "--procs", "64", "--nrhs", "10", "--block", "4",
-            "--ordering", "multilevel",
+            "solve",
+            "m.rsa",
+            "--procs",
+            "64",
+            "--nrhs",
+            "10",
+            "--block",
+            "4",
+            "--ordering",
+            "multilevel",
         ]))
         .unwrap();
         assert_eq!(

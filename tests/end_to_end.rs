@@ -140,7 +140,12 @@ fn ordering_choice_changes_fill_not_solution() {
         fills.push(solver.factor_matrix().nnz());
     }
     // nested dissection must beat the natural ordering on a grid
-    assert!(fills[1] < fills[0], "nd fill {} vs natural {}", fills[1], fills[0]);
+    assert!(
+        fills[1] < fills[0],
+        "nd fill {} vs natural {}",
+        fills[1],
+        fills[0]
+    );
 }
 
 #[test]

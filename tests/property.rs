@@ -1,21 +1,29 @@
-//! Property-based tests over the core invariants, spanning crates.
+//! Randomized property tests over the core invariants, spanning crates.
+//!
+//! Each test draws its own case parameters from the in-tree
+//! deterministic PRNG ([`trisolv::matrix::rng::Rng`]) so the suite runs
+//! fully offline and every failure reproduces from the printed case
+//! index.
 
-use proptest::prelude::*;
 use trisolv::core::mapping::SubcubeMapping;
-use trisolv::core::tree::{solve_fb, SolveConfig};
 use trisolv::core::seq;
+use trisolv::core::tree::{solve_fb, SolveConfig};
+use trisolv::core::ThreadedSolver;
 use trisolv::factor::seqchol;
 use trisolv::graph::{nd, EliminationTree, Graph, Permutation};
 use trisolv::machine::{BlockCyclic1d, MachineParams};
 use trisolv::matrix::gen;
+use trisolv::matrix::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The factor reconstructs the matrix: `L·Lᵀ·x = A·x` for random SPD
-    /// matrices and random probes.
-    #[test]
-    fn factorization_reconstructs_matrix(n in 5usize..60, avg in 1usize..5, seed in 0u64..500) {
+/// The factor reconstructs the matrix: `L·Lᵀ·x = A·x` for random SPD
+/// matrices and random probes.
+#[test]
+fn factorization_reconstructs_matrix() {
+    let mut rng = Rng::seed_from_u64(0xA1);
+    for case in 0..24 {
+        let n = rng.range_usize(5, 60);
+        let avg = rng.range_usize(1, 5);
+        let seed = rng.next_u64() % 500;
         let a = gen::random_spd(n, avg, seed);
         let g = Graph::from_sym_lower(&a);
         let perm = nd::nested_dissection(&g, nd::NdOptions::default());
@@ -25,19 +33,24 @@ proptest! {
         let ax = an.pa.spmv_sym_lower(&x).unwrap();
         let llx = f.llt_times(&x);
         let scale = ax.norm_max().max(1.0);
-        prop_assert!(ax.max_abs_diff(&llx).unwrap() / scale < 1e-9);
+        assert!(
+            ax.max_abs_diff(&llx).unwrap() / scale < 1e-9,
+            "case {case}: n={n} avg={avg} seed={seed}"
+        );
     }
+}
 
-    /// The simulated parallel solver produces the sequential answer for
-    /// arbitrary processor counts, block sizes, and RHS widths.
-    #[test]
-    fn parallel_solve_matches_sequential(
-        n in 20usize..80,
-        seed in 0u64..200,
-        p in 1usize..9,
-        block in 1usize..5,
-        nrhs in 1usize..4,
-    ) {
+/// The simulated parallel solver produces the sequential answer for
+/// arbitrary processor counts, block sizes, and RHS widths.
+#[test]
+fn parallel_solve_matches_sequential() {
+    let mut rng = Rng::seed_from_u64(0xA2);
+    for case in 0..24 {
+        let n = rng.range_usize(20, 80);
+        let seed = rng.next_u64() % 200;
+        let p = rng.range_usize(1, 9);
+        let block = rng.range_usize(1, 5);
+        let nrhs = rng.range_usize(1, 4);
         let a = gen::random_spd(n, 3, seed);
         let g = Graph::from_sym_lower(&a);
         let perm = nd::nested_dissection(&g, nd::NdOptions::default());
@@ -46,48 +59,158 @@ proptest! {
         let b = gen::random_rhs(n, nrhs, seed.wrapping_add(7));
         let expect = seq::forward_backward(&f, &b);
         let mapping = SubcubeMapping::new(&an.part, p);
-        let config = SolveConfig { nprocs: p, block, params: MachineParams::t3d() };
+        let config = SolveConfig {
+            nprocs: p,
+            block,
+            params: MachineParams::t3d(),
+        };
         let (x, _) = solve_fb(&f, &mapping, &b, &config);
-        prop_assert!(x.max_abs_diff(&expect).unwrap() < 1e-8);
+        assert!(
+            x.max_abs_diff(&expect).unwrap() < 1e-8,
+            "case {case}: n={n} seed={seed} p={p} block={block} nrhs={nrhs}"
+        );
     }
+}
 
-    /// Elimination-tree invariant: parents always have larger labels after
-    /// postordering, and subtree sizes telescope.
-    #[test]
-    fn etree_postorder_invariants(n in 3usize..50, avg in 1usize..5, seed in 0u64..300) {
+/// The shared-memory level-scheduled solver matches the sequential solver
+/// on random SPD matrices at every RHS width 0..=8 (zero-width blocks are
+/// a regression case: the executor must no-op, not divide by empty
+/// strides).
+#[test]
+fn threaded_solve_matches_sequential_random_spd() {
+    let mut rng = Rng::seed_from_u64(0xA3);
+    for case in 0..20 {
+        let n = rng.range_usize(10, 90);
+        let seed = rng.next_u64() % 400;
+        let nrhs = rng.range_usize(0, 9);
+        let a = gen::random_spd(n, 3, seed);
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let f = seqchol::factor_supernodal(&an.pa, &an.part).unwrap();
+        let solver = ThreadedSolver::new(&f).unwrap();
+        let mut ws = solver.workspace(nrhs);
+        let b = gen::random_rhs(n, nrhs, seed.wrapping_add(11));
+        let y = solver.forward_with(&b, &mut ws);
+        assert!(
+            y.max_abs_diff(&seq::forward(&f, &b)).unwrap() < 1e-12,
+            "forward case {case}: n={n} seed={seed} nrhs={nrhs}"
+        );
+        let x = solver.backward_with(&y, &mut ws);
+        assert!(
+            x.max_abs_diff(&seq::backward(&f, &y)).unwrap() < 1e-12,
+            "backward case {case}: n={n} seed={seed} nrhs={nrhs}"
+        );
+    }
+}
+
+/// The threaded solver agrees with the sequential one on grid Laplacians
+/// and forests of disconnected components, for both fundamental and
+/// amalgamated supernode partitions.
+#[test]
+fn threaded_solve_matches_sequential_grids_and_forests() {
+    let mut rng = Rng::seed_from_u64(0xA4);
+    for case in 0..12 {
+        let seed = rng.next_u64() % 100;
+        let nrhs = rng.range_usize(1, 9);
+        let a = match case % 3 {
+            0 => gen::grid2d_laplacian(rng.range_usize(5, 14), rng.range_usize(5, 14)),
+            1 => gen::grid3d_laplacian(
+                rng.range_usize(3, 6),
+                rng.range_usize(3, 6),
+                rng.range_usize(3, 6),
+            ),
+            _ => {
+                // forest: block-diagonal union of small chains
+                let blocks = rng.range_usize(2, 6);
+                let len = rng.range_usize(2, 7);
+                let n = blocks * len;
+                let mut t = trisolv::matrix::TripletMatrix::new(n, n);
+                for i in 0..n {
+                    t.push(i, i, 4.0).unwrap();
+                }
+                for b in 0..blocks {
+                    for i in 0..len - 1 {
+                        let r = b * len + i;
+                        t.push(r + 1, r, -1.0).unwrap();
+                    }
+                }
+                t.to_csc()
+            }
+        };
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        // fundamental and amalgamated partitions over the same problem
+        let relax = rng.range_usize(0, 16);
+        let parts = [an.part.clone(), an.part.amalgamate(relax, 0.2)];
+        for (which, part) in parts.iter().enumerate() {
+            let f = seqchol::factor_supernodal(&an.pa, part).unwrap();
+            let b = gen::random_rhs(a.ncols(), nrhs, seed.wrapping_add(13));
+            let expect = seq::forward_backward(&f, &b);
+            let solver = ThreadedSolver::new(&f).unwrap();
+            let mut ws = solver.workspace(nrhs);
+            let got = solver.forward_backward_with(&b, &mut ws);
+            assert!(
+                got.max_abs_diff(&expect).unwrap() < 1e-12,
+                "case {case} part {which}: seed={seed} nrhs={nrhs} relax={relax}"
+            );
+        }
+    }
+}
+
+/// Elimination-tree invariant: parents always have larger labels after
+/// postordering, and subtree sizes telescope.
+#[test]
+fn etree_postorder_invariants() {
+    let mut rng = Rng::seed_from_u64(0xA5);
+    for case in 0..24 {
+        let n = rng.range_usize(3, 50);
+        let avg = rng.range_usize(1, 5);
+        let seed = rng.next_u64() % 300;
         let a = gen::random_spd(n, avg, seed);
         let t = EliminationTree::from_sym_lower(&a);
         let post = t.postorder();
         let pt = t.permute(&post);
-        prop_assert!(pt.is_postordered());
+        assert!(pt.is_postordered(), "case {case}: n={n} seed={seed}");
         let sizes = pt.subtree_sizes();
         let root_total: usize = pt.roots().iter().map(|&r| sizes[r]).sum();
-        prop_assert_eq!(root_total, n);
+        assert_eq!(root_total, n, "case {case}: n={n} seed={seed}");
     }
+}
 
-    /// Block-cyclic maps are bijections between global indices and
-    /// (owner, local index) pairs.
-    #[test]
-    fn block_cyclic_local_index_bijective(
-        n in 1usize..200,
-        b in 1usize..10,
-        p in 1usize..9,
-    ) {
+/// Block-cyclic maps are bijections between global indices and
+/// (owner, local index) pairs.
+#[test]
+fn block_cyclic_local_index_bijective() {
+    let mut rng = Rng::seed_from_u64(0xA6);
+    for case in 0..24 {
+        let n = rng.range_usize(1, 200);
+        let b = rng.range_usize(1, 10);
+        let p = rng.range_usize(1, 9);
         let l = BlockCyclic1d::new(n, b, p);
         let mut seen = vec![std::collections::HashSet::new(); p];
         for i in 0..n {
             let q = l.owner(i);
-            prop_assert!(q < p);
-            prop_assert!(seen[q].insert(l.local_index(i)));
+            assert!(q < p, "case {case}");
+            assert!(
+                seen[q].insert(l.local_index(i)),
+                "case {case}: duplicate local index for global {i}"
+            );
         }
         for (q, s) in seen.iter().enumerate() {
-            prop_assert_eq!(s.len(), l.local_count(q));
+            assert_eq!(s.len(), l.local_count(q), "case {case}: rank {q}");
         }
     }
+}
 
-    /// Permutations compose associatively and invert correctly.
-    #[test]
-    fn permutation_algebra(seed in 0u64..1000, n in 1usize..40) {
+/// Permutations compose associatively and invert correctly.
+#[test]
+fn permutation_algebra() {
+    let mut rng = Rng::seed_from_u64(0xA7);
+    for case in 0..24 {
+        let seed = rng.next_u64() % 1000;
+        let n = rng.range_usize(1, 40);
         // derive two permutations from orderings of a random graph
         let a = gen::random_spd(n, 2, seed);
         let g = Graph::from_sym_lower(&a);
@@ -95,19 +218,24 @@ proptest! {
         let p2 = trisolv::graph::rcm::reverse_cuthill_mckee(&g);
         let c = p1.then(&p2);
         for i in 0..n {
-            prop_assert_eq!(c.apply(i), p2.apply(p1.apply(i)));
+            assert_eq!(c.apply(i), p2.apply(p1.apply(i)), "case {case}");
         }
         let inv = c.inverse();
         for i in 0..n {
-            prop_assert_eq!(inv.apply(c.apply(i)), i);
+            assert_eq!(inv.apply(c.apply(i)), i, "case {case}");
         }
-        prop_assert_eq!(c.then(&inv), Permutation::identity(n));
+        assert_eq!(c.then(&inv), Permutation::identity(n), "case {case}");
     }
+}
 
-    /// The supernode partition tiles the columns and its per-column
-    /// structure nests into parents.
-    #[test]
-    fn supernode_partition_tiles_columns(n in 5usize..60, seed in 0u64..200) {
+/// The supernode partition tiles the columns and its per-column
+/// structure nests into parents.
+#[test]
+fn supernode_partition_tiles_columns() {
+    let mut rng = Rng::seed_from_u64(0xA8);
+    for case in 0..24 {
+        let n = rng.range_usize(5, 60);
+        let seed = rng.next_u64() % 200;
         let a = gen::random_spd(n, 3, seed);
         let g = Graph::from_sym_lower(&a);
         let perm = nd::nested_dissection(&g, nd::NdOptions::default());
@@ -119,18 +247,26 @@ proptest! {
             // below rows must be contained in the parent's row set
             if let Some(p) = part.parent(s) {
                 for &r in part.below_rows(s) {
-                    prop_assert!(part.rows(p).contains(&r),
-                        "below row {r} of snode {s} missing from parent {p}");
+                    assert!(
+                        part.rows(p).contains(&r),
+                        "case {case}: below row {r} of snode {s} missing from parent {p}"
+                    );
                 }
             }
         }
-        prop_assert_eq!(count, n);
+        assert_eq!(count, n, "case {case}: n={n} seed={seed}");
     }
+}
 
-    /// Subtree-to-subcube: groups nest upward and sequential supernodes
-    /// partition the non-parallel set, for arbitrary trees and p.
-    #[test]
-    fn mapping_invariants(n in 10usize..60, seed in 0u64..100, p in 1usize..17) {
+/// Subtree-to-subcube: groups nest upward and sequential supernodes
+/// partition the non-parallel set, for arbitrary trees and p.
+#[test]
+fn mapping_invariants() {
+    let mut rng = Rng::seed_from_u64(0xA9);
+    for case in 0..24 {
+        let n = rng.range_usize(10, 60);
+        let seed = rng.next_u64() % 100;
+        let p = rng.range_usize(1, 17);
         let a = gen::random_spd(n, 3, seed);
         let g = Graph::from_sym_lower(&a);
         let perm = nd::nested_dissection(&g, nd::NdOptions::default());
@@ -144,27 +280,28 @@ proptest! {
         }
         for s in 0..an.part.nsup() {
             if m.is_parallel(s) {
-                prop_assert_eq!(seq_owned[s], 0);
+                assert_eq!(seq_owned[s], 0, "case {case}: snode {s}");
             } else {
-                prop_assert_eq!(seq_owned[s], 1);
+                assert_eq!(seq_owned[s], 1, "case {case}: snode {s}");
             }
             if let Some(par) = an.part.parent(s) {
                 for &r in m.group(s).ranks() {
-                    prop_assert!(m.group(par).contains(r));
+                    assert!(m.group(par).contains(r), "case {case}: snode {s}");
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The Bruck all-to-all delivers exactly what the direct schedule
-    /// delivers, for arbitrary group sizes and ragged chunk lengths.
-    #[test]
-    fn bruck_a2a_equals_direct(q in 1usize..10, seed in 0u64..100) {
-        use trisolv::machine::{coll, Group, Machine, MachineParams};
+/// The Bruck all-to-all delivers exactly what the direct schedule
+/// delivers, for arbitrary group sizes and ragged chunk lengths.
+#[test]
+fn bruck_a2a_equals_direct() {
+    use trisolv::machine::{coll, Group, Machine};
+    let mut rng = Rng::seed_from_u64(0xB1);
+    for case in 0..16 {
+        let q = rng.range_usize(1, 10);
+        let seed = rng.next_u64() % 100;
         let machine = Machine::new(q, MachineParams::t3d());
         let r = machine.run(|p| {
             let g = Group::world(q);
@@ -179,15 +316,20 @@ proptest! {
             (a, b)
         });
         for (a, b) in r.results {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}: q={q} seed={seed}");
         }
     }
+}
 
-    /// scatter ∘ allgather round-trips arbitrary chunk sets.
-    #[test]
-    fn scatter_allgather_roundtrip(q in 1usize..10, root in 0usize..10, seed in 0u64..50) {
-        use trisolv::machine::{coll, Group, Machine, MachineParams};
-        let root = root % q;
+/// scatter ∘ allgather round-trips arbitrary chunk sets.
+#[test]
+fn scatter_allgather_roundtrip() {
+    use trisolv::machine::{coll, Group, Machine};
+    let mut rng = Rng::seed_from_u64(0xB2);
+    for case in 0..16 {
+        let q = rng.range_usize(1, 10);
+        let root = rng.range_usize(0, 10) % q;
+        let seed = rng.next_u64() % 50;
         let machine = Machine::new(q, MachineParams::t3d());
         let r = machine.run(|p| {
             let g = Group::world(q);
@@ -202,42 +344,62 @@ proptest! {
             .map(|d| vec![(d as u64 * 31 + seed) as f64; (d % 3) + 1])
             .collect();
         for got in r.results {
-            prop_assert_eq!(&got, &expect);
+            assert_eq!(&got, &expect, "case {case}: q={q} root={root} seed={seed}");
         }
     }
+}
 
-    /// Harwell-Boeing round trip preserves arbitrary generated matrices.
-    #[test]
-    fn hb_round_trip(n in 2usize..40, avg in 1usize..4, seed in 0u64..200) {
-        use trisolv::matrix::hb;
+/// Harwell-Boeing round trip preserves arbitrary generated matrices.
+#[test]
+fn hb_round_trip() {
+    use trisolv::matrix::hb;
+    let mut rng = Rng::seed_from_u64(0xB3);
+    for case in 0..16 {
+        let n = rng.range_usize(2, 40);
+        let avg = rng.range_usize(1, 4);
+        let seed = rng.next_u64() % 200;
         let a = gen::random_spd(n, avg, seed);
         let mut buf = Vec::new();
         hb::write_harwell_boeing(&mut buf, &a, "prop", "PROP", true).unwrap();
         let (b, _) = hb::read_harwell_boeing(std::io::BufReader::new(&buf[..])).unwrap();
-        prop_assert_eq!(a.shape(), b.shape());
-        prop_assert!(a.to_dense().max_abs_diff(&b.to_dense()).unwrap() < 1e-12);
+        assert_eq!(a.shape(), b.shape(), "case {case}");
+        assert!(
+            a.to_dense().max_abs_diff(&b.to_dense()).unwrap() < 1e-12,
+            "case {case}: n={n} seed={seed}"
+        );
     }
+}
 
-    /// Irregular meshes solve end-to-end through the full parallel driver.
-    #[test]
-    fn irregular_mesh_solves(k in 5usize..12, seed in 0u64..50, p in 1usize..9) {
-        use trisolv::core::{ParallelSolver, ParallelSolverOptions};
+/// Irregular meshes solve end-to-end through the full parallel driver.
+#[test]
+fn irregular_mesh_solves() {
+    use trisolv::core::{ParallelSolver, ParallelSolverOptions};
+    let mut rng = Rng::seed_from_u64(0xB4);
+    for case in 0..8 {
+        let k = rng.range_usize(5, 12);
+        let seed = rng.next_u64() % 50;
+        let p = rng.range_usize(1, 9);
         let (a, coords) = gen::mesh2d_irregular(k, seed);
-        let solver = ParallelSolver::build(
-            &a,
-            Some(&coords),
-            &ParallelSolverOptions::t3d(p),
-        ).unwrap();
+        let solver =
+            ParallelSolver::build(&a, Some(&coords), &ParallelSolverOptions::t3d(p)).unwrap();
         let x_true = gen::random_rhs(a.ncols(), 1, seed);
         let b = a.spmv_sym_lower(&x_true).unwrap();
         let (x, _) = solver.solve(&b);
-        prop_assert!(x.max_abs_diff(&x_true).unwrap() < 1e-7);
+        assert!(
+            x.max_abs_diff(&x_true).unwrap() < 1e-7,
+            "case {case}: k={k} seed={seed} p={p}"
+        );
     }
+}
 
-    /// Factor save/load round-trips bitwise for random problems.
-    #[test]
-    fn factor_io_round_trip(n in 5usize..50, seed in 0u64..100) {
-        use trisolv::factor::fio;
+/// Factor save/load round-trips bitwise for random problems.
+#[test]
+fn factor_io_round_trip() {
+    use trisolv::factor::fio;
+    let mut rng = Rng::seed_from_u64(0xB5);
+    for case in 0..16 {
+        let n = rng.range_usize(5, 50);
+        let seed = rng.next_u64() % 100;
         let a = gen::random_spd(n, 3, seed);
         let g = Graph::from_sym_lower(&a);
         let perm = nd::nested_dissection(&g, nd::NdOptions::default());
@@ -247,29 +409,28 @@ proptest! {
         fio::save_factor(&mut buf, &f).unwrap();
         let g2 = fio::load_factor(&mut &buf[..]).unwrap();
         for s in 0..f.nsup() {
-            prop_assert_eq!(g2.block(s), f.block(s));
+            assert_eq!(g2.block(s), f.block(s), "case {case}: snode {s}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+/// The pipelined forward kernel equals the dense reference on random
+/// trapezoid shapes, group sizes, and block sizes.
+#[test]
+fn pipelined_forward_matches_dense_reference() {
+    use trisolv::core::pipeline::{forward_column_priority, LocalTrapezoid};
+    use trisolv::factor::blas;
+    use trisolv::machine::{Group, Machine};
+    use trisolv::matrix::DenseMatrix;
 
-    /// The pipelined forward kernel equals the dense reference on random
-    /// trapezoid shapes, group sizes, and block sizes.
-    #[test]
-    fn pipelined_forward_matches_dense_reference(
-        t in 1usize..24,
-        extra in 0usize..16,
-        q in 1usize..7,
-        block in 1usize..6,
-        nrhs in 1usize..3,
-        seed in 0u64..100,
-    ) {
-        use trisolv::core::pipeline::{forward_column_priority, LocalTrapezoid};
-        use trisolv::factor::blas;
-        use trisolv::machine::{BlockCyclic1d, Group, Machine};
-        use trisolv::matrix::DenseMatrix;
+    let mut rng = Rng::seed_from_u64(0xB6);
+    for case in 0..20 {
+        let t = rng.range_usize(1, 24);
+        let extra = rng.range_usize(0, 16);
+        let q = rng.range_usize(1, 7);
+        let block = rng.range_usize(1, 6);
+        let nrhs = rng.range_usize(1, 3);
+        let seed = rng.next_u64() % 100;
 
         let n = t + extra;
         // random diagonally-dominant trapezoid
@@ -277,7 +438,11 @@ proptest! {
         let mut trap = DenseMatrix::zeros(n, t);
         for j in 0..t {
             for i in j..n {
-                trap[(i, j)] = if i == j { 3.0 } else { 0.3 * vals.as_slice()[i + j * n] };
+                trap[(i, j)] = if i == j {
+                    3.0
+                } else {
+                    0.3 * vals.as_slice()[i + j * n]
+                };
             }
         }
         let rhs_global = gen::random_rhs(n, nrhs, seed.wrapping_add(1));
@@ -314,24 +479,28 @@ proptest! {
         for (positions, r) in run.results {
             for c in 0..nrhs {
                 for (li, &gi) in positions.iter().enumerate() {
-                    prop_assert!(
+                    assert!(
                         (r[(li, c)] - reference[(gi, c)]).abs() < 1e-9,
-                        "pos {gi} rhs {c}: {} vs {}", r[(li, c)], reference[(gi, c)]
+                        "case {case} pos {gi} rhs {c}: {} vs {}",
+                        r[(li, c)],
+                        reference[(gi, c)]
                     );
                 }
             }
         }
     }
+}
 
-    /// Amalgamation at random relaxation levels preserves factorization
-    /// correctness.
-    #[test]
-    fn amalgamated_factor_still_correct(
-        n in 20usize..70,
-        seed in 0u64..100,
-        relax_abs in 0usize..40,
-        relax_pct in 0usize..40,
-    ) {
+/// Amalgamation at random relaxation levels preserves factorization
+/// correctness.
+#[test]
+fn amalgamated_factor_still_correct() {
+    let mut rng = Rng::seed_from_u64(0xB7);
+    for case in 0..20 {
+        let n = rng.range_usize(20, 70);
+        let seed = rng.next_u64() % 100;
+        let relax_abs = rng.range_usize(0, 40);
+        let relax_pct = rng.range_usize(0, 40);
         let a = gen::random_spd(n, 3, seed);
         let g = Graph::from_sym_lower(&a);
         let perm = nd::nested_dissection(&g, nd::NdOptions::default());
@@ -342,6 +511,9 @@ proptest! {
         let ax = an.pa.spmv_sym_lower(&x).unwrap();
         let llx = f.llt_times(&x);
         let scale = ax.norm_max().max(1.0);
-        prop_assert!(ax.max_abs_diff(&llx).unwrap() / scale < 1e-9);
+        assert!(
+            ax.max_abs_diff(&llx).unwrap() / scale < 1e-9,
+            "case {case}: n={n} seed={seed} relax=({relax_abs},{relax_pct}%)"
+        );
     }
 }
