@@ -1,0 +1,208 @@
+//! Service-level reproduction of the paper's multi-RHS amortization curve.
+//!
+//! The paper reports 435 MFLOPS at 1 RHS vs >3 GFLOPS at 30 blocked RHS on
+//! the T3D: per-solve overhead, not arithmetic, limits throughput. Here the
+//! same sweep runs at the *service* level: a solve server is started with
+//! micro-batch sizes {1, 4, 8, 30}, a fixed fleet of closed-loop clients
+//! hammers it with single-RHS requests over loopback TCP, and the measured
+//! requests/sec show how far merging concurrent requests into blocked
+//! `n×k` solves amortizes the per-request cost. Writes `BENCH_server.json`.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin bench_server`
+
+use std::time::Duration;
+
+use trisolv_bench::timing::Json;
+use trisolv_matrix::gen;
+use trisolv_server::{
+    BatchOptions, Client, EngineOptions, ExecMode, LoadGenOptions, Server, ServerOptions,
+};
+
+const MATRIX_SPEC: &str = "grid2d:112";
+const CLIENTS: usize = 30;
+const BATCH_SIZES: [usize; 4] = [1, 4, 8, 30];
+const RUN_SECS: f64 = 2.0;
+const WINDOW_MS: u64 = 10;
+/// Repetitions per configuration; the best rep is reported. Throughput
+/// under a noisy scheduler only ever loses to interference, so the max
+/// over reps is the least-biased estimate of the machine's capability.
+const REPS: usize = 3;
+
+/// Numeric override from the environment, for ad-hoc sweeps without rebuilds.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct ConfigResult {
+    max_batch: usize,
+    requests: u64,
+    errors: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    batches: u64,
+    mean_batch: f64,
+    largest_batch: usize,
+}
+
+fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize) -> ConfigResult {
+    let clients = env_or("BENCH_CLIENTS", CLIENTS);
+    let server = Server::spawn(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients + 2,
+        engine: EngineOptions {
+            exec: ExecMode::Threaded,
+            batch: BatchOptions {
+                max_batch,
+                window: Duration::from_millis(env_or("BENCH_WINDOW_MS", WINDOW_MS)),
+                wait_timeout: Duration::from_secs(30),
+            },
+            ..EngineOptions::default()
+        },
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let loaded = Client::connect(&addr)
+        .expect("connect")
+        .load(a)
+        .expect("factor and cache");
+
+    let report = trisolv_server::run_load(&LoadGenOptions {
+        addr,
+        fingerprint: loaded.fingerprint,
+        n: loaded.n,
+        clients,
+        duration: Duration::from_secs_f64(env_or("BENCH_RUN_SECS", RUN_SECS)),
+        seed: 42,
+    })
+    .expect("load generation");
+    let stats = server.engine().stats();
+    server.join();
+
+    ConfigResult {
+        max_batch,
+        requests: report.requests,
+        errors: report.errors,
+        rps: report.throughput_rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        mean_us: report.mean_us,
+        batches: stats.batches,
+        mean_batch: stats.batched_cols as f64 / (stats.batches.max(1)) as f64,
+        largest_batch: stats.max_batch,
+    }
+}
+
+fn main() {
+    let spec = std::env::var("BENCH_MATRIX").unwrap_or_else(|_| MATRIX_SPEC.to_string());
+    let clients = env_or("BENCH_CLIENTS", CLIENTS);
+    let run_secs = env_or("BENCH_RUN_SECS", RUN_SECS);
+    let a = gen::from_spec(&spec).expect("matrix spec");
+    println!(
+        "bench_server: {spec} (n = {}), {clients} closed-loop clients, {run_secs} s per config\n",
+        a.nrows()
+    );
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "max_batch", "req/s", "p50 us", "p99 us", "mean batch", "batches", "errors"
+    );
+
+    let reps = env_or("BENCH_REPS", REPS).max(1);
+    // round-robin the repetitions so a slow stretch of the machine hits
+    // every configuration instead of wiping out one config's whole set
+    let mut best: Vec<Option<ConfigResult>> = BATCH_SIZES.iter().map(|_| None).collect();
+    for _ in 0..reps {
+        for (slot, &k) in BATCH_SIZES.iter().enumerate() {
+            let r = run_config(&a, k);
+            if best[slot].as_ref().is_none_or(|b| r.rps > b.rps) {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    let mut results = Vec::new();
+    for r in best.into_iter().flatten() {
+        println!(
+            "{:>9} {:>10.0} {:>10.0} {:>10.0} {:>10.2} {:>11} {:>10}",
+            r.max_batch, r.rps, r.p50_us, r.p99_us, r.mean_batch, r.batches, r.errors
+        );
+        assert_eq!(
+            r.errors, 0,
+            "config {}: load generation saw errors",
+            r.max_batch
+        );
+        assert!(
+            r.requests > 0,
+            "config {}: no requests completed",
+            r.max_batch
+        );
+        results.push(r);
+    }
+
+    let rps_of = |k: usize| {
+        results
+            .iter()
+            .find(|r| r.max_batch == k)
+            .map(|r| r.rps)
+            .expect("config ran")
+    };
+    let base = rps_of(1);
+    let ratio8 = rps_of(8) / base;
+    let ratio30 = rps_of(30) / base;
+    println!(
+        "\nthroughput vs unbatched: k=4 {:.2}x, k=8 {:.2}x, k=30 {:.2}x",
+        rps_of(4) / base,
+        ratio8,
+        ratio30
+    );
+
+    let configs: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("max_batch", Json::Int(r.max_batch as i64)),
+                ("requests", Json::Int(r.requests as i64)),
+                ("errors", Json::Int(r.errors as i64)),
+                ("throughput_rps", Json::Num(r.rps)),
+                ("p50_us", Json::Num(r.p50_us)),
+                ("p99_us", Json::Num(r.p99_us)),
+                ("mean_us", Json::Num(r.mean_us)),
+                ("batches", Json::Int(r.batches as i64)),
+                ("mean_batch", Json::Num(r.mean_batch)),
+                ("largest_batch", Json::Int(r.largest_batch as i64)),
+                ("speedup_vs_unbatched", Json::Num(r.rps / base)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("server_batching".into())),
+        ("matrix", Json::Str(spec.clone())),
+        ("n", Json::Int(a.nrows() as i64)),
+        ("clients", Json::Int(clients as i64)),
+        ("run_secs", Json::Num(run_secs)),
+        (
+            "batch_window_ms",
+            Json::Int(env_or("BENCH_WINDOW_MS", WINDOW_MS) as i64),
+        ),
+        (
+            "hw_threads",
+            Json::Int(std::thread::available_parallelism().map_or(1, |t| t.get()) as i64),
+        ),
+        ("configs", Json::Arr(configs)),
+        ("speedup_k8_vs_k1", Json::Num(ratio8)),
+        ("speedup_k30_vs_k1", Json::Num(ratio30)),
+        (
+            "batched_2x_unbatched",
+            Json::Str(if ratio8.max(ratio30) >= 2.0 {
+                "yes".into()
+            } else {
+                "no".into()
+            }),
+        ),
+    ]);
+    std::fs::write("BENCH_server.json", doc.pretty()).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

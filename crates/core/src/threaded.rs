@@ -22,6 +22,7 @@
 //! identical to [`crate::seq`], so results match the sequential solver to
 //! rounding order (≤ 1e-12 on well-scaled problems).
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -91,7 +92,7 @@ impl SolveWorkspace {
 /// (modulo their output) through a caller-held [`SolveWorkspace`].
 pub struct ThreadedSolver<'f> {
     factor: &'f SupernodalFactor,
-    plan: SolvePlan,
+    plan: Cow<'f, SolvePlan>,
     nthreads: usize,
 }
 
@@ -104,9 +105,32 @@ impl<'f> ThreadedSolver<'f> {
         let nthreads = std::thread::available_parallelism().map_or(1, |n| n.get());
         Ok(ThreadedSolver {
             factor,
-            plan,
+            plan: Cow::Owned(plan),
             nthreads,
         })
+    }
+
+    /// Reuse a plan built earlier for this same factor (e.g. one held in a
+    /// factor cache) instead of rebuilding it. Plan construction is
+    /// `O(|L| pattern)`, so long-lived services that keep a factor
+    /// resident should build the plan once and borrow it per solve.
+    ///
+    /// # Panics
+    /// If `plan` was built from a different partition (order or supernode
+    /// count mismatch).
+    pub fn with_plan(factor: &'f SupernodalFactor, plan: &'f SolvePlan) -> ThreadedSolver<'f> {
+        assert_eq!(plan.n(), factor.n(), "plan/factor order mismatch");
+        assert_eq!(
+            plan.nsup(),
+            factor.nsup(),
+            "plan/factor supernode count mismatch"
+        );
+        let nthreads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ThreadedSolver {
+            factor,
+            plan: Cow::Borrowed(plan),
+            nthreads,
+        }
     }
 
     /// Override the worker-pool width (default: available parallelism).
@@ -543,6 +567,21 @@ mod tests {
         assert!(par_y.max_abs_diff(&seq_y).unwrap() < 1e-12);
         let x = solver.backward(&par_y);
         assert!(x.max_abs_diff(&seq::backward(&f, &seq_y)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn borrowed_plan_matches_owned_plan() {
+        let a = gen::grid2d_laplacian(11, 7);
+        let f = build(&a);
+        let plan = SolvePlan::new(f.partition()).unwrap();
+        let owned = ThreadedSolver::new(&f).unwrap();
+        let borrowed = ThreadedSolver::with_plan(&f, &plan);
+        let b = gen::random_rhs(f.n(), 3, 11);
+        let mut ws = SolveWorkspace::new(&plan, 3);
+        let x1 = owned.forward_backward_with(&b, &mut ws);
+        let x2 = borrowed.forward_backward_with(&b, &mut ws);
+        // identical plan + identical kernels → identical bits
+        assert_eq!(x1.as_slice(), x2.as_slice());
     }
 
     #[test]

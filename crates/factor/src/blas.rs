@@ -5,8 +5,37 @@
 //! of an operand lives at `buf[i + j * ld]`. Kernels are written with the
 //! inner loop running down a column (unit stride) per the perf-book
 //! guidance; no allocation happens inside any kernel.
+//!
+//! The multi-column kernels (`gemm_update`, `gemm_tn_update`,
+//! [`trsm_lower_left`], [`trsm_lower_trans_left`]) are register-blocked
+//! four right-hand-side columns at a time: each element of the triangular
+//! operand is loaded once and applied to four columns, so a blocked
+//! multi-RHS solve streams `L` once per four columns instead of once per
+//! column. This is the shared-memory analogue of the paper's multi-RHS
+//! pipelining result — the factor traffic and per-element load cost
+//! amortize over the RHS block. Each column's floating-point operations
+//! run in exactly the order of the one-column kernel, so results are
+//! bit-identical whatever the blocking (a property the solve service's
+//! batching layer relies on).
 
 use trisolv_matrix::MatrixError;
+
+/// Split four consecutive columns `j..j+4` of a column-major buffer with
+/// leading dimension `ld` into disjoint mutable column slices of length `m`.
+#[inline]
+#[allow(clippy::type_complexity)]
+fn four_cols_mut(
+    x: &mut [f64],
+    ld: usize,
+    j: usize,
+    m: usize,
+) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+    let block = &mut x[j * ld..j * ld + 3 * ld + m];
+    let (c0, rest) = block.split_at_mut(ld);
+    let (c1, rest) = rest.split_at_mut(ld);
+    let (c2, c3) = rest.split_at_mut(ld);
+    (&mut c0[..m], &mut c1[..m], &mut c2[..m], c3)
+}
 
 /// `C ← C − A·B` where `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
 pub fn gemm_update(
@@ -21,7 +50,46 @@ pub fn gemm_update(
     k: usize,
 ) {
     debug_assert!(ldc >= m && lda >= m && ldb >= k);
-    for j in 0..n {
+    let mut j = 0;
+    // four-column register blocking: each A element is loaded once and
+    // applied to four C columns
+    while j + 4 <= n {
+        let (c0, c1, c2, c3) = four_cols_mut(c, ldc, j, m);
+        for l in 0..k {
+            let a_col = &a[l * lda..l * lda + m];
+            let b0 = b[l + j * ldb];
+            let b1 = b[l + (j + 1) * ldb];
+            let b2 = b[l + (j + 2) * ldb];
+            let b3 = b[l + (j + 3) * ldb];
+            if b0 != 0.0 && b1 != 0.0 && b2 != 0.0 && b3 != 0.0 {
+                for i in 0..m {
+                    let ai = a_col[i];
+                    c0[i] -= ai * b0;
+                    c1[i] -= ai * b1;
+                    c2[i] -= ai * b2;
+                    c3[i] -= ai * b3;
+                }
+            } else {
+                // rare: keep the one-column kernel's zero-skip per column
+                // so results stay bit-identical to unblocked execution
+                for (cc, bb) in [
+                    (&mut *c0, b0),
+                    (&mut *c1, b1),
+                    (&mut *c2, b2),
+                    (&mut *c3, b3),
+                ] {
+                    if bb == 0.0 {
+                        continue;
+                    }
+                    for i in 0..m {
+                        cc[i] -= a_col[i] * bb;
+                    }
+                }
+            }
+        }
+        j += 4;
+    }
+    while j < n {
         for l in 0..k {
             let blj = b[l + j * ldb];
             if blj == 0.0 {
@@ -33,6 +101,7 @@ pub fn gemm_update(
                 c_col[i] -= a_col[i] * blj;
             }
         }
+        j += 1;
     }
 }
 
@@ -82,7 +151,32 @@ pub fn gemm_tn_update(
     k: usize,
 ) {
     debug_assert!(ldc >= m && lda >= k && ldb >= k);
-    for j in 0..n {
+    let mut j = 0;
+    // four-column register blocking: each A column is streamed once for
+    // four simultaneous inner products
+    while j + 4 <= n {
+        let b0 = &b[j * ldb..j * ldb + k];
+        let b1 = &b[(j + 1) * ldb..(j + 1) * ldb + k];
+        let b2 = &b[(j + 2) * ldb..(j + 2) * ldb + k];
+        let b3 = &b[(j + 3) * ldb..(j + 3) * ldb + k];
+        for i in 0..m {
+            let a_col = &a[i * lda..i * lda + k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for l in 0..k {
+                let al = a_col[l];
+                s0 += al * b0[l];
+                s1 += al * b1[l];
+                s2 += al * b2[l];
+                s3 += al * b3[l];
+            }
+            c[i + j * ldc] -= s0;
+            c[i + (j + 1) * ldc] -= s1;
+            c[i + (j + 2) * ldc] -= s2;
+            c[i + (j + 3) * ldc] -= s3;
+        }
+        j += 4;
+    }
+    while j < n {
         let b_col = &b[j * ldb..j * ldb + k];
         for i in 0..m {
             let a_col = &a[i * lda..i * lda + k];
@@ -92,6 +186,7 @@ pub fn gemm_tn_update(
             }
             c[i + j * ldc] -= sum;
         }
+        j += 1;
     }
 }
 
@@ -147,7 +242,51 @@ pub fn potrf_lower(a: &mut [f64], lda: usize, n: usize) -> Result<(), MatrixErro
 /// `X` is `m×n` (leading dim `ldx`): forward substitution on a block.
 pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
     debug_assert!(ldl >= m && ldx >= m);
-    for j in 0..n {
+    let mut j = 0;
+    // four-column register blocking: each L element is loaded once and
+    // applied to four solve columns
+    while j + 4 <= n {
+        let (x0, x1, x2, x3) = four_cols_mut(x, ldx, j, m);
+        for k in 0..m {
+            let l_col = &l[k * ldl..k * ldl + m];
+            let d = l_col[k];
+            let k0 = x0[k] / d;
+            let k1 = x1[k] / d;
+            let k2 = x2[k] / d;
+            let k3 = x3[k] / d;
+            x0[k] = k0;
+            x1[k] = k1;
+            x2[k] = k2;
+            x3[k] = k3;
+            if k0 != 0.0 && k1 != 0.0 && k2 != 0.0 && k3 != 0.0 {
+                for i in k + 1..m {
+                    let lik = l_col[i];
+                    x0[i] -= lik * k0;
+                    x1[i] -= lik * k1;
+                    x2[i] -= lik * k2;
+                    x3[i] -= lik * k3;
+                }
+            } else {
+                // rare: per-column zero-skip exactly as in the one-column
+                // kernel, keeping results bit-identical to it
+                for (xc, xk) in [
+                    (&mut *x0, k0),
+                    (&mut *x1, k1),
+                    (&mut *x2, k2),
+                    (&mut *x3, k3),
+                ] {
+                    if xk == 0.0 {
+                        continue;
+                    }
+                    for i in k + 1..m {
+                        xc[i] -= l_col[i] * xk;
+                    }
+                }
+            }
+        }
+        j += 4;
+    }
+    while j < n {
         let x_col = &mut x[j * ldx..j * ldx + m];
         for k in 0..m {
             let xk = x_col[k] / l[k + k * ldl];
@@ -159,6 +298,7 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
                 x_col[i] -= l[i + k * ldl] * xk;
             }
         }
+        j += 1;
     }
 }
 
@@ -166,7 +306,33 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
 /// backward substitution on a block.
 pub fn trsm_lower_trans_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
     debug_assert!(ldl >= m && ldx >= m);
-    for j in 0..n {
+    let mut j = 0;
+    // four-column register blocking: each L element is loaded once for
+    // four simultaneous inner products
+    while j + 4 <= n {
+        let (x0, x1, x2, x3) = four_cols_mut(x, ldx, j, m);
+        for k in (0..m).rev() {
+            let l_col = &l[k * ldl..k * ldl + m];
+            let mut s0 = x0[k];
+            let mut s1 = x1[k];
+            let mut s2 = x2[k];
+            let mut s3 = x3[k];
+            for i in k + 1..m {
+                let lik = l_col[i];
+                s0 -= lik * x0[i];
+                s1 -= lik * x1[i];
+                s2 -= lik * x2[i];
+                s3 -= lik * x3[i];
+            }
+            let d = l_col[k];
+            x0[k] = s0 / d;
+            x1[k] = s1 / d;
+            x2[k] = s2 / d;
+            x3[k] = s3 / d;
+        }
+        j += 4;
+    }
+    while j < n {
         let x_col = &mut x[j * ldx..j * ldx + m];
         for k in (0..m).rev() {
             let mut s = x_col[k];
@@ -175,6 +341,7 @@ pub fn trsm_lower_trans_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m
             }
             x_col[k] = s / l[k + k * ldl];
         }
+        j += 1;
     }
 }
 
@@ -574,6 +741,151 @@ mod tests {
         assert_eq!(c[5], -(2.0 * 7.0 + 4.0 * 8.0));
         assert_eq!(c[2], 0.0);
         assert_eq!(c[3], 0.0);
+    }
+
+    #[test]
+    fn blocked_columns_bit_identical_to_single_column() {
+        // The register-blocked multi-column paths must produce, column by
+        // column, exactly the bits of the one-column kernels — the solve
+        // service's batching layer relies on this for determinism.
+        let m = 9;
+        let k = 6;
+        for n in [1usize, 3, 4, 5, 7, 8, 11] {
+            let big = m.max(k).max(n) + 3;
+            let a = spd(big, 31).sub_block(0, m, 0, k); // m×k
+            let bmat = spd(big, 32).sub_block(0, k, 0, n); // k×n
+            let c0 = spd(big, 33).sub_block(0, m, 0, n); // m×n
+                                                         // blocked: all n columns at once
+            let mut c_all = c0.clone();
+            gemm_update(
+                c_all.as_mut_slice(),
+                m,
+                a.as_slice(),
+                m,
+                bmat.as_slice(),
+                k,
+                m,
+                n,
+                k,
+            );
+            // reference: one column at a time (always the scalar path)
+            let mut c_one = c0.clone();
+            for j in 0..n {
+                gemm_update(
+                    &mut c_one.as_mut_slice()[j * m..(j + 1) * m],
+                    m,
+                    a.as_slice(),
+                    m,
+                    &bmat.as_slice()[j * k..(j + 1) * k],
+                    k,
+                    m,
+                    1,
+                    k,
+                );
+            }
+            assert_eq!(c_all.as_slice(), c_one.as_slice(), "gemm n={n}");
+
+            // same exercise for the transposed-A update
+            let at = spd(big, 34).sub_block(0, k, 0, m); // k×m (A of tn)
+            let bt = spd(big, 35).sub_block(0, k, 0, n); // k×n
+            let mut c_all = c0.clone();
+            gemm_tn_update(
+                c_all.as_mut_slice(),
+                m,
+                at.as_slice(),
+                k,
+                bt.as_slice(),
+                k,
+                m,
+                n,
+                k,
+            );
+            let mut c_one = c0.clone();
+            for j in 0..n {
+                gemm_tn_update(
+                    &mut c_one.as_mut_slice()[j * m..(j + 1) * m],
+                    m,
+                    at.as_slice(),
+                    k,
+                    &bt.as_slice()[j * k..(j + 1) * k],
+                    k,
+                    m,
+                    1,
+                    k,
+                );
+            }
+            assert_eq!(c_all.as_slice(), c_one.as_slice(), "gemm_tn n={n}");
+
+            // triangular solves, forward and transposed
+            let aspd = spd(m, 36);
+            let mut l = aspd.clone();
+            potrf_lower(l.as_mut_slice(), m, m).unwrap();
+            for trans in [false, true] {
+                let x0 = spd(big, 37).sub_block(0, m, 0, n);
+                let mut x_all = x0.clone();
+                let mut x_one = x0.clone();
+                if trans {
+                    trsm_lower_trans_left(l.as_slice(), m, x_all.as_mut_slice(), m, m, n);
+                } else {
+                    trsm_lower_left(l.as_slice(), m, x_all.as_mut_slice(), m, m, n);
+                }
+                for j in 0..n {
+                    let col = &mut x_one.as_mut_slice()[j * m..(j + 1) * m];
+                    if trans {
+                        trsm_lower_trans_left(l.as_slice(), m, col, m, m, 1);
+                    } else {
+                        trsm_lower_left(l.as_slice(), m, col, m, m, 1);
+                    }
+                }
+                assert_eq!(
+                    x_all.as_slice(),
+                    x_one.as_slice(),
+                    "trsm trans={trans} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_handles_zero_multipliers() {
+        // zero entries in B must take the per-column skip path and still
+        // match the one-column kernel bitwise
+        let m = 5;
+        let k = 3;
+        let n = 6;
+        let a = spd(m, 41).sub_block(0, m, 0, k);
+        let mut bmat = spd(n, 42).sub_block(0, k, 0, n);
+        bmat[(1, 0)] = 0.0;
+        bmat[(0, 3)] = 0.0;
+        bmat[(2, 5)] = 0.0;
+        let c0 = spd(n, 43).sub_block(0, m, 0, n);
+        let mut c_all = c0.clone();
+        gemm_update(
+            c_all.as_mut_slice(),
+            m,
+            a.as_slice(),
+            m,
+            bmat.as_slice(),
+            k,
+            m,
+            n,
+            k,
+        );
+        let mut c_one = c0.clone();
+        for j in 0..n {
+            gemm_update(
+                &mut c_one.as_mut_slice()[j * m..(j + 1) * m],
+                m,
+                a.as_slice(),
+                m,
+                &bmat.as_slice()[j * k..(j + 1) * k],
+                k,
+                m,
+                1,
+                k,
+            );
+        }
+        assert_eq!(c_all.as_slice(), c_one.as_slice());
     }
 
     #[test]

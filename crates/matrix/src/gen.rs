@@ -341,6 +341,143 @@ pub fn random_spd(n: usize, avg_nnz: usize, seed: u64) -> CscMatrix {
     t.to_csc()
 }
 
+/// Build a test matrix from a compact generator spec string, so tools can
+/// run without external matrix files (`trisolv gen`, the solve service's
+/// load generator, CI smoke jobs).
+///
+/// Grammar (sizes are positive decimal integers; `x`-separated dimensions
+/// default to the first one when omitted):
+///
+/// * `grid2d:KX[xKY]` — 5-point Laplacian ([`grid2d_laplacian`]);
+/// * `grid2d9:KX[xKY]` — 9-point stencil ([`grid2d_9pt`]);
+/// * `grid3d:KX[xKYxKZ]` — 7-point Laplacian ([`grid3d_laplacian`]);
+/// * `grid3d27:KX[xKYxKZ]` — 27-point stencil ([`grid3d_27pt`]);
+/// * `fem2d:KX[xKY][:DOF]` — multi-DOF 2-D FEM ([`fem2d`], DOF default 3);
+/// * `fem3d:KX[xKYxKZ][:DOF]` — multi-DOF 3-D FEM ([`fem3d`]);
+/// * `mesh2d:K[:SEED]` / `mesh3d:K[:SEED]` — irregular meshes;
+/// * `random:N[:AVG_NNZ[:SEED]]` — [`random_spd`] (defaults 4, 42);
+/// * a paper-matrix name (`bcsstk15`, `bcsstk31`, `hsct21954`, `cube35`,
+///   `copter2`, case-insensitive) — the synthetic analogue.
+pub fn from_spec(spec: &str) -> Result<CscMatrix, String> {
+    fn dims(s: &str, want: usize, what: &str) -> Result<Vec<usize>, String> {
+        let parts: Vec<&str> = s.split('x').collect();
+        if parts.is_empty() || parts.len() > want {
+            return Err(format!(
+                "{what}: expected 1..={want} 'x'-separated sizes, got {s:?}"
+            ));
+        }
+        let mut out = Vec::with_capacity(want);
+        for p in &parts {
+            let v: usize = p
+                .parse()
+                .map_err(|e| format!("{what}: bad size {p:?} ({e})"))?;
+            if v == 0 {
+                return Err(format!("{what}: sizes must be positive"));
+            }
+            out.push(v);
+        }
+        while out.len() < want {
+            out.push(out[0]);
+        }
+        Ok(out)
+    }
+    let mut it = spec.splitn(2, ':');
+    let kind = it.next().unwrap_or_default().to_ascii_lowercase();
+    let rest = it.next();
+    let need =
+        |what: &str| rest.ok_or_else(|| format!("{what}: missing size argument (e.g. {what}:32)"));
+    match kind.as_str() {
+        "grid2d" => {
+            let d = dims(need("grid2d")?, 2, "grid2d")?;
+            Ok(grid2d_laplacian(d[0], d[1]))
+        }
+        "grid2d9" => {
+            let d = dims(need("grid2d9")?, 2, "grid2d9")?;
+            Ok(grid2d_9pt(d[0], d[1]))
+        }
+        "grid3d" => {
+            let d = dims(need("grid3d")?, 3, "grid3d")?;
+            Ok(grid3d_laplacian(d[0], d[1], d[2]))
+        }
+        "grid3d27" => {
+            let d = dims(need("grid3d27")?, 3, "grid3d27")?;
+            Ok(grid3d_27pt(d[0], d[1], d[2]))
+        }
+        "fem2d" | "fem3d" => {
+            let rest = need(&kind)?;
+            let mut parts = rest.splitn(2, ':');
+            let sizes = parts.next().unwrap_or_default();
+            let dof = match parts.next() {
+                None => 3usize,
+                Some(d) => d
+                    .parse()
+                    .map_err(|e| format!("{kind}: bad dof {d:?} ({e})"))?,
+            };
+            if dof == 0 {
+                return Err(format!("{kind}: dof must be positive"));
+            }
+            if kind == "fem2d" {
+                let d = dims(sizes, 2, "fem2d")?;
+                Ok(fem2d(d[0], d[1], dof))
+            } else {
+                let d = dims(sizes, 3, "fem3d")?;
+                Ok(fem3d(d[0], d[1], d[2], dof))
+            }
+        }
+        "mesh2d" | "mesh3d" => {
+            let rest = need(&kind)?;
+            let mut parts = rest.splitn(2, ':');
+            let k = dims(parts.next().unwrap_or_default(), 1, &kind)?[0];
+            let seed = match parts.next() {
+                None => 42u64,
+                Some(s) => s
+                    .parse()
+                    .map_err(|e| format!("{kind}: bad seed {s:?} ({e})"))?,
+            };
+            if kind == "mesh2d" {
+                Ok(mesh2d_irregular(k, seed).0)
+            } else {
+                Ok(mesh3d_irregular(k, seed).0)
+            }
+        }
+        "random" => {
+            let rest = need("random")?;
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() > 3 {
+                return Err("random: expected random:N[:AVG_NNZ[:SEED]]".to_string());
+            }
+            let n: usize = parts[0]
+                .parse()
+                .map_err(|e| format!("random: bad N {:?} ({e})", parts[0]))?;
+            if n == 0 {
+                return Err("random: N must be positive".to_string());
+            }
+            let avg: usize = match parts.get(1) {
+                None => 4,
+                Some(s) => s
+                    .parse()
+                    .map_err(|e| format!("random: bad avg nnz ({e})"))?,
+            };
+            let seed: u64 = match parts.get(2) {
+                None => 42,
+                Some(s) => s.parse().map_err(|e| format!("random: bad seed ({e})"))?,
+            };
+            Ok(random_spd(n, avg, seed))
+        }
+        _ => {
+            for pm in PaperMatrix::ALL {
+                if pm.name().trim_end_matches('*').eq_ignore_ascii_case(&kind) {
+                    return Ok(pm.build());
+                }
+            }
+            Err(format!(
+                "unknown generator {kind:?}; expected grid2d, grid2d9, grid3d, grid3d27, \
+                 fem2d, fem3d, mesh2d, mesh3d, random, or a paper matrix name"
+            ))
+        }
+    }
+}
+
 /// A random multi-RHS solution block with entries in `[-1, 1)`.
 pub fn random_rhs(n: usize, nrhs: usize, seed: u64) -> DenseMatrix {
     let mut rng = Rng::seed_from_u64(seed);
@@ -558,6 +695,49 @@ mod tests {
             let m = pm.build();
             assert!(m.nrows() > 1000, "{} too small", pm.name());
             assert_spd_structure(&m);
+        }
+    }
+
+    #[test]
+    fn from_spec_matches_direct_generators() {
+        assert_eq!(from_spec("grid2d:5x4").unwrap(), grid2d_laplacian(5, 4));
+        assert_eq!(from_spec("grid2d:6").unwrap(), grid2d_laplacian(6, 6));
+        assert_eq!(from_spec("grid2d9:4x3").unwrap(), grid2d_9pt(4, 3));
+        assert_eq!(
+            from_spec("grid3d:3x4x5").unwrap(),
+            grid3d_laplacian(3, 4, 5)
+        );
+        assert_eq!(from_spec("grid3d:4").unwrap(), grid3d_laplacian(4, 4, 4));
+        assert_eq!(from_spec("grid3d27:3").unwrap(), grid3d_27pt(3, 3, 3));
+        assert_eq!(from_spec("fem2d:4x3").unwrap(), fem2d(4, 3, 3));
+        assert_eq!(from_spec("fem2d:4x3:2").unwrap(), fem2d(4, 3, 2));
+        assert_eq!(from_spec("fem3d:3x2x2:1").unwrap(), fem3d(3, 2, 2, 1));
+        assert_eq!(from_spec("mesh2d:6:9").unwrap(), mesh2d_irregular(6, 9).0);
+        assert_eq!(from_spec("mesh3d:3").unwrap(), mesh3d_irregular(3, 42).0);
+        assert_eq!(from_spec("random:30").unwrap(), random_spd(30, 4, 42));
+        assert_eq!(from_spec("random:30:6:7").unwrap(), random_spd(30, 6, 7));
+        assert_eq!(
+            from_spec("bcsstk15").unwrap(),
+            PaperMatrix::Bcsstk15.build()
+        );
+        assert_eq!(from_spec("CUBE35").unwrap(), PaperMatrix::Cube35.build());
+    }
+
+    #[test]
+    fn from_spec_rejects_bad_input() {
+        for bad in [
+            "",
+            "nosuch:4",
+            "grid2d",
+            "grid2d:",
+            "grid2d:0",
+            "grid2d:3x4x5",
+            "grid2d:abc",
+            "fem2d:3x3:0",
+            "random:0",
+            "random:4:2:1:9",
+        ] {
+            assert!(from_spec(bad).is_err(), "{bad:?} should be rejected");
         }
     }
 }

@@ -1,0 +1,335 @@
+//! Micro-batching of concurrent single-RHS solves into blocked solves.
+//!
+//! The paper's central measurement is that a triangular solve's cost is
+//! dominated by per-solve overhead (pipeline fill on the T3D; dispatch and
+//! factor-streaming here), so solving `k` right-hand sides in one blocked
+//! `n×k` call costs far less than `k` single solves. A [`BatchLane`] turns a
+//! stream of independent single-RHS requests into exactly those blocked
+//! calls using a leader/follower protocol:
+//!
+//! 1. every request boards the currently-open batch under the lane mutex;
+//! 2. the first to board becomes the *leader*: it waits until the batch is
+//!    full (`max_batch`) or the batching `window` elapses, seals the batch,
+//!    executes the blocked solve *outside* the lock, and publishes the
+//!    per-column results;
+//! 3. later arrivals (*followers*) wake the leader when they fill the batch
+//!    and then sleep until their generation's results appear, claiming their
+//!    own column.
+//!
+//! With `max_batch == 1` the leader seals immediately and the lane degrades
+//! to a plain mutex-serialized solve, which is the unbatched baseline the
+//! benchmark compares against.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Policy knobs for a [`BatchLane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Seal a batch as soon as it holds this many columns.
+    pub max_batch: usize,
+    /// Seal a non-full batch this long after its first column boards.
+    pub window: Duration,
+    /// How long a follower waits for its results before giving up; bounds
+    /// the damage of a stuck leader (should comfortably exceed one blocked
+    /// solve plus one window).
+    pub wait_timeout: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            max_batch: 8,
+            window: Duration::from_millis(1),
+            wait_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Why a lane request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneError<E> {
+    /// The blocked execution itself failed; every rider of the batch
+    /// receives a clone of the error.
+    Exec(E),
+    /// The follower's wait deadline expired before results appeared.
+    Timeout,
+}
+
+struct Published<E> {
+    /// One slot per batch column; each rider takes its own.
+    cols: Vec<Option<Vec<f64>>>,
+    error: Option<E>,
+    /// Riders that have not yet claimed their slot.
+    remaining: usize,
+}
+
+struct LaneState<E> {
+    /// Columns of the batch currently boarding.
+    boarding: Vec<Vec<f64>>,
+    /// Generation id of the boarding batch (bumped when sealed).
+    generation: u64,
+    /// Batches sealed at board time (full before the leader woke),
+    /// awaiting execution by their generation's leader.
+    sealed: HashMap<u64, Vec<Vec<f64>>>,
+    /// Sealed-and-executed batches awaiting claims, by generation.
+    results: HashMap<u64, Published<E>>,
+    /// Claims abandoned by timed-out followers, by generation; subtracted
+    /// when that generation publishes so its entry still drains.
+    abandoned: HashMap<u64, usize>,
+    /// Total batches sealed (stats).
+    batches: u64,
+    /// Total columns solved through sealed batches (stats).
+    cols: u64,
+    /// Largest batch sealed so far (stats).
+    max_seen: usize,
+}
+
+/// A micro-batching rendezvous for one cached factor.
+pub struct BatchLane<E> {
+    opts: BatchOptions,
+    state: Mutex<LaneState<E>>,
+    cv: Condvar,
+}
+
+impl<E: Clone> BatchLane<E> {
+    /// An empty lane with the given policy.
+    pub fn new(opts: BatchOptions) -> BatchLane<E> {
+        assert!(opts.max_batch >= 1, "max_batch must be at least 1");
+        BatchLane {
+            opts,
+            state: Mutex::new(LaneState {
+                boarding: Vec::new(),
+                generation: 0,
+                sealed: HashMap::new(),
+                results: HashMap::new(),
+                abandoned: HashMap::new(),
+                batches: 0,
+                cols: 0,
+                max_seen: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// `(batches_sealed, columns_solved, largest_batch)` so far.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let s = self.state.lock().unwrap();
+        (s.batches, s.cols, s.max_seen)
+    }
+
+    /// Board `rhs` onto the open batch, riding (or leading) the blocked
+    /// solve, and return this request's solution column. `exec` maps the
+    /// sealed batch columns to result columns (same order, same count) and
+    /// runs on exactly one thread per batch, outside the lane lock.
+    pub fn solve<F>(&self, rhs: Vec<f64>, exec: F) -> Result<Vec<f64>, LaneError<E>>
+    where
+        F: FnOnce(Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, E>,
+    {
+        let mut s = self.state.lock().unwrap();
+        let my_gen = s.generation;
+        let my_idx = s.boarding.len();
+        s.boarding.push(rhs);
+        if s.boarding.len() >= self.opts.max_batch {
+            // Whoever fills the batch seals it at board time: later arrivals
+            // start the next generation, so a batch never exceeds
+            // `max_batch` and every rider's column index stays stable.
+            Self::seal(&mut s);
+            self.cv.notify_all();
+        }
+
+        if my_idx == 0 {
+            // Leader: hold the batch open until full or the window closes,
+            // then execute it.
+            let deadline = Instant::now() + self.opts.window;
+            while s.generation == my_gen {
+                let now = Instant::now();
+                if now >= deadline {
+                    Self::seal(&mut s);
+                    break;
+                }
+                let (next, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+                s = next;
+            }
+            let batch = s
+                .sealed
+                .remove(&my_gen)
+                .expect("sealed batch awaits its leader");
+            let k = batch.len();
+            drop(s);
+
+            let outcome = exec(batch);
+            let mut s = self.state.lock().unwrap();
+            let mut published = match outcome {
+                Ok(cols) => {
+                    assert_eq!(cols.len(), k, "exec must return one column per input");
+                    Published {
+                        cols: cols.into_iter().map(Some).collect(),
+                        error: None,
+                        remaining: k,
+                    }
+                }
+                Err(e) => Published {
+                    cols: Vec::new(),
+                    error: Some(e),
+                    remaining: k,
+                },
+            };
+            let mine = Self::claim(&mut published, 0);
+            if let Some(gone) = s.abandoned.remove(&my_gen) {
+                published.remaining -= gone.min(published.remaining);
+            }
+            if published.remaining > 0 {
+                s.results.insert(my_gen, published);
+            }
+            drop(s);
+            self.cv.notify_all();
+            mine
+        } else {
+            // Follower: sleep until our generation's results appear.
+            let deadline = Instant::now() + self.opts.wait_timeout;
+            loop {
+                if let Some(published) = s.results.get_mut(&my_gen) {
+                    let mine = Self::claim(published, my_idx);
+                    if published.remaining == 0 {
+                        s.results.remove(&my_gen);
+                    }
+                    return mine;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    // Abandon the claim so the batch's bookkeeping still
+                    // drains if the results do arrive later.
+                    *s.abandoned.entry(my_gen).or_insert(0) += 1;
+                    return Err(LaneError::Timeout);
+                }
+                let (next, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+                s = next;
+            }
+        }
+    }
+
+    /// Move the boarding batch into `sealed` under its generation id and
+    /// open the next generation. Caller holds the lock.
+    fn seal(s: &mut LaneState<E>) {
+        let batch = std::mem::take(&mut s.boarding);
+        let k = batch.len();
+        debug_assert!(k > 0, "sealing an empty batch");
+        s.sealed.insert(s.generation, batch);
+        s.generation += 1;
+        s.batches += 1;
+        s.cols += k as u64;
+        s.max_seen = s.max_seen.max(k);
+    }
+
+    fn claim<E2: Clone>(p: &mut Published<E2>, idx: usize) -> Result<Vec<f64>, LaneError<E2>> {
+        p.remaining -= 1;
+        match &p.error {
+            Some(e) => Err(LaneError::Exec(e.clone())),
+            None => Ok(p.cols[idx].take().expect("column claimed twice")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn opts(max_batch: usize, window_ms: u64) -> BatchOptions {
+        BatchOptions {
+            max_batch,
+            window: Duration::from_millis(window_ms),
+            wait_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// exec that negates every entry and counts invocations.
+    fn negate(
+        calls: &Arc<AtomicU64>,
+    ) -> impl Fn(Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, String> + '_ {
+        move |batch| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(batch
+                .into_iter()
+                .map(|c| c.into_iter().map(|v| -v).collect())
+                .collect())
+        }
+    }
+
+    #[test]
+    fn single_rider_executes_immediately_with_batch_one() {
+        let lane: BatchLane<String> = BatchLane::new(opts(1, 50));
+        let calls = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+        let out = lane.solve(vec![1.0, 2.0], negate(&calls)).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(40), "no window wait");
+        assert_eq!(out, vec![-1.0, -2.0]);
+        assert_eq!(lane.stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_riders_share_batches_and_get_own_columns() {
+        let lane: Arc<BatchLane<String>> = Arc::new(BatchLane::new(opts(4, 200)));
+        let calls = Arc::new(AtomicU64::new(0));
+        let n = 16;
+        let outs: Vec<(f64, Vec<f64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let lane = Arc::clone(&lane);
+                    let calls = Arc::clone(&calls);
+                    scope.spawn(move || {
+                        let v = i as f64 + 1.0;
+                        let out = lane.solve(vec![v, 2.0 * v], negate(&calls)).unwrap();
+                        (v, out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (v, out) in outs {
+            assert_eq!(out, vec![-v, -2.0 * v], "rider got someone else's column");
+        }
+        let (batches, cols, max_seen) = lane.stats();
+        assert_eq!(cols, n as u64);
+        assert!(batches < n as u64, "some requests must have been batched");
+        assert!((2..=4).contains(&max_seen));
+        assert_eq!(calls.load(Ordering::SeqCst), batches);
+    }
+
+    #[test]
+    fn window_deadline_seals_partial_batches() {
+        let lane: BatchLane<String> = BatchLane::new(opts(64, 5));
+        let calls = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+        let out = lane.solve(vec![3.0], negate(&calls)).unwrap();
+        assert_eq!(out, vec![-3.0]);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(4),
+            "leader should have held the window open"
+        );
+        assert_eq!(lane.stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn exec_error_reaches_every_rider() {
+        let lane: Arc<BatchLane<String>> = Arc::new(BatchLane::new(opts(4, 100)));
+        let errs: Vec<LaneError<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let lane = Arc::clone(&lane);
+                    scope.spawn(move || {
+                        lane.solve(vec![1.0], |_| Err("boom".to_string()))
+                            .unwrap_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in errs {
+            assert_eq!(e, LaneError::Exec("boom".to_string()));
+        }
+    }
+}

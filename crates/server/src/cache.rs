@@ -1,0 +1,290 @@
+//! LRU factor cache: keeps factorizations resident between requests.
+//!
+//! A cache entry bundles everything the solve path needs — the permutation
+//! and numeric factor ([`SparseCholeskySolver`]), the level-scheduled
+//! [`SolvePlan`], the entry's [`BatchLane`], and a pool of reusable
+//! [`SolveWorkspace`]s — behind one `Arc`, so a request holds the entry
+//! alive even if it is evicted mid-solve. Eviction is strict LRU under a
+//! configurable byte budget; the most recently inserted entry is always
+//! admitted (a single factor larger than the budget still gets cached, it
+//! just evicts everything else).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use trisolv_core::{SolvePlan, SolveWorkspace, SparseCholeskySolver};
+
+use crate::batch::BatchLane;
+use crate::engine::EngineError;
+use crate::fingerprint::Fingerprint;
+
+/// How many idle workspaces an entry keeps for reuse.
+const WORKSPACE_POOL_CAP: usize = 4;
+
+/// A resident factorization plus everything needed to serve solves on it.
+pub struct FactorEntry {
+    /// Content hash this entry is keyed by.
+    pub fingerprint: Fingerprint,
+    /// Matrix order.
+    pub n: usize,
+    /// Permutation + supernodal Cholesky factor.
+    pub solver: SparseCholeskySolver,
+    /// Level-scheduled execution plan for the factor.
+    pub plan: SolvePlan,
+    /// Micro-batching rendezvous for this factor's solve requests.
+    pub lane: BatchLane<EngineError>,
+    /// Estimated resident size, used for the eviction budget.
+    pub bytes: usize,
+    workspaces: Mutex<Vec<SolveWorkspace>>,
+}
+
+impl FactorEntry {
+    /// Bundle a factored solver into a cache entry.
+    pub fn new(
+        fingerprint: Fingerprint,
+        solver: SparseCholeskySolver,
+        plan: SolvePlan,
+        lane: BatchLane<EngineError>,
+    ) -> FactorEntry {
+        let f = solver.factor_matrix();
+        let n = f.n();
+        // Estimate: factor values + block indices (~16 B/nnz) plus plan,
+        // permutation and per-supernode metadata (~96 B/row).
+        let bytes = f.nnz() * 16 + n * 96;
+        FactorEntry {
+            fingerprint,
+            n,
+            solver,
+            plan,
+            lane,
+            bytes,
+            workspaces: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a pooled workspace (or make a fresh one sized for `nrhs`).
+    /// Workspaces auto-grow, so any pooled one fits any batch width.
+    pub fn take_workspace(&self, nrhs: usize) -> SolveWorkspace {
+        let pooled = self.workspaces.lock().unwrap().pop();
+        pooled.unwrap_or_else(|| SolveWorkspace::new(&self.plan, nrhs))
+    }
+
+    /// Return a workspace to the pool (dropped if the pool is full).
+    pub fn put_workspace(&self, ws: SolveWorkspace) {
+        let mut pool = self.workspaces.lock().unwrap();
+        if pool.len() < WORKSPACE_POOL_CAP {
+            pool.push(ws);
+        }
+    }
+}
+
+/// Counters and occupancy reported by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a resident factor.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy (explicit evictions not counted).
+    pub evictions: u64,
+    /// Resident entry count.
+    pub entries: usize,
+    /// Estimated resident bytes across all entries.
+    pub resident_bytes: usize,
+}
+
+struct Slot {
+    entry: Arc<FactorEntry>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<Fingerprint, Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    resident_bytes: usize,
+}
+
+/// Thread-safe LRU cache of [`FactorEntry`]s under a byte budget.
+pub struct FactorCache {
+    budget_bytes: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl FactorCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> FactorCache {
+        FactorCache {
+            budget_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                resident_bytes: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Look up a factor, marking it most-recently-used. Counts a hit or a
+    /// miss.
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<FactorEntry>> {
+        let mut g = self.inner.lock().unwrap();
+        g.tick += 1;
+        let tick = g.tick;
+        match g.map.get_mut(&fp) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let entry = Arc::clone(&slot.entry);
+                g.hits += 1;
+                Some(entry)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Is the factor resident? (No hit/miss accounting, no LRU touch.)
+    pub fn peek(&self, fp: Fingerprint) -> Option<Arc<FactorEntry>> {
+        let g = self.inner.lock().unwrap();
+        g.map.get(&fp).map(|s| Arc::clone(&s.entry))
+    }
+
+    /// Insert an entry (most-recently-used), then evict least-recently-used
+    /// *other* entries until the estimated resident size fits the budget.
+    /// Returns `false` (and keeps the resident entry) if the fingerprint was
+    /// already cached.
+    pub fn insert(&self, entry: Arc<FactorEntry>) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(slot) = g.map.get_mut(&entry.fingerprint) {
+            slot.last_used = tick;
+            return false;
+        }
+        g.resident_bytes += entry.bytes;
+        let new_fp = entry.fingerprint;
+        g.map.insert(
+            new_fp,
+            Slot {
+                entry,
+                last_used: tick,
+            },
+        );
+        while g.resident_bytes > self.budget_bytes && g.map.len() > 1 {
+            let victim = g
+                .map
+                .iter()
+                .filter(|(fp, _)| **fp != new_fp)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(fp, _)| *fp)
+                .expect("len > 1 so another entry exists");
+            let gone = g.map.remove(&victim).unwrap();
+            g.resident_bytes -= gone.entry.bytes;
+            g.evictions += 1;
+        }
+        true
+    }
+
+    /// Drop a factor explicitly. Returns whether it was resident.
+    pub fn evict(&self, fp: Fingerprint) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        match g.map.remove(&fp) {
+            Some(slot) => {
+                g.resident_bytes -= slot.entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock().unwrap();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.map.len(),
+            resident_bytes: g.resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchOptions;
+    use trisolv_matrix::gen;
+
+    fn entry_for(spec: &str) -> Arc<FactorEntry> {
+        let a = gen::from_spec(spec).unwrap();
+        let fp = Fingerprint::of_matrix(&a);
+        let solver = SparseCholeskySolver::factor(&a).unwrap();
+        let plan = SolvePlan::new(solver.factor_matrix().partition()).unwrap();
+        Arc::new(FactorEntry::new(
+            fp,
+            solver,
+            plan,
+            BatchLane::new(BatchOptions::default()),
+        ))
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_peek() {
+        let cache = FactorCache::new(usize::MAX);
+        let e = entry_for("grid2d:6");
+        let fp = e.fingerprint;
+        assert!(cache.get(fp).is_none());
+        assert!(cache.insert(Arc::clone(&e)));
+        assert!(!cache.insert(e), "re-insert reports already cached");
+        assert!(cache.get(fp).is_some());
+        assert!(cache.peek(fp).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        let a = entry_for("grid2d:8");
+        let b = entry_for("grid2d:9");
+        let c = entry_for("grid2d:10");
+        // Budget fits roughly two of the three entries.
+        let cache = FactorCache::new(a.bytes + b.bytes + c.bytes / 2);
+        cache.insert(Arc::clone(&a));
+        cache.insert(Arc::clone(&b));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cache.get(a.fingerprint).is_some());
+        cache.insert(Arc::clone(&c));
+        assert!(
+            cache.peek(a.fingerprint).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.peek(b.fingerprint).is_none(), "LRU entry evicted");
+        assert!(cache.peek(c.fingerprint).is_some(), "new entry admitted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_still_admitted() {
+        let cache = FactorCache::new(1);
+        let e = entry_for("grid2d:6");
+        cache.insert(Arc::clone(&e));
+        assert!(cache.peek(e.fingerprint).is_some());
+        assert!(cache.evict(e.fingerprint));
+        assert!(!cache.evict(e.fingerprint));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+}

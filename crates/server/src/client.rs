@@ -1,0 +1,225 @@
+//! Blocking client for the solve service.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol has no request ids, so pipelining is per-connection;
+//! concurrency comes from opening more connections, which is exactly what
+//! feeds the server-side micro-batcher).
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use trisolv_matrix::CscMatrix;
+
+use crate::fingerprint::Fingerprint;
+use crate::protocol::{op, read_frame, write_frame, Builder, Cursor, ErrorCode};
+
+/// Client-visible failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(String),
+    /// The server's bytes did not decode as a valid reply.
+    Protocol(String),
+    /// The server answered with a structured `ERR` frame.
+    Server {
+        /// Wire error code (`None` if the code was unrecognized).
+        code: Option<ErrorCode>,
+        /// Human-readable message from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// Reply to a successful `LOAD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReply {
+    /// Fingerprint the factor is cached under.
+    pub fingerprint: Fingerprint,
+    /// Matrix order.
+    pub n: usize,
+    /// Nonzeros in the numeric factor.
+    pub factor_nnz: usize,
+    /// Whether the factor was already resident.
+    pub already_cached: bool,
+}
+
+/// A blocking connection to a solve server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connect, retrying every 100 ms for up to `patience` (for races where
+    /// the server is still binding, e.g. the CI smoke job).
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        patience: Duration,
+    ) -> io::Result<Client> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    /// Ship a matrix; the server factors and caches it.
+    pub fn load(&mut self, a: &CscMatrix) -> Result<LoadReply, ClientError> {
+        let payload = Builder::new()
+            .u64(a.nrows() as u64)
+            .u64(a.ncols() as u64)
+            .u64(a.nnz() as u64)
+            .usize_slice(a.colptr())
+            .usize_slice(a.rowidx())
+            .f64_slice(a.values())
+            .build();
+        let (opcode, reply) = self.round_trip(op::LOAD, &payload)?;
+        Self::expect(opcode, op::OK_LOADED, &reply)?;
+        let mut c = Cursor::new(&reply);
+        let parsed = (|| {
+            let fingerprint = c.fingerprint()?;
+            let n = c.usize()?;
+            let factor_nnz = c.usize()?;
+            let already_cached = c.u8()? != 0;
+            c.finish()?;
+            Ok::<_, String>(LoadReply {
+                fingerprint,
+                n,
+                factor_nnz,
+                already_cached,
+            })
+        })();
+        parsed.map_err(ClientError::Protocol)
+    }
+
+    /// Solve one right-hand side against a cached factor.
+    pub fn solve(&mut self, fp: Fingerprint, rhs: &[f64]) -> Result<Vec<f64>, ClientError> {
+        let payload = Builder::new()
+            .fingerprint(fp)
+            .u64(rhs.len() as u64)
+            .f64_slice(rhs)
+            .build();
+        let (opcode, reply) = self.round_trip(op::SOLVE, &payload)?;
+        Self::expect(opcode, op::OK_SOLVED, &reply)?;
+        let parsed = (|| {
+            let mut c = Cursor::new(&reply);
+            let n = c.usize()?;
+            let x = c.f64_vec(n)?;
+            c.finish()?;
+            Ok::<_, String>(x)
+        })();
+        parsed.map_err(ClientError::Protocol)
+    }
+
+    /// Fetch the engine counters as `(key, value)` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        let (opcode, reply) = self.round_trip(op::STATS, &[])?;
+        Self::expect(opcode, op::OK_STATS, &reply)?;
+        let parsed = (|| {
+            let mut c = Cursor::new(&reply);
+            let count = c.usize()?;
+            let mut pairs = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                let klen = c.u16()? as usize;
+                let key = String::from_utf8(c.bytes(klen)?.to_vec())
+                    .map_err(|_| "stats key not UTF-8".to_string())?;
+                let val = c.u64()?;
+                pairs.push((key, val));
+            }
+            c.finish()?;
+            Ok::<_, String>(pairs)
+        })();
+        parsed.map_err(ClientError::Protocol)
+    }
+
+    /// Drop a cached factor; returns whether it was resident.
+    pub fn evict(&mut self, fp: Fingerprint) -> Result<bool, ClientError> {
+        let payload = Builder::new().fingerprint(fp).build();
+        let (opcode, reply) = self.round_trip(op::EVICT, &payload)?;
+        Self::expect(opcode, op::OK_EVICTED, &reply)?;
+        let mut c = Cursor::new(&reply);
+        let existed = c.u8().map_err(ClientError::Protocol)? != 0;
+        c.finish().map_err(ClientError::Protocol)?;
+        Ok(existed)
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let (opcode, reply) = self.round_trip(op::SHUTDOWN, &[])?;
+        Self::expect(opcode, op::OK_BYE, &reply)?;
+        Ok(())
+    }
+
+    /// Send raw bytes on the wire (test hook for malformed traffic).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read one raw frame off the wire (test hook).
+    pub fn recv_raw(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        read_frame(&mut self.stream)
+    }
+
+    fn round_trip(&mut self, opcode: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
+        write_frame(&mut self.stream, opcode, payload)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    fn expect(opcode: u8, wanted: u8, reply: &[u8]) -> Result<(), ClientError> {
+        if opcode == wanted {
+            return Ok(());
+        }
+        if opcode == op::ERR {
+            let mut c = Cursor::new(reply);
+            let parsed = (|| {
+                let code = c.u16()?;
+                let mlen = c.u32()? as usize;
+                let msg = String::from_utf8_lossy(c.bytes(mlen)?).into_owned();
+                Ok::<_, String>((code, msg))
+            })();
+            return match parsed {
+                Ok((code, message)) => Err(ClientError::Server {
+                    code: ErrorCode::from_u16(code),
+                    message,
+                }),
+                Err(m) => Err(ClientError::Protocol(format!("undecodable ERR frame: {m}"))),
+            };
+        }
+        Err(ClientError::Protocol(format!(
+            "unexpected reply opcode 0x{opcode:02x} (wanted 0x{wanted:02x})"
+        )))
+    }
+}

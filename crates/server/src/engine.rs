@@ -1,0 +1,399 @@
+//! The solve engine: cache + batcher + blocked executor, protocol-agnostic.
+//!
+//! [`Engine`] is the in-process heart of the service; the TCP front end and
+//! the in-process client/benchmark harness both drive it through the same
+//! four operations (`load`, `solve`, `stats`, `evict`). All failures are
+//! structured [`EngineError`]s — a malformed matrix or a wrong-length RHS
+//! must never panic a worker thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trisolv_core::{SolvePlan, SparseCholeskySolver, ThreadedSolver};
+use trisolv_matrix::{CscMatrix, DenseMatrix};
+
+use crate::batch::{BatchLane, BatchOptions, LaneError};
+use crate::cache::{CacheStats, FactorCache, FactorEntry};
+use crate::fingerprint::Fingerprint;
+
+/// Which executor runs the blocked solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Level-scheduled task-pool solver (`ThreadedSolver`); the default.
+    #[default]
+    Threaded,
+    /// Sequential supernodal solver; answers are bit-identical to
+    /// [`SparseCholeskySolver::solve`] on the same inputs.
+    Seq,
+}
+
+impl ExecMode {
+    /// Parse `"seq"` / `"threaded"`.
+    pub fn parse(s: &str) -> Result<ExecMode, String> {
+        match s {
+            "seq" => Ok(ExecMode::Seq),
+            "threaded" => Ok(ExecMode::Threaded),
+            other => Err(format!("unknown exec mode {other:?} (seq|threaded)")),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Factor-cache byte budget (estimated resident bytes).
+    pub budget_bytes: usize,
+    /// Micro-batching policy applied to every factor's lane.
+    pub batch: BatchOptions,
+    /// Executor for the blocked solves.
+    pub exec: ExecMode,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            budget_bytes: 512 << 20,
+            batch: BatchOptions::default(),
+            exec: ExecMode::Threaded,
+        }
+    }
+}
+
+/// Structured failure of an engine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// `SOLVE`/`EVICT` referenced a fingerprint that is not resident.
+    UnknownFingerprint(Fingerprint),
+    /// A `SOLVE` RHS length does not match the cached factor's dimension.
+    DimensionMismatch {
+        /// The cached factor's matrix order.
+        expected: usize,
+        /// The request's RHS length.
+        got: usize,
+    },
+    /// `LOAD` payload was not a valid lower-triangular CSC SPD matrix.
+    BadMatrix(String),
+    /// Numeric factorization failed (matrix not positive definite).
+    NotSpd(String),
+    /// A batched request timed out waiting for its results.
+    Timeout,
+    /// Invariant violation inside the service.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownFingerprint(fp) => {
+                write!(f, "unknown fingerprint {fp} (LOAD the matrix first)")
+            }
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "rhs length {got} does not match factor dimension {expected}"
+                )
+            }
+            EngineError::BadMatrix(m) => write!(f, "bad matrix: {m}"),
+            EngineError::NotSpd(m) => write!(f, "factorization failed: {m}"),
+            EngineError::Timeout => write!(f, "request timed out in the batcher"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// What `load` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Content hash the matrix is now cached under.
+    pub fingerprint: Fingerprint,
+    /// Matrix order.
+    pub n: usize,
+    /// Nonzeros in the numeric factor.
+    pub factor_nnz: usize,
+    /// Whether the factor was already resident (no factorization ran).
+    pub already_cached: bool,
+}
+
+/// Aggregated engine counters (cache + batcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Cache occupancy and hit/miss/eviction counters.
+    pub cache: CacheStats,
+    /// Solve requests answered successfully.
+    pub solves_ok: u64,
+    /// Solve requests answered with an error.
+    pub solves_err: u64,
+    /// Blocked solves executed.
+    pub batches: u64,
+    /// RHS columns carried by those blocked solves.
+    pub batched_cols: u64,
+    /// Largest blocked solve executed.
+    pub max_batch: usize,
+}
+
+/// Factor-caching, micro-batching solve engine.
+pub struct Engine {
+    opts: EngineOptions,
+    cache: FactorCache,
+    solves_ok: AtomicU64,
+    solves_err: AtomicU64,
+    batches: AtomicU64,
+    batched_cols: AtomicU64,
+    max_batch: AtomicUsize,
+}
+
+impl Engine {
+    /// A fresh engine with the given configuration.
+    pub fn new(opts: EngineOptions) -> Engine {
+        Engine {
+            opts,
+            cache: FactorCache::new(opts.budget_bytes),
+            solves_ok: AtomicU64::new(0),
+            solves_err: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_cols: AtomicU64::new(0),
+            max_batch: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Factor `a` and cache it under its content hash (idempotent: a
+    /// resident matrix is not re-factored).
+    pub fn load(&self, a: &CscMatrix) -> Result<LoadOutcome, EngineError> {
+        let fingerprint = Fingerprint::of_matrix(a);
+        if let Some(entry) = self.cache.peek(fingerprint) {
+            return Ok(LoadOutcome {
+                fingerprint,
+                n: entry.n,
+                factor_nnz: entry.solver.factor_matrix().nnz(),
+                already_cached: true,
+            });
+        }
+        let solver =
+            SparseCholeskySolver::factor(a).map_err(|e| EngineError::NotSpd(e.to_string()))?;
+        let plan = SolvePlan::new(solver.factor_matrix().partition())
+            .map_err(|e| EngineError::Internal(format!("plan construction failed: {e}")))?;
+        let factor_nnz = solver.factor_matrix().nnz();
+        let entry = Arc::new(FactorEntry::new(
+            fingerprint,
+            solver,
+            plan,
+            BatchLane::new(self.opts.batch),
+        ));
+        let n = entry.n;
+        let inserted = self.cache.insert(entry);
+        Ok(LoadOutcome {
+            fingerprint,
+            n,
+            factor_nnz,
+            already_cached: !inserted,
+        })
+    }
+
+    /// Solve `A·x = rhs` against the cached factor for `fp`. Concurrent
+    /// calls with the same fingerprint share blocked solves via the entry's
+    /// [`BatchLane`].
+    pub fn solve(&self, fp: Fingerprint, rhs: Vec<f64>) -> Result<Vec<f64>, EngineError> {
+        let out = self.solve_inner(fp, rhs);
+        match &out {
+            Ok(_) => self.solves_ok.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.solves_err.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    fn solve_inner(&self, fp: Fingerprint, rhs: Vec<f64>) -> Result<Vec<f64>, EngineError> {
+        let entry = self
+            .cache
+            .get(fp)
+            .ok_or(EngineError::UnknownFingerprint(fp))?;
+        if rhs.len() != entry.n {
+            return Err(EngineError::DimensionMismatch {
+                expected: entry.n,
+                got: rhs.len(),
+            });
+        }
+        let exec_entry = Arc::clone(&entry);
+        entry
+            .lane
+            .solve(rhs, move |batch| self.execute(&exec_entry, batch))
+            .map_err(|e| match e {
+                LaneError::Exec(inner) => inner,
+                LaneError::Timeout => EngineError::Timeout,
+            })
+    }
+
+    /// Run one blocked solve for a sealed batch (leader thread only).
+    fn execute(
+        &self,
+        entry: &FactorEntry,
+        batch: Vec<Vec<f64>>,
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        let n = entry.n;
+        let k = batch.len();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_cols.fetch_add(k as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(k, Ordering::Relaxed);
+        match self.opts.exec {
+            ExecMode::Seq => {
+                let mut b = DenseMatrix::zeros(n, k);
+                for (c, col) in batch.iter().enumerate() {
+                    b.col_mut(c).copy_from_slice(col);
+                }
+                let x = entry.solver.solve(&b);
+                Ok((0..k).map(|c| x.col(c).to_vec()).collect())
+            }
+            ExecMode::Threaded => {
+                // Permute each column into the factor's index space
+                // (pb[perm(i)] = b[i]), exactly as `solver.solve` does.
+                let perm = entry.solver.perm();
+                let mut pb = DenseMatrix::zeros(n, k);
+                for (c, col) in batch.iter().enumerate() {
+                    let dst = pb.col_mut(c);
+                    for i in 0..n {
+                        dst[perm.apply(i)] = col[i];
+                    }
+                }
+                let solver = ThreadedSolver::with_plan(entry.solver.factor_matrix(), &entry.plan);
+                let mut ws = entry.take_workspace(k);
+                let px = solver.forward_backward_with(&pb, &mut ws);
+                entry.put_workspace(ws);
+                // Unpermute straight into the per-request columns; the
+                // boarded RHS vectors are recycled as the output buffers.
+                let mut batch = batch;
+                for (c, col) in batch.iter_mut().enumerate() {
+                    let src = px.col(c);
+                    for (i, v) in col.iter_mut().enumerate() {
+                        *v = src[perm.apply(i)];
+                    }
+                }
+                Ok(batch)
+            }
+        }
+    }
+
+    /// Drop a cached factor. Returns whether it was resident.
+    pub fn evict(&self, fp: Fingerprint) -> bool {
+        self.cache.evict(fp)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.cache.stats(),
+            solves_ok: self.solves_ok.load(Ordering::Relaxed),
+            solves_err: self.solves_err.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_cols: self.batched_cols.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The batching window currently configured (used by the front end to
+    /// derive per-request socket timeouts).
+    pub fn batch_window(&self) -> Duration {
+        self.opts.batch.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::gen;
+
+    fn engine(exec: ExecMode, max_batch: usize) -> Engine {
+        Engine::new(EngineOptions {
+            exec,
+            batch: BatchOptions {
+                max_batch,
+                window: Duration::from_millis(2),
+                wait_timeout: Duration::from_secs(10),
+            },
+            ..EngineOptions::default()
+        })
+    }
+
+    #[test]
+    fn load_solve_round_trip_both_modes() {
+        for exec in [ExecMode::Seq, ExecMode::Threaded] {
+            let eng = engine(exec, 4);
+            let a = gen::grid2d_laplacian(8, 8);
+            let out = eng.load(&a).unwrap();
+            assert!(!out.already_cached);
+            assert_eq!(out.n, 64);
+            let again = eng.load(&a).unwrap();
+            assert!(again.already_cached);
+            assert_eq!(again.fingerprint, out.fingerprint);
+
+            let b = gen::random_rhs(64, 1, 9);
+            let x = eng.solve(out.fingerprint, b.col(0).to_vec()).unwrap();
+            // residual against the original matrix
+            let mut xm = DenseMatrix::zeros(64, 1);
+            xm.col_mut(0).copy_from_slice(&x);
+            let ax = a.spmv_sym_lower(&xm).unwrap();
+            assert!(ax.max_abs_diff(&b).unwrap() < 1e-10, "{exec:?}");
+            let s = eng.stats();
+            assert_eq!(s.solves_ok, 1);
+            assert_eq!(s.batches, 1);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_structured() {
+        let eng = engine(ExecMode::Threaded, 4);
+        let a = gen::grid2d_laplacian(6, 6);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let err = eng.solve(fp, vec![1.0; 35]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::DimensionMismatch {
+                expected: 36,
+                got: 35
+            }
+        );
+        let err = eng.solve(fp, Vec::new()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::DimensionMismatch {
+                expected: 36,
+                got: 0
+            }
+        );
+        assert_eq!(eng.stats().solves_err, 2);
+    }
+
+    #[test]
+    fn unknown_fingerprint_and_evict() {
+        let eng = engine(ExecMode::Threaded, 1);
+        let fp = Fingerprint(1, 2);
+        assert_eq!(
+            eng.solve(fp, vec![0.0]).unwrap_err(),
+            EngineError::UnknownFingerprint(fp)
+        );
+        let a = gen::grid2d_laplacian(5, 5);
+        let loaded = eng.load(&a).unwrap();
+        assert!(eng.evict(loaded.fingerprint));
+        assert!(!eng.evict(loaded.fingerprint));
+        assert!(matches!(
+            eng.solve(loaded.fingerprint, vec![0.0; 25]).unwrap_err(),
+            EngineError::UnknownFingerprint(_)
+        ));
+    }
+
+    #[test]
+    fn non_spd_matrix_is_rejected() {
+        // -identity is symmetric but not positive definite
+        let n = 8;
+        let colptr: Vec<usize> = (0..=n).collect();
+        let rowidx: Vec<usize> = (0..n).collect();
+        let a = CscMatrix::from_parts(n, n, colptr, rowidx, vec![-1.0; n]).unwrap();
+        let eng = engine(ExecMode::Threaded, 1);
+        assert!(matches!(eng.load(&a).unwrap_err(), EngineError::NotSpd(_)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Content-hash fingerprints identifying a matrix across the wire.
+//!
+//! The cache key must be a pure function of the matrix *content* (structure
+//! and values), so that a client that regenerates or reloads the same matrix
+//! lands on the same cached factor without any session state. We hash the
+//! CSC arrays with two independent FNV-1a lanes (different offset bases and
+//! an extra per-word mix on the second lane), giving a 128-bit fingerprint;
+//! accidental collisions are then beyond realistic workloads, and the hash
+//! is std-only and deterministic across platforms (values are hashed by
+//! their IEEE-754 bit patterns).
+
+use std::fmt;
+
+use trisolv_matrix::CscMatrix;
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 128-bit content hash of a CSC matrix (structure + values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64, pub u64);
+
+impl Fingerprint {
+    /// Fingerprint of a matrix: dimensions, column pointers, row indices and
+    /// the bit patterns of the values, folded through two FNV-1a lanes.
+    pub fn of_matrix(m: &CscMatrix) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.word(m.nrows() as u64);
+        h.word(m.ncols() as u64);
+        h.word(m.nnz() as u64);
+        for &p in m.colptr() {
+            h.word(p as u64);
+        }
+        for &i in m.rowidx() {
+            h.word(i as u64);
+        }
+        for &v in m.values() {
+            h.word(v.to_bits());
+        }
+        Fingerprint(h.a, h.b)
+    }
+
+    /// Fingerprint of the raw CSC arrays as they travel in a `LOAD` frame
+    /// (same digest as [`Fingerprint::of_matrix`] on the built matrix).
+    pub fn of_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: &[usize],
+        rowidx: &[usize],
+        values: &[f64],
+    ) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.word(nrows as u64);
+        h.word(ncols as u64);
+        h.word(values.len() as u64);
+        for &p in colptr {
+            h.word(p as u64);
+        }
+        for &i in rowidx {
+            h.word(i as u64);
+        }
+        for &v in values {
+            h.word(v.to_bits());
+        }
+        Fingerprint(h.a, h.b)
+    }
+
+    /// The 16-byte wire encoding (big-endian lanes, lane 0 first).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&self.0.to_be_bytes());
+        b[8..].copy_from_slice(&self.1.to_be_bytes());
+        b
+    }
+
+    /// Decode the wire encoding produced by [`Fingerprint::to_bytes`].
+    pub fn from_bytes(b: [u8; 16]) -> Fingerprint {
+        Fingerprint(
+            u64::from_be_bytes(b[..8].try_into().unwrap()),
+            u64::from_be_bytes(b[8..].try_into().unwrap()),
+        )
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+impl Hasher {
+    fn new() -> Hasher {
+        Hasher {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        // second lane: mix whole words with rotation so the two lanes are
+        // not trivially correlated
+        self.b = (self.b ^ w.rotate_left(31)).wrapping_mul(FNV_PRIME);
+        self.b ^= self.b >> 29;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::gen;
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        let a = gen::grid2d_laplacian(6, 6);
+        let b = gen::grid2d_laplacian(6, 6);
+        assert_eq!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&b));
+        let c = gen::grid2d_laplacian(6, 7);
+        assert_ne!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&c));
+        // a value change (same structure) must also change the hash
+        let mut vals = a.values().to_vec();
+        vals[0] += 1.0;
+        let d = CscMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.colptr().to_vec(),
+            a.rowidx().to_vec(),
+            vals,
+        )
+        .unwrap();
+        assert_ne!(Fingerprint::of_matrix(&a), Fingerprint::of_matrix(&d));
+    }
+
+    #[test]
+    fn of_parts_matches_of_matrix() {
+        let a = gen::random_spd(40, 5, 3);
+        assert_eq!(
+            Fingerprint::of_parts(a.nrows(), a.ncols(), a.colptr(), a.rowidx(), a.values()),
+            Fingerprint::of_matrix(&a)
+        );
+    }
+
+    #[test]
+    fn byte_round_trip_and_display() {
+        let fp = Fingerprint(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        assert_eq!(Fingerprint::from_bytes(fp.to_bytes()), fp);
+        assert_eq!(fp.to_string(), "0123456789abcdeffedcba9876543210");
+    }
+}

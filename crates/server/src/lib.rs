@@ -1,0 +1,31 @@
+//! `trisolv-server`: a factor-caching, RHS-batching solve service.
+//!
+//! The paper's experimental point is that triangular-solve throughput is
+//! limited by per-solve overhead, not arithmetic: on the T3D one RHS ran at
+//! 435 MFLOPS while 30 blocked RHS exceeded 3 GFLOPS. This crate reproduces
+//! that amortization curve *at the service level*: a long-lived process
+//! keeps factorizations resident ([`cache`]), merges concurrent single-RHS
+//! requests on the same factor into blocked `n×k` solves ([`batch`],
+//! [`engine`]), and exposes the whole thing over a std-only length-prefixed
+//! TCP protocol ([`protocol`], [`server`]) with a matching blocking client
+//! and load generator ([`client`], [`loadgen`]).
+//!
+//! Everything is `std`-only; the workspace builds offline with zero
+//! external dependencies.
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod fingerprint;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use batch::{BatchLane, BatchOptions, LaneError};
+pub use cache::{CacheStats, FactorCache, FactorEntry};
+pub use client::{Client, ClientError, LoadReply};
+pub use engine::{Engine, EngineError, EngineOptions, EngineStats, ExecMode, LoadOutcome};
+pub use fingerprint::Fingerprint;
+pub use loadgen::{run_load, LoadGenOptions, LoadGenReport};
+pub use server::{RunningServer, Server, ServerOptions};

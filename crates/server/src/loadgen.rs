@@ -1,0 +1,177 @@
+//! Closed-loop load generator for the solve service.
+//!
+//! Spawns `clients` threads, each with its own connection, issuing
+//! single-RHS `SOLVE` requests back-to-back for a fixed duration and
+//! recording per-request latency. The aggregate report (requests/sec,
+//! p50/p99) is what `bench_server` sweeps across batch configurations to
+//! reproduce the paper's multi-RHS amortization curve, and what the CI
+//! smoke job asserts on.
+
+use std::time::{Duration, Instant};
+
+use trisolv_matrix::rng::Rng;
+
+use crate::client::{Client, ClientError};
+use crate::fingerprint::Fingerprint;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadGenOptions {
+    /// Server address.
+    pub addr: String,
+    /// Fingerprint of the (already loaded) factor to solve against.
+    pub fingerprint: Fingerprint,
+    /// RHS length (the factor's matrix order).
+    pub n: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// How long to keep issuing requests.
+    pub duration: Duration,
+    /// Seed for the per-client RHS generators.
+    pub seed: u64,
+}
+
+/// Aggregate results of one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadGenReport {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests that failed (transport or server error).
+    pub errors: u64,
+    /// Wall-clock time actually spent issuing requests.
+    pub elapsed: Duration,
+    /// Successful requests per second.
+    pub throughput_rps: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+}
+
+/// Percentile by nearest-rank on a sorted slice (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the closed loop and aggregate latencies across all clients.
+///
+/// Each client connects (with retry, so the server may still be starting),
+/// then solves random right-hand sides until the deadline. Per-request
+/// latency is measured client-side, so it includes the batching window —
+/// the trade the batcher makes (a little latency for a lot of throughput)
+/// is visible in the report rather than hidden.
+pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
+    /// Per-client outcome: (requests ok, requests errored, latencies in µs).
+    type ClientOutcome = Result<(u64, u64, Vec<f64>), ClientError>;
+    let started = Instant::now();
+    let deadline = started + opts.duration;
+    let results: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients.max(1))
+            .map(|c| {
+                let addr = opts.addr.clone();
+                let fp = opts.fingerprint;
+                let n = opts.n;
+                let seed = opts.seed.wrapping_add(c as u64);
+                scope.spawn(move || client_loop(&addr, fp, n, seed, deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut first_err: Option<ClientError> = None;
+    for r in results {
+        match r {
+            Ok((ok, err, lats)) => {
+                requests += ok;
+                errors += err;
+                latencies.extend(lats);
+            }
+            Err(e) => {
+                errors += 1;
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    if requests == 0 {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = if latencies.is_empty() {
+        f64::NAN
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    Ok(LoadGenReport {
+        requests,
+        errors,
+        elapsed,
+        throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        mean_us: mean,
+    })
+}
+
+fn client_loop(
+    addr: &str,
+    fp: Fingerprint,
+    n: usize,
+    seed: u64,
+    deadline: Instant,
+) -> Result<(u64, u64, Vec<f64>), ClientError> {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(5))?;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut rhs = vec![0.0f64; n];
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    let mut latencies = Vec::new();
+    while Instant::now() < deadline {
+        // cheap per-request perturbation: refresh a few entries
+        for _ in 0..4 {
+            let i = rng.range_usize(0, n);
+            rhs[i] = rng.range_f64(-1.0, 1.0);
+        }
+        let t0 = Instant::now();
+        match client.solve(fp, &rhs) {
+            Ok(_) => {
+                ok += 1;
+                latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            Err(ClientError::Io(m)) => {
+                // transport gone (e.g. server shut down mid-run): stop
+                err += 1;
+                let _ = m;
+                break;
+            }
+            Err(_) => err += 1,
+        }
+    }
+    Ok((ok, err, latencies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 51.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert!(percentile(&[], 0.5).is_nan());
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Length-prefixed binary wire protocol for the solve service.
+//!
+//! Frame format (all integers little-endian, values IEEE-754 bits):
+//!
+//! ```text
+//! | u32 len | u8 opcode | payload (len - 1 bytes) |
+//! ```
+//!
+//! `len` counts the opcode byte plus the payload, so an empty-payload frame
+//! has `len == 1`. Frames larger than [`MAX_FRAME_LEN`] are rejected before
+//! any allocation, which is what lets the server shrug off garbage length
+//! prefixes.
+//!
+//! Request opcodes:
+//!
+//! | op | name | payload |
+//! |------|----------|---------|
+//! | 0x01 | LOAD     | `u64 nrows, ncols, nnz`, `colptr[(ncols+1)·u64]`, `rowidx[nnz·u64]`, `values[nnz·f64]` |
+//! | 0x02 | SOLVE    | `fingerprint[16]`, `u64 n`, `rhs[n·f64]` |
+//! | 0x03 | STATS    | empty |
+//! | 0x04 | EVICT    | `fingerprint[16]` |
+//! | 0x05 | SHUTDOWN | empty |
+//!
+//! Response opcodes:
+//!
+//! | op | name | payload |
+//! |------|------------|---------|
+//! | 0x81 | OK_LOADED  | `fingerprint[16]`, `u64 n`, `u64 factor_nnz`, `u8 already_cached` |
+//! | 0x82 | OK_SOLVED  | `u64 n`, `x[n·f64]` |
+//! | 0x83 | OK_STATS   | `u64 count`, then per stat `u16 keylen`, key bytes, `u64 value` |
+//! | 0x84 | OK_EVICTED | `u8 existed` |
+//! | 0x85 | OK_BYE     | empty |
+//! | 0xFF | ERR        | `u16 code`, `u32 msglen`, UTF-8 message |
+//!
+//! Error codes are in [`ErrorCode`]. Protocol errors on a decodable frame
+//! produce an `ERR` reply and leave the connection open; an undecodable
+//! frame (bad length prefix) produces an `ERR` and then a close, since the
+//! stream can no longer be re-synchronized.
+
+use std::io::{self, Read, Write};
+
+use crate::engine::EngineError;
+use crate::fingerprint::Fingerprint;
+
+/// Hard cap on a frame's `len` field (64 MiB) — bounds allocation from a
+/// hostile or corrupt length prefix.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Request opcodes.
+pub mod op {
+    /// Factor a matrix and cache it.
+    pub const LOAD: u8 = 0x01;
+    /// Solve one RHS against a cached factor.
+    pub const SOLVE: u8 = 0x02;
+    /// Fetch engine counters.
+    pub const STATS: u8 = 0x03;
+    /// Drop a cached factor.
+    pub const EVICT: u8 = 0x04;
+    /// Stop the server gracefully.
+    pub const SHUTDOWN: u8 = 0x05;
+    /// Successful LOAD reply.
+    pub const OK_LOADED: u8 = 0x81;
+    /// Successful SOLVE reply.
+    pub const OK_SOLVED: u8 = 0x82;
+    /// Successful STATS reply.
+    pub const OK_STATS: u8 = 0x83;
+    /// Successful EVICT reply.
+    pub const OK_EVICTED: u8 = 0x84;
+    /// Acknowledged SHUTDOWN.
+    pub const OK_BYE: u8 = 0x85;
+    /// Error reply.
+    pub const ERR: u8 = 0xFF;
+}
+
+/// Wire error codes carried in `ERR` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Frame or payload could not be decoded.
+    Malformed = 1,
+    /// Request opcode not recognized.
+    UnknownOpcode = 2,
+    /// SOLVE/EVICT fingerprint not resident.
+    UnknownFingerprint = 3,
+    /// SOLVE RHS length does not match the factor dimension.
+    DimensionMismatch = 4,
+    /// LOAD matrix failed numeric factorization.
+    NotSpd = 5,
+    /// Request timed out inside the service.
+    Timeout = 6,
+    /// Frame exceeded [`MAX_FRAME_LEN`].
+    TooLarge = 7,
+    /// Internal service error.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decode a wire value.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownOpcode,
+            3 => ErrorCode::UnknownFingerprint,
+            4 => ErrorCode::DimensionMismatch,
+            5 => ErrorCode::NotSpd,
+            6 => ErrorCode::Timeout,
+            7 => ErrorCode::TooLarge,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The wire code for an engine failure.
+    pub fn of_engine_error(e: &EngineError) -> ErrorCode {
+        match e {
+            EngineError::UnknownFingerprint(_) => ErrorCode::UnknownFingerprint,
+            EngineError::DimensionMismatch { .. } => ErrorCode::DimensionMismatch,
+            EngineError::BadMatrix(_) => ErrorCode::Malformed,
+            EngineError::NotSpd(_) => ErrorCode::NotSpd,
+            EngineError::Timeout => ErrorCode::Timeout,
+            EngineError::Internal(_) => ErrorCode::Internal,
+        }
+    }
+}
+
+/// Write one frame. The header and payload go out through
+/// `write_vectored`, so on a `TCP_NODELAY` socket the whole frame lands
+/// in one segment and the peer wakes once, not once per `write_all`.
+pub fn write_frame<W: Write>(w: &mut W, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    if len > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    head[4] = opcode;
+    let total = head.len() + payload.len();
+    let mut done = 0usize;
+    while done < total {
+        let n = if done < head.len() {
+            w.write_vectored(&[io::IoSlice::new(&head[done..]), io::IoSlice::new(payload)])?
+        } else {
+            w.write(&payload[done - head.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "failed to write frame",
+            ));
+        }
+        done += n;
+    }
+    w.flush()
+}
+
+/// Read one frame, enforcing [`MAX_FRAME_LEN`]. Returns `(opcode, payload)`.
+/// A length of zero or above the cap yields `InvalidData` — the stream
+/// cannot be re-synchronized after that.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
+    // header + opcode in one read: `len` counts the opcode, so every
+    // well-formed frame has at least these five bytes
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().unwrap());
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let body_len = (len - 1) as u64;
+    let mut body = Vec::with_capacity(body_len as usize);
+    r.take(body_len).read_to_end(&mut body)?;
+    if body.len() as u64 != body_len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream closed mid-frame",
+        ));
+    }
+    Ok((head[4], body))
+}
+
+/// Incremental little-endian payload reader.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` and convert to `usize`, rejecting overflow.
+    pub fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "size overflows usize".to_string())
+    }
+
+    /// Read `n` `u64`s as `usize`s.
+    pub fn usize_vec(&mut self, n: usize) -> Result<Vec<usize>, String> {
+        let raw = self.take(n.checked_mul(8).ok_or("size overflow")?)?;
+        raw.chunks_exact(8)
+            .map(|c| {
+                usize::try_from(u64::from_le_bytes(c.try_into().unwrap()))
+                    .map_err(|_| "index overflows usize".to_string())
+            })
+            .collect()
+    }
+
+    /// Read `n` `f64`s.
+    pub fn f64_vec(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        let raw = self.take(n.checked_mul(8).ok_or("size overflow")?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a 16-byte fingerprint.
+    pub fn fingerprint(&mut self) -> Result<Fingerprint, String> {
+        Ok(Fingerprint::from_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        self.take(n)
+    }
+
+    /// Fail if any bytes remain unconsumed.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Payload builder mirroring [`Cursor`].
+#[derive(Default)]
+pub struct Builder {
+    buf: Vec<u8>,
+}
+
+impl Builder {
+    /// An empty payload.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(mut self, v: u8) -> Builder {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u16`.
+    pub fn u16(mut self, v: u16) -> Builder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(mut self, v: u32) -> Builder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Builder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append `usize`s as `u64`s.
+    pub fn usize_slice(mut self, vs: &[usize]) -> Builder {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        self
+    }
+
+    /// Append `f64`s by bit pattern.
+    pub fn f64_slice(mut self, vs: &[f64]) -> Builder {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a fingerprint (16 bytes).
+    pub fn fingerprint(mut self, fp: Fingerprint) -> Builder {
+        self.buf.extend_from_slice(&fp.to_bytes());
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(mut self, bs: &[u8]) -> Builder {
+        self.buf.extend_from_slice(bs);
+        self
+    }
+
+    /// The finished payload.
+    pub fn build(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op::SOLVE, &[1, 2, 3]).unwrap();
+        assert_eq!(buf.len(), 4 + 1 + 3);
+        let (opcode, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(opcode, op::SOLVE);
+        assert_eq!(payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected() {
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut zero.as_slice()).is_err());
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+    }
+
+    #[test]
+    fn cursor_builder_round_trip() {
+        let fp = Fingerprint(7, 9);
+        let payload = Builder::new()
+            .u8(3)
+            .u16(512)
+            .u32(70_000)
+            .u64(1 << 40)
+            .fingerprint(fp)
+            .usize_slice(&[1, 2, 3])
+            .f64_slice(&[0.5, -0.25])
+            .build();
+        let mut c = Cursor::new(&payload);
+        assert_eq!(c.u8().unwrap(), 3);
+        assert_eq!(c.u16().unwrap(), 512);
+        assert_eq!(c.u32().unwrap(), 70_000);
+        assert_eq!(c.u64().unwrap(), 1 << 40);
+        assert_eq!(c.fingerprint().unwrap(), fp);
+        assert_eq!(c.usize_vec(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.f64_vec(2).unwrap(), vec![0.5, -0.25]);
+        c.finish().unwrap();
+        // truncation is an error, not a panic
+        let mut c = Cursor::new(&payload[..3]);
+        assert!(c.u32().is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::UnknownFingerprint,
+            ErrorCode::DimensionMismatch,
+            ErrorCode::NotSpd,
+            ErrorCode::Timeout,
+            ErrorCode::TooLarge,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+}

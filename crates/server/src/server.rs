@@ -1,0 +1,392 @@
+//! TCP front end: acceptor, worker pool, request dispatch.
+//!
+//! One acceptor thread hands accepted connections to a fixed pool of worker
+//! threads over an `mpsc` channel; each worker owns one connection at a
+//! time and services frames until the peer hangs up or the server shuts
+//! down. A worker blocked inside the micro-batcher is exactly what lets
+//! concurrent connections share a blocked solve, so `workers` should be at
+//! least the target batch size.
+//!
+//! Robustness contract (exercised in `tests/service.rs`):
+//!
+//! * a garbage or oversized length prefix gets an `ERR` reply and a close
+//!   (the stream cannot be re-synchronized);
+//! * a decodable frame with a bad payload (truncated arrays, wrong RHS
+//!   length, unknown fingerprint, unknown opcode) gets a structured `ERR`
+//!   reply and the connection stays open;
+//! * `SHUTDOWN` (or [`RunningServer::shutdown`]) stops the acceptor,
+//!   drains the workers, and joins every thread.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use trisolv_matrix::CscMatrix;
+
+use crate::engine::{Engine, EngineOptions};
+use crate::protocol::{op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN};
+
+/// Front-end configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each services one connection at a time). Should be
+    /// ≥ the batching `max_batch` for full-width batches to form.
+    pub workers: usize,
+    /// Engine (cache + batcher + executor) configuration.
+    pub engine: EngineOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 32,
+            engine: EngineOptions::default(),
+        }
+    }
+}
+
+/// Handle to a spawned server; dropping it shuts the server down.
+pub struct RunningServer {
+    local_addr: SocketAddr,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// The service entry point.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn spawn(opts: ServerOptions) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::new(opts.engine));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(opts.workers + 1);
+        {
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(listener, tx, &shutdown);
+            }));
+        }
+        for _ in 0..opts.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&rx, &engine, &shutdown);
+            }));
+        }
+        Ok(RunningServer {
+            local_addr,
+            engine,
+            shutdown,
+            threads,
+        })
+    }
+}
+
+impl RunningServer {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared engine (for in-process inspection and benchmarks).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Signal shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Signal shutdown and join every thread.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the server shuts down — via a `SHUTDOWN` request or a
+    /// [`RunningServer::shutdown`] call from another thread — joining every
+    /// thread. Unlike [`RunningServer::join`], this does not itself request
+    /// shutdown; it is what `trisolv serve` parks on.
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// How often blocked accept/recv/read calls re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // dropping `tx` wakes workers blocked on recv
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, engine: &Engine, shutdown: &AtomicBool) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap();
+            guard.recv_timeout(POLL)
+        };
+        match next {
+            Ok(stream) => {
+                let _ = handle_conn(stream, engine, shutdown);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+enum ReadOutcome {
+    /// Buffer filled.
+    Full,
+    /// Clean EOF before the first byte.
+    Eof,
+    /// Server is shutting down.
+    Shutdown,
+}
+
+/// `read_exact` with shutdown polling: retries `WouldBlock`/`TimedOut`
+/// (the socket has a read timeout) while watching the shutdown flag.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> io::Result<ReadOutcome> {
+    let mut got = 0;
+    while got < buf.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(ReadOutcome::Shutdown);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(ReadOutcome::Eof);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn send_err(stream: &mut TcpStream, code: ErrorCode, msg: &str) -> io::Result<()> {
+    let bytes = msg.as_bytes();
+    let payload = Builder::new()
+        .u16(code as u16)
+        .u32(bytes.len() as u32)
+        .bytes(bytes)
+        .build();
+    write_frame(stream, op::ERR, &payload)
+}
+
+fn handle_conn(mut stream: TcpStream, engine: &Engine, shutdown: &AtomicBool) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    loop {
+        // length prefix
+        let mut len4 = [0u8; 4];
+        match read_full(&mut stream, &mut len4, shutdown)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
+        }
+        let len = u32::from_le_bytes(len4);
+        if len == 0 || len > MAX_FRAME_LEN {
+            // cannot resync the stream after a bad length: reply and close
+            let code = if len > MAX_FRAME_LEN {
+                ErrorCode::TooLarge
+            } else {
+                ErrorCode::Malformed
+            };
+            let _ = send_err(&mut stream, code, &format!("bad frame length {len}"));
+            return Ok(());
+        }
+        let mut body = vec![0u8; len as usize];
+        match read_full(&mut stream, &mut body, shutdown)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof => return Ok(()),
+            ReadOutcome::Shutdown => return Ok(()),
+        }
+        let opcode = body[0];
+        let payload = &body[1..];
+        match dispatch(engine, shutdown, opcode, payload) {
+            Dispatch::Reply(opcode, reply) => write_frame(&mut stream, opcode, &reply)?,
+            Dispatch::Error(code, msg) => send_err(&mut stream, code, &msg)?,
+            Dispatch::Bye => {
+                write_frame(&mut stream, op::OK_BYE, &[])?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+enum Dispatch {
+    Reply(u8, Vec<u8>),
+    Error(ErrorCode, String),
+    Bye,
+}
+
+fn dispatch(engine: &Engine, shutdown: &AtomicBool, opcode: u8, payload: &[u8]) -> Dispatch {
+    match opcode {
+        op::LOAD => match parse_load(payload) {
+            Ok(matrix) => match engine.load(&matrix) {
+                Ok(out) => Dispatch::Reply(
+                    op::OK_LOADED,
+                    Builder::new()
+                        .fingerprint(out.fingerprint)
+                        .u64(out.n as u64)
+                        .u64(out.factor_nnz as u64)
+                        .u8(u8::from(out.already_cached))
+                        .build(),
+                ),
+                Err(e) => Dispatch::Error(ErrorCode::of_engine_error(&e), e.to_string()),
+            },
+            Err(msg) => Dispatch::Error(ErrorCode::Malformed, msg),
+        },
+        op::SOLVE => {
+            let parsed = (|| {
+                let mut c = Cursor::new(payload);
+                let fp = c.fingerprint()?;
+                let n = c.usize()?;
+                let rhs = c.f64_vec(n)?;
+                c.finish()?;
+                Ok::<_, String>((fp, rhs))
+            })();
+            match parsed {
+                Ok((fp, rhs)) => match engine.solve(fp, rhs) {
+                    Ok(x) => Dispatch::Reply(
+                        op::OK_SOLVED,
+                        Builder::new().u64(x.len() as u64).f64_slice(&x).build(),
+                    ),
+                    Err(e) => Dispatch::Error(ErrorCode::of_engine_error(&e), e.to_string()),
+                },
+                Err(msg) => Dispatch::Error(ErrorCode::Malformed, msg),
+            }
+        }
+        op::STATS => {
+            let s = engine.stats();
+            let pairs: [(&str, u64); 11] = [
+                ("hits", s.cache.hits),
+                ("misses", s.cache.misses),
+                ("evictions", s.cache.evictions),
+                ("entries", s.cache.entries as u64),
+                ("resident_bytes", s.cache.resident_bytes as u64),
+                ("budget_bytes", engine.options().budget_bytes as u64),
+                ("solves_ok", s.solves_ok),
+                ("solves_err", s.solves_err),
+                ("batches", s.batches),
+                ("batched_cols", s.batched_cols),
+                ("max_batch", s.max_batch as u64),
+            ];
+            let mut b = Builder::new().u64(pairs.len() as u64);
+            for (key, val) in pairs {
+                b = b.u16(key.len() as u16).bytes(key.as_bytes()).u64(val);
+            }
+            Dispatch::Reply(op::OK_STATS, b.build())
+        }
+        op::EVICT => {
+            let parsed = (|| {
+                let mut c = Cursor::new(payload);
+                let fp = c.fingerprint()?;
+                c.finish()?;
+                Ok::<_, String>(fp)
+            })();
+            match parsed {
+                Ok(fp) => Dispatch::Reply(
+                    op::OK_EVICTED,
+                    Builder::new().u8(u8::from(engine.evict(fp))).build(),
+                ),
+                Err(msg) => Dispatch::Error(ErrorCode::Malformed, msg),
+            }
+        }
+        op::SHUTDOWN => {
+            shutdown.store(true, Ordering::SeqCst);
+            Dispatch::Bye
+        }
+        other => Dispatch::Error(
+            ErrorCode::UnknownOpcode,
+            format!("unknown request opcode 0x{other:02x}"),
+        ),
+    }
+}
+
+fn parse_load(payload: &[u8]) -> Result<CscMatrix, String> {
+    let mut c = Cursor::new(payload);
+    let nrows = c.usize()?;
+    let ncols = c.usize()?;
+    let nnz = c.usize()?;
+    // cheap sanity bound before the big allocations: the arrays must fit
+    // the frame we already read
+    let need = (ncols + 1)
+        .checked_add(nnz.checked_mul(2).ok_or("nnz overflow")?)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or("size overflow")?;
+    if need > payload.len() {
+        return Err(format!(
+            "LOAD arrays need {need} bytes but payload has {}",
+            payload.len()
+        ));
+    }
+    let colptr = c.usize_vec(ncols + 1)?;
+    let rowidx = c.usize_vec(nnz)?;
+    let values = c.f64_vec(nnz)?;
+    c.finish()?;
+    CscMatrix::from_parts(nrows, ncols, colptr, rowidx, values).map_err(|e| e.to_string())
+}

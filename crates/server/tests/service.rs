@@ -1,0 +1,322 @@
+//! End-to-end tests of the solve service over real loopback TCP.
+
+use std::time::Duration;
+
+use trisolv_core::SparseCholeskySolver;
+use trisolv_matrix::{gen, rng::Rng, DenseMatrix};
+use trisolv_server::{protocol, protocol::op, protocol::ErrorCode};
+use trisolv_server::{
+    BatchOptions, Client, ClientError, Engine, EngineOptions, ExecMode, Fingerprint, Server,
+    ServerOptions,
+};
+
+fn server_opts(exec: ExecMode, max_batch: usize, workers: usize) -> ServerOptions {
+    ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        engine: EngineOptions {
+            exec,
+            batch: BatchOptions {
+                max_batch,
+                window: Duration::from_millis(2),
+                wait_timeout: Duration::from_secs(20),
+            },
+            ..EngineOptions::default()
+        },
+    }
+}
+
+#[test]
+fn tcp_round_trip_load_solve_stats_evict() {
+    let server = Server::spawn(server_opts(ExecMode::Threaded, 4, 8)).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let a = gen::grid2d_laplacian(10, 10);
+    let loaded = client.load(&a).unwrap();
+    assert_eq!(loaded.n, 100);
+    assert!(!loaded.already_cached);
+    assert_eq!(loaded.fingerprint, Fingerprint::of_matrix(&a));
+    assert!(client.load(&a).unwrap().already_cached);
+
+    let b = gen::random_rhs(100, 1, 5);
+    let x = client.solve(loaded.fingerprint, b.col(0)).unwrap();
+    let mut xm = DenseMatrix::zeros(100, 1);
+    xm.col_mut(0).copy_from_slice(&x);
+    let ax = a.spmv_sym_lower(&xm).unwrap();
+    assert!(ax.max_abs_diff(&b).unwrap() < 1e-10);
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing stat {k}"))
+            .1
+    };
+    assert_eq!(get("entries"), 1);
+    assert_eq!(get("solves_ok"), 1);
+    assert!(get("resident_bytes") > 0);
+
+    assert!(client.evict(loaded.fingerprint).unwrap());
+    assert!(!client.evict(loaded.fingerprint).unwrap());
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Satellite: N concurrent single-RHS clients against one cached factor all
+/// get answers bit-identical to `seq::solve` (the `SparseCholeskySolver`
+/// sequential path) on the same inputs — property-style over seeded random
+/// SPD matrices. The server runs the `Seq` executor, whose blocked solves
+/// are column-for-column bit-identical to the sequential single-RHS path.
+#[test]
+fn concurrent_solves_bit_identical_to_seq() {
+    let server = Server::spawn(server_opts(ExecMode::Seq, 8, 16)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    for trial in 0..3u64 {
+        let n = 50 + 10 * trial as usize;
+        let a = gen::random_spd(n, 5, 100 + trial);
+        let reference = SparseCholeskySolver::factor(&a).unwrap();
+        let fp = Client::connect(&addr)
+            .unwrap()
+            .load(&a)
+            .unwrap()
+            .fingerprint;
+
+        let nclients = 8;
+        let rounds = 4;
+        std::thread::scope(|scope| {
+            for c in 0..nclients {
+                let addr = addr.clone();
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let mut rng = Rng::seed_from_u64(trial * 1000 + c);
+                    for _ in 0..rounds {
+                        let mut b = DenseMatrix::zeros(n, 1);
+                        for v in b.col_mut(0) {
+                            *v = rng.range_f64(-1.0, 1.0);
+                        }
+                        let x = client.solve(fp, b.col(0)).unwrap();
+                        let expect = reference.solve(&b);
+                        assert_eq!(
+                            x.as_slice(),
+                            expect.col(0),
+                            "answer not bit-identical to the sequential solve"
+                        );
+                    }
+                });
+            }
+        });
+    }
+    server.join();
+}
+
+/// The threaded executor under the same concurrent load: answers must agree
+/// with the sequential solver to tight accuracy (its different but
+/// equivalent child-update accumulation order perturbs only the last bits).
+#[test]
+fn concurrent_threaded_solves_match_seq_closely() {
+    let server = Server::spawn(server_opts(ExecMode::Threaded, 8, 16)).unwrap();
+    let addr = server.local_addr().to_string();
+    let n = 80;
+    let a = gen::random_spd(n, 5, 77);
+    let reference = SparseCholeskySolver::factor(&a).unwrap();
+    let fp = Client::connect(&addr)
+        .unwrap()
+        .load(&a)
+        .unwrap()
+        .fingerprint;
+
+    std::thread::scope(|scope| {
+        for c in 0..8u64 {
+            let addr = addr.clone();
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut rng = Rng::seed_from_u64(500 + c);
+                for _ in 0..4 {
+                    let mut b = DenseMatrix::zeros(n, 1);
+                    for v in b.col_mut(0) {
+                        *v = rng.range_f64(-1.0, 1.0);
+                    }
+                    let x = client.solve(fp, b.col(0)).unwrap();
+                    let expect = reference.solve(&b);
+                    let maxdiff = x
+                        .iter()
+                        .zip(expect.col(0))
+                        .map(|(p, q)| (p - q).abs())
+                        .fold(0.0f64, f64::max);
+                    assert!(maxdiff < 1e-12, "threaded answer drifted: {maxdiff:e}");
+                }
+            });
+        }
+    });
+    let stats = server.engine().stats();
+    assert!(stats.batches > 0);
+    assert_eq!(stats.batched_cols, stats.solves_ok);
+    server.join();
+}
+
+/// Acceptance: the server survives a malformed frame, an oversized RHS and
+/// an unknown fingerprint without crashing, answering protocol errors.
+#[test]
+fn server_survives_hostile_input() {
+    let server = Server::spawn(server_opts(ExecMode::Threaded, 4, 4)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let a = gen::grid2d_laplacian(6, 6);
+    let mut client = Client::connect(&addr).unwrap();
+    let fp = client.load(&a).unwrap().fingerprint;
+
+    // 1. oversized RHS: structured dimension-mismatch error, connection
+    //    stays usable
+    let err = client.solve(fp, &vec![1.0; 500]).unwrap_err();
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, Some(ErrorCode::DimensionMismatch));
+            assert!(
+                message.contains("500") && message.contains("36"),
+                "{message}"
+            );
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+
+    // 2. unknown fingerprint: structured error, connection stays usable
+    let err = client.solve(Fingerprint(1, 2), &vec![0.0; 36]).unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: Some(ErrorCode::UnknownFingerprint),
+            ..
+        }
+    ));
+
+    // 3. unknown opcode: structured error, connection stays usable
+    client
+        .send_raw(&{
+            let mut f = Vec::new();
+            protocol::write_frame(&mut f, 0x7E, &[1, 2, 3]).unwrap();
+            f
+        })
+        .unwrap();
+    let (opcode, _) = client.recv_raw().unwrap();
+    assert_eq!(opcode, op::ERR);
+
+    // 4. truncated SOLVE payload: structured error, connection stays usable
+    client
+        .send_raw(&{
+            let mut f = Vec::new();
+            protocol::write_frame(&mut f, op::SOLVE, &[0xAB; 7]).unwrap();
+            f
+        })
+        .unwrap();
+    let (opcode, _) = client.recv_raw().unwrap();
+    assert_eq!(opcode, op::ERR);
+
+    // ...the same connection still solves correctly
+    let b = gen::random_rhs(36, 1, 1);
+    assert_eq!(client.solve(fp, b.col(0)).unwrap().len(), 36);
+
+    // 5. garbage length prefix: the server replies ERR and closes this
+    //    connection (it cannot resync), but keeps serving others
+    let mut evil = Client::connect(&addr).unwrap();
+    evil.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    // (the server may close before the reply is readable; an Err is fine)
+    if let Ok((opcode, payload)) = evil.recv_raw() {
+        assert_eq!(opcode, op::ERR);
+        let mut c = protocol::Cursor::new(&payload);
+        assert_eq!(c.u16().unwrap(), ErrorCode::TooLarge as u16);
+    }
+    // the poisoned connection is dead...
+    assert!(evil.solve(fp, b.col(0)).is_err());
+    // ...but a fresh one (and the old good one) still work
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert_eq!(fresh.solve(fp, b.col(0)).unwrap().len(), 36);
+    assert_eq!(client.solve(fp, b.col(0)).unwrap().len(), 36);
+
+    // 6. non-SPD LOAD: structured error, not a worker panic
+    let n = 4;
+    let bad = trisolv_matrix::CscMatrix::from_parts(
+        n,
+        n,
+        (0..=n).collect(),
+        (0..n).collect(),
+        vec![-1.0; n],
+    )
+    .unwrap();
+    let err = fresh.load(&bad).unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: Some(ErrorCode::NotSpd),
+            ..
+        }
+    ));
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The in-process load generator against a live server: non-zero completed
+/// requests, zero errors, and consistent engine counters.
+#[test]
+fn loadgen_smoke() {
+    let server = Server::spawn(server_opts(ExecMode::Threaded, 4, 8)).unwrap();
+    let addr = server.local_addr().to_string();
+    let a = gen::grid2d_laplacian(12, 12);
+    let loaded = Client::connect(&addr).unwrap().load(&a).unwrap();
+
+    let report = trisolv_server::run_load(&trisolv_server::LoadGenOptions {
+        addr: addr.clone(),
+        fingerprint: loaded.fingerprint,
+        n: loaded.n,
+        clients: 4,
+        duration: Duration::from_millis(300),
+        seed: 7,
+    })
+    .unwrap();
+    assert!(report.requests > 0, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+    assert_eq!(server.engine().stats().solves_ok, report.requests);
+    server.join();
+}
+
+/// An engine constructed directly (no TCP) also honors the batching
+/// counters contract used by `bench_server`.
+#[test]
+fn in_process_engine_batches_concurrent_requests() {
+    let engine = Engine::new(EngineOptions {
+        exec: ExecMode::Threaded,
+        batch: BatchOptions {
+            max_batch: 8,
+            window: Duration::from_millis(20),
+            wait_timeout: Duration::from_secs(20),
+        },
+        ..EngineOptions::default()
+    });
+    let a = gen::grid2d_laplacian(8, 8);
+    let fp = engine.load(&a).unwrap().fingerprint;
+    let nreq = 16u64;
+    std::thread::scope(|scope| {
+        for i in 0..nreq {
+            let engine = &engine;
+            scope.spawn(move || {
+                let b = gen::random_rhs(64, 1, i);
+                engine.solve(fp, b.col(0).to_vec()).unwrap();
+            });
+        }
+    });
+    let s = engine.stats();
+    assert_eq!(s.solves_ok, nreq);
+    assert_eq!(s.batched_cols, nreq);
+    assert!(
+        s.batches < nreq,
+        "concurrent requests should share batches: {s:?}"
+    );
+    assert!(s.max_batch >= 2);
+}

@@ -7,7 +7,11 @@
 //! * `solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering O]` —
 //!   factor and solve on the simulated machine, reporting timings;
 //! * `convert <in> <out>` — convert between Matrix-Market (`.mtx`) and
-//!   Harwell-Boeing (anything else) files.
+//!   Harwell-Boeing (anything else) files;
+//! * `gen <spec> <out>` — generate a test matrix (`grid2d:64`, `fem3d:...`,
+//!   `random:...`) so nothing needs external matrix files;
+//! * `serve` / `client` — the factor-caching, RHS-batching solve service
+//!   and its load-generating client (see `crates/server` and DESIGN.md §10).
 //!
 //! Matrices are detected by extension: `.mtx` → Matrix Market, otherwise
 //! Harwell-Boeing.
@@ -16,6 +20,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::time::Duration;
 
 use trisolv_core::mapping::SubcubeMapping;
 use trisolv_core::tree::{solve_fb, SolveConfig};
@@ -23,6 +28,7 @@ use trisolv_factor::seqchol;
 use trisolv_graph::{mindeg, multilevel, nd, rcm, Graph, Permutation};
 use trisolv_machine::MachineParams;
 use trisolv_matrix::{gen, hb, io as mmio, CscMatrix};
+use trisolv_server as srv;
 
 /// Errors surfaced to the CLI user.
 pub type CliError = String;
@@ -55,14 +61,54 @@ pub enum Command {
         /// Output path.
         output: String,
     },
+    /// Generate a test matrix from a spec string and write it to a file.
+    Gen {
+        /// Generator spec (see [`trisolv_matrix::gen::from_spec`]).
+        spec: String,
+        /// Output path (`.mtx` → Matrix Market, else Harwell-Boeing).
+        output: String,
+    },
+    /// Run the factor-caching solve server until a SHUTDOWN request.
+    Serve {
+        /// Bind address (port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads (should be ≥ max_batch for full batches).
+        workers: usize,
+        /// Micro-batcher: seal a batch at this many RHS columns.
+        max_batch: usize,
+        /// Micro-batcher: seal a non-full batch after this many µs.
+        window_us: u64,
+        /// Factor-cache byte budget in MiB.
+        budget_mb: usize,
+        /// Executor: `seq` or `threaded`.
+        exec: String,
+    },
+    /// Drive a running server with the load generator.
+    Client {
+        /// Server address.
+        addr: String,
+        /// Generator spec for the matrix to load and solve against.
+        spec: Option<String>,
+        /// Matrix file to load instead of a generated one.
+        matrix: Option<String>,
+        /// Concurrent client connections.
+        clients: usize,
+        /// Run duration in seconds.
+        secs: f64,
+        /// Send SHUTDOWN to the server when done.
+        shutdown: bool,
+    },
 }
 
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
-    let usage = "usage: trisolv <info|solve|convert> ...\n\
+    let usage = "usage: trisolv <info|solve|convert|gen|serve|client> ...\n\
                  \x20 trisolv info <matrix>\n\
                  \x20 trisolv solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering nd|multilevel|mindeg|rcm|natural]\n\
-                 \x20 trisolv convert <in> <out>";
+                 \x20 trisolv convert <in> <out>\n\
+                 \x20 trisolv gen <spec> <out>      (spec e.g. grid2d:64, grid3d:16x16x16, fem2d:24x24:3, random:500:6:1)\n\
+                 \x20 trisolv serve [--addr A] [--workers N] [--max-batch K] [--window-us U] [--budget-mb M] [--exec seq|threaded]\n\
+                 \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]";
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("info") => {
@@ -102,6 +148,96 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let input = it.next().ok_or_else(|| usage.to_string())?.clone();
             let output = it.next().ok_or_else(|| usage.to_string())?.clone();
             Ok(Command::Convert { input, output })
+        }
+        Some("gen") => {
+            let spec = it.next().ok_or_else(|| usage.to_string())?.clone();
+            let output = it.next().ok_or_else(|| usage.to_string())?.clone();
+            Ok(Command::Gen { spec, output })
+        }
+        Some("serve") => {
+            let mut addr = "127.0.0.1:7411".to_string();
+            let mut workers = 32usize;
+            let mut max_batch = 8usize;
+            let mut window_us = 1000u64;
+            let mut budget_mb = 512usize;
+            let mut exec = "threaded".to_string();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--workers" => {
+                        workers = value.parse().map_err(|e| format!("bad --workers: {e}"))?
+                    }
+                    "--max-batch" => {
+                        max_batch = value.parse().map_err(|e| format!("bad --max-batch: {e}"))?
+                    }
+                    "--window-us" => {
+                        window_us = value.parse().map_err(|e| format!("bad --window-us: {e}"))?
+                    }
+                    "--budget-mb" => {
+                        budget_mb = value.parse().map_err(|e| format!("bad --budget-mb: {e}"))?
+                    }
+                    "--exec" => exec = value.clone(),
+                    other => return Err(format!("unknown flag {other}\n{usage}")),
+                }
+            }
+            if workers == 0 || max_batch == 0 || budget_mb == 0 {
+                return Err("--workers, --max-batch, --budget-mb must be positive".to_string());
+            }
+            trisolv_server::ExecMode::parse(&exec)?;
+            Ok(Command::Serve {
+                addr,
+                workers,
+                max_batch,
+                window_us,
+                budget_mb,
+                exec,
+            })
+        }
+        Some("client") => {
+            let addr = it.next().ok_or_else(|| usage.to_string())?.clone();
+            if addr.starts_with("--") {
+                return Err(usage.to_string());
+            }
+            let mut spec = None;
+            let mut matrix = None;
+            let mut clients = 4usize;
+            let mut secs = 2.0f64;
+            let mut shutdown = false;
+            while let Some(flag) = it.next() {
+                if flag == "--shutdown" {
+                    shutdown = true;
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag.as_str() {
+                    "--gen" => spec = Some(value.clone()),
+                    "--matrix" => matrix = Some(value.clone()),
+                    "--clients" => {
+                        clients = value.parse().map_err(|e| format!("bad --clients: {e}"))?
+                    }
+                    "--secs" => secs = value.parse().map_err(|e| format!("bad --secs: {e}"))?,
+                    other => return Err(format!("unknown flag {other}\n{usage}")),
+                }
+            }
+            if spec.is_some() && matrix.is_some() {
+                return Err("--gen and --matrix are mutually exclusive".to_string());
+            }
+            if clients == 0 || secs.is_nan() || secs <= 0.0 {
+                return Err("--clients and --secs must be positive".to_string());
+            }
+            Ok(Command::Client {
+                addr,
+                spec,
+                matrix,
+                clients,
+                secs,
+                shutdown,
+            })
         }
         _ => Err(usage.to_string()),
     }
@@ -211,22 +347,137 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Convert { input, output } => {
             let (a, title) = load_matrix(input)?;
-            let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-            let mut w = BufWriter::new(file);
-            if Path::new(output)
-                .extension()
-                .is_some_and(|e| e.eq_ignore_ascii_case("mtx"))
-            {
-                mmio::write_matrix_market(&mut w, &a, mmio::Symmetry::Symmetric)
-                    .map_err(|e| e.to_string())?;
-            } else {
-                hb::write_harwell_boeing(&mut w, &a, &title, "TRISOLV", true)
-                    .map_err(|e| e.to_string())?;
-            }
+            write_matrix(output, &a, &title)?;
             let _ = writeln!(out, "wrote {output} ({} nonzeros)", a.nnz());
+        }
+        Command::Gen { spec, output } => {
+            let a = gen::from_spec(spec)?;
+            write_matrix(output, &a, spec)?;
+            let _ = writeln!(
+                out,
+                "wrote {output}: {} ({} x {}, {} nonzeros stored)",
+                spec,
+                a.nrows(),
+                a.ncols(),
+                a.nnz()
+            );
+        }
+        Command::Serve {
+            addr,
+            workers,
+            max_batch,
+            window_us,
+            budget_mb,
+            exec,
+        } => {
+            let opts = srv::ServerOptions {
+                addr: addr.clone(),
+                workers: *workers,
+                engine: srv::EngineOptions {
+                    budget_bytes: budget_mb << 20,
+                    batch: srv::BatchOptions {
+                        max_batch: *max_batch,
+                        window: Duration::from_micros(*window_us),
+                        wait_timeout: Duration::from_secs(30),
+                    },
+                    exec: srv::ExecMode::parse(exec)?,
+                },
+            };
+            let server = srv::Server::spawn(opts).map_err(|e| format!("cannot serve: {e}"))?;
+            // Announce the bound address immediately (scripts and the CI
+            // smoke job parse this line), then park until a SHUTDOWN frame.
+            println!(
+                "trisolv-server listening on {} ({} workers, max batch {}, window {} us, {} exec)",
+                server.local_addr(),
+                workers,
+                max_batch,
+                window_us,
+                exec
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.wait();
+            let _ = writeln!(out, "server shut down cleanly");
+        }
+        Command::Client {
+            addr,
+            spec,
+            matrix,
+            clients,
+            secs,
+            shutdown,
+        } => {
+            let a = match (spec, matrix) {
+                (Some(s), None) => gen::from_spec(s)?,
+                (None, Some(path)) => load_matrix(path)?.0,
+                (None, None) => gen::from_spec("grid2d:32")?,
+                (Some(_), Some(_)) => unreachable!("rejected at parse time"),
+            };
+            let mut client = srv::Client::connect_retry(addr.as_str(), Duration::from_secs(5))
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let loaded = client.load(&a).map_err(|e| format!("LOAD failed: {e}"))?;
+            let _ = writeln!(
+                out,
+                "loaded {} (n = {}, factor nnz {}, fingerprint {}{})",
+                spec.as_deref()
+                    .unwrap_or(matrix.as_deref().unwrap_or("grid2d:32")),
+                loaded.n,
+                loaded.factor_nnz,
+                loaded.fingerprint,
+                if loaded.already_cached {
+                    ", already cached"
+                } else {
+                    ""
+                }
+            );
+            let report = srv::run_load(&srv::LoadGenOptions {
+                addr: addr.clone(),
+                fingerprint: loaded.fingerprint,
+                n: loaded.n,
+                clients: *clients,
+                duration: Duration::from_secs_f64(*secs),
+                seed: 42,
+            })
+            .map_err(|e| format!("load generation failed: {e}"))?;
+            let _ = writeln!(
+                out,
+                "requests: {} ok, {} errors in {:.2} s ({:.0} req/s)",
+                report.requests,
+                report.errors,
+                report.elapsed.as_secs_f64(),
+                report.throughput_rps
+            );
+            let _ = writeln!(
+                out,
+                "latency:  p50 {:.0} us, p99 {:.0} us, mean {:.0} us",
+                report.p50_us, report.p99_us, report.mean_us
+            );
+            if *shutdown {
+                client
+                    .shutdown_server()
+                    .map_err(|e| format!("SHUTDOWN failed: {e}"))?;
+                let _ = writeln!(out, "server shutdown acknowledged");
+            }
+            if report.requests == 0 {
+                return Err("no requests completed".to_string());
+            }
         }
     }
     Ok(out)
+}
+
+/// Write a matrix by extension (`.mtx` → Matrix Market, else Harwell-Boeing).
+fn write_matrix(output: &str, a: &CscMatrix, title: &str) -> Result<(), CliError> {
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    if Path::new(output)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("mtx"))
+    {
+        mmio::write_matrix_market(&mut w, a, mmio::Symmetry::Symmetric).map_err(|e| e.to_string())
+    } else {
+        hb::write_harwell_boeing(&mut w, a, title, "TRISOLV", true).map_err(|e| e.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +523,143 @@ mod tests {
         assert!(parse_args(&strv(&["bogus"])).is_err());
         assert!(parse_args(&strv(&["solve", "m", "--procs"])).is_err());
         assert!(parse_args(&strv(&["solve", "m", "--procs", "0"])).is_err());
+        assert_eq!(
+            parse_args(&strv(&["gen", "grid2d:8", "g.mtx"])).unwrap(),
+            Command::Gen {
+                spec: "grid2d:8".into(),
+                output: "g.mtx".into()
+            }
+        );
+        assert!(parse_args(&strv(&["gen", "grid2d:8"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        assert_eq!(
+            parse_args(&strv(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7411".into(),
+                workers: 32,
+                max_batch: 8,
+                window_us: 1000,
+                budget_mb: 512,
+                exec: "threaded".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&strv(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:9000",
+                "--workers",
+                "4",
+                "--max-batch",
+                "30",
+                "--window-us",
+                "500",
+                "--budget-mb",
+                "64",
+                "--exec",
+                "seq",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 4,
+                max_batch: 30,
+                window_us: 500,
+                budget_mb: 64,
+                exec: "seq".into()
+            }
+        );
+        assert!(parse_args(&strv(&["serve", "--exec", "warp"])).is_err());
+        assert!(parse_args(&strv(&["serve", "--workers", "0"])).is_err());
+
+        assert_eq!(
+            parse_args(&strv(&[
+                "client",
+                "127.0.0.1:7411",
+                "--gen",
+                "grid2d:16",
+                "--clients",
+                "8",
+                "--secs",
+                "0.5",
+                "--shutdown",
+            ]))
+            .unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7411".into(),
+                spec: Some("grid2d:16".into()),
+                matrix: None,
+                clients: 8,
+                secs: 0.5,
+                shutdown: true
+            }
+        );
+        assert!(parse_args(&strv(&["client"])).is_err());
+        assert!(
+            parse_args(&strv(&["client", "a:1", "--gen", "g", "--matrix", "m"])).is_err(),
+            "--gen and --matrix are mutually exclusive"
+        );
+        assert!(parse_args(&strv(&["client", "a:1", "--clients", "0"])).is_err());
+    }
+
+    #[test]
+    fn client_command_against_live_server() {
+        let server = srv::Server::spawn(srv::ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            engine: srv::EngineOptions::default(),
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let out = run(&Command::Client {
+            addr: addr.clone(),
+            spec: Some("grid2d:12".into()),
+            matrix: None,
+            clients: 2,
+            secs: 0.2,
+            shutdown: true,
+        })
+        .unwrap();
+        assert!(out.contains("loaded grid2d:12"), "{out}");
+        assert!(out.contains("requests:"), "{out}");
+        assert!(out.contains("server shutdown acknowledged"), "{out}");
+        // SHUTDOWN must actually have stopped the server
+        server.wait();
+        // a second client now fails to connect quickly
+        assert!(srv::Client::connect(addr.as_str()).is_err());
+    }
+
+    #[test]
+    fn gen_writes_loadable_matrix() {
+        let dir = std::env::temp_dir().join("trisolv-cli-gen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("gen.mtx");
+        let msg = run(&Command::Gen {
+            spec: "grid2d:8".into(),
+            output: mtx.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(msg.contains("64 x 64"), "{msg}");
+        let (a, _) = load_matrix(&mtx.to_string_lossy()).unwrap();
+        assert_eq!(a, gen::grid2d_laplacian(8, 8));
+        // Harwell-Boeing output path as well
+        let rsa = dir.join("gen.rsa");
+        run(&Command::Gen {
+            spec: "random:40:5:3".into(),
+            output: rsa.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        let (b, _) = load_matrix(&rsa.to_string_lossy()).unwrap();
+        assert_eq!(b.nrows(), 40);
+        // bad specs surface as clean errors
+        assert!(run(&Command::Gen {
+            spec: "nosuch:4".into(),
+            output: mtx.to_string_lossy().into_owned(),
+        })
+        .is_err());
     }
 
     #[test]
