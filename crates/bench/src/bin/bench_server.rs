@@ -6,7 +6,10 @@
 //! micro-batch sizes {1, 4, 8, 30}, a fixed fleet of closed-loop clients
 //! hammers it with single-RHS requests over loopback TCP, and the measured
 //! requests/sec show how far merging concurrent requests into blocked
-//! `n×k` solves amortizes the per-request cost. Writes `BENCH_server.json`.
+//! `n×k` solves amortizes the per-request cost. A final configuration
+//! re-runs the k=8 sweep under an injected fault plan (torn replies,
+//! dropped connections, executor panics) with retrying clients, reporting
+//! the goodput the hardening ladder preserves. Writes `BENCH_server.json`.
 //!
 //! Run: `cargo run --release -p trisolv-bench --bin bench_server`
 
@@ -15,7 +18,8 @@ use std::time::Duration;
 use trisolv_bench::timing::Json;
 use trisolv_matrix::gen;
 use trisolv_server::{
-    BatchOptions, Client, EngineOptions, ExecMode, LoadGenOptions, Server, ServerOptions,
+    BatchOptions, Client, ClientOptions, EngineOptions, ExecMode, FaultPlan, LoadGenOptions,
+    Server, ServerOptions,
 };
 
 const MATRIX_SPEC: &str = "grid2d:112";
@@ -27,6 +31,9 @@ const WINDOW_MS: u64 = 10;
 /// under a noisy scheduler only ever loses to interference, so the max
 /// over reps is the least-biased estimate of the machine's capability.
 const REPS: usize = 3;
+/// Fault plan for the resilience configuration: torn replies, dropped
+/// connections, and executor panics, all on deterministic counters.
+const FAULT_SPEC: &str = "seed=9;write.torn=every:31;conn.drop=every:23;solve.panic=every:19";
 
 /// Numeric override from the environment, for ad-hoc sweeps without rebuilds.
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -47,9 +54,15 @@ struct ConfigResult {
     batches: u64,
     mean_batch: f64,
     largest_batch: usize,
+    retried: u64,
+    shed: u64,
+    deadline_missed: u64,
+    reconnects: u64,
+    exec_fallbacks: u64,
+    faults_injected: u64,
 }
 
-fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize) -> ConfigResult {
+fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize, fault_spec: &str) -> ConfigResult {
     let clients = env_or("BENCH_CLIENTS", CLIENTS);
     let server = Server::spawn(ServerOptions {
         addr: "127.0.0.1:0".to_string(),
@@ -63,6 +76,8 @@ fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize) -> ConfigResult {
             },
             ..EngineOptions::default()
         },
+        fault: FaultPlan::parse(fault_spec).expect("fault spec"),
+        ..ServerOptions::default()
     })
     .expect("bind loopback");
     let addr = server.local_addr().to_string();
@@ -78,6 +93,13 @@ fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize) -> ConfigResult {
         clients,
         duration: Duration::from_secs_f64(env_or("BENCH_RUN_SECS", RUN_SECS)),
         seed: 42,
+        deadline_ms: 0,
+        client: ClientOptions {
+            retries: if fault_spec.is_empty() { 3 } else { 16 },
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            ..ClientOptions::default()
+        },
     })
     .expect("load generation");
     let stats = server.engine().stats();
@@ -94,10 +116,30 @@ fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize) -> ConfigResult {
         batches: stats.batches,
         mean_batch: stats.batched_cols as f64 / (stats.batches.max(1)) as f64,
         largest_batch: stats.max_batch,
+        retried: report.retry.retried,
+        shed: report.retry.shed,
+        deadline_missed: report.retry.deadline_missed,
+        reconnects: report.retry.reconnects,
+        exec_fallbacks: stats.exec_fallbacks,
+        faults_injected: stats.faults_injected,
     }
 }
 
 fn main() {
+    // The faulted configuration injects panics on purpose (the server
+    // catches them); keep the default hook for everything else so a real
+    // failure still prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
     let spec = std::env::var("BENCH_MATRIX").unwrap_or_else(|_| MATRIX_SPEC.to_string());
     let clients = env_or("BENCH_CLIENTS", CLIENTS);
     let run_secs = env_or("BENCH_RUN_SECS", RUN_SECS);
@@ -117,7 +159,7 @@ fn main() {
     let mut best: Vec<Option<ConfigResult>> = BATCH_SIZES.iter().map(|_| None).collect();
     for _ in 0..reps {
         for (slot, &k) in BATCH_SIZES.iter().enumerate() {
-            let r = run_config(&a, k);
+            let r = run_config(&a, k, "");
             if best[slot].as_ref().is_none_or(|b| r.rps > b.rps) {
                 best[slot] = Some(r);
             }
@@ -159,6 +201,27 @@ fn main() {
         ratio30
     );
 
+    // Resilience configuration: k=8 again, but under the fault plan, with
+    // retrying clients. The interesting number is goodput — completed
+    // requests per second after retries — relative to the clean k=8 run.
+    let fault_spec = std::env::var("BENCH_FAULT_SPEC").unwrap_or_else(|_| FAULT_SPEC.to_string());
+    let faulted = run_config(&a, 8, &fault_spec);
+    let goodput_ratio = faulted.rps / rps_of(8);
+    println!(
+        "\nfaulted k=8 ({fault_spec}):\n  goodput {:.0} req/s ({:.2}x of clean), {} retried, {} reconnects, {} exec fallbacks, {} faults injected, {} unrecovered errors",
+        faulted.rps,
+        goodput_ratio,
+        faulted.retried,
+        faulted.reconnects,
+        faulted.exec_fallbacks,
+        faulted.faults_injected,
+        faulted.errors
+    );
+    assert_eq!(
+        faulted.errors, 0,
+        "retrying clients should absorb every injected fault"
+    );
+
     let configs: Vec<Json> = results
         .iter()
         .map(|r| {
@@ -192,6 +255,25 @@ fn main() {
             Json::Int(std::thread::available_parallelism().map_or(1, |t| t.get()) as i64),
         ),
         ("configs", Json::Arr(configs)),
+        (
+            "faulted_run",
+            Json::obj(vec![
+                ("fault_spec", Json::Str(fault_spec.clone())),
+                ("max_batch", Json::Int(faulted.max_batch as i64)),
+                ("requests", Json::Int(faulted.requests as i64)),
+                ("errors", Json::Int(faulted.errors as i64)),
+                ("goodput_rps", Json::Num(faulted.rps)),
+                ("goodput_vs_clean_k8", Json::Num(goodput_ratio)),
+                ("p50_us", Json::Num(faulted.p50_us)),
+                ("p99_us", Json::Num(faulted.p99_us)),
+                ("retried", Json::Int(faulted.retried as i64)),
+                ("shed", Json::Int(faulted.shed as i64)),
+                ("deadline_missed", Json::Int(faulted.deadline_missed as i64)),
+                ("reconnects", Json::Int(faulted.reconnects as i64)),
+                ("exec_fallbacks", Json::Int(faulted.exec_fallbacks as i64)),
+                ("faults_injected", Json::Int(faulted.faults_injected as i64)),
+            ]),
+        ),
         ("speedup_k8_vs_k1", Json::Num(ratio8)),
         ("speedup_k30_vs_k1", Json::Num(ratio30)),
         (

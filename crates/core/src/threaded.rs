@@ -24,13 +24,23 @@
 
 use std::borrow::Cow;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use trisolv_factor::{blas, SupernodalFactor};
 use trisolv_matrix::DenseMatrix;
 
 pub use crate::plan::{PlanError, SolvePlan};
+
+/// Lock a workspace mutex, recovering from poison. Every task starts by
+/// clearing and resizing its buffer, so data left behind by a panicked
+/// task is never observed — inheriting a poisoned guard is safe, and it
+/// keeps a pooled workspace usable after a caught panic instead of
+/// cascading `unwrap` failures through every later solve.
+fn lock_ws<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Reusable per-factor solve buffers: one working vector per supernode
 /// (sized for both passes at construction) plus the executor's dependency
@@ -74,7 +84,7 @@ impl SolveWorkspace {
             return;
         }
         for (s, buf) in self.bufs.iter_mut().enumerate() {
-            let buf = buf.get_mut().expect("workspace lock poisoned");
+            let buf = buf.get_mut().unwrap_or_else(|e| e.into_inner());
             let want = 2 * plan.height(s) * nrhs;
             if buf.capacity() < want {
                 buf.reserve(want - buf.len());
@@ -163,7 +173,7 @@ impl<'f> ThreadedSolver<'f> {
         self.run(ws, true, &|s, ws| self.forward_task(s, b, ws, nrhs));
         // solved top blocks → output rows (each supernode owns its columns)
         for s in 0..self.plan.nsup() {
-            let buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+            let buf = lock_ws(&ws.bufs[s]);
             let ns = self.plan.height(s);
             let cols = self.plan.cols(s);
             let t = cols.len();
@@ -185,7 +195,7 @@ impl<'f> ThreadedSolver<'f> {
         }
         self.run(ws, false, &|s, ws| self.backward_task(s, y, ws, nrhs));
         for s in 0..self.plan.nsup() {
-            let buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+            let buf = lock_ws(&ws.bufs[s]);
             let ns = self.plan.height(s);
             let cols = self.plan.cols(s);
             let t = cols.len();
@@ -235,7 +245,7 @@ impl<'f> ThreadedSolver<'f> {
         let cols = plan.cols(s);
         let t = cols.len();
         let blk = self.factor.block(s);
-        let mut buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+        let mut buf = lock_ws(&ws.bufs[s]);
         buf.clear();
         buf.resize(ns * nrhs + t * nrhs, 0.0);
         let (w, top_copy) = buf.split_at_mut(ns * nrhs);
@@ -245,7 +255,7 @@ impl<'f> ThreadedSolver<'f> {
         }
         // extend-add child updates through the precomputed scatter maps
         for &c in plan.children(s) {
-            let cbuf = ws.bufs[c].lock().expect("workspace lock poisoned");
+            let cbuf = lock_ws(&ws.bufs[c]);
             let nsc = plan.height(c);
             let tc = plan.width(c);
             let scat = plan.scatter(c);
@@ -289,7 +299,7 @@ impl<'f> ThreadedSolver<'f> {
         let t = cols.len();
         let nb = ns - t;
         let blk = self.factor.block(s);
-        let mut buf = ws.bufs[s].lock().expect("workspace lock poisoned");
+        let mut buf = lock_ws(&ws.bufs[s]);
         buf.clear();
         buf.resize(ns * nrhs + nb * nrhs, 0.0);
         let (w, below) = buf.split_at_mut(ns * nrhs);
@@ -301,7 +311,7 @@ impl<'f> ThreadedSolver<'f> {
             // parent's full-height buffer through the scatter map
             let p = plan.parent(s).expect("validated: non-roots only");
             {
-                let pbuf = ws.bufs[p].lock().expect("workspace lock poisoned");
+                let pbuf = lock_ws(&ws.bufs[p]);
                 let nsp = plan.height(p);
                 let scat = plan.scatter(s);
                 for r in 0..nrhs {
@@ -353,7 +363,7 @@ impl<'f> ThreadedSolver<'f> {
             ws.deps[s].store(d, Ordering::Relaxed);
         }
         {
-            let mut q = ws.queue.lock().expect("queue lock poisoned");
+            let mut q = lock_ws(&ws.queue);
             q.clear();
             if forward {
                 q.extend(plan.leaves().iter().copied());
@@ -363,25 +373,47 @@ impl<'f> ThreadedSolver<'f> {
         }
         let remaining = AtomicUsize::new(nsup);
         let remaining = &remaining;
+        // Panic containment: a task that panics must not leave the other
+        // workers waiting on a condvar for dependency decrements that will
+        // never come (the pre-hardening executor deadlocked here). The
+        // first panic is stashed, the `aborted` flag drains every worker
+        // out of the wait loop, and the payload is re-thrown on the
+        // calling thread where `catch_unwind` at the engine boundary can
+        // see it. `remaining` is left alone — a sibling finishing its task
+        // concurrently still decrements it, and forcing it to zero here
+        // would race that decrement into an underflow.
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let panicked = &panicked;
+        let aborted = AtomicBool::new(false);
+        let aborted = &aborted;
         std::thread::scope(|scope| {
             for _ in 0..nthreads {
                 scope.spawn(move || loop {
                     let s = {
-                        let mut q = ws.queue.lock().expect("queue lock poisoned");
+                        let mut q = lock_ws(&ws.queue);
                         loop {
-                            if remaining.load(Ordering::Acquire) == 0 {
+                            if aborted.load(Ordering::Acquire)
+                                || remaining.load(Ordering::Acquire) == 0
+                            {
                                 return;
                             }
                             if let Some(s) = q.pop_front() {
                                 break s;
                             }
-                            q = ws.cond.wait(q).expect("queue lock poisoned");
+                            q = ws.cond.wait(q).unwrap_or_else(|e| e.into_inner());
                         }
                     };
-                    process(s, ws);
+                    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| process(s, ws))) {
+                        if !aborted.swap(true, Ordering::SeqCst) {
+                            *lock_ws(panicked) = Some(payload);
+                        }
+                        let _q = lock_ws(&ws.queue);
+                        ws.cond.notify_all();
+                        return;
+                    }
                     let push_ready = |t: usize| {
                         if ws.deps[t].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            let mut q = ws.queue.lock().expect("queue lock poisoned");
+                            let mut q = lock_ws(&ws.queue);
                             q.push_back(t);
                             ws.cond.notify_one();
                         }
@@ -398,12 +430,16 @@ impl<'f> ThreadedSolver<'f> {
                     if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                         // take the lock so no worker can slip between its
                         // empty-queue check and its wait, then wake all
-                        let _q = ws.queue.lock().expect("queue lock poisoned");
+                        let _q = lock_ws(&ws.queue);
                         ws.cond.notify_all();
                     }
                 });
             }
         });
+        let payload = lock_ws(panicked).take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -582,6 +618,27 @@ mod tests {
         let x2 = borrowed.forward_backward_with(&b, &mut ws);
         // identical plan + identical kernels → identical bits
         assert_eq!(x1.as_slice(), x2.as_slice());
+    }
+
+    #[test]
+    fn panicking_task_aborts_pool_without_hanging() {
+        let a = gen::grid2d_laplacian(12, 12);
+        let f = build(&a);
+        let solver = ThreadedSolver::new(&f).unwrap().with_threads(4);
+        let mut ws = solver.workspace(2);
+        // Every task panics; pre-hardening this deadlocked the pool
+        // (workers waited forever on dependency decrements that never
+        // came). Now the panic must propagate out of `run`...
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            solver.run(&ws, true, &|_s, _ws| panic!("boom in task"));
+        }));
+        assert!(caught.is_err(), "task panic must propagate, not hang");
+        // ...and the same (possibly poison-recovered) workspace must still
+        // serve correct solves afterwards.
+        let b = gen::random_rhs(f.n(), 2, 21);
+        let expect = seq::forward_backward(&f, &b);
+        let got = solver.forward_backward_with(&b, &mut ws);
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-12);
     }
 
     #[test]

@@ -19,10 +19,26 @@
 //! With `max_batch == 1` the leader seals immediately and the lane degrades
 //! to a plain mutex-serialized solve, which is the unbatched baseline the
 //! benchmark compares against.
+//!
+//! Failure is a first-class input here (DESIGN.md §11): each boarder may
+//! carry a *deadline*, and a boarder whose deadline has already expired by
+//! the time its batch is sealed is **expelled** — it receives
+//! [`LaneError::Deadline`] and its column is excluded from the blocked
+//! solve, so one stuck or abandoned request cannot poison the columns of
+//! the followers that boarded behind it. Lane locks recover from poison
+//! (the protected state is rebuilt wholesale on every transition, so a
+//! panicking rider cannot leave it half-written), which keeps one
+//! panicked worker from cascading into every later request on the lane.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poison: lane state is rebuilt wholesale
+/// at every transition, so observing a poisoned guard is safe.
+fn lock_lane<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Policy knobs for a [`BatchLane`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,24 +71,34 @@ pub enum LaneError<E> {
     Exec(E),
     /// The follower's wait deadline expired before results appeared.
     Timeout,
+    /// The request's own deadline expired before its column was solved
+    /// (expelled at seal time, or while waiting for results).
+    Deadline,
+}
+
+/// One boarded request: its RHS column and optional deadline.
+struct Boarder {
+    rhs: Vec<f64>,
+    deadline: Option<Instant>,
 }
 
 struct Published<E> {
-    /// One slot per batch column; each rider takes its own.
-    cols: Vec<Option<Vec<f64>>>,
-    error: Option<E>,
+    /// One slot per batch column; each rider takes its own (a `Result`, so
+    /// expelled boarders get their structured error by index while their
+    /// batch-mates get columns).
+    slots: Vec<Option<Result<Vec<f64>, LaneError<E>>>>,
     /// Riders that have not yet claimed their slot.
     remaining: usize,
 }
 
 struct LaneState<E> {
     /// Columns of the batch currently boarding.
-    boarding: Vec<Vec<f64>>,
+    boarding: Vec<Boarder>,
     /// Generation id of the boarding batch (bumped when sealed).
     generation: u64,
     /// Batches sealed at board time (full before the leader woke),
     /// awaiting execution by their generation's leader.
-    sealed: HashMap<u64, Vec<Vec<f64>>>,
+    sealed: HashMap<u64, Vec<Boarder>>,
     /// Sealed-and-executed batches awaiting claims, by generation.
     results: HashMap<u64, Published<E>>,
     /// Claims abandoned by timed-out followers, by generation; subtracted
@@ -82,6 +108,9 @@ struct LaneState<E> {
     batches: u64,
     /// Total columns solved through sealed batches (stats).
     cols: u64,
+    /// Columns expelled at seal time because their deadline had already
+    /// passed (stats).
+    expelled: u64,
     /// Largest batch sealed so far (stats).
     max_seen: usize,
 }
@@ -107,6 +136,7 @@ impl<E: Clone> BatchLane<E> {
                 abandoned: HashMap::new(),
                 batches: 0,
                 cols: 0,
+                expelled: 0,
                 max_seen: 0,
             }),
             cv: Condvar::new(),
@@ -115,22 +145,48 @@ impl<E: Clone> BatchLane<E> {
 
     /// `(batches_sealed, columns_solved, largest_batch)` so far.
     pub fn stats(&self) -> (u64, u64, usize) {
-        let s = self.state.lock().unwrap();
+        let s = lock_lane(&self.state);
         (s.batches, s.cols, s.max_seen)
+    }
+
+    /// Columns expelled at seal time for expired deadlines.
+    pub fn expelled(&self) -> u64 {
+        lock_lane(&self.state).expelled
+    }
+
+    /// True when the lane holds no in-flight state: nothing boarding, no
+    /// sealed batch awaiting its leader, no unclaimed results, and no
+    /// abandoned-claim bookkeeping. The chaos soak asserts this after
+    /// draining every client — a false here is a leaked column.
+    pub fn is_quiescent(&self) -> bool {
+        let s = lock_lane(&self.state);
+        s.boarding.is_empty()
+            && s.sealed.is_empty()
+            && s.results.is_empty()
+            && s.abandoned.is_empty()
     }
 
     /// Board `rhs` onto the open batch, riding (or leading) the blocked
     /// solve, and return this request's solution column. `exec` maps the
     /// sealed batch columns to result columns (same order, same count) and
     /// runs on exactly one thread per batch, outside the lane lock.
-    pub fn solve<F>(&self, rhs: Vec<f64>, exec: F) -> Result<Vec<f64>, LaneError<E>>
+    ///
+    /// `deadline`, if given, bounds this request end to end: a boarder
+    /// whose deadline passes before its batch executes is expelled with
+    /// [`LaneError::Deadline`] instead of riding (or stalling) the batch.
+    pub fn solve<F>(
+        &self,
+        rhs: Vec<f64>,
+        deadline: Option<Instant>,
+        exec: F,
+    ) -> Result<Vec<f64>, LaneError<E>>
     where
         F: FnOnce(Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, E>,
     {
-        let mut s = self.state.lock().unwrap();
+        let mut s = lock_lane(&self.state);
         let my_gen = s.generation;
         let my_idx = s.boarding.len();
-        s.boarding.push(rhs);
+        s.boarding.push(Boarder { rhs, deadline });
         if s.boarding.len() >= self.opts.max_batch {
             // Whoever fills the batch seals it at board time: later arrivals
             // start the next generation, so a batch never exceeds
@@ -140,16 +196,23 @@ impl<E: Clone> BatchLane<E> {
         }
 
         if my_idx == 0 {
-            // Leader: hold the batch open until full or the window closes,
-            // then execute it.
-            let deadline = Instant::now() + self.opts.window;
+            // Leader: hold the batch open until full or the window closes
+            // (or our own deadline arrives, whichever is first), then
+            // execute it.
+            let mut window_end = Instant::now() + self.opts.window;
+            if let Some(d) = deadline {
+                window_end = window_end.min(d);
+            }
             while s.generation == my_gen {
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= window_end {
                     Self::seal(&mut s);
                     break;
                 }
-                let (next, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+                let (next, _) = self
+                    .cv
+                    .wait_timeout(s, window_end - now)
+                    .unwrap_or_else(|e| e.into_inner());
                 s = next;
             }
             let batch = s
@@ -157,24 +220,52 @@ impl<E: Clone> BatchLane<E> {
                 .remove(&my_gen)
                 .expect("sealed batch awaits its leader");
             let k = batch.len();
+            // Expel boarders whose deadline already passed: they get a
+            // structured Deadline error and their column never reaches the
+            // solver, so a stalled boarder cannot hold up the live ones.
+            let now = Instant::now();
+            let mut live_cols = Vec::with_capacity(k);
+            let mut live_idx = Vec::with_capacity(k);
+            let mut slots: Vec<Option<Result<Vec<f64>, LaneError<E>>>> = Vec::with_capacity(k);
+            for (idx, b) in batch.into_iter().enumerate() {
+                if b.deadline.is_some_and(|d| now >= d) {
+                    slots.push(Some(Err(LaneError::Deadline)));
+                } else {
+                    live_idx.push(idx);
+                    live_cols.push(b.rhs);
+                    slots.push(None);
+                }
+            }
+            let n_expelled = (k - live_cols.len()) as u64;
+            s.expelled += n_expelled;
             drop(s);
 
-            let outcome = exec(batch);
-            let mut s = self.state.lock().unwrap();
-            let mut published = match outcome {
+            let outcome = if live_cols.is_empty() {
+                Ok(Vec::new())
+            } else {
+                exec(live_cols)
+            };
+            let mut s = lock_lane(&self.state);
+            match outcome {
                 Ok(cols) => {
-                    assert_eq!(cols.len(), k, "exec must return one column per input");
-                    Published {
-                        cols: cols.into_iter().map(Some).collect(),
-                        error: None,
-                        remaining: k,
+                    assert_eq!(
+                        cols.len(),
+                        live_idx.len(),
+                        "exec must return one column per input"
+                    );
+                    for (idx, col) in live_idx.into_iter().zip(cols) {
+                        slots[idx] = Some(Ok(col));
                     }
                 }
-                Err(e) => Published {
-                    cols: Vec::new(),
-                    error: Some(e),
-                    remaining: k,
-                },
+                Err(e) => {
+                    for idx in live_idx {
+                        slots[idx] = Some(Err(LaneError::Exec(e.clone())));
+                    }
+                }
+            }
+            let mut published = Published {
+                slots,
+                remaining: k,
             };
             let mine = Self::claim(&mut published, 0);
             if let Some(gone) = s.abandoned.remove(&my_gen) {
@@ -187,8 +278,10 @@ impl<E: Clone> BatchLane<E> {
             self.cv.notify_all();
             mine
         } else {
-            // Follower: sleep until our generation's results appear.
-            let deadline = Instant::now() + self.opts.wait_timeout;
+            // Follower: sleep until our generation's results appear, our
+            // own deadline passes, or the lane-wide wait timeout trips.
+            let wait_end = Instant::now() + self.opts.wait_timeout;
+            let give_up = deadline.map_or(wait_end, |d| d.min(wait_end));
             loop {
                 if let Some(published) = s.results.get_mut(&my_gen) {
                     let mine = Self::claim(published, my_idx);
@@ -198,13 +291,20 @@ impl<E: Clone> BatchLane<E> {
                     return mine;
                 }
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= give_up {
                     // Abandon the claim so the batch's bookkeeping still
                     // drains if the results do arrive later.
                     *s.abandoned.entry(my_gen).or_insert(0) += 1;
-                    return Err(LaneError::Timeout);
+                    return Err(if deadline.is_some_and(|d| now >= d) {
+                        LaneError::Deadline
+                    } else {
+                        LaneError::Timeout
+                    });
                 }
-                let (next, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+                let (next, _) = self
+                    .cv
+                    .wait_timeout(s, give_up - now)
+                    .unwrap_or_else(|e| e.into_inner());
                 s = next;
             }
         }
@@ -225,10 +325,7 @@ impl<E: Clone> BatchLane<E> {
 
     fn claim<E2: Clone>(p: &mut Published<E2>, idx: usize) -> Result<Vec<f64>, LaneError<E2>> {
         p.remaining -= 1;
-        match &p.error {
-            Some(e) => Err(LaneError::Exec(e.clone())),
-            None => Ok(p.cols[idx].take().expect("column claimed twice")),
-        }
+        p.slots[idx].take().expect("column claimed twice")
     }
 }
 
@@ -264,10 +361,11 @@ mod tests {
         let lane: BatchLane<String> = BatchLane::new(opts(1, 50));
         let calls = Arc::new(AtomicU64::new(0));
         let t0 = Instant::now();
-        let out = lane.solve(vec![1.0, 2.0], negate(&calls)).unwrap();
+        let out = lane.solve(vec![1.0, 2.0], None, negate(&calls)).unwrap();
         assert!(t0.elapsed() < Duration::from_millis(40), "no window wait");
         assert_eq!(out, vec![-1.0, -2.0]);
         assert_eq!(lane.stats(), (1, 1, 1));
+        assert!(lane.is_quiescent());
     }
 
     #[test]
@@ -282,7 +380,7 @@ mod tests {
                     let calls = Arc::clone(&calls);
                     scope.spawn(move || {
                         let v = i as f64 + 1.0;
-                        let out = lane.solve(vec![v, 2.0 * v], negate(&calls)).unwrap();
+                        let out = lane.solve(vec![v, 2.0 * v], None, negate(&calls)).unwrap();
                         (v, out)
                     })
                 })
@@ -297,6 +395,7 @@ mod tests {
         assert!(batches < n as u64, "some requests must have been batched");
         assert!((2..=4).contains(&max_seen));
         assert_eq!(calls.load(Ordering::SeqCst), batches);
+        assert!(lane.is_quiescent());
     }
 
     #[test]
@@ -304,7 +403,7 @@ mod tests {
         let lane: BatchLane<String> = BatchLane::new(opts(64, 5));
         let calls = Arc::new(AtomicU64::new(0));
         let t0 = Instant::now();
-        let out = lane.solve(vec![3.0], negate(&calls)).unwrap();
+        let out = lane.solve(vec![3.0], None, negate(&calls)).unwrap();
         assert_eq!(out, vec![-3.0]);
         assert!(
             t0.elapsed() >= Duration::from_millis(4),
@@ -321,7 +420,7 @@ mod tests {
                 .map(|_| {
                     let lane = Arc::clone(&lane);
                     scope.spawn(move || {
-                        lane.solve(vec![1.0], |_| Err("boom".to_string()))
+                        lane.solve(vec![1.0], None, |_| Err("boom".to_string()))
                             .unwrap_err()
                     })
                 })
@@ -331,5 +430,79 @@ mod tests {
         for e in errs {
             assert_eq!(e, LaneError::Exec("boom".to_string()));
         }
+        assert!(lane.is_quiescent());
+    }
+
+    #[test]
+    fn expired_boarder_is_expelled_not_solved() {
+        // A leader whose deadline is already behind it: sealed immediately
+        // (deadline caps the window), expelled before exec runs.
+        let lane: BatchLane<String> = BatchLane::new(opts(8, 200));
+        let calls = Arc::new(AtomicU64::new(0));
+        let past = Instant::now() - Duration::from_millis(5);
+        let err = lane
+            .solve(vec![1.0], Some(past), negate(&calls))
+            .unwrap_err();
+        assert_eq!(err, LaneError::Deadline);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "expelled column not solved"
+        );
+        assert_eq!(lane.expelled(), 1);
+        assert!(lane.is_quiescent());
+    }
+
+    #[test]
+    fn expelled_boarder_does_not_stall_live_followers() {
+        // Two riders: one already expired at board time, one live. The live
+        // one must get its correct column; the expired one a Deadline error.
+        let lane: Arc<BatchLane<String>> = Arc::new(BatchLane::new(opts(2, 150)));
+        let calls = Arc::new(AtomicU64::new(0));
+        let (dead, live) = std::thread::scope(|scope| {
+            let l1 = Arc::clone(&lane);
+            let c1 = Arc::clone(&calls);
+            let dead = scope.spawn(move || {
+                let past = Instant::now() - Duration::from_millis(5);
+                l1.solve(vec![7.0], Some(past), negate(&c1))
+            });
+            // ensure the expired rider boards first and becomes leader
+            std::thread::sleep(Duration::from_millis(20));
+            let l2 = Arc::clone(&lane);
+            let c2 = Arc::clone(&calls);
+            let live = scope.spawn(move || l2.solve(vec![2.0], None, negate(&c2)));
+            (dead.join().unwrap(), live.join().unwrap())
+        });
+        assert_eq!(dead.unwrap_err(), LaneError::Deadline);
+        assert_eq!(live.unwrap(), vec![-2.0]);
+        assert_eq!(lane.expelled(), 1);
+        assert!(lane.is_quiescent());
+    }
+
+    #[test]
+    fn follower_deadline_yields_deadline_not_timeout() {
+        // The leader's exec stalls past the follower's deadline; the
+        // follower must come back with Deadline, and the lane must still
+        // drain once the slow batch publishes.
+        let lane: Arc<BatchLane<String>> = Arc::new(BatchLane::new(opts(2, 100)));
+        let (slow, fast) = std::thread::scope(|scope| {
+            let l1 = Arc::clone(&lane);
+            let slow = scope.spawn(move || {
+                l1.solve(vec![1.0], None, |batch| {
+                    std::thread::sleep(Duration::from_millis(80));
+                    Ok(batch)
+                })
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            let l2 = Arc::clone(&lane);
+            let fast = scope.spawn(move || {
+                let d = Instant::now() + Duration::from_millis(20);
+                l2.solve(vec![2.0], Some(d), Ok)
+            });
+            (slow.join().unwrap(), fast.join().unwrap())
+        });
+        assert!(slow.is_ok());
+        assert_eq!(fast.unwrap_err(), LaneError::Deadline);
+        assert!(lane.is_quiescent(), "abandoned claim must drain");
     }
 }

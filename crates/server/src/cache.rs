@@ -10,7 +10,7 @@
 //! just evicts everything else).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use trisolv_core::{SolvePlan, SolveWorkspace, SparseCholeskySolver};
 
@@ -20,6 +20,14 @@ use crate::fingerprint::Fingerprint;
 
 /// How many idle workspaces an entry keeps for reuse.
 const WORKSPACE_POOL_CAP: usize = 4;
+
+/// Lock, recovering from poison. Cache state is a map of immutable
+/// `Arc<FactorEntry>`s plus monotone counters — a panic mid-critical-section
+/// cannot leave it torn, so inheriting the guard is always safe (and one
+/// panicked request must not take the whole cache down with it).
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A resident factorization plus everything needed to serve solves on it.
 pub struct FactorEntry {
@@ -65,13 +73,13 @@ impl FactorEntry {
     /// Take a pooled workspace (or make a fresh one sized for `nrhs`).
     /// Workspaces auto-grow, so any pooled one fits any batch width.
     pub fn take_workspace(&self, nrhs: usize) -> SolveWorkspace {
-        let pooled = self.workspaces.lock().unwrap().pop();
+        let pooled = lock_cache(&self.workspaces).pop();
         pooled.unwrap_or_else(|| SolveWorkspace::new(&self.plan, nrhs))
     }
 
     /// Return a workspace to the pool (dropped if the pool is full).
     pub fn put_workspace(&self, ws: SolveWorkspace) {
-        let mut pool = self.workspaces.lock().unwrap();
+        let mut pool = lock_cache(&self.workspaces);
         if pool.len() < WORKSPACE_POOL_CAP {
             pool.push(ws);
         }
@@ -137,7 +145,7 @@ impl FactorCache {
     /// Look up a factor, marking it most-recently-used. Counts a hit or a
     /// miss.
     pub fn get(&self, fp: Fingerprint) -> Option<Arc<FactorEntry>> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_cache(&self.inner);
         g.tick += 1;
         let tick = g.tick;
         match g.map.get_mut(&fp) {
@@ -156,7 +164,7 @@ impl FactorCache {
 
     /// Is the factor resident? (No hit/miss accounting, no LRU touch.)
     pub fn peek(&self, fp: Fingerprint) -> Option<Arc<FactorEntry>> {
-        let g = self.inner.lock().unwrap();
+        let g = lock_cache(&self.inner);
         g.map.get(&fp).map(|s| Arc::clone(&s.entry))
     }
 
@@ -165,7 +173,7 @@ impl FactorCache {
     /// Returns `false` (and keeps the resident entry) if the fingerprint was
     /// already cached.
     pub fn insert(&self, entry: Arc<FactorEntry>) -> bool {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_cache(&self.inner);
         g.tick += 1;
         let tick = g.tick;
         if let Some(slot) = g.map.get_mut(&entry.fingerprint) {
@@ -198,7 +206,7 @@ impl FactorCache {
 
     /// Drop a factor explicitly. Returns whether it was resident.
     pub fn evict(&self, fp: Fingerprint) -> bool {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_cache(&self.inner);
         match g.map.remove(&fp) {
             Some(slot) => {
                 g.resident_bytes -= slot.entry.bytes;
@@ -208,9 +216,16 @@ impl FactorCache {
         }
     }
 
+    /// All resident entries (unordered; no LRU touch). Used by quiescence
+    /// checks that want to inspect every lane.
+    pub fn entries(&self) -> Vec<Arc<FactorEntry>> {
+        let g = lock_cache(&self.inner);
+        g.map.values().map(|s| Arc::clone(&s.entry)).collect()
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
-        let g = self.inner.lock().unwrap();
+        let g = lock_cache(&self.inner);
         CacheStats {
             hits: g.hits,
             misses: g.misses,

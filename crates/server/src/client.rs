@@ -4,11 +4,20 @@
 //! time (the protocol has no request ids, so pipelining is per-connection;
 //! concurrency comes from opening more connections, which is exactly what
 //! feeds the server-side micro-batcher).
+//!
+//! Resilience (new in the hardening pass) is opt-in through
+//! [`ClientOptions`]: connect/request timeouts, transparent reconnect, and
+//! [`Client::solve_with_retry`], which retries transient failures —
+//! `Busy` sheds (honoring the server's `retry_after_ms` hint), deadline
+//! misses, and broken connections — under capped exponential backoff with
+//! seeded jitter. Permanent errors (unknown fingerprint, dimension
+//! mismatch, non-finite input, …) are never retried.
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use trisolv_matrix::rng::Rng;
 use trisolv_matrix::CscMatrix;
 
 use crate::fingerprint::Fingerprint;
@@ -27,7 +36,23 @@ pub enum ClientError {
         code: Option<ErrorCode>,
         /// Human-readable message from the server.
         message: String,
+        /// Backoff hint from a `Busy` shed, if the server sent one.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl ClientError {
+    /// Whether a retry could plausibly succeed: transport failures (the
+    /// peer may be back), `Busy` sheds, and deadline/timeout misses.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Protocol(_) => true,
+            ClientError::Server { code, .. } => matches!(
+                code,
+                Some(ErrorCode::Busy) | Some(ErrorCode::Deadline) | Some(ErrorCode::Timeout)
+            ),
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -35,7 +60,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(m) => write!(f, "io error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Server { code, message } => {
+            ClientError::Server { code, message, .. } => {
                 write!(f, "server error ({code:?}): {message}")
             }
         }
@@ -61,17 +86,112 @@ pub struct LoadReply {
     pub already_cached: bool,
 }
 
+/// Resilience knobs for [`Client::connect_with`] /
+/// [`Client::solve_with_retry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Per-attempt TCP connect budget.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout per request (zero disables).
+    pub request_timeout: Duration,
+    /// Retry attempts after the first try (0 = single-shot).
+    pub retries: u32,
+    /// Base backoff; attempt `k` waits ~`backoff · 2^k` with jitter.
+    pub backoff: Duration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed for backoff jitter (deterministic tests; vary it per client).
+    pub seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+/// Retry-path counters accumulated by [`Client::solve_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Attempts re-issued after a transient failure.
+    pub retried: u64,
+    /// `ERR Busy` sheds observed.
+    pub shed: u64,
+    /// `ERR Deadline`/`ERR Timeout` misses observed.
+    pub deadline_missed: u64,
+    /// Connections re-established after transport failures.
+    pub reconnects: u64,
+}
+
 /// A blocking connection to a solve server.
 pub struct Client {
     stream: TcpStream,
+    /// Address kept for reconnects (only set by [`Client::connect_with`]).
+    addr: Option<String>,
+    opts: ClientOptions,
+    rng: Rng,
+    stats: RetryStats,
 }
 
 impl Client {
-    /// Connect once.
+    /// Connect once, with no timeouts and no retry machinery.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            addr: None,
+            opts: ClientOptions {
+                retries: 0,
+                ..ClientOptions::default()
+            },
+            rng: Rng::seed_from_u64(0),
+            stats: RetryStats::default(),
+        })
+    }
+
+    /// Connect with resilience options: a bounded connect, socket
+    /// read/write timeouts, and the address retained so
+    /// [`Client::solve_with_retry`] can reconnect after transport failures.
+    pub fn connect_with(addr: &str, opts: ClientOptions) -> io::Result<Client> {
+        let stream = Self::dial(addr, &opts)?;
+        Ok(Client {
+            stream,
+            addr: Some(addr.to_string()),
+            rng: Rng::seed_from_u64(opts.seed),
+            opts,
+            stats: RetryStats::default(),
+        })
+    }
+
+    fn dial(addr: &str, opts: &ClientOptions) -> io::Result<TcpStream> {
+        let mut last = None;
+        for sa in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, opts.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    if !opts.request_timeout.is_zero() {
+                        stream.set_read_timeout(Some(opts.request_timeout))?;
+                        stream.set_write_timeout(Some(opts.request_timeout))?;
+                    }
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )
+        }))
     }
 
     /// Connect, retrying every 100 ms for up to `patience` (for races where
@@ -92,6 +212,11 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Counters accumulated by the retry path so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.stats
     }
 
     /// Ship a matrix; the server factors and caches it.
@@ -123,10 +248,22 @@ impl Client {
         parsed.map_err(ClientError::Protocol)
     }
 
-    /// Solve one right-hand side against a cached factor.
+    /// Solve one right-hand side against a cached factor (no deadline).
     pub fn solve(&mut self, fp: Fingerprint, rhs: &[f64]) -> Result<Vec<f64>, ClientError> {
+        self.solve_with_deadline(fp, rhs, 0)
+    }
+
+    /// Solve with an end-to-end deadline in milliseconds (0 = server
+    /// default). Single-shot: no retries.
+    pub fn solve_with_deadline(
+        &mut self,
+        fp: Fingerprint,
+        rhs: &[f64],
+        deadline_ms: u64,
+    ) -> Result<Vec<f64>, ClientError> {
         let payload = Builder::new()
             .fingerprint(fp)
+            .u64(deadline_ms)
             .u64(rhs.len() as u64)
             .f64_slice(rhs)
             .build();
@@ -140,6 +277,79 @@ impl Client {
             Ok::<_, String>(x)
         })();
         parsed.map_err(ClientError::Protocol)
+    }
+
+    /// Solve with the full resilience ladder: transient failures (transport
+    /// errors, `Busy` sheds, deadline misses) are retried up to
+    /// `opts.retries` times under capped exponential backoff with seeded
+    /// jitter; a `Busy` shed waits at least the server's `retry_after_ms`
+    /// hint. Transport failures reconnect first (requires the client to
+    /// have been built by [`Client::connect_with`]).
+    pub fn solve_with_retry(
+        &mut self,
+        fp: Fingerprint,
+        rhs: &[f64],
+        deadline_ms: u64,
+    ) -> Result<Vec<f64>, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.solve_with_deadline(fp, rhs, deadline_ms) {
+                Ok(x) => return Ok(x),
+                Err(e) => e,
+            };
+            let mut floor_ms = None;
+            match &err {
+                ClientError::Server {
+                    code: Some(ErrorCode::Busy),
+                    retry_after_ms,
+                    ..
+                } => {
+                    self.stats.shed += 1;
+                    floor_ms = *retry_after_ms;
+                }
+                ClientError::Server {
+                    code: Some(ErrorCode::Deadline) | Some(ErrorCode::Timeout),
+                    ..
+                } => self.stats.deadline_missed += 1,
+                ClientError::Io(_) | ClientError::Protocol(_) => {}
+                _ => return Err(err), // permanent
+            }
+            if !err.is_transient() || attempt >= self.opts.retries {
+                return Err(err);
+            }
+            if matches!(&err, ClientError::Io(_) | ClientError::Protocol(_)) {
+                // The stream is in an unknown state; replace it. A failed
+                // reconnect is fine — the server may still be coming back,
+                // and the next attempt will dial again after the backoff.
+                let _ = self.reconnect();
+            }
+            std::thread::sleep(self.backoff_delay(attempt, floor_ms));
+            self.stats.retried += 1;
+            attempt += 1;
+        }
+    }
+
+    /// Replace the connection (only possible for `connect_with` clients).
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let addr = self
+            .addr
+            .clone()
+            .ok_or_else(|| ClientError::Io("no address retained for reconnect".to_string()))?;
+        self.stream = Self::dial(&addr, &self.opts)?;
+        self.stats.reconnects += 1;
+        Ok(())
+    }
+
+    /// Capped exponential backoff with jitter in `[0.5·base, base)`,
+    /// floored at the server's `retry_after_ms` hint when present.
+    fn backoff_delay(&mut self, attempt: u32, floor_ms: Option<u64>) -> Duration {
+        let base = self
+            .opts
+            .backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.opts.max_backoff);
+        let jittered = base.mul_f64(self.rng.range_f64(0.5, 1.0));
+        jittered.max(Duration::from_millis(floor_ms.unwrap_or(0)))
     }
 
     /// Fetch the engine counters as `(key, value)` pairs.
@@ -208,12 +418,20 @@ impl Client {
                 let code = c.u16()?;
                 let mlen = c.u32()? as usize;
                 let msg = String::from_utf8_lossy(c.bytes(mlen)?).into_owned();
-                Ok::<_, String>((code, msg))
+                let code = ErrorCode::from_u16(code);
+                // Busy carries a trailing retry hint; unknown trailing
+                // bytes on other codes are ignored for forward compat.
+                let retry_after_ms = match code {
+                    Some(ErrorCode::Busy) => c.u64().ok(),
+                    _ => None,
+                };
+                Ok::<_, String>((code, msg, retry_after_ms))
             })();
             return match parsed {
-                Ok((code, message)) => Err(ClientError::Server {
-                    code: ErrorCode::from_u16(code),
+                Ok((code, message, retry_after_ms)) => Err(ClientError::Server {
+                    code,
                     message,
+                    retry_after_ms,
                 }),
                 Err(m) => Err(ClientError::Protocol(format!("undecodable ERR frame: {m}"))),
             };

@@ -4,18 +4,29 @@
 //! the in-process client/benchmark harness both drive it through the same
 //! four operations (`load`, `solve`, `stats`, `evict`). All failures are
 //! structured [`EngineError`]s — a malformed matrix or a wrong-length RHS
-//! must never panic a worker thread.
+//! must never panic a worker thread, and (new in the hardening pass) even a
+//! *panicking executor* is converted to a structured error behind
+//! `catch_unwind` rather than poisoning the lane.
+//!
+//! The degradation ladder (DESIGN.md §11) runs threaded → sequential →
+//! shed: a threaded-executor panic falls back to the sequential executor
+//! for that batch (counted in `exec_fallbacks`); a request arriving while
+//! `max_pending` requests are already in flight is shed with
+//! [`EngineError::Busy`] and a `retry_after_ms` hint instead of growing
+//! memory without bound.
 
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use trisolv_core::{SolvePlan, SparseCholeskySolver, ThreadedSolver};
 use trisolv_matrix::{CscMatrix, DenseMatrix};
 
 use crate::batch::{BatchLane, BatchOptions, LaneError};
 use crate::cache::{CacheStats, FactorCache, FactorEntry};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
 
 /// Which executor runs the blocked solves.
@@ -49,6 +60,10 @@ pub struct EngineOptions {
     pub batch: BatchOptions,
     /// Executor for the blocked solves.
     pub exec: ExecMode,
+    /// Admission-control high-water mark: solve requests arriving while
+    /// this many are already in flight are shed with [`EngineError::Busy`].
+    /// `0` disables shedding.
+    pub max_pending: usize,
 }
 
 impl Default for EngineOptions {
@@ -57,6 +72,7 @@ impl Default for EngineOptions {
             budget_bytes: 512 << 20,
             batch: BatchOptions::default(),
             exec: ExecMode::Threaded,
+            max_pending: 1024,
         }
     }
 }
@@ -79,6 +95,22 @@ pub enum EngineError {
     NotSpd(String),
     /// A batched request timed out waiting for its results.
     Timeout,
+    /// The request's deadline expired inside the service.
+    DeadlineExceeded,
+    /// The engine is over its pending-request high-water mark; retry after
+    /// the hinted backoff.
+    Busy {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The input contained NaN or infinite values (`what` names the field).
+    NonFinite {
+        /// Which input was non-finite (`"matrix values"` or `"rhs"`).
+        what: &'static str,
+    },
+    /// The solve produced NaN or infinite entries (numeric breakdown of
+    /// the cached factor on this input).
+    NumericBreakdown,
     /// Invariant violation inside the service.
     Internal(String),
 }
@@ -98,6 +130,16 @@ impl fmt::Display for EngineError {
             EngineError::BadMatrix(m) => write!(f, "bad matrix: {m}"),
             EngineError::NotSpd(m) => write!(f, "factorization failed: {m}"),
             EngineError::Timeout => write!(f, "request timed out in the batcher"),
+            EngineError::DeadlineExceeded => write!(f, "request deadline expired in the service"),
+            EngineError::Busy { retry_after_ms } => {
+                write!(f, "server over capacity; retry after {retry_after_ms} ms")
+            }
+            EngineError::NonFinite { what } => {
+                write!(f, "{what} contain NaN or infinite entries")
+            }
+            EngineError::NumericBreakdown => {
+                write!(f, "solve produced non-finite values (numeric breakdown)")
+            }
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -116,7 +158,7 @@ pub struct LoadOutcome {
     pub already_cached: bool,
 }
 
-/// Aggregated engine counters (cache + batcher).
+/// Aggregated engine counters (cache + batcher + failure ladder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Cache occupancy and hit/miss/eviction counters.
@@ -131,27 +173,76 @@ pub struct EngineStats {
     pub batched_cols: u64,
     /// Largest blocked solve executed.
     pub max_batch: usize,
+    /// Requests shed with `Busy` by admission control.
+    pub shed: u64,
+    /// Requests that missed their deadline inside the service.
+    pub deadline_misses: u64,
+    /// Panics caught and converted to structured errors.
+    pub panics_caught: u64,
+    /// Threaded-executor failures served by the sequential fallback.
+    pub exec_fallbacks: u64,
+    /// Requests rejected for NaN/Inf inputs.
+    pub nonfinite_rejected: u64,
+    /// Solves that produced non-finite output (numeric breakdown).
+    pub breakdowns: u64,
+    /// Worker threads respawned by the front-end supervisor.
+    pub worker_respawns: u64,
+    /// Faults injected by the configured [`FaultPlan`].
+    pub faults_injected: u64,
 }
 
 /// Factor-caching, micro-batching solve engine.
 pub struct Engine {
     opts: EngineOptions,
     cache: FactorCache,
+    fault: FaultPlan,
+    pending: AtomicUsize,
     solves_ok: AtomicU64,
     solves_err: AtomicU64,
+    shed: AtomicU64,
+    deadline_misses: AtomicU64,
+    panics_caught: AtomicU64,
+    exec_fallbacks: AtomicU64,
+    nonfinite_rejected: AtomicU64,
+    breakdowns: AtomicU64,
+    worker_respawns: AtomicU64,
     batches: AtomicU64,
     batched_cols: AtomicU64,
     max_batch: AtomicUsize,
 }
 
+/// RAII in-flight counter for admission control.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl Engine {
-    /// A fresh engine with the given configuration.
+    /// A fresh engine with the given configuration and no fault injection.
     pub fn new(opts: EngineOptions) -> Engine {
+        Engine::with_fault(opts, FaultPlan::none())
+    }
+
+    /// A fresh engine that trips the given fault plan at its `solve` and
+    /// `factor` sites.
+    pub fn with_fault(opts: EngineOptions, fault: FaultPlan) -> Engine {
         Engine {
             opts,
             cache: FactorCache::new(opts.budget_bytes),
+            fault,
+            pending: AtomicUsize::new(0),
             solves_ok: AtomicU64::new(0),
             solves_err: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            exec_fallbacks: AtomicU64::new(0),
+            nonfinite_rejected: AtomicU64::new(0),
+            breakdowns: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_cols: AtomicU64::new(0),
             max_batch: AtomicUsize::new(0),
@@ -163,9 +254,32 @@ impl Engine {
         &self.opts
     }
 
+    /// The fault plan this engine trips (empty in production).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Record a worker-thread respawn (called by the front-end supervisor
+    /// so the count lands in `STATS`).
+    pub fn note_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The backoff hint attached to `Busy` responses: two batching windows,
+    /// floored at 1 ms — long enough for an in-flight batch to drain.
+    pub fn retry_after_ms(&self) -> u64 {
+        (self.opts.batch.window.as_millis() as u64 * 2).max(1)
+    }
+
     /// Factor `a` and cache it under its content hash (idempotent: a
     /// resident matrix is not re-factored).
     pub fn load(&self, a: &CscMatrix) -> Result<LoadOutcome, EngineError> {
+        if !a.values().iter().all(|v| v.is_finite()) {
+            self.nonfinite_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::NonFinite {
+                what: "matrix values",
+            });
+        }
         let fingerprint = Fingerprint::of_matrix(a);
         if let Some(entry) = self.cache.peek(fingerprint) {
             return Ok(LoadOutcome {
@@ -175,10 +289,27 @@ impl Engine {
                 already_cached: true,
             });
         }
-        let solver =
-            SparseCholeskySolver::factor(a).map_err(|e| EngineError::NotSpd(e.to_string()))?;
-        let plan = SolvePlan::new(solver.factor_matrix().partition())
-            .map_err(|e| EngineError::Internal(format!("plan construction failed: {e}")))?;
+        // Factorization runs behind catch_unwind: a panicking kernel (or an
+        // injected factor fault) becomes ERR Internal, not a dead worker.
+        let built = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.fault.trip(FaultSite::Factor);
+            let solver =
+                SparseCholeskySolver::factor(a).map_err(|e| EngineError::NotSpd(e.to_string()))?;
+            let plan = SolvePlan::new(solver.factor_matrix().partition())
+                .map_err(|e| EngineError::Internal(format!("plan construction failed: {e}")))?;
+            Ok::<_, EngineError>((solver, plan))
+        }));
+        let (solver, plan) = match built {
+            Ok(Ok(pair)) => pair,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Internal(format!(
+                    "factorization panicked: {}",
+                    panic_message(&payload)
+                )));
+            }
+        };
         let factor_nnz = solver.factor_matrix().nnz();
         let entry = Arc::new(FactorEntry::new(
             fingerprint,
@@ -196,19 +327,66 @@ impl Engine {
         })
     }
 
-    /// Solve `A·x = rhs` against the cached factor for `fp`. Concurrent
-    /// calls with the same fingerprint share blocked solves via the entry's
-    /// [`BatchLane`].
+    /// Solve `A·x = rhs` against the cached factor for `fp` with no
+    /// deadline. Concurrent calls with the same fingerprint share blocked
+    /// solves via the entry's [`BatchLane`].
     pub fn solve(&self, fp: Fingerprint, rhs: Vec<f64>) -> Result<Vec<f64>, EngineError> {
-        let out = self.solve_inner(fp, rhs);
+        self.solve_deadline(fp, rhs, None)
+    }
+
+    /// Solve with an optional end-to-end deadline. A request that cannot
+    /// produce its answer by `deadline` comes back with
+    /// [`EngineError::DeadlineExceeded`] instead of stalling its batch.
+    pub fn solve_deadline(
+        &self,
+        fp: Fingerprint,
+        rhs: Vec<f64>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f64>, EngineError> {
+        let out = self.solve_inner(fp, rhs, deadline);
         match &out {
             Ok(_) => self.solves_ok.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.solves_err.fetch_add(1, Ordering::Relaxed),
+            Err(e) => {
+                match e {
+                    EngineError::Busy { .. } => self.shed.fetch_add(1, Ordering::Relaxed),
+                    EngineError::DeadlineExceeded => {
+                        self.deadline_misses.fetch_add(1, Ordering::Relaxed)
+                    }
+                    EngineError::NonFinite { .. } => {
+                        self.nonfinite_rejected.fetch_add(1, Ordering::Relaxed)
+                    }
+                    EngineError::NumericBreakdown => {
+                        self.breakdowns.fetch_add(1, Ordering::Relaxed)
+                    }
+                    _ => 0,
+                };
+                self.solves_err.fetch_add(1, Ordering::Relaxed)
+            }
         };
         out
     }
 
-    fn solve_inner(&self, fp: Fingerprint, rhs: Vec<f64>) -> Result<Vec<f64>, EngineError> {
+    fn solve_inner(
+        &self,
+        fp: Fingerprint,
+        rhs: Vec<f64>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f64>, EngineError> {
+        // Admission control first: shedding must be cheap precisely when
+        // the server is drowning.
+        let in_flight = self.pending.fetch_add(1, Ordering::AcqRel);
+        let _guard = PendingGuard(&self.pending);
+        if self.opts.max_pending > 0 && in_flight >= self.opts.max_pending {
+            return Err(EngineError::Busy {
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(EngineError::DeadlineExceeded);
+        }
+        if !rhs.iter().all(|v| v.is_finite()) {
+            return Err(EngineError::NonFinite { what: "rhs" });
+        }
         let entry = self
             .cache
             .get(fp)
@@ -222,65 +400,118 @@ impl Engine {
         let exec_entry = Arc::clone(&entry);
         entry
             .lane
-            .solve(rhs, move |batch| self.execute(&exec_entry, batch))
+            .solve(rhs, deadline, move |batch| self.execute(&exec_entry, batch))
             .map_err(|e| match e {
                 LaneError::Exec(inner) => inner,
                 LaneError::Timeout => EngineError::Timeout,
+                LaneError::Deadline => EngineError::DeadlineExceeded,
             })
     }
 
     /// Run one blocked solve for a sealed batch (leader thread only).
+    /// A panic in the threaded executor (including injected `solve.panic`
+    /// faults) is caught and the batch re-runs on the sequential executor;
+    /// only a second panic surfaces as `ERR Internal`.
     fn execute(
         &self,
         entry: &FactorEntry,
         batch: Vec<Vec<f64>>,
     ) -> Result<Vec<Vec<f64>>, EngineError> {
-        let n = entry.n;
         let k = batch.len();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_cols.fetch_add(k as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(k, Ordering::Relaxed);
-        match self.opts.exec {
-            ExecMode::Seq => {
-                let mut b = DenseMatrix::zeros(n, k);
-                for (c, col) in batch.iter().enumerate() {
-                    b.col_mut(c).copy_from_slice(col);
-                }
-                let x = entry.solver.solve(&b);
-                Ok((0..k).map(|c| x.col(c).to_vec()).collect())
-            }
+        let cols = match self.opts.exec {
+            ExecMode::Seq => self.execute_seq_caught(entry, &batch)?,
             ExecMode::Threaded => {
-                // Permute each column into the factor's index space
-                // (pb[perm(i)] = b[i]), exactly as `solver.solve` does.
-                let perm = entry.solver.perm();
-                let mut pb = DenseMatrix::zeros(n, k);
-                for (c, col) in batch.iter().enumerate() {
-                    let dst = pb.col_mut(c);
-                    for i in 0..n {
-                        dst[perm.apply(i)] = col[i];
+                let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                    self.fault.trip(FaultSite::Solve);
+                    self.execute_threaded(entry, &batch)
+                }));
+                match attempt {
+                    Ok(cols) => cols,
+                    Err(_) => {
+                        // Degradation ladder: threaded panicked → answer
+                        // this batch on the sequential executor instead of
+                        // failing every rider.
+                        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                        self.exec_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        self.execute_seq_caught(entry, &batch)?
                     }
                 }
-                let solver = ThreadedSolver::with_plan(entry.solver.factor_matrix(), &entry.plan);
-                let mut ws = entry.take_workspace(k);
-                let px = solver.forward_backward_with(&pb, &mut ws);
-                entry.put_workspace(ws);
-                // Unpermute straight into the per-request columns; the
-                // boarded RHS vectors are recycled as the output buffers.
-                let mut batch = batch;
-                for (c, col) in batch.iter_mut().enumerate() {
-                    let src = px.col(c);
-                    for (i, v) in col.iter_mut().enumerate() {
-                        *v = src[perm.apply(i)];
-                    }
-                }
-                Ok(batch)
+            }
+        };
+        if cols.iter().any(|c| !c.iter().all(|v| v.is_finite())) {
+            return Err(EngineError::NumericBreakdown);
+        }
+        Ok(cols)
+    }
+
+    /// The sequential executor behind `catch_unwind`: the last rung of the
+    /// ladder before a structured internal error.
+    fn execute_seq_caught(
+        &self,
+        entry: &FactorEntry,
+        batch: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        let n = entry.n;
+        let k = batch.len();
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut b = DenseMatrix::zeros(n, k);
+            for (c, col) in batch.iter().enumerate() {
+                b.col_mut(c).copy_from_slice(col);
+            }
+            let x = entry.solver.solve(&b);
+            (0..k).map(|c| x.col(c).to_vec()).collect::<Vec<_>>()
+        }))
+        .map_err(|payload| {
+            self.panics_caught.fetch_add(1, Ordering::Relaxed);
+            EngineError::Internal(format!(
+                "sequential solve panicked: {}",
+                panic_message(&payload)
+            ))
+        })
+    }
+
+    /// The threaded blocked solve (may panic; callers catch).
+    fn execute_threaded(&self, entry: &FactorEntry, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = entry.n;
+        let k = batch.len();
+        // Permute each column into the factor's index space
+        // (pb[perm(i)] = b[i]), exactly as `solver.solve` does.
+        let perm = entry.solver.perm();
+        let mut pb = DenseMatrix::zeros(n, k);
+        for (c, col) in batch.iter().enumerate() {
+            let dst = pb.col_mut(c);
+            for i in 0..n {
+                dst[perm.apply(i)] = col[i];
             }
         }
+        let solver = ThreadedSolver::with_plan(entry.solver.factor_matrix(), &entry.plan);
+        let mut ws = entry.take_workspace(k);
+        let px = solver.forward_backward_with(&pb, &mut ws);
+        entry.put_workspace(ws);
+        // Unpermute into fresh output columns.
+        let mut out = vec![vec![0.0f64; n]; k];
+        for (c, col) in out.iter_mut().enumerate() {
+            let src = px.col(c);
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = src[perm.apply(i)];
+            }
+        }
+        out
     }
 
     /// Drop a cached factor. Returns whether it was resident.
     pub fn evict(&self, fp: Fingerprint) -> bool {
         self.cache.evict(fp)
+    }
+
+    /// True when every resident lane holds no in-flight state (no boarding
+    /// columns, sealed batches, unclaimed results, or abandoned claims).
+    /// The chaos soak asserts this after draining all clients.
+    pub fn lanes_quiescent(&self) -> bool {
+        self.cache.entries().iter().all(|e| e.lane.is_quiescent())
     }
 
     /// Counter snapshot.
@@ -292,6 +523,14 @@ impl Engine {
             batches: self.batches.load(Ordering::Relaxed),
             batched_cols: self.batched_cols.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            exec_fallbacks: self.exec_fallbacks.load(Ordering::Relaxed),
+            nonfinite_rejected: self.nonfinite_rejected.load(Ordering::Relaxed),
+            breakdowns: self.breakdowns.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            faults_injected: self.fault.injected(),
         }
     }
 
@@ -300,6 +539,15 @@ impl Engine {
     pub fn batch_window(&self) -> Duration {
         self.opts.batch.window
     }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 #[cfg(test)]
@@ -341,6 +589,7 @@ mod tests {
             let s = eng.stats();
             assert_eq!(s.solves_ok, 1);
             assert_eq!(s.batches, 1);
+            assert!(eng.lanes_quiescent());
         }
     }
 
@@ -395,5 +644,141 @@ mod tests {
         let a = CscMatrix::from_parts(n, n, colptr, rowidx, vec![-1.0; n]).unwrap();
         let eng = engine(ExecMode::Threaded, 1);
         assert!(matches!(eng.load(&a).unwrap_err(), EngineError::NotSpd(_)));
+    }
+
+    #[test]
+    fn nonfinite_inputs_rejected_at_the_boundary() {
+        let eng = engine(ExecMode::Threaded, 1);
+        // NaN in the matrix values
+        let n = 4;
+        let colptr: Vec<usize> = (0..=n).collect();
+        let rowidx: Vec<usize> = (0..n).collect();
+        let mut vals = vec![2.0; n];
+        vals[2] = f64::NAN;
+        let a = CscMatrix::from_parts(n, n, colptr, rowidx, vals).unwrap();
+        assert_eq!(
+            eng.load(&a).unwrap_err(),
+            EngineError::NonFinite {
+                what: "matrix values"
+            }
+        );
+        // Inf in the RHS
+        let good = gen::grid2d_laplacian(4, 4);
+        let fp = eng.load(&good).unwrap().fingerprint;
+        let mut rhs = vec![1.0; 16];
+        rhs[7] = f64::INFINITY;
+        assert_eq!(
+            eng.solve(fp, rhs).unwrap_err(),
+            EngineError::NonFinite { what: "rhs" }
+        );
+        let s = eng.stats();
+        assert_eq!(s.nonfinite_rejected, 2);
+    }
+
+    #[test]
+    fn numeric_breakdown_is_detected_in_the_output() {
+        // Subnormal diagonal: factorization succeeds (sqrt of a positive
+        // subnormal is a normal float) but x = b/a overflows to +inf.
+        let n = 2;
+        let colptr: Vec<usize> = (0..=n).collect();
+        let rowidx: Vec<usize> = (0..n).collect();
+        let a = CscMatrix::from_parts(n, n, colptr, rowidx, vec![1e-310; n]).unwrap();
+        for exec in [ExecMode::Seq, ExecMode::Threaded] {
+            let eng = engine(exec, 1);
+            let fp = eng.load(&a).unwrap().fingerprint;
+            let err = eng.solve(fp, vec![1.0; n]).unwrap_err();
+            assert_eq!(err, EngineError::NumericBreakdown, "{exec:?}");
+            assert_eq!(eng.stats().breakdowns, 1);
+        }
+    }
+
+    #[test]
+    fn admission_control_sheds_over_the_high_water_mark() {
+        let eng = Engine::new(EngineOptions {
+            exec: ExecMode::Seq,
+            max_pending: 2,
+            batch: BatchOptions {
+                max_batch: 1,
+                window: Duration::from_millis(1),
+                wait_timeout: Duration::from_secs(5),
+            },
+            ..EngineOptions::default()
+        });
+        // Saturate the pending counter by hand (as if 2 requests were
+        // parked in the batcher), then observe the third being shed.
+        eng.pending.store(2, Ordering::SeqCst);
+        let a = gen::grid2d_laplacian(4, 4);
+        let fp = {
+            // load is not admission-controlled
+            eng.load(&a).unwrap().fingerprint
+        };
+        let err = eng.solve(fp, vec![1.0; 16]).unwrap_err();
+        match err {
+            EngineError::Busy { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(eng.stats().shed, 1);
+        // Back under the mark, the same request succeeds.
+        eng.pending.store(0, Ordering::SeqCst);
+        assert!(eng.solve(fp, vec![1.0; 16]).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_before_boarding() {
+        let eng = engine(ExecMode::Seq, 4);
+        let a = gen::grid2d_laplacian(4, 4);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = eng
+            .solve_deadline(fp, vec![1.0; 16], Some(past))
+            .unwrap_err();
+        assert_eq!(err, EngineError::DeadlineExceeded);
+        assert_eq!(eng.stats().deadline_misses, 1);
+        // a generous deadline sails through
+        let future = Instant::now() + Duration::from_secs(30);
+        assert!(eng.solve_deadline(fp, vec![1.0; 16], Some(future)).is_ok());
+    }
+
+    #[test]
+    fn injected_solve_panic_falls_back_to_seq() {
+        let fault = FaultPlan::parse("solve.panic=every:1").unwrap();
+        let eng = Engine::with_fault(
+            EngineOptions {
+                exec: ExecMode::Threaded,
+                batch: BatchOptions {
+                    max_batch: 1,
+                    window: Duration::from_millis(1),
+                    wait_timeout: Duration::from_secs(5),
+                },
+                ..EngineOptions::default()
+            },
+            fault,
+        );
+        let a = gen::grid2d_laplacian(6, 6);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let reference = SparseCholeskySolver::factor(&a).unwrap();
+        let b = gen::random_rhs(36, 1, 3);
+        // every solve panics in the threaded branch; the seq fallback must
+        // answer bit-identically to the reference sequential solver
+        let x = eng.solve(fp, b.col(0).to_vec()).unwrap();
+        assert_eq!(x.as_slice(), reference.solve(&b).col(0));
+        let s = eng.stats();
+        assert_eq!(s.solves_ok, 1);
+        assert!(s.panics_caught >= 1);
+        assert_eq!(s.exec_fallbacks, 1);
+        assert!(s.faults_injected >= 1);
+    }
+
+    #[test]
+    fn injected_factor_panic_is_structured() {
+        let fault = FaultPlan::parse("factor.panic=every:1").unwrap();
+        let eng = Engine::with_fault(EngineOptions::default(), fault);
+        let a = gen::grid2d_laplacian(5, 5);
+        let err = eng.load(&a).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Internal(m) if m.contains("panicked")),
+            "{err:?}"
+        );
+        assert_eq!(eng.stats().panics_caught, 1);
     }
 }

@@ -10,6 +10,12 @@
 //! TCP protocol ([`protocol`], [`server`]) with a matching blocking client
 //! and load generator ([`client`], [`loadgen`]).
 //!
+//! Failure is a first-class input ([`fault`]): a seeded fault plan can
+//! inject torn frames, stalls, panics, and connection drops at named sites,
+//! and the hardening it exercises — deadlines, admission control, panic
+//! isolation with a sequential-executor fallback, and client retry — is on
+//! by default (DESIGN.md §11).
+//!
 //! Everything is `std`-only; the workspace builds offline with zero
 //! external dependencies.
 
@@ -17,6 +23,7 @@ pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod fingerprint;
 pub mod loadgen;
 pub mod protocol;
@@ -24,8 +31,9 @@ pub mod server;
 
 pub use batch::{BatchLane, BatchOptions, LaneError};
 pub use cache::{CacheStats, FactorCache, FactorEntry};
-pub use client::{Client, ClientError, LoadReply};
+pub use client::{Client, ClientError, ClientOptions, LoadReply, RetryStats};
 pub use engine::{Engine, EngineError, EngineOptions, EngineStats, ExecMode, LoadOutcome};
+pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use fingerprint::Fingerprint;
 pub use loadgen::{run_load, LoadGenOptions, LoadGenReport};
 pub use server::{RunningServer, Server, ServerOptions};

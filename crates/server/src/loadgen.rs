@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use trisolv_matrix::rng::Rng;
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, ClientOptions, RetryStats};
 use crate::fingerprint::Fingerprint;
 
 /// Load-generation parameters.
@@ -29,6 +29,11 @@ pub struct LoadGenOptions {
     pub duration: Duration,
     /// Seed for the per-client RHS generators.
     pub seed: u64,
+    /// Per-request deadline in milliseconds (0 = server default).
+    pub deadline_ms: u64,
+    /// Client resilience knobs (timeouts, retries, backoff); each client
+    /// derives its jitter seed from `seed` plus its index.
+    pub client: ClientOptions,
 }
 
 /// Aggregate results of one load-generation run.
@@ -48,6 +53,9 @@ pub struct LoadGenReport {
     pub p99_us: f64,
     /// Mean latency in microseconds.
     pub mean_us: f64,
+    /// Retry-path counters summed over all clients (sheds observed,
+    /// attempts retried, deadline misses, reconnects).
+    pub retry: RetryStats,
 }
 
 /// Percentile by nearest-rank on a sorted slice (`q` in `[0, 1]`).
@@ -67,8 +75,9 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// the trade the batcher makes (a little latency for a lot of throughput)
 /// is visible in the report rather than hidden.
 pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
-    /// Per-client outcome: (requests ok, requests errored, latencies in µs).
-    type ClientOutcome = Result<(u64, u64, Vec<f64>), ClientError>;
+    /// Per-client outcome: (requests ok, requests errored, latencies in µs,
+    /// retry counters).
+    type ClientOutcome = Result<(u64, u64, Vec<f64>, RetryStats), ClientError>;
     let started = Instant::now();
     let deadline = started + opts.duration;
     let results: Vec<ClientOutcome> = std::thread::scope(|scope| {
@@ -78,7 +87,12 @@ pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
                 let fp = opts.fingerprint;
                 let n = opts.n;
                 let seed = opts.seed.wrapping_add(c as u64);
-                scope.spawn(move || client_loop(&addr, fp, n, seed, deadline))
+                let deadline_ms = opts.deadline_ms;
+                let copts = ClientOptions {
+                    seed: opts.client.seed.wrapping_add(c as u64),
+                    ..opts.client.clone()
+                };
+                scope.spawn(move || client_loop(&addr, fp, n, seed, deadline, deadline_ms, copts))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -88,13 +102,18 @@ pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
     let mut requests = 0u64;
     let mut errors = 0u64;
     let mut latencies: Vec<f64> = Vec::new();
+    let mut retry = RetryStats::default();
     let mut first_err: Option<ClientError> = None;
     for r in results {
         match r {
-            Ok((ok, err, lats)) => {
+            Ok((ok, err, lats, rs)) => {
                 requests += ok;
                 errors += err;
                 latencies.extend(lats);
+                retry.retried += rs.retried;
+                retry.shed += rs.shed;
+                retry.deadline_missed += rs.deadline_missed;
+                retry.reconnects += rs.reconnects;
             }
             Err(e) => {
                 errors += 1;
@@ -121,6 +140,7 @@ pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         mean_us: mean,
+        retry,
     })
 }
 
@@ -130,8 +150,23 @@ fn client_loop(
     n: usize,
     seed: u64,
     deadline: Instant,
-) -> Result<(u64, u64, Vec<f64>), ClientError> {
-    let mut client = Client::connect_retry(addr, Duration::from_secs(5))?;
+    deadline_ms: u64,
+    copts: ClientOptions,
+) -> Result<(u64, u64, Vec<f64>, RetryStats), ClientError> {
+    // connect_with retains the address, so the retry path can reconnect
+    // when the server drops or tears a connection mid-run
+    let connect_patience = Instant::now() + Duration::from_secs(5);
+    let mut client = loop {
+        match Client::connect_with(addr, copts.clone()) {
+            Ok(c) => break c,
+            Err(e) => {
+                if Instant::now() >= connect_patience {
+                    return Err(e.into());
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
     let mut rng = Rng::seed_from_u64(seed);
     let mut rhs = vec![0.0f64; n];
     let mut ok = 0u64;
@@ -144,21 +179,20 @@ fn client_loop(
             rhs[i] = rng.range_f64(-1.0, 1.0);
         }
         let t0 = Instant::now();
-        match client.solve(fp, &rhs) {
+        match client.solve_with_retry(fp, &rhs, deadline_ms) {
             Ok(_) => {
                 ok += 1;
                 latencies.push(t0.elapsed().as_secs_f64() * 1e6);
             }
-            Err(ClientError::Io(m)) => {
-                // transport gone (e.g. server shut down mid-run): stop
+            Err(e) if !e.is_transient() => {
+                // permanent server error: nothing a closed loop can do
                 err += 1;
-                let _ = m;
                 break;
             }
-            Err(_) => err += 1,
+            Err(_) => err += 1, // transient but retries exhausted
         }
     }
-    Ok((ok, err, latencies))
+    Ok((ok, err, latencies, client.retry_stats()))
 }
 
 #[cfg(test)]

@@ -16,10 +16,18 @@
 //! | op | name | payload |
 //! |------|----------|---------|
 //! | 0x01 | LOAD     | `u64 nrows, ncols, nnz`, `colptr[(ncols+1)·u64]`, `rowidx[nnz·u64]`, `values[nnz·f64]` |
-//! | 0x02 | SOLVE    | `fingerprint[16]`, `u64 n`, `rhs[n·f64]` |
+//! | 0x02 | SOLVE    | `fingerprint[16]`, `u64 deadline_ms`, `u64 n`, `rhs[n·f64]` |
 //! | 0x03 | STATS    | empty |
 //! | 0x04 | EVICT    | `fingerprint[16]` |
 //! | 0x05 | SHUTDOWN | empty |
+//!
+//! `deadline_ms` (new in protocol version 2) is the client's end-to-end
+//! budget for the request, measured from when the server finishes reading
+//! the frame; `0` means "no preference". The server clamps it to its own
+//! `--deadline-cap-ms`, so a deadline is always in force. A request that
+//! cannot be answered in time gets `ERR Deadline` rather than an answer —
+//! including when it is already boarded in a batch lane (an expired boarder
+//! is expelled at seal time so it cannot stall the batch's other riders).
 //!
 //! Response opcodes:
 //!
@@ -30,12 +38,22 @@
 //! | 0x83 | OK_STATS   | `u64 count`, then per stat `u16 keylen`, key bytes, `u64 value` |
 //! | 0x84 | OK_EVICTED | `u8 existed` |
 //! | 0x85 | OK_BYE     | empty |
-//! | 0xFF | ERR        | `u16 code`, `u32 msglen`, UTF-8 message |
+//! | 0xFF | ERR        | `u16 code`, `u32 msglen`, UTF-8 message, then code-specific extras |
+//!
+//! An `ERR` with code [`ErrorCode::Busy`] carries one extra trailing field,
+//! `u64 retry_after_ms` — the server's backoff hint for the shed request.
+//! Other codes carry no extras; decoders must ignore trailing bytes they do
+//! not understand so future codes can add fields compatibly.
 //!
 //! Error codes are in [`ErrorCode`]. Protocol errors on a decodable frame
 //! produce an `ERR` reply and leave the connection open; an undecodable
 //! frame (bad length prefix) produces an `ERR` and then a close, since the
 //! stream can no longer be re-synchronized.
+
+/// Protocol revision implemented by this module. Version 2 added the SOLVE
+/// `deadline_ms` field and error codes 9–12 (`Busy`, `Deadline`,
+/// `NonFinite`, `NumericBreakdown`).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 use std::io::{self, Read, Write};
 
@@ -92,6 +110,15 @@ pub enum ErrorCode {
     TooLarge = 7,
     /// Internal service error.
     Internal = 8,
+    /// Server over its admission-control high-water mark; the ERR payload
+    /// carries a trailing `u64 retry_after_ms` backoff hint.
+    Busy = 9,
+    /// The request's deadline expired inside the service.
+    Deadline = 10,
+    /// Request contained NaN/Inf matrix values or RHS entries.
+    NonFinite = 11,
+    /// The solve produced NaN/Inf output (numeric breakdown).
+    NumericBreakdown = 12,
 }
 
 impl ErrorCode {
@@ -106,6 +133,10 @@ impl ErrorCode {
             6 => ErrorCode::Timeout,
             7 => ErrorCode::TooLarge,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::Busy,
+            10 => ErrorCode::Deadline,
+            11 => ErrorCode::NonFinite,
+            12 => ErrorCode::NumericBreakdown,
             _ => return None,
         })
     }
@@ -118,6 +149,10 @@ impl ErrorCode {
             EngineError::BadMatrix(_) => ErrorCode::Malformed,
             EngineError::NotSpd(_) => ErrorCode::NotSpd,
             EngineError::Timeout => ErrorCode::Timeout,
+            EngineError::DeadlineExceeded => ErrorCode::Deadline,
+            EngineError::Busy { .. } => ErrorCode::Busy,
+            EngineError::NonFinite { .. } => ErrorCode::NonFinite,
+            EngineError::NumericBreakdown => ErrorCode::NumericBreakdown,
             EngineError::Internal(_) => ErrorCode::Internal,
         }
     }
@@ -406,6 +441,10 @@ mod tests {
             ErrorCode::Timeout,
             ErrorCode::TooLarge,
             ErrorCode::Internal,
+            ErrorCode::Busy,
+            ErrorCode::Deadline,
+            ErrorCode::NonFinite,
+            ErrorCode::NumericBreakdown,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
         }

@@ -1,4 +1,4 @@
-//! TCP front end: acceptor, worker pool, request dispatch.
+//! TCP front end: acceptor, worker pool, watchdog, request dispatch.
 //!
 //! One acceptor thread hands accepted connections to a fixed pool of worker
 //! threads over an `mpsc` channel; each worker owns one connection at a
@@ -7,31 +7,45 @@
 //! concurrent connections share a blocked solve, so `workers` should be at
 //! least the target batch size.
 //!
-//! Robustness contract (exercised in `tests/service.rs`):
+//! Robustness contract (exercised in `tests/service.rs` and
+//! `tests/chaos.rs`):
 //!
 //! * a garbage or oversized length prefix gets an `ERR` reply and a close
 //!   (the stream cannot be re-synchronized);
 //! * a decodable frame with a bad payload (truncated arrays, wrong RHS
 //!   length, unknown fingerprint, unknown opcode) gets a structured `ERR`
 //!   reply and the connection stays open;
+//! * a peer that starts a frame but trickles it in slower than
+//!   `io_timeout` (slow loris) gets `ERR Timeout` and a close — it cannot
+//!   pin a worker; idle connections *between* frames may wait forever;
+//! * a panic anywhere in request handling is caught at the dispatch
+//!   boundary and answered with `ERR Internal`; a panic that escapes a
+//!   worker thread entirely (e.g. the injected `worker.panic` fault) is
+//!   noticed by the watchdog thread, which respawns the worker and counts
+//!   it in `STATS worker_respawns`;
 //! * `SHUTDOWN` (or [`RunningServer::shutdown`]) stops the acceptor,
 //!   drains the workers, and joins every thread.
+//!
+//! Every fault-injection site ([`FaultSite`]) on the request path lives in
+//! this file except `solve`/`factor`, which the engine trips.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use trisolv_matrix::CscMatrix;
 
-use crate::engine::{Engine, EngineOptions};
+use crate::engine::{Engine, EngineError, EngineOptions};
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::protocol::{op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN};
 
 /// Front-end configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
@@ -40,6 +54,15 @@ pub struct ServerOptions {
     pub workers: usize,
     /// Engine (cache + batcher + executor) configuration.
     pub engine: EngineOptions,
+    /// Fault-injection plan (empty in production; see [`FaultPlan`]).
+    pub fault: FaultPlan,
+    /// Slow-peer guard: once a frame's first byte arrives, the rest of the
+    /// frame must arrive within this budget, and replies must be accepted
+    /// this fast. Zero disables the guard.
+    pub io_timeout: Duration,
+    /// Hard cap on client-requested SOLVE deadlines; also the default
+    /// deadline when a client sends none. Zero means uncapped.
+    pub deadline_cap: Duration,
 }
 
 impl Default for ServerOptions {
@@ -48,6 +71,9 @@ impl Default for ServerOptions {
             addr: "127.0.0.1:0".to_string(),
             workers: 32,
             engine: EngineOptions::default(),
+            fault: FaultPlan::none(),
+            io_timeout: Duration::from_secs(10),
+            deadline_cap: Duration::from_secs(30),
         }
     }
 }
@@ -60,35 +86,65 @@ pub struct RunningServer {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// Everything a worker needs to service connections.
+struct WorkerCtx {
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    fault: FaultPlan,
+    io_timeout: Duration,
+    deadline_cap: Duration,
+}
+
+impl WorkerCtx {
+    fn clone_for_respawn(&self) -> WorkerCtx {
+        WorkerCtx {
+            rx: Arc::clone(&self.rx),
+            engine: Arc::clone(&self.engine),
+            shutdown: Arc::clone(&self.shutdown),
+            fault: self.fault.clone(),
+            io_timeout: self.io_timeout,
+            deadline_cap: self.deadline_cap,
+        }
+    }
+}
+
 /// The service entry point.
 pub struct Server;
 
 impl Server {
-    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    /// Bind, spawn the acceptor, worker pool, and watchdog, and return
+    /// immediately.
     pub fn spawn(opts: ServerOptions) -> io::Result<RunningServer> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::new(opts.engine));
+        let engine = Arc::new(Engine::with_fault(opts.engine, opts.fault.clone()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
 
-        let mut threads = Vec::with_capacity(opts.workers + 1);
+        let mut threads = Vec::with_capacity(2);
         {
             let shutdown = Arc::clone(&shutdown);
             threads.push(std::thread::spawn(move || {
                 accept_loop(listener, tx, &shutdown);
             }));
         }
-        for _ in 0..opts.workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let engine = Arc::clone(&engine);
-            let shutdown = Arc::clone(&shutdown);
-            threads.push(std::thread::spawn(move || {
-                worker_loop(&rx, &engine, &shutdown);
-            }));
-        }
+        let ctx = WorkerCtx {
+            rx,
+            engine: Arc::clone(&engine),
+            shutdown: Arc::clone(&shutdown),
+            fault: opts.fault,
+            io_timeout: opts.io_timeout,
+            deadline_cap: opts.deadline_cap,
+        };
+        let workers: Vec<Option<JoinHandle<()>>> = (0..opts.workers.max(1))
+            .map(|_| Some(spawn_worker(ctx.clone_for_respawn())))
+            .collect();
+        threads.push(std::thread::spawn(move || {
+            watchdog_loop(ctx, workers);
+        }));
         Ok(RunningServer {
             local_addr,
             engine,
@@ -162,18 +218,54 @@ fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &At
     // dropping `tx` wakes workers blocked on recv
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, engine: &Engine, shutdown: &AtomicBool) {
+fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
+    std::thread::spawn(move || worker_loop(&ctx))
+}
+
+/// Supervise the worker pool: a worker that exits by panic (a bug that
+/// escaped dispatch isolation, or the injected `worker.panic` fault) is
+/// joined and replaced so the pool never silently shrinks. Clean exits
+/// (shutdown, channel disconnect) are not respawned.
+fn watchdog_loop(ctx: WorkerCtx, mut workers: Vec<Option<JoinHandle<()>>>) {
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL);
+        for slot in workers.iter_mut() {
+            let finished = slot.as_ref().is_some_and(|h| h.is_finished());
+            if !finished {
+                continue;
+            }
+            let handle = slot.take().expect("checked is_some above");
+            if handle.join().is_err() && !ctx.shutdown.load(Ordering::SeqCst) {
+                ctx.engine.note_worker_respawn();
+                *slot = Some(spawn_worker(ctx.clone_for_respawn()));
+            }
+        }
+    }
+    for slot in workers.iter_mut().filter_map(Option::take) {
+        let _ = slot.join();
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
     loop {
         let next = {
-            let guard = rx.lock().unwrap();
+            // Recover from poison: a sibling worker that panicked while
+            // holding this lock (satellite fix — previously `.unwrap()`
+            // here turned one panic into a cascade of dead workers) left
+            // the receiver itself intact, so inheriting the guard is safe.
+            let guard = ctx.rx.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv_timeout(POLL)
         };
         match next {
             Ok(stream) => {
-                let _ = handle_conn(stream, engine, shutdown);
+                // The worker fault site panics *outside* dispatch isolation
+                // on purpose: it simulates a worker-killing bug and must be
+                // survivable only via the watchdog respawn path.
+                ctx.fault.trip(FaultSite::Worker);
+                let _ = handle_conn(stream, ctx);
             }
             Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if ctx.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
             }
@@ -189,19 +281,26 @@ enum ReadOutcome {
     Eof,
     /// Server is shutting down.
     Shutdown,
+    /// `deadline` expired before the buffer filled (slow peer).
+    SlowPeer,
 }
 
 /// `read_exact` with shutdown polling: retries `WouldBlock`/`TimedOut`
-/// (the socket has a read timeout) while watching the shutdown flag.
+/// (the socket has a short read timeout) while watching the shutdown flag
+/// and, when `deadline` is set, the slow-peer budget.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shutdown: &AtomicBool,
+    deadline: Option<Instant>,
 ) -> io::Result<ReadOutcome> {
     let mut got = 0;
     while got < buf.len() {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(ReadOutcome::Shutdown);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(ReadOutcome::SlowPeer);
         }
         match stream.read(&mut buf[got..]) {
             Ok(0) => {
@@ -227,25 +326,81 @@ fn read_full(
     Ok(ReadOutcome::Full)
 }
 
-fn send_err(stream: &mut TcpStream, code: ErrorCode, msg: &str) -> io::Result<()> {
+/// Encode an ERR frame payload (with the Busy retry hint when present).
+fn err_payload(code: ErrorCode, msg: &str, retry_after_ms: Option<u64>) -> Vec<u8> {
     let bytes = msg.as_bytes();
-    let payload = Builder::new()
+    let mut b = Builder::new()
         .u16(code as u16)
         .u32(bytes.len() as u32)
-        .bytes(bytes)
-        .build();
-    write_frame(stream, op::ERR, &payload)
+        .bytes(bytes);
+    if let Some(ms) = retry_after_ms {
+        b = b.u64(ms);
+    }
+    b.build()
 }
 
-fn handle_conn(mut stream: TcpStream, engine: &Engine, shutdown: &AtomicBool) -> io::Result<()> {
+fn send_err(stream: &mut TcpStream, code: ErrorCode, msg: &str) -> io::Result<()> {
+    write_frame(stream, op::ERR, &err_payload(code, msg, None))
+}
+
+/// Send a reply frame through the `write` fault site: a stall is served
+/// in-place, a drop closes without writing, and a torn write sends a
+/// truncated prefix of the real frame and then closes — exactly the
+/// partial-frame garbage a crashing server would leave on the wire.
+/// Returns `false` when the connection must close.
+fn send_reply(
+    stream: &mut TcpStream,
+    fault: &FaultPlan,
+    opcode: u8,
+    payload: &[u8],
+) -> io::Result<bool> {
+    match fault.trip(FaultSite::Write) {
+        Some(FaultAction::Drop) => return Ok(false),
+        Some(FaultAction::Torn) => {
+            let mut frame = Vec::with_capacity(5 + payload.len());
+            write_frame(&mut frame, opcode, payload)?;
+            let cut = (frame.len() / 2).max(1);
+            stream.write_all(&frame[..cut])?;
+            stream.flush()?;
+            return Ok(false);
+        }
+        _ => {}
+    }
+    write_frame(stream, opcode, payload)?;
+    Ok(true)
+}
+
+fn handle_conn(mut stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
+    if ctx.fault.trip(FaultSite::Conn) == Some(FaultAction::Drop) {
+        return Ok(()); // spurious connection drop before the first frame
+    }
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL))?;
+    if !ctx.io_timeout.is_zero() {
+        stream.set_write_timeout(Some(ctx.io_timeout))?;
+    }
     loop {
-        // length prefix
+        if ctx.fault.trip(FaultSite::Read) == Some(FaultAction::Drop) {
+            return Ok(());
+        }
+        // First byte of the length prefix: an idle connection may wait
+        // between frames forever (only shutdown interrupts it)...
         let mut len4 = [0u8; 4];
-        match read_full(&mut stream, &mut len4, shutdown)? {
+        match read_full(&mut stream, &mut len4[..1], &ctx.shutdown, None)? {
             ReadOutcome::Full => {}
-            ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
+            _ => return Ok(()),
+        }
+        // ...but once a frame starts, the slow-peer clock is ticking: the
+        // rest of the header and the whole body must land within
+        // `io_timeout` or the peer is cut loose with ERR Timeout.
+        let slow_peer = (!ctx.io_timeout.is_zero()).then(|| Instant::now() + ctx.io_timeout);
+        match read_full(&mut stream, &mut len4[1..], &ctx.shutdown, slow_peer)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::SlowPeer => {
+                let _ = send_err(&mut stream, ErrorCode::Timeout, "slow peer: frame stalled");
+                return Ok(());
+            }
+            _ => return Ok(()),
         }
         let len = u32::from_le_bytes(len4);
         if len == 0 || len > MAX_FRAME_LEN {
@@ -259,18 +414,42 @@ fn handle_conn(mut stream: TcpStream, engine: &Engine, shutdown: &AtomicBool) ->
             return Ok(());
         }
         let mut body = vec![0u8; len as usize];
-        match read_full(&mut stream, &mut body, shutdown)? {
+        match read_full(&mut stream, &mut body, &ctx.shutdown, slow_peer)? {
             ReadOutcome::Full => {}
-            ReadOutcome::Eof => return Ok(()),
-            ReadOutcome::Shutdown => return Ok(()),
+            ReadOutcome::SlowPeer => {
+                let _ = send_err(&mut stream, ErrorCode::Timeout, "slow peer: frame stalled");
+                return Ok(());
+            }
+            _ => return Ok(()),
         }
         let opcode = body[0];
         let payload = &body[1..];
-        match dispatch(engine, shutdown, opcode, payload) {
-            Dispatch::Reply(opcode, reply) => write_frame(&mut stream, opcode, &reply)?,
-            Dispatch::Error(code, msg) => send_err(&mut stream, code, &msg)?,
+        // Dispatch isolation: any panic that slips past the engine's own
+        // guards becomes ERR Internal on this connection, not a dead worker.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| dispatch(ctx, opcode, payload)))
+            .unwrap_or_else(|_| Dispatch::Error {
+                code: ErrorCode::Internal,
+                msg: "request handler panicked".to_string(),
+                retry_after_ms: None,
+            });
+        match outcome {
+            Dispatch::Reply(opcode, reply) => {
+                if !send_reply(&mut stream, &ctx.fault, opcode, &reply)? {
+                    return Ok(());
+                }
+            }
+            Dispatch::Error {
+                code,
+                msg,
+                retry_after_ms,
+            } => {
+                let payload = err_payload(code, &msg, retry_after_ms);
+                if !send_reply(&mut stream, &ctx.fault, op::ERR, &payload)? {
+                    return Ok(());
+                }
+            }
             Dispatch::Bye => {
-                write_frame(&mut stream, op::OK_BYE, &[])?;
+                let _ = send_reply(&mut stream, &ctx.fault, op::OK_BYE, &[])?;
                 return Ok(());
             }
         }
@@ -279,11 +458,53 @@ fn handle_conn(mut stream: TcpStream, engine: &Engine, shutdown: &AtomicBool) ->
 
 enum Dispatch {
     Reply(u8, Vec<u8>),
-    Error(ErrorCode, String),
+    Error {
+        code: ErrorCode,
+        msg: String,
+        retry_after_ms: Option<u64>,
+    },
     Bye,
 }
 
-fn dispatch(engine: &Engine, shutdown: &AtomicBool, opcode: u8, payload: &[u8]) -> Dispatch {
+/// A Dispatch error from a decode failure.
+fn bad(code: ErrorCode, msg: impl Into<String>) -> Dispatch {
+    Dispatch::Error {
+        code,
+        msg: msg.into(),
+        retry_after_ms: None,
+    }
+}
+
+/// A Dispatch error from an engine failure (carries the Busy retry hint).
+fn engine_err(e: &EngineError) -> Dispatch {
+    let retry_after_ms = match e {
+        EngineError::Busy { retry_after_ms } => Some(*retry_after_ms),
+        _ => None,
+    };
+    Dispatch::Error {
+        code: ErrorCode::of_engine_error(e),
+        msg: e.to_string(),
+        retry_after_ms,
+    }
+}
+
+/// The effective request deadline: the client's ask clamped to the server
+/// cap; the cap alone when the client sent none. `None` only when both are
+/// unset.
+fn effective_deadline(client_ms: u64, cap: Duration, now: Instant) -> Option<Instant> {
+    let client = (client_ms > 0).then(|| Duration::from_millis(client_ms));
+    let cap = (!cap.is_zero()).then_some(cap);
+    let budget = match (client, cap) {
+        (Some(c), Some(k)) => Some(c.min(k)),
+        (Some(c), None) => Some(c),
+        (None, Some(k)) => Some(k),
+        (None, None) => None,
+    };
+    budget.map(|b| now + b)
+}
+
+fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
+    let engine = &ctx.engine;
     match opcode {
         op::LOAD => match parse_load(payload) {
             Ok(matrix) => match engine.load(&matrix) {
@@ -296,33 +517,38 @@ fn dispatch(engine: &Engine, shutdown: &AtomicBool, opcode: u8, payload: &[u8]) 
                         .u8(u8::from(out.already_cached))
                         .build(),
                 ),
-                Err(e) => Dispatch::Error(ErrorCode::of_engine_error(&e), e.to_string()),
+                Err(e) => engine_err(&e),
             },
-            Err(msg) => Dispatch::Error(ErrorCode::Malformed, msg),
+            Err(msg) => bad(ErrorCode::Malformed, msg),
         },
         op::SOLVE => {
             let parsed = (|| {
                 let mut c = Cursor::new(payload);
                 let fp = c.fingerprint()?;
+                let deadline_ms = c.u64()?;
                 let n = c.usize()?;
                 let rhs = c.f64_vec(n)?;
                 c.finish()?;
-                Ok::<_, String>((fp, rhs))
+                Ok::<_, String>((fp, deadline_ms, rhs))
             })();
             match parsed {
-                Ok((fp, rhs)) => match engine.solve(fp, rhs) {
-                    Ok(x) => Dispatch::Reply(
-                        op::OK_SOLVED,
-                        Builder::new().u64(x.len() as u64).f64_slice(&x).build(),
-                    ),
-                    Err(e) => Dispatch::Error(ErrorCode::of_engine_error(&e), e.to_string()),
-                },
-                Err(msg) => Dispatch::Error(ErrorCode::Malformed, msg),
+                Ok((fp, deadline_ms, rhs)) => {
+                    let deadline =
+                        effective_deadline(deadline_ms, ctx.deadline_cap, Instant::now());
+                    match engine.solve_deadline(fp, rhs, deadline) {
+                        Ok(x) => Dispatch::Reply(
+                            op::OK_SOLVED,
+                            Builder::new().u64(x.len() as u64).f64_slice(&x).build(),
+                        ),
+                        Err(e) => engine_err(&e),
+                    }
+                }
+                Err(msg) => bad(ErrorCode::Malformed, msg),
             }
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 11] = [
+            let pairs: [(&str, u64); 20] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
@@ -334,6 +560,15 @@ fn dispatch(engine: &Engine, shutdown: &AtomicBool, opcode: u8, payload: &[u8]) 
                 ("batches", s.batches),
                 ("batched_cols", s.batched_cols),
                 ("max_batch", s.max_batch as u64),
+                ("max_pending", engine.options().max_pending as u64),
+                ("shed", s.shed),
+                ("deadline_misses", s.deadline_misses),
+                ("panics_caught", s.panics_caught),
+                ("exec_fallbacks", s.exec_fallbacks),
+                ("nonfinite_rejected", s.nonfinite_rejected),
+                ("breakdowns", s.breakdowns),
+                ("worker_respawns", s.worker_respawns),
+                ("faults_injected", s.faults_injected),
             ];
             let mut b = Builder::new().u64(pairs.len() as u64);
             for (key, val) in pairs {
@@ -353,14 +588,14 @@ fn dispatch(engine: &Engine, shutdown: &AtomicBool, opcode: u8, payload: &[u8]) 
                     op::OK_EVICTED,
                     Builder::new().u8(u8::from(engine.evict(fp))).build(),
                 ),
-                Err(msg) => Dispatch::Error(ErrorCode::Malformed, msg),
+                Err(msg) => bad(ErrorCode::Malformed, msg),
             }
         }
         op::SHUTDOWN => {
-            shutdown.store(true, Ordering::SeqCst);
+            ctx.shutdown.store(true, Ordering::SeqCst);
             Dispatch::Bye
         }
-        other => Dispatch::Error(
+        other => bad(
             ErrorCode::UnknownOpcode,
             format!("unknown request opcode 0x{other:02x}"),
         ),

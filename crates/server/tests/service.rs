@@ -23,6 +23,7 @@ fn server_opts(exec: ExecMode, max_batch: usize, workers: usize) -> ServerOption
             },
             ..EngineOptions::default()
         },
+        ..ServerOptions::default()
     }
 }
 
@@ -175,7 +176,7 @@ fn server_survives_hostile_input() {
     //    stays usable
     let err = client.solve(fp, &vec![1.0; 500]).unwrap_err();
     match err {
-        ClientError::Server { code, message } => {
+        ClientError::Server { code, message, .. } => {
             assert_eq!(code, Some(ErrorCode::DimensionMismatch));
             assert!(
                 message.contains("500") && message.contains("36"),
@@ -277,6 +278,8 @@ fn loadgen_smoke() {
         clients: 4,
         duration: Duration::from_millis(300),
         seed: 7,
+        deadline_ms: 0,
+        client: trisolv_server::ClientOptions::default(),
     })
     .unwrap();
     assert!(report.requests > 0, "{report:?}");

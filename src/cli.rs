@@ -82,6 +82,14 @@ pub enum Command {
         budget_mb: usize,
         /// Executor: `seq` or `threaded`.
         exec: String,
+        /// Fault-injection spec (empty = no faults).
+        fault_spec: String,
+        /// Admission-control high-water mark (0 = unbounded).
+        max_pending: usize,
+        /// Slow-peer socket timeout in milliseconds (0 = disabled).
+        io_timeout_ms: u64,
+        /// Cap on client SOLVE deadlines in milliseconds (0 = uncapped).
+        deadline_cap_ms: u64,
     },
     /// Drive a running server with the load generator.
     Client {
@@ -97,6 +105,12 @@ pub enum Command {
         secs: f64,
         /// Send SHUTDOWN to the server when done.
         shutdown: bool,
+        /// Per-request deadline/timeout in milliseconds (0 = server default).
+        timeout_ms: u64,
+        /// Retry attempts after a transient failure.
+        retries: u32,
+        /// Base backoff between retries in milliseconds.
+        backoff_ms: u64,
     },
 }
 
@@ -108,7 +122,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20 trisolv convert <in> <out>\n\
                  \x20 trisolv gen <spec> <out>      (spec e.g. grid2d:64, grid3d:16x16x16, fem2d:24x24:3, random:500:6:1)\n\
                  \x20 trisolv serve [--addr A] [--workers N] [--max-batch K] [--window-us U] [--budget-mb M] [--exec seq|threaded]\n\
-                 \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]";
+                 \x20               [--fault-spec S] [--max-pending P] [--io-timeout-ms T] [--deadline-cap-ms D]\n\
+                 \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
+                 \x20               [--timeout-ms T] [--retries R] [--backoff-ms B]";
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("info") => {
@@ -161,6 +177,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut window_us = 1000u64;
             let mut budget_mb = 512usize;
             let mut exec = "threaded".to_string();
+            let mut fault_spec = String::new();
+            let mut max_pending = 1024usize;
+            let mut io_timeout_ms = 10_000u64;
+            let mut deadline_cap_ms = 30_000u64;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -180,6 +200,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         budget_mb = value.parse().map_err(|e| format!("bad --budget-mb: {e}"))?
                     }
                     "--exec" => exec = value.clone(),
+                    "--fault-spec" => fault_spec = value.clone(),
+                    "--max-pending" => {
+                        max_pending = value
+                            .parse()
+                            .map_err(|e| format!("bad --max-pending: {e}"))?
+                    }
+                    "--io-timeout-ms" => {
+                        io_timeout_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --io-timeout-ms: {e}"))?
+                    }
+                    "--deadline-cap-ms" => {
+                        deadline_cap_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --deadline-cap-ms: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -187,6 +223,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err("--workers, --max-batch, --budget-mb must be positive".to_string());
             }
             trisolv_server::ExecMode::parse(&exec)?;
+            trisolv_server::FaultPlan::parse(&fault_spec)?;
             Ok(Command::Serve {
                 addr,
                 workers,
@@ -194,6 +231,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 window_us,
                 budget_mb,
                 exec,
+                fault_spec,
+                max_pending,
+                io_timeout_ms,
+                deadline_cap_ms,
             })
         }
         Some("client") => {
@@ -206,6 +247,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut clients = 4usize;
             let mut secs = 2.0f64;
             let mut shutdown = false;
+            let mut timeout_ms = 0u64;
+            let mut retries = 3u32;
+            let mut backoff_ms = 50u64;
             while let Some(flag) = it.next() {
                 if flag == "--shutdown" {
                     shutdown = true;
@@ -221,6 +265,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         clients = value.parse().map_err(|e| format!("bad --clients: {e}"))?
                     }
                     "--secs" => secs = value.parse().map_err(|e| format!("bad --secs: {e}"))?,
+                    "--timeout-ms" => {
+                        timeout_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --timeout-ms: {e}"))?
+                    }
+                    "--retries" => {
+                        retries = value.parse().map_err(|e| format!("bad --retries: {e}"))?
+                    }
+                    "--backoff-ms" => {
+                        backoff_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --backoff-ms: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -230,6 +287,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if clients == 0 || secs.is_nan() || secs <= 0.0 {
                 return Err("--clients and --secs must be positive".to_string());
             }
+            if backoff_ms == 0 {
+                return Err("--backoff-ms must be positive".to_string());
+            }
             Ok(Command::Client {
                 addr,
                 spec,
@@ -237,6 +297,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 clients,
                 secs,
                 shutdown,
+                timeout_ms,
+                retries,
+                backoff_ms,
             })
         }
         _ => Err(usage.to_string()),
@@ -369,7 +432,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             window_us,
             budget_mb,
             exec,
+            fault_spec,
+            max_pending,
+            io_timeout_ms,
+            deadline_cap_ms,
         } => {
+            let fault = srv::FaultPlan::parse(fault_spec)?;
             let opts = srv::ServerOptions {
                 addr: addr.clone(),
                 workers: *workers,
@@ -381,18 +449,27 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                         wait_timeout: Duration::from_secs(30),
                     },
                     exec: srv::ExecMode::parse(exec)?,
+                    max_pending: *max_pending,
                 },
+                fault,
+                io_timeout: Duration::from_millis(*io_timeout_ms),
+                deadline_cap: Duration::from_millis(*deadline_cap_ms),
             };
             let server = srv::Server::spawn(opts).map_err(|e| format!("cannot serve: {e}"))?;
             // Announce the bound address immediately (scripts and the CI
             // smoke job parse this line), then park until a SHUTDOWN frame.
             println!(
-                "trisolv-server listening on {} ({} workers, max batch {}, window {} us, {} exec)",
+                "trisolv-server listening on {} ({} workers, max batch {}, window {} us, {} exec{})",
                 server.local_addr(),
                 workers,
                 max_batch,
                 window_us,
-                exec
+                exec,
+                if fault_spec.is_empty() {
+                    String::new()
+                } else {
+                    format!(", faults: {fault_spec}")
+                }
             );
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
@@ -406,6 +483,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             clients,
             secs,
             shutdown,
+            timeout_ms,
+            retries,
+            backoff_ms,
         } => {
             let a = match (spec, matrix) {
                 (Some(s), None) => gen::from_spec(s)?,
@@ -437,6 +517,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 clients: *clients,
                 duration: Duration::from_secs_f64(*secs),
                 seed: 42,
+                deadline_ms: *timeout_ms,
+                client: srv::ClientOptions {
+                    retries: *retries,
+                    backoff: Duration::from_millis(*backoff_ms),
+                    ..srv::ClientOptions::default()
+                },
             })
             .map_err(|e| format!("load generation failed: {e}"))?;
             let _ = writeln!(
@@ -452,6 +538,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 "latency:  p50 {:.0} us, p99 {:.0} us, mean {:.0} us",
                 report.p50_us, report.p99_us, report.mean_us
             );
+            if report.retry != srv::RetryStats::default() {
+                let _ = writeln!(
+                    out,
+                    "retries:  {} retried, {} shed, {} deadline-missed, {} reconnects",
+                    report.retry.retried,
+                    report.retry.shed,
+                    report.retry.deadline_missed,
+                    report.retry.reconnects
+                );
+            }
             if *shutdown {
                 client
                     .shutdown_server()
@@ -543,7 +639,11 @@ mod tests {
                 max_batch: 8,
                 window_us: 1000,
                 budget_mb: 512,
-                exec: "threaded".into()
+                exec: "threaded".into(),
+                fault_spec: String::new(),
+                max_pending: 1024,
+                io_timeout_ms: 10_000,
+                deadline_cap_ms: 30_000,
             }
         );
         assert_eq!(
@@ -561,6 +661,14 @@ mod tests {
                 "64",
                 "--exec",
                 "seq",
+                "--fault-spec",
+                "solve.panic=every:7",
+                "--max-pending",
+                "16",
+                "--io-timeout-ms",
+                "2500",
+                "--deadline-cap-ms",
+                "750",
             ]))
             .unwrap(),
             Command::Serve {
@@ -569,11 +677,19 @@ mod tests {
                 max_batch: 30,
                 window_us: 500,
                 budget_mb: 64,
-                exec: "seq".into()
+                exec: "seq".into(),
+                fault_spec: "solve.panic=every:7".into(),
+                max_pending: 16,
+                io_timeout_ms: 2500,
+                deadline_cap_ms: 750,
             }
         );
         assert!(parse_args(&strv(&["serve", "--exec", "warp"])).is_err());
         assert!(parse_args(&strv(&["serve", "--workers", "0"])).is_err());
+        assert!(
+            parse_args(&strv(&["serve", "--fault-spec", "warp.panic=every:1"])).is_err(),
+            "bad fault specs are rejected at parse time"
+        );
 
         assert_eq!(
             parse_args(&strv(&[
@@ -586,6 +702,12 @@ mod tests {
                 "--secs",
                 "0.5",
                 "--shutdown",
+                "--timeout-ms",
+                "200",
+                "--retries",
+                "5",
+                "--backoff-ms",
+                "20",
             ]))
             .unwrap(),
             Command::Client {
@@ -594,10 +716,14 @@ mod tests {
                 matrix: None,
                 clients: 8,
                 secs: 0.5,
-                shutdown: true
+                shutdown: true,
+                timeout_ms: 200,
+                retries: 5,
+                backoff_ms: 20,
             }
         );
         assert!(parse_args(&strv(&["client"])).is_err());
+        assert!(parse_args(&strv(&["client", "a:1", "--backoff-ms", "0"])).is_err());
         assert!(
             parse_args(&strv(&["client", "a:1", "--gen", "g", "--matrix", "m"])).is_err(),
             "--gen and --matrix are mutually exclusive"
@@ -610,7 +736,7 @@ mod tests {
         let server = srv::Server::spawn(srv::ServerOptions {
             addr: "127.0.0.1:0".into(),
             workers: 4,
-            engine: srv::EngineOptions::default(),
+            ..srv::ServerOptions::default()
         })
         .unwrap();
         let addr = server.local_addr().to_string();
@@ -621,6 +747,9 @@ mod tests {
             clients: 2,
             secs: 0.2,
             shutdown: true,
+            timeout_ms: 0,
+            retries: 3,
+            backoff_ms: 50,
         })
         .unwrap();
         assert!(out.contains("loaded grid2d:12"), "{out}");
