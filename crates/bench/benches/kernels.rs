@@ -59,6 +59,78 @@ fn bench_blas() {
     }
 }
 
+/// nrhs=1 vs nrhs=4 over the four solve kernels, pitting the gemv-shaped
+/// single-RHS fast paths against the four-column blocked code on a
+/// typical supernode trapezoid (t=64 columns, 128 below-rows).
+fn bench_single_rhs_kernels() {
+    let (t, below) = (64usize, 128usize);
+    let l = random_lower(t, 5);
+    let a = gen::random_rhs(below, t, 6);
+    for nrhs in [1usize, 4] {
+        let x0 = gen::random_rhs(t, nrhs, 7);
+        let s = measure(30, 0.3, || {
+            let mut x = x0.clone();
+            blas::trsm_lower_left(l.as_slice(), t, x.as_mut_slice(), t, t, nrhs);
+            x
+        });
+        report("blas1rhs", &format!("trsm_lower_left/{t} nrhs={nrhs}"), s);
+        let s = measure(30, 0.3, || {
+            let mut x = x0.clone();
+            blas::trsm_lower_trans_left(l.as_slice(), t, x.as_mut_slice(), t, t, nrhs);
+            x
+        });
+        report(
+            "blas1rhs",
+            &format!("trsm_lower_trans_left/{t} nrhs={nrhs}"),
+            s,
+        );
+        let top = gen::random_rhs(t, nrhs, 8);
+        let c0 = gen::random_rhs(below, nrhs, 9);
+        let s = measure(30, 0.3, || {
+            let mut c = c0.clone();
+            blas::gemm_update(
+                c.as_mut_slice(),
+                below,
+                a.as_slice(),
+                below,
+                top.as_slice(),
+                t,
+                below,
+                nrhs,
+                t,
+            );
+            c
+        });
+        report(
+            "blas1rhs",
+            &format!("gemm_update/{below}x{t} nrhs={nrhs}"),
+            s,
+        );
+        let xb = gen::random_rhs(below, nrhs, 10);
+        let ct0 = gen::random_rhs(t, nrhs, 11);
+        let s = measure(30, 0.3, || {
+            let mut c = ct0.clone();
+            blas::gemm_tn_update(
+                c.as_mut_slice(),
+                t,
+                a.as_slice(),
+                below,
+                xb.as_slice(),
+                below,
+                t,
+                nrhs,
+                below,
+            );
+            c
+        });
+        report(
+            "blas1rhs",
+            &format!("gemm_tn_update/{t}x{below} nrhs={nrhs}"),
+            s,
+        );
+    }
+}
+
 fn bench_pipeline() {
     for q in [2usize, 4, 8] {
         let (n, t, b) = (256usize, 128usize, 8usize);
@@ -165,6 +237,7 @@ fn bench_orderings() {
 
 fn main() {
     bench_blas();
+    bench_single_rhs_kernels();
     bench_pipeline();
     bench_seq_solve();
     bench_orderings();

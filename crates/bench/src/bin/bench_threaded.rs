@@ -1,8 +1,12 @@
-//! Shared-memory solver benchmark: level-scheduled task-pool executor vs
-//! the pre-rewrite fork-join baseline vs the sequential solver.
+//! Shared-memory solver benchmark: subtree-mapped executor vs the
+//! pre-rewrite fork-join baseline vs the sequential solver.
 //!
 //! Measures forward+backward wall-clock on grid Laplacians for several
-//! RHS widths and writes `BENCH_threaded.json` (plus a table on stdout).
+//! RHS widths, sweeping the executor width over 1, 2, 4, and the machine
+//! maximum, and writes `BENCH_threaded.json` (plus a table on stdout).
+//! Before timing anything, each executor width is gated on bit-identity
+//! with the sequential solver — the subtree-mapped executor performs the
+//! relay accumulation order exactly, on any thread count.
 //!
 //! Run: `cargo run --release -p trisolv-bench --bin bench_threaded`
 
@@ -37,8 +41,13 @@ fn row(name: &str, variant: &str, s: Stats, baseline: Option<f64>) {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("bench_threaded: forward+backward wall-clock ({threads} hw threads)\n");
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench_threaded: forward+backward wall-clock ({hw} hw threads)\n");
+
+    // Executor widths to sweep: 1, 2, 4, and the machine maximum.
+    let mut sweep = vec![1usize, 2, 4, hw];
+    sweep.sort_unstable();
+    sweep.dedup();
 
     let cases = vec![
         Case {
@@ -68,13 +77,8 @@ fn main() {
         let f = factor(&case.matrix);
         let b = gen::random_rhs(f.n(), case.nrhs, 42);
 
-        // correctness gate before timing anything
+        // correctness gates before timing anything
         let expect = seq::forward_backward(&f, &b);
-        let solver = ThreadedSolver::new(&f).expect("valid partition");
-        let mut ws = solver.workspace(case.nrhs);
-        let got = solver.forward_backward_with(&b, &mut ws);
-        let err = got.max_abs_diff(&expect).expect("same shape");
-        assert!(err < 1e-12, "{}: threaded diverges ({err:.3e})", case.name);
         let err_fj = forkjoin::forward_backward(&f, &b)
             .max_abs_diff(&expect)
             .expect("same shape");
@@ -82,15 +86,52 @@ fn main() {
 
         let s_seq = measure(10, 1.0, || seq::forward_backward(&f, &b));
         let s_fj = measure(10, 1.0, || forkjoin::forward_backward(&f, &b));
-        let s_ls = measure(10, 1.0, || solver.forward_backward_with(&b, &mut ws));
-
         row(case.name, "sequential", s_seq, None);
         row(case.name, "forkjoin(seed)", s_fj, Some(s_seq.min));
-        row(case.name, "level-sched", s_ls, Some(s_seq.min));
+
+        let mut sweep_json = Vec::new();
+        let mut s_max: Option<Stats> = None;
+        for &t in &sweep {
+            let solver = ThreadedSolver::new(&f)
+                .expect("valid partition")
+                .with_threads(t);
+            let mut ws = solver.workspace(case.nrhs);
+            let got = solver.forward_backward_with(&b, &mut ws);
+            assert_eq!(
+                got.as_slice(),
+                expect.as_slice(),
+                "{}: subtree-mapped executor at {t} threads is not bit-identical to seq",
+                case.name
+            );
+            let s_t = measure(10, 1.0, || solver.forward_backward_with(&b, &mut ws));
+            row(
+                case.name,
+                &format!("subtree-map t={t}"),
+                s_t,
+                Some(s_seq.min),
+            );
+            sweep_json.push(Json::obj(vec![
+                ("threads", Json::Int(t as i64)),
+                (
+                    "n_subtree_tasks",
+                    Json::Int(solver.schedule().n_tasks() as i64),
+                ),
+                (
+                    "n_top_supernodes",
+                    Json::Int(solver.schedule().top().len() as i64),
+                ),
+                ("stats", stats_json(s_t)),
+                ("speedup_vs_seq", Json::Num(s_seq.min / s_t.min)),
+            ]));
+            if t == hw {
+                s_max = Some(s_t);
+            }
+        }
+        let s_best = s_max.expect("sweep ran");
         println!(
-            "{:28} level-sched vs forkjoin: {:.2}x\n",
+            "{:28} subtree-map(t={hw}) vs forkjoin: {:.2}x\n",
             "",
-            s_fj.min / s_ls.min
+            s_fj.min / s_best.min
         );
 
         out.push(Json::obj(vec![
@@ -98,22 +139,19 @@ fn main() {
             ("n", Json::Int(f.n() as i64)),
             ("nsup", Json::Int(f.nsup() as i64)),
             ("nrhs", Json::Int(case.nrhs as i64)),
-            ("nlevels", Json::Int(solver.plan().nlevels() as i64)),
-            (
-                "max_level_width",
-                Json::Int(solver.plan().max_level_width() as i64),
-            ),
+            ("executor_threads", Json::Int(hw as i64)),
             ("sequential", stats_json(s_seq)),
             ("forkjoin_seed", stats_json(s_fj)),
-            ("level_scheduled", stats_json(s_ls)),
-            ("speedup_vs_seq", Json::Num(s_seq.min / s_ls.min)),
-            ("speedup_vs_forkjoin", Json::Num(s_fj.min / s_ls.min)),
+            ("subtree_mapped", stats_json(s_best)),
+            ("speedup_vs_seq", Json::Num(s_seq.min / s_best.min)),
+            ("speedup_vs_forkjoin", Json::Num(s_fj.min / s_best.min)),
+            ("thread_sweep", Json::Arr(sweep_json)),
         ]));
     }
 
     let doc = Json::obj(vec![
         ("bench", Json::Str("threaded_solve".into())),
-        ("hw_threads", Json::Int(threads as i64)),
+        ("hw_threads", Json::Int(hw as i64)),
         ("cases", Json::Arr(out)),
     ]);
     std::fs::write("BENCH_threaded.json", doc.pretty()).expect("write BENCH_threaded.json");

@@ -48,6 +48,6 @@ pub mod tree;
 
 pub use driver::{ParallelSolver, ParallelSolverOptions};
 pub use mapping::SubcubeMapping;
-pub use plan::{PlanError, SolvePlan};
+pub use plan::{PlanError, SolvePlan, SubtreeSchedule};
 pub use seq::SparseCholeskySolver;
-pub use threaded::{SolveWorkspace, ThreadedSolver};
+pub use threaded::{default_threads, SolveWorkspace, ThreadedSolver};

@@ -279,6 +279,283 @@ impl SolvePlan {
     pub fn roots(&self) -> &[usize] {
         &self.roots
     }
+
+    /// Estimated solve flops for supernode `s`, one right-hand side: the
+    /// dense triangular solve on the t×t apex plus the rectangular update
+    /// below it (counting one multiply + one add per entry).
+    pub fn solve_flops(&self, s: usize) -> u64 {
+        let t = self.width(s) as u64;
+        let h = self.height(s) as u64;
+        t * t + 2 * t * (h - t)
+    }
+
+    /// Cut the elimination forest at a cost-balanced frontier and bin-pack
+    /// the resulting subtrees onto `nthreads` execution slots. See
+    /// [`SubtreeSchedule`].
+    pub fn subtree_schedule(&self, nthreads: usize) -> SubtreeSchedule {
+        SubtreeSchedule::new(self, nthreads)
+    }
+}
+
+/// Subtree-to-thread mapping: the shared-memory analogue of the paper's
+/// subtree-to-subcube mapping.
+///
+/// The elimination forest is cut at a cost-balanced frontier. Every
+/// complete subtree hanging below the cut becomes ONE sequential task —
+/// no atomics, queue operations, or wakeups inside it — and the disjoint
+/// subtrees are bin-packed onto `nthreads` slots by per-supernode flop
+/// estimates (largest-processing-time-first). Only the supernodes *above*
+/// the cut ("top" supernodes) go through fine-grained dependency dispatch;
+/// for a balanced forest that is O(p log p) supernodes out of thousands.
+///
+/// The construction is deterministic: identical plans and thread counts
+/// yield identical schedules, which lets workspaces cache their arena
+/// layouts and keeps parallel execution bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct SubtreeSchedule {
+    nthreads: usize,
+    /// Subtree tasks in CSR form; supernodes of each task sorted ascending,
+    /// which is a topological order (parents have larger indices than
+    /// children). The task's root is its last element.
+    task_ptr: Vec<usize>,
+    task_snodes: Vec<usize>,
+    /// Static slot assignment: `slot_tasks[slot_ptr[i]..slot_ptr[i+1]]` are
+    /// the tasks pinned to slot `i`.
+    slot_ptr: Vec<usize>,
+    slot_tasks: Vec<usize>,
+    /// Supernodes above the cut, ascending.
+    top: Vec<usize>,
+    /// Task owning each supernode (`NONE` for top supernodes).
+    task_of: Vec<usize>,
+    /// Slot each task is pinned to.
+    slot_of: Vec<usize>,
+    /// Rank of each top supernode inside `top` (`NONE` elsewhere).
+    top_rank: Vec<usize>,
+    /// Estimated flops (1 rhs) packed onto each slot.
+    slot_flops: Vec<u64>,
+    /// Estimated flops (1 rhs) of the fine-grained top phase.
+    top_flops: u64,
+}
+
+impl SubtreeSchedule {
+    fn new(plan: &SolvePlan, nthreads: usize) -> SubtreeSchedule {
+        let nthreads = nthreads.max(1);
+        let nsup = plan.nsup();
+        let weight: Vec<u64> = (0..nsup).map(|s| plan.solve_flops(s).max(1)).collect();
+        // Subtree weights in one ascending pass (children precede parents).
+        let mut subtree = weight.clone();
+        for s in 0..nsup {
+            if let Some(p) = plan.parent(s) {
+                subtree[p] += subtree[s];
+            }
+        }
+
+        if nthreads == 1 || nsup <= 1 {
+            // One task holding the whole forest: ascending index order is a
+            // topological order, so the executor runs it with zero
+            // synchronization.
+            let total: u64 = plan.roots().iter().map(|&r| subtree[r]).sum();
+            let (ntasks, task_of) = if nsup == 0 {
+                (0, Vec::new())
+            } else {
+                (1, vec![0usize; nsup])
+            };
+            return SubtreeSchedule {
+                nthreads,
+                task_ptr: (0..=ntasks).map(|t| t * nsup).collect(),
+                task_snodes: (0..nsup).collect(),
+                slot_ptr: {
+                    let mut p = vec![0usize; nthreads + 1];
+                    for q in p.iter_mut().skip(1) {
+                        *q = ntasks;
+                    }
+                    p
+                },
+                slot_tasks: (0..ntasks).collect(),
+                top: Vec::new(),
+                task_of,
+                slot_of: vec![0usize; ntasks],
+                top_rank: vec![NONE; nsup],
+                slot_flops: {
+                    let mut f = vec![0u64; nthreads];
+                    if ntasks > 0 {
+                        f[0] = total;
+                    }
+                    f
+                },
+                top_flops: 0,
+            };
+        }
+
+        // Frontier cut: repeatedly expand the heaviest remaining subtree
+        // until every frontier subtree is below `total / (4 * nthreads)` —
+        // small enough that LPT packing balances slots to within ~25% even
+        // with imperfect flop estimates. A max-heap keyed by subtree weight
+        // (ties broken by index) keeps the cut deterministic. Expansion is
+        // capped so pathological chains cannot push the whole forest into
+        // the fine-grained phase.
+        use std::collections::BinaryHeap;
+        let total: u64 = plan.roots().iter().map(|&r| subtree[r]).sum();
+        let cutoff = total / (4 * nthreads as u64) + 1;
+        let max_expand = 16 * nthreads + 64;
+        let mut heap: BinaryHeap<(u64, usize)> =
+            plan.roots().iter().map(|&r| (subtree[r], r)).collect();
+        let mut top: Vec<usize> = Vec::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        while let Some(&(w, s)) = heap.peek() {
+            if w <= cutoff || top.len() >= max_expand {
+                break;
+            }
+            heap.pop();
+            if plan.n_children(s) == 0 {
+                // a single heavy supernode cannot be split further
+                frontier.push(s);
+                continue;
+            }
+            top.push(s);
+            for &c in plan.children(s) {
+                heap.push((subtree[c], c));
+            }
+        }
+        frontier.extend(heap.into_iter().map(|(_, s)| s));
+        top.sort_unstable();
+
+        // Materialize tasks: collect each frontier subtree's members and
+        // sort them ascending (= topological). Heaviest-first task order
+        // feeds straight into LPT packing below.
+        frontier.sort_by(|&a, &b| subtree[b].cmp(&subtree[a]).then(a.cmp(&b)));
+        let ntasks = frontier.len();
+        let mut task_of = vec![NONE; nsup];
+        let mut top_rank = vec![NONE; nsup];
+        for (i, &s) in top.iter().enumerate() {
+            top_rank[s] = i;
+        }
+        let mut task_ptr = Vec::with_capacity(ntasks + 1);
+        task_ptr.push(0usize);
+        let mut task_snodes = Vec::with_capacity(nsup - top.len());
+        let mut stack: Vec<usize> = Vec::new();
+        for (tid, &r) in frontier.iter().enumerate() {
+            let start = task_snodes.len();
+            stack.push(r);
+            while let Some(s) = stack.pop() {
+                task_snodes.push(s);
+                task_of[s] = tid;
+                stack.extend_from_slice(plan.children(s));
+            }
+            task_snodes[start..].sort_unstable();
+            task_ptr.push(task_snodes.len());
+        }
+
+        // LPT bin-packing: tasks are already sorted by weight descending;
+        // each goes to the least-loaded slot (lowest index on ties).
+        let mut slot_flops = vec![0u64; nthreads];
+        let mut slot_of_task = vec![0usize; ntasks];
+        for (tid, &r) in frontier.iter().enumerate() {
+            let mut best = 0usize;
+            for i in 1..nthreads {
+                if slot_flops[i] < slot_flops[best] {
+                    best = i;
+                }
+            }
+            slot_of_task[tid] = best;
+            slot_flops[best] += subtree[r];
+        }
+        let mut slot_ptr = vec![0usize; nthreads + 1];
+        for &i in &slot_of_task {
+            slot_ptr[i + 1] += 1;
+        }
+        for i in 0..nthreads {
+            slot_ptr[i + 1] += slot_ptr[i];
+        }
+        let mut next = slot_ptr.clone();
+        let mut slot_tasks = vec![0usize; ntasks];
+        for (tid, &i) in slot_of_task.iter().enumerate() {
+            slot_tasks[next[i]] = tid;
+            next[i] += 1;
+        }
+        let top_flops = top.iter().map(|&s| weight[s]).sum();
+
+        SubtreeSchedule {
+            nthreads,
+            task_ptr,
+            task_snodes,
+            slot_ptr,
+            slot_tasks,
+            top,
+            task_of,
+            slot_of: slot_of_task,
+            top_rank,
+            slot_flops,
+            top_flops,
+        }
+    }
+
+    /// Number of execution slots the schedule was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Number of subtree tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.task_ptr.len() - 1
+    }
+
+    /// Supernodes of task `t`, ascending (a topological order).
+    pub fn task(&self, t: usize) -> &[usize] {
+        &self.task_snodes[self.task_ptr[t]..self.task_ptr[t + 1]]
+    }
+
+    /// Root supernode of task `t` (its last, largest-index member).
+    pub fn task_root(&self, t: usize) -> usize {
+        self.task_snodes[self.task_ptr[t + 1] - 1]
+    }
+
+    /// Tasks pinned to slot `i`.
+    pub fn slot(&self, i: usize) -> &[usize] {
+        &self.slot_tasks[self.slot_ptr[i]..self.slot_ptr[i + 1]]
+    }
+
+    /// Slot task `t` is pinned to.
+    pub fn slot_of(&self, t: usize) -> usize {
+        self.slot_of[t]
+    }
+
+    /// Number of supernodes the schedule covers (for validating against a
+    /// plan).
+    pub fn n_snodes(&self) -> usize {
+        self.task_of.len()
+    }
+
+    /// Supernodes above the cut, ascending.
+    pub fn top(&self) -> &[usize] {
+        &self.top
+    }
+
+    /// Task owning supernode `s`, or `None` for a top supernode.
+    pub fn task_of(&self, s: usize) -> Option<usize> {
+        match self.task_of[s] {
+            NONE => None,
+            t => Some(t),
+        }
+    }
+
+    /// Rank of top supernode `s` inside [`Self::top`], or `None`.
+    pub fn top_rank(&self, s: usize) -> Option<usize> {
+        match self.top_rank[s] {
+            NONE => None,
+            r => Some(r),
+        }
+    }
+
+    /// Estimated flops (one rhs) packed onto each slot.
+    pub fn slot_flops(&self) -> &[u64] {
+        &self.slot_flops
+    }
+
+    /// Estimated flops (one rhs) spent in the fine-grained top phase.
+    pub fn top_flops(&self) -> u64 {
+        self.top_flops
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +684,152 @@ mod tests {
         match SolvePlan::new(&bad) {
             Err(PlanError::RootWithBelowRows { snode: 0, row: 1 }) => {}
             other => panic!("expected RootWithBelowRows, got {other:?}"),
+        }
+    }
+
+    /// Every supernode is either a top supernode or in exactly one task;
+    /// tasks are complete subtrees; the top set is upward-closed.
+    fn check_schedule_invariants(plan: &SolvePlan, sched: &SubtreeSchedule) {
+        let nsup = plan.nsup();
+        let mut seen = vec![false; nsup];
+        for t in 0..sched.n_tasks() {
+            let snodes = sched.task(t);
+            assert!(!snodes.is_empty());
+            assert_eq!(sched.task_root(t), *snodes.last().unwrap());
+            for w in snodes.windows(2) {
+                assert!(w[0] < w[1], "task members must ascend");
+            }
+            for &s in snodes {
+                assert!(!seen[s], "supernode {s} in two tasks");
+                seen[s] = true;
+                assert_eq!(sched.task_of(s), Some(t));
+                // descendant-closed: a non-root member's parent (when it has
+                // one — whole-forest tasks hold several roots) stays inside
+                if s != sched.task_root(t) {
+                    if let Some(p) = plan.parent(s) {
+                        assert_eq!(sched.task_of(p), Some(t), "task {t} not subtree-closed");
+                    }
+                }
+            }
+            // the task root's parent (if any) is above the cut
+            if let Some(p) = plan.parent(sched.task_root(t)) {
+                assert!(sched.task_of(p).is_none(), "cut edge must go to top");
+            }
+        }
+        for (i, &s) in sched.top().iter().enumerate() {
+            assert!(!seen[s], "top supernode {s} also in a task");
+            seen[s] = true;
+            assert_eq!(sched.task_of(s), None);
+            assert_eq!(sched.top_rank(s), Some(i));
+            if let Some(p) = plan.parent(s) {
+                assert!(sched.task_of(p).is_none(), "top set must be upward-closed");
+            }
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "schedule must cover all supernodes"
+        );
+        // slot assignment covers all tasks exactly once
+        let mut task_seen = vec![false; sched.n_tasks()];
+        for i in 0..sched.nthreads() {
+            for &t in sched.slot(i) {
+                assert!(!task_seen[t]);
+                task_seen[t] = true;
+            }
+        }
+        assert!(task_seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn schedule_partitions_forest_for_various_thread_counts() {
+        let a = trisolv_matrix::gen::grid2d_laplacian(24, 24);
+        let part = partition(&a);
+        let plan = SolvePlan::new(&part).unwrap();
+        for t in [1, 2, 3, 4, 8, 17] {
+            let sched = plan.subtree_schedule(t);
+            assert_eq!(sched.nthreads(), t);
+            check_schedule_invariants(&plan, &sched);
+            if t == 1 {
+                assert!(sched.top().is_empty(), "T=1 must run lock-free");
+                assert_eq!(sched.n_tasks(), 1);
+                assert_eq!(sched.task(0).len(), plan.nsup());
+            } else {
+                assert!(sched.n_tasks() >= t.min(plan.leaves().len()));
+            }
+        }
+    }
+
+    /// Nested-dissection ordering gives the bushy elimination tree the cut
+    /// heuristic is designed for (natural grid ordering yields a chain).
+    fn nd_partition(a: &trisolv_matrix::CscMatrix) -> SupernodePartition {
+        let g = trisolv_graph::Graph::from_sym_lower(a);
+        let perm =
+            trisolv_graph::nd::nested_dissection(&g, trisolv_graph::nd::NdOptions::default());
+        let pa = a.permute_sym_lower(perm.as_slice()).unwrap();
+        partition(&pa)
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_balanced() {
+        let a = trisolv_matrix::gen::grid2d_laplacian(32, 32);
+        let part = nd_partition(&a);
+        let plan = SolvePlan::new(&part).unwrap();
+        let s1 = plan.subtree_schedule(4);
+        let s2 = plan.subtree_schedule(4);
+        assert_eq!(format!("{s1:?}"), format!("{s2:?}"));
+        // LPT over a cut at total/(4T) keeps the heaviest slot within 2x of
+        // the lightest on a regular grid.
+        let max = *s1.slot_flops().iter().max().unwrap();
+        let min = *s1.slot_flops().iter().min().unwrap();
+        assert!(min > 0, "every slot should receive work on a big grid");
+        assert!(
+            max <= 2 * min,
+            "slot imbalance too high: {:?}",
+            s1.slot_flops()
+        );
+        // the fine-grained phase must be a small fraction of total work
+        let total: u64 = (0..plan.nsup()).map(|s| plan.solve_flops(s).max(1)).sum();
+        assert!(
+            s1.top_flops() < total / 2,
+            "top phase holds {} of {} flops",
+            s1.top_flops(),
+            total
+        );
+    }
+
+    #[test]
+    fn schedule_handles_forest_and_tiny_factors() {
+        // forest of three independent 2-chains
+        let mut t = trisolv_matrix::TripletMatrix::new(6, 6);
+        for i in 0..6 {
+            t.push(i, i, 4.0).unwrap();
+        }
+        for i in [0, 2, 4] {
+            t.push(i + 1, i, -1.0).unwrap();
+        }
+        let part = partition(&t.to_csc());
+        let plan = SolvePlan::new(&part).unwrap();
+        for nt in [1, 2, 8] {
+            check_schedule_invariants(&plan, &plan.subtree_schedule(nt));
+        }
+        // single-supernode factor degenerates to one task, no top phase
+        let a = trisolv_matrix::gen::grid2d_laplacian(2, 1);
+        let part = partition(&a);
+        let plan = SolvePlan::new(&part).unwrap();
+        let sched = plan.subtree_schedule(4);
+        check_schedule_invariants(&plan, &sched);
+        assert!(sched.top().is_empty());
+    }
+
+    #[test]
+    fn solve_flops_matches_trapezoid_cost() {
+        let a = trisolv_matrix::gen::grid2d_laplacian(8, 8);
+        let part = partition(&a);
+        let plan = SolvePlan::new(&part).unwrap();
+        for s in 0..plan.nsup() {
+            let t = plan.width(s) as u64;
+            let h = plan.height(s) as u64;
+            assert_eq!(plan.solve_flops(s), t * t + 2 * t * (h - t));
         }
     }
 

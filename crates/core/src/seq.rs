@@ -2,73 +2,203 @@
 //!
 //! These are the single-processor baselines of every speedup and MFLOPS
 //! figure in the paper, and the reference implementations the parallel
-//! solvers are validated against bit-for-bit (the parallel algorithms
-//! perform the same floating-point operations in a compatible order per
-//! supernode).
+//! solvers are validated against **bit-for-bit**. To make that exact,
+//! forward elimination uses the *relay* (multifrontal-style) accumulation
+//! order: each supernode's below-diagonal update is kept in its own
+//! working vector and extend-added into its parent, children in ascending
+//! order. A flat global accumulator would fold contributions in an order
+//! no tree-parallel executor can reproduce (floating-point addition is not
+//! associative); the relay order is reproducible by construction, on any
+//! thread count.
 
+use crate::plan::SolvePlan;
 use trisolv_factor::{blas, seqchol, SupernodalFactor};
 use trisolv_graph::Permutation;
 use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError};
 
+/// Per-supernode arithmetic shared by [`forward`] and
+/// [`forward_with_plan`]: dense triangle solve on the top block, then the
+/// rectangle update `w_below −= L21 · w_top` (top copied out so the GEMM
+/// sees disjoint operand slices). Exactly mirrors the threaded executor's
+/// `forward_body`.
+fn forward_snode_body(
+    blk: &DenseMatrix,
+    ns: usize,
+    t: usize,
+    nrhs: usize,
+    w: &mut [f64],
+    top_copy: &mut [f64],
+) {
+    blas::trsm_lower_left(blk.as_slice(), ns, w, ns, t, nrhs);
+    if ns > t {
+        for r in 0..nrhs {
+            top_copy[r * t..(r + 1) * t].copy_from_slice(&w[r * ns..r * ns + t]);
+        }
+        blas::gemm_update(
+            &mut w[t..],
+            ns,
+            &blk.as_slice()[t..],
+            ns,
+            &top_copy[..t * nrhs],
+            t,
+            ns - t,
+            nrhs,
+            t,
+        );
+    }
+}
+
 /// Solve `L·Y = B` (forward elimination) over a supernodal factor.
 ///
 /// Walks supernodes leaf-to-root (ascending index — the partition is
-/// postordered). For each supernode: gather the right-hand-side entries of
-/// its columns plus accumulated updates, solve the dense `t×t` triangle,
-/// then push the `(n−t)×t` rectangle's update into the accumulator
-/// (paper §2.1).
+/// postordered). For each supernode: gather its right-hand-side rows,
+/// extend-add each child's below-diagonal update (children ascending),
+/// solve the dense `t×t` triangle, then compute the `(n−t)×t` rectangle's
+/// update into the supernode's own working vector for its parent to
+/// consume (paper §2.1, relay accumulation order).
 pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
     let part = f.partition();
     let n = part.n();
     let nrhs = b.ncols();
     assert_eq!(b.nrows(), n, "rhs must have n rows");
+    let nsup = part.nsup();
     let mut y = DenseMatrix::zeros(n, nrhs);
-    // accumulated updates, indexed by global row
-    let mut accum = DenseMatrix::zeros(n, nrhs);
+    if nrhs == 0 || n == 0 {
+        return y;
+    }
 
-    // workspace sized to the largest supernode
-    let max_h = (0..part.nsup()).map(|s| part.height(s)).max().unwrap_or(0);
-    let mut work = DenseMatrix::zeros(max_h, nrhs);
+    // arena: one full-height working vector per supernode
+    let mut off = Vec::with_capacity(nsup + 1);
+    let mut rows_total = 0usize;
+    let mut max_t = 0usize;
+    for s in 0..nsup {
+        off.push(rows_total);
+        rows_total += part.height(s);
+        max_t = max_t.max(part.width(s));
+    }
+    let mut arena = vec![0.0f64; rows_total * nrhs];
+    let mut top_copy = vec![0.0f64; max_t * nrhs];
 
-    for s in 0..part.nsup() {
+    // children lists (counting sort over parents keeps them ascending)
+    let mut child_ptr = vec![0usize; nsup + 1];
+    for s in 0..nsup {
+        if let Some(p) = part.parent(s) {
+            child_ptr[p + 1] += 1;
+        }
+    }
+    for s in 0..nsup {
+        child_ptr[s + 1] += child_ptr[s];
+    }
+    let mut next = child_ptr.clone();
+    let mut child_idx = vec![0usize; child_ptr[nsup]];
+    for s in 0..nsup {
+        if let Some(p) = part.parent(s) {
+            child_idx[next[p]] = s;
+            next[p] += 1;
+        }
+    }
+    // position of each global row inside the current supernode's pattern
+    let mut pos = vec![0usize; n];
+
+    for s in 0..nsup {
         let rows = part.rows(s);
         let t = part.width(s);
         let ns = rows.len();
         let blk = f.block(s);
-        // gather: top t entries are b + accum for the supernode's columns
+        // children sit at lower indices, hence lower arena offsets
+        let (done, rest) = arena.split_at_mut(off[s] * nrhs);
+        let w = &mut rest[..ns * nrhs];
         for r in 0..nrhs {
             let bc = b.col(r);
-            let ac = accum.col(r);
-            let wc = work.col_mut(r);
             for (k, &gi) in rows[..t].iter().enumerate() {
-                wc[k] = bc[gi] + ac[gi];
+                w[r * ns + k] = bc[gi];
             }
+            w[r * ns + t..(r + 1) * ns].fill(0.0);
         }
-        // solve the dense triangle: x_top = L11⁻¹ w_top
-        blas::trsm_lower_left(blk.as_slice(), ns, work.as_mut_slice(), max_h, t, nrhs);
-        // record solution
-        for r in 0..nrhs {
-            let yc = y.col_mut(r);
-            let wc = work.col(r);
-            for (k, &gi) in rows[..t].iter().enumerate() {
-                yc[gi] = wc[k];
+        let children = &child_idx[child_ptr[s]..child_ptr[s + 1]];
+        if !children.is_empty() {
+            for (k, &gi) in rows.iter().enumerate() {
+                pos[gi] = k;
             }
-        }
-        // rectangle update: accum[below] -= L21 · x_top
-        if ns > t {
-            for r in 0..nrhs {
-                for k in 0..t {
-                    let xk = work.col(r)[k];
-                    if xk == 0.0 {
-                        continue;
-                    }
-                    let lcol = &blk.col(k)[t..ns];
-                    let ac = accum.col_mut(r);
-                    for (off, &gi) in rows[t..].iter().enumerate() {
-                        ac[gi] -= lcol[off] * xk;
+            for &c in children {
+                let crows = part.rows(c);
+                let tc = part.width(c);
+                let nsc = crows.len();
+                let src_all = &done[off[c] * nrhs..off[c] * nrhs + nsc * nrhs];
+                for r in 0..nrhs {
+                    let src = &src_all[r * nsc + tc..r * nsc + nsc];
+                    let dst = &mut w[r * ns..(r + 1) * ns];
+                    for (i, &gi) in crows[tc..].iter().enumerate() {
+                        dst[pos[gi]] += src[i];
                     }
                 }
             }
+        }
+        forward_snode_body(blk, ns, t, nrhs, w, &mut top_copy);
+        for r in 0..nrhs {
+            let yc = y.col_mut(r);
+            for (k, &gi) in rows[..t].iter().enumerate() {
+                yc[gi] = w[r * ns + k];
+            }
+        }
+    }
+    y
+}
+
+/// [`forward`] driven by a prebuilt [`SolvePlan`]: the plan's children
+/// lists and scatter maps replace the on-the-fly position bookkeeping, so
+/// per-solve overhead is just the arena fill. Bit-identical to
+/// [`forward`].
+pub fn forward_with_plan(f: &SupernodalFactor, plan: &SolvePlan, b: &DenseMatrix) -> DenseMatrix {
+    let n = plan.n();
+    let nrhs = b.ncols();
+    assert_eq!(b.nrows(), n, "rhs must have n rows");
+    assert_eq!(f.n(), n, "plan/factor order mismatch");
+    let nsup = plan.nsup();
+    assert_eq!(f.nsup(), nsup, "plan/factor supernode count mismatch");
+    let mut y = DenseMatrix::zeros(n, nrhs);
+    if nrhs == 0 || n == 0 {
+        return y;
+    }
+
+    let mut off = Vec::with_capacity(nsup);
+    let mut rows_total = 0usize;
+    let mut max_t = 0usize;
+    for s in 0..nsup {
+        off.push(rows_total);
+        rows_total += plan.height(s);
+        max_t = max_t.max(plan.width(s));
+    }
+    let mut arena = vec![0.0f64; rows_total * nrhs];
+    let mut top_copy = vec![0.0f64; max_t * nrhs];
+
+    for s in 0..nsup {
+        let ns = plan.height(s);
+        let cols = plan.cols(s);
+        let t = cols.len();
+        let blk = f.block(s);
+        let (done, rest) = arena.split_at_mut(off[s] * nrhs);
+        let w = &mut rest[..ns * nrhs];
+        for r in 0..nrhs {
+            w[r * ns..r * ns + t].copy_from_slice(&b.col(r)[cols.clone()]);
+            w[r * ns + t..(r + 1) * ns].fill(0.0);
+        }
+        for &c in plan.children(s) {
+            let nsc = plan.height(c);
+            let tc = plan.width(c);
+            let scat = plan.scatter(c);
+            let src_all = &done[off[c] * nrhs..off[c] * nrhs + nsc * nrhs];
+            for r in 0..nrhs {
+                let src = &src_all[r * nsc + tc..r * nsc + nsc];
+                let dst = &mut w[r * ns..(r + 1) * ns];
+                for (i, &p) in scat.iter().enumerate() {
+                    dst[p] += src[i];
+                }
+            }
+        }
+        forward_snode_body(blk, ns, t, nrhs, w, &mut top_copy);
+        for r in 0..nrhs {
+            y.col_mut(r)[cols.clone()].copy_from_slice(&w[r * ns..r * ns + t]);
         }
     }
     y
@@ -218,6 +348,7 @@ pub fn solve_ldlt_csc(l: &CscMatrix, d: &[f64], b: &DenseMatrix) -> DenseMatrix 
 pub struct SparseCholeskySolver {
     perm: Permutation,
     factor: SupernodalFactor,
+    plan: SolvePlan,
 }
 
 impl SparseCholeskySolver {
@@ -226,9 +357,12 @@ impl SparseCholeskySolver {
     pub fn factor_with_perm(a: &CscMatrix, fill_perm: &Permutation) -> Result<Self, MatrixError> {
         let an = seqchol::analyze_with_perm(a, fill_perm);
         let factor = seqchol::factor_supernodal(&an.pa, &an.part)?;
+        let plan = SolvePlan::new(factor.partition())
+            .expect("internally built factors have nested supernode structure");
         Ok(SparseCholeskySolver {
             perm: an.perm,
             factor,
+            plan,
         })
     }
 
@@ -248,6 +382,11 @@ impl SparseCholeskySolver {
     /// The supernodal factor (in the permuted index space).
     pub fn factor_matrix(&self) -> &SupernodalFactor {
         &self.factor
+    }
+
+    /// The solve plan built for the factor at construction time.
+    pub fn plan(&self) -> &SolvePlan {
+        &self.plan
     }
 
     /// Solve `A·X = B` with iterative refinement: after the direct solve,
@@ -302,7 +441,8 @@ impl SparseCholeskySolver {
                 dst[self.perm.apply(i)] = src[i];
             }
         }
-        let px = forward_backward(&self.factor, &pb);
+        let py = forward_with_plan(&self.factor, &self.plan, &pb);
+        let px = backward(&self.factor, &py);
         // unpermute: x[i] = px[perm[i]]
         let mut x = DenseMatrix::zeros(n, nrhs);
         for r in 0..nrhs {
@@ -340,6 +480,21 @@ mod tests {
         let b = f.l_times(&x_true);
         let y = forward(&f, &b);
         assert!(y.max_abs_diff(&x_true).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn forward_with_plan_bit_identical_to_forward() {
+        for (f, nrhs) in [
+            (factor_grid(9), 1usize),
+            (factor_grid(9), 5),
+            (factor_grid(1), 2),
+        ] {
+            let plan = SolvePlan::new(f.partition()).unwrap();
+            let b = gen::random_rhs(f.n(), nrhs, 17);
+            let plain = forward(&f, &b);
+            let planned = forward_with_plan(&f, &plan, &b);
+            assert_eq!(plain.as_slice(), planned.as_slice());
+        }
     }
 
     #[test]

@@ -3,35 +3,44 @@
 //!
 //! A modern counterpart to the paper's distributed-memory algorithms.
 //! The paper's core observation — triangular solves perform so few flops
-//! that scheduling and memory overhead dominate — drives the design:
+//! that scheduling and memory overhead dominate — drives the design, and
+//! its remedy (subtree-to-subcube mapping) has a direct thread-level
+//! analogue implemented here:
 //!
-//! * all scheduling state is precomputed once per factor in a
-//!   [`SolvePlan`]: a topological level schedule of the supernodal tree,
-//!   static dependency counts, and child→parent scatter index maps
-//!   (no recursion, no searches in the hot path);
-//! * a fixed pool of workers drains a ready queue; finishing a task
-//!   decrements its successor's atomic dependency counter and enqueues it
-//!   when the counter hits zero;
-//! * numerical work per task is blocked over all right-hand sides through
-//!   the dense kernels in [`trisolv_factor::blas`] (`trsm` triangles,
-//!   `gemm`-shaped rectangle applies);
+//! * a [`SubtreeSchedule`] cuts the elimination forest at a cost-balanced
+//!   frontier and bin-packs the disjoint subtrees below the cut onto the
+//!   worker slots; each subtree executes as ONE sequential task with no
+//!   atomics, queue operations, or wakeups inside it, writing into a
+//!   per-slot arena that no other thread touches;
+//! * only the few supernodes *above* the cut go through fine-grained
+//!   dependency dispatch: per-thread ready lists fed by atomic dependency
+//!   counters, with spin-then-park idling instead of a global
+//!   mutex + condvar round-trip per supernode;
+//! * numerical work per supernode is blocked over all right-hand sides
+//!   through the dense kernels in [`trisolv_factor::blas`];
 //! * every intermediate lives in a reusable [`SolveWorkspace`], so
 //!   repeated solves against one factor allocate only their output.
 //!
-//! Siblings touch disjoint data and each supernode's arithmetic is
-//! identical to [`crate::seq`], so results match the sequential solver to
-//! rounding order (≤ 1e-12 on well-scaled problems).
+//! Every supernode performs bit-identical arithmetic regardless of thread
+//! count or which buffer it lands in (gather, children extend-added in
+//! ascending order, triangle, rectangle — always in that order), so
+//! results are bit-identical to [`crate::seq`] for any `nthreads`.
 
 use std::borrow::Cow;
-use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard};
 
 use trisolv_factor::{blas, SupernodalFactor};
 use trisolv_matrix::DenseMatrix;
 
-pub use crate::plan::{PlanError, SolvePlan};
+pub use crate::plan::{PlanError, SolvePlan, SubtreeSchedule};
+
+/// Sentinel for "not assigned to any slot arena".
+const NONE: usize = usize::MAX;
+
+/// Consecutive empty scans before a worker parks instead of spinning.
+const SPIN_ROUNDS: u32 = 64;
 
 /// Lock a workspace mutex, recovering from poison. Every task starts by
 /// clearing and resizing its buffer, so data left behind by a panicked
@@ -42,68 +51,143 @@ fn lock_ws<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Reusable per-factor solve buffers: one working vector per supernode
-/// (sized for both passes at construction) plus the executor's dependency
-/// counters and ready queue. Repeated solves through one workspace do not
-/// allocate.
-///
-/// Buffers sit behind mutexes so safe Rust can hand each in-flight task
-/// its own working vector; the dependency schedule guarantees every lock
-/// is uncontended except for brief child reads at gather time.
+/// One slot's private working storage: a contiguous arena holding the
+/// working vectors of every supernode in the slot's subtree tasks, plus a
+/// scratch block for the widest top-copy / below-gather either pass needs.
+/// Only the owning worker thread ever touches it.
+struct Arena {
+    buf: Vec<f64>,
+    rows: usize,
+    scratch: Vec<f64>,
+    max_h: usize,
+}
+
+/// A dispatch unit: a whole subtree task, or one supernode above the cut.
+#[derive(Clone, Copy)]
+enum Unit {
+    Task(usize),
+    Top(usize),
+}
+
+/// Reusable per-factor solve buffers. Subtree-task supernodes live in
+/// per-slot arenas (no locks); supernodes above the cut — and subtree
+/// roots handing their update across threads — use mutex-guarded shared
+/// buffers, uncontended except for brief child reads at gather time.
+/// Repeated solves through one workspace do not allocate.
 pub struct SolveWorkspace {
     nrhs: usize,
+    /// Thread count of the schedule the arena layout was built for
+    /// (`0` = not built yet). Schedules are deterministic per
+    /// `(plan, nthreads)`, so this is the only cache key needed.
+    sched_threads: usize,
     bufs: Vec<Mutex<Vec<f64>>>,
+    /// Dependency counters for dispatch units (subtree tasks first, then
+    /// top supernodes).
     deps: Vec<AtomicUsize>,
-    queue: Mutex<VecDeque<usize>>,
-    cond: Condvar,
+    /// Per-slot ready lists for subtree tasks: anyone may push, only the
+    /// owning worker pops (its arena is single-owner).
+    task_ready: Vec<Mutex<Vec<usize>>>,
+    /// Per-worker ready lists for top units; idle workers steal from any.
+    top_ready: Vec<Mutex<Vec<usize>>>,
+    arenas: Vec<Arena>,
+    /// Row offset of each supernode inside its slot arena (`NONE` on top).
+    arena_off: Vec<usize>,
+    /// Slot owning each supernode's arena region (`NONE` on top).
+    arena_slot: Vec<usize>,
+    /// Compact work buffer for the serial backward path (`max_h` rows per
+    /// right-hand side), grown lazily on first use.
+    serial_work: Vec<f64>,
 }
 
 impl SolveWorkspace {
     /// Build a workspace for solves with up to `nrhs` right-hand sides.
+    /// Arena layout is derived from the solver's schedule on first use.
     pub fn new(plan: &SolvePlan, nrhs: usize) -> SolveWorkspace {
-        let bufs = (0..plan.nsup())
-            // 2·h·nrhs covers the working vector plus the widest scratch
-            // block either pass needs (top copy ≤ t, below copy ≤ h − t)
-            .map(|s| Mutex::new(Vec::with_capacity(2 * plan.height(s) * nrhs)))
-            .collect();
-        let deps = (0..plan.nsup()).map(|_| AtomicUsize::new(0)).collect();
         SolveWorkspace {
             nrhs,
-            bufs,
-            deps,
-            queue: Mutex::new(VecDeque::with_capacity(plan.nsup())),
-            cond: Condvar::new(),
+            sched_threads: 0,
+            bufs: (0..plan.nsup()).map(|_| Mutex::new(Vec::new())).collect(),
+            deps: Vec::new(),
+            task_ready: Vec::new(),
+            top_ready: Vec::new(),
+            arenas: Vec::new(),
+            arena_off: Vec::new(),
+            arena_slot: Vec::new(),
+            serial_work: Vec::new(),
         }
     }
 
     /// Grow the workspace if `nrhs` exceeds the constructed width (the
-    /// only case where a solve through this workspace allocates).
+    /// only case where a solve through this workspace reallocates).
     fn ensure(&mut self, plan: &SolvePlan, nrhs: usize) {
         assert_eq!(self.bufs.len(), plan.nsup(), "workspace/plan mismatch");
         if nrhs <= self.nrhs {
             return;
         }
-        for (s, buf) in self.bufs.iter_mut().enumerate() {
-            let buf = buf.get_mut().unwrap_or_else(|e| e.into_inner());
-            let want = 2 * plan.height(s) * nrhs;
-            if buf.capacity() < want {
-                buf.reserve(want - buf.len());
-            }
-        }
         self.nrhs = nrhs;
+        for a in &mut self.arenas {
+            a.buf.clear();
+            a.buf.resize(a.rows * nrhs, 0.0);
+            a.scratch.clear();
+            a.scratch.resize(a.max_h * nrhs, 0.0);
+        }
+    }
+
+    /// (Re)build the arena layout for `sched`. Cached on the schedule's
+    /// thread count — schedules are deterministic, so two solvers over the
+    /// same plan with the same thread count share one layout.
+    fn ensure_schedule(&mut self, plan: &SolvePlan, sched: &SubtreeSchedule) {
+        let t = sched.nthreads();
+        if self.sched_threads == t {
+            return;
+        }
+        let nsup = plan.nsup();
+        self.arena_off = vec![NONE; nsup];
+        self.arena_slot = vec![NONE; nsup];
+        self.arenas.clear();
+        for i in 0..t {
+            let mut rows = 0usize;
+            let mut max_h = 0usize;
+            for &task in sched.slot(i) {
+                for &s in sched.task(task) {
+                    self.arena_off[s] = rows;
+                    self.arena_slot[s] = i;
+                    rows += plan.height(s);
+                    max_h = max_h.max(plan.height(s));
+                }
+            }
+            self.arenas.push(Arena {
+                buf: vec![0.0; rows * self.nrhs],
+                rows,
+                scratch: vec![0.0; max_h * self.nrhs],
+                max_h,
+            });
+        }
+        let units = sched.n_tasks() + sched.top().len();
+        self.deps = (0..units).map(|_| AtomicUsize::new(0)).collect();
+        self.task_ready = (0..t).map(|_| Mutex::new(Vec::new())).collect();
+        self.top_ready = (0..t).map(|_| Mutex::new(Vec::new())).collect();
+        self.sched_threads = t;
     }
 }
 
-/// Level-scheduled shared-memory solver over one supernodal factor.
+/// The default executor width: `std::thread::available_parallelism`,
+/// falling back to 1 when the parallelism cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Subtree-mapped shared-memory solver over one supernodal factor.
 ///
-/// Construction validates the factor's structure and precomputes the
-/// schedule; [`forward`](ThreadedSolver::forward) /
+/// Construction validates the factor's structure and precomputes both the
+/// [`SolvePlan`] and the [`SubtreeSchedule`];
+/// [`forward`](ThreadedSolver::forward) /
 /// [`backward`](ThreadedSolver::backward) then run allocation-free
 /// (modulo their output) through a caller-held [`SolveWorkspace`].
 pub struct ThreadedSolver<'f> {
     factor: &'f SupernodalFactor,
     plan: Cow<'f, SolvePlan>,
-    nthreads: usize,
+    schedule: Cow<'f, SubtreeSchedule>,
 }
 
 impl<'f> ThreadedSolver<'f> {
@@ -112,11 +196,11 @@ impl<'f> ThreadedSolver<'f> {
     /// (the old fork-join solver walked off the end of an array instead).
     pub fn new(factor: &'f SupernodalFactor) -> Result<ThreadedSolver<'f>, PlanError> {
         let plan = SolvePlan::new(factor.partition())?;
-        let nthreads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let schedule = plan.subtree_schedule(default_threads());
         Ok(ThreadedSolver {
             factor,
             plan: Cow::Owned(plan),
-            nthreads,
+            schedule: Cow::Owned(schedule),
         })
     }
 
@@ -135,18 +219,53 @@ impl<'f> ThreadedSolver<'f> {
             factor.nsup(),
             "plan/factor supernode count mismatch"
         );
-        let nthreads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let schedule = plan.subtree_schedule(default_threads());
         ThreadedSolver {
             factor,
             plan: Cow::Borrowed(plan),
-            nthreads,
+            schedule: Cow::Owned(schedule),
+        }
+    }
+
+    /// Reuse both a plan and a schedule built earlier for this factor.
+    /// Building the schedule is `O(nsup log nsup)`, so services that solve
+    /// against a cached factor should build it once per (factor, thread
+    /// count) and borrow it per solve.
+    ///
+    /// # Panics
+    /// If `plan` or `schedule` were built for a different partition.
+    pub fn with_plan_schedule(
+        factor: &'f SupernodalFactor,
+        plan: &'f SolvePlan,
+        schedule: &'f SubtreeSchedule,
+    ) -> ThreadedSolver<'f> {
+        assert_eq!(plan.n(), factor.n(), "plan/factor order mismatch");
+        assert_eq!(
+            plan.nsup(),
+            factor.nsup(),
+            "plan/factor supernode count mismatch"
+        );
+        assert_eq!(
+            schedule.n_snodes(),
+            plan.nsup(),
+            "schedule/plan supernode count mismatch"
+        );
+        ThreadedSolver {
+            factor,
+            plan: Cow::Borrowed(plan),
+            schedule: Cow::Borrowed(schedule),
         }
     }
 
     /// Override the worker-pool width (default: available parallelism).
-    /// `1` forces the sequential in-place schedule.
+    /// `1` yields a single whole-forest task: fully sequential, zero
+    /// synchronization. Rebuilds the subtree schedule if the width
+    /// changes.
     pub fn with_threads(mut self, nthreads: usize) -> ThreadedSolver<'f> {
-        self.nthreads = nthreads.max(1);
+        let nthreads = nthreads.max(1);
+        if self.schedule.nthreads() != nthreads {
+            self.schedule = Cow::Owned(self.plan.subtree_schedule(nthreads));
+        }
         self
     }
 
@@ -155,9 +274,30 @@ impl<'f> ThreadedSolver<'f> {
         &self.plan
     }
 
-    /// A workspace sized for `nrhs` right-hand sides.
+    /// The subtree-to-thread mapping in effect.
+    pub fn schedule(&self) -> &SubtreeSchedule {
+        &self.schedule
+    }
+
+    /// Worker-pool width in effect.
+    pub fn nthreads(&self) -> usize {
+        self.schedule.nthreads()
+    }
+
+    /// A workspace sized for `nrhs` right-hand sides, with the arena
+    /// layout for this solver's schedule already built.
     pub fn workspace(&self, nrhs: usize) -> SolveWorkspace {
-        SolveWorkspace::new(&self.plan, nrhs)
+        let mut ws = SolveWorkspace::new(&self.plan, nrhs);
+        ws.ensure_schedule(&self.plan, &self.schedule);
+        ws
+    }
+
+    /// Whether supernode `s`'s forward result goes to its shared buffer:
+    /// top supernodes, plus subtree roots whose parent is above the cut
+    /// (the cross-thread handoff edge).
+    fn publishes_forward(&self, s: usize) -> bool {
+        self.schedule.task_of(s).is_none()
+            || matches!(self.plan.parent(s), Some(p) if self.schedule.task_of(p).is_none())
     }
 
     /// Solve `L·Y = B` into `y` through `ws`, allocation-free.
@@ -167,18 +307,26 @@ impl<'f> ThreadedSolver<'f> {
         assert_eq!(b.nrows(), n, "rhs must have n rows");
         assert_eq!(y.shape(), (n, nrhs), "output shape mismatch");
         ws.ensure(&self.plan, nrhs);
+        ws.ensure_schedule(&self.plan, &self.schedule);
         if nrhs == 0 || n == 0 {
             return;
         }
-        self.run(ws, true, &|s, ws| self.forward_task(s, b, ws, nrhs));
+        self.run(ws, true, b, nrhs, None);
         // solved top blocks → output rows (each supernode owns its columns)
         for s in 0..self.plan.nsup() {
-            let buf = lock_ws(&ws.bufs[s]);
             let ns = self.plan.height(s);
             let cols = self.plan.cols(s);
             let t = cols.len();
-            for r in 0..nrhs {
-                y.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+            if self.publishes_forward(s) {
+                let buf = lock_ws(&ws.bufs[s]);
+                for r in 0..nrhs {
+                    y.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+                }
+            } else {
+                let w = &ws.arenas[ws.arena_slot[s]].buf[ws.arena_off[s] * nrhs..];
+                for r in 0..nrhs {
+                    y.col_mut(r)[cols.clone()].copy_from_slice(&w[r * ns..r * ns + t]);
+                }
             }
         }
     }
@@ -190,17 +338,40 @@ impl<'f> ThreadedSolver<'f> {
         assert_eq!(y.nrows(), n, "rhs must have n rows");
         assert_eq!(x.shape(), (n, nrhs), "output shape mismatch");
         ws.ensure(&self.plan, nrhs);
+        ws.ensure_schedule(&self.plan, &self.schedule);
         if nrhs == 0 || n == 0 {
             return;
         }
-        self.run(ws, false, &|s, ws| self.backward_task(s, y, ws, nrhs));
+        let units = self.schedule.n_tasks() + self.schedule.top().len();
+        if self.schedule.nthreads() == 1 || units <= 1 {
+            // Effectively serial: solve straight into `x` through one
+            // compact work buffer instead of staging full-height vectors
+            // across the arena and publishing afterwards.
+            let max_h = (0..self.plan.nsup())
+                .map(|s| self.plan.height(s))
+                .max()
+                .unwrap_or(0);
+            if ws.serial_work.len() < max_h * nrhs {
+                ws.serial_work.resize(max_h * nrhs, 0.0);
+            }
+            self.backward_serial(y, nrhs, max_h, &mut ws.serial_work, x);
+            return;
+        }
+        self.run(ws, false, y, nrhs, None);
         for s in 0..self.plan.nsup() {
-            let buf = lock_ws(&ws.bufs[s]);
             let ns = self.plan.height(s);
             let cols = self.plan.cols(s);
             let t = cols.len();
-            for r in 0..nrhs {
-                x.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+            if self.schedule.task_of(s).is_none() {
+                let buf = lock_ws(&ws.bufs[s]);
+                for r in 0..nrhs {
+                    x.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+                }
+            } else {
+                let w = &ws.arenas[ws.arena_slot[s]].buf[ws.arena_off[s] * nrhs..];
+                for r in 0..nrhs {
+                    x.col_mut(r)[cols.clone()].copy_from_slice(&w[r * ns..r * ns + t]);
+                }
             }
         }
     }
@@ -237,40 +408,43 @@ impl<'f> ThreadedSolver<'f> {
         self.backward_with(&y, ws)
     }
 
-    /// One forward task: gather `b` and child updates, solve the dense
-    /// triangle over all right-hand sides, push the rectangle update.
-    fn forward_task(&self, s: usize, b: &DenseMatrix, ws: &SolveWorkspace, nrhs: usize) {
-        let plan = &self.plan;
-        let ns = plan.height(s);
-        let cols = plan.cols(s);
+    /// Gather supernode `s`'s own rows of `b` into `w`'s top block and
+    /// zero the below block (the extend-add target).
+    fn gather_b(&self, s: usize, b: &DenseMatrix, nrhs: usize, w: &mut [f64]) {
+        let ns = self.plan.height(s);
+        let cols = self.plan.cols(s);
         let t = cols.len();
-        let blk = self.factor.block(s);
-        let mut buf = lock_ws(&ws.bufs[s]);
-        buf.clear();
-        buf.resize(ns * nrhs + t * nrhs, 0.0);
-        let (w, top_copy) = buf.split_at_mut(ns * nrhs);
-        // gather: the supernode's own rows of B (its columns, contiguous)
         for r in 0..nrhs {
             w[r * ns..r * ns + t].copy_from_slice(&b.col(r)[cols.clone()]);
+            w[r * ns + t..(r + 1) * ns].fill(0.0);
         }
-        // extend-add child updates through the precomputed scatter maps
-        for &c in plan.children(s) {
-            let cbuf = lock_ws(&ws.bufs[c]);
-            let nsc = plan.height(c);
-            let tc = plan.width(c);
-            let scat = plan.scatter(c);
-            for r in 0..nrhs {
-                let src = &cbuf[r * nsc + tc..r * nsc + nsc];
-                let dst = &mut w[r * ns..(r + 1) * ns];
-                for (i, &pos) in scat.iter().enumerate() {
-                    dst[pos] += src[i];
-                }
+    }
+
+    /// Extend-add child `c`'s below block (`cbuf` is its full working
+    /// buffer) into parent working vector `w` (leading dimension `ns`)
+    /// through the precomputed scatter map.
+    fn extend_add(&self, c: usize, nrhs: usize, w: &mut [f64], ns: usize, cbuf: &[f64]) {
+        let nsc = self.plan.height(c);
+        let tc = self.plan.width(c);
+        let scat = self.plan.scatter(c);
+        for r in 0..nrhs {
+            let src = &cbuf[r * nsc + tc..r * nsc + nsc];
+            let dst = &mut w[r * ns..(r + 1) * ns];
+            for (i, &pos) in scat.iter().enumerate() {
+                dst[pos] += src[i];
             }
         }
-        // dense triangle over the whole RHS block
+    }
+
+    /// Dense triangle + rectangle update for one supernode over all
+    /// right-hand sides: `w_top ← L11⁻¹·w_top`, then
+    /// `w_below −= L21·w_top` (top copied out so the GEMM sees disjoint
+    /// operand slices).
+    fn forward_body(&self, s: usize, nrhs: usize, w: &mut [f64], top_copy: &mut [f64]) {
+        let ns = self.plan.height(s);
+        let t = self.plan.width(s);
+        let blk = self.factor.block(s);
         blas::trsm_lower_left(blk.as_slice(), ns, w, ns, t, nrhs);
-        // rectangle: w_below −= L21 · x_top (top copied out so the GEMM
-        // sees disjoint operand slices)
         if ns > t {
             for r in 0..nrhs {
                 top_copy[r * t..(r + 1) * t].copy_from_slice(&w[r * ns..r * ns + t]);
@@ -280,7 +454,7 @@ impl<'f> ThreadedSolver<'f> {
                 ns,
                 &blk.as_slice()[t..],
                 ns,
-                top_copy,
+                &top_copy[..t * nrhs],
                 t,
                 ns - t,
                 nrhs,
@@ -289,17 +463,84 @@ impl<'f> ThreadedSolver<'f> {
         }
     }
 
-    /// One backward task: gather solved ancestor values from the parent's
-    /// buffer, apply the transposed rectangle, solve the transposed
-    /// triangle, and republish the full-height solution for the children.
-    fn backward_task(&self, s: usize, y: &DenseMatrix, ws: &SolveWorkspace, nrhs: usize) {
-        let plan = &self.plan;
+    /// One fine-grained forward unit: a supernode above the cut. All of
+    /// its children are above the cut too or are publishing subtree
+    /// roots, so every operand lives in a shared buffer.
+    fn forward_top(&self, s: usize, b: &DenseMatrix, nrhs: usize, bufs: &[Mutex<Vec<f64>>]) {
+        let ns = self.plan.height(s);
+        let t = self.plan.width(s);
+        let mut buf = lock_ws(&bufs[s]);
+        buf.clear();
+        buf.resize(ns * nrhs + t * nrhs, 0.0);
+        let (w, top_copy) = buf.split_at_mut(ns * nrhs);
+        self.gather_b(s, b, nrhs, w);
+        for &c in self.plan.children(s) {
+            let cbuf = lock_ws(&bufs[c]);
+            self.extend_add(c, nrhs, w, ns, &cbuf);
+        }
+        self.forward_body(s, nrhs, w, top_copy);
+    }
+
+    /// One forward subtree task: every member in ascending (topological)
+    /// order, entirely inside the slot arena — no locks, no atomics — bar
+    /// a root with a parent above the cut, which publishes into its
+    /// shared buffer for the cross-thread handoff.
+    fn forward_subtree(
+        &self,
+        task: usize,
+        b: &DenseMatrix,
+        nrhs: usize,
+        arena: &mut Arena,
+        arena_off: &[usize],
+        bufs: &[Mutex<Vec<f64>>],
+        hook: Option<&(dyn Fn(usize) + Sync)>,
+    ) {
+        let plan = &*self.plan;
+        let Arena { buf, scratch, .. } = arena;
+        for &s in self.schedule.task(task) {
+            if let Some(h) = hook {
+                h(s);
+            }
+            let ns = plan.height(s);
+            let t = plan.width(s);
+            let off = arena_off[s] * nrhs;
+            if self.publishes_forward(s) {
+                let mut sb = lock_ws(&bufs[s]);
+                sb.clear();
+                sb.resize(ns * nrhs + t * nrhs, 0.0);
+                let (w, top_copy) = sb.split_at_mut(ns * nrhs);
+                self.gather_b(s, b, nrhs, w);
+                for &c in plan.children(s) {
+                    let coff = arena_off[c] * nrhs;
+                    let nsc = plan.height(c);
+                    self.extend_add(c, nrhs, w, ns, &buf[coff..coff + nsc * nrhs]);
+                }
+                self.forward_body(s, nrhs, w, top_copy);
+            } else {
+                let (done, rest) = buf.split_at_mut(off);
+                let w = &mut rest[..ns * nrhs];
+                self.gather_b(s, b, nrhs, w);
+                for &c in plan.children(s) {
+                    let coff = arena_off[c] * nrhs;
+                    let nsc = plan.height(c);
+                    self.extend_add(c, nrhs, w, ns, &done[coff..coff + nsc * nrhs]);
+                }
+                self.forward_body(s, nrhs, w, &mut scratch[..t * nrhs]);
+            }
+        }
+    }
+
+    /// One fine-grained backward unit: gather solved ancestor values from
+    /// the parent's shared buffer, apply the transposed rectangle, solve
+    /// the transposed triangle, republish full height for the children.
+    fn backward_top(&self, s: usize, y: &DenseMatrix, nrhs: usize, bufs: &[Mutex<Vec<f64>>]) {
+        let plan = &*self.plan;
         let ns = plan.height(s);
         let cols = plan.cols(s);
         let t = cols.len();
         let nb = ns - t;
         let blk = self.factor.block(s);
-        let mut buf = lock_ws(&ws.bufs[s]);
+        let mut buf = lock_ws(&bufs[s]);
         buf.clear();
         buf.resize(ns * nrhs + nb * nrhs, 0.0);
         let (w, below) = buf.split_at_mut(ns * nrhs);
@@ -307,11 +548,9 @@ impl<'f> ThreadedSolver<'f> {
             w[r * ns..r * ns + t].copy_from_slice(&y.col(r)[cols.clone()]);
         }
         if nb > 0 {
-            // already-solved x values for our below rows, read from the
-            // parent's full-height buffer through the scatter map
             let p = plan.parent(s).expect("validated: non-roots only");
             {
-                let pbuf = lock_ws(&ws.bufs[p]);
+                let pbuf = lock_ws(&bufs[p]);
                 let nsp = plan.height(p);
                 let scat = plan.scatter(s);
                 for r in 0..nrhs {
@@ -322,116 +561,446 @@ impl<'f> ThreadedSolver<'f> {
                     }
                 }
             }
-            // w_top −= L21ᵀ · x_below
             blas::gemm_tn_update(w, ns, &blk.as_slice()[t..], ns, below, nb, t, nrhs, nb);
         }
         blas::trsm_lower_trans_left(blk.as_slice(), ns, w, ns, t, nrhs);
-        // republish full-height x so our children can gather from it
         for r in 0..nrhs {
             w[r * ns + t..(r + 1) * ns].copy_from_slice(&below[r * nb..(r + 1) * nb]);
         }
     }
 
-    /// Drain the task graph with a worker pool. `forward` selects the
-    /// dependency direction: children-before-parents or the reverse.
+    /// One backward subtree task: every member in descending
+    /// (reverse-topological) order inside the slot arena. The root reads
+    /// its parent's shared buffer (the cross-thread edge); everyone else
+    /// reads its parent's arena region.
+    fn backward_subtree(
+        &self,
+        task: usize,
+        y: &DenseMatrix,
+        nrhs: usize,
+        arena: &mut Arena,
+        arena_off: &[usize],
+        bufs: &[Mutex<Vec<f64>>],
+        hook: Option<&(dyn Fn(usize) + Sync)>,
+    ) {
+        let plan = &*self.plan;
+        let sched = &*self.schedule;
+        let Arena { buf, scratch, .. } = arena;
+        for &s in sched.task(task).iter().rev() {
+            if let Some(h) = hook {
+                h(s);
+            }
+            let ns = plan.height(s);
+            let cols = plan.cols(s);
+            let t = cols.len();
+            let nb = ns - t;
+            let blk = self.factor.block(s);
+            let off = arena_off[s] * nrhs;
+            let end = off + ns * nrhs;
+            let (head, tail) = buf.split_at_mut(end);
+            let w = &mut head[off..];
+            for r in 0..nrhs {
+                w[r * ns..r * ns + t].copy_from_slice(&y.col(r)[cols.clone()]);
+            }
+            let below = &mut scratch[..nb * nrhs];
+            if nb > 0 {
+                let p = plan.parent(s).expect("validated: non-roots only");
+                let nsp = plan.height(p);
+                let scat = plan.scatter(s);
+                if sched.task_of(p).is_none() {
+                    let pbuf = lock_ws(&bufs[p]);
+                    for r in 0..nrhs {
+                        let src = &pbuf[r * nsp..(r + 1) * nsp];
+                        let dst = &mut below[r * nb..(r + 1) * nb];
+                        for (i, &pos) in scat.iter().enumerate() {
+                            dst[i] = src[pos];
+                        }
+                    }
+                } else {
+                    // parents sit at strictly larger arena offsets
+                    let psrc = &tail[arena_off[p] * nrhs - end..];
+                    for r in 0..nrhs {
+                        let src = &psrc[r * nsp..(r + 1) * nsp];
+                        let dst = &mut below[r * nb..(r + 1) * nb];
+                        for (i, &pos) in scat.iter().enumerate() {
+                            dst[i] = src[pos];
+                        }
+                    }
+                }
+                blas::gemm_tn_update(w, ns, &blk.as_slice()[t..], ns, below, nb, t, nrhs, nb);
+            }
+            blas::trsm_lower_trans_left(blk.as_slice(), ns, w, ns, t, nrhs);
+            for r in 0..nrhs {
+                w[r * ns + t..(r + 1) * ns].copy_from_slice(&below[r * nb..(r + 1) * nb]);
+            }
+        }
+    }
+
+    /// Compact serial backward pass, used when the schedule is effectively
+    /// single-threaded. Per-supernode arithmetic is the exact operation
+    /// order of [`Self::backward_subtree`] (single-accumulator dot per
+    /// column, ascending rows, then one subtract), but solved values flow
+    /// through one reusable `max_h`-row work buffer straight into `x` — no
+    /// arena staging, no full-height republish, no final publish pass.
+    /// That cuts the backward pass's memory traffic by roughly a third at
+    /// small RHS widths.
+    fn backward_serial(
+        &self,
+        y: &DenseMatrix,
+        nrhs: usize,
+        max_h: usize,
+        work: &mut [f64],
+        x: &mut DenseMatrix,
+    ) {
+        let part = self.factor.partition();
+        for s in (0..part.nsup()).rev() {
+            let rows = part.rows(s);
+            let t = part.width(s);
+            let ns = rows.len();
+            let blk = self.factor.block(s);
+            for r in 0..nrhs {
+                let yc = y.col(r);
+                let wc = &mut work[r * max_h..];
+                for (k, &gi) in rows[..t].iter().enumerate() {
+                    wc[k] = yc[gi];
+                }
+            }
+            if ns > t {
+                // ancestors sit later in postorder, so x[gi] is solved
+                for r in 0..nrhs {
+                    let xc = x.col(r);
+                    let wc = &mut work[r * max_h..];
+                    for (k, wk) in wc.iter_mut().enumerate().take(t) {
+                        let lcol = &blk.col(k)[t..ns];
+                        let mut sum = 0.0;
+                        for (off, &gi) in rows[t..].iter().enumerate() {
+                            sum += lcol[off] * xc[gi];
+                        }
+                        *wk -= sum;
+                    }
+                }
+            }
+            blas::trsm_lower_trans_left(blk.as_slice(), ns, work, max_h, t, nrhs);
+            for r in 0..nrhs {
+                let xc = x.col_mut(r);
+                let wc = &work[r * max_h..];
+                for (k, &gi) in rows[..t].iter().enumerate() {
+                    xc[gi] = wc[k];
+                }
+            }
+        }
+    }
+
+    /// Drain the two-phase task graph. `forward` selects the dependency
+    /// direction. `hook`, when set, runs before each supernode's
+    /// processing (test seam for panic containment).
     fn run(
         &self,
-        ws: &SolveWorkspace,
+        ws: &mut SolveWorkspace,
         forward: bool,
-        process: &(dyn Fn(usize, &SolveWorkspace) + Sync),
+        rhs: &DenseMatrix,
+        nrhs: usize,
+        hook: Option<&(dyn Fn(usize) + Sync)>,
     ) {
-        let plan = &self.plan;
-        let nsup = plan.nsup();
-        // cap the pool at the widest level: extra workers could never run
-        let nthreads = self.nthreads.min(plan.max_level_width()).max(1);
-        if nthreads == 1 || nsup <= 1 {
-            // ascending supernode order is topological (the partition is
-            // postordered); descending is the reverse
+        let plan = &*self.plan;
+        let sched = &*self.schedule;
+        let ntasks = sched.n_tasks();
+        let top = sched.top();
+        let units = ntasks + top.len();
+        if units == 0 {
+            return;
+        }
+        let nthreads = sched.nthreads();
+        if nthreads == 1 || units == 1 {
+            // Fully inline: no spawns, no atomics; the only mutexes touched
+            // are the (uncontended) shared buffers of top supernodes.
+            let arenas = &mut ws.arenas;
+            let arena_off = &ws.arena_off;
+            let bufs = &ws.bufs;
             if forward {
-                (0..nsup).for_each(|s| process(s, ws));
+                for t in 0..ntasks {
+                    self.forward_subtree(
+                        t,
+                        rhs,
+                        nrhs,
+                        &mut arenas[sched.slot_of(t)],
+                        arena_off,
+                        bufs,
+                        hook,
+                    );
+                }
+                for &s in top {
+                    if let Some(h) = hook {
+                        h(s);
+                    }
+                    self.forward_top(s, rhs, nrhs, bufs);
+                }
             } else {
-                (0..nsup).rev().for_each(|s| process(s, ws));
+                for &s in top.iter().rev() {
+                    if let Some(h) = hook {
+                        h(s);
+                    }
+                    self.backward_top(s, rhs, nrhs, bufs);
+                }
+                for t in 0..ntasks {
+                    self.backward_subtree(
+                        t,
+                        rhs,
+                        nrhs,
+                        &mut arenas[sched.slot_of(t)],
+                        arena_off,
+                        bufs,
+                        hook,
+                    );
+                }
             }
             return;
         }
-        for s in 0..nsup {
+
+        // Dependency counters: unit ids are tasks 0..ntasks, then
+        // ntasks + top_rank for supernodes above the cut.
+        for t in 0..ntasks {
+            let d = if forward {
+                0
+            } else {
+                usize::from(plan.parent(sched.task_root(t)).is_some())
+            };
+            ws.deps[t].store(d, Ordering::Relaxed);
+        }
+        for (j, &s) in top.iter().enumerate() {
             let d = if forward {
                 plan.n_children(s)
             } else {
                 usize::from(plan.parent(s).is_some())
             };
-            ws.deps[s].store(d, Ordering::Relaxed);
+            ws.deps[ntasks + j].store(d, Ordering::Relaxed);
         }
-        {
-            let mut q = lock_ws(&ws.queue);
-            q.clear();
-            if forward {
-                q.extend(plan.leaves().iter().copied());
-            } else {
-                q.extend(plan.roots().iter().copied());
+        // Initial ready sets (we hold &mut: no locking needed).
+        for l in ws.task_ready.iter_mut() {
+            l.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        for l in ws.top_ready.iter_mut() {
+            l.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        let mut rr = 0usize;
+        if forward {
+            for i in 0..nthreads {
+                // reversed so the worker's LIFO pop runs heaviest first
+                let list = ws.task_ready[i]
+                    .get_mut()
+                    .unwrap_or_else(|e| e.into_inner());
+                list.extend(sched.slot(i).iter().rev());
+            }
+            for (j, &s) in top.iter().enumerate() {
+                if plan.n_children(s) == 0 {
+                    let list = ws.top_ready[rr % nthreads]
+                        .get_mut()
+                        .unwrap_or_else(|e| e.into_inner());
+                    list.push(ntasks + j);
+                    rr += 1;
+                }
+            }
+        } else {
+            for t in 0..ntasks {
+                if plan.parent(sched.task_root(t)).is_none() {
+                    let list = ws.task_ready[sched.slot_of(t)]
+                        .get_mut()
+                        .unwrap_or_else(|e| e.into_inner());
+                    list.push(t);
+                }
+            }
+            for (j, &s) in top.iter().enumerate() {
+                if plan.parent(s).is_none() {
+                    let list = ws.top_ready[rr % nthreads]
+                        .get_mut()
+                        .unwrap_or_else(|e| e.into_inner());
+                    list.push(ntasks + j);
+                    rr += 1;
+                }
             }
         }
-        let remaining = AtomicUsize::new(nsup);
+
+        let bufs = &ws.bufs;
+        let deps = &ws.deps;
+        let task_ready = &ws.task_ready;
+        let top_ready = &ws.top_ready;
+        let arena_off = &ws.arena_off;
+        let remaining = AtomicUsize::new(units);
         let remaining = &remaining;
+        // Spin-then-park idling: a worker that finds every list empty spins
+        // briefly, registers itself in `sleepers`, RE-CHECKS the lists (so a
+        // push that raced its registration is never missed), and only then
+        // parks. Producers wake a specific sleeper (the home slot of a
+        // subtree task — nobody else may run it) or any sleeper (stealable
+        // top units, termination).
+        let sleepers: Mutex<Vec<(usize, std::thread::Thread)>> = Mutex::new(Vec::new());
+        let sleepers = &sleepers;
+        let n_sleep = AtomicUsize::new(0);
+        let n_sleep = &n_sleep;
         // Panic containment: a task that panics must not leave the other
-        // workers waiting on a condvar for dependency decrements that will
-        // never come (the pre-hardening executor deadlocked here). The
-        // first panic is stashed, the `aborted` flag drains every worker
-        // out of the wait loop, and the payload is re-thrown on the
-        // calling thread where `catch_unwind` at the engine boundary can
-        // see it. `remaining` is left alone — a sibling finishing its task
-        // concurrently still decrements it, and forcing it to zero here
-        // would race that decrement into an underflow.
+        // workers parked waiting for dependency decrements that will never
+        // come. The first panic is stashed, the `aborted` flag drains every
+        // worker, and the payload is re-thrown on the calling thread where
+        // `catch_unwind` at the engine boundary can see it. `remaining` is
+        // left alone — a sibling finishing concurrently still decrements
+        // it, and forcing it to zero here would race that decrement into an
+        // underflow.
         let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let panicked = &panicked;
         let aborted = AtomicBool::new(false);
         let aborted = &aborted;
+
+        let wake_all = move || {
+            let mut sl = lock_ws(sleepers);
+            n_sleep.store(0, Ordering::Release);
+            for (_, th) in sl.drain(..) {
+                th.unpark();
+            }
+        };
+        let wake_one = move || {
+            if n_sleep.load(Ordering::Acquire) > 0 {
+                let mut sl = lock_ws(sleepers);
+                if let Some((_, th)) = sl.pop() {
+                    n_sleep.store(sl.len(), Ordering::Release);
+                    th.unpark();
+                }
+            }
+        };
+        let wake_slot = move |i: usize| {
+            if n_sleep.load(Ordering::Acquire) > 0 {
+                let mut sl = lock_ws(sleepers);
+                if let Some(k) = sl.iter().position(|e| e.0 == i) {
+                    let (_, th) = sl.swap_remove(k);
+                    n_sleep.store(sl.len(), Ordering::Release);
+                    th.unpark();
+                }
+            }
+        };
+
         std::thread::scope(|scope| {
-            for _ in 0..nthreads {
-                scope.spawn(move || loop {
-                    let s = {
-                        let mut q = lock_ws(&ws.queue);
-                        loop {
-                            if aborted.load(Ordering::Acquire)
-                                || remaining.load(Ordering::Acquire) == 0
+            for (i, arena) in ws.arenas.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    let mut spins = 0u32;
+                    loop {
+                        if aborted.load(Ordering::Acquire) || remaining.load(Ordering::Acquire) == 0
+                        {
+                            wake_all();
+                            return;
+                        }
+                        // own subtree tasks first (bulk, lock-free inside),
+                        // then own top units, then steal top units
+                        let unit = lock_ws(&task_ready[i])
+                            .pop()
+                            .map(Unit::Task)
+                            .or_else(|| lock_ws(&top_ready[i]).pop().map(|u| Unit::Top(u - ntasks)))
+                            .or_else(|| {
+                                (0..nthreads).filter(|&j| j != i).find_map(|j| {
+                                    lock_ws(&top_ready[j]).pop().map(|u| Unit::Top(u - ntasks))
+                                })
+                            });
+                        let Some(unit) = unit else {
+                            spins += 1;
+                            if spins < SPIN_ROUNDS {
+                                std::hint::spin_loop();
+                                continue;
+                            }
                             {
-                                return;
+                                let mut sl = lock_ws(sleepers);
+                                sl.push((i, std::thread::current()));
+                                n_sleep.store(sl.len(), Ordering::Release);
                             }
-                            if let Some(s) = q.pop_front() {
-                                break s;
+                            let visible = aborted.load(Ordering::Acquire)
+                                || remaining.load(Ordering::Acquire) == 0
+                                || !lock_ws(&task_ready[i]).is_empty()
+                                || top_ready.iter().any(|l| !lock_ws(l).is_empty());
+                            if !visible {
+                                std::thread::park();
                             }
-                            q = ws.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+                            {
+                                let mut sl = lock_ws(sleepers);
+                                let before = sl.len();
+                                sl.retain(|e| e.0 != i);
+                                if sl.len() != before {
+                                    n_sleep.store(sl.len(), Ordering::Release);
+                                }
+                            }
+                            spins = 0;
+                            continue;
+                        };
+                        spins = 0;
+                        let res = panic::catch_unwind(AssertUnwindSafe(|| match unit {
+                            Unit::Task(t) => {
+                                if forward {
+                                    self.forward_subtree(t, rhs, nrhs, arena, arena_off, bufs, hook)
+                                } else {
+                                    self.backward_subtree(
+                                        t, rhs, nrhs, arena, arena_off, bufs, hook,
+                                    )
+                                }
+                            }
+                            Unit::Top(j) => {
+                                let s = top[j];
+                                if let Some(h) = hook {
+                                    h(s);
+                                }
+                                if forward {
+                                    self.forward_top(s, rhs, nrhs, bufs)
+                                } else {
+                                    self.backward_top(s, rhs, nrhs, bufs)
+                                }
+                            }
+                        }));
+                        if let Err(payload) = res {
+                            if !aborted.swap(true, Ordering::SeqCst) {
+                                *lock_ws(panicked) = Some(payload);
+                            }
+                            wake_all();
+                            return;
                         }
-                    };
-                    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| process(s, ws))) {
-                        if !aborted.swap(true, Ordering::SeqCst) {
-                            *lock_ws(panicked) = Some(payload);
+                        // notify successors
+                        let dec_top = |p: usize| {
+                            let j = sched.top_rank(p).expect("cut parent is above the cut");
+                            if deps[ntasks + j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                lock_ws(&top_ready[i]).push(ntasks + j);
+                                wake_one();
+                            }
+                        };
+                        match unit {
+                            Unit::Task(t) => {
+                                if forward {
+                                    if let Some(p) = plan.parent(sched.task_root(t)) {
+                                        dec_top(p);
+                                    }
+                                }
+                            }
+                            Unit::Top(j) => {
+                                let s = top[j];
+                                if forward {
+                                    if let Some(p) = plan.parent(s) {
+                                        dec_top(p);
+                                    }
+                                } else {
+                                    for &c in plan.children(s) {
+                                        match sched.task_of(c) {
+                                            Some(tc) => {
+                                                if deps[tc].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                                    let home = sched.slot_of(tc);
+                                                    lock_ws(&task_ready[home]).push(tc);
+                                                    if home != i {
+                                                        wake_slot(home);
+                                                    }
+                                                }
+                                            }
+                                            None => dec_top(c),
+                                        }
+                                    }
+                                }
+                            }
                         }
-                        let _q = lock_ws(&ws.queue);
-                        ws.cond.notify_all();
-                        return;
-                    }
-                    let push_ready = |t: usize| {
-                        if ws.deps[t].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            let mut q = lock_ws(&ws.queue);
-                            q.push_back(t);
-                            ws.cond.notify_one();
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            wake_all();
+                            return;
                         }
-                    };
-                    if forward {
-                        if let Some(p) = plan.parent(s) {
-                            push_ready(p);
-                        }
-                    } else {
-                        for &c in plan.children(s) {
-                            push_ready(c);
-                        }
-                    }
-                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // take the lock so no worker can slip between its
-                        // empty-queue check and its wait, then wake all
-                        let _q = lock_ws(&ws.queue);
-                        ws.cond.notify_all();
                     }
                 });
             }
@@ -443,10 +1012,10 @@ impl<'f> ThreadedSolver<'f> {
     }
 }
 
-/// Solve `L·Y = B` over the supernodal tree with the level-scheduled
-/// worker pool. Produces the same arithmetic per supernode as
-/// [`crate::seq::forward`]; only sibling execution order differs, and
-/// siblings touch disjoint data.
+/// Solve `L·Y = B` over the supernodal tree with the subtree-mapped
+/// worker pool. Bit-identical to [`crate::seq::forward`]: every supernode
+/// performs the same arithmetic in the same order regardless of which
+/// thread or buffer it runs in.
 ///
 /// Convenience wrapper that plans on every call; batch workloads should
 /// hold a [`ThreadedSolver`] and a [`SolveWorkspace`] instead.
@@ -456,7 +1025,7 @@ pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
         .forward(b)
 }
 
-/// Solve `Lᵀ·X = Y` with the level-scheduled worker pool (see [`forward`]).
+/// Solve `Lᵀ·X = Y` with the subtree-mapped worker pool (see [`forward`]).
 pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
     ThreadedSolver::new(f)
         .expect("factor partition is structurally valid")
@@ -555,19 +1124,19 @@ mod tests {
     }
 
     #[test]
-    fn explicit_thread_counts_agree() {
+    fn explicit_thread_counts_bit_identical() {
         let a = gen::fem2d(6, 5, 2);
         let f = build(&a);
         let b = gen::random_rhs(f.n(), 3, 9);
         let expect = seq::forward_backward(&f, &b);
         for nthreads in [1usize, 2, 3, 8] {
             let solver = ThreadedSolver::new(&f).unwrap().with_threads(nthreads);
+            assert_eq!(solver.nthreads(), nthreads);
             let mut ws = solver.workspace(3);
             let got = solver.forward_backward_with(&b, &mut ws);
-            assert!(
-                got.max_abs_diff(&expect).unwrap() < 1e-12,
-                "nthreads {nthreads}"
-            );
+            // every supernode runs identical arithmetic regardless of
+            // thread count → identical bits, not just close values
+            assert_eq!(got.as_slice(), expect.as_slice(), "nthreads {nthreads}");
         }
     }
 
@@ -621,16 +1190,35 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_schedule_matches_owned_schedule() {
+        let a = gen::grid2d_laplacian(13, 9);
+        let f = build(&a);
+        let plan = SolvePlan::new(f.partition()).unwrap();
+        let sched = plan.subtree_schedule(4);
+        let cached = ThreadedSolver::with_plan_schedule(&f, &plan, &sched);
+        assert_eq!(cached.nthreads(), 4);
+        let owned = ThreadedSolver::with_plan(&f, &plan).with_threads(4);
+        let b = gen::random_rhs(f.n(), 2, 23);
+        let mut ws1 = cached.workspace(2);
+        let mut ws2 = owned.workspace(2);
+        let x1 = cached.forward_backward_with(&b, &mut ws1);
+        let x2 = owned.forward_backward_with(&b, &mut ws2);
+        assert_eq!(x1.as_slice(), x2.as_slice());
+    }
+
+    #[test]
     fn panicking_task_aborts_pool_without_hanging() {
         let a = gen::grid2d_laplacian(12, 12);
         let f = build(&a);
         let solver = ThreadedSolver::new(&f).unwrap().with_threads(4);
         let mut ws = solver.workspace(2);
-        // Every task panics; pre-hardening this deadlocked the pool
-        // (workers waited forever on dependency decrements that never
-        // came). Now the panic must propagate out of `run`...
+        let b = gen::random_rhs(f.n(), 2, 19);
+        // Every supernode panics via the test hook; pre-hardening this
+        // deadlocked the pool (workers waited forever on dependency
+        // decrements that never came). Now the panic must propagate out of
+        // `run`...
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            solver.run(&ws, true, &|_s, _ws| panic!("boom in task"));
+            solver.run(&mut ws, true, &b, 2, Some(&|_s| panic!("boom in task")));
         }));
         assert!(caught.is_err(), "task panic must propagate, not hang");
         // ...and the same (possibly poison-recovered) workspace must still
@@ -651,5 +1239,12 @@ mod tests {
         assert!(plan.max_level_width() >= 2, "grid tree must have breadth");
         let total: usize = (0..plan.nlevels()).map(|l| plan.level(l).len()).sum();
         assert_eq!(total, plan.nsup());
+        // the subtree schedule is exposed for diagnostics too
+        let sched = solver.schedule();
+        let covered: usize = (0..sched.n_tasks())
+            .map(|t| sched.task(t).len())
+            .sum::<usize>()
+            + sched.top().len();
+        assert_eq!(covered, plan.nsup());
     }
 }

@@ -13,10 +13,15 @@
 //! multi-RHS solve streams `L` once per four columns instead of once per
 //! column. This is the shared-memory analogue of the paper's multi-RHS
 //! pipelining result — the factor traffic and per-element load cost
-//! amortize over the RHS block. Each column's floating-point operations
-//! run in exactly the order of the one-column kernel, so results are
-//! bit-identical whatever the blocking (a property the solve service's
-//! batching layer relies on).
+//! amortize over the RHS block. The single-column case (the paper's
+//! headline nrhs=1 workload) takes dedicated gemv-shaped fast paths
+//! instead of falling into the remainder loop: the matrix-vector updates
+//! block four `A` columns (or result rows) per sweep and the triangular
+//! solves run on bounds-check-free column slices. Each column's
+//! floating-point operations run in exactly the order of the one-column
+//! scalar kernel — blocking only interchanges loops, never reassociates a
+//! sum — so results are bit-identical whatever the blocking or RHS count
+//! (a property the solve service's batching layer relies on).
 
 use trisolv_matrix::MatrixError;
 
@@ -50,6 +55,56 @@ pub fn gemm_update(
     k: usize,
 ) {
     debug_assert!(ldc >= m && lda >= m && ldb >= k);
+    if n == 1 {
+        // gemv fast path: block four A columns per sweep so each C element
+        // is loaded/stored once per four updates. Each element still sees
+        // its updates in ascending-l order as separate subtractions, so the
+        // bits match the unblocked column kernel.
+        let c_col = &mut c[..m];
+        let mut l = 0;
+        while l + 4 <= k {
+            let b0 = b[l];
+            let b1 = b[l + 1];
+            let b2 = b[l + 2];
+            let b3 = b[l + 3];
+            if b0 != 0.0 && b1 != 0.0 && b2 != 0.0 && b3 != 0.0 {
+                let (a0, rest) = a[l * lda..l * lda + 3 * lda + m].split_at(lda);
+                let (a1, rest) = rest.split_at(lda);
+                let (a2, a3) = rest.split_at(lda);
+                for i in 0..m {
+                    let mut ci = c_col[i];
+                    ci -= a0[i] * b0;
+                    ci -= a1[i] * b1;
+                    ci -= a2[i] * b2;
+                    ci -= a3[i] * b3;
+                    c_col[i] = ci;
+                }
+            } else {
+                // rare: preserve the per-l zero-skip of the scalar kernel
+                for (ll, bl) in [(l, b0), (l + 1, b1), (l + 2, b2), (l + 3, b3)] {
+                    if bl == 0.0 {
+                        continue;
+                    }
+                    let a_col = &a[ll * lda..ll * lda + m];
+                    for i in 0..m {
+                        c_col[i] -= a_col[i] * bl;
+                    }
+                }
+            }
+            l += 4;
+        }
+        while l < k {
+            let bl = b[l];
+            if bl != 0.0 {
+                let a_col = &a[l * lda..l * lda + m];
+                for i in 0..m {
+                    c_col[i] -= a_col[i] * bl;
+                }
+            }
+            l += 1;
+        }
+        return;
+    }
     let mut j = 0;
     // four-column register blocking: each A element is loaded once and
     // applied to four C columns
@@ -151,6 +206,42 @@ pub fn gemm_tn_update(
     k: usize,
 ) {
     debug_assert!(ldc >= m && lda >= k && ldb >= k);
+    if n == 1 {
+        // gemv-transpose fast path: four result rows per sweep share one
+        // streaming pass over the B column. Each inner product keeps its
+        // own single accumulator running in ascending-l order, so every
+        // result is bit-identical to the unblocked kernel's.
+        let b_col = &b[..k];
+        let mut i = 0;
+        while i + 4 <= m {
+            let (a0, rest) = a[i * lda..i * lda + 3 * lda + k].split_at(lda);
+            let (a1, rest) = rest.split_at(lda);
+            let (a2, a3) = rest.split_at(lda);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for l in 0..k {
+                let bl = b_col[l];
+                s0 += a0[l] * bl;
+                s1 += a1[l] * bl;
+                s2 += a2[l] * bl;
+                s3 += a3[l] * bl;
+            }
+            c[i] -= s0;
+            c[i + 1] -= s1;
+            c[i + 2] -= s2;
+            c[i + 3] -= s3;
+            i += 4;
+        }
+        while i < m {
+            let a_col = &a[i * lda..i * lda + k];
+            let mut sum = 0.0;
+            for l in 0..k {
+                sum += a_col[l] * b_col[l];
+            }
+            c[i] -= sum;
+            i += 1;
+        }
+        return;
+    }
     let mut j = 0;
     // four-column register blocking: each A column is streamed once for
     // four simultaneous inner products
@@ -242,6 +333,23 @@ pub fn potrf_lower(a: &mut [f64], lda: usize, n: usize) -> Result<(), MatrixErro
 /// `X` is `m×n` (leading dim `ldx`): forward substitution on a block.
 pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
     debug_assert!(ldl >= m && ldx >= m);
+    if n == 1 {
+        // single-RHS fast path: the column update is a bounds-check-free
+        // sliced axpy, same operation order as the scalar remainder loop
+        let x_col = &mut x[..m];
+        for k in 0..m {
+            let l_col = &l[k * ldl..k * ldl + m];
+            let xk = x_col[k] / l_col[k];
+            x_col[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for (xi, &lik) in x_col[k + 1..].iter_mut().zip(&l_col[k + 1..]) {
+                *xi -= lik * xk;
+            }
+        }
+        return;
+    }
     let mut j = 0;
     // four-column register blocking: each L element is loaded once and
     // applied to four solve columns
@@ -306,6 +414,20 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
 /// backward substitution on a block.
 pub fn trsm_lower_trans_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
     debug_assert!(ldl >= m && ldx >= m);
+    if n == 1 {
+        // single-RHS fast path: sliced single-accumulator dot per row, the
+        // exact summation order of the scalar remainder loop
+        let x_col = &mut x[..m];
+        for k in (0..m).rev() {
+            let l_col = &l[k * ldl..k * ldl + m];
+            let mut s = x_col[k];
+            for (&xi, &lik) in x_col[k + 1..].iter().zip(&l_col[k + 1..]) {
+                s -= lik * xi;
+            }
+            x_col[k] = s / l_col[k];
+        }
+        return;
+    }
     let mut j = 0;
     // four-column register blocking: each L element is loaded once for
     // four simultaneous inner products
@@ -843,6 +965,104 @@ mod tests {
                     "trsm trans={trans} n={n}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn single_column_fast_paths_bit_identical_to_scalar_reference() {
+        // The n==1 gemv-shaped paths may interchange loops but must apply
+        // each element's operations in exactly the scalar order. Compare
+        // against naive in-test references for sizes hitting both the
+        // quad-blocked body and the remainders.
+        for m in [1usize, 3, 4, 5, 8, 11] {
+            for k in [1usize, 2, 4, 6, 9] {
+                let big = m.max(k) + 2;
+                let a = spd(big, 51).sub_block(0, m, 0, k); // m×k
+                let mut bvec = spd(big, 52).sub_block(0, k, 0, 1); // k×1
+                if k > 2 {
+                    bvec[(2, 0)] = 0.0; // exercise the zero-skip branch
+                }
+                let c0 = spd(big, 53).sub_block(0, m, 0, 1);
+
+                let mut c_fast = c0.clone();
+                gemm_update(
+                    c_fast.as_mut_slice(),
+                    m,
+                    a.as_slice(),
+                    m,
+                    bvec.as_slice(),
+                    k,
+                    m,
+                    1,
+                    k,
+                );
+                let mut c_ref = c0.clone();
+                for l in 0..k {
+                    let bl = bvec[(l, 0)];
+                    if bl == 0.0 {
+                        continue;
+                    }
+                    for i in 0..m {
+                        c_ref[(i, 0)] -= a[(i, l)] * bl;
+                    }
+                }
+                assert_eq!(c_fast.as_slice(), c_ref.as_slice(), "gemv m={m} k={k}");
+
+                let at = spd(big, 54).sub_block(0, k, 0, m); // k×m
+                let mut c_fast = c0.clone();
+                gemm_tn_update(
+                    c_fast.as_mut_slice(),
+                    m,
+                    at.as_slice(),
+                    k,
+                    bvec.as_slice(),
+                    k,
+                    m,
+                    1,
+                    k,
+                );
+                let mut c_ref = c0.clone();
+                for i in 0..m {
+                    let mut sum = 0.0;
+                    for l in 0..k {
+                        sum += at[(l, i)] * bvec[(l, 0)];
+                    }
+                    c_ref[(i, 0)] -= sum;
+                }
+                assert_eq!(c_fast.as_slice(), c_ref.as_slice(), "gemv_t m={m} k={k}");
+            }
+
+            let aspd = spd(m, 55);
+            let mut l = aspd.clone();
+            potrf_lower(l.as_mut_slice(), m, m).unwrap();
+            let x0 = spd(m + 2, 56).sub_block(0, m, 0, 1);
+
+            let mut x_fast = x0.clone();
+            trsm_lower_left(l.as_slice(), m, x_fast.as_mut_slice(), m, m, 1);
+            let mut x_ref = x0.clone();
+            for k in 0..m {
+                let xk = x_ref[(k, 0)] / l[(k, k)];
+                x_ref[(k, 0)] = xk;
+                if xk == 0.0 {
+                    continue;
+                }
+                for i in k + 1..m {
+                    x_ref[(i, 0)] -= l[(i, k)] * xk;
+                }
+            }
+            assert_eq!(x_fast.as_slice(), x_ref.as_slice(), "trsm m={m}");
+
+            let mut x_fast = x0.clone();
+            trsm_lower_trans_left(l.as_slice(), m, x_fast.as_mut_slice(), m, m, 1);
+            let mut x_ref = x0.clone();
+            for k in (0..m).rev() {
+                let mut s = x_ref[(k, 0)];
+                for i in k + 1..m {
+                    s -= l[(i, k)] * x_ref[(i, 0)];
+                }
+                x_ref[(k, 0)] = s / l[(k, k)];
+            }
+            assert_eq!(x_fast.as_slice(), x_ref.as_slice(), "trsm_t m={m}");
         }
     }
 

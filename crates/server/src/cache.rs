@@ -1,18 +1,19 @@
 //! LRU factor cache: keeps factorizations resident between requests.
 //!
 //! A cache entry bundles everything the solve path needs — the permutation
-//! and numeric factor ([`SparseCholeskySolver`]), the level-scheduled
-//! [`SolvePlan`], the entry's [`BatchLane`], and a pool of reusable
-//! [`SolveWorkspace`]s — behind one `Arc`, so a request holds the entry
-//! alive even if it is evicted mid-solve. Eviction is strict LRU under a
-//! configurable byte budget; the most recently inserted entry is always
-//! admitted (a single factor larger than the budget still gets cached, it
-//! just evicts everything else).
+//! and numeric factor with its [`SolvePlan`] ([`SparseCholeskySolver`]),
+//! the precomputed [`SubtreeSchedule`] for the engine's executor width,
+//! the entry's [`BatchLane`], and a pool of reusable [`SolveWorkspace`]s —
+//! behind one `Arc`, so a request holds the entry alive even if it is
+//! evicted mid-solve. Eviction is strict LRU under a configurable byte
+//! budget; the most recently inserted entry is always admitted (a single
+//! factor larger than the budget still gets cached, it just evicts
+//! everything else).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use trisolv_core::{SolvePlan, SolveWorkspace, SparseCholeskySolver};
+use trisolv_core::{SolvePlan, SolveWorkspace, SparseCholeskySolver, SubtreeSchedule};
 
 use crate::batch::BatchLane;
 use crate::engine::EngineError;
@@ -35,10 +36,11 @@ pub struct FactorEntry {
     pub fingerprint: Fingerprint,
     /// Matrix order.
     pub n: usize,
-    /// Permutation + supernodal Cholesky factor.
+    /// Permutation + supernodal Cholesky factor + solve plan.
     pub solver: SparseCholeskySolver,
-    /// Level-scheduled execution plan for the factor.
-    pub plan: SolvePlan,
+    /// Subtree-to-thread schedule precomputed for the engine's configured
+    /// executor width, so batched solves never rebuild it.
+    pub schedule: SubtreeSchedule,
     /// Micro-batching rendezvous for this factor's solve requests.
     pub lane: BatchLane<EngineError>,
     /// Estimated resident size, used for the eviction budget.
@@ -47,11 +49,12 @@ pub struct FactorEntry {
 }
 
 impl FactorEntry {
-    /// Bundle a factored solver into a cache entry.
+    /// Bundle a factored solver into a cache entry, precomputing the
+    /// subtree schedule for a `solver_threads`-wide executor.
     pub fn new(
         fingerprint: Fingerprint,
         solver: SparseCholeskySolver,
-        plan: SolvePlan,
+        solver_threads: usize,
         lane: BatchLane<EngineError>,
     ) -> FactorEntry {
         let f = solver.factor_matrix();
@@ -59,22 +62,28 @@ impl FactorEntry {
         // Estimate: factor values + block indices (~16 B/nnz) plus plan,
         // permutation and per-supernode metadata (~96 B/row).
         let bytes = f.nnz() * 16 + n * 96;
+        let schedule = solver.plan().subtree_schedule(solver_threads.max(1));
         FactorEntry {
             fingerprint,
             n,
             solver,
-            plan,
+            schedule,
             lane,
             bytes,
             workspaces: Mutex::new(Vec::new()),
         }
     }
 
+    /// The solve plan built at factor time (shared with the solver).
+    pub fn plan(&self) -> &SolvePlan {
+        self.solver.plan()
+    }
+
     /// Take a pooled workspace (or make a fresh one sized for `nrhs`).
     /// Workspaces auto-grow, so any pooled one fits any batch width.
     pub fn take_workspace(&self, nrhs: usize) -> SolveWorkspace {
         let pooled = lock_cache(&self.workspaces).pop();
-        pooled.unwrap_or_else(|| SolveWorkspace::new(&self.plan, nrhs))
+        pooled.unwrap_or_else(|| SolveWorkspace::new(self.solver.plan(), nrhs))
     }
 
     /// Return a workspace to the pool (dropped if the pool is full).
@@ -246,11 +255,10 @@ mod tests {
         let a = gen::from_spec(spec).unwrap();
         let fp = Fingerprint::of_matrix(&a);
         let solver = SparseCholeskySolver::factor(&a).unwrap();
-        let plan = SolvePlan::new(solver.factor_matrix().partition()).unwrap();
         Arc::new(FactorEntry::new(
             fp,
             solver,
-            plan,
+            2,
             BatchLane::new(BatchOptions::default()),
         ))
     }

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use trisolv_core::{SolvePlan, SparseCholeskySolver, ThreadedSolver};
+use trisolv_core::{SparseCholeskySolver, ThreadedSolver};
 use trisolv_matrix::{CscMatrix, DenseMatrix};
 
 use crate::batch::{BatchLane, BatchOptions, LaneError};
@@ -64,6 +64,10 @@ pub struct EngineOptions {
     /// this many are already in flight are shed with [`EngineError::Busy`].
     /// `0` disables shedding.
     pub max_pending: usize,
+    /// Threads per blocked solve in the threaded executor (distinct from
+    /// the front end's worker pool). `0` means
+    /// `std::thread::available_parallelism`.
+    pub solver_threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -73,6 +77,7 @@ impl Default for EngineOptions {
             batch: BatchOptions::default(),
             exec: ExecMode::Threaded,
             max_pending: 1024,
+            solver_threads: 0,
         }
     }
 }
@@ -271,6 +276,16 @@ impl Engine {
         (self.opts.batch.window.as_millis() as u64 * 2).max(1)
     }
 
+    /// The resolved threaded-executor width: the configured
+    /// `solver_threads`, or `available_parallelism` when it is `0`.
+    pub fn solver_threads(&self) -> usize {
+        if self.opts.solver_threads == 0 {
+            trisolv_core::default_threads()
+        } else {
+            self.opts.solver_threads
+        }
+    }
+
     /// Factor `a` and cache it under its content hash (idempotent: a
     /// resident matrix is not re-factored).
     pub fn load(&self, a: &CscMatrix) -> Result<LoadOutcome, EngineError> {
@@ -293,14 +308,10 @@ impl Engine {
         // injected factor fault) becomes ERR Internal, not a dead worker.
         let built = panic::catch_unwind(AssertUnwindSafe(|| {
             self.fault.trip(FaultSite::Factor);
-            let solver =
-                SparseCholeskySolver::factor(a).map_err(|e| EngineError::NotSpd(e.to_string()))?;
-            let plan = SolvePlan::new(solver.factor_matrix().partition())
-                .map_err(|e| EngineError::Internal(format!("plan construction failed: {e}")))?;
-            Ok::<_, EngineError>((solver, plan))
+            SparseCholeskySolver::factor(a).map_err(|e| EngineError::NotSpd(e.to_string()))
         }));
-        let (solver, plan) = match built {
-            Ok(Ok(pair)) => pair,
+        let solver = match built {
+            Ok(Ok(solver)) => solver,
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
@@ -314,7 +325,7 @@ impl Engine {
         let entry = Arc::new(FactorEntry::new(
             fingerprint,
             solver,
-            plan,
+            self.solver_threads(),
             BatchLane::new(self.opts.batch),
         ));
         let n = entry.n;
@@ -487,7 +498,11 @@ impl Engine {
                 dst[perm.apply(i)] = col[i];
             }
         }
-        let solver = ThreadedSolver::with_plan(entry.solver.factor_matrix(), &entry.plan);
+        let solver = ThreadedSolver::with_plan_schedule(
+            entry.solver.factor_matrix(),
+            entry.solver.plan(),
+            &entry.schedule,
+        );
         let mut ws = entry.take_workspace(k);
         let px = solver.forward_backward_with(&pb, &mut ws);
         entry.put_workspace(ws);

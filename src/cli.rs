@@ -53,6 +53,9 @@ pub enum Command {
         block: usize,
         /// Ordering name.
         ordering: String,
+        /// Shared-memory solver threads for the real (non-simulated) solve
+        /// (`0` = `std::thread::available_parallelism`).
+        threads: usize,
     },
     /// Convert between matrix file formats.
     Convert {
@@ -90,6 +93,9 @@ pub enum Command {
         io_timeout_ms: u64,
         /// Cap on client SOLVE deadlines in milliseconds (0 = uncapped).
         deadline_cap_ms: u64,
+        /// Threads per blocked solve in the threaded executor, distinct
+        /// from `workers` (`0` = `std::thread::available_parallelism`).
+        solver_threads: usize,
     },
     /// Drive a running server with the load generator.
     Client {
@@ -119,10 +125,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let usage = "usage: trisolv <info|solve|convert|gen|serve|client> ...\n\
                  \x20 trisolv info <matrix>\n\
                  \x20 trisolv solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering nd|multilevel|mindeg|rcm|natural]\n\
+                 \x20               [--threads T]      (real shared-memory solve width; 0 = available parallelism)\n\
                  \x20 trisolv convert <in> <out>\n\
                  \x20 trisolv gen <spec> <out>      (spec e.g. grid2d:64, grid3d:16x16x16, fem2d:24x24:3, random:500:6:1)\n\
                  \x20 trisolv serve [--addr A] [--workers N] [--max-batch K] [--window-us U] [--budget-mb M] [--exec seq|threaded]\n\
-                 \x20               [--fault-spec S] [--max-pending P] [--io-timeout-ms T] [--deadline-cap-ms D]\n\
+                 \x20               [--fault-spec S] [--max-pending P] [--io-timeout-ms T] [--deadline-cap-ms D] [--solver-threads T]\n\
                  \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
                  \x20               [--timeout-ms T] [--retries R] [--backoff-ms B]";
     let mut it = args.iter();
@@ -137,6 +144,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut nrhs = 1usize;
             let mut block = 8usize;
             let mut ordering = "nd".to_string();
+            let mut threads = 0usize;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -146,6 +154,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--nrhs" => nrhs = value.parse().map_err(|e| format!("bad --nrhs: {e}"))?,
                     "--block" => block = value.parse().map_err(|e| format!("bad --block: {e}"))?,
                     "--ordering" => ordering = value.clone(),
+                    "--threads" => {
+                        threads = value.parse().map_err(|e| format!("bad --threads: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -158,6 +169,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 nrhs,
                 block,
                 ordering,
+                threads,
             })
         }
         Some("convert") => {
@@ -181,6 +193,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut max_pending = 1024usize;
             let mut io_timeout_ms = 10_000u64;
             let mut deadline_cap_ms = 30_000u64;
+            let mut solver_threads = 0usize;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -216,6 +229,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| format!("bad --deadline-cap-ms: {e}"))?
                     }
+                    "--solver-threads" => {
+                        solver_threads = value
+                            .parse()
+                            .map_err(|e| format!("bad --solver-threads: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -235,6 +253,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_pending,
                 io_timeout_ms,
                 deadline_cap_ms,
+                solver_threads,
             })
         }
         Some("client") => {
@@ -371,6 +390,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             nrhs,
             block,
             ordering,
+            threads,
         } => {
             let (a, title) = load_matrix(path)?;
             let perm = ordering_perm(ordering, &a)?;
@@ -407,6 +427,27 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 report.forward_time, report.backward_time, report.msgs, report.words
             );
             let _ = writeln!(out, "residual: {resid:.3e} (relative, random RHS)");
+            // Real shared-memory solve on this machine, same factor and RHS.
+            let nthreads = if *threads == 0 {
+                trisolv_core::default_threads()
+            } else {
+                *threads
+            };
+            let tsolver = trisolv_core::ThreadedSolver::new(&factor)
+                .map_err(|e| format!("solve plan failed: {e}"))?
+                .with_threads(nthreads);
+            let mut ws = tsolver.workspace(*nrhs);
+            let start = std::time::Instant::now();
+            let tx = tsolver.forward_backward_with(&b, &mut ws);
+            let wall = start.elapsed().as_secs_f64();
+            let tax = an.pa.spmv_sym_lower(&tx).map_err(|e| e.to_string())?;
+            let tresid = tax.max_abs_diff(&b).unwrap_or(f64::NAN) / b.norm_max().max(1.0);
+            let _ = writeln!(
+                out,
+                "threaded: {nthreads} threads -> {:.6} s wall ({:.1} MFLOPS), residual {tresid:.3e}",
+                wall,
+                an.part.solve_flops(*nrhs) as f64 / wall.max(1e-12) / 1e6
+            );
         }
         Command::Convert { input, output } => {
             let (a, title) = load_matrix(input)?;
@@ -436,6 +477,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             max_pending,
             io_timeout_ms,
             deadline_cap_ms,
+            solver_threads,
         } => {
             let fault = srv::FaultPlan::parse(fault_spec)?;
             let opts = srv::ServerOptions {
@@ -450,6 +492,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     },
                     exec: srv::ExecMode::parse(exec)?,
                     max_pending: *max_pending,
+                    solver_threads: *solver_threads,
                 },
                 fault,
                 io_timeout: Duration::from_millis(*io_timeout_ms),
@@ -603,6 +646,8 @@ mod tests {
             "4",
             "--ordering",
             "multilevel",
+            "--threads",
+            "3",
         ]))
         .unwrap();
         assert_eq!(
@@ -612,7 +657,8 @@ mod tests {
                 procs: 64,
                 nrhs: 10,
                 block: 4,
-                ordering: "multilevel".into()
+                ordering: "multilevel".into(),
+                threads: 3
             }
         );
         assert!(parse_args(&strv(&["solve"])).is_err());
@@ -644,6 +690,7 @@ mod tests {
                 max_pending: 1024,
                 io_timeout_ms: 10_000,
                 deadline_cap_ms: 30_000,
+                solver_threads: 0,
             }
         );
         assert_eq!(
@@ -669,6 +716,8 @@ mod tests {
                 "2500",
                 "--deadline-cap-ms",
                 "750",
+                "--solver-threads",
+                "2",
             ]))
             .unwrap(),
             Command::Serve {
@@ -682,6 +731,7 @@ mod tests {
                 max_pending: 16,
                 io_timeout_ms: 2500,
                 deadline_cap_ms: 750,
+                solver_threads: 2,
             }
         );
         assert!(parse_args(&strv(&["serve", "--exec", "warp"])).is_err());
@@ -820,9 +870,14 @@ mod tests {
             nrhs: 2,
             block: 2,
             ordering: "nd".into(),
+            threads: 2,
         })
         .unwrap();
         assert!(solved.contains("residual:"), "{solved}");
+        assert!(solved.contains("threaded: 2 threads"), "{solved}");
+        let treal = solved.lines().find(|l| l.starts_with("threaded")).unwrap();
+        let tresid: f64 = treal.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(tresid < 1e-9, "{treal}");
         // the printed residual must be tiny
         let resid_line = solved.lines().find(|l| l.starts_with("residual")).unwrap();
         let val: f64 = resid_line

@@ -159,6 +159,115 @@ fn threaded_solve_matches_sequential_grids_and_forests() {
     }
 }
 
+/// The subtree-mapped executor reproduces the sequential relay order
+/// bit-for-bit, not just to tolerance: forward, backward, and combined
+/// solves are `assert_eq!`-identical to `seq::forward`/`seq::backward`
+/// at every executor width 1..=8 and nrhs ∈ {1, 4, 30}, across
+/// amalgamation settings, a forest-of-roots factor, and a fully dense
+/// matrix that analyzes into a single supernode.
+#[test]
+fn subtree_mapped_bit_identical_to_sequential() {
+    let mut rng = Rng::seed_from_u64(0xC1);
+
+    // Bushy ND elimination tree, at several amalgamation settings.
+    let grid = gen::grid2d_laplacian(12, 12);
+    let g = Graph::from_sym_lower(&grid);
+    let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+    let an = seqchol::analyze_with_perm(&grid, &perm);
+    let mut factors = Vec::new();
+    for part in [
+        an.part.clone(),
+        an.part.amalgamate(4, 0.0),
+        an.part.amalgamate(16, 0.25),
+    ] {
+        factors.push((
+            "grid2d_12",
+            seqchol::factor_supernodal(&an.pa, &part).unwrap(),
+        ));
+    }
+
+    // Forest of disconnected chains: the elimination forest has many
+    // roots, so the subtree cut degenerates to whole-tree tasks.
+    {
+        let (blocks, len) = (6usize, 5usize);
+        let n = blocks * len;
+        let mut t = trisolv::matrix::TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0).unwrap();
+        }
+        for b in 0..blocks {
+            for i in 0..len - 1 {
+                let r = b * len + i;
+                t.push(r + 1, r, -1.0).unwrap();
+            }
+        }
+        let a = t.to_csc();
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        factors.push((
+            "forest_6x5",
+            seqchol::factor_supernodal(&an.pa, &an.part).unwrap(),
+        ));
+    }
+
+    // Fully dense SPD matrix: every column has identical structure below
+    // the diagonal, so the whole factor is one supernode and the
+    // executor has no parallel structure to exploit at all.
+    {
+        let n = 18usize;
+        let vals = gen::random_rhs(n * n, 1, rng.next_u64() % 100);
+        let mut t = trisolv::matrix::TripletMatrix::new(n, n);
+        for j in 0..n {
+            for i in j..n {
+                let v = if i == j {
+                    n as f64 + 2.0
+                } else {
+                    0.4 * vals.as_slice()[i + j * n]
+                };
+                t.push(i, j, v).unwrap();
+            }
+        }
+        let a = t.to_csc();
+        let g = Graph::from_sym_lower(&a);
+        let perm = nd::nested_dissection(&g, nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(&a, &perm);
+        let f = seqchol::factor_supernodal(&an.pa, &an.part).unwrap();
+        assert_eq!(f.nsup(), 1, "dense matrix must be a single supernode");
+        factors.push(("dense_18", f));
+    }
+
+    for (name, f) in &factors {
+        for nrhs in [1usize, 4, 30] {
+            let b = gen::random_rhs(f.n(), nrhs, rng.next_u64() % 1000);
+            let expect_y = seq::forward(f, &b);
+            let expect_x = seq::backward(f, &expect_y);
+            for t in 1..=8usize {
+                let solver = ThreadedSolver::new(f).unwrap().with_threads(t);
+                let mut ws = solver.workspace(nrhs);
+                let y = solver.forward_with(&b, &mut ws);
+                assert_eq!(
+                    y.as_slice(),
+                    expect_y.as_slice(),
+                    "{name}: forward diverges at t={t} nrhs={nrhs}"
+                );
+                let x = solver.backward_with(&y, &mut ws);
+                assert_eq!(
+                    x.as_slice(),
+                    expect_x.as_slice(),
+                    "{name}: backward diverges at t={t} nrhs={nrhs}"
+                );
+                let fb = solver.forward_backward_with(&b, &mut ws);
+                assert_eq!(
+                    fb.as_slice(),
+                    expect_x.as_slice(),
+                    "{name}: forward_backward diverges at t={t} nrhs={nrhs}"
+                );
+            }
+        }
+    }
+}
+
 /// Elimination-tree invariant: parents always have larger labels after
 /// postordering, and subtree sizes telescope.
 #[test]
