@@ -1,0 +1,88 @@
+//! Cost of a solve certificate: refinement overhead per sweep.
+//!
+//! DESIGN.md §13 claims a refinement sweep reuses the cached factor and
+//! its level-scheduled plan, so each sweep costs one residual SpMV plus
+//! one extra forward/backward solve — the certificate should price in
+//! at roughly `(1 + iterations) ×` the plain solve. This harness checks
+//! that claim on well-posed and near-singular generated problems:
+//! factor once, time the plain solve, time the refined (certified)
+//! solve on the same factor, and report the measured per-sweep cost as
+//! a multiple of one plain solve. Writes `BENCH_refine.json`.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin bench_refine`
+
+use trisolv_bench::timing::{measure, Json};
+use trisolv_core::refine::refine;
+use trisolv_core::{RefineOptions, SparseCholeskySolver};
+use trisolv_factor::seqchol::FactorOptions;
+use trisolv_matrix::gen;
+
+const CASES: [&str; 4] = [
+    "grid2d:64",
+    "grid3d:12",
+    "graded:2000:12",
+    "rankdef:48x48:1e-10",
+];
+const NRHS: usize = 4;
+const BUDGET_SECS: f64 = 1.0;
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in CASES {
+        let a = gen::from_spec(spec).expect("generator spec");
+        let n = a.ncols();
+        let fopts = FactorOptions {
+            regularize: true,
+            ..FactorOptions::default()
+        };
+        let solver = SparseCholeskySolver::factor_opts(&a, fopts).expect("factor");
+        let b = gen::random_rhs(n, NRHS, 7);
+
+        let plain = measure(5, BUDGET_SECS, || solver.solve(&b));
+        let ropts = RefineOptions::default();
+        let refined = measure(5, BUDGET_SECS, || {
+            refine(&solver, &a, &b, &ropts).expect("refine")
+        });
+        let (_, report) = refine(&solver, &a, &b, &ropts).expect("refine");
+
+        // each sweep = one residual + one solve; the certificate itself
+        // costs one initial solve + one backward-error evaluation
+        let sweeps = report.iterations as f64;
+        let per_sweep = if sweeps > 0.0 {
+            (refined.min - plain.min) / (sweeps * plain.min)
+        } else {
+            0.0
+        };
+        println!(
+            "{spec:>22}  n={n:<6} omega={:.3e} iters={} certified={} \
+             plain={:.3e}s certified_solve={:.3e}s per-sweep={:.2}x",
+            report.backward_error,
+            report.iterations,
+            report.certified,
+            plain.min,
+            refined.min,
+            per_sweep
+        );
+        rows.push(Json::obj(vec![
+            ("spec", Json::Str(spec.to_string())),
+            ("n", Json::Int(n as i64)),
+            ("nrhs", Json::Int(NRHS as i64)),
+            ("omega", Json::Num(report.backward_error)),
+            ("iterations", Json::Int(report.iterations as i64)),
+            (
+                "certified",
+                Json::Str(if report.certified { "yes" } else { "no" }.into()),
+            ),
+            ("perturbations", Json::Int(report.perturbations as i64)),
+            ("plain_solve_s", Json::Num(plain.min)),
+            ("refined_solve_s", Json::Num(refined.min)),
+            ("per_sweep_cost_vs_solve", Json::Num(per_sweep)),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("refine_overhead".into())),
+        ("cases", Json::Arr(rows)),
+    ]);
+    std::fs::write("BENCH_refine.json", doc.pretty()).expect("write BENCH_refine.json");
+    println!("wrote BENCH_refine.json");
+}

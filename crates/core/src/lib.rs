@@ -22,6 +22,10 @@
 //! * [`dense`] — Heath–Romine style parallel *dense* triangular solvers
 //!   (1-D pipelined, and the unscalable 2-D variant) used as the
 //!   scalability yardstick in the paper's Figure 5 table;
+//! * [`refine`] — certified solves: iterative refinement with a
+//!   componentwise backward-error certificate, plus the end-to-end
+//!   equilibrate→regularize→factor→refine pipeline
+//!   ([`refine::certified_solve`]) (extension);
 //! * [`plan`] — precomputed solve schedules ([`plan::SolvePlan`]): the
 //!   topological level ordering of the supernodal tree, static dependency
 //!   counts, and child→parent scatter index maps shared by the
@@ -42,6 +46,7 @@ pub mod mapping {
 pub mod pipeline;
 pub mod plan;
 pub mod redistribute;
+pub mod refine;
 pub mod seq;
 pub mod threaded;
 pub mod tree;
@@ -49,5 +54,6 @@ pub mod tree;
 pub use driver::{ParallelSolver, ParallelSolverOptions};
 pub use mapping::SubcubeMapping;
 pub use plan::{PlanError, SolvePlan, SubtreeSchedule};
+pub use refine::{certified_solve, CertifiedSolve, CertifyOptions, RefineOptions, SolveReport};
 pub use seq::SparseCholeskySolver;
 pub use threaded::{default_threads, SolveWorkspace, ThreadedSolver};

@@ -355,8 +355,19 @@ impl SparseCholeskySolver {
     /// Factor a symmetric positive-definite matrix (lower triangle) under a
     /// caller-chosen fill-reducing permutation.
     pub fn factor_with_perm(a: &CscMatrix, fill_perm: &Permutation) -> Result<Self, MatrixError> {
+        Self::factor_with_perm_opts(a, fill_perm, seqchol::FactorOptions::default())
+    }
+
+    /// [`Self::factor_with_perm`] with an explicit factorization policy
+    /// (e.g. dynamic regularization for matrices that are not numerically
+    /// positive definite).
+    pub fn factor_with_perm_opts(
+        a: &CscMatrix,
+        fill_perm: &Permutation,
+        opts: seqchol::FactorOptions,
+    ) -> Result<Self, MatrixError> {
         let an = seqchol::analyze_with_perm(a, fill_perm);
-        let factor = seqchol::factor_supernodal(&an.pa, &an.part)?;
+        let factor = seqchol::factor_supernodal_opts(&an.pa, &an.part, opts)?;
         let plan = SolvePlan::new(factor.partition())
             .expect("internally built factors have nested supernode structure");
         Ok(SparseCholeskySolver {
@@ -369,9 +380,14 @@ impl SparseCholeskySolver {
     /// Factor with a nested-dissection ordering computed from the matrix
     /// graph (the default choice; the paper's analysis assumes it).
     pub fn factor(a: &CscMatrix) -> Result<Self, MatrixError> {
+        Self::factor_opts(a, seqchol::FactorOptions::default())
+    }
+
+    /// [`Self::factor`] with an explicit factorization policy.
+    pub fn factor_opts(a: &CscMatrix, opts: seqchol::FactorOptions) -> Result<Self, MatrixError> {
         let g = trisolv_graph::Graph::from_sym_lower(a);
         let p = trisolv_graph::nd::nested_dissection(&g, trisolv_graph::nd::NdOptions::default());
-        Self::factor_with_perm(a, &p)
+        Self::factor_with_perm_opts(a, &p, opts)
     }
 
     /// The combined permutation (fill-reducing ∘ postorder).
@@ -382,6 +398,13 @@ impl SparseCholeskySolver {
     /// The supernodal factor (in the permuted index space).
     pub fn factor_matrix(&self) -> &SupernodalFactor {
         &self.factor
+    }
+
+    /// Mutable access to the factor. Exists for integrity drills (flipping
+    /// factor bits to simulate silent corruption) and tests; normal solves
+    /// never mutate the factor.
+    pub fn factor_matrix_mut(&mut self) -> &mut SupernodalFactor {
+        &mut self.factor
     }
 
     /// The solve plan built for the factor at construction time.

@@ -329,6 +329,54 @@ pub fn potrf_lower(a: &mut [f64], lda: usize, n: usize) -> Result<(), MatrixErro
     Ok(())
 }
 
+/// In-place dense Cholesky with a pivot floor (dynamic regularization):
+/// like [`potrf_lower`], but a finite pivot below `floor` is *boosted* to
+/// `max(floor, |pivot|)` instead of failing, and the perturbation
+/// `(column, boost added)` is recorded. When no pivot trips the floor, the arithmetic —
+/// and hence the factor — is bit-identical to `potrf_lower`. Non-finite
+/// pivots still fail with [`MatrixError::NotPositiveDefinite`].
+pub fn potrf_lower_reg(
+    a: &mut [f64],
+    lda: usize,
+    n: usize,
+    floor: f64,
+    perturbations: &mut Vec<(usize, f64)>,
+) -> Result<(), MatrixError> {
+    debug_assert!(floor > 0.0 && floor.is_finite());
+    for j in 0..n {
+        for k in 0..j {
+            let ajk = a[j + k * lda];
+            if ajk == 0.0 {
+                continue;
+            }
+            for i in j..n {
+                a[i + j * lda] -= a[i + k * lda] * ajk;
+            }
+        }
+        let mut pivot = a[j + j * lda];
+        if !pivot.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite { column: j, pivot });
+        }
+        if pivot < floor {
+            // Boost to max(floor, |pivot|): a strongly negative pivot is
+            // flipped rather than shrunk to the floor, which keeps the
+            // rescaled column bounded by the original column magnitudes and
+            // stops the perturbation from cascading through the Schur
+            // complement (Gill–Murray-style modified Cholesky).
+            let boosted = floor.max(-pivot);
+            perturbations.push((j, boosted - pivot));
+            pivot = boosted;
+        }
+        let d = pivot.sqrt();
+        a[j + j * lda] = d;
+        let inv = 1.0 / d;
+        for i in j + 1..n {
+            a[i + j * lda] *= inv;
+        }
+    }
+    Ok(())
+}
+
 /// `X ← L⁻¹·X` where `L` is `m×m` lower-triangular (leading dim `ldl`) and
 /// `X` is `m×n` (leading dim `ldx`): forward substitution on a block.
 pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
@@ -741,6 +789,42 @@ mod tests {
             err,
             MatrixError::NotPositiveDefinite { column: 2, .. }
         ));
+    }
+
+    #[test]
+    fn potrf_reg_is_bit_identical_without_boosts() {
+        let a = spd(6, 13);
+        let mut plain = a.clone();
+        potrf_lower(plain.as_mut_slice(), 6, 6).unwrap();
+        let mut reg = a.clone();
+        let mut perts = Vec::new();
+        potrf_lower_reg(reg.as_mut_slice(), 6, 6, 1e-300, &mut perts).unwrap();
+        assert!(perts.is_empty());
+        assert_eq!(plain.as_slice(), reg.as_slice());
+    }
+
+    #[test]
+    fn potrf_reg_boosts_bad_pivot_and_records_it() {
+        let mut a = DenseMatrix::identity(3);
+        a[(2, 2)] = -1.0;
+        let floor = 0.5;
+        let mut perts = Vec::new();
+        potrf_lower_reg(a.as_mut_slice(), 3, 3, floor, &mut perts).unwrap();
+        // pivot −1 flips to |−1| = 1 (larger than the floor): boost is 2
+        assert_eq!(perts, vec![(2, 2.0)]);
+        assert!((a[(2, 2)] - 1.0).abs() < 1e-15);
+        // a tiny positive pivot is lifted to the floor itself
+        let mut c = DenseMatrix::identity(2);
+        c[(1, 1)] = 1e-40;
+        let mut perts = Vec::new();
+        potrf_lower_reg(c.as_mut_slice(), 2, 2, floor, &mut perts).unwrap();
+        assert_eq!(perts, vec![(1, floor - 1e-40)]);
+        assert!((c[(1, 1)] - floor.sqrt()).abs() < 1e-15);
+        // a non-finite pivot still fails even with a floor
+        let mut b = DenseMatrix::identity(2);
+        b[(1, 1)] = f64::NAN;
+        let mut perts = Vec::new();
+        assert!(potrf_lower_reg(b.as_mut_slice(), 2, 2, floor, &mut perts).is_err());
     }
 
     #[test]

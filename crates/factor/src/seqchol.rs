@@ -167,6 +167,32 @@ pub fn factor_simplicial_ldlt(
     Ok((CscMatrix::from_parts(n, n, colptr, rowidx, values)?, d))
 }
 
+/// Numeric-phase policy for the supernodal factorization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorOptions {
+    /// Boost a too-small (or negative) pivot to the floor instead of
+    /// failing with `NotPositiveDefinite` — CHOLMOD-style dynamic
+    /// regularization. The perturbations are recorded on the factor
+    /// ([`SupernodalFactor::perturbations`]) so iterative refinement can
+    /// compensate. Off by default: breakdown stays a hard error unless
+    /// the caller opted in.
+    pub regularize: bool,
+    /// Relative pivot floor: the absolute floor is `beta · max_ij |a_ij|`.
+    /// The default (`f64::EPSILON`) only trips on pivots that are zero or
+    /// negative up to rounding, so well-conditioned factorizations are
+    /// bit-identical with or without regularization enabled.
+    pub beta: f64,
+}
+
+impl Default for FactorOptions {
+    fn default() -> FactorOptions {
+        FactorOptions {
+            regularize: false,
+            beta: f64::EPSILON,
+        }
+    }
+}
+
 /// Assemble and partially factor one supernode's frontal matrix.
 ///
 /// `child_updates` supplies the update (Schur-complement) matrices of the
@@ -179,6 +205,20 @@ pub fn process_frontal(
     part: &SupernodePartition,
     s: usize,
     child_updates: &[(usize, DenseMatrix)],
+) -> Result<(DenseMatrix, DenseMatrix), MatrixError> {
+    process_frontal_reg(pa, part, s, child_updates, None, &mut Vec::new())
+}
+
+/// [`process_frontal`] with an optional pivot floor: when `floor` is
+/// `Some`, sub-floor pivots are boosted and recorded into `perturbations`
+/// as `(global column, delta)` pairs instead of aborting.
+pub fn process_frontal_reg(
+    pa: &CscMatrix,
+    part: &SupernodePartition,
+    s: usize,
+    child_updates: &[(usize, DenseMatrix)],
+    floor: Option<f64>,
+    perturbations: &mut Vec<(usize, f64)>,
 ) -> Result<(DenseMatrix, DenseMatrix), MatrixError> {
     let rows = part.rows(s);
     let t = part.width(s);
@@ -207,7 +247,16 @@ pub fn process_frontal(
         }
     }
     // partial dense factorization of the leading t columns
-    blas::potrf_lower(f.as_mut_slice(), ns, t).map_err(|e| match e {
+    match floor {
+        None => blas::potrf_lower(f.as_mut_slice(), ns, t),
+        Some(fl) => {
+            let mut local = Vec::new();
+            let r = blas::potrf_lower_reg(f.as_mut_slice(), ns, t, fl, &mut local);
+            perturbations.extend(local.into_iter().map(|(c, d)| (first + c, d)));
+            r
+        }
+    }
+    .map_err(|e| match e {
         MatrixError::NotPositiveDefinite { column, pivot } => MatrixError::NotPositiveDefinite {
             column: first + column,
             pivot,
@@ -245,20 +294,45 @@ pub fn factor_supernodal(
     pa: &CscMatrix,
     part: &SupernodePartition,
 ) -> Result<SupernodalFactor, MatrixError> {
+    factor_supernodal_opts(pa, part, FactorOptions::default())
+}
+
+/// [`factor_supernodal`] with a numeric policy. With
+/// `opts.regularize == true`, a non-positive (or sub-floor) pivot no
+/// longer aborts the factorization: it is boosted to `beta · max|A|` and
+/// the perturbation is recorded on the returned factor, making breakdown
+/// a *policy choice* rather than the only outcome.
+pub fn factor_supernodal_opts(
+    pa: &CscMatrix,
+    part: &SupernodePartition,
+    opts: FactorOptions,
+) -> Result<SupernodalFactor, MatrixError> {
+    let floor = if opts.regularize {
+        let maxabs = pa.values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        // a positive floor even for the all-zero matrix, so potrf's
+        // division by the boosted pivot is well-defined
+        Some((opts.beta * maxabs).max(f64::MIN_POSITIVE))
+    } else {
+        None
+    };
     let nsup = part.nsup();
     let mut blocks: Vec<DenseMatrix> = Vec::with_capacity(nsup);
     let mut updates: Vec<Option<DenseMatrix>> = (0..nsup).map(|_| None).collect();
+    let mut perturbations = Vec::new();
     let children = part.children();
     for s in 0..nsup {
         let child_updates: Vec<(usize, DenseMatrix)> = children[s]
             .iter()
             .map(|&c| (c, updates[c].take().expect("child processed earlier")))
             .collect();
-        let (blk, update) = process_frontal(pa, part, s, &child_updates)?;
+        let (blk, update) =
+            process_frontal_reg(pa, part, s, &child_updates, floor, &mut perturbations)?;
         updates[s] = Some(update);
         blocks.push(blk);
     }
-    Ok(SupernodalFactor::new(part.clone(), blocks))
+    let mut f = SupernodalFactor::new(part.clone(), blocks);
+    f.set_perturbations(perturbations);
+    Ok(f)
 }
 
 /// Flops actually performed by the supernodal factorization (dense-block
@@ -353,6 +427,56 @@ mod tests {
         let an = analyze_with_perm(&a, &Permutation::identity(16));
         assert!(factor_simplicial(&an.pa, &an.sym).is_err());
         assert!(factor_supernodal(&an.pa, &an.part).is_err());
+    }
+
+    #[test]
+    fn regularization_recovers_indefinite_pivot() {
+        let mut a = gen::grid2d_laplacian(4, 4);
+        let j = 7;
+        let pos = a.col_rows(j).iter().position(|&i| i == j).unwrap();
+        let base = a.colptr()[j];
+        a.values_mut()[base + pos] = -5.0;
+        let an = analyze_with_perm(&a, &Permutation::identity(16));
+        // default policy: hard failure
+        assert!(factor_supernodal(&an.pa, &an.part).is_err());
+        // regularized: succeeds and records where it intervened
+        let opts = FactorOptions {
+            regularize: true,
+            ..FactorOptions::default()
+        };
+        let f = factor_supernodal_opts(&an.pa, &an.part, opts).unwrap();
+        assert!(
+            !f.perturbations().is_empty(),
+            "expected at least one recorded boost"
+        );
+        for &(col, delta) in f.perturbations() {
+            assert!(col < 16);
+            assert!(delta > 0.0 && delta.is_finite());
+        }
+        // the factor is a valid Cholesky factor of the *perturbed* matrix
+        let x = gen::random_rhs(16, 1, 5);
+        let llx = f.llt_times(&x);
+        assert!(llx.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn regularized_factor_is_bit_identical_on_spd_input() {
+        let a = gen::grid2d_laplacian(7, 7);
+        let an = analyze_with_perm(&a, &nd_perm(&a));
+        let plain = factor_supernodal(&an.pa, &an.part).unwrap();
+        let opts = FactorOptions {
+            regularize: true,
+            ..FactorOptions::default()
+        };
+        let reg = factor_supernodal_opts(&an.pa, &an.part, opts).unwrap();
+        assert!(reg.perturbations().is_empty());
+        for s in 0..plain.nsup() {
+            assert_eq!(
+                plain.block(s).as_slice(),
+                reg.block(s).as_slice(),
+                "supernode {s} changed"
+            );
+        }
     }
 
     #[test]

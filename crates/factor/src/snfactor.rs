@@ -15,6 +15,10 @@ use trisolv_symbolic::SupernodePartition;
 pub struct SupernodalFactor {
     part: SupernodePartition,
     blocks: Vec<DenseMatrix>,
+    /// Diagonal boosts applied by dynamic regularization, as
+    /// `(global column, added perturbation)` in the permuted ordering;
+    /// empty for a plain factorization.
+    perturbations: Vec<(usize, f64)>,
 }
 
 impl SupernodalFactor {
@@ -29,7 +33,26 @@ impl SupernodalFactor {
                 "block {s} shape mismatch"
             );
         }
-        SupernodalFactor { part, blocks }
+        SupernodalFactor {
+            part,
+            blocks,
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// Record the diagonal perturbations a regularized factorization
+    /// applied (see `seqchol::factor_supernodal_opts`).
+    pub fn set_perturbations(&mut self, perturbations: Vec<(usize, f64)>) {
+        self.perturbations = perturbations;
+    }
+
+    /// Diagonal perturbations applied by dynamic regularization:
+    /// `(global column, boost added to the pivot)` pairs in the permuted
+    /// ordering, empty for a plain factorization. This factor represents
+    /// `A + Σ δ_j·e_j·e_jᵀ`, not `A` — iterative refinement against the
+    /// *original* matrix compensates for the difference.
+    pub fn perturbations(&self) -> &[(usize, f64)] {
+        &self.perturbations
     }
 
     /// The supernode partition.

@@ -284,6 +284,74 @@ impl CscMatrix {
         Ok(y)
     }
 
+    /// Residual `r = b − A·x` for a lower-triangular symmetric `A`, fused
+    /// in one sweep: `r` starts as a copy of `b` and the symmetric
+    /// product is subtracted in place, so iterative refinement pays no
+    /// intermediate `A·x` allocation per step.
+    pub fn residual_sym_lower(&self, x: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.nrows != self.ncols || x.nrows() != self.ncols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "residual_sym_lower",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        if b.shape() != x.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "residual_sym_lower",
+                lhs: b.shape(),
+                rhs: x.shape(),
+            });
+        }
+        let mut r = b.clone();
+        for rhs in 0..x.ncols() {
+            let xc = x.col(rhs);
+            let rc = r.col_mut(rhs);
+            for j in 0..self.ncols {
+                let xj = xc[j];
+                for k in self.colptr[j]..self.colptr[j + 1] {
+                    let i = self.rowidx[k];
+                    let v = self.values[k];
+                    rc[i] -= v * xj;
+                    if i != j {
+                        rc[j] -= v * xc[i];
+                    }
+                }
+            }
+        }
+        Ok(r)
+    }
+
+    /// `y = |A| · |x|` for a lower-triangular symmetric `A`: the
+    /// componentwise scale `(|A|·|x| + |b|)` used by the Oettli–Prager
+    /// backward-error test in iterative refinement.
+    pub fn spmv_sym_lower_abs(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.nrows != self.ncols || x.nrows() != self.ncols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmv_sym_lower_abs",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        let mut y = DenseMatrix::zeros(self.nrows, x.ncols());
+        for rhs in 0..x.ncols() {
+            let xc = x.col(rhs);
+            let yc = y.col_mut(rhs);
+            for j in 0..self.ncols {
+                let xj = xc[j].abs();
+                for k in self.colptr[j]..self.colptr[j + 1] {
+                    let i = self.rowidx[k];
+                    let v = self.values[k].abs();
+                    yc[i] += v * xj;
+                    if i != j {
+                        yc[j] += v * xc[i].abs();
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+
     /// Symmetric permutation `P A Pᵀ` of a lower-triangular symmetric
     /// matrix, returning the result again in lower-triangular form.
     ///
@@ -406,6 +474,45 @@ mod tests {
         let a = m.spmv_sym_lower(&x).unwrap();
         let b = f.spmv(&x).unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn residual_sym_lower_matches_two_step() {
+        let m = sample_lower();
+        let x = DenseMatrix::column_vector(&[0.5, -1.0, 2.0]);
+        let b = DenseMatrix::column_vector(&[3.0, -4.0, 5.0]);
+        let r = m.residual_sym_lower(&x, &b).unwrap();
+        let ax = m.spmv_sym_lower(&x).unwrap();
+        for i in 0..3 {
+            assert_eq!(r[(i, 0)], b[(i, 0)] - ax[(i, 0)]);
+        }
+        // shape mismatches are structured errors
+        let short = DenseMatrix::column_vector(&[1.0, 2.0]);
+        assert!(m.residual_sym_lower(&short, &b).is_err());
+        assert!(m.residual_sym_lower(&x, &short).is_err());
+    }
+
+    #[test]
+    fn spmv_sym_lower_abs_bounds_the_product() {
+        let m = sample_lower();
+        let x = DenseMatrix::column_vector(&[0.5, -1.0, 2.0]);
+        let y = m.spmv_sym_lower(&x).unwrap();
+        let ya = m.spmv_sym_lower_abs(&x).unwrap();
+        for i in 0..3 {
+            assert!(ya[(i, 0)] >= y[(i, 0)].abs() - 1e-14);
+            assert!(ya[(i, 0)] >= 0.0);
+        }
+        // on an all-nonnegative problem the two agree exactly
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 2.0).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        let pos = t.to_csc();
+        let xq = DenseMatrix::column_vector(&[1.0, 2.0]);
+        assert_eq!(
+            pos.spmv_sym_lower(&xq).unwrap(),
+            pos.spmv_sym_lower_abs(&xq).unwrap()
+        );
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub enum MatrixError {
         /// The offending pivot value.
         pivot: f64,
     },
+    /// A non-finite value (NaN or ±Inf) where finite data is required.
+    NonFinite {
+        /// What was being validated (e.g. `"matrix values"`, `"rhs"`).
+        what: &'static str,
+        /// Index of the first offending entry.
+        index: usize,
+    },
     /// A parse or I/O problem while reading matrix text formats.
     Io(String),
 }
@@ -53,12 +60,27 @@ impl fmt::Display for MatrixError {
                 f,
                 "matrix is not positive definite: pivot {pivot:e} at column {column}"
             ),
+            MatrixError::NonFinite { what, index } => {
+                write!(f, "non-finite value in {what} at index {index}")
+            }
             MatrixError::Io(msg) => write!(f, "matrix I/O error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for MatrixError {}
+
+/// Check that every element of `data` is finite, identifying the first
+/// offender by index. This is the single choke point for NaN/Inf
+/// rejection across the workspace: matrix ingest (Harwell-Boeing,
+/// Matrix-Market), server request validation, and kernel output checks
+/// all report the same structured [`MatrixError::NonFinite`].
+pub fn validate_finite(what: &'static str, data: &[f64]) -> crate::Result<()> {
+    match data.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(index) => Err(MatrixError::NonFinite { what, index }),
+    }
+}
 
 impl From<std::io::Error> for MatrixError {
     fn from(e: std::io::Error) -> Self {
@@ -91,6 +113,22 @@ mod tests {
             pivot: -1.0,
         };
         assert!(e.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn validate_finite_finds_first_offender() {
+        assert!(validate_finite("data", &[1.0, 2.0, 3.0]).is_ok());
+        assert!(validate_finite("data", &[]).is_ok());
+        let e = validate_finite("rhs", &[1.0, f64::NAN, f64::INFINITY]).unwrap_err();
+        assert_eq!(
+            e,
+            MatrixError::NonFinite {
+                what: "rhs",
+                index: 1
+            }
+        );
+        assert!(e.to_string().contains("rhs"));
+        assert!(e.to_string().contains("index 1"));
     }
 
     #[test]

@@ -9,6 +9,12 @@
 use crate::{CscMatrix, MatrixError, Result};
 use std::io::{BufRead, Write};
 
+/// Largest dimension or entry count the reader accepts from an HB header
+/// (2²⁸ ≈ 268M — far beyond any matrix this workspace can factor, but
+/// small enough that a corrupt or hostile header cannot size an
+/// allocation measured in terabytes).
+const MAX_HB_DIM: usize = 1 << 28;
+
 /// A parsed FORTRAN edit descriptor: `count` fields of `width` characters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Format {
@@ -129,7 +135,33 @@ pub fn read_harwell_boeing<R: BufRead>(reader: R) -> Result<(CscMatrix, String)>
     if dims.len() < 3 {
         return Err(MatrixError::Io("short dimension line".to_string()));
     }
-    let (nrow, ncol, nnz) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    // Reject negative and overflow-sized headers before any allocation is
+    // sized from them: a negative i64 cast to usize wraps to ~2^64 and an
+    // absurd nnz would drive `Vec::with_capacity` into the allocator.
+    let checked_dim = |v: i64, what: &str| -> Result<usize> {
+        if v < 0 {
+            return Err(MatrixError::Io(format!(
+                "negative {what} in HB header: {v}"
+            )));
+        }
+        if v as u64 > MAX_HB_DIM as u64 {
+            return Err(MatrixError::Io(format!(
+                "{what} {v} exceeds the {MAX_HB_DIM} HB reader cap"
+            )));
+        }
+        Ok(v as usize)
+    };
+    let nrow = checked_dim(dims[0], "row count")?;
+    let ncol = checked_dim(dims[1], "column count")?;
+    let nnz = checked_dim(dims[2], "entry count")?;
+    match nrow.checked_mul(ncol) {
+        Some(cells) if nnz <= cells => {}
+        _ => {
+            return Err(MatrixError::Io(format!(
+                "HB header claims {nnz} entries for a {nrow}x{ncol} matrix"
+            )));
+        }
+    }
     let kind = mxtype.chars().next().unwrap_or(' ');
     let sym = mxtype.chars().nth(1).unwrap_or(' ');
     let assembled = mxtype.chars().nth(2).unwrap_or(' ');
@@ -179,6 +211,9 @@ pub fn read_harwell_boeing<R: BufRead>(reader: R) -> Result<(CscMatrix, String)>
         Some(f) => read_fields(&mut lines, f, nnz, parse_f64)?,
         None => vec![1.0; nnz],
     };
+    // Reject NaN/Inf at ingest (overflowing exponents parse to Inf), so
+    // bad data fails here with a structured error, not at solve time.
+    crate::error::validate_finite("HB matrix values", &values)?;
     // 1-based → 0-based
     let colptr: Vec<usize> = colptr_raw
         .iter()
@@ -419,6 +454,55 @@ CSA                        2             2             1             0
   0.1D+01
 ";
         assert!(read_harwell_boeing(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_and_absurd_headers() {
+        // negative dimension: must not wrap through `as usize`
+        let neg = "\
+bad                                                                     BAD
+             3             1             1             1
+RSA                       -3             3             5             0
+(6I3)           (6I3)           (5D12.4)
+";
+        let e = read_harwell_boeing(BufReader::new(neg.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("negative"), "{e}");
+        // overflow-sized entry count: rejected before allocation
+        let huge = "\
+bad                                                                     BAD
+             3             1             1             1
+RSA                 99999999      99999999 99999999999999             0
+(6I3)           (6I3)           (5D12.4)
+";
+        assert!(read_harwell_boeing(BufReader::new(huge.as_bytes())).is_err());
+        // nnz larger than nrow*ncol is structurally impossible
+        let toomany = "\
+bad                                                                     BAD
+             3             1             1             1
+RSA                        2             2             9             0
+(6I3)           (6I3)           (5D12.4)
+";
+        let e = read_harwell_boeing(BufReader::new(toomany.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("claims"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values_at_ingest() {
+        // 0.4D+999 overflows f64 and parses to +Inf
+        let text = "\
+tiny test matrix                                                        TINY
+             3             1             1             1
+RSA                        3             3             5             0
+(6I3)           (6I3)           (5D12.4)            \n\
+  1  3  5  6
+  1  2  2  3  3
+ 0.4000D+999 -0.1000D+01 0.40000D+01 -0.1000D+01 0.40000D+01
+";
+        let e = read_harwell_boeing(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(
+            matches!(e, MatrixError::NonFinite { .. }),
+            "expected NonFinite, got {e}"
+        );
     }
 
     #[test]

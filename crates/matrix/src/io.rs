@@ -80,6 +80,14 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(CscMatrix, Symmetry)
             .ok_or_else(|| MatrixError::Io("missing value field".to_string()))?
             .parse()
             .map_err(|e| MatrixError::Io(format!("bad value: {e}")))?;
+        if !v.is_finite() {
+            // reject NaN/Inf at ingest with the same structured error the
+            // rest of the workspace uses (see `validate_finite`)
+            return Err(MatrixError::NonFinite {
+                what: "Matrix-Market values",
+                index: seen,
+            });
+        }
         if i == 0 || j == 0 {
             return Err(MatrixError::Io("indices are 1-based".to_string()));
         }

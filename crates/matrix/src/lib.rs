@@ -15,6 +15,8 @@
 //!   for testing.
 //! * [`io`] — a minimal Matrix-Market-style text reader/writer so experiment
 //!   inputs and outputs can be inspected and exchanged.
+//! * [`scale`] — symmetric diagonal equilibration for badly scaled
+//!   inputs, feeding the certified-solve pipeline in `trisolv-core`.
 //! * [`rng`] — the in-tree deterministic PRNG used by the generators and
 //!   the randomized tests (keeps the workspace free of external
 //!   dependencies so it builds offline).
@@ -30,11 +32,13 @@ pub mod gen;
 pub mod hb;
 pub mod io;
 pub mod rng;
+pub mod scale;
 pub mod triplet;
 
 pub use csc::CscMatrix;
 pub use dense::DenseMatrix;
-pub use error::MatrixError;
+pub use error::{validate_finite, MatrixError};
+pub use scale::{equilibrate_sym, SymScaling};
 pub use triplet::TripletMatrix;
 
 /// Convenient result alias for fallible matrix operations.

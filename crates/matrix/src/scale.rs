@@ -1,0 +1,201 @@
+//! Symmetric diagonal equilibration.
+//!
+//! Badly scaled inputs (structural models mixing stiffness units, graded
+//! meshes) can defeat both the Cholesky pivots and iterative refinement:
+//! the componentwise backward error is scale-invariant, but the *rate* at
+//! which refinement converges degrades with the scaling-induced part of
+//! the condition number. Symmetric equilibration `Ã = D·A·D` with
+//! `d_i = 1/√|a_ii|` makes every diagonal entry of `Ã` exactly ±1, which
+//! removes the diagonal-scaling component of the condition number while
+//! preserving symmetry and definiteness. The solve then runs on the
+//! scaled system: `Ã·x̃ = D·b`, `x = D·x̃`.
+
+use crate::{CscMatrix, DenseMatrix, MatrixError, Result};
+
+/// The outcome of [`equilibrate_sym`]: the scaled matrix plus the
+/// diagonal scale factors needed to transform right-hand sides and
+/// recover solutions.
+#[derive(Debug, Clone)]
+pub struct SymScaling {
+    /// The scaled lower-triangular matrix `D·A·D`.
+    pub scaled: CscMatrix,
+    /// Diagonal scale factors `d_i = 1/√|a_ii|` (`1.0` where the diagonal
+    /// entry is absent or zero).
+    pub d: Vec<f64>,
+    /// Largest scale factor applied (`max_i d_i`).
+    pub dmax: f64,
+    /// Smallest scale factor applied (`min_i d_i`).
+    pub dmin: f64,
+}
+
+impl SymScaling {
+    /// How far from unit scaling the input was: `dmax / dmin` (1.0 for an
+    /// already-equilibrated matrix). This is the number worth reporting.
+    pub fn ratio(&self) -> f64 {
+        if self.dmin > 0.0 {
+            self.dmax / self.dmin
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Transform a right-hand side of the original system into the scaled
+    /// system: `b̃ = D·b`.
+    pub fn scale_rhs(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        self.apply(b, "scale_rhs")
+    }
+
+    /// Recover the original-system solution from the scaled one:
+    /// `x = D·x̃`.
+    pub fn unscale_solution(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.apply(x, "unscale_solution")
+    }
+
+    fn apply(&self, v: &DenseMatrix, op: &'static str) -> Result<DenseMatrix> {
+        if v.nrows() != self.d.len() {
+            return Err(MatrixError::DimensionMismatch {
+                op,
+                lhs: (self.d.len(), self.d.len()),
+                rhs: v.shape(),
+            });
+        }
+        let mut out = v.clone();
+        for c in 0..out.ncols() {
+            let col = out.col_mut(c);
+            for (i, x) in col.iter_mut().enumerate() {
+                *x *= self.d[i];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Symmetric diagonal equilibration of a lower-triangular symmetric
+/// matrix: returns `D·A·D` with `d_i = 1/√|a_ii|`, so every nonzero
+/// diagonal entry of the result is ±1.
+///
+/// Rows whose diagonal entry is absent or exactly zero keep `d_i = 1`
+/// (nothing sensible to scale by; regularization or refinement deals with
+/// them downstream). Rejects non-square matrices and non-finite values.
+pub fn equilibrate_sym(a: &CscMatrix) -> Result<SymScaling> {
+    if a.nrows() != a.ncols() {
+        return Err(MatrixError::InvalidStructure(
+            "equilibrate_sym requires a square matrix".to_string(),
+        ));
+    }
+    crate::error::validate_finite("matrix values", a.values())?;
+    let n = a.ncols();
+    let mut d = vec![1.0f64; n];
+    for (j, dj) in d.iter_mut().enumerate() {
+        let ajj = a.get(j, j);
+        if ajj != 0.0 {
+            *dj = 1.0 / ajj.abs().sqrt();
+        }
+    }
+    let mut scaled = a.clone();
+    {
+        let colptr = a.colptr().to_vec();
+        let rowidx = a.rowidx().to_vec();
+        let values = scaled.values_mut();
+        for j in 0..n {
+            for k in colptr[j]..colptr[j + 1] {
+                values[k] *= d[rowidx[k]] * d[j];
+            }
+        }
+    }
+    let (mut dmin, mut dmax) = (f64::INFINITY, 0.0f64);
+    for &v in &d {
+        dmin = dmin.min(v);
+        dmax = dmax.max(v);
+    }
+    if n == 0 {
+        (dmin, dmax) = (1.0, 1.0);
+    }
+    Ok(SymScaling {
+        scaled,
+        d,
+        dmax,
+        dmin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn unit_diagonal_after_scaling() {
+        let a = gen::random_spd(40, 4, 11);
+        let s = equilibrate_sym(&a).unwrap();
+        for j in 0..40 {
+            assert!((s.scaled.get(j, j) - 1.0).abs() < 1e-14, "diag at {j}");
+        }
+        assert!(s.ratio() >= 1.0);
+    }
+
+    #[test]
+    fn scaled_solve_recovers_original_solution() {
+        // Build a badly scaled SPD matrix: D·A·D with huge D applied to a
+        // Laplacian, then check that solving through the scaling round
+        // trips: x == D_s · solve(scaled, D_s·b) numerically.
+        let a = gen::grid2d_laplacian(6, 6);
+        let s = equilibrate_sym(&a).unwrap();
+        let x = gen::random_rhs(36, 2, 3);
+        // b = A·x; scaled rhs must equal (DAD)·(D^{-1}x)
+        let b = a.spmv_sym_lower(&x).unwrap();
+        let sb = s.scale_rhs(&b).unwrap();
+        // D^{-1} x
+        let mut xs = x.clone();
+        for c in 0..xs.ncols() {
+            let col = xs.col_mut(c);
+            for (i, v) in col.iter_mut().enumerate() {
+                *v /= s.d[i];
+            }
+        }
+        let lhs = s.scaled.spmv_sym_lower(&xs).unwrap();
+        assert!(lhs.max_abs_diff(&sb).unwrap() < 1e-12);
+        // and unscale_solution inverts the substitution
+        let back = s.unscale_solution(&xs).unwrap();
+        assert!(back.max_abs_diff(&x).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_scaling_is_reported() {
+        // diag entries 1 and 1e12 → ratio ~1e6 (sqrt scale)
+        let mut t = crate::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 0, 10.0).unwrap();
+        t.push(1, 1, 1e12).unwrap();
+        let a = t.to_csc();
+        let s = equilibrate_sym(&a).unwrap();
+        assert!((s.ratio() - 1e6).abs() / 1e6 < 1e-10);
+        assert!((s.scaled.get(1, 1) - 1.0).abs() < 1e-14);
+        // off-diagonal scaled by both factors
+        assert!((s.scaled.get(1, 0) - 10.0 * 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_diagonal_keeps_unit_scale() {
+        let mut t = crate::TripletMatrix::new(2, 2);
+        t.push(1, 0, 3.0).unwrap();
+        t.push(1, 1, 4.0).unwrap();
+        let a = t.to_csc(); // row 0 has no diagonal entry
+        let s = equilibrate_sym(&a).unwrap();
+        assert_eq!(s.d[0], 1.0);
+        assert_eq!(s.scaled.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn rejects_non_finite_and_non_square() {
+        let mut t = crate::TripletMatrix::new(2, 2);
+        t.push(0, 0, f64::NAN).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        assert!(matches!(
+            equilibrate_sym(&t.to_csc()),
+            Err(MatrixError::NonFinite { .. })
+        ));
+        let rect = CscMatrix::zeros(3, 2);
+        assert!(equilibrate_sym(&rect).is_err());
+    }
+}

@@ -11,9 +11,11 @@
 //! everything else).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use trisolv_core::{SolvePlan, SolveWorkspace, SparseCholeskySolver, SubtreeSchedule};
+use trisolv_matrix::CscMatrix;
 
 use crate::batch::BatchLane;
 use crate::engine::EngineError;
@@ -36,6 +38,10 @@ pub struct FactorEntry {
     pub fingerprint: Fingerprint,
     /// Matrix order.
     pub n: usize,
+    /// The original matrix this entry was factored from — retained for
+    /// iterative refinement (residuals need `A`, not `L`) and for
+    /// self-healing refactorization after integrity-check failures.
+    pub matrix: CscMatrix,
     /// Permutation + supernodal Cholesky factor + solve plan.
     pub solver: SparseCholeskySolver,
     /// Subtree-to-thread schedule precomputed for the engine's configured
@@ -45,33 +51,95 @@ pub struct FactorEntry {
     pub lane: BatchLane<EngineError>,
     /// Estimated resident size, used for the eviction budget.
     pub bytes: usize,
+    /// Digest of the factor's value blocks taken at construction; the
+    /// integrity cadence re-digests and compares (see
+    /// [`FactorEntry::verify`]).
+    pub checksum: Fingerprint,
+    /// Solves served by this entry (drives the verify cadence).
+    solves: AtomicU64,
     workspaces: Mutex<Vec<SolveWorkspace>>,
 }
 
 impl FactorEntry {
     /// Bundle a factored solver into a cache entry, precomputing the
-    /// subtree schedule for a `solver_threads`-wide executor.
+    /// subtree schedule for a `solver_threads`-wide executor and digesting
+    /// the factor values for later integrity checks.
     pub fn new(
         fingerprint: Fingerprint,
+        matrix: CscMatrix,
         solver: SparseCholeskySolver,
         solver_threads: usize,
         lane: BatchLane<EngineError>,
     ) -> FactorEntry {
         let f = solver.factor_matrix();
         let n = f.n();
-        // Estimate: factor values + block indices (~16 B/nnz) plus plan,
-        // permutation and per-supernode metadata (~96 B/row).
-        let bytes = f.nnz() * 16 + n * 96;
+        // Estimate: factor values + block indices (~16 B/nnz), the retained
+        // matrix arrays (~16 B/nnz), plus plan, permutation and
+        // per-supernode metadata (~96 B/row).
+        let bytes = f.nnz() * 16 + matrix.nnz() * 16 + n * 96;
         let schedule = solver.plan().subtree_schedule(solver_threads.max(1));
+        let checksum = Self::digest_factor(&solver);
         FactorEntry {
             fingerprint,
             n,
+            matrix,
             solver,
             schedule,
             lane,
             bytes,
+            checksum,
+            solves: AtomicU64::new(0),
             workspaces: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Digest a solver's factor value blocks (two-lane FNV over the
+    /// IEEE-754 bit patterns).
+    fn digest_factor(solver: &SparseCholeskySolver) -> Fingerprint {
+        let f = solver.factor_matrix();
+        Fingerprint::of_value_slices((0..f.nsup()).map(|s| f.block(s).as_slice()))
+    }
+
+    /// Re-digest the factor values and compare against the checksum taken
+    /// at construction. `false` means the resident factor no longer matches
+    /// what was inserted — silent corruption.
+    pub fn verify(&self) -> bool {
+        Self::digest_factor(&self.solver) == self.checksum
+    }
+
+    /// Count one solve against this entry; returns the new total. The
+    /// engine uses the running count to trigger periodic verification.
+    pub fn note_solve(&self) -> u64 {
+        self.solves.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Fault-injection hook (`cache.torn`): a clone of this entry whose
+    /// factor has one value's lowest mantissa bit flipped but whose
+    /// *checksum is the original* — exactly what silent in-memory
+    /// corruption of a resident factor looks like to the integrity check.
+    pub fn corrupted_clone(
+        &self,
+        solver_threads: usize,
+        lane: BatchLane<EngineError>,
+    ) -> FactorEntry {
+        let mut solver = self.solver.clone();
+        {
+            let f = solver.factor_matrix_mut();
+            if f.nsup() > 0 {
+                if let Some(v) = f.block_mut(0).as_mut_slice().first_mut() {
+                    *v = f64::from_bits(v.to_bits() ^ 1);
+                }
+            }
+        }
+        let mut entry = FactorEntry::new(
+            self.fingerprint,
+            self.matrix.clone(),
+            solver,
+            solver_threads,
+            lane,
+        );
+        entry.checksum = self.checksum;
+        entry
     }
 
     /// The solve plan built at factor time (shared with the solver).
@@ -213,6 +281,25 @@ impl FactorCache {
         true
     }
 
+    /// Swap the resident entry for `entry.fingerprint` in place, keeping
+    /// its LRU position (self-healing must not perturb eviction order).
+    /// Falls back to a plain insert when the fingerprint is not resident.
+    /// Returns `true` when an existing entry was replaced.
+    pub fn replace(&self, entry: Arc<FactorEntry>) -> bool {
+        {
+            let mut g = lock_cache(&self.inner);
+            if let Some(slot) = g.map.get_mut(&entry.fingerprint) {
+                let old_bytes = slot.entry.bytes;
+                let new_bytes = entry.bytes;
+                slot.entry = entry;
+                g.resident_bytes = g.resident_bytes - old_bytes + new_bytes;
+                return true;
+            }
+        }
+        self.insert(entry);
+        false
+    }
+
     /// Drop a factor explicitly. Returns whether it was resident.
     pub fn evict(&self, fp: Fingerprint) -> bool {
         let mut g = lock_cache(&self.inner);
@@ -257,6 +344,7 @@ mod tests {
         let solver = SparseCholeskySolver::factor(&a).unwrap();
         Arc::new(FactorEntry::new(
             fp,
+            a,
             solver,
             2,
             BatchLane::new(BatchOptions::default()),
@@ -297,6 +385,38 @@ mod tests {
         assert!(cache.peek(b.fingerprint).is_none(), "LRU entry evicted");
         assert!(cache.peek(c.fingerprint).is_some(), "new entry admitted");
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn checksum_verifies_and_detects_corruption() {
+        let e = entry_for("grid2d:7");
+        assert!(e.verify(), "fresh entry must verify");
+        assert_eq!(e.note_solve(), 1);
+        assert_eq!(e.note_solve(), 2);
+        let bad = e.corrupted_clone(2, BatchLane::new(BatchOptions::default()));
+        assert_eq!(bad.fingerprint, e.fingerprint);
+        assert_eq!(bad.checksum, e.checksum, "corruption keeps the old digest");
+        assert!(!bad.verify(), "flipped bit must be detected");
+    }
+
+    #[test]
+    fn replace_swaps_in_place_keeping_lru_position() {
+        let a = entry_for("grid2d:8");
+        let b = entry_for("grid2d:9");
+        let cache = FactorCache::new(usize::MAX);
+        cache.insert(Arc::clone(&a));
+        cache.insert(Arc::clone(&b));
+        let bytes_before = cache.stats().resident_bytes;
+        let healed = Arc::new(a.corrupted_clone(2, BatchLane::new(BatchOptions::default())));
+        assert!(cache.replace(Arc::clone(&healed)));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().resident_bytes, bytes_before);
+        let got = cache.peek(a.fingerprint).unwrap();
+        assert!(Arc::ptr_eq(&got, &healed), "lookup sees the replacement");
+        // replacing a non-resident fingerprint degrades to insert
+        let c = entry_for("grid2d:10");
+        assert!(!cache.replace(Arc::clone(&c)));
+        assert!(cache.peek(c.fingerprint).is_some());
     }
 
     #[test]

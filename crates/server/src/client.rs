@@ -21,7 +21,9 @@ use trisolv_matrix::rng::Rng;
 use trisolv_matrix::CscMatrix;
 
 use crate::fingerprint::Fingerprint;
-use crate::protocol::{op, read_frame, write_frame, Builder, Cursor, ErrorCode};
+use crate::protocol::{
+    op, read_frame, write_frame, Builder, Cursor, ErrorCode, SOLVE_FLAG_CERTIFIED,
+};
 
 /// Client-visible failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +86,21 @@ pub struct LoadReply {
     pub factor_nnz: usize,
     /// Whether the factor was already resident.
     pub already_cached: bool,
+}
+
+/// Reply to a successful certified `SOLVE` (protocol v3, flags bit 0): the
+/// refined solution plus its refinement certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifiedReply {
+    /// The refined solution.
+    pub x: Vec<f64>,
+    /// Refinement iterations the server performed.
+    pub iterations: u32,
+    /// Final componentwise backward error.
+    pub backward_error: f64,
+    /// Whether the backward error reached the server's certification
+    /// target.
+    pub certified: bool,
 }
 
 /// Resilience knobs for [`Client::connect_with`] /
@@ -275,6 +292,43 @@ impl Client {
             let x = c.f64_vec(n)?;
             c.finish()?;
             Ok::<_, String>(x)
+        })();
+        parsed.map_err(ClientError::Protocol)
+    }
+
+    /// Solve with iterative refinement: the server refines against the
+    /// retained original matrix and the reply carries the certificate
+    /// (iterations, componentwise backward error, certified flag).
+    /// Single-shot, optional deadline in milliseconds (0 = server default).
+    pub fn solve_certified(
+        &mut self,
+        fp: Fingerprint,
+        rhs: &[f64],
+        deadline_ms: u64,
+    ) -> Result<CertifiedReply, ClientError> {
+        let payload = Builder::new()
+            .fingerprint(fp)
+            .u64(deadline_ms)
+            .u64(rhs.len() as u64)
+            .f64_slice(rhs)
+            .u8(SOLVE_FLAG_CERTIFIED)
+            .build();
+        let (opcode, reply) = self.round_trip(op::SOLVE, &payload)?;
+        Self::expect(opcode, op::OK_SOLVED, &reply)?;
+        let parsed = (|| {
+            let mut c = Cursor::new(&reply);
+            let n = c.usize()?;
+            let x = c.f64_vec(n)?;
+            let iterations = c.u32()?;
+            let backward_error = c.f64()?;
+            let certified = c.u8()? != 0;
+            c.finish()?;
+            Ok::<_, String>(CertifiedReply {
+                x,
+                iterations,
+                backward_error,
+                certified,
+            })
         })();
         parsed.map_err(ClientError::Protocol)
     }

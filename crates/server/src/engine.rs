@@ -26,7 +26,7 @@ use trisolv_matrix::{CscMatrix, DenseMatrix};
 
 use crate::batch::{BatchLane, BatchOptions, LaneError};
 use crate::cache::{CacheStats, FactorCache, FactorEntry};
-use crate::fault::{FaultPlan, FaultSite};
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
 
 /// Which executor runs the blocked solves.
@@ -68,6 +68,11 @@ pub struct EngineOptions {
     /// the front end's worker pool). `0` means
     /// `std::thread::available_parallelism`.
     pub solver_threads: usize,
+    /// Factor-integrity cadence: re-digest a cached factor's values every
+    /// this many solves against it and compare with the checksum taken at
+    /// insert; a mismatch evicts the entry and transparently refactors from
+    /// the retained matrix. `0` disables the check.
+    pub verify_every: u64,
 }
 
 impl Default for EngineOptions {
@@ -78,6 +83,7 @@ impl Default for EngineOptions {
             exec: ExecMode::Threaded,
             max_pending: 1024,
             solver_threads: 0,
+            verify_every: 0,
         }
     }
 }
@@ -163,6 +169,21 @@ pub struct LoadOutcome {
     pub already_cached: bool,
 }
 
+/// Result of a certified solve: the solution plus the refinement
+/// certificate carried in the v3 `SOLVE` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifiedOutcome {
+    /// The refined solution.
+    pub x: Vec<f64>,
+    /// Refinement iterations performed (0 when the first solve already met
+    /// the target).
+    pub iterations: u32,
+    /// Final componentwise (Oettli–Prager) backward error.
+    pub backward_error: f64,
+    /// Whether the backward error reached the certification target.
+    pub certified: bool,
+}
+
 /// Aggregated engine counters (cache + batcher + failure ladder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
@@ -194,6 +215,12 @@ pub struct EngineStats {
     pub worker_respawns: u64,
     /// Faults injected by the configured [`FaultPlan`].
     pub faults_injected: u64,
+    /// Factor-integrity verifications run by the `verify_every` cadence.
+    pub integrity_checks: u64,
+    /// Corrupted cached factors detected, evicted, and refactored.
+    pub self_heals: u64,
+    /// Certified solves (iterative refinement) answered successfully.
+    pub certified_solves: u64,
 }
 
 /// Factor-caching, micro-batching solve engine.
@@ -214,6 +241,9 @@ pub struct Engine {
     batches: AtomicU64,
     batched_cols: AtomicU64,
     max_batch: AtomicUsize,
+    integrity_checks: AtomicU64,
+    self_heals: AtomicU64,
+    certified_solves: AtomicU64,
 }
 
 /// RAII in-flight counter for admission control.
@@ -251,6 +281,9 @@ impl Engine {
             batches: AtomicU64::new(0),
             batched_cols: AtomicU64::new(0),
             max_batch: AtomicUsize::new(0),
+            integrity_checks: AtomicU64::new(0),
+            self_heals: AtomicU64::new(0),
+            certified_solves: AtomicU64::new(0),
         }
     }
 
@@ -324,6 +357,7 @@ impl Engine {
         let factor_nnz = solver.factor_matrix().nnz();
         let entry = Arc::new(FactorEntry::new(
             fingerprint,
+            a.clone(),
             solver,
             self.solver_threads(),
             BatchLane::new(self.opts.batch),
@@ -356,25 +390,48 @@ impl Engine {
     ) -> Result<Vec<f64>, EngineError> {
         let out = self.solve_inner(fp, rhs, deadline);
         match &out {
-            Ok(_) => self.solves_ok.fetch_add(1, Ordering::Relaxed),
-            Err(e) => {
-                match e {
-                    EngineError::Busy { .. } => self.shed.fetch_add(1, Ordering::Relaxed),
-                    EngineError::DeadlineExceeded => {
-                        self.deadline_misses.fetch_add(1, Ordering::Relaxed)
-                    }
-                    EngineError::NonFinite { .. } => {
-                        self.nonfinite_rejected.fetch_add(1, Ordering::Relaxed)
-                    }
-                    EngineError::NumericBreakdown => {
-                        self.breakdowns.fetch_add(1, Ordering::Relaxed)
-                    }
-                    _ => 0,
-                };
-                self.solves_err.fetch_add(1, Ordering::Relaxed)
+            Ok(_) => {
+                self.solves_ok.fetch_add(1, Ordering::Relaxed);
             }
-        };
+            Err(e) => self.note_solve_error(e),
+        }
         out
+    }
+
+    /// Solve `A·x = rhs` with iterative refinement and return the solution
+    /// together with its certificate (iterations, componentwise backward
+    /// error, certified flag). Refinement is a per-request loop — each
+    /// iterate depends on the previous residual — so it bypasses the batch
+    /// lane and runs sequentially behind `catch_unwind`.
+    pub fn solve_certified(
+        &self,
+        fp: Fingerprint,
+        rhs: Vec<f64>,
+        deadline: Option<Instant>,
+    ) -> Result<CertifiedOutcome, EngineError> {
+        let out = self.solve_certified_inner(fp, rhs, deadline);
+        match &out {
+            Ok(_) => {
+                self.solves_ok.fetch_add(1, Ordering::Relaxed);
+                self.certified_solves.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.note_solve_error(e),
+        }
+        out
+    }
+
+    /// Bump the per-cause failure counters for one failed solve.
+    fn note_solve_error(&self, e: &EngineError) {
+        match e {
+            EngineError::Busy { .. } => self.shed.fetch_add(1, Ordering::Relaxed),
+            EngineError::DeadlineExceeded => self.deadline_misses.fetch_add(1, Ordering::Relaxed),
+            EngineError::NonFinite { .. } => {
+                self.nonfinite_rejected.fetch_add(1, Ordering::Relaxed)
+            }
+            EngineError::NumericBreakdown => self.breakdowns.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        self.solves_err.fetch_add(1, Ordering::Relaxed);
     }
 
     fn solve_inner(
@@ -398,10 +455,7 @@ impl Engine {
         if !rhs.iter().all(|v| v.is_finite()) {
             return Err(EngineError::NonFinite { what: "rhs" });
         }
-        let entry = self
-            .cache
-            .get(fp)
-            .ok_or(EngineError::UnknownFingerprint(fp))?;
+        let entry = self.checked_entry(fp)?;
         if rhs.len() != entry.n {
             return Err(EngineError::DimensionMismatch {
                 expected: entry.n,
@@ -417,6 +471,132 @@ impl Engine {
                 LaneError::Timeout => EngineError::Timeout,
                 LaneError::Deadline => EngineError::DeadlineExceeded,
             })
+    }
+
+    fn solve_certified_inner(
+        &self,
+        fp: Fingerprint,
+        rhs: Vec<f64>,
+        deadline: Option<Instant>,
+    ) -> Result<CertifiedOutcome, EngineError> {
+        let in_flight = self.pending.fetch_add(1, Ordering::AcqRel);
+        let _guard = PendingGuard(&self.pending);
+        if self.opts.max_pending > 0 && in_flight >= self.opts.max_pending {
+            return Err(EngineError::Busy {
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(EngineError::DeadlineExceeded);
+        }
+        if !rhs.iter().all(|v| v.is_finite()) {
+            return Err(EngineError::NonFinite { what: "rhs" });
+        }
+        let entry = self.checked_entry(fp)?;
+        if rhs.len() != entry.n {
+            return Err(EngineError::DimensionMismatch {
+                expected: entry.n,
+                got: rhs.len(),
+            });
+        }
+        let n = entry.n;
+        let refined = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut b = DenseMatrix::zeros(n, 1);
+            b.col_mut(0).copy_from_slice(&rhs);
+            trisolv_core::refine::refine(
+                &entry.solver,
+                &entry.matrix,
+                &b,
+                &trisolv_core::RefineOptions::default(),
+            )
+        }));
+        let (x, report) = match refined {
+            Ok(Ok(pair)) => pair,
+            Ok(Err(e)) => {
+                return Err(EngineError::Internal(format!("refinement failed: {e}")));
+            }
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Internal(format!(
+                    "certified solve panicked: {}",
+                    panic_message(&payload)
+                )));
+            }
+        };
+        // The refinement loop ran to completion; a deadline that expired
+        // while it was running still counts as a miss.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(EngineError::DeadlineExceeded);
+        }
+        let xcol = x.col(0).to_vec();
+        if !xcol.iter().all(|v| v.is_finite()) {
+            return Err(EngineError::NumericBreakdown);
+        }
+        Ok(CertifiedOutcome {
+            x: xcol,
+            iterations: report.iterations as u32,
+            backward_error: report.backward_error,
+            certified: report.certified,
+        })
+    }
+
+    /// Cache lookup plus the integrity ladder: trip the `cache.torn` fault
+    /// (which silently corrupts the resident factor while keeping its
+    /// original checksum), then on the configured cadence re-digest the
+    /// factor values and self-heal on mismatch.
+    fn checked_entry(&self, fp: Fingerprint) -> Result<Arc<FactorEntry>, EngineError> {
+        let mut entry = self
+            .cache
+            .get(fp)
+            .ok_or(EngineError::UnknownFingerprint(fp))?;
+        if self.fault.trip(FaultSite::Cache) == Some(FaultAction::Torn) {
+            let bad = Arc::new(
+                entry.corrupted_clone(self.solver_threads(), BatchLane::new(self.opts.batch)),
+            );
+            self.cache.replace(Arc::clone(&bad));
+            entry = bad;
+        }
+        let cadence = self.opts.verify_every;
+        if cadence > 0 && entry.note_solve() % cadence == 0 {
+            self.integrity_checks.fetch_add(1, Ordering::Relaxed);
+            if !entry.verify() {
+                entry = self.heal(&entry)?;
+            }
+        }
+        Ok(entry)
+    }
+
+    /// Self-healing: the resident factor for `bad.fingerprint` failed its
+    /// integrity check. Refactor from the retained original matrix — the
+    /// factorization pipeline is deterministic, so the rebuilt factor is
+    /// bit-identical to the one originally inserted — and swap it in
+    /// without perturbing the entry's LRU position.
+    fn heal(&self, bad: &FactorEntry) -> Result<Arc<FactorEntry>, EngineError> {
+        let rebuilt = panic::catch_unwind(AssertUnwindSafe(|| {
+            SparseCholeskySolver::factor(&bad.matrix)
+                .map_err(|e| EngineError::NotSpd(e.to_string()))
+        }));
+        let solver = match rebuilt {
+            Ok(Ok(solver)) => solver,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Internal(format!(
+                    "self-heal refactorization panicked: {}",
+                    panic_message(&payload)
+                )));
+            }
+        };
+        let entry = Arc::new(FactorEntry::new(
+            bad.fingerprint,
+            bad.matrix.clone(),
+            solver,
+            self.solver_threads(),
+            BatchLane::new(self.opts.batch),
+        ));
+        self.cache.replace(Arc::clone(&entry));
+        self.self_heals.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
     }
 
     /// Run one blocked solve for a sealed batch (leader thread only).
@@ -546,6 +726,9 @@ impl Engine {
             breakdowns: self.breakdowns.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             faults_injected: self.fault.injected(),
+            integrity_checks: self.integrity_checks.load(Ordering::Relaxed),
+            self_heals: self.self_heals.load(Ordering::Relaxed),
+            certified_solves: self.certified_solves.load(Ordering::Relaxed),
         }
     }
 
@@ -782,6 +965,97 @@ mod tests {
         assert!(s.panics_caught >= 1);
         assert_eq!(s.exec_fallbacks, 1);
         assert!(s.faults_injected >= 1);
+    }
+
+    #[test]
+    fn certified_solve_reports_backward_error() {
+        let eng = engine(ExecMode::Threaded, 4);
+        let a = gen::grid2d_laplacian(8, 8);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let b = gen::random_rhs(64, 1, 17);
+        let out = eng.solve_certified(fp, b.col(0).to_vec(), None).unwrap();
+        assert!(out.certified, "well-conditioned solve must certify");
+        assert!(out.backward_error <= 1e-10, "{}", out.backward_error);
+        assert_eq!(out.x.len(), 64);
+        let s = eng.stats();
+        assert_eq!(s.certified_solves, 1);
+        assert_eq!(s.solves_ok, 1);
+        // structured errors still apply on the certified path
+        let err = eng.solve_certified(fp, vec![1.0; 63], None).unwrap_err();
+        assert!(matches!(err, EngineError::DimensionMismatch { .. }));
+        let err = eng
+            .solve_certified(Fingerprint(7, 7), vec![0.0; 64], None)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownFingerprint(_)));
+        assert_eq!(eng.stats().certified_solves, 1);
+    }
+
+    #[test]
+    fn corrupted_cached_factor_is_detected_and_healed() {
+        // Fault: corrupt the resident factor on the 2nd cache lookup.
+        // Cadence: verify on every solve. The corrupted solve must be
+        // detected, healed, and answered bit-identically to a fresh
+        // sequential solver on the same inputs.
+        let fault = FaultPlan::parse("cache.torn=every:2").unwrap();
+        let eng = Engine::with_fault(
+            EngineOptions {
+                exec: ExecMode::Threaded,
+                verify_every: 1,
+                batch: BatchOptions {
+                    max_batch: 1,
+                    window: Duration::from_millis(1),
+                    wait_timeout: Duration::from_secs(5),
+                },
+                ..EngineOptions::default()
+            },
+            fault,
+        );
+        let a = gen::grid2d_laplacian(9, 9);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let reference = SparseCholeskySolver::factor(&a).unwrap();
+        let b = gen::random_rhs(81, 1, 21);
+        let expect = reference.solve(&b).col(0).to_vec();
+
+        let clean = eng.solve(fp, b.col(0).to_vec()).unwrap();
+        assert_eq!(clean, expect, "uncorrupted solve is bit-identical");
+        let healed = eng.solve(fp, b.col(0).to_vec()).unwrap();
+        assert_eq!(healed, expect, "self-healed solve is bit-identical");
+        let s = eng.stats();
+        assert_eq!(s.self_heals, 1, "exactly one heal: {s:?}");
+        assert!(s.integrity_checks >= 2);
+        assert!(s.faults_injected >= 1);
+        assert_eq!(s.solves_ok, 2);
+        // After the heal, the resident entry verifies again.
+        let entry = eng.cache.peek(fp).unwrap();
+        assert!(entry.verify());
+    }
+
+    #[test]
+    fn verify_cadence_zero_skips_integrity_checks() {
+        // With the cadence disabled, even a corrupted factor goes unnoticed
+        // (and un-healed) — the check must cost nothing when off.
+        let fault = FaultPlan::parse("cache.torn=every:1").unwrap();
+        let eng = Engine::with_fault(
+            EngineOptions {
+                exec: ExecMode::Seq,
+                verify_every: 0,
+                batch: BatchOptions {
+                    max_batch: 1,
+                    window: Duration::from_millis(1),
+                    wait_timeout: Duration::from_secs(5),
+                },
+                ..EngineOptions::default()
+            },
+            fault,
+        );
+        let a = gen::grid2d_laplacian(5, 5);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let b = gen::random_rhs(25, 1, 4);
+        eng.solve(fp, b.col(0).to_vec()).unwrap();
+        let s = eng.stats();
+        assert_eq!(s.integrity_checks, 0);
+        assert_eq!(s.self_heals, 0);
+        assert!(!eng.cache.peek(fp).unwrap().verify(), "corruption persists");
     }
 
     #[test]

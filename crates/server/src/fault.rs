@@ -29,10 +29,15 @@
 //! | `solve`  | inside the blocked solve (threaded executor)     | `panic`, `stall` |
 //! | `factor` | inside `LOAD` factorization                      | `panic`, `stall` |
 //! | `worker` | in the worker loop, outside all panic isolation  | `panic` |
+//! | `cache`  | cached-factor lookup on the solve path           | `torn` |
 //!
-//! `torn` writes a truncated frame and then drops the connection, which is
-//! exactly what a peer crash mid-`writev` looks like. `worker.panic` kills
-//! the worker thread itself, exercising the supervisor's respawn path.
+//! `torn` at the `write` site writes a truncated frame and then drops the
+//! connection, which is exactly what a peer crash mid-`writev` looks like;
+//! at the `cache` site it silently flips one bit in the resident factor's
+//! values (keeping the integrity checksum of the *original*), which is what
+//! undetected memory corruption looks like — the engine's verify cadence
+//! must catch, evict, and refactor it. `worker.panic` kills the worker
+//! thread itself, exercising the supervisor's respawn path.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +61,8 @@ pub enum FaultSite {
     Factor,
     /// The worker loop itself (outside panic isolation).
     Worker,
+    /// Cached-factor lookup on the solve path (integrity drills).
+    Cache,
 }
 
 impl FaultSite {
@@ -67,9 +74,10 @@ impl FaultSite {
             "solve" => FaultSite::Solve,
             "factor" => FaultSite::Factor,
             "worker" => FaultSite::Worker,
+            "cache" => FaultSite::Cache,
             other => {
                 return Err(format!(
-                    "unknown fault site {other:?} (conn|read|write|solve|factor|worker)"
+                    "unknown fault site {other:?} (conn|read|write|solve|factor|worker|cache)"
                 ))
             }
         })
@@ -83,6 +91,7 @@ impl FaultSite {
             FaultSite::Solve => "solve",
             FaultSite::Factor => "factor",
             FaultSite::Worker => "worker",
+            FaultSite::Cache => "cache",
         }
     }
 }
@@ -250,6 +259,7 @@ impl FaultPlan {
                 FaultSite::Write => &["stall", "drop", "torn"],
                 FaultSite::Solve | FaultSite::Factor => &["panic", "stall"],
                 FaultSite::Worker => &["panic"],
+                FaultSite::Cache => &["torn"],
             };
             if !allowed.contains(&action.kind()) {
                 return Err(format!(
@@ -382,6 +392,9 @@ mod tests {
         );
         assert_eq!(plan.check(FaultSite::Write), Some(FaultAction::Torn));
         assert_eq!(plan.check(FaultSite::Conn), Some(FaultAction::Drop));
+        let cache = FaultPlan::parse("cache.torn=every:2").unwrap();
+        assert_eq!(cache.check(FaultSite::Cache), None);
+        assert_eq!(cache.check(FaultSite::Cache), Some(FaultAction::Torn));
     }
 
     #[test]
@@ -414,6 +427,7 @@ mod tests {
             ("solve.panic=prob:1.5", "outside [0, 1]"),
             ("read.panic=every:1", "not valid at site"),
             ("conn.torn=every:1", "not valid at site"),
+            ("cache.panic=every:1", "not valid at site"),
             ("seed=banana;solve.panic=every:1", "bad fault seed"),
         ] {
             let err = FaultPlan::parse(spec).unwrap_err();

@@ -66,6 +66,27 @@ impl Fingerprint {
         Fingerprint(h.a, h.b)
     }
 
+    /// Checksum of a sequence of `f64` slices by IEEE-754 bit pattern,
+    /// through the same two FNV-1a lanes. Used as the factor-integrity
+    /// checksum: the cache digests a factor's value blocks at insert and
+    /// re-digests on a cadence to detect silent corruption.
+    pub fn of_value_slices<'a, I>(slices: I) -> Fingerprint
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut h = Hasher::new();
+        let mut total = 0u64;
+        for s in slices {
+            total += s.len() as u64;
+            for &v in s {
+                h.word(v.to_bits());
+            }
+        }
+        // fold the length in so prefix-identical block lists differ
+        h.word(total);
+        Fingerprint(h.a, h.b)
+    }
+
     /// The 16-byte wire encoding (big-endian lanes, lane 0 first).
     pub fn to_bytes(self) -> [u8; 16] {
         let mut b = [0u8; 16];
@@ -147,6 +168,24 @@ mod tests {
             Fingerprint::of_parts(a.nrows(), a.ncols(), a.colptr(), a.rowidx(), a.values()),
             Fingerprint::of_matrix(&a)
         );
+    }
+
+    #[test]
+    fn value_slice_checksum_sees_single_bit_flips() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, 5.0];
+        let base = Fingerprint::of_value_slices([&a[..], &b[..]]);
+        assert_eq!(base, Fingerprint::of_value_slices([&a[..], &b[..]]));
+        // one flipped mantissa bit changes the digest
+        let mut a2 = a;
+        a2[1] = f64::from_bits(a2[1].to_bits() ^ 1);
+        assert_ne!(base, Fingerprint::of_value_slices([&a2[..], &b[..]]));
+        // slice boundaries don't matter, total content does — but an
+        // appended zero does (length is folded in)
+        let flat = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(base, Fingerprint::of_value_slices([&flat[..]]));
+        let longer = [1.0f64, 2.0, 3.0, 4.0, 5.0, 0.0];
+        assert_ne!(base, Fingerprint::of_value_slices([&longer[..]]));
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! isolation with a sequential-executor fallback, and client retry — is on
 //! by default (DESIGN.md §11).
 //!
+//! Numeric trust is also first-class (DESIGN.md §13): cached factors are
+//! checksummed at insert and re-verified on a configurable cadence, with a
+//! corrupted factor transparently refactored from the retained matrix
+//! (self-healing, bit-identical by determinism), and protocol v3 lets a
+//! client request a *certified* solve — iterative refinement whose reply
+//! carries the componentwise backward error it achieved.
+//!
 //! Everything is `std`-only; the workspace builds offline with zero
 //! external dependencies.
 
@@ -31,8 +38,10 @@ pub mod server;
 
 pub use batch::{BatchLane, BatchOptions, LaneError};
 pub use cache::{CacheStats, FactorCache, FactorEntry};
-pub use client::{Client, ClientError, ClientOptions, LoadReply, RetryStats};
-pub use engine::{Engine, EngineError, EngineOptions, EngineStats, ExecMode, LoadOutcome};
+pub use client::{CertifiedReply, Client, ClientError, ClientOptions, LoadReply, RetryStats};
+pub use engine::{
+    CertifiedOutcome, Engine, EngineError, EngineOptions, EngineStats, ExecMode, LoadOutcome,
+};
 pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use fingerprint::Fingerprint;
 pub use loadgen::{run_load, LoadGenOptions, LoadGenReport};

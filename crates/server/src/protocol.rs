@@ -16,7 +16,7 @@
 //! | op | name | payload |
 //! |------|----------|---------|
 //! | 0x01 | LOAD     | `u64 nrows, ncols, nnz`, `colptr[(ncols+1)·u64]`, `rowidx[nnz·u64]`, `values[nnz·f64]` |
-//! | 0x02 | SOLVE    | `fingerprint[16]`, `u64 deadline_ms`, `u64 n`, `rhs[n·f64]` |
+//! | 0x02 | SOLVE    | `fingerprint[16]`, `u64 deadline_ms`, `u64 n`, `rhs[n·f64]`, optional `u8 flags` |
 //! | 0x03 | STATS    | empty |
 //! | 0x04 | EVICT    | `fingerprint[16]` |
 //! | 0x05 | SHUTDOWN | empty |
@@ -29,12 +29,19 @@
 //! including when it is already boarded in a batch lane (an expired boarder
 //! is expelled at seal time so it cannot stall the batch's other riders).
 //!
+//! The trailing `flags` byte (new in protocol version 3) is optional: a
+//! version-2 SOLVE frame simply omits it, and the server treats the missing
+//! byte as `0`. Bit 0 ([`SOLVE_FLAG_CERTIFIED`]) requests a *certified*
+//! solve: the server runs iterative refinement against the retained original
+//! matrix and the reply carries the refinement certificate. Other bits are
+//! reserved and must be zero.
+//!
 //! Response opcodes:
 //!
 //! | op | name | payload |
 //! |------|------------|---------|
 //! | 0x81 | OK_LOADED  | `fingerprint[16]`, `u64 n`, `u64 factor_nnz`, `u8 already_cached` |
-//! | 0x82 | OK_SOLVED  | `u64 n`, `x[n·f64]` |
+//! | 0x82 | OK_SOLVED  | `u64 n`, `x[n·f64]`, then for certified solves `u32 iterations`, `f64 backward_error`, `u8 certified` |
 //! | 0x83 | OK_STATS   | `u64 count`, then per stat `u16 keylen`, key bytes, `u64 value` |
 //! | 0x84 | OK_EVICTED | `u8 existed` |
 //! | 0x85 | OK_BYE     | empty |
@@ -52,8 +59,14 @@
 
 /// Protocol revision implemented by this module. Version 2 added the SOLVE
 /// `deadline_ms` field and error codes 9–12 (`Busy`, `Deadline`,
-/// `NonFinite`, `NumericBreakdown`).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// `NonFinite`, `NumericBreakdown`). Version 3 added the optional SOLVE
+/// `flags` byte (certified solves) and the refinement certificate trailing
+/// the `OK_SOLVED` reply; version-2 frames remain valid.
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// SOLVE `flags` bit 0: run iterative refinement and return the certificate
+/// (`u32 iterations`, `f64 backward_error`, `u8 certified`) after `x`.
+pub const SOLVE_FLAG_CERTIFIED: u8 = 0x01;
 
 use std::io::{self, Read, Write};
 
@@ -293,9 +306,21 @@ impl<'a> Cursor<'a> {
         Ok(Fingerprint::from_bytes(self.take(16)?.try_into().unwrap()))
     }
 
+    /// Read an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
     /// Read `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
         self.take(n)
+    }
+
+    /// Unconsumed bytes left in the payload. Lets decoders accept optional
+    /// trailing fields (e.g. the v3 SOLVE `flags` byte) without rejecting
+    /// older, shorter frames.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// Fail if any bytes remain unconsumed.
@@ -352,6 +377,12 @@ impl Builder {
         for &v in vs {
             self.buf.extend_from_slice(&(v as u64).to_le_bytes());
         }
+        self
+    }
+
+    /// Append an `f64` by bit pattern.
+    pub fn f64(mut self, v: f64) -> Builder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
@@ -423,7 +454,14 @@ mod tests {
         assert_eq!(c.u64().unwrap(), 1 << 40);
         assert_eq!(c.fingerprint().unwrap(), fp);
         assert_eq!(c.usize_vec(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.remaining(), 16, "two f64s left");
         assert_eq!(c.f64_vec(2).unwrap(), vec![0.5, -0.25]);
+        assert_eq!(c.remaining(), 0);
+        c.finish().unwrap();
+        // single f64 append/read round-trips by bit pattern
+        let one = Builder::new().f64(-0.0).build();
+        let mut c = Cursor::new(&one);
+        assert_eq!(c.f64().unwrap().to_bits(), (-0.0f64).to_bits());
         c.finish().unwrap();
         // truncation is an error, not a panic
         let mut c = Cursor::new(&payload[..3]);

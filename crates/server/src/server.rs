@@ -42,7 +42,9 @@ use trisolv_matrix::CscMatrix;
 
 use crate::engine::{Engine, EngineError, EngineOptions};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
-use crate::protocol::{op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN};
+use crate::protocol::{
+    op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN, SOLVE_FLAG_CERTIFIED,
+};
 
 /// Front-end configuration.
 #[derive(Debug, Clone)]
@@ -528,19 +530,40 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
                 let deadline_ms = c.u64()?;
                 let n = c.usize()?;
                 let rhs = c.f64_vec(n)?;
+                // optional v3 flags byte; v2 frames omit it entirely
+                let flags = if c.remaining() > 0 { c.u8()? } else { 0 };
                 c.finish()?;
-                Ok::<_, String>((fp, deadline_ms, rhs))
+                if flags & !SOLVE_FLAG_CERTIFIED != 0 {
+                    return Err(format!("unknown SOLVE flags 0x{flags:02x}"));
+                }
+                Ok::<_, String>((fp, deadline_ms, rhs, flags))
             })();
             match parsed {
-                Ok((fp, deadline_ms, rhs)) => {
+                Ok((fp, deadline_ms, rhs, flags)) => {
                     let deadline =
                         effective_deadline(deadline_ms, ctx.deadline_cap, Instant::now());
-                    match engine.solve_deadline(fp, rhs, deadline) {
-                        Ok(x) => Dispatch::Reply(
-                            op::OK_SOLVED,
-                            Builder::new().u64(x.len() as u64).f64_slice(&x).build(),
-                        ),
-                        Err(e) => engine_err(&e),
+                    if flags & SOLVE_FLAG_CERTIFIED != 0 {
+                        match engine.solve_certified(fp, rhs, deadline) {
+                            Ok(out) => Dispatch::Reply(
+                                op::OK_SOLVED,
+                                Builder::new()
+                                    .u64(out.x.len() as u64)
+                                    .f64_slice(&out.x)
+                                    .u32(out.iterations)
+                                    .f64(out.backward_error)
+                                    .u8(u8::from(out.certified))
+                                    .build(),
+                            ),
+                            Err(e) => engine_err(&e),
+                        }
+                    } else {
+                        match engine.solve_deadline(fp, rhs, deadline) {
+                            Ok(x) => Dispatch::Reply(
+                                op::OK_SOLVED,
+                                Builder::new().u64(x.len() as u64).f64_slice(&x).build(),
+                            ),
+                            Err(e) => engine_err(&e),
+                        }
                     }
                 }
                 Err(msg) => bad(ErrorCode::Malformed, msg),
@@ -548,7 +571,7 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 20] = [
+            let pairs: [(&str, u64); 23] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
@@ -569,6 +592,9 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
                 ("breakdowns", s.breakdowns),
                 ("worker_respawns", s.worker_respawns),
                 ("faults_injected", s.faults_injected),
+                ("integrity_checks", s.integrity_checks),
+                ("self_heals", s.self_heals),
+                ("certified_solves", s.certified_solves),
             ];
             let mut b = Builder::new().u64(pairs.len() as u64);
             for (key, val) in pairs {

@@ -289,6 +289,103 @@ fn loadgen_smoke() {
     server.join();
 }
 
+/// Certified solves over TCP (protocol v3): the reply carries the
+/// refinement certificate, v2-style frames (no flags byte) still work on
+/// the same connection, and unknown flag bits are rejected as malformed.
+#[test]
+fn tcp_certified_solve_round_trip() {
+    let server = Server::spawn(server_opts(ExecMode::Threaded, 4, 4)).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let a = gen::grid2d_laplacian(9, 9);
+    let fp = client.load(&a).unwrap().fingerprint;
+    let b = gen::random_rhs(81, 1, 11);
+
+    let reply = client.solve_certified(fp, b.col(0), 0).unwrap();
+    assert!(reply.certified, "backward error {}", reply.backward_error);
+    assert!(reply.backward_error <= 1e-10);
+    assert_eq!(reply.x.len(), 81);
+    let mut xm = DenseMatrix::zeros(81, 1);
+    xm.col_mut(0).copy_from_slice(&reply.x);
+    let ax = a.spmv_sym_lower(&xm).unwrap();
+    assert!(ax.max_abs_diff(&b).unwrap() < 1e-10);
+
+    // a v2-style SOLVE (no flags byte) still works on the same connection
+    let x2 = client.solve(fp, b.col(0)).unwrap();
+    assert_eq!(x2.len(), 81);
+
+    // unknown flag bits are a malformed request, not a panic
+    client
+        .send_raw(&{
+            let payload = protocol::Builder::new()
+                .fingerprint(fp)
+                .u64(0)
+                .u64(81)
+                .f64_slice(b.col(0))
+                .u8(0x80)
+                .build();
+            let mut f = Vec::new();
+            protocol::write_frame(&mut f, op::SOLVE, &payload).unwrap();
+            f
+        })
+        .unwrap();
+    let (opcode, payload) = client.recv_raw().unwrap();
+    assert_eq!(opcode, op::ERR);
+    let mut c = protocol::Cursor::new(&payload);
+    assert_eq!(c.u16().unwrap(), ErrorCode::Malformed as u16);
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| stats.iter().find(|(key, _)| key == k).unwrap().1;
+    assert_eq!(get("certified_solves"), 1);
+    assert_eq!(get("solves_ok"), 2);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The full self-healing drill over TCP: an injected `cache.torn` fault
+/// silently corrupts the resident factor, the per-solve verify cadence
+/// detects it, the engine refactors from the retained matrix, and the
+/// answer is bit-identical to a fresh sequential solver — the client never
+/// sees anything but correct replies.
+#[test]
+fn tcp_cache_corruption_self_heals() {
+    let mut opts = server_opts(ExecMode::Seq, 1, 4);
+    opts.engine.verify_every = 1;
+    opts.fault = trisolv_server::FaultPlan::parse("cache.torn=every:3").unwrap();
+    let server = Server::spawn(opts).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let a = gen::random_spd(70, 5, 42);
+    let fp = client.load(&a).unwrap().fingerprint;
+    let reference = SparseCholeskySolver::factor(&a).unwrap();
+
+    let mut rng = Rng::seed_from_u64(99);
+    for round in 0..9 {
+        let mut b = DenseMatrix::zeros(70, 1);
+        for v in b.col_mut(0) {
+            *v = rng.range_f64(-1.0, 1.0);
+        }
+        let x = client.solve(fp, b.col(0)).unwrap();
+        assert_eq!(
+            x.as_slice(),
+            reference.solve(&b).col(0),
+            "round {round}: answer not bit-identical after self-heal"
+        );
+    }
+    let stats = client.stats().unwrap();
+    let get = |k: &str| stats.iter().find(|(key, _)| key == k).unwrap().1;
+    assert_eq!(get("self_heals"), 3, "corruption fired on rounds 3, 6, 9");
+    assert!(get("integrity_checks") >= 9);
+    assert!(get("faults_injected") >= 3);
+    assert_eq!(get("solves_ok"), 9);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
 /// An engine constructed directly (no TCP) also honors the batching
 /// counters contract used by `bench_server`.
 #[test]

@@ -56,6 +56,16 @@ pub enum Command {
         /// Shared-memory solver threads for the real (non-simulated) solve
         /// (`0` = `std::thread::available_parallelism`).
         threads: usize,
+        /// Run the certified-solve pipeline (iterative refinement with a
+        /// componentwise backward-error certificate) and report it.
+        certify: bool,
+        /// Dynamic regularization: boost non-positive pivots instead of
+        /// failing (implies the certified pipeline so the perturbations are
+        /// refined against the original matrix).
+        regularize: bool,
+        /// Symmetric diagonal equilibration before factoring (implies the
+        /// certified pipeline).
+        scale: bool,
     },
     /// Convert between matrix file formats.
     Convert {
@@ -96,6 +106,9 @@ pub enum Command {
         /// Threads per blocked solve in the threaded executor, distinct
         /// from `workers` (`0` = `std::thread::available_parallelism`).
         solver_threads: usize,
+        /// Factor-integrity cadence: verify a cached factor's checksum
+        /// every N solves against it, self-healing on mismatch (0 = off).
+        verify_every: u64,
     },
     /// Drive a running server with the load generator.
     Client {
@@ -126,10 +139,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20 trisolv info <matrix>\n\
                  \x20 trisolv solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering nd|multilevel|mindeg|rcm|natural]\n\
                  \x20               [--threads T]      (real shared-memory solve width; 0 = available parallelism)\n\
+                 \x20               [--certify] [--regularize] [--scale]   (certified solve: refinement / pivot boosting / equilibration)\n\
                  \x20 trisolv convert <in> <out>\n\
                  \x20 trisolv gen <spec> <out>      (spec e.g. grid2d:64, grid3d:16x16x16, fem2d:24x24:3, random:500:6:1)\n\
                  \x20 trisolv serve [--addr A] [--workers N] [--max-batch K] [--window-us U] [--budget-mb M] [--exec seq|threaded]\n\
                  \x20               [--fault-spec S] [--max-pending P] [--io-timeout-ms T] [--deadline-cap-ms D] [--solver-threads T]\n\
+                 \x20               [--verify-every N]  (factor-integrity checksum cadence; 0 = off)\n\
                  \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
                  \x20               [--timeout-ms T] [--retries R] [--backoff-ms B]";
     let mut it = args.iter();
@@ -145,7 +160,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut block = 8usize;
             let mut ordering = "nd".to_string();
             let mut threads = 0usize;
+            let mut certify = false;
+            let mut regularize = false;
+            let mut scale = false;
             while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--certify" => {
+                        certify = true;
+                        continue;
+                    }
+                    "--regularize" => {
+                        regularize = true;
+                        continue;
+                    }
+                    "--scale" => {
+                        scale = true;
+                        continue;
+                    }
+                    _ => {}
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("missing value for {flag}"))?;
@@ -170,6 +203,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 block,
                 ordering,
                 threads,
+                certify,
+                regularize,
+                scale,
             })
         }
         Some("convert") => {
@@ -194,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut io_timeout_ms = 10_000u64;
             let mut deadline_cap_ms = 30_000u64;
             let mut solver_threads = 0usize;
+            let mut verify_every = 0u64;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -234,6 +271,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| format!("bad --solver-threads: {e}"))?
                     }
+                    "--verify-every" => {
+                        verify_every = value
+                            .parse()
+                            .map_err(|e| format!("bad --verify-every: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -254,6 +296,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 io_timeout_ms,
                 deadline_cap_ms,
                 solver_threads,
+                verify_every,
             })
         }
         Some("client") => {
@@ -391,6 +434,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             block,
             ordering,
             threads,
+            certify,
+            regularize,
+            scale,
         } => {
             let (a, title) = load_matrix(path)?;
             let perm = ordering_perm(ordering, &a)?;
@@ -448,6 +494,41 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 wall,
                 an.part.solve_flops(*nrhs) as f64 / wall.max(1e-12) / 1e6
             );
+            // Certified pipeline on the original (unpermuted) system: any
+            // of the three flags turns it on, since equilibration and
+            // regularization only make sense refined against the original
+            // matrix (DESIGN.md §13).
+            if *certify || *regularize || *scale {
+                let copts = trisolv_core::CertifyOptions {
+                    scale: *scale,
+                    regularize: *regularize,
+                    condition: true,
+                    ..trisolv_core::CertifyOptions::default()
+                };
+                let cb = gen::random_rhs(a.ncols(), 1, 7);
+                let cs = trisolv_core::certified_solve(&a, &cb, &copts)
+                    .map_err(|e| format!("certified solve failed: {e}"))?;
+                let r = &cs.report;
+                let _ = writeln!(
+                    out,
+                    "certify:  omega {:.3e} after {} refinement step(s) -> {}",
+                    r.backward_error,
+                    r.iterations,
+                    if r.certified {
+                        "certified"
+                    } else {
+                        "NOT certified"
+                    }
+                );
+                let mut extras = format!("          boosted pivots {}", r.perturbations);
+                if let Some(ratio) = r.scaling_ratio {
+                    let _ = write!(extras, ", scaling ratio {ratio:.3e}");
+                }
+                if let Some(cond) = r.condition_estimate {
+                    let _ = write!(extras, ", cond1 estimate {cond:.3e}");
+                }
+                let _ = writeln!(out, "{extras}");
+            }
         }
         Command::Convert { input, output } => {
             let (a, title) = load_matrix(input)?;
@@ -478,6 +559,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             io_timeout_ms,
             deadline_cap_ms,
             solver_threads,
+            verify_every,
         } => {
             let fault = srv::FaultPlan::parse(fault_spec)?;
             let opts = srv::ServerOptions {
@@ -493,6 +575,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     exec: srv::ExecMode::parse(exec)?,
                     max_pending: *max_pending,
                     solver_threads: *solver_threads,
+                    verify_every: *verify_every,
                 },
                 fault,
                 io_timeout: Duration::from_millis(*io_timeout_ms),
@@ -658,7 +741,35 @@ mod tests {
                 nrhs: 10,
                 block: 4,
                 ordering: "multilevel".into(),
-                threads: 3
+                threads: 3,
+                certify: false,
+                regularize: false,
+                scale: false,
+            }
+        );
+        // the certify flags are boolean (no value) and order-insensitive
+        let cmd = parse_args(&strv(&[
+            "solve",
+            "m.rsa",
+            "--certify",
+            "--procs",
+            "4",
+            "--scale",
+            "--regularize",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                path: "m.rsa".into(),
+                procs: 4,
+                nrhs: 1,
+                block: 8,
+                ordering: "nd".into(),
+                threads: 0,
+                certify: true,
+                regularize: true,
+                scale: true,
             }
         );
         assert!(parse_args(&strv(&["solve"])).is_err());
@@ -691,6 +802,7 @@ mod tests {
                 io_timeout_ms: 10_000,
                 deadline_cap_ms: 30_000,
                 solver_threads: 0,
+                verify_every: 0,
             }
         );
         assert_eq!(
@@ -718,6 +830,8 @@ mod tests {
                 "750",
                 "--solver-threads",
                 "2",
+                "--verify-every",
+                "64",
             ]))
             .unwrap(),
             Command::Serve {
@@ -732,6 +846,7 @@ mod tests {
                 io_timeout_ms: 2500,
                 deadline_cap_ms: 750,
                 solver_threads: 2,
+                verify_every: 64,
             }
         );
         assert!(parse_args(&strv(&["serve", "--exec", "warp"])).is_err());
@@ -871,10 +986,40 @@ mod tests {
             block: 2,
             ordering: "nd".into(),
             threads: 2,
+            certify: false,
+            regularize: false,
+            scale: false,
         })
         .unwrap();
         assert!(solved.contains("residual:"), "{solved}");
         assert!(solved.contains("threaded: 2 threads"), "{solved}");
+        assert!(
+            !solved.contains("certify:"),
+            "no certificate lines without the flags: {solved}"
+        );
+        // with the certify flags, the certificate lines appear
+        let certified = run(&Command::Solve {
+            path: rsa.to_string_lossy().into_owned(),
+            procs: 4,
+            nrhs: 2,
+            block: 2,
+            ordering: "nd".into(),
+            threads: 2,
+            certify: true,
+            regularize: true,
+            scale: true,
+        })
+        .unwrap();
+        assert!(
+            certified.contains("certify:") && certified.contains("certified"),
+            "{certified}"
+        );
+        assert!(
+            certified.contains("boosted pivots 0")
+                && certified.contains("scaling ratio")
+                && certified.contains("cond1 estimate"),
+            "{certified}"
+        );
         let treal = solved.lines().find(|l| l.starts_with("threaded")).unwrap();
         let tresid: f64 = treal.rsplit(' ').next().unwrap().parse().unwrap();
         assert!(tresid < 1e-9, "{treal}");

@@ -152,6 +152,163 @@ fn wide_rhs_block() {
     solve_check(&a, 2, 20);
 }
 
+/// The Harwell-Boeing reader survives a mutation sweep over a valid
+/// file — truncation at every line boundary, deletion of every line,
+/// and byte corruption in every line — returning a structured error
+/// (or, for benign mutations, a matrix) but never panicking.
+#[test]
+fn hb_reader_survives_malformed_inputs() {
+    use trisolv::matrix::hb;
+    fn try_read(bytes: &[u8]) -> Option<Result<(), String>> {
+        let owned = bytes.to_vec();
+        std::panic::catch_unwind(move || {
+            hb::read_harwell_boeing(std::io::BufReader::new(&owned[..]))
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        })
+        .ok()
+    }
+
+    let a = gen::random_spd(12, 3, 17);
+    let mut buf = Vec::new();
+    hb::write_harwell_boeing(&mut buf, &a, "edge", "EDGE", true).unwrap();
+    assert!(matches!(try_read(&buf), Some(Ok(()))), "baseline must read");
+
+    let text = String::from_utf8(buf.clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 5, "expect a multi-line HB file");
+
+    // truncate after each line: everything shorter than the full file
+    // must fail with a structured error, not a panic
+    for keep in 0..lines.len() {
+        let partial = lines[..keep].join("\n");
+        match try_read(partial.as_bytes()) {
+            Some(Err(_)) => {}
+            Some(Ok(())) => panic!("truncated at line {keep} read successfully"),
+            None => panic!("truncated at line {keep} panicked"),
+        }
+    }
+
+    // delete each line in turn; corrupt each line in turn
+    for victim in 0..lines.len() {
+        let deleted: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, l)| *l)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            try_read(deleted.as_bytes()).is_some(),
+            "deleting line {victim} panicked"
+        );
+        let corrupted: String = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == victim {
+                    l.replace(['0', '1', '2', '.'], "?")
+                } else {
+                    (*l).to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            try_read(corrupted.as_bytes()).is_some(),
+            "corrupting line {victim} panicked"
+        );
+    }
+
+    // hand-crafted hostile headers
+    let hostile: &[&str] = &[
+        "",
+        "title only",
+        "t\nkey 1 1 1 1",
+        "t\nkey x y z w\nRSA 3 3 5 0",
+        "t\nkey 1 1 1 1\nRSA -3 3 5 0\n(1I8) (1I8) (1E12.4)",
+        "t\nkey 1 1 1 1\nRSA 3 3 99999999999999999999 0\n(1I8) (1I8) (1E12.4)",
+        "t\nkey 1 1 1 1\nXYZ 3 3 5 0\n(1I8) (1I8) (1E12.4)",
+        "t\nkey 1 1 1 1\nRSA 3 3 5 0\n(bogus) (bogus) (bogus)",
+    ];
+    for (i, h) in hostile.iter().enumerate() {
+        match try_read(h.as_bytes()) {
+            Some(Err(_)) => {}
+            Some(Ok(())) => panic!("hostile header {i} read successfully"),
+            None => panic!("hostile header {i} panicked"),
+        }
+    }
+
+    // non-finite values must be rejected at ingest, structurally: blast
+    // the first value field of the last (value) card with "NaN", which
+    // parses as an f64 and must then be refused by the finiteness gate
+    let mut nan_lines: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+    let last = nan_lines.last_mut().unwrap();
+    assert!(last.len() >= 25, "value card shorter than one field");
+    last.replace_range(0..25, &format!("{:>25}", "NaN"));
+    let nan_file = nan_lines.join("\n");
+    match try_read(nan_file.as_bytes()) {
+        Some(Err(msg)) => assert!(
+            msg.contains("non-finite") || msg.contains("bad value"),
+            "unexpected error for NaN payload: {msg}"
+        ),
+        Some(Ok(())) => panic!("NaN payload accepted"),
+        None => panic!("NaN payload panicked"),
+    }
+}
+
+/// The generator-spec grammar rejects malformed specs with a structured
+/// message naming the family, and accepts the documented forms —
+/// including the near-singular `graded:`/`rankdef:` families.
+#[test]
+fn gen_spec_grammar_rejects_malformed() {
+    let bad: &[(&str, &str)] = &[
+        ("", "unknown generator"),
+        ("nosuch:4", "unknown generator"),
+        ("grid2d", "missing size"),
+        ("grid2d:", "bad size"),
+        ("grid2d:0", "positive"),
+        ("grid2d:4x4x4", "expected 1..=2"),
+        ("grid2d:4x-2", "bad size"),
+        ("grid3d:2x2x2x2", "expected 1..=3"),
+        ("fem2d:4x4:0", "dof must be positive"),
+        ("random:0", "N must be positive"),
+        ("random:8:2:1:9", "expected random:N"),
+        ("graded", "missing size"),
+        ("graded:0", "positive"),
+        ("graded:10:301", "decades must be <= 300"),
+        ("graded:10:many", "bad decades"),
+        ("graded:10:5:9", "expected graded:N"),
+        ("rankdef", "missing size"),
+        ("rankdef:0x4", "positive"),
+        ("rankdef:4x4:-1e-8", "eps must be finite and non-negative"),
+        ("rankdef:4x4:inf", "eps must be finite and non-negative"),
+        ("rankdef:4x4:huge", "bad eps"),
+        ("grid2d:99999999", "cap"),
+    ];
+    for (spec, needle) in bad {
+        match gen::from_spec(spec) {
+            Ok(_) => panic!("spec {spec:?} unexpectedly accepted"),
+            Err(msg) => assert!(
+                msg.to_lowercase().contains(&needle.to_lowercase()),
+                "spec {spec:?}: error {msg:?} missing {needle:?}"
+            ),
+        }
+    }
+    let good: &[(&str, usize)] = &[
+        ("graded:16", 16),
+        ("graded:16:4", 16),
+        ("rankdef:4x5", 20),
+        ("rankdef:6", 36),
+        ("rankdef:4x4:1e-12", 16),
+        ("GRADED:8", 8), // families are case-insensitive
+    ];
+    for (spec, n) in good {
+        let m = gen::from_spec(spec).unwrap_or_else(|e| panic!("spec {spec:?}: {e}"));
+        assert_eq!(m.ncols(), *n, "spec {spec:?}");
+    }
+}
+
 #[test]
 fn repeated_solves_are_deterministic() {
     let a = gen::fem2d(4, 4, 2);

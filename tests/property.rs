@@ -14,6 +14,7 @@ use trisolv::graph::{nd, EliminationTree, Graph, Permutation};
 use trisolv::machine::{BlockCyclic1d, MachineParams};
 use trisolv::matrix::gen;
 use trisolv::matrix::rng::Rng;
+use trisolv::matrix::MatrixError;
 
 /// The factor reconstructs the matrix: `L·Lᵀ·x = A·x` for random SPD
 /// matrices and random probes.
@@ -597,6 +598,163 @@ fn pipelined_forward_matches_dense_reference() {
                 }
             }
         }
+    }
+}
+
+/// Refinement monotonically improves the componentwise backward error:
+/// the reported ω history is non-increasing, ends at the reported final
+/// ω, and a certified report really meets the target.
+#[test]
+fn refinement_monotonically_improves_backward_error() {
+    use trisolv::core::{certified_solve, CertifyOptions};
+    let mut rng = Rng::seed_from_u64(0xD1);
+    for case in 0..20 {
+        let seed = rng.next_u64() % 300;
+        let scale = rng.range_usize(0, 2) == 1;
+        let a = match case % 3 {
+            0 => gen::random_spd(rng.range_usize(10, 70), 3, seed),
+            1 => gen::graded_diagonal(rng.range_usize(8, 40), rng.range_usize(2, 11) as u32),
+            _ => gen::grid2d_laplacian(rng.range_usize(4, 12), rng.range_usize(4, 12)),
+        };
+        let b = gen::random_rhs(a.ncols(), rng.range_usize(1, 4), seed.wrapping_add(5));
+        let opts = CertifyOptions {
+            scale,
+            regularize: true,
+            condition: true,
+            ..CertifyOptions::default()
+        };
+        let cert = certified_solve(&a, &b, &opts).unwrap();
+        let r = &cert.report;
+        assert!(!r.omega_history.is_empty(), "case {case}");
+        for w in r.omega_history.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "case {case}: omega history not monotone: {:?}",
+                r.omega_history
+            );
+        }
+        assert_eq!(
+            *r.omega_history.last().unwrap(),
+            r.backward_error,
+            "case {case}"
+        );
+        assert_eq!(r.iterations + 1, r.omega_history.len(), "case {case}");
+        assert_eq!(r.certified, r.backward_error <= 1e-10, "case {case}");
+        // these matrices are comfortably SPD: the certificate must land
+        assert!(
+            r.certified,
+            "case {case}: omega {:.3e} after {} sweeps",
+            r.backward_error, r.iterations
+        );
+        assert_eq!(r.scaling_ratio.is_some(), scale, "case {case}");
+        let cond = r.condition_estimate.unwrap();
+        assert!(cond >= 1.0 && cond.is_finite(), "case {case}: cond {cond}");
+    }
+}
+
+/// Near-singular inputs — graded diagonals down to 1e-14 and
+/// rank-deficient-ε Neumann grids — either certify to ω ≤ 1e-10 or
+/// return a structured NotCertified report. Never a panic, never a
+/// non-finite "solution" labeled certified.
+#[test]
+fn near_singular_certifies_or_reports_structured() {
+    use trisolv::core::{certified_solve, CertifyOptions};
+    let mut rng = Rng::seed_from_u64(0xD2);
+    for case in 0..24 {
+        let a = if case % 2 == 0 {
+            gen::graded_diagonal(rng.range_usize(5, 50), rng.range_usize(6, 15) as u32)
+        } else {
+            let eps = [0.0, 1e-18, 1e-14, 1e-10, 1e-8][rng.range_usize(0, 5)];
+            gen::rank_deficient_grid(rng.range_usize(3, 9), rng.range_usize(3, 9), eps)
+        };
+        let b = gen::random_rhs(a.ncols(), 1, rng.next_u64() % 100);
+        let opts = CertifyOptions {
+            scale: rng.range_usize(0, 2) == 1,
+            regularize: true,
+            condition: case % 4 == 0,
+            ..CertifyOptions::default()
+        };
+        let outcome = std::panic::catch_unwind(|| certified_solve(&a, &b, &opts))
+            .unwrap_or_else(|_| panic!("case {case}: certified_solve panicked"));
+        // regularized pipeline must not error on these inputs: breakdown
+        // pivots are boosted and the report carries the consequences
+        let cert = outcome.unwrap_or_else(|e| panic!("case {case}: structured error {e}"));
+        let r = &cert.report;
+        if r.certified {
+            assert!(
+                r.backward_error <= 1e-10,
+                "case {case}: certified but omega {:.3e}",
+                r.backward_error
+            );
+            assert!(
+                cert.x.as_slice().iter().all(|v| v.is_finite()),
+                "case {case}: certified solution has non-finite entries"
+            );
+        } else {
+            // structured NotCertified: best iterate, honest omega
+            assert!(r.backward_error > 1e-10, "case {case}");
+        }
+        assert_eq!(*r.omega_history.last().unwrap(), r.backward_error);
+    }
+}
+
+/// Without regularization the same near-singular family either factors
+/// cleanly or fails with the structured `NotPositiveDefinite` — the
+/// breakdown column is always in range.
+#[test]
+fn breakdown_without_regularization_is_structured() {
+    use trisolv::core::{certified_solve, CertifyOptions};
+    let mut rng = Rng::seed_from_u64(0xD3);
+    for case in 0..16 {
+        let kx = rng.range_usize(3, 8);
+        let ky = rng.range_usize(3, 8);
+        let a = gen::rank_deficient_grid(kx, ky, 0.0); // exactly singular
+        let b = gen::random_rhs(a.ncols(), 1, rng.next_u64() % 50);
+        let opts = CertifyOptions::default(); // regularize: false
+        match certified_solve(&a, &b, &opts) {
+            Ok(cert) => assert!(
+                !cert.report.certified || cert.report.backward_error <= 1e-10,
+                "case {case}"
+            ),
+            Err(MatrixError::NotPositiveDefinite { column, .. }) => {
+                assert!(column < a.ncols(), "case {case}: column {column}")
+            }
+            Err(other) => panic!("case {case}: unexpected error {other}"),
+        }
+    }
+}
+
+/// Symmetric equilibration changes the factorization but not the
+/// certified answer: scaled and unscaled pipelines agree on well-posed
+/// problems, and the reported scaling ratio is a sane `dmax/dmin ≥ 1`.
+#[test]
+fn equilibrated_solve_matches_unscaled() {
+    use trisolv::core::{certified_solve, CertifyOptions};
+    let mut rng = Rng::seed_from_u64(0xD4);
+    for case in 0..16 {
+        let a = gen::graded_diagonal(rng.range_usize(8, 40), rng.range_usize(1, 7) as u32);
+        let b = gen::random_rhs(a.ncols(), rng.range_usize(1, 3), rng.next_u64() % 100);
+        let plain = certified_solve(&a, &b, &CertifyOptions::default()).unwrap();
+        let scaled = certified_solve(
+            &a,
+            &b,
+            &CertifyOptions {
+                scale: true,
+                ..CertifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            plain.report.certified && scaled.report.certified,
+            "case {case}"
+        );
+        let ratio = scaled.report.scaling_ratio.unwrap();
+        assert!(ratio >= 1.0 && ratio.is_finite(), "case {case}: {ratio}");
+        let denom = plain.x.norm_max().max(1.0);
+        assert!(
+            plain.x.max_abs_diff(&scaled.x).unwrap() / denom < 1e-8,
+            "case {case}: scaled and unscaled certified answers diverge"
+        );
     }
 }
 
