@@ -9,9 +9,18 @@
 //! `n×k` solves amortizes the per-request cost. A final configuration
 //! re-runs the k=8 sweep under an injected fault plan (torn replies,
 //! dropped connections, executor panics) with retrying clients, reporting
-//! the goodput the hardening ladder preserves. Writes `BENCH_server.json`.
+//! the goodput the hardening ladder preserves. A connection sweep then
+//! holds 30 / 300 / 3000 mostly-idle connections against the event-driven
+//! front end while a small active fleet keeps soliciting solves — the
+//! claim under test is that idle fan-in costs (almost) nothing and active
+//! latency does not collapse. Writes `BENCH_server.json`.
 //!
 //! Run: `cargo run --release -p trisolv-bench --bin bench_server`
+//!
+//! Env knobs: `BENCH_CLIENTS`, `BENCH_RUN_SECS`, `BENCH_WINDOW_MS`,
+//! `BENCH_MATRIX`, `BENCH_FAULT_SPEC`, `BENCH_REPS`, `BENCH_CONN_SWEEP`
+//! (comma-separated connection counts), and `BENCH_SWEEP_ONLY=1` to run
+//! just the connection sweep (CI smoke; skips the JSON artifact).
 
 use std::time::Duration;
 
@@ -34,6 +43,10 @@ const REPS: usize = 3;
 /// Fault plan for the resilience configuration: torn replies, dropped
 /// connections, and executor panics, all on deterministic counters.
 const FAULT_SPEC: &str = "seed=9;write.torn=every:31;conn.drop=every:23;solve.panic=every:19";
+/// Connection sweep: total connections held against the server, almost all
+/// idle, while [`SWEEP_ACTIVE`] closed-loop clients keep soliciting solves.
+const CONN_SWEEP: [usize; 3] = [30, 300, 3000];
+const SWEEP_ACTIVE: usize = 8;
 
 /// Numeric override from the environment, for ad-hoc sweeps without rebuilds.
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -100,6 +113,7 @@ fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize, fault_spec: &str)
             max_backoff: Duration::from_millis(50),
             ..ClientOptions::default()
         },
+        idle_conns: 0,
     })
     .expect("load generation");
     let stats = server.engine().stats();
@@ -125,6 +139,124 @@ fn run_config(a: &trisolv_matrix::CscMatrix, max_batch: usize, fault_spec: &str)
     }
 }
 
+struct SweepResult {
+    conns: usize,
+    idle_opened: u64,
+    active_clients: usize,
+    requests: u64,
+    errors: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    connections_total: u64,
+    frames_pipelined: u64,
+}
+
+/// One connection-sweep level: `conns` total connections, of which
+/// [`SWEEP_ACTIVE`] run a closed solve loop and the rest sit idle. The
+/// worker pool stays small on purpose — idle fan-in must be absorbed by
+/// the event loop, not by a thread per connection.
+fn run_conn_sweep(a: &trisolv_matrix::CscMatrix, conns: usize) -> SweepResult {
+    let active = SWEEP_ACTIVE.min(conns.max(1));
+    let server = Server::spawn(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: active + 2,
+        engine: EngineOptions {
+            exec: ExecMode::Threaded,
+            batch: BatchOptions {
+                max_batch: 8,
+                window: Duration::from_millis(env_or("BENCH_WINDOW_MS", WINDOW_MS)),
+                wait_timeout: Duration::from_secs(30),
+            },
+            ..EngineOptions::default()
+        },
+        ..ServerOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let loaded = Client::connect(&addr)
+        .expect("connect")
+        .load(a)
+        .expect("factor and cache");
+
+    let report = trisolv_server::run_load(&LoadGenOptions {
+        addr,
+        fingerprint: loaded.fingerprint,
+        n: loaded.n,
+        clients: active,
+        duration: Duration::from_secs_f64(env_or("BENCH_RUN_SECS", RUN_SECS)),
+        seed: 42,
+        deadline_ms: 0,
+        client: ClientOptions {
+            retries: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            ..ClientOptions::default()
+        },
+        idle_conns: conns.saturating_sub(active),
+    })
+    .expect("load generation");
+    let stats = server.engine().stats();
+    server.join();
+
+    SweepResult {
+        conns,
+        idle_opened: report.idle_conns,
+        active_clients: active,
+        requests: report.requests,
+        errors: report.errors,
+        rps: report.throughput_rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        connections_total: stats.connections_total,
+        frames_pipelined: stats.frames_pipelined,
+    }
+}
+
+/// Connection levels to sweep, from `BENCH_CONN_SWEEP` (comma-separated)
+/// or the [`CONN_SWEEP`] default.
+fn sweep_levels() -> Vec<usize> {
+    match std::env::var("BENCH_CONN_SWEEP") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&c: &usize| c > 0)
+            .collect(),
+        Err(_) => CONN_SWEEP.to_vec(),
+    }
+}
+
+/// Run the sweep, print the table, and return results for the JSON doc.
+fn run_sweep_section(a: &trisolv_matrix::CscMatrix) -> Vec<SweepResult> {
+    println!("\nconnection sweep ({SWEEP_ACTIVE} active closed-loop clients, rest idle):");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "conns", "idle", "req/s", "p50 us", "p99 us", "pipelined", "errors"
+    );
+    let mut sweep = Vec::new();
+    for conns in sweep_levels() {
+        let r = run_conn_sweep(a, conns);
+        println!(
+            "{:>8} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10} {:>10}",
+            r.conns, r.idle_opened, r.rps, r.p50_us, r.p99_us, r.frames_pipelined, r.errors
+        );
+        assert_eq!(r.errors, 0, "sweep {}: load generation saw errors", conns);
+        assert!(r.requests > 0, "sweep {}: no requests completed", conns);
+        sweep.push(r);
+    }
+    if let (Some(first), Some(last)) = (sweep.first(), sweep.last()) {
+        if first.conns < last.conns && first.p99_us.is_finite() {
+            println!(
+                "p99 at {} conns is {:.2}x of p99 at {} conns",
+                last.conns,
+                last.p99_us / first.p99_us.max(1.0),
+                first.conns
+            );
+        }
+    }
+    sweep
+}
+
 fn main() {
     // The faulted configuration injects panics on purpose (the server
     // catches them); keep the default hook for everything else so a real
@@ -144,6 +276,15 @@ fn main() {
     let clients = env_or("BENCH_CLIENTS", CLIENTS);
     let run_secs = env_or("BENCH_RUN_SECS", RUN_SECS);
     let a = gen::from_spec(&spec).expect("matrix spec");
+    if env_or("BENCH_SWEEP_ONLY", 0u32) != 0 {
+        // CI smoke mode: just the connection sweep, no JSON artifact.
+        println!(
+            "bench_server: {spec} (n = {}), connection sweep only",
+            a.nrows()
+        );
+        run_sweep_section(&a);
+        return;
+    }
     println!(
         "bench_server: {spec} (n = {}), {clients} closed-loop clients, {run_secs} s per config\n",
         a.nrows()
@@ -222,6 +363,25 @@ fn main() {
         "retrying clients should absorb every injected fault"
     );
 
+    let sweep = run_sweep_section(&a);
+    let sweep_json: Vec<Json> = sweep
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("connections", Json::Int(r.conns as i64)),
+                ("idle_opened", Json::Int(r.idle_opened as i64)),
+                ("active_clients", Json::Int(r.active_clients as i64)),
+                ("requests", Json::Int(r.requests as i64)),
+                ("errors", Json::Int(r.errors as i64)),
+                ("throughput_rps", Json::Num(r.rps)),
+                ("p50_us", Json::Num(r.p50_us)),
+                ("p99_us", Json::Num(r.p99_us)),
+                ("connections_total", Json::Int(r.connections_total as i64)),
+                ("frames_pipelined", Json::Int(r.frames_pipelined as i64)),
+            ])
+        })
+        .collect();
+
     let configs: Vec<Json> = results
         .iter()
         .map(|r| {
@@ -274,6 +434,7 @@ fn main() {
                 ("faults_injected", Json::Int(faulted.faults_injected as i64)),
             ]),
         ),
+        ("connection_sweep", Json::Arr(sweep_json)),
         ("speedup_k8_vs_k1", Json::Num(ratio8)),
         ("speedup_k30_vs_k1", Json::Num(ratio30)),
         (

@@ -46,6 +46,9 @@ pub enum ClientError {
 impl ClientError {
     /// Whether a retry could plausibly succeed: transport failures (the
     /// peer may be back), `Busy` sheds, and deadline/timeout misses.
+    /// `Protocol` errors are transient only across a *reconnect* — the
+    /// stream that produced one is desynchronized and must never be
+    /// reused; [`Client::solve_with_retry`] enforces that.
     pub fn is_transient(&self) -> bool {
         match self {
             ClientError::Io(_) | ClientError::Protocol(_) => true,
@@ -338,7 +341,10 @@ impl Client {
     /// `opts.retries` times under capped exponential backoff with seeded
     /// jitter; a `Busy` shed waits at least the server's `retry_after_ms`
     /// hint. Transport failures reconnect first (requires the client to
-    /// have been built by [`Client::connect_with`]).
+    /// have been built by [`Client::connect_with`]). A `Protocol` failure
+    /// *requires* the reconnect — a desynchronized stream is never reused —
+    /// and turns permanent if a fresh stream also yields an unparseable
+    /// reply.
     pub fn solve_with_retry(
         &mut self,
         fp: Fingerprint,
@@ -346,6 +352,10 @@ impl Client {
         deadline_ms: u64,
     ) -> Result<Vec<f64>, ClientError> {
         let mut attempt = 0u32;
+        // Set once a Protocol error has already been answered with a fresh
+        // stream: a second undecodable reply means the server itself is
+        // speaking garbage, not that this connection desynchronized.
+        let mut protocol_err_on_fresh_stream = false;
         loop {
             let err = match self.solve_with_deadline(fp, rhs, deadline_ms) {
                 Ok(x) => return Ok(x),
@@ -371,11 +381,27 @@ impl Client {
             if !err.is_transient() || attempt >= self.opts.retries {
                 return Err(err);
             }
-            if matches!(&err, ClientError::Io(_) | ClientError::Protocol(_)) {
-                // The stream is in an unknown state; replace it. A failed
-                // reconnect is fine — the server may still be coming back,
-                // and the next attempt will dial again after the backoff.
-                let _ = self.reconnect();
+            match &err {
+                ClientError::Protocol(_) => {
+                    // The stream is desynchronized: the next frame boundary
+                    // is unknowable, so retrying on it would spin against
+                    // garbage bytes. The reconnect is mandatory — when it is
+                    // impossible (no retained address) or a fresh stream
+                    // already produced an unparseable reply, the error is
+                    // permanent.
+                    if protocol_err_on_fresh_stream || self.reconnect().is_err() {
+                        return Err(err);
+                    }
+                    protocol_err_on_fresh_stream = true;
+                }
+                ClientError::Io(_) => {
+                    // The transport failed; replace it. A failed reconnect
+                    // is fine — the server may still be coming back, and
+                    // the next attempt will dial again after the backoff.
+                    let _ = self.reconnect();
+                    protocol_err_on_fresh_stream = false;
+                }
+                _ => protocol_err_on_fresh_stream = false,
             }
             std::thread::sleep(self.backoff_delay(attempt, floor_ms));
             self.stats.retried += 1;

@@ -221,6 +221,13 @@ pub struct EngineStats {
     pub self_heals: u64,
     /// Certified solves (iterative refinement) answered successfully.
     pub certified_solves: u64,
+    /// Connections currently in service (gauge, not a counter).
+    pub connections_open: u64,
+    /// Connections ever admitted into service.
+    pub connections_total: u64,
+    /// Frames parsed while earlier requests on the same connection were
+    /// still in flight (pipelining depth signal).
+    pub frames_pipelined: u64,
 }
 
 /// Factor-caching, micro-batching solve engine.
@@ -244,6 +251,9 @@ pub struct Engine {
     integrity_checks: AtomicU64,
     self_heals: AtomicU64,
     certified_solves: AtomicU64,
+    conns_open: AtomicU64,
+    conns_total: AtomicU64,
+    frames_pipelined: AtomicU64,
 }
 
 /// RAII in-flight counter for admission control.
@@ -284,6 +294,9 @@ impl Engine {
             integrity_checks: AtomicU64::new(0),
             self_heals: AtomicU64::new(0),
             certified_solves: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            frames_pipelined: AtomicU64::new(0),
         }
     }
 
@@ -301,6 +314,27 @@ impl Engine {
     /// so the count lands in `STATS`).
     pub fn note_worker_respawn(&self) {
         self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection admitted into service by the front end.
+    pub fn note_conn_open(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+        self.conns_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a served connection closing. Must pair with
+    /// [`Engine::note_conn_open`]; the open gauge saturates at zero rather
+    /// than wrapping if a caller ever mispairs them.
+    pub fn note_conn_closed(&self) {
+        let _ = self
+            .conns_open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// Record frames admitted while earlier requests on the same
+    /// connection were still in flight.
+    pub fn note_frames_pipelined(&self, n: u64) {
+        self.frames_pipelined.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The backoff hint attached to `Busy` responses: two batching windows,
@@ -729,6 +763,9 @@ impl Engine {
             integrity_checks: self.integrity_checks.load(Ordering::Relaxed),
             self_heals: self.self_heals.load(Ordering::Relaxed),
             certified_solves: self.certified_solves.load(Ordering::Relaxed),
+            connections_open: self.conns_open.load(Ordering::Relaxed),
+            connections_total: self.conns_total.load(Ordering::Relaxed),
+            frames_pipelined: self.frames_pipelined.load(Ordering::Relaxed),
         }
     }
 

@@ -7,8 +7,11 @@
 //! keeps factorizations resident ([`cache`]), merges concurrent single-RHS
 //! requests on the same factor into blocked `n×k` solves ([`batch`],
 //! [`engine`]), and exposes the whole thing over a std-only length-prefixed
-//! TCP protocol ([`protocol`], [`server`]) with a matching blocking client
-//! and load generator ([`client`], [`loadgen`]).
+//! TCP protocol ([`protocol`]) behind an event-driven front end — a
+//! `poll(2)` readiness loop ([`poller`]), per-connection state machines
+//! with request pipelining ([`conn`]), and a solver-worker pool
+//! ([`server`]) — with a matching blocking client and load generator
+//! ([`client`], [`loadgen`]).
 //!
 //! Failure is a first-class input ([`fault`]): a seeded fault plan can
 //! inject torn frames, stalls, panics, and connection drops at named sites,
@@ -29,10 +32,12 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod conn;
 pub mod engine;
 pub mod fault;
 pub mod fingerprint;
 pub mod loadgen;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 

@@ -7,6 +7,7 @@
 //! reproduce the paper's multi-RHS amortization curve, and what the CI
 //! smoke job asserts on.
 
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use trisolv_matrix::rng::Rng;
@@ -34,6 +35,11 @@ pub struct LoadGenOptions {
     /// Client resilience knobs (timeouts, retries, backoff); each client
     /// derives its jitter seed from `seed` plus its index.
     pub client: ClientOptions,
+    /// Extra connections opened before the run and held idle for its whole
+    /// duration — the mostly-idle fan-in the event-driven front end exists
+    /// to absorb. They send no requests; the report records how many
+    /// actually opened.
+    pub idle_conns: usize,
 }
 
 /// Aggregate results of one load-generation run.
@@ -56,6 +62,9 @@ pub struct LoadGenReport {
     /// Retry-path counters summed over all clients (sheds observed,
     /// attempts retried, deadline misses, reconnects).
     pub retry: RetryStats,
+    /// Idle connections actually opened and held for the run (may be less
+    /// than asked if the server or fd limits pushed back).
+    pub idle_conns: u64,
 }
 
 /// Percentile by nearest-rank on a sorted slice (`q` in `[0, 1]`).
@@ -78,6 +87,17 @@ pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
     /// Per-client outcome: (requests ok, requests errored, latencies in µs,
     /// retry counters).
     type ClientOutcome = Result<(u64, u64, Vec<f64>, RetryStats), ClientError>;
+    // Idle fan-in first, so the active clients below run against a server
+    // that is already holding the requested connection count. Shortfalls
+    // (fd limits, connection caps) are recorded, not fatal.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(opts.idle_conns);
+    for _ in 0..opts.idle_conns {
+        match TcpStream::connect(&opts.addr) {
+            Ok(s) => idle.push(s),
+            Err(_) => break,
+        }
+    }
+    let idle_conns = idle.len() as u64;
     let started = Instant::now();
     let deadline = started + opts.duration;
     let results: Vec<ClientOutcome> = std::thread::scope(|scope| {
@@ -98,6 +118,7 @@ pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = started.elapsed();
+    drop(idle); // held through the whole active window
 
     let mut requests = 0u64;
     let mut errors = 0u64;
@@ -141,6 +162,7 @@ pub fn run_load(opts: &LoadGenOptions) -> Result<LoadGenReport, ClientError> {
         p99_us: percentile(&latencies, 0.99),
         mean_us: mean,
         retry,
+        idle_conns,
     })
 }
 

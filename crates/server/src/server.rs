@@ -1,14 +1,23 @@
-//! TCP front end: acceptor, worker pool, watchdog, request dispatch.
+//! TCP front end: readiness-driven event loop, solver-worker pool, watchdog.
 //!
-//! One acceptor thread hands accepted connections to a fixed pool of worker
-//! threads over an `mpsc` channel; each worker owns one connection at a
-//! time and services frames until the peer hangs up or the server shuts
-//! down. A worker blocked inside the micro-batcher is exactly what lets
-//! concurrent connections share a blocked solve, so `workers` should be at
-//! least the target batch size.
+//! One event-loop thread owns every socket: it polls the nonblocking
+//! listener, a wake channel, and all connections through the [`poller`]
+//! abstraction, feeds complete frames from each [`Conn`] state machine into
+//! a job channel, and writes finished replies back out. A fixed pool of
+//! solver workers blocks on that channel — a worker blocked inside the
+//! micro-batcher is exactly what lets concurrent requests share a blocked
+//! solve, so `workers` should be at least the target batch size. Requests
+//! pipelined on one connection execute concurrently across workers; replies
+//! are re-sequenced into request order by the connection (see `conn.rs`).
 //!
-//! Robustness contract (exercised in `tests/service.rs` and
-//! `tests/chaos.rs`):
+//! Idle cost is near zero by construction: the loop sleeps in `poll(2)`
+//! until a socket or the waker fires (with a timeout only when a slow-peer
+//! or write deadline is actually pending), workers sleep in `recv()`, and
+//! the watchdog sleeps in `recv()` on worker-exit notices. No thread wakes
+//! on a period.
+//!
+//! Robustness contract (exercised in `tests/service.rs`, `tests/chaos.rs`,
+//! and `tests/frontend.rs`):
 //!
 //! * a garbage or oversized length prefix gets an `ERR` reply and a close
 //!   (the stream cannot be re-synchronized);
@@ -16,32 +25,39 @@
 //!   length, unknown fingerprint, unknown opcode) gets a structured `ERR`
 //!   reply and the connection stays open;
 //! * a peer that starts a frame but trickles it in slower than
-//!   `io_timeout` (slow loris) gets `ERR Timeout` and a close — it cannot
-//!   pin a worker; idle connections *between* frames may wait forever;
+//!   `io_timeout` (slow loris) gets `ERR Timeout` and a close — and under
+//!   the event loop it never held a thread to begin with; idle connections
+//!   *between* frames may wait forever;
 //! * a panic anywhere in request handling is caught at the dispatch
 //!   boundary and answered with `ERR Internal`; a panic that escapes a
 //!   worker thread entirely (e.g. the injected `worker.panic` fault) is
-//!   noticed by the watchdog thread, which respawns the worker and counts
-//!   it in `STATS worker_respawns`;
-//! * `SHUTDOWN` (or [`RunningServer::shutdown`]) stops the acceptor,
-//!   drains the workers, and joins every thread.
+//!   noticed by the watchdog, which respawns the worker, counts it in
+//!   `STATS worker_respawns`, and closes the connection whose request died
+//!   with the worker so its client can retry on a fresh stream;
+//! * `SHUTDOWN` (or [`RunningServer::shutdown`]) flushes pending replies,
+//!   stops the loop, drains the workers, and joins every thread.
 //!
 //! Every fault-injection site ([`FaultSite`]) on the request path lives in
-//! this file except `solve`/`factor`, which the engine trips.
+//! this file except `solve`/`factor`, which the engine trips: `conn` at
+//! accept, `read` per parsed frame in the loop, `write` and `worker` in the
+//! workers.
 
-use std::io::{self, Read, Write};
+use std::collections::HashMap;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use trisolv_matrix::CscMatrix;
 
+use crate::conn::{Conn, FrameStep, Outcome, ReadStatus};
 use crate::engine::{Engine, EngineError, EngineOptions};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
+use crate::poller::{self, Interest, PollFd, Waker};
 use crate::protocol::{
     op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN, SOLVE_FLAG_CERTIFIED,
 };
@@ -51,8 +67,9 @@ use crate::protocol::{
 pub struct ServerOptions {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads (each services one connection at a time). Should be
-    /// ≥ the batching `max_batch` for full-width batches to form.
+    /// Solver worker threads (the event loop handles all connections, so
+    /// this no longer bounds concurrent clients). Should be ≥ the batching
+    /// `max_batch` for full-width batches to form.
     pub workers: usize,
     /// Engine (cache + batcher + executor) configuration.
     pub engine: EngineOptions,
@@ -65,6 +82,13 @@ pub struct ServerOptions {
     /// Hard cap on client-requested SOLVE deadlines; also the default
     /// deadline when a client sends none. Zero means uncapped.
     pub deadline_cap: Duration,
+    /// Maximum concurrent connections; extras get `ERR Busy` and a close.
+    /// Zero means unlimited.
+    pub max_conns: usize,
+    /// Per-connection pipelining cap: frames admitted while earlier
+    /// requests on the same connection are still in flight. Past the cap
+    /// the loop stops reading the socket, so flooding clients block on TCP.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerOptions {
@@ -76,6 +100,8 @@ impl Default for ServerOptions {
             fault: FaultPlan::none(),
             io_timeout: Duration::from_secs(10),
             deadline_cap: Duration::from_secs(30),
+            max_conns: 0,
+            max_pipeline: 64,
         }
     }
 }
@@ -85,37 +111,122 @@ pub struct RunningServer {
     local_addr: SocketAddr,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
     threads: Vec<JoinHandle<()>>,
 }
 
-/// Everything a worker needs to service connections.
+/// One parsed request on its way to a solver worker.
+struct Job {
+    conn_id: u64,
+    seq: u64,
+    opcode: u8,
+    payload: Vec<u8>,
+    /// When the frame finished arriving; deadlines count from here, not
+    /// from when a worker got around to it.
+    received: Instant,
+}
+
+/// What flows back from workers (and the watchdog) to the event loop.
+enum Completion {
+    /// Request `seq` on `conn_id` resolved.
+    Done {
+        conn_id: u64,
+        seq: u64,
+        outcome: Outcome,
+    },
+    /// A worker died holding this connection's request; the reply will
+    /// never come, so the loop closes the connection and the client's
+    /// retry ladder takes over on a fresh stream.
+    ConnLost { conn_id: u64 },
+}
+
+/// Completions mailbox: workers push, the loop drains; every push wakes
+/// the loop out of `poll`.
+struct CompletionQueue {
+    items: Mutex<Vec<Completion>>,
+    waker: Arc<Waker>,
+}
+
+impl CompletionQueue {
+    fn push(&self, c: Completion) {
+        self.items.lock().unwrap_or_else(|e| e.into_inner()).push(c);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.items.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// A worker thread's exit report, sent from a drop guard so it fires on
+/// panic and clean return alike.
+struct WorkerExit {
+    slot: usize,
+    panicked: bool,
+}
+
+struct ExitNotice {
+    tx: Sender<WorkerExit>,
+    slot: usize,
+}
+
+impl Drop for ExitNotice {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WorkerExit {
+            slot: self.slot,
+            panicked: std::thread::panicking(),
+        });
+    }
+}
+
+/// Everything a solver worker needs.
 struct WorkerCtx {
-    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    jobs: Arc<Mutex<Receiver<Job>>>,
+    completions: Arc<CompletionQueue>,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
     fault: FaultPlan,
-    io_timeout: Duration,
     deadline_cap: Duration,
+    exits: Sender<WorkerExit>,
+    /// Per-slot `conn_id + 1` of the request being served (0 = idle), so
+    /// the watchdog knows which connection a dead worker orphaned.
+    current: Arc<Vec<AtomicU64>>,
 }
 
 impl WorkerCtx {
     fn clone_for_respawn(&self) -> WorkerCtx {
         WorkerCtx {
-            rx: Arc::clone(&self.rx),
+            jobs: Arc::clone(&self.jobs),
+            completions: Arc::clone(&self.completions),
             engine: Arc::clone(&self.engine),
             shutdown: Arc::clone(&self.shutdown),
             fault: self.fault.clone(),
-            io_timeout: self.io_timeout,
             deadline_cap: self.deadline_cap,
+            exits: self.exits.clone(),
+            current: Arc::clone(&self.current),
         }
     }
+}
+
+/// Everything the event loop owns.
+struct LoopCtx {
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    jobs_tx: Sender<Job>,
+    completions: Arc<CompletionQueue>,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    fault: FaultPlan,
+    io_timeout: Duration,
+    max_conns: usize,
+    max_pipeline: usize,
 }
 
 /// The service entry point.
 pub struct Server;
 
 impl Server {
-    /// Bind, spawn the acceptor, worker pool, and watchdog, and return
+    /// Bind, spawn the event loop, worker pool, and watchdog, and return
     /// immediately.
     pub fn spawn(opts: ServerOptions) -> io::Result<RunningServer> {
         let listener = TcpListener::bind(&opts.addr)?;
@@ -123,34 +234,60 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let engine = Arc::new(Engine::with_fault(opts.engine, opts.fault.clone()));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let (waker, wake_rx) = poller::wake_pair()?;
+        let waker = Arc::new(waker);
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let completions = Arc::new(CompletionQueue {
+            items: Mutex::new(Vec::new()),
+            waker: Arc::clone(&waker),
+        });
+        let (exit_tx, exit_rx) = mpsc::channel::<WorkerExit>();
+        let nworkers = opts.workers.max(1);
+        let current: Arc<Vec<AtomicU64>> =
+            Arc::new((0..nworkers).map(|_| AtomicU64::new(0)).collect());
+
+        let wctx = WorkerCtx {
+            jobs: Arc::new(Mutex::new(jobs_rx)),
+            completions: Arc::clone(&completions),
+            engine: Arc::clone(&engine),
+            shutdown: Arc::clone(&shutdown),
+            fault: opts.fault.clone(),
+            deadline_cap: opts.deadline_cap,
+            exits: exit_tx,
+            current,
+        };
+        let workers: Vec<Option<JoinHandle<()>>> = (0..nworkers)
+            .map(|slot| Some(spawn_worker(wctx.clone_for_respawn(), slot)))
+            .collect();
 
         let mut threads = Vec::with_capacity(2);
-        {
-            let shutdown = Arc::clone(&shutdown);
-            threads.push(std::thread::spawn(move || {
-                accept_loop(listener, tx, &shutdown);
-            }));
-        }
-        let ctx = WorkerCtx {
-            rx,
+        threads.push(
+            std::thread::Builder::new()
+                .name("tsv-watchdog".to_string())
+                .spawn(move || watchdog_loop(wctx, exit_rx, workers))?,
+        );
+        let lctx = LoopCtx {
+            listener,
+            wake_rx,
+            jobs_tx,
+            completions,
             engine: Arc::clone(&engine),
             shutdown: Arc::clone(&shutdown),
             fault: opts.fault,
             io_timeout: opts.io_timeout,
-            deadline_cap: opts.deadline_cap,
+            max_conns: opts.max_conns,
+            max_pipeline: opts.max_pipeline.max(1),
         };
-        let workers: Vec<Option<JoinHandle<()>>> = (0..opts.workers.max(1))
-            .map(|_| Some(spawn_worker(ctx.clone_for_respawn())))
-            .collect();
-        threads.push(std::thread::spawn(move || {
-            watchdog_loop(ctx, workers);
-        }));
+        threads.push(
+            std::thread::Builder::new()
+                .name("tsv-evloop".to_string())
+                .spawn(move || event_loop(lctx))?,
+        );
         Ok(RunningServer {
             local_addr,
             engine,
             shutdown,
+            waker,
             threads,
         })
     }
@@ -170,6 +307,7 @@ impl RunningServer {
     /// Signal shutdown without waiting.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
     }
 
     /// Signal shutdown and join every thread.
@@ -200,132 +338,420 @@ impl Drop for RunningServer {
     }
 }
 
-/// How often blocked accept/recv/read calls re-check the shutdown flag.
-const POLL: Duration = Duration::from_millis(20);
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
 
-fn accept_loop(listener: TcpListener, tx: mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if tx.send(stream).is_err() {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
-            }
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
-    // dropping `tx` wakes workers blocked on recv
-}
+/// Positions of the two fixed poll-set entries; connections follow.
+const POLL_LISTENER: usize = 0;
+const POLL_WAKER: usize = 1;
 
-fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
-    std::thread::spawn(move || worker_loop(&ctx))
-}
-
-/// Supervise the worker pool: a worker that exits by panic (a bug that
-/// escaped dispatch isolation, or the injected `worker.panic` fault) is
-/// joined and replaced so the pool never silently shrinks. Clean exits
-/// (shutdown, channel disconnect) are not respawned.
-fn watchdog_loop(ctx: WorkerCtx, mut workers: Vec<Option<JoinHandle<()>>>) {
-    while !ctx.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(POLL);
-        for slot in workers.iter_mut() {
-            let finished = slot.as_ref().is_some_and(|h| h.is_finished());
-            if !finished {
-                continue;
-            }
-            let handle = slot.take().expect("checked is_some above");
-            if handle.join().is_err() && !ctx.shutdown.load(Ordering::SeqCst) {
-                ctx.engine.note_worker_respawn();
-                *slot = Some(spawn_worker(ctx.clone_for_respawn()));
-            }
-        }
-    }
-    for slot in workers.iter_mut().filter_map(Option::take) {
-        let _ = slot.join();
-    }
-}
-
-fn worker_loop(ctx: &WorkerCtx) {
+fn event_loop(mut ctx: LoopCtx) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
     loop {
-        let next = {
-            // Recover from poison: a sibling worker that panicked while
-            // holding this lock (satellite fix — previously `.unwrap()`
-            // here turned one panic into a cascade of dead workers) left
-            // the receiver itself intact, so inheriting the guard is safe.
-            let guard = ctx.rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv_timeout(POLL)
+        // Finished work first: apply completions, flush, reap.
+        for id in apply_completions(&ctx, &mut conns) {
+            let close = match conns.get_mut(&id) {
+                Some(conn) => conn.try_write(ctx.io_timeout).is_err() || conn.finished(),
+                None => false,
+            };
+            if close {
+                close_conn(&ctx, &mut conns, id);
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            shutdown_drain(&ctx, &mut conns);
+            return; // drops jobs_tx: workers see disconnect and exit
+        }
+
+        // Rebuild the level-triggered poll set.
+        fds.clear();
+        ids.clear();
+        fds.push(PollFd::new(poller::fd_of(&ctx.listener), Interest::read()));
+        fds.push(PollFd::new(poller::fd_of(&ctx.wake_rx), Interest::read()));
+        for (&id, conn) in conns.iter() {
+            fds.push(PollFd::new(
+                poller::fd_of(&conn.stream),
+                Interest {
+                    readable: conn.wants_read(ctx.max_pipeline),
+                    writable: conn.wants_write(),
+                },
+            ));
+            ids.push(id);
+        }
+
+        // Sleep until readiness, the waker, or the nearest deadline. With
+        // no deadlines pending this blocks indefinitely: an idle server
+        // makes zero wakeups.
+        let timeout = nearest_deadline(&conns);
+        if poller::wait(&mut fds, timeout).is_err() {
+            // poll(2) failures other than EINTR (absorbed by the poller)
+            // are exotic; back off so a persistent one cannot spin the loop
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+
+        if fds[POLL_WAKER].ready.readable || fds[POLL_WAKER].ready.hangup {
+            poller::drain(&mut ctx.wake_rx);
+        }
+        if fds[POLL_LISTENER].ready.readable {
+            accept_ready(&ctx, &mut conns, &mut next_id);
+        }
+
+        let now = Instant::now();
+        let mut dead: Vec<u64> = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let ready = fds[i + 2].ready;
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            let mut close = false;
+            if ready.readable || ready.hangup {
+                close = service_input(&ctx, id, conn);
+            }
+            if !close && (ready.writable || conn.wants_write()) {
+                close = conn.try_write(ctx.io_timeout).is_err();
+            }
+            if !close {
+                if conn.read_deadline.is_some_and(|d| now >= d) {
+                    // slow loris: started a frame, trickled it in too slowly
+                    conn.fail_and_close(encode_frame(
+                        op::ERR,
+                        &err_payload(ErrorCode::Timeout, "slow peer: frame stalled", None),
+                    ));
+                    let _ = conn.try_write(ctx.io_timeout);
+                }
+                if conn.write_deadline.is_some_and(|d| now >= d) {
+                    close = true; // peer stopped accepting our replies
+                }
+            }
+            if close || conn.finished() {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            close_conn(&ctx, &mut conns, id);
+        }
+    }
+}
+
+/// Apply queued completions; returns the ids of connections touched.
+fn apply_completions(ctx: &LoopCtx, conns: &mut HashMap<u64, Conn>) -> Vec<u64> {
+    let mut touched = Vec::new();
+    for c in ctx.completions.drain() {
+        match c {
+            Completion::Done {
+                conn_id,
+                seq,
+                outcome,
+            } => {
+                if let Some(conn) = conns.get_mut(&conn_id) {
+                    conn.finish(seq, outcome);
+                    touched.push(conn_id);
+                }
+            }
+            Completion::ConnLost { conn_id } => close_conn(ctx, conns, conn_id),
+        }
+    }
+    touched
+}
+
+/// The soonest pending read/write deadline across all connections, as a
+/// poll timeout; `None` when nothing is pending.
+fn nearest_deadline(conns: &HashMap<u64, Conn>) -> Option<Duration> {
+    let now = Instant::now();
+    let mut timeout: Option<Duration> = None;
+    for conn in conns.values() {
+        for d in [conn.read_deadline, conn.write_deadline]
+            .into_iter()
+            .flatten()
+        {
+            let left = d.saturating_duration_since(now);
+            timeout = Some(timeout.map_or(left, |t| t.min(left)));
+        }
+    }
+    timeout
+}
+
+fn close_conn(ctx: &LoopCtx, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if conns.remove(&id).is_some() {
+        ctx.engine.note_conn_closed();
+    }
+}
+
+/// Accept everything the backlog has (the listener is level-triggered, but
+/// draining it now saves poll round-trips under an accept storm).
+fn accept_ready(ctx: &LoopCtx, conns: &mut HashMap<u64, Conn>, next_id: &mut u64) {
+    loop {
+        let stream = match ctx.listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            // Per-connection accept errors (ECONNABORTED etc.): skip it and
+            // keep draining; a persistent listener error surfaces as
+            // WouldBlock-free repeats, which the next poll absorbs.
+            Err(_) => return,
         };
-        match next {
-            Ok(stream) => {
-                // The worker fault site panics *outside* dispatch isolation
-                // on purpose: it simulates a worker-killing bug and must be
-                // survivable only via the watchdog respawn path.
-                ctx.fault.trip(FaultSite::Worker);
-                let _ = handle_conn(stream, ctx);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if ctx.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
+        if ctx.fault.trip(FaultSite::Conn) == Some(FaultAction::Drop) {
+            continue; // spurious connection drop before the first frame
         }
+        if ctx.max_conns != 0 && conns.len() >= ctx.max_conns {
+            let mut stream = stream;
+            let _ = stream.set_nodelay(true);
+            let _ = write_frame(
+                &mut stream,
+                op::ERR,
+                &err_payload(
+                    ErrorCode::Busy,
+                    "connection limit reached",
+                    Some(ctx.engine.retry_after_ms()),
+                ),
+            );
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        let id = *next_id;
+        *next_id += 1;
+        conns.insert(id, Conn::new(stream));
+        ctx.engine.note_conn_open();
     }
 }
 
-enum ReadOutcome {
-    /// Buffer filled.
-    Full,
-    /// Clean EOF before the first byte.
-    Eof,
-    /// Server is shutting down.
-    Shutdown,
-    /// `deadline` expired before the buffer filled (slow peer).
-    SlowPeer,
-}
-
-/// `read_exact` with shutdown polling: retries `WouldBlock`/`TimedOut`
-/// (the socket has a short read timeout) while watching the shutdown flag
-/// and, when `deadline` is set, the slow-peer budget.
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-    deadline: Option<Instant>,
-) -> io::Result<ReadOutcome> {
-    let mut got = 0;
-    while got < buf.len() {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(ReadOutcome::Shutdown);
-        }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            return Ok(ReadOutcome::SlowPeer);
-        }
-        match stream.read(&mut buf[got..]) {
-            Ok(0) => {
-                if got == 0 {
-                    return Ok(ReadOutcome::Eof);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-frame",
+/// Read what the socket has and feed every complete frame to the workers.
+/// Returns `true` when the connection must close immediately.
+fn service_input(ctx: &LoopCtx, id: u64, conn: &mut Conn) -> bool {
+    let status = match conn.read_some() {
+        Ok(s) => s,
+        Err(_) => return true,
+    };
+    let mut extracted = false;
+    while conn.wants_read(ctx.max_pipeline) {
+        match conn.next_frame() {
+            FrameStep::Incomplete => break,
+            FrameStep::BadLength(len) => {
+                // cannot resync the stream after a bad length: reply, close
+                let code = if len > MAX_FRAME_LEN {
+                    ErrorCode::TooLarge
+                } else {
+                    ErrorCode::Malformed
+                };
+                conn.fail_and_close(encode_frame(
+                    op::ERR,
+                    &err_payload(code, &format!("bad frame length {len}"), None),
                 ));
+                break;
             }
-            Ok(n) => got += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
+            FrameStep::Frame { opcode, payload } => {
+                extracted = true;
+                // The read fault site fires per parsed frame, as the old
+                // per-read-attempt site effectively did: a drop severs the
+                // connection mid-stream, a stall stalls the loop — which is
+                // exactly what a stalled read did to the old per-conn thread,
+                // writ service-wide.
+                if ctx.fault.trip(FaultSite::Read) == Some(FaultAction::Drop) {
+                    return true;
+                }
+                if conn.in_flight > 0 {
+                    ctx.engine.note_frames_pipelined(1);
+                }
+                let seq = conn.begin_request();
+                let job = Job {
+                    conn_id: id,
+                    seq,
+                    opcode,
+                    payload,
+                    received: Instant::now(),
+                };
+                if ctx.jobs_tx.send(job).is_err() {
+                    return true; // workers gone: shutting down
+                }
+            }
         }
     }
-    Ok(ReadOutcome::Full)
+    conn.compact();
+    conn.update_read_deadline(ctx.io_timeout, extracted);
+    if status == ReadStatus::Eof {
+        conn.close_input();
+    }
+    conn.finished()
+}
+
+/// Post-shutdown grace: let in-flight requests resolve and their replies
+/// flush (bounded), so `SHUTDOWN` clients actually see `OK_BYE`. The only
+/// sleep here runs during teardown, never on the idle path.
+fn shutdown_drain(ctx: &LoopCtx, conns: &mut HashMap<u64, Conn>) {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while !conns.is_empty() && Instant::now() < deadline {
+        apply_completions(ctx, conns);
+        let mut done: Vec<u64> = Vec::new();
+        for (&id, conn) in conns.iter_mut() {
+            if conn.try_write(ctx.io_timeout).is_err()
+                || (!conn.wants_write() && conn.in_flight == 0)
+            {
+                done.push(id);
+            }
+        }
+        for id in done {
+            close_conn(ctx, conns, id);
+        }
+        if conns.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let leftover: Vec<u64> = conns.keys().copied().collect();
+    for id in leftover {
+        close_conn(ctx, conns, id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool + watchdog
+// ---------------------------------------------------------------------------
+
+fn spawn_worker(ctx: WorkerCtx, slot: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("tsv-worker-{slot}"))
+        .spawn(move || worker_loop(&ctx, slot))
+        .expect("spawn solver worker thread")
+}
+
+fn worker_loop(ctx: &WorkerCtx, slot: usize) {
+    // Fires on every exit path — panic included — so the watchdog never
+    // has to poll `is_finished()`.
+    let _notice = ExitNotice {
+        tx: ctx.exits.clone(),
+        slot,
+    };
+    loop {
+        // Block with no timeout: an idle pool makes zero wakeups (the old
+        // `recv_timeout(POLL)` burned CPU on every idle worker, forever).
+        // Shutdown arrives as a channel disconnect when the event loop
+        // drops its Sender. Poison recovery: a sibling that panicked while
+        // holding the lock left the receiver itself intact.
+        let job = {
+            let guard = ctx.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        ctx.current[slot].store(job.conn_id + 1, Ordering::Release);
+        // The worker fault site panics *outside* dispatch isolation on
+        // purpose: it simulates a worker-killing bug and must be
+        // survivable only via the watchdog respawn path.
+        ctx.fault.trip(FaultSite::Worker);
+        let outcome = serve_job(ctx, &job);
+        ctx.current[slot].store(0, Ordering::Release);
+        ctx.completions.push(Completion::Done {
+            conn_id: job.conn_id,
+            seq: job.seq,
+            outcome,
+        });
+    }
+}
+
+/// Dispatch one request and shape the reply, including the `write` fault
+/// site (drop/torn/stall) that used to live at the socket write.
+fn serve_job(ctx: &WorkerCtx, job: &Job) -> Outcome {
+    // Dispatch isolation: any panic that slips past the engine's own
+    // guards becomes ERR Internal on this connection, not a dead worker.
+    let dispatched = panic::catch_unwind(AssertUnwindSafe(|| {
+        dispatch(
+            &ctx.engine,
+            &ctx.shutdown,
+            ctx.deadline_cap,
+            job.opcode,
+            &job.payload,
+            job.received,
+        )
+    }))
+    .unwrap_or_else(|_| Dispatch::Error {
+        code: ErrorCode::Internal,
+        msg: "request handler panicked".to_string(),
+        retry_after_ms: None,
+    });
+    let (opcode, payload, close) = match dispatched {
+        Dispatch::Reply(opcode, reply) => (opcode, reply, false),
+        Dispatch::Error {
+            code,
+            msg,
+            retry_after_ms,
+        } => (op::ERR, err_payload(code, &msg, retry_after_ms), false),
+        Dispatch::Bye => (op::OK_BYE, Vec::new(), true),
+    };
+    // The write fault site: a stall is served in place, a drop closes
+    // without writing, and a torn write queues a truncated prefix of the
+    // real frame and then closes — exactly the partial-frame garbage a
+    // crashing server would leave on the wire.
+    match ctx.fault.trip(FaultSite::Write) {
+        Some(FaultAction::Drop) => return Outcome::CloseSilent,
+        Some(FaultAction::Torn) => {
+            let frame = encode_frame(opcode, &payload);
+            let cut = (frame.len() / 2).max(1);
+            return Outcome::ReplyThenClose(frame[..cut].to_vec());
+        }
+        _ => {}
+    }
+    let frame = encode_frame(opcode, &payload);
+    if close {
+        Outcome::ReplyThenClose(frame)
+    } else {
+        Outcome::Reply(frame)
+    }
+}
+
+/// Supervise the worker pool on exit notices: a worker that dies by panic
+/// (a bug that escaped dispatch isolation, or the injected `worker.panic`
+/// fault) is joined, its orphaned connection is closed, and a replacement
+/// is spawned so the pool never silently shrinks. Clean exits (shutdown
+/// disconnect) are not respawned; the watchdog leaves when the pool is
+/// empty.
+fn watchdog_loop(
+    ctx: WorkerCtx,
+    exits: Receiver<WorkerExit>,
+    mut workers: Vec<Option<JoinHandle<()>>>,
+) {
+    let mut alive = workers.len();
+    while alive > 0 {
+        let Ok(exit) = exits.recv() else { break };
+        if let Some(handle) = workers[exit.slot].take() {
+            let _ = handle.join();
+        }
+        if exit.panicked && !ctx.shutdown.load(Ordering::SeqCst) {
+            ctx.engine.note_worker_respawn();
+            let held = ctx.current[exit.slot].swap(0, Ordering::AcqRel);
+            if held != 0 {
+                ctx.completions
+                    .push(Completion::ConnLost { conn_id: held - 1 });
+            }
+            workers[exit.slot] = Some(spawn_worker(ctx.clone_for_respawn(), exit.slot));
+        } else {
+            alive -= 1;
+        }
+    }
+    for handle in workers.iter_mut().filter_map(Option::take) {
+        let _ = handle.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame building + dispatch
+// ---------------------------------------------------------------------------
+
+/// A full wire frame for `opcode`/`payload`. Reply sizes are bounded by
+/// request sizes, so overflow is unreachable in practice; if it ever
+/// happens the peer gets a structured `ERR` instead of a dead worker.
+fn encode_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    if write_frame(&mut frame, opcode, payload).is_err() {
+        frame.clear();
+        let p = err_payload(ErrorCode::Internal, "reply exceeded frame limit", None);
+        write_frame(&mut frame, op::ERR, &p).expect("error frame fits");
+    }
+    frame
 }
 
 /// Encode an ERR frame payload (with the Busy retry hint when present).
@@ -339,123 +765,6 @@ fn err_payload(code: ErrorCode, msg: &str, retry_after_ms: Option<u64>) -> Vec<u
         b = b.u64(ms);
     }
     b.build()
-}
-
-fn send_err(stream: &mut TcpStream, code: ErrorCode, msg: &str) -> io::Result<()> {
-    write_frame(stream, op::ERR, &err_payload(code, msg, None))
-}
-
-/// Send a reply frame through the `write` fault site: a stall is served
-/// in-place, a drop closes without writing, and a torn write sends a
-/// truncated prefix of the real frame and then closes — exactly the
-/// partial-frame garbage a crashing server would leave on the wire.
-/// Returns `false` when the connection must close.
-fn send_reply(
-    stream: &mut TcpStream,
-    fault: &FaultPlan,
-    opcode: u8,
-    payload: &[u8],
-) -> io::Result<bool> {
-    match fault.trip(FaultSite::Write) {
-        Some(FaultAction::Drop) => return Ok(false),
-        Some(FaultAction::Torn) => {
-            let mut frame = Vec::with_capacity(5 + payload.len());
-            write_frame(&mut frame, opcode, payload)?;
-            let cut = (frame.len() / 2).max(1);
-            stream.write_all(&frame[..cut])?;
-            stream.flush()?;
-            return Ok(false);
-        }
-        _ => {}
-    }
-    write_frame(stream, opcode, payload)?;
-    Ok(true)
-}
-
-fn handle_conn(mut stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
-    if ctx.fault.trip(FaultSite::Conn) == Some(FaultAction::Drop) {
-        return Ok(()); // spurious connection drop before the first frame
-    }
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL))?;
-    if !ctx.io_timeout.is_zero() {
-        stream.set_write_timeout(Some(ctx.io_timeout))?;
-    }
-    loop {
-        if ctx.fault.trip(FaultSite::Read) == Some(FaultAction::Drop) {
-            return Ok(());
-        }
-        // First byte of the length prefix: an idle connection may wait
-        // between frames forever (only shutdown interrupts it)...
-        let mut len4 = [0u8; 4];
-        match read_full(&mut stream, &mut len4[..1], &ctx.shutdown, None)? {
-            ReadOutcome::Full => {}
-            _ => return Ok(()),
-        }
-        // ...but once a frame starts, the slow-peer clock is ticking: the
-        // rest of the header and the whole body must land within
-        // `io_timeout` or the peer is cut loose with ERR Timeout.
-        let slow_peer = (!ctx.io_timeout.is_zero()).then(|| Instant::now() + ctx.io_timeout);
-        match read_full(&mut stream, &mut len4[1..], &ctx.shutdown, slow_peer)? {
-            ReadOutcome::Full => {}
-            ReadOutcome::SlowPeer => {
-                let _ = send_err(&mut stream, ErrorCode::Timeout, "slow peer: frame stalled");
-                return Ok(());
-            }
-            _ => return Ok(()),
-        }
-        let len = u32::from_le_bytes(len4);
-        if len == 0 || len > MAX_FRAME_LEN {
-            // cannot resync the stream after a bad length: reply and close
-            let code = if len > MAX_FRAME_LEN {
-                ErrorCode::TooLarge
-            } else {
-                ErrorCode::Malformed
-            };
-            let _ = send_err(&mut stream, code, &format!("bad frame length {len}"));
-            return Ok(());
-        }
-        let mut body = vec![0u8; len as usize];
-        match read_full(&mut stream, &mut body, &ctx.shutdown, slow_peer)? {
-            ReadOutcome::Full => {}
-            ReadOutcome::SlowPeer => {
-                let _ = send_err(&mut stream, ErrorCode::Timeout, "slow peer: frame stalled");
-                return Ok(());
-            }
-            _ => return Ok(()),
-        }
-        let opcode = body[0];
-        let payload = &body[1..];
-        // Dispatch isolation: any panic that slips past the engine's own
-        // guards becomes ERR Internal on this connection, not a dead worker.
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| dispatch(ctx, opcode, payload)))
-            .unwrap_or_else(|_| Dispatch::Error {
-                code: ErrorCode::Internal,
-                msg: "request handler panicked".to_string(),
-                retry_after_ms: None,
-            });
-        match outcome {
-            Dispatch::Reply(opcode, reply) => {
-                if !send_reply(&mut stream, &ctx.fault, opcode, &reply)? {
-                    return Ok(());
-                }
-            }
-            Dispatch::Error {
-                code,
-                msg,
-                retry_after_ms,
-            } => {
-                let payload = err_payload(code, &msg, retry_after_ms);
-                if !send_reply(&mut stream, &ctx.fault, op::ERR, &payload)? {
-                    return Ok(());
-                }
-            }
-            Dispatch::Bye => {
-                let _ = send_reply(&mut stream, &ctx.fault, op::OK_BYE, &[])?;
-                return Ok(());
-            }
-        }
-    }
 }
 
 enum Dispatch {
@@ -505,8 +814,14 @@ fn effective_deadline(client_ms: u64, cap: Duration, now: Instant) -> Option<Ins
     budget.map(|b| now + b)
 }
 
-fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
-    let engine = &ctx.engine;
+fn dispatch(
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    deadline_cap: Duration,
+    opcode: u8,
+    payload: &[u8],
+    received: Instant,
+) -> Dispatch {
     match opcode {
         op::LOAD => match parse_load(payload) {
             Ok(matrix) => match engine.load(&matrix) {
@@ -540,8 +855,7 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
             })();
             match parsed {
                 Ok((fp, deadline_ms, rhs, flags)) => {
-                    let deadline =
-                        effective_deadline(deadline_ms, ctx.deadline_cap, Instant::now());
+                    let deadline = effective_deadline(deadline_ms, deadline_cap, received);
                     if flags & SOLVE_FLAG_CERTIFIED != 0 {
                         match engine.solve_certified(fp, rhs, deadline) {
                             Ok(out) => Dispatch::Reply(
@@ -571,7 +885,7 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 23] = [
+            let pairs: [(&str, u64); 26] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
@@ -595,6 +909,9 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
                 ("integrity_checks", s.integrity_checks),
                 ("self_heals", s.self_heals),
                 ("certified_solves", s.certified_solves),
+                ("connections_open", s.connections_open),
+                ("connections_total", s.connections_total),
+                ("frames_pipelined", s.frames_pipelined),
             ];
             let mut b = Builder::new().u64(pairs.len() as u64);
             for (key, val) in pairs {
@@ -618,7 +935,7 @@ fn dispatch(ctx: &WorkerCtx, opcode: u8, payload: &[u8]) -> Dispatch {
             }
         }
         op::SHUTDOWN => {
-            ctx.shutdown.store(true, Ordering::SeqCst);
+            shutdown.store(true, Ordering::SeqCst);
             Dispatch::Bye
         }
         other => bad(
@@ -633,9 +950,13 @@ fn parse_load(payload: &[u8]) -> Result<CscMatrix, String> {
     let nrows = c.usize()?;
     let ncols = c.usize()?;
     let nnz = c.usize()?;
+    // The column-pointer array has ncols + 1 entries; the add is on
+    // attacker-controlled input, so it must be checked (a huge ncols used
+    // to panic in debug and wrap — skewing the sanity bound — in release).
+    let cols1 = ncols.checked_add(1).ok_or("ncols overflow")?;
     // cheap sanity bound before the big allocations: the arrays must fit
     // the frame we already read
-    let need = (ncols + 1)
+    let need = cols1
         .checked_add(nnz.checked_mul(2).ok_or("nnz overflow")?)
         .and_then(|w| w.checked_mul(8))
         .ok_or("size overflow")?;
@@ -645,7 +966,7 @@ fn parse_load(payload: &[u8]) -> Result<CscMatrix, String> {
             payload.len()
         ));
     }
-    let colptr = c.usize_vec(ncols + 1)?;
+    let colptr = c.usize_vec(cols1)?;
     let rowidx = c.usize_vec(nnz)?;
     let values = c.f64_vec(nnz)?;
     c.finish()?;

@@ -280,6 +280,7 @@ fn loadgen_smoke() {
         seed: 7,
         deadline_ms: 0,
         client: trisolv_server::ClientOptions::default(),
+        idle_conns: 0,
     })
     .unwrap();
     assert!(report.requests > 0, "{report:?}");

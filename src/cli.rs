@@ -109,6 +109,12 @@ pub enum Command {
         /// Factor-integrity cadence: verify a cached factor's checksum
         /// every N solves against it, self-healing on mismatch (0 = off).
         verify_every: u64,
+        /// Maximum concurrent connections (0 = unlimited); extras get a
+        /// structured `Busy` and a close.
+        max_conns: usize,
+        /// Per-connection pipelining cap (frames in flight before the event
+        /// loop stops reading that socket).
+        pipeline: usize,
     },
     /// Drive a running server with the load generator.
     Client {
@@ -130,6 +136,9 @@ pub enum Command {
         retries: u32,
         /// Base backoff between retries in milliseconds.
         backoff_ms: u64,
+        /// Extra connections opened before the run and held idle through it
+        /// (connection-scaling smoke; see the event-driven front end).
+        idle_conns: usize,
     },
 }
 
@@ -145,8 +154,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20 trisolv serve [--addr A] [--workers N] [--max-batch K] [--window-us U] [--budget-mb M] [--exec seq|threaded]\n\
                  \x20               [--fault-spec S] [--max-pending P] [--io-timeout-ms T] [--deadline-cap-ms D] [--solver-threads T]\n\
                  \x20               [--verify-every N]  (factor-integrity checksum cadence; 0 = off)\n\
+                 \x20               [--max-conns C]     (concurrent-connection cap; 0 = unlimited)\n\
+                 \x20               [--pipeline P]      (per-connection in-flight frame cap)\n\
                  \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
-                 \x20               [--timeout-ms T] [--retries R] [--backoff-ms B]";
+                 \x20               [--timeout-ms T] [--retries R] [--backoff-ms B] [--idle-conns I]";
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("info") => {
@@ -231,6 +242,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut deadline_cap_ms = 30_000u64;
             let mut solver_threads = 0usize;
             let mut verify_every = 0u64;
+            let mut max_conns = 0usize;
+            let mut pipeline = 64usize;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -276,11 +289,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| format!("bad --verify-every: {e}"))?
                     }
+                    "--max-conns" => {
+                        max_conns = value.parse().map_err(|e| format!("bad --max-conns: {e}"))?
+                    }
+                    "--pipeline" => {
+                        pipeline = value.parse().map_err(|e| format!("bad --pipeline: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
             if workers == 0 || max_batch == 0 || budget_mb == 0 {
                 return Err("--workers, --max-batch, --budget-mb must be positive".to_string());
+            }
+            if pipeline == 0 {
+                return Err("--pipeline must be positive".to_string());
             }
             trisolv_server::ExecMode::parse(&exec)?;
             trisolv_server::FaultPlan::parse(&fault_spec)?;
@@ -297,6 +319,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 deadline_cap_ms,
                 solver_threads,
                 verify_every,
+                max_conns,
+                pipeline,
             })
         }
         Some("client") => {
@@ -312,6 +336,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut timeout_ms = 0u64;
             let mut retries = 3u32;
             let mut backoff_ms = 50u64;
+            let mut idle_conns = 0usize;
             while let Some(flag) = it.next() {
                 if flag == "--shutdown" {
                     shutdown = true;
@@ -340,6 +365,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| format!("bad --backoff-ms: {e}"))?
                     }
+                    "--idle-conns" => {
+                        idle_conns = value
+                            .parse()
+                            .map_err(|e| format!("bad --idle-conns: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -362,6 +392,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 timeout_ms,
                 retries,
                 backoff_ms,
+                idle_conns,
             })
         }
         _ => Err(usage.to_string()),
@@ -560,6 +591,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             deadline_cap_ms,
             solver_threads,
             verify_every,
+            max_conns,
+            pipeline,
         } => {
             let fault = srv::FaultPlan::parse(fault_spec)?;
             let opts = srv::ServerOptions {
@@ -580,6 +613,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 fault,
                 io_timeout: Duration::from_millis(*io_timeout_ms),
                 deadline_cap: Duration::from_millis(*deadline_cap_ms),
+                max_conns: *max_conns,
+                max_pipeline: *pipeline,
             };
             let server = srv::Server::spawn(opts).map_err(|e| format!("cannot serve: {e}"))?;
             // Announce the bound address immediately (scripts and the CI
@@ -612,6 +647,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             timeout_ms,
             retries,
             backoff_ms,
+            idle_conns,
         } => {
             let a = match (spec, matrix) {
                 (Some(s), None) => gen::from_spec(s)?,
@@ -649,6 +685,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     backoff: Duration::from_millis(*backoff_ms),
                     ..srv::ClientOptions::default()
                 },
+                idle_conns: *idle_conns,
             })
             .map_err(|e| format!("load generation failed: {e}"))?;
             let _ = writeln!(
@@ -664,6 +701,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 "latency:  p50 {:.0} us, p99 {:.0} us, mean {:.0} us",
                 report.p50_us, report.p99_us, report.mean_us
             );
+            if *idle_conns > 0 {
+                let _ = writeln!(
+                    out,
+                    "idle:     {} extra connections held open (asked for {})",
+                    report.idle_conns, idle_conns
+                );
+            }
             if report.retry != srv::RetryStats::default() {
                 let _ = writeln!(
                     out,
@@ -803,6 +847,8 @@ mod tests {
                 deadline_cap_ms: 30_000,
                 solver_threads: 0,
                 verify_every: 0,
+                max_conns: 0,
+                pipeline: 64,
             }
         );
         assert_eq!(
@@ -832,6 +878,10 @@ mod tests {
                 "2",
                 "--verify-every",
                 "64",
+                "--max-conns",
+                "5000",
+                "--pipeline",
+                "16",
             ]))
             .unwrap(),
             Command::Serve {
@@ -847,10 +897,13 @@ mod tests {
                 deadline_cap_ms: 750,
                 solver_threads: 2,
                 verify_every: 64,
+                max_conns: 5000,
+                pipeline: 16,
             }
         );
         assert!(parse_args(&strv(&["serve", "--exec", "warp"])).is_err());
         assert!(parse_args(&strv(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&strv(&["serve", "--pipeline", "0"])).is_err());
         assert!(
             parse_args(&strv(&["serve", "--fault-spec", "warp.panic=every:1"])).is_err(),
             "bad fault specs are rejected at parse time"
@@ -873,6 +926,8 @@ mod tests {
                 "5",
                 "--backoff-ms",
                 "20",
+                "--idle-conns",
+                "100",
             ]))
             .unwrap(),
             Command::Client {
@@ -885,6 +940,7 @@ mod tests {
                 timeout_ms: 200,
                 retries: 5,
                 backoff_ms: 20,
+                idle_conns: 100,
             }
         );
         assert!(parse_args(&strv(&["client"])).is_err());
@@ -915,9 +971,11 @@ mod tests {
             timeout_ms: 0,
             retries: 3,
             backoff_ms: 50,
+            idle_conns: 10,
         })
         .unwrap();
         assert!(out.contains("loaded grid2d:12"), "{out}");
+        assert!(out.contains("idle:     10 extra connections"), "{out}");
         assert!(out.contains("requests:"), "{out}");
         assert!(out.contains("server shutdown acknowledged"), "{out}");
         // SHUTDOWN must actually have stopped the server
