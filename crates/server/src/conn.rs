@@ -93,9 +93,12 @@ pub struct Conn {
     /// Frames dispatched (or error-queued) but not yet resolved into the
     /// write buffer.
     pub in_flight: usize,
-    /// No further frames will be parsed: peer EOF, an unrecoverable framing
-    /// error, or a close-carrying outcome already queued.
-    input_closed: bool,
+    /// Peer closed its write half: no further *bytes* will arrive, but
+    /// complete frames already buffered still parse and get answered.
+    eof: bool,
+    /// No further frames will be *parsed*: an unrecoverable framing error,
+    /// a failure outcome queued by the loop, or a close-carrying outcome.
+    input_dead: bool,
     /// Close as soon as the write buffer drains.
     closing: bool,
 }
@@ -115,7 +118,8 @@ impl Conn {
             next_out: 0,
             done: BTreeMap::new(),
             in_flight: 0,
-            input_closed: false,
+            eof: false,
+            input_dead: false,
             closing: false,
         }
     }
@@ -135,9 +139,11 @@ impl Conn {
         }
     }
 
-    /// Try to peel one complete frame off the read buffer.
+    /// Try to peel one complete frame off the read buffer. Peer EOF does
+    /// not stop parsing — frames that arrived before the close still get
+    /// served; only a dead input (framing error, queued close) does.
     pub fn next_frame(&mut self) -> FrameStep {
-        if self.input_closed {
+        if self.input_dead {
             return FrameStep::Incomplete;
         }
         let avail = &self.read_buf[self.read_pos..];
@@ -146,7 +152,7 @@ impl Conn {
         }
         let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
         if len == 0 || len > MAX_FRAME_LEN {
-            self.input_closed = true;
+            self.input_dead = true;
             return FrameStep::BadLength(len);
         }
         let total = 4 + len as usize;
@@ -185,13 +191,29 @@ impl Conn {
         avail.len() < 4 + len as usize
     }
 
+    /// `true` while a *complete* frame heads the read buffer, waiting for a
+    /// free pipeline slot to admit it.
+    pub fn has_buffered_frame(&self) -> bool {
+        if self.input_dead {
+            return false;
+        }
+        let avail = &self.read_buf[self.read_pos..];
+        if avail.len() < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        // a bad length is extractable too: next_frame() must get to report
+        // it so the loop can answer with ERR and close
+        len == 0 || len > MAX_FRAME_LEN || avail.len() >= 4 + len as usize
+    }
+
     /// Recompute the slow-peer deadline after a read/parse pass. The clock
     /// runs only while a partial frame heads the buffer (a complete frame
     /// held back by pipeline backpressure is *our* stall, not the peer's)
     /// and restarts whenever a frame completed this pass, giving each frame
     /// its own `io_timeout` budget like the old blocking reader.
     pub fn update_read_deadline(&mut self, io_timeout: Duration, extracted: bool) {
-        if io_timeout.is_zero() || self.input_closed || !self.head_is_partial_frame() {
+        if io_timeout.is_zero() || self.eof || self.input_dead || !self.head_is_partial_frame() {
             self.read_deadline = None;
         } else if extracted || self.read_deadline.is_none() {
             self.read_deadline = Some(Instant::now() + io_timeout);
@@ -221,27 +243,33 @@ impl Conn {
                 Outcome::Reply(frame) => self.write_buf.extend_from_slice(&frame),
                 Outcome::ReplyThenClose(frame) => {
                     self.write_buf.extend_from_slice(&frame);
-                    self.input_closed = true;
+                    self.input_dead = true;
                     self.closing = true;
                 }
                 Outcome::CloseSilent => {
-                    self.input_closed = true;
+                    self.input_dead = true;
                     self.closing = true;
                 }
             }
         }
     }
 
-    /// Mark the read side finished (peer EOF); in-flight requests still
-    /// complete and flush.
+    /// Mark the read side finished (peer EOF): stop watching the socket and
+    /// stop the slow-peer clock. In-flight requests still complete and
+    /// flush, and complete frames already buffered still get served.
     pub fn close_input(&mut self) {
-        self.input_closed = true;
+        self.eof = true;
         self.read_deadline = None;
     }
 
     /// Queue an error frame and close after it flushes, preserving reply
-    /// order behind any in-flight requests.
+    /// order behind any in-flight requests. Kills the input side and the
+    /// slow-peer clock immediately — even while the error waits in the
+    /// reorder map — so the deadline fires exactly once instead of spinning
+    /// the loop at a zero poll timeout until in-flight work resolves.
     pub fn fail_and_close(&mut self, frame: Vec<u8>) {
+        self.input_dead = true;
+        self.read_deadline = None;
         let seq = self.begin_request();
         self.finish(seq, Outcome::ReplyThenClose(frame));
     }
@@ -275,7 +303,14 @@ impl Conn {
 
     /// Should the poll set watch this socket for input?
     pub fn wants_read(&self, max_pipeline: usize) -> bool {
-        !self.input_closed && self.in_flight < max_pipeline.max(1)
+        !self.eof && self.can_extract(max_pipeline)
+    }
+
+    /// May another frame be parsed off the read buffer right now? Unlike
+    /// [`Conn::wants_read`] this stays true after peer EOF: bytes already in
+    /// userspace owe nothing to the socket.
+    pub fn can_extract(&self, max_pipeline: usize) -> bool {
+        !self.input_dead && self.in_flight < max_pipeline.max(1)
     }
 
     /// Are there reply bytes waiting for the socket?
@@ -284,9 +319,13 @@ impl Conn {
     }
 
     /// Nothing left to do: all output flushed and no more input or
-    /// in-flight work can produce any.
+    /// in-flight work can produce any. After a peer EOF, buffered complete
+    /// frames count as pending work — they still get served.
     pub fn finished(&self) -> bool {
-        !self.wants_write() && (self.closing || (self.input_closed && self.in_flight == 0))
+        !self.wants_write()
+            && (self.closing
+                || (self.in_flight == 0
+                    && (self.input_dead || (self.eof && !self.has_buffered_frame()))))
     }
 }
 

@@ -352,10 +352,19 @@ fn event_loop(mut ctx: LoopCtx) {
     let mut fds: Vec<PollFd> = Vec::new();
     let mut ids: Vec<u64> = Vec::new();
     loop {
-        // Finished work first: apply completions, flush, reap.
+        // Finished work first: apply completions, admit buffered frames
+        // into the freed pipeline slots, flush, reap. The extraction pass
+        // here is load-bearing: a burst past `max_pipeline` sits fully
+        // drained into `Conn::read_buf`, where level-triggered poll will
+        // never see it again — completions are the only edge that frees
+        // slots, so completions must re-run the parser.
         for id in apply_completions(&ctx, &mut conns) {
             let close = match conns.get_mut(&id) {
-                Some(conn) => conn.try_write(ctx.io_timeout).is_err() || conn.finished(),
+                Some(conn) => {
+                    extract_frames(&ctx, id, conn)
+                        || conn.try_write(ctx.io_timeout).is_err()
+                        || conn.finished()
+                }
                 None => false,
             };
             if close {
@@ -498,7 +507,16 @@ fn accept_ready(ctx: &LoopCtx, conns: &mut HashMap<u64, Conn>, next_id: &mut u64
             continue; // spurious connection drop before the first frame
         }
         if ctx.max_conns != 0 && conns.len() >= ctx.max_conns {
+            // Best-effort rejection that must not block the loop: the
+            // socket goes nonblocking *before* the write, so a peer that
+            // connects with a full receive window costs one WouldBlock,
+            // not a stalled event loop. The frame is small enough to fit a
+            // fresh send buffer in practice; a peer that misses it still
+            // sees the close.
             let mut stream = stream;
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
             let _ = stream.set_nodelay(true);
             let _ = write_frame(
                 &mut stream,
@@ -528,8 +546,25 @@ fn service_input(ctx: &LoopCtx, id: u64, conn: &mut Conn) -> bool {
         Ok(s) => s,
         Err(_) => return true,
     };
+    if extract_frames(ctx, id, conn) {
+        return true;
+    }
+    if status == ReadStatus::Eof {
+        conn.close_input();
+    }
+    conn.finished()
+}
+
+/// Peel complete frames off the read buffer into pipeline slots and
+/// dispatch them to the workers. Called from `service_input` after a socket
+/// read, and again after completions free in-flight slots — frames past
+/// the pipeline cap (or arriving just before a peer EOF) live only in
+/// `Conn::read_buf`, invisible to `poll`, so slot-freeing is the edge that
+/// must resume parsing. Returns `true` when the connection must close
+/// immediately.
+fn extract_frames(ctx: &LoopCtx, id: u64, conn: &mut Conn) -> bool {
     let mut extracted = false;
-    while conn.wants_read(ctx.max_pipeline) {
+    while conn.can_extract(ctx.max_pipeline) {
         match conn.next_frame() {
             FrameStep::Incomplete => break,
             FrameStep::BadLength(len) => {
@@ -574,10 +609,7 @@ fn service_input(ctx: &LoopCtx, id: u64, conn: &mut Conn) -> bool {
     }
     conn.compact();
     conn.update_read_deadline(ctx.io_timeout, extracted);
-    if status == ReadStatus::Eof {
-        conn.close_input();
-    }
-    conn.finished()
+    false
 }
 
 /// Post-shutdown grace: let in-flight requests resolve and their replies
