@@ -1,0 +1,228 @@
+//! Distributed-tier bench: goodput and tail latency through the router as
+//! the backend fleet scales, clean and with a mid-run node kill.
+//!
+//! Four scenarios, all driving the same closed-loop single-RHS workload
+//! through one router over loopback TCP:
+//!
+//! * 1, 2, 3 backends, clean — how much fleet the router turns into
+//!   throughput (on a small host this measures proxy overhead and
+//!   oversubscription, not linear scaling);
+//! * 3 backends with the hot factor's *primary replica* shut down halfway
+//!   through the run — the goodput the replication + failover machinery
+//!   preserves, with zero unrecovered client errors required.
+//!
+//! Writes `BENCH_router.json`.
+//!
+//! Run: `cargo run --release -p trisolv-bench --bin bench_router`
+//!
+//! Env knobs: `BENCH_CLIENTS`, `BENCH_RUN_SECS`, `BENCH_MATRIX`,
+//! `BENCH_SMOKE=1` (short CI run, no JSON artifact).
+
+use std::time::Duration;
+
+use trisolv_bench::timing::Json;
+use trisolv_matrix::gen;
+use trisolv_router::{Ring, Router, RouterOptions};
+use trisolv_server::{
+    BatchOptions, Client, ClientOptions, EngineOptions, ExecMode, LoadGenOptions, RunningServer,
+    Server, ServerOptions,
+};
+
+const MATRIX_SPEC: &str = "grid2d:96";
+const CLIENTS: usize = 16;
+const RUN_SECS: f64 = 2.0;
+
+/// Numeric override from the environment, for ad-hoc sweeps without rebuilds.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct ScenarioResult {
+    backends: usize,
+    replication: usize,
+    killed: bool,
+    requests: u64,
+    errors: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    retried: u64,
+    failovers: u64,
+}
+
+fn spawn_backend(workers: usize) -> RunningServer {
+    Server::spawn(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        engine: EngineOptions {
+            exec: ExecMode::Threaded,
+            batch: BatchOptions {
+                max_batch: 8,
+                window: Duration::from_millis(2),
+                wait_timeout: Duration::from_secs(30),
+            },
+            ..EngineOptions::default()
+        },
+        ..ServerOptions::default()
+    })
+    .expect("bind backend")
+}
+
+/// One scenario: `nbackends` in-process backends behind a router; when
+/// `kill` is set, the primary replica of the benched factor is shut down
+/// halfway through the load run.
+fn run_scenario(a: &trisolv_matrix::CscMatrix, nbackends: usize, kill: bool) -> ScenarioResult {
+    let clients = env_or("BENCH_CLIENTS", CLIENTS);
+    let run_secs = env_or("BENCH_RUN_SECS", RUN_SECS);
+    let replication = 2.min(nbackends);
+    let servers: Vec<RunningServer> = (0..nbackends)
+        .map(|_| spawn_backend(clients / nbackends + 2))
+        .collect();
+    let opts = RouterOptions {
+        backends: servers.iter().map(|s| s.local_addr().to_string()).collect(),
+        replication,
+        probe_interval: Duration::from_millis(20),
+        ..RouterOptions::default()
+    };
+    let ring = Ring::new(nbackends, opts.vnodes);
+    let router = Router::spawn(opts).expect("bind router");
+    assert!(
+        router.wait_healthy(nbackends, Duration::from_secs(10)),
+        "fleet never became healthy"
+    );
+    let raddr = router.local_addr().to_string();
+
+    let loaded = Client::connect(&raddr)
+        .expect("connect")
+        .load(a)
+        .expect("factor and cache");
+    let victim = ring.primary(loaded.fingerprint).unwrap();
+
+    let report = std::thread::scope(|scope| {
+        if kill {
+            let server = &servers[victim];
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_secs_f64(run_secs / 2.0));
+                server.shutdown();
+            });
+        }
+        trisolv_server::run_load(&LoadGenOptions {
+            addr: raddr.clone(),
+            fingerprint: loaded.fingerprint,
+            n: loaded.n,
+            clients,
+            duration: Duration::from_secs_f64(run_secs),
+            seed: 42,
+            deadline_ms: 0,
+            client: ClientOptions {
+                retries: 16,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(50),
+                ..ClientOptions::default()
+            },
+            idle_conns: 0,
+        })
+        .expect("load generation")
+    });
+    let failovers = router.failovers();
+    router.join();
+    for s in servers {
+        s.join();
+    }
+
+    ScenarioResult {
+        backends: nbackends,
+        replication,
+        killed: kill,
+        requests: report.requests,
+        errors: report.errors,
+        rps: report.throughput_rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        retried: report.retry.retried,
+        failovers,
+    }
+}
+
+fn main() {
+    let spec = std::env::var("BENCH_MATRIX").unwrap_or_else(|_| MATRIX_SPEC.to_string());
+    let smoke = env_or("BENCH_SMOKE", 0u32) != 0;
+    if smoke {
+        std::env::set_var("BENCH_RUN_SECS", "0.5");
+        std::env::set_var("BENCH_CLIENTS", "8");
+    }
+    let a = gen::from_spec(&spec).expect("matrix spec");
+    println!(
+        "bench_router: {spec} (n = {}), {} closed-loop clients, {} s per scenario\n",
+        a.nrows(),
+        env_or("BENCH_CLIENTS", CLIENTS),
+        env_or("BENCH_RUN_SECS", RUN_SECS),
+    );
+    println!(
+        "{:>8} {:>6} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "backends", "repl", "killed", "req/s", "p50 us", "p99 us", "failovers", "errors"
+    );
+
+    let mut results = Vec::new();
+    for (n, kill) in [(1, false), (2, false), (3, false), (3, true)] {
+        let r = run_scenario(&a, n, kill);
+        println!(
+            "{:>8} {:>6} {:>7} {:>10.0} {:>10.0} {:>10.0} {:>10} {:>10}",
+            r.backends, r.replication, r.killed, r.rps, r.p50_us, r.p99_us, r.failovers, r.errors
+        );
+        assert_eq!(
+            r.errors, 0,
+            "scenario ({n} backends, killed={kill}): unrecovered client errors"
+        );
+        assert!(r.requests > 0, "scenario ({n} backends): no requests");
+        if kill {
+            assert!(
+                r.failovers >= 1,
+                "kill scenario must record at least one failover"
+            );
+        }
+        results.push(r);
+    }
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_router.json");
+        return;
+    }
+    let scenarios: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("backends", Json::Int(r.backends as i64)),
+                ("replication", Json::Int(r.replication as i64)),
+                ("killed_mid_run", Json::Int(i64::from(r.killed))),
+                ("requests", Json::Int(r.requests as i64)),
+                ("errors", Json::Int(r.errors as i64)),
+                ("goodput_rps", Json::Num(r.rps)),
+                ("p50_us", Json::Num(r.p50_us)),
+                ("p99_us", Json::Num(r.p99_us)),
+                ("retried", Json::Int(r.retried as i64)),
+                ("failovers", Json::Int(r.failovers as i64)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("router_fleet".into())),
+        ("matrix", Json::Str(spec)),
+        ("n", Json::Int(a.nrows() as i64)),
+        (
+            "clients",
+            Json::Int(env_or("BENCH_CLIENTS", CLIENTS) as i64),
+        ),
+        ("run_secs", Json::Num(env_or("BENCH_RUN_SECS", RUN_SECS))),
+        (
+            "hw_threads",
+            Json::Int(std::thread::available_parallelism().map_or(1, |t| t.get()) as i64),
+        ),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    std::fs::write("BENCH_router.json", doc.pretty()).expect("write BENCH_router.json");
+    println!("\nwrote BENCH_router.json");
+}

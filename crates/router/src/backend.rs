@@ -1,0 +1,287 @@
+//! Backend bookkeeping: the per-backend circuit breaker and the retained
+//! LOAD cache that makes warm-standby rejoin possible.
+//!
+//! Each backend cycles through a small health machine driven entirely by
+//! the event loop (no locks, no timers of its own):
+//!
+//! ```text
+//!              dial ok                 replays drained
+//!   Probing ───────────▶ Standby ───────────────────▶ Healthy
+//!      ▲  ◀──────────┐      │                            │
+//!      │   dial err  │      └── conn lost ──┐            │
+//!      │ (< 3 fails) │                      ▼            ▼
+//!      └─────────────┴──────────────── note_failure ◀────┘
+//!                                           │ (≥ 3 consecutive fails)
+//!                                           ▼
+//!                                         Dead  ── backoff ──▶ Probing
+//! ```
+//!
+//! `Dead` is not removal: the backend keeps its ring points and its probe
+//! schedule (with a longer backoff), so a rebooted process rejoins in
+//! place. On reconnect the router replays every retained LOAD whose
+//! replica set includes this backend (`Standby`); only when the replays
+//! drain does the backend take new traffic again (`Healthy`) — a rejoined
+//! replica never serves `UnknownFingerprint` for factors it is supposed
+//! to hold.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use trisolv_server::conn::Conn;
+use trisolv_server::Fingerprint;
+
+/// Consecutive dial/connection failures before `Probing` hardens to `Dead`.
+pub(crate) const DEAD_THRESHOLD: u32 = 3;
+/// Cap on the probe-backoff exponent (`probe_interval * 2^exp`).
+pub(crate) const MAX_BACKOFF_EXP: u32 = 6;
+
+/// Breaker state of one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Connected, replays drained: takes new traffic.
+    Healthy,
+    /// Connected but replaying retained LOADs; no new traffic yet.
+    Standby,
+    /// Disconnected, probing on a short backoff.
+    Probing,
+    /// Disconnected after repeated failures; probing on a long backoff.
+    Dead,
+}
+
+/// One in-flight sub-request on a backend connection, in send order. The
+/// backend answers its connection strictly in order, so a FIFO of these is
+/// the whole request→reply correlation state.
+pub(crate) struct SubReq {
+    /// Router request id this sub-request belongs to.
+    pub req: u64,
+    /// Backstop deadline: a reply later than this means the backend is hung
+    /// and the whole connection is condemned (FIFO matching cannot survive
+    /// skipping one reply).
+    pub expires: Instant,
+}
+
+/// One backend: address, breaker, connection, and in-flight FIFO.
+pub(crate) struct Backend {
+    /// Dial address (as configured; also reported in EVICT outcomes).
+    pub addr: String,
+    /// Breaker state.
+    pub health: Health,
+    /// Live connection, when one exists (`Standby`/`Healthy`).
+    pub conn: Option<Conn>,
+    /// In-flight sub-requests in send order.
+    pub fifo: VecDeque<SubReq>,
+    /// Consecutive failures since the last successful connect.
+    pub failures: u32,
+    /// Earliest next dial attempt.
+    pub next_probe: Instant,
+    /// A dial is in flight on the dialer thread.
+    pub dialing: bool,
+    /// Retained-LOAD replays still pending before promotion to `Healthy`.
+    pub rejoining: usize,
+}
+
+impl Backend {
+    /// A new backend starts `Probing` with an immediate first dial.
+    pub fn new(addr: String, now: Instant) -> Backend {
+        Backend {
+            addr,
+            health: Health::Probing,
+            conn: None,
+            fifo: VecDeque::new(),
+            failures: 0,
+            next_probe: now,
+            dialing: false,
+            rejoining: 0,
+        }
+    }
+
+    /// May new client traffic route here?
+    pub fn usable(&self) -> bool {
+        self.health == Health::Healthy && self.conn.is_some()
+    }
+
+    /// Record a dial failure or a lost connection: drop the conn, bump the
+    /// consecutive-failure count, demote to `Probing` (or `Dead` past the
+    /// threshold), and schedule the next probe with exponential backoff.
+    /// The caller owns draining `fifo` *before* calling this.
+    pub fn note_failure(&mut self, now: Instant, probe_interval: Duration) {
+        self.conn = None;
+        self.rejoining = 0;
+        self.failures = self.failures.saturating_add(1);
+        self.health = if self.failures >= DEAD_THRESHOLD {
+            Health::Dead
+        } else {
+            Health::Probing
+        };
+        let exp = (self.failures - 1).min(MAX_BACKOFF_EXP);
+        self.next_probe = now + probe_interval.max(Duration::from_millis(1)) * (1u32 << exp);
+    }
+
+    /// Record a successful connect: the breaker resets and the backend sits
+    /// in `Standby` until its retained-LOAD replays (if any) drain. The
+    /// caller installs the connection and queues the replays.
+    pub fn note_connected(&mut self) {
+        self.failures = 0;
+        self.health = Health::Standby;
+    }
+
+    /// One replay sub-request finished. Returns `true` when this was the
+    /// last one and the backend just promoted to `Healthy`.
+    pub fn finish_rejoin(&mut self) -> bool {
+        self.rejoining = self.rejoining.saturating_sub(1);
+        if self.rejoining == 0 && self.health == Health::Standby {
+            self.health = Health::Healthy;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should the loop hand this backend to the dialer now?
+    pub fn wants_dial(&self, now: Instant) -> bool {
+        self.conn.is_none() && !self.dialing && now >= self.next_probe
+    }
+}
+
+/// Retained LOAD payloads keyed by fingerprint, under a byte budget with
+/// oldest-first eviction. This is what a rejoining backend replays: the
+/// router re-sends the original LOAD frames for every fingerprint the ring
+/// places on it, so a factor survives the death of any single replica.
+pub(crate) struct Retained {
+    map: HashMap<Fingerprint, Vec<u8>>,
+    order: VecDeque<Fingerprint>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Retained {
+    pub fn new(budget: usize) -> Retained {
+        Retained {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            budget: budget.max(1),
+        }
+    }
+
+    /// Retain (or refresh) a LOAD payload, evicting oldest entries past the
+    /// budget. A payload larger than the whole budget is not retained.
+    pub fn insert(&mut self, fp: Fingerprint, payload: Vec<u8>) {
+        self.remove(fp);
+        if payload.len() > self.budget {
+            return;
+        }
+        self.bytes += payload.len();
+        self.map.insert(fp, payload);
+        self.order.push_back(fp);
+        while self.bytes > self.budget {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(p) = self.map.remove(&old) {
+                self.bytes -= p.len();
+            }
+        }
+    }
+
+    pub fn remove(&mut self, fp: Fingerprint) {
+        if let Some(p) = self.map.remove(&fp) {
+            self.bytes -= p.len();
+            self.order.retain(|f| *f != fp);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Fingerprint, &Vec<u8>)> {
+        self.map.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_walks_probing_standby_healthy() {
+        let t0 = Instant::now();
+        let mut b = Backend::new("127.0.0.1:1".into(), t0);
+        assert_eq!(b.health, Health::Probing);
+        assert!(b.wants_dial(t0));
+        b.dialing = true;
+        assert!(!b.wants_dial(t0), "no double dials");
+        // connect with two replays pending
+        b.dialing = false;
+        b.note_connected();
+        b.rejoining = 2;
+        assert_eq!(b.health, Health::Standby);
+        assert!(!b.usable(), "standby takes no new traffic");
+        assert!(!b.finish_rejoin());
+        assert!(b.finish_rejoin(), "last replay promotes");
+        assert_eq!(b.health, Health::Healthy);
+        assert_eq!(b.failures, 0);
+    }
+
+    #[test]
+    fn repeated_failures_harden_to_dead_with_growing_backoff() {
+        let t0 = Instant::now();
+        let step = Duration::from_millis(100);
+        let mut b = Backend::new("127.0.0.1:1".into(), t0);
+        b.note_failure(t0, step);
+        assert_eq!(b.health, Health::Probing);
+        let p1 = b.next_probe;
+        assert_eq!(p1, t0 + step);
+        b.note_failure(t0, step);
+        assert_eq!(b.health, Health::Probing);
+        let p2 = b.next_probe;
+        assert!(p2 > p1, "backoff grows");
+        b.note_failure(t0, step);
+        assert_eq!(b.health, Health::Dead, "third consecutive failure");
+        assert!(b.next_probe > p2);
+        assert!(!b.wants_dial(t0), "dead backend waits out its backoff");
+        assert!(b.wants_dial(b.next_probe), "…but keeps probing");
+        // a successful reconnect fully resets the breaker
+        b.note_connected();
+        assert_eq!(b.failures, 0);
+        assert!(b.finish_rejoin(), "no replays pending: immediate promote");
+        assert_eq!(b.health, Health::Healthy);
+    }
+
+    #[test]
+    fn backoff_exponent_saturates() {
+        let t0 = Instant::now();
+        let step = Duration::from_millis(10);
+        let mut b = Backend::new("x".into(), t0);
+        for _ in 0..100 {
+            b.note_failure(t0, step);
+        }
+        assert_eq!(b.next_probe, t0 + step * (1 << MAX_BACKOFF_EXP));
+    }
+
+    #[test]
+    fn retained_cache_enforces_budget_oldest_first() {
+        let mut r = Retained::new(100);
+        let fp = |i: u64| Fingerprint(i, i);
+        r.insert(fp(1), vec![0; 40]);
+        r.insert(fp(2), vec![0; 40]);
+        assert_eq!((r.len(), r.bytes()), (2, 80));
+        // refresh does not duplicate
+        r.insert(fp(1), vec![0; 40]);
+        assert_eq!((r.len(), r.bytes()), (2, 80));
+        // pushing past the budget evicts the oldest (fp 2 now, after fp 1's refresh)
+        r.insert(fp(3), vec![0; 40]);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|(f, _)| *f != fp(2)));
+        // an entry larger than the whole budget is refused
+        r.insert(fp(4), vec![0; 101]);
+        assert!(r.iter().all(|(f, _)| *f != fp(4)));
+        r.remove(fp(3));
+        assert_eq!((r.len(), r.bytes()), (1, 40));
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal backend launcher for router integration tests and smoke runs.
+//!
+//! A thin wrapper over [`trisolv_server::Server`] that binds an ephemeral
+//! port by default and prints a parseable banner (`trisolv-backend
+//! listening on ADDR`). Integration tests spawn this as a *real process*
+//! via `env!("CARGO_BIN_EXE_trisolv-backend")` so chaos tests can SIGKILL
+//! a backend mid-load — an in-process `RunningServer` cannot die that way.
+
+use std::time::Duration;
+
+use trisolv_server::{ExecMode, FaultPlan, Server, ServerOptions};
+
+fn usage() -> String {
+    "usage: trisolv-backend [--addr HOST:PORT] [--workers N] [--exec MODE] \
+     [--fault-spec SPEC] [--io-timeout-ms MS] [--deadline-cap-ms MS]"
+        .to_string()
+}
+
+fn parse(args: &[String]) -> Result<ServerOptions, String> {
+    let mut opts = ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = val()?,
+            "--workers" => {
+                opts.workers = val()?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--exec" => {
+                opts.engine.exec = ExecMode::parse(&val()?)?;
+            }
+            "--fault-spec" => {
+                opts.fault = FaultPlan::parse(&val()?)?;
+            }
+            "--io-timeout-ms" => {
+                opts.io_timeout = Duration::from_millis(
+                    val()?
+                        .parse()
+                        .map_err(|e| format!("bad --io-timeout-ms: {e}"))?,
+                );
+            }
+            "--deadline-cap-ms" => {
+                opts.deadline_cap = Duration::from_millis(
+                    val()?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-cap-ms: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::spawn(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("trisolv-backend listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+}

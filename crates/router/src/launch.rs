@@ -1,0 +1,130 @@
+//! Local fleet supervision: spawn N backend processes on ephemeral ports
+//! and learn their addresses from their startup banner.
+//!
+//! This exists for the `trisolv route --spawn N` convenience mode, the
+//! chaos tests, and CI smoke jobs — production deployments run backends
+//! under a real supervisor and pass `--backends` explicitly. Each child is
+//! started with its stdout piped and its bind address parsed from the
+//! first line containing `"listening on "`, which both the `trisolv
+//! serve` and `trisolv-backend` banners emit (`... listening on ADDR ...`).
+
+use std::io::{self, BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A supervised set of backend child processes. Dropping the fleet kills
+/// every still-running child.
+pub struct Fleet {
+    children: Vec<Option<Child>>,
+    addrs: Vec<String>,
+}
+
+impl Fleet {
+    /// Spawn `n` children of `program` with `args`, waiting up to 10s for
+    /// each to print its listen banner. The args should bind an ephemeral
+    /// port (`--addr 127.0.0.1:0`) so the children never collide.
+    pub fn spawn(program: &str, args: &[String], n: usize) -> io::Result<Fleet> {
+        let mut fleet = Fleet {
+            children: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            let mut child = Command::new(program)
+                .args(args)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| io::Error::other("child stdout not captured"))?;
+            let addr = read_banner_addr(stdout)?;
+            fleet.children.push(Some(child));
+            fleet.addrs.push(addr);
+        }
+        Ok(fleet)
+    }
+
+    /// The learned backend addresses, in spawn order.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Kill backend `i` immediately (SIGKILL on unix — no graceful
+    /// shutdown, which is exactly what chaos testing wants). Idempotent.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(child) = self.children.get_mut(i).and_then(Option::take) {
+            reap(child);
+        }
+    }
+
+    /// Number of children originally spawned.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the fleet was spawned with `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for slot in self.children.iter_mut() {
+            if let Some(child) = slot.take() {
+                reap(child);
+            }
+        }
+    }
+}
+
+fn reap(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Read lines from a child's stdout until one contains `"listening on "`,
+/// returning the whitespace-delimited token after it. A background thread
+/// keeps draining the pipe afterwards so the child never blocks on a full
+/// pipe buffer.
+fn read_banner_addr(stdout: std::process::ChildStdout) -> io::Result<String> {
+    let mut reader = BufReader::new(stdout);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut line = String::new();
+    loop {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "backend never printed its listen banner",
+            ));
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "backend exited before printing its listen banner",
+            ));
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+            if addr.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparseable listen banner: {line:?}"),
+                ));
+            }
+            // Keep draining stdout so the child never stalls on writes.
+            std::thread::Builder::new()
+                .name("tsv-fleet-drain".to_string())
+                .spawn(move || {
+                    let mut sink = String::new();
+                    while {
+                        sink.clear();
+                        reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false)
+                    } {}
+                })?;
+            return Ok(addr);
+        }
+    }
+}

@@ -1,0 +1,1520 @@
+//! The router proper: a protocol-v3 proxy event loop with consistent-hash
+//! placement, replication, and deterministic failover.
+//!
+//! One loop thread owns every socket — the client-facing listener plus one
+//! outbound connection per backend — through the same [`poller`] /
+//! [`Conn`] machinery as the server front end (reused, not forked; the
+//! backend side uses [`Conn::enqueue`] for requests and the incremental
+//! frame parser for replies). There is no worker pool: proxying is cheap,
+//! and every reply correlates by FIFO order on its backend connection
+//! because backends answer each connection strictly in request order.
+//!
+//! Per-opcode routing (DESIGN.md §15):
+//!
+//! * `LOAD` — fingerprint computed at the edge (same digest the backend
+//!   will derive), payload retained for rejoin replay, fanned out to every
+//!   healthy replica; replies when all answer, with the first `OK_LOADED`.
+//! * `SOLVE` — forwarded to the first healthy replica in ring order with
+//!   the deadline field rewritten to the *remaining* budget; fails over to
+//!   the next replica on `ERR Busy`, `ERR UnknownFingerprint`,
+//!   `ERR Timeout`, connection loss, or a hung-backend backstop timeout.
+//!   Permanent errors propagate as-is; an exhausted replica set propagates
+//!   the last error (or `Busy` with a retry hint if none was reachable).
+//! * `EVICT` — broadcast to every replica, answered with the aggregate
+//!   `existed` plus the per-backend outcome trailer.
+//! * `STATS` — fanned out to every healthy backend, summed per key, and
+//!   annotated with `router_*` gauges.
+//! * `SHUTDOWN` — answered with `OK_BYE`; stops the router only (backend
+//!   lifecycles belong to whoever spawned them, e.g. [`crate::launch`]).
+//!
+//! Deadlines propagate end-to-end: the client's budget is clamped to the
+//! router's cap, each forward carries only the remaining time, and a
+//! failover that would start past the deadline answers `ERR Deadline`
+//! instead of burning a backend on a doomed request. `retry_after_ms`
+//! hints survive the trip back verbatim.
+//!
+//! [`poller`]: trisolv_server::poller
+//! [`Conn`]: trisolv_server::conn::Conn
+//! [`Conn::enqueue`]: trisolv_server::conn::Conn::enqueue
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use trisolv_server::conn::{Conn, FrameStep, Outcome, ReadStatus};
+use trisolv_server::poller::{self, Interest, PollFd, Waker};
+use trisolv_server::protocol::{
+    encode_frame, err_payload, op, parse_err, write_frame, Builder, Cursor, ErrorCode,
+    MAX_FRAME_LEN,
+};
+use trisolv_server::Fingerprint;
+
+use crate::backend::{Backend, Retained, SubReq};
+use crate::ring::Ring;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Client-facing bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend addresses (`host:port` of running `trisolv serve`
+    /// processes). The ring is built over this list in order, so the same
+    /// list always yields the same placement.
+    pub backends: Vec<String>,
+    /// Replication factor: each fingerprint lives on this many backends
+    /// (clamped to the fleet size).
+    pub replication: usize,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// Slow-peer guard for client sockets and backend writes, and part of
+    /// the hung-backend reply backstop. Zero disables the client guard.
+    pub io_timeout: Duration,
+    /// Cap on client SOLVE deadlines; also the default budget when a
+    /// client sends none.
+    pub deadline_cap: Duration,
+    /// Maximum concurrent client connections (0 = unlimited).
+    pub max_conns: usize,
+    /// Per-client-connection pipelining cap.
+    pub max_pipeline: usize,
+    /// Base interval between reconnect probes to an unhealthy backend
+    /// (doubles per consecutive failure, capped).
+    pub probe_interval: Duration,
+    /// Byte budget for retained LOAD payloads (rejoin replay).
+    pub retained_budget: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> RouterOptions {
+        RouterOptions {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            replication: 2,
+            vnodes: Ring::DEFAULT_VNODES,
+            io_timeout: Duration::from_secs(10),
+            deadline_cap: Duration::from_secs(30),
+            max_conns: 0,
+            max_pipeline: 64,
+            probe_interval: Duration::from_millis(100),
+            retained_budget: 256 << 20,
+        }
+    }
+}
+
+/// Gauges shared between the loop thread and [`RunningRouter`].
+struct Shared {
+    healthy: AtomicUsize,
+    requests: AtomicU64,
+    failovers: AtomicU64,
+    rejoins: AtomicU64,
+}
+
+/// Handle to a spawned router; dropping it shuts the router down.
+pub struct RunningRouter {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// The router entry point.
+pub struct Router;
+
+impl Router {
+    /// Bind the client-facing listener, spawn the event loop and the
+    /// dialer thread, and return immediately. Backends start `Probing`;
+    /// use [`RunningRouter::wait_healthy`] to block until the fleet is up.
+    pub fn spawn(opts: RouterOptions) -> io::Result<RunningRouter> {
+        if opts.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (waker, wake_rx) = poller::wake_pair()?;
+        let waker = Arc::new(waker);
+        let shared = Arc::new(Shared {
+            healthy: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+        });
+        let (dial_tx, dial_rx) = mpsc::channel::<Dial>();
+        let dials = Arc::new(DialQueue {
+            items: Mutex::new(Vec::new()),
+            waker: Arc::clone(&waker),
+        });
+        let mut threads = Vec::with_capacity(2);
+        {
+            let dials = Arc::clone(&dials);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tsv-dialer".to_string())
+                    .spawn(move || dialer_loop(dial_rx, &dials, &shutdown))?,
+            );
+        }
+        let now = Instant::now();
+        let ring = Ring::new(opts.backends.len(), opts.vnodes);
+        let backends = opts
+            .backends
+            .iter()
+            .map(|a| Backend::new(a.clone(), now))
+            .collect();
+        let retained = Retained::new(opts.retained_budget);
+        let lp = RouterLoop {
+            listener,
+            wake_rx,
+            dial_tx,
+            dials,
+            shutdown: Arc::clone(&shutdown),
+            shared: Arc::clone(&shared),
+            opts,
+            ring,
+            clients: HashMap::new(),
+            next_client: 0,
+            backends,
+            requests: HashMap::new(),
+            next_req: 0,
+            retained,
+            touched: Vec::new(),
+        };
+        threads.push(
+            std::thread::Builder::new()
+                .name("tsv-router".to_string())
+                .spawn(move || router_loop(lp))?,
+        );
+        Ok(RunningRouter {
+            local_addr,
+            shutdown,
+            waker,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl RunningRouter {
+    /// The bound client-facing address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Backends currently `Healthy` (connected, replays drained).
+    pub fn healthy_backends(&self) -> usize {
+        self.shared.healthy.load(Ordering::Acquire)
+    }
+
+    /// SOLVE re-routes performed so far (replica failovers).
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.load(Ordering::Acquire)
+    }
+
+    /// Block until at least `min` backends are `Healthy`, up to `timeout`.
+    /// Returns whether the threshold was reached.
+    pub fn wait_healthy(&self, min: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.healthy_backends() >= min {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Signal shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    /// Signal shutdown and join every thread.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the router shuts down (via a `SHUTDOWN` frame or a
+    /// [`RunningRouter::shutdown`] call from another thread), joining every
+    /// thread without itself requesting shutdown.
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RunningRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dialer thread: blocking connects off the event loop
+// ---------------------------------------------------------------------------
+
+struct Dial {
+    idx: usize,
+    addr: String,
+}
+
+struct DialDone {
+    idx: usize,
+    result: io::Result<TcpStream>,
+}
+
+struct DialQueue {
+    items: Mutex<Vec<DialDone>>,
+    waker: Arc<Waker>,
+}
+
+impl DialQueue {
+    fn push(&self, d: DialDone) {
+        self.items.lock().unwrap_or_else(|e| e.into_inner()).push(d);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<DialDone> {
+        std::mem::take(&mut *self.items.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+fn dialer_loop(rx: Receiver<Dial>, dials: &DialQueue, shutdown: &AtomicBool) {
+    while let Ok(d) = rx.recv() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let result = dial(&d.addr);
+        dials.push(DialDone { idx: d.idx, result });
+    }
+}
+
+fn dial(addr: &str) -> io::Result<TcpStream> {
+    let mut last = None;
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, Duration::from_secs(1)) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")))
+}
+
+// ---------------------------------------------------------------------------
+// Request state
+// ---------------------------------------------------------------------------
+
+/// Sentinel client id for router-internal requests (rejoin replays).
+const INTERNAL: u64 = u64::MAX;
+
+/// A parsed error triple as it travels through failover bookkeeping.
+type ErrInfo = (ErrorCode, String, Option<u64>);
+
+enum Kind {
+    Solve {
+        /// Original SOLVE payload; bytes 16..24 are rewritten with the
+        /// remaining budget on each forward.
+        payload: Vec<u8>,
+        replicas: Vec<usize>,
+        /// Next replica index to try.
+        next: usize,
+        deadline: Instant,
+        last_err: Option<ErrInfo>,
+    },
+    Load {
+        outstanding: usize,
+        reply: Option<Vec<u8>>,
+        last_err: Option<ErrInfo>,
+    },
+    Evict {
+        existed: bool,
+        outstanding: usize,
+        /// `(backend index, status)` per replica in ring order; status
+        /// defaults to `2` (unreachable) until a reply lands.
+        outcomes: Vec<(usize, u8)>,
+    },
+    Stats {
+        outstanding: usize,
+        acc: BTreeMap<String, u64>,
+    },
+    /// Internal retained-LOAD replay toward a rejoining backend.
+    Rejoin { backend: usize },
+}
+
+struct Request {
+    client: u64,
+    seq: u64,
+    kind: Kind,
+}
+
+/// What a backend reply (or sub-request failure) resolved into, computed
+/// under the `requests` borrow and acted on after it drops.
+enum Step {
+    /// Fan-out still has outstanding sub-requests.
+    Pending,
+    /// The request is complete: answer the client with this frame.
+    Reply(Vec<u8>),
+    /// Solve failover: try the next replica.
+    Retry,
+    /// A STATS fan-out completed; build the fleet reply from this
+    /// accumulator (carried out of the `requests` borrow because the
+    /// reply also reads router-wide state).
+    StatsDone(BTreeMap<String, u64>),
+    /// A rejoin replay finished for this backend.
+    Rejoined(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+enum Token {
+    Client(u64),
+    Backend(usize),
+}
+
+struct RouterLoop {
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    dial_tx: Sender<Dial>,
+    dials: Arc<DialQueue>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    opts: RouterOptions,
+    ring: Ring,
+    clients: HashMap<u64, Conn>,
+    next_client: u64,
+    backends: Vec<Backend>,
+    requests: HashMap<u64, Request>,
+    next_req: u64,
+    retained: Retained,
+    /// Clients whose reply state changed off the socket-readiness path
+    /// (backend replies, failures); they need a write/extract pass.
+    touched: Vec<u64>,
+}
+
+fn router_loop(mut lp: RouterLoop) {
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    loop {
+        let now = Instant::now();
+        for d in lp.dials.drain() {
+            lp.on_dial_done(d, now);
+        }
+        if lp.shutdown.load(Ordering::SeqCst) {
+            lp.drain_and_exit();
+            return;
+        }
+        lp.check_backend_timeouts(now);
+        lp.start_due_dials(now);
+        lp.flush_touched();
+
+        fds.clear();
+        tokens.clear();
+        fds.push(PollFd::new(poller::fd_of(&lp.listener), Interest::read()));
+        fds.push(PollFd::new(poller::fd_of(&lp.wake_rx), Interest::read()));
+        for (&id, conn) in lp.clients.iter() {
+            fds.push(PollFd::new(
+                poller::fd_of(&conn.stream),
+                Interest {
+                    readable: conn.wants_read(lp.opts.max_pipeline),
+                    writable: conn.wants_write(),
+                },
+            ));
+            tokens.push(Token::Client(id));
+        }
+        for (i, b) in lp.backends.iter().enumerate() {
+            if let Some(conn) = &b.conn {
+                fds.push(PollFd::new(
+                    poller::fd_of(&conn.stream),
+                    Interest {
+                        readable: true,
+                        writable: conn.wants_write(),
+                    },
+                ));
+                tokens.push(Token::Backend(i));
+            }
+        }
+
+        let timeout = lp.nearest_deadline();
+        if poller::wait(&mut fds, timeout).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        if fds[1].ready.readable || fds[1].ready.hangup {
+            poller::drain(&mut lp.wake_rx);
+        }
+        if fds[0].ready.readable {
+            lp.accept_ready();
+        }
+        let now = Instant::now();
+        for (k, tok) in tokens.iter().enumerate() {
+            let ready = fds[k + 2].ready;
+            match *tok {
+                Token::Backend(b) => lp.service_backend(b, ready, now),
+                Token::Client(id) => lp.service_client(id, ready, now),
+            }
+        }
+        lp.flush_touched();
+    }
+}
+
+impl RouterLoop {
+    // -- time-driven maintenance --------------------------------------------
+
+    /// Condemn any backend whose oldest in-flight sub-request blew its
+    /// backstop deadline: FIFO correlation cannot skip a reply, so a hung
+    /// head poisons the whole connection.
+    fn check_backend_timeouts(&mut self, now: Instant) {
+        for b in 0..self.backends.len() {
+            let expired = self.backends[b]
+                .fifo
+                .front()
+                .is_some_and(|h| now >= h.expires)
+                || self.backends[b]
+                    .conn
+                    .as_ref()
+                    .is_some_and(|c| c.write_deadline.is_some_and(|d| now >= d));
+            if expired {
+                self.backend_failure(b, now);
+            }
+        }
+    }
+
+    fn start_due_dials(&mut self, now: Instant) {
+        for (i, b) in self.backends.iter_mut().enumerate() {
+            if b.wants_dial(now) {
+                b.dialing = true;
+                let _ = self.dial_tx.send(Dial {
+                    idx: i,
+                    addr: b.addr.clone(),
+                });
+            }
+        }
+    }
+
+    fn nearest_deadline(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut best: Option<Instant> = None;
+        let mut consider = |t: Option<Instant>| {
+            if let Some(t) = t {
+                best = Some(best.map_or(t, |b: Instant| b.min(t)));
+            }
+        };
+        for conn in self.clients.values() {
+            consider(conn.read_deadline);
+            consider(conn.write_deadline);
+        }
+        for b in &self.backends {
+            if let Some(conn) = &b.conn {
+                consider(conn.write_deadline);
+                consider(b.fifo.front().map(|h| h.expires));
+            } else if !b.dialing {
+                consider(Some(b.next_probe));
+            }
+        }
+        best.map(|t| t.saturating_duration_since(now))
+    }
+
+    fn set_healthy_gauge(&self) {
+        let n = self.backends.iter().filter(|b| b.usable()).count();
+        self.shared.healthy.store(n, Ordering::Release);
+    }
+
+    // -- dialing and rejoin --------------------------------------------------
+
+    fn on_dial_done(&mut self, d: DialDone, now: Instant) {
+        self.backends[d.idx].dialing = false;
+        match d.result {
+            Err(_) => {
+                self.backends[d.idx].note_failure(now, self.opts.probe_interval);
+            }
+            Ok(stream) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    self.backends[d.idx].note_failure(now, self.opts.probe_interval);
+                    return;
+                }
+                self.backends[d.idx].conn = Some(Conn::new(stream));
+                self.backends[d.idx].note_connected();
+                self.shared.rejoins.fetch_add(1, Ordering::Relaxed);
+                // Warm-standby replay: re-LOAD every retained factor the
+                // ring places on this backend before it takes traffic.
+                let replays: Vec<Vec<u8>> = self
+                    .retained
+                    .iter()
+                    .filter(|(fp, _)| {
+                        self.ring
+                            .replicas(**fp, self.opts.replication)
+                            .contains(&d.idx)
+                    })
+                    .map(|(_, payload)| payload.clone())
+                    .collect();
+                let expires = now + self.sub_request_backstop();
+                for payload in replays {
+                    let rid = self.new_request(Request {
+                        client: INTERNAL,
+                        seq: 0,
+                        kind: Kind::Rejoin { backend: d.idx },
+                    });
+                    self.backends[d.idx].rejoining += 1;
+                    self.send_sub(d.idx, op::LOAD, &payload, SubReq { req: rid, expires });
+                }
+                if self.backends[d.idx].rejoining == 0 {
+                    self.backends[d.idx].finish_rejoin();
+                }
+                self.set_healthy_gauge();
+            }
+        }
+    }
+
+    /// Backstop for a backend to answer a fan-out/replay sub-request.
+    fn sub_request_backstop(&self) -> Duration {
+        self.opts
+            .io_timeout
+            .max(self.opts.deadline_cap)
+            .max(Duration::from_secs(1))
+    }
+
+    /// Hint handed to clients when no replica is reachable: roughly one
+    /// probe cycle out.
+    fn retry_hint_ms(&self) -> u64 {
+        (self.opts.probe_interval.as_millis() as u64).max(1) * 2
+    }
+
+    // -- backend I/O ---------------------------------------------------------
+
+    fn send_sub(&mut self, b: usize, opcode: u8, payload: &[u8], sub: SubReq) {
+        if let Some(conn) = self.backends[b].conn.as_mut() {
+            conn.enqueue(&encode_frame(opcode, payload));
+            self.backends[b].fifo.push_back(sub);
+        }
+    }
+
+    fn service_backend(&mut self, b: usize, ready: poller::Readiness, now: Instant) {
+        if ready.readable || ready.hangup {
+            let status = {
+                let Some(conn) = self.backends[b].conn.as_mut() else {
+                    return;
+                };
+                conn.read_some()
+            };
+            let status = match status {
+                Ok(s) => s,
+                Err(_) => {
+                    self.backend_failure(b, now);
+                    return;
+                }
+            };
+            loop {
+                let step = {
+                    let Some(conn) = self.backends[b].conn.as_mut() else {
+                        return;
+                    };
+                    conn.next_frame()
+                };
+                match step {
+                    FrameStep::Incomplete => break,
+                    FrameStep::BadLength(_) => {
+                        self.backend_failure(b, now);
+                        return;
+                    }
+                    FrameStep::Frame { opcode, payload } => {
+                        self.handle_backend_reply(b, opcode, payload, now);
+                    }
+                }
+            }
+            if let Some(conn) = self.backends[b].conn.as_mut() {
+                conn.compact();
+            }
+            if status == ReadStatus::Eof {
+                self.backend_failure(b, now);
+                return;
+            }
+        }
+        let write_failed = match self.backends[b].conn.as_mut() {
+            Some(conn) if ready.writable || conn.wants_write() => {
+                conn.try_write(self.opts.io_timeout).is_err()
+            }
+            _ => false,
+        };
+        if write_failed {
+            self.backend_failure(b, now);
+        }
+    }
+
+    fn handle_backend_reply(&mut self, b: usize, opcode: u8, payload: Vec<u8>, now: Instant) {
+        let Some(sub) = self.backends[b].fifo.pop_front() else {
+            // A reply with nothing in flight is a protocol violation; the
+            // connection's correlation state is unrecoverable.
+            self.backend_failure(b, now);
+            return;
+        };
+        let rid = sub.req;
+        let step = {
+            let Some(req) = self.requests.get_mut(&rid) else {
+                return;
+            };
+            match &mut req.kind {
+                Kind::Solve { last_err, .. } => match opcode {
+                    op::OK_SOLVED => Step::Reply(encode_frame(op::OK_SOLVED, &payload)),
+                    op::ERR => {
+                        let parsed = parse_err(&payload).unwrap_or_else(|e| {
+                            (
+                                Some(ErrorCode::Internal),
+                                format!("undecodable backend error: {e}"),
+                                None,
+                            )
+                        });
+                        let code = parsed.0.unwrap_or(ErrorCode::Internal);
+                        *last_err = Some((code, parsed.1, parsed.2));
+                        match code {
+                            // Transient-at-this-replica: shed under load, a
+                            // stale rejoin, or a backend-side stall. The
+                            // factor lives elsewhere too — go there.
+                            ErrorCode::Busy
+                            | ErrorCode::UnknownFingerprint
+                            | ErrorCode::Timeout => Step::Retry,
+                            _ => {
+                                let (c, m, h) = last_err.clone().expect("just set");
+                                Step::Reply(encode_frame(op::ERR, &err_payload(c, &m, h)))
+                            }
+                        }
+                    }
+                    other => Step::Reply(encode_frame(
+                        op::ERR,
+                        &err_payload(
+                            ErrorCode::Internal,
+                            &format!("unexpected backend reply opcode 0x{other:02x}"),
+                            None,
+                        ),
+                    )),
+                },
+                Kind::Load {
+                    outstanding,
+                    reply,
+                    last_err,
+                } => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    match opcode {
+                        op::OK_LOADED if reply.is_none() => *reply = Some(payload),
+                        op::OK_LOADED => {}
+                        op::ERR => {
+                            let parsed = parse_err(&payload).unwrap_or_else(|e| {
+                                (
+                                    Some(ErrorCode::Internal),
+                                    format!("undecodable backend error: {e}"),
+                                    None,
+                                )
+                            });
+                            *last_err =
+                                Some((parsed.0.unwrap_or(ErrorCode::Internal), parsed.1, parsed.2));
+                        }
+                        _ => {
+                            *last_err = Some((
+                                ErrorCode::Internal,
+                                "unexpected backend reply".into(),
+                                None,
+                            ));
+                        }
+                    }
+                    finish_load(*outstanding, reply, last_err)
+                }
+                Kind::Evict {
+                    existed,
+                    outstanding,
+                    outcomes,
+                } => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    let status = match opcode {
+                        op::OK_EVICTED => {
+                            let hit = payload.first().copied().unwrap_or(0) != 0;
+                            *existed |= hit;
+                            u8::from(hit)
+                        }
+                        op::ERR => match parse_err(&payload) {
+                            Ok((Some(ErrorCode::UnknownFingerprint), _, _)) => 0,
+                            _ => 2,
+                        },
+                        _ => 2,
+                    };
+                    if let Some(slot) = outcomes.iter_mut().find(|(bb, _)| *bb == b) {
+                        slot.1 = status;
+                    }
+                    if *outstanding == 0 {
+                        Step::Reply(evict_reply(*existed, outcomes, &self.opts.backends))
+                    } else {
+                        Step::Pending
+                    }
+                }
+                Kind::Stats { outstanding, acc } => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    if opcode == op::OK_STATS {
+                        accumulate_stats(acc, &payload);
+                    }
+                    if *outstanding == 0 {
+                        Step::StatsDone(std::mem::take(acc))
+                    } else {
+                        Step::Pending
+                    }
+                }
+                Kind::Rejoin { backend } => Step::Rejoined(*backend),
+            }
+        };
+        self.apply_step(rid, step, now);
+    }
+
+    fn apply_step(&mut self, rid: u64, step: Step, now: Instant) {
+        match step {
+            Step::Pending => {}
+            Step::Reply(frame) => {
+                if let Some(req) = self.requests.remove(&rid) {
+                    self.finish_client(req.client, req.seq, Outcome::Reply(frame));
+                }
+            }
+            Step::Retry => {
+                self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+                self.try_send_solve(rid, now);
+            }
+            Step::StatsDone(acc) => {
+                let frame = self.stats_reply_frame(&acc);
+                if let Some(req) = self.requests.remove(&rid) {
+                    self.finish_client(req.client, req.seq, Outcome::Reply(frame));
+                }
+            }
+            Step::Rejoined(b) => {
+                self.requests.remove(&rid);
+                if self.backends[b].finish_rejoin() {
+                    self.set_healthy_gauge();
+                }
+            }
+        }
+    }
+
+    /// Tear down a backend connection: every in-flight sub-request on it
+    /// fails over (solves) or counts against its fan-out (everything
+    /// else), and the breaker schedules a reconnect probe.
+    fn backend_failure(&mut self, b: usize, now: Instant) {
+        let drained: Vec<SubReq> = self.backends[b].fifo.drain(..).collect();
+        self.backends[b].note_failure(now, self.opts.probe_interval);
+        self.set_healthy_gauge();
+        let hint = self.retry_hint_ms();
+        for sub in drained {
+            let rid = sub.req;
+            let step = {
+                let Some(req) = self.requests.get_mut(&rid) else {
+                    continue;
+                };
+                match &mut req.kind {
+                    Kind::Solve { last_err, .. } => {
+                        *last_err = Some((
+                            ErrorCode::Busy,
+                            format!("backend {} unreachable", self.backends[b].addr),
+                            Some(hint),
+                        ));
+                        Step::Retry
+                    }
+                    Kind::Load {
+                        outstanding,
+                        reply,
+                        last_err,
+                    } => {
+                        *outstanding = outstanding.saturating_sub(1);
+                        if last_err.is_none() {
+                            *last_err = Some((
+                                ErrorCode::Busy,
+                                format!("backend {} unreachable", self.backends[b].addr),
+                                Some(hint),
+                            ));
+                        }
+                        finish_load(*outstanding, reply, last_err)
+                    }
+                    Kind::Evict {
+                        existed,
+                        outstanding,
+                        outcomes,
+                    } => {
+                        *outstanding = outstanding.saturating_sub(1);
+                        if *outstanding == 0 {
+                            Step::Reply(evict_reply(*existed, outcomes, &self.opts.backends))
+                        } else {
+                            Step::Pending
+                        }
+                    }
+                    Kind::Stats { outstanding, acc } => {
+                        *outstanding = outstanding.saturating_sub(1);
+                        if *outstanding == 0 {
+                            Step::StatsDone(std::mem::take(acc))
+                        } else {
+                            Step::Pending
+                        }
+                    }
+                    Kind::Rejoin { .. } => {
+                        self.requests.remove(&rid);
+                        continue;
+                    }
+                }
+            };
+            self.apply_step(rid, step, now);
+        }
+    }
+
+    // -- solve forwarding / failover ----------------------------------------
+
+    fn try_send_solve(&mut self, rid: u64, now: Instant) {
+        enum Action {
+            Send {
+                b: usize,
+                frame_payload: Vec<u8>,
+                expires: Instant,
+            },
+            Fail(ErrInfo),
+            Gone,
+        }
+        let action = {
+            let Some(req) = self.requests.get_mut(&rid) else {
+                return;
+            };
+            if req.client != INTERNAL && !self.clients.contains_key(&req.client) {
+                Action::Gone
+            } else {
+                let Kind::Solve {
+                    payload,
+                    replicas,
+                    next,
+                    deadline,
+                    last_err,
+                } = &mut req.kind
+                else {
+                    return;
+                };
+                if now >= *deadline {
+                    Action::Fail((
+                        ErrorCode::Deadline,
+                        "deadline expired during routing".into(),
+                        None,
+                    ))
+                } else {
+                    let mut chosen = None;
+                    let mut skipped = 0u64;
+                    while *next < replicas.len() {
+                        let b = replicas[*next];
+                        *next += 1;
+                        if self.backends[b].usable() {
+                            chosen = Some(b);
+                            break;
+                        }
+                        // routing around a down replica is a failover even
+                        // when no request ever reached it
+                        skipped += 1;
+                    }
+                    self.shared.failovers.fetch_add(skipped, Ordering::Relaxed);
+                    match chosen {
+                        Some(b) => {
+                            let remaining =
+                                deadline.saturating_duration_since(now).as_millis() as u64;
+                            let mut fwd = payload.clone();
+                            fwd[16..24].copy_from_slice(&remaining.max(1).to_le_bytes());
+                            Action::Send {
+                                b,
+                                frame_payload: fwd,
+                                expires: *deadline
+                                    + self.opts.io_timeout.max(Duration::from_secs(1)),
+                            }
+                        }
+                        None => Action::Fail(last_err.clone().unwrap_or((
+                            ErrorCode::Busy,
+                            "no healthy replica for fingerprint".into(),
+                            Some(self.retry_hint_ms()),
+                        ))),
+                    }
+                }
+            }
+        };
+        match action {
+            Action::Gone => {
+                self.requests.remove(&rid);
+            }
+            Action::Fail((code, msg, hint)) => {
+                if let Some(req) = self.requests.remove(&rid) {
+                    self.finish_client(
+                        req.client,
+                        req.seq,
+                        Outcome::Reply(encode_frame(op::ERR, &err_payload(code, &msg, hint))),
+                    );
+                }
+            }
+            Action::Send {
+                b,
+                frame_payload,
+                expires,
+            } => {
+                self.send_sub(b, op::SOLVE, &frame_payload, SubReq { req: rid, expires });
+            }
+        }
+    }
+
+    // -- client I/O ----------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if self.opts.max_conns != 0 && self.clients.len() >= self.opts.max_conns {
+                let mut stream = stream;
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = write_frame(
+                    &mut stream,
+                    op::ERR,
+                    &err_payload(
+                        ErrorCode::Busy,
+                        "router connection limit reached",
+                        Some(self.retry_hint_ms()),
+                    ),
+                );
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
+            }
+            let id = self.next_client;
+            self.next_client += 1;
+            self.clients.insert(id, Conn::new(stream));
+        }
+    }
+
+    fn service_client(&mut self, id: u64, ready: poller::Readiness, now: Instant) {
+        let mut close = false;
+        if ready.readable || ready.hangup {
+            let status = {
+                let Some(conn) = self.clients.get_mut(&id) else {
+                    return;
+                };
+                conn.read_some()
+            };
+            match status {
+                Err(_) => close = true,
+                Ok(st) => {
+                    self.extract_client_frames(id, now);
+                    if st == ReadStatus::Eof {
+                        if let Some(conn) = self.clients.get_mut(&id) {
+                            conn.close_input();
+                        }
+                    }
+                }
+            }
+        }
+        let Some(conn) = self.clients.get_mut(&id) else {
+            return;
+        };
+        if !close && (ready.writable || conn.wants_write()) {
+            close = conn.try_write(self.opts.io_timeout).is_err();
+        }
+        if !close {
+            if conn.read_deadline.is_some_and(|d| now >= d) {
+                conn.fail_and_close(encode_frame(
+                    op::ERR,
+                    &err_payload(ErrorCode::Timeout, "slow peer: frame stalled", None),
+                ));
+                let _ = conn.try_write(self.opts.io_timeout);
+            }
+            if conn.write_deadline.is_some_and(|d| now >= d) {
+                close = true;
+            }
+        }
+        if close || conn.finished() {
+            self.clients.remove(&id);
+        }
+    }
+
+    fn extract_client_frames(&mut self, id: u64, now: Instant) {
+        let mut extracted = false;
+        loop {
+            let step = {
+                let Some(conn) = self.clients.get_mut(&id) else {
+                    return;
+                };
+                if !conn.can_extract(self.opts.max_pipeline) {
+                    break;
+                }
+                conn.next_frame()
+            };
+            match step {
+                FrameStep::Incomplete => break,
+                FrameStep::BadLength(len) => {
+                    let code = if len > MAX_FRAME_LEN {
+                        ErrorCode::TooLarge
+                    } else {
+                        ErrorCode::Malformed
+                    };
+                    if let Some(conn) = self.clients.get_mut(&id) {
+                        conn.fail_and_close(encode_frame(
+                            op::ERR,
+                            &err_payload(code, &format!("bad frame length {len}"), None),
+                        ));
+                    }
+                    break;
+                }
+                FrameStep::Frame { opcode, payload } => {
+                    extracted = true;
+                    let seq = {
+                        let Some(conn) = self.clients.get_mut(&id) else {
+                            return;
+                        };
+                        conn.begin_request()
+                    };
+                    self.dispatch_client(id, seq, opcode, payload, now);
+                }
+            }
+        }
+        if let Some(conn) = self.clients.get_mut(&id) {
+            conn.compact();
+            conn.update_read_deadline(self.opts.io_timeout, extracted);
+        }
+    }
+
+    fn finish_client(&mut self, id: u64, seq: u64, outcome: Outcome) {
+        if let Some(conn) = self.clients.get_mut(&id) {
+            conn.finish(seq, outcome);
+            self.touched.push(id);
+        }
+    }
+
+    /// Write/extract pass over clients whose state changed off the
+    /// readiness path (a backend reply finished one of their requests).
+    /// The re-extraction mirrors the server loop's completion edge: frames
+    /// past the pipeline cap sit in `read_buf` where poll cannot see them,
+    /// so a freed slot must resume the parser.
+    fn flush_touched(&mut self) {
+        if self.touched.is_empty() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.touched);
+        ids.sort_unstable();
+        ids.dedup();
+        let now = Instant::now();
+        for id in ids {
+            self.extract_client_frames(id, now);
+            let Some(conn) = self.clients.get_mut(&id) else {
+                continue;
+            };
+            let close = conn.try_write(self.opts.io_timeout).is_err() || conn.finished();
+            if close {
+                self.clients.remove(&id);
+            }
+        }
+    }
+
+    // -- request dispatch ----------------------------------------------------
+
+    fn new_request(&mut self, req: Request) -> u64 {
+        let rid = self.next_req;
+        self.next_req += 1;
+        self.requests.insert(rid, req);
+        rid
+    }
+
+    fn reply_err(&mut self, id: u64, seq: u64, code: ErrorCode, msg: &str, hint: Option<u64>) {
+        self.finish_client(
+            id,
+            seq,
+            Outcome::Reply(encode_frame(op::ERR, &err_payload(code, msg, hint))),
+        );
+    }
+
+    fn dispatch_client(&mut self, id: u64, seq: u64, opcode: u8, payload: Vec<u8>, now: Instant) {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        match opcode {
+            op::SOLVE => self.dispatch_solve(id, seq, payload, now),
+            op::LOAD => self.dispatch_load(id, seq, payload, now),
+            op::EVICT => self.dispatch_evict(id, seq, &payload, now),
+            op::STATS => self.dispatch_stats(id, seq, now),
+            op::SHUTDOWN => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.finish_client(
+                    id,
+                    seq,
+                    Outcome::ReplyThenClose(encode_frame(op::OK_BYE, &[])),
+                );
+            }
+            other => self.reply_err(
+                id,
+                seq,
+                ErrorCode::UnknownOpcode,
+                &format!("unknown request opcode 0x{other:02x}"),
+                None,
+            ),
+        }
+    }
+
+    fn dispatch_solve(&mut self, id: u64, seq: u64, payload: Vec<u8>, now: Instant) {
+        if payload.len() < 32 {
+            self.reply_err(id, seq, ErrorCode::Malformed, "short SOLVE payload", None);
+            return;
+        }
+        let fp = Fingerprint::from_bytes(payload[..16].try_into().expect("16 bytes"));
+        let client_ms = u64::from_le_bytes(payload[16..24].try_into().expect("8 bytes"));
+        let budget = effective_budget(client_ms, self.opts.deadline_cap);
+        let replicas = self.ring.replicas(fp, self.opts.replication);
+        let rid = self.new_request(Request {
+            client: id,
+            seq,
+            kind: Kind::Solve {
+                payload,
+                replicas,
+                next: 0,
+                deadline: now + budget,
+                last_err: None,
+            },
+        });
+        self.try_send_solve(rid, now);
+    }
+
+    fn dispatch_load(&mut self, id: u64, seq: u64, payload: Vec<u8>, now: Instant) {
+        let fp = match load_fingerprint(&payload) {
+            Ok(fp) => fp,
+            Err(msg) => {
+                self.reply_err(id, seq, ErrorCode::Malformed, &msg, None);
+                return;
+            }
+        };
+        let replicas = self.ring.replicas(fp, self.opts.replication);
+        let targets: Vec<usize> = replicas
+            .iter()
+            .copied()
+            .filter(|&b| self.backends[b].usable())
+            .collect();
+        if targets.is_empty() {
+            let hint = self.retry_hint_ms();
+            self.reply_err(
+                id,
+                seq,
+                ErrorCode::Busy,
+                "no healthy replica to load onto",
+                Some(hint),
+            );
+            return;
+        }
+        self.retained.insert(fp, payload.clone());
+        let rid = self.new_request(Request {
+            client: id,
+            seq,
+            kind: Kind::Load {
+                outstanding: targets.len(),
+                reply: None,
+                last_err: None,
+            },
+        });
+        let expires = now + self.sub_request_backstop();
+        for b in targets {
+            self.send_sub(b, op::LOAD, &payload, SubReq { req: rid, expires });
+        }
+    }
+
+    fn dispatch_evict(&mut self, id: u64, seq: u64, payload: &[u8], now: Instant) {
+        let fp = {
+            let mut c = Cursor::new(payload);
+            match c.fingerprint().and_then(|fp| c.finish().map(|_| fp)) {
+                Ok(fp) => fp,
+                Err(msg) => {
+                    self.reply_err(id, seq, ErrorCode::Malformed, &msg, None);
+                    return;
+                }
+            }
+        };
+        self.retained.remove(fp);
+        let replicas = self.ring.replicas(fp, self.opts.replication);
+        let outcomes: Vec<(usize, u8)> = replicas.iter().map(|&b| (b, 2u8)).collect();
+        let targets: Vec<usize> = replicas
+            .iter()
+            .copied()
+            .filter(|&b| self.backends[b].usable())
+            .collect();
+        if targets.is_empty() {
+            let frame = evict_reply(false, &outcomes, &self.opts.backends);
+            self.finish_client(id, seq, Outcome::Reply(frame));
+            return;
+        }
+        let rid = self.new_request(Request {
+            client: id,
+            seq,
+            kind: Kind::Evict {
+                existed: false,
+                outstanding: targets.len(),
+                outcomes,
+            },
+        });
+        let expires = now + self.sub_request_backstop();
+        for b in targets {
+            self.send_sub(b, op::EVICT, &fp.to_bytes(), SubReq { req: rid, expires });
+        }
+    }
+
+    fn dispatch_stats(&mut self, id: u64, seq: u64, now: Instant) {
+        let targets: Vec<usize> = (0..self.backends.len())
+            .filter(|&b| self.backends[b].usable())
+            .collect();
+        if targets.is_empty() {
+            let frame = self.stats_reply_frame(&BTreeMap::new());
+            self.finish_client(id, seq, Outcome::Reply(frame));
+            return;
+        }
+        let rid = self.new_request(Request {
+            client: id,
+            seq,
+            kind: Kind::Stats {
+                outstanding: targets.len(),
+                acc: BTreeMap::new(),
+            },
+        });
+        let expires = now + self.sub_request_backstop();
+        for b in targets {
+            self.send_sub(b, op::STATS, &[], SubReq { req: rid, expires });
+        }
+    }
+
+    /// The fleet STATS view: summed backend counters plus `router_*` keys.
+    fn stats_reply_frame(&self, acc: &BTreeMap<String, u64>) -> Vec<u8> {
+        let router_pairs: [(&str, u64); 7] = [
+            ("router_backends", self.backends.len() as u64),
+            (
+                "router_backends_healthy",
+                self.backends.iter().filter(|b| b.usable()).count() as u64,
+            ),
+            (
+                "router_failovers",
+                self.shared.failovers.load(Ordering::Relaxed),
+            ),
+            (
+                "router_rejoins",
+                self.shared.rejoins.load(Ordering::Relaxed),
+            ),
+            (
+                "router_requests",
+                self.shared.requests.load(Ordering::Relaxed),
+            ),
+            ("router_retained_loads", self.retained.len() as u64),
+            ("router_retained_bytes", self.retained.bytes() as u64),
+        ];
+        let mut b = Builder::new().u64((acc.len() + router_pairs.len()) as u64);
+        for (key, val) in acc {
+            b = b.u16(key.len() as u16).bytes(key.as_bytes()).u64(*val);
+        }
+        for (key, val) in router_pairs {
+            b = b.u16(key.len() as u16).bytes(key.as_bytes()).u64(val);
+        }
+        encode_frame(op::OK_STATS, &b.build())
+    }
+
+    // -- shutdown ------------------------------------------------------------
+
+    /// Bounded post-shutdown grace: flush buffered client replies (the
+    /// `OK_BYE` in particular), then close everything. Requests still
+    /// waiting on backends are abandoned — their clients see the close and
+    /// retry elsewhere.
+    fn drain_and_exit(&mut self) {
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            let mut done: Vec<u64> = Vec::new();
+            for (&id, conn) in self.clients.iter_mut() {
+                if conn.try_write(self.opts.io_timeout).is_err() || !conn.wants_write() {
+                    done.push(id);
+                }
+            }
+            for id in done {
+                self.clients.remove(&id);
+            }
+            if self.clients.is_empty() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.clients.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pure helpers
+// ---------------------------------------------------------------------------
+
+/// The solve budget: client ask clamped to the router cap, the cap alone
+/// when the client sent none, and a one-minute backstop when both are zero
+/// (the failover timer needs *some* horizon).
+fn effective_budget(client_ms: u64, cap: Duration) -> Duration {
+    let client = (client_ms > 0).then(|| Duration::from_millis(client_ms));
+    let cap = (!cap.is_zero()).then_some(cap);
+    match (client, cap) {
+        (Some(c), Some(k)) => c.min(k),
+        (Some(c), None) => c,
+        (None, Some(k)) => k,
+        (None, None) => Duration::from_secs(60),
+    }
+}
+
+/// Resolve a `LOAD` fan-out: `Pending` while replies are outstanding, the
+/// first `OK_LOADED` when any replica succeeded, else the last error.
+fn finish_load(outstanding: usize, reply: &Option<Vec<u8>>, last_err: &Option<ErrInfo>) -> Step {
+    if outstanding > 0 {
+        return Step::Pending;
+    }
+    match reply {
+        Some(ok) => Step::Reply(encode_frame(op::OK_LOADED, ok)),
+        None => {
+            let (code, msg, hint) = last_err.clone().unwrap_or((
+                ErrorCode::Internal,
+                "load fan-out resolved without any reply".into(),
+                None,
+            ));
+            Step::Reply(encode_frame(op::ERR, &err_payload(code, &msg, hint)))
+        }
+    }
+}
+
+/// Build the router `OK_EVICTED` frame: aggregate `existed`, then the
+/// per-replica outcome trailer (`u8 count`, then per replica `u16 addrlen`,
+/// addr bytes, `u8 status`).
+fn evict_reply(existed: bool, outcomes: &[(usize, u8)], addrs: &[String]) -> Vec<u8> {
+    let mut b = Builder::new()
+        .u8(u8::from(existed))
+        .u8(outcomes.len() as u8);
+    for &(idx, status) in outcomes {
+        let addr = addrs.get(idx).map(String::as_str).unwrap_or("?");
+        b = b.u16(addr.len() as u16).bytes(addr.as_bytes()).u8(status);
+    }
+    encode_frame(op::OK_EVICTED, &b.build())
+}
+
+/// Sum one backend's `OK_STATS` payload into the fleet accumulator.
+/// Undecodable tails are simply truncated — a partial sum beats no reply.
+fn accumulate_stats(acc: &mut BTreeMap<String, u64>, payload: &[u8]) {
+    let mut c = Cursor::new(payload);
+    let Ok(count) = c.u64() else { return };
+    for _ in 0..count {
+        let Ok(klen) = c.u16() else { return };
+        let Ok(key) = c.bytes(klen as usize) else {
+            return;
+        };
+        let Ok(val) = c.u64() else { return };
+        let key = String::from_utf8_lossy(key).into_owned();
+        *acc.entry(key).or_insert(0) += val;
+    }
+}
+
+/// Compute the fingerprint a backend will assign to this LOAD payload —
+/// the same digest over the same arrays — so placement is decided at the
+/// edge without building the matrix.
+fn load_fingerprint(payload: &[u8]) -> Result<Fingerprint, String> {
+    let mut c = Cursor::new(payload);
+    let nrows = c.usize()?;
+    let ncols = c.usize()?;
+    let nnz = c.usize()?;
+    let cols1 = ncols.checked_add(1).ok_or("ncols overflow")?;
+    let need = cols1
+        .checked_add(nnz.checked_mul(2).ok_or("nnz overflow")?)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or("size overflow")?;
+    if need > payload.len() {
+        return Err(format!(
+            "LOAD arrays need {need} bytes but payload has {}",
+            payload.len()
+        ));
+    }
+    let colptr = c.usize_vec(cols1)?;
+    let rowidx = c.usize_vec(nnz)?;
+    let values = c.f64_vec(nnz)?;
+    c.finish()?;
+    Ok(Fingerprint::of_parts(
+        nrows, ncols, &colptr, &rowidx, &values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trisolv_matrix::gen;
+
+    #[test]
+    fn effective_budget_clamps() {
+        let cap = Duration::from_secs(30);
+        assert_eq!(effective_budget(0, cap), cap);
+        assert_eq!(effective_budget(500, cap), Duration::from_millis(500));
+        assert_eq!(effective_budget(120_000, cap), cap);
+        assert_eq!(effective_budget(0, Duration::ZERO), Duration::from_secs(60));
+        assert_eq!(
+            effective_budget(7, Duration::ZERO),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn load_fingerprint_matches_matrix_digest() {
+        let a = gen::grid2d_laplacian(6, 6);
+        let payload = Builder::new()
+            .u64(a.nrows() as u64)
+            .u64(a.ncols() as u64)
+            .u64(a.nnz() as u64)
+            .usize_slice(a.colptr())
+            .usize_slice(a.rowidx())
+            .f64_slice(a.values())
+            .build();
+        assert_eq!(
+            load_fingerprint(&payload).unwrap(),
+            Fingerprint::of_matrix(&a)
+        );
+        assert!(load_fingerprint(&payload[..20]).is_err());
+    }
+
+    #[test]
+    fn evict_reply_trailer_encodes_addrs_and_statuses() {
+        let addrs = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
+        let frame = evict_reply(true, &[(1, 1), (0, 2)], &addrs);
+        // strip the 5-byte frame header
+        let payload = &frame[5..];
+        let mut c = Cursor::new(payload);
+        assert_eq!(c.u8().unwrap(), 1, "existed");
+        assert_eq!(c.u8().unwrap(), 2, "count");
+        let l = c.u16().unwrap() as usize;
+        assert_eq!(c.bytes(l).unwrap(), b"127.0.0.1:2");
+        assert_eq!(c.u8().unwrap(), 1, "evicted");
+        let l = c.u16().unwrap() as usize;
+        assert_eq!(c.bytes(l).unwrap(), b"127.0.0.1:1");
+        assert_eq!(c.u8().unwrap(), 2, "unreachable");
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn stats_accumulator_sums_across_backends() {
+        let pay = |v: u64| Builder::new().u64(1).u16(5).bytes(b"hello").u64(v).build();
+        let mut acc = BTreeMap::new();
+        accumulate_stats(&mut acc, &pay(3));
+        accumulate_stats(&mut acc, &pay(4));
+        assert_eq!(acc.get("hello"), Some(&7));
+        // truncated payloads contribute what they can without panicking
+        accumulate_stats(&mut acc, &pay(1)[..6]);
+        assert_eq!(acc.get("hello"), Some(&7));
+    }
+}

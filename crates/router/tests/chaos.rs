@@ -1,0 +1,190 @@
+//! Router chaos test (satellite d): real backend *processes* under the
+//! seeded fault plan, one of them SIGKILLed mid-load.
+//!
+//! Acceptance: with replication 2 over three backends and the primary
+//! replica of the hot factor killed without warning, every client request
+//! must still succeed through the retry ladder (zero unrecovered errors),
+//! every `OK` answer must be bit-identical to the sequential
+//! `SparseCholeskySolver` on the same inputs, and the router must record
+//! at least one failover. The backends additionally inject transport
+//! faults (torn writes, connection drops) on the router-facing side, so
+//! the backend breaker and the in-flight re-route path are exercised even
+//! before the kill.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trisolv_core::SparseCholeskySolver;
+use trisolv_matrix::{gen, rng::Rng, DenseMatrix};
+use trisolv_router::{Fleet, Ring, Router, RouterOptions};
+use trisolv_server::{Client, ClientOptions, Fingerprint};
+
+/// Aborts the process if the guarded scope outlives its budget — a wedged
+/// distributed soak must fail loudly, not eat the CI timeout.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(label: &'static str, budget: Duration) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            while start.elapsed() < budget {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("watchdog: {label} exceeded {budget:?}; aborting");
+            std::process::abort();
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+fn resilient_opts(seed: u64) -> ClientOptions {
+    ClientOptions {
+        connect_timeout: Duration::from_secs(5),
+        request_timeout: Duration::from_secs(10),
+        retries: 40,
+        backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(25),
+        seed,
+    }
+}
+
+#[test]
+fn fleet_survives_faults_and_a_sigkilled_backend() {
+    let _dog = Watchdog::arm("router chaos", Duration::from_secs(120));
+
+    // Three real backend processes: sequential executor (bit-exact
+    // reference), transport faults against every connection including the
+    // router's own.
+    let args: Vec<String> = [
+        "--addr",
+        "127.0.0.1:0",
+        "--exec",
+        "seq",
+        "--workers",
+        "4",
+        "--fault-spec",
+        "seed=9;write.torn=every:41;conn.drop=every:29",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut fleet = Fleet::spawn(env!("CARGO_BIN_EXE_trisolv-backend"), &args, 3).unwrap();
+
+    let opts = RouterOptions {
+        backends: fleet.addrs().to_vec(),
+        replication: 2,
+        probe_interval: Duration::from_millis(10),
+        ..RouterOptions::default()
+    };
+    let ring = Ring::new(3, opts.vnodes);
+    let router = Router::spawn(opts).unwrap();
+    assert!(
+        router.wait_healthy(3, Duration::from_secs(10)),
+        "all 3 backend processes should connect"
+    );
+    let raddr = router.local_addr().to_string();
+
+    let n = 48;
+    let a = gen::random_spd(n, 5, 42);
+    let reference = SparseCholeskySolver::factor(&a).unwrap();
+    // LOAD can be hit by the transport faults too: retry on a fresh stream.
+    let fp = {
+        let mut c = Client::connect_with(&raddr, resilient_opts(999)).unwrap();
+        let mut fp = None;
+        for _ in 0..30 {
+            match c.load(&a) {
+                Ok(r) => {
+                    fp = Some(r.fingerprint);
+                    break;
+                }
+                Err(e) if e.is_transient() => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let mut again = Client::connect_with(&raddr, resilient_opts(999)).unwrap();
+                    std::mem::swap(&mut c, &mut again);
+                }
+                Err(e) => panic!("load failed permanently: {e}"),
+            }
+        }
+        fp.expect("LOAD never survived the fault plan")
+    };
+    assert_eq!(fp, Fingerprint::of_matrix(&a));
+
+    // SIGKILL the *primary* replica of this fingerprint partway through
+    // the run — the worst single-node loss for this workload.
+    let primary = ring.primary(fp).unwrap();
+    let nclients = 6u64;
+    let rounds = 25u64;
+    // Progress counter gates the kill: the primary dies only after real
+    // traffic has flowed, and well before the workload can finish — every
+    // client is guaranteed to solve across the loss.
+    let progress = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for c in 0..nclients {
+            let raddr = raddr.clone();
+            let reference = &reference;
+            let progress = &progress;
+            scope.spawn(move || {
+                let mut client = Client::connect_with(&raddr, resilient_opts(c)).unwrap();
+                let mut rng = Rng::seed_from_u64(7000 + c);
+                for r in 0..rounds {
+                    let mut b = DenseMatrix::zeros(n, 1);
+                    for v in b.col_mut(0) {
+                        *v = rng.range_f64(-1.0, 1.0);
+                    }
+                    let x = client
+                        .solve_with_retry(fp, b.col(0), 0)
+                        .unwrap_or_else(|e| panic!("client {c} round {r}: {e}"));
+                    assert_eq!(
+                        x.as_slice(),
+                        reference.solve(&b).col(0),
+                        "client {c} round {r}: answer not bit-identical under chaos"
+                    );
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // kill mid-load: after ~20% of the solves, long before the end
+        while progress.load(Ordering::Relaxed) < nclients * rounds / 5 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        fleet.kill(primary);
+    });
+
+    // the router observed the loss and re-routed at least once
+    assert!(
+        router.failovers() >= 1,
+        "SIGKILL of the primary must be visible as a failover"
+    );
+    let mut probe = Client::connect_with(&raddr, resilient_opts(31)).unwrap();
+    let stats = probe.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing stat {k}"))
+            .1
+    };
+    assert_eq!(get("router_backends"), 3);
+    assert!(
+        get("router_backends_healthy") <= 2,
+        "the killed backend cannot be healthy"
+    );
+    assert!(get("router_failovers") >= 1);
+
+    drop(probe);
+    router.join();
+}

@@ -1,0 +1,242 @@
+//! End-to-end router tests over real loopback TCP with in-process
+//! backends: protocol transparency, replication, STATS aggregation,
+//! per-replica EVICT outcomes, failover, and error propagation.
+
+use std::time::Duration;
+
+use trisolv_matrix::{gen, DenseMatrix};
+use trisolv_router::{Ring, Router, RouterOptions};
+use trisolv_server::protocol::ErrorCode;
+use trisolv_server::{
+    BatchOptions, Client, ClientError, EngineOptions, ExecMode, Fingerprint, ReplicaEvict, Server,
+    ServerOptions,
+};
+
+fn backend_opts() -> ServerOptions {
+    ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        engine: EngineOptions {
+            exec: ExecMode::Seq,
+            batch: BatchOptions {
+                max_batch: 4,
+                window: Duration::from_millis(1),
+                wait_timeout: Duration::from_secs(20),
+            },
+            ..EngineOptions::default()
+        },
+        ..ServerOptions::default()
+    }
+}
+
+fn spawn_fleet(n: usize) -> (Vec<trisolv_server::RunningServer>, Vec<String>) {
+    let servers: Vec<_> = (0..n)
+        .map(|_| Server::spawn(backend_opts()).unwrap())
+        .collect();
+    let addrs = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    (servers, addrs)
+}
+
+fn router_opts(backends: Vec<String>, replication: usize) -> RouterOptions {
+    RouterOptions {
+        backends,
+        replication,
+        probe_interval: Duration::from_millis(20),
+        ..RouterOptions::default()
+    }
+}
+
+fn check_solution(a: &trisolv_matrix::CscMatrix, b: &DenseMatrix, x: &[f64]) {
+    let n = a.nrows();
+    let mut xm = DenseMatrix::zeros(n, 1);
+    xm.col_mut(0).copy_from_slice(x);
+    let ax = a.spmv_sym_lower(&xm).unwrap();
+    assert!(ax.max_abs_diff(b).unwrap() < 1e-10);
+}
+
+#[test]
+fn router_is_protocol_transparent_and_replicates() {
+    let (servers, addrs) = spawn_fleet(3);
+    let router = Router::spawn(router_opts(addrs.clone(), 2)).unwrap();
+    assert!(
+        router.wait_healthy(3, Duration::from_secs(10)),
+        "all 3 backends should connect"
+    );
+
+    // an unmodified single-server client works through the router
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+    let a = gen::grid2d_laplacian(10, 10);
+    let loaded = client.load(&a).unwrap();
+    assert_eq!(loaded.n, 100);
+    assert_eq!(loaded.fingerprint, Fingerprint::of_matrix(&a));
+
+    let b = gen::random_rhs(100, 1, 5);
+    let x = client.solve(loaded.fingerprint, b.col(0)).unwrap();
+    check_solution(&a, &b, &x);
+
+    // fleet STATS: summed backend gauges + router_* keys. R=2 put the
+    // factor on exactly two of the three caches.
+    let stats = client.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing stat {k}"))
+            .1
+    };
+    assert_eq!(get("router_backends"), 3);
+    assert_eq!(get("router_backends_healthy"), 3);
+    assert_eq!(get("cache_entries"), 2, "replication factor 2");
+    assert!(get("cache_bytes") > 0);
+    assert_eq!(get("router_retained_loads"), 1);
+    assert!(get("router_requests") >= 2);
+
+    // EVICT broadcasts and reports the outcome on each replica
+    let reply = client.evict_detailed(loaded.fingerprint).unwrap();
+    assert!(reply.existed);
+    assert_eq!(reply.per_backend.len(), 2);
+    for (addr, outcome) in &reply.per_backend {
+        assert!(addrs.contains(addr), "outcome addr {addr} not a backend");
+        assert_eq!(*outcome, ReplicaEvict::Evicted);
+    }
+
+    // a second evict finds nothing anywhere
+    let reply = client.evict_detailed(loaded.fingerprint).unwrap();
+    assert!(!reply.existed);
+    assert!(reply
+        .per_backend
+        .iter()
+        .all(|(_, o)| *o == ReplicaEvict::NotResident));
+
+    drop(client);
+    router.join();
+    for s in servers {
+        s.join();
+    }
+}
+
+#[test]
+fn solve_fails_over_when_primary_backend_dies() {
+    let (mut servers, addrs) = spawn_fleet(3);
+    let opts = router_opts(addrs, 2);
+    let ring = Ring::new(3, opts.vnodes);
+    let router = Router::spawn(opts).unwrap();
+    assert!(router.wait_healthy(3, Duration::from_secs(10)));
+
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+    let a = gen::grid2d_laplacian(8, 8);
+    let fp = client.load(&a).unwrap().fingerprint;
+    let b = gen::random_rhs(64, 1, 7);
+    check_solution(&a, &b, &client.solve(fp, b.col(0)).unwrap());
+
+    // kill the primary replica (the router's ring is a pure function of
+    // the backend list, so the test can compute placement independently)
+    let primary = ring.primary(fp).unwrap();
+    servers.remove(primary).join();
+
+    // the very next solve must come back correct via the surviving
+    // replica — connection loss or ERR, then deterministic failover
+    let x = client.solve(fp, b.col(0)).unwrap();
+    check_solution(&a, &b, &x);
+    assert!(router.failovers() >= 1, "failover must be recorded");
+    assert!(router.healthy_backends() <= 2);
+
+    drop(client);
+    router.join();
+    for s in servers {
+        s.join();
+    }
+}
+
+#[test]
+fn permanent_errors_propagate_and_unknown_fp_exhausts_replicas() {
+    let (servers, addrs) = spawn_fleet(2);
+    let router = Router::spawn(router_opts(addrs, 2)).unwrap();
+    assert!(router.wait_healthy(2, Duration::from_secs(10)));
+
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+
+    // a fingerprint no backend holds: both replicas answer
+    // UnknownFingerprint, the failover set exhausts, and the last error
+    // comes back (not a generic Busy)
+    let err = client
+        .solve(Fingerprint(1, 2), &[1.0, 2.0])
+        .expect_err("unknown fingerprint cannot succeed");
+    match err {
+        ClientError::Server { code, .. } => {
+            assert_eq!(code, Some(ErrorCode::UnknownFingerprint));
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    assert!(
+        router.failovers() >= 1,
+        "second replica was tried before giving up"
+    );
+
+    // a permanent error (dimension mismatch) propagates without failover
+    let a = gen::grid2d_laplacian(5, 5);
+    let fp = client.load(&a).unwrap().fingerprint;
+    let before = router.failovers();
+    let err = client
+        .solve(fp, &[1.0, 2.0, 3.0])
+        .expect_err("wrong-size rhs must fail");
+    match err {
+        ClientError::Server { code, .. } => {
+            assert_eq!(code, Some(ErrorCode::DimensionMismatch));
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    assert_eq!(
+        router.failovers(),
+        before,
+        "permanent errors do not re-route"
+    );
+
+    drop(client);
+    router.join();
+    for s in servers {
+        s.join();
+    }
+}
+
+#[test]
+fn dead_backend_rejoins_as_warm_standby() {
+    // R=1 so the factor lives on exactly one backend; killing and
+    // restarting it exercises the retained-LOAD replay path end to end.
+    let (servers, addrs) = spawn_fleet(1);
+    let router = Router::spawn(router_opts(addrs, 1)).unwrap();
+    assert!(router.wait_healthy(1, Duration::from_secs(10)));
+
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+    let a = gen::grid2d_laplacian(6, 6);
+    let fp = client.load(&a).unwrap().fingerprint;
+    let b = gen::random_rhs(36, 1, 3);
+    check_solution(&a, &b, &client.solve(fp, b.col(0)).unwrap());
+
+    // kill the only backend and bring a fresh (empty-cache) one up on the
+    // same address so the router's probe reconnects to it
+    let addr = servers[0].local_addr();
+    for s in servers {
+        s.join();
+    }
+    let replacement = Server::spawn(ServerOptions {
+        addr: addr.to_string(),
+        ..backend_opts()
+    })
+    .unwrap();
+    assert!(
+        router.wait_healthy(1, Duration::from_secs(10)),
+        "backend should rejoin after restart"
+    );
+
+    // the replacement never saw the LOAD — only the router's warm-standby
+    // replay can make this solve succeed
+    let mut c2 = Client::connect(router.local_addr().to_string()).unwrap();
+    let x = c2.solve_with_deadline(fp, b.col(0), 20_000).unwrap();
+    check_solution(&a, &b, &x);
+
+    drop(client);
+    drop(c2);
+    router.join();
+    replacement.join();
+}

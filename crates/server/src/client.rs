@@ -22,7 +22,7 @@ use trisolv_matrix::CscMatrix;
 
 use crate::fingerprint::Fingerprint;
 use crate::protocol::{
-    op, read_frame, write_frame, Builder, Cursor, ErrorCode, SOLVE_FLAG_CERTIFIED,
+    op, parse_err, read_frame, write_frame, Builder, Cursor, ErrorCode, SOLVE_FLAG_CERTIFIED,
 };
 
 /// Client-visible failure.
@@ -104,6 +104,27 @@ pub struct CertifiedReply {
     /// Whether the backward error reached the server's certification
     /// target.
     pub certified: bool,
+}
+
+/// One backend's outcome in a router's `OK_EVICTED` per-replica trailer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaEvict {
+    /// The replica answered: the fingerprint was not resident there.
+    NotResident,
+    /// The replica answered: the factor was evicted.
+    Evicted,
+    /// The replica could not be reached (dead or erroring backend).
+    Unreachable,
+}
+
+/// Reply to [`Client::evict_detailed`]: the aggregate flag plus, when the
+/// peer is a router, the outcome on every replica of the fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictReply {
+    /// Whether the factor was resident anywhere.
+    pub existed: bool,
+    /// Per-replica `(backend address, outcome)`; empty from a single server.
+    pub per_backend: Vec<(String, ReplicaEvict)>,
 }
 
 /// Resilience knobs for [`Client::connect_with`] /
@@ -453,15 +474,43 @@ impl Client {
         parsed.map_err(ClientError::Protocol)
     }
 
-    /// Drop a cached factor; returns whether it was resident.
+    /// Drop a cached factor; returns whether it was resident. Trailing
+    /// bytes after the `existed` flag (a router's per-replica outcomes)
+    /// are ignored; [`Client::evict_detailed`] decodes them.
     pub fn evict(&mut self, fp: Fingerprint) -> Result<bool, ClientError> {
+        Ok(self.evict_detailed(fp)?.existed)
+    }
+
+    /// Drop a cached factor and decode the per-replica outcomes a router
+    /// appends to `OK_EVICTED`. Against a single server the `per_backend`
+    /// list is empty (the trailer only exists on fleet replies).
+    pub fn evict_detailed(&mut self, fp: Fingerprint) -> Result<EvictReply, ClientError> {
         let payload = Builder::new().fingerprint(fp).build();
         let (opcode, reply) = self.round_trip(op::EVICT, &payload)?;
         Self::expect(opcode, op::OK_EVICTED, &reply)?;
-        let mut c = Cursor::new(&reply);
-        let existed = c.u8().map_err(ClientError::Protocol)? != 0;
-        c.finish().map_err(ClientError::Protocol)?;
-        Ok(existed)
+        let parsed = (|| {
+            let mut c = Cursor::new(&reply);
+            let existed = c.u8()? != 0;
+            let mut per_backend = Vec::new();
+            if c.remaining() > 0 {
+                let count = c.u8()? as usize;
+                for _ in 0..count {
+                    let alen = c.u16()? as usize;
+                    let addr = String::from_utf8_lossy(c.bytes(alen)?).into_owned();
+                    let status = match c.u8()? {
+                        0 => ReplicaEvict::NotResident,
+                        1 => ReplicaEvict::Evicted,
+                        _ => ReplicaEvict::Unreachable,
+                    };
+                    per_backend.push((addr, status));
+                }
+            }
+            Ok::<_, String>(EvictReply {
+                existed,
+                per_backend,
+            })
+        })();
+        parsed.map_err(ClientError::Protocol)
     }
 
     /// Ask the server to shut down gracefully.
@@ -493,21 +542,7 @@ impl Client {
             return Ok(());
         }
         if opcode == op::ERR {
-            let mut c = Cursor::new(reply);
-            let parsed = (|| {
-                let code = c.u16()?;
-                let mlen = c.u32()? as usize;
-                let msg = String::from_utf8_lossy(c.bytes(mlen)?).into_owned();
-                let code = ErrorCode::from_u16(code);
-                // Busy carries a trailing retry hint; unknown trailing
-                // bytes on other codes are ignored for forward compat.
-                let retry_after_ms = match code {
-                    Some(ErrorCode::Busy) => c.u64().ok(),
-                    _ => None,
-                };
-                Ok::<_, String>((code, msg, retry_after_ms))
-            })();
-            return match parsed {
+            return match parse_err(reply) {
                 Ok((code, message, retry_after_ms)) => Err(ClientError::Server {
                     code,
                     message,
@@ -519,5 +554,99 @@ impl Client {
         Err(ClientError::Protocol(format!(
             "unexpected reply opcode 0x{opcode:02x} (wanted 0x{wanted:02x})"
         )))
+    }
+}
+
+/// A small idle-connection pool for one server address.
+///
+/// [`Client`] reconnects transparently, but every *new* `Client` dials a
+/// fresh TCP connection — callers that issue short bursts of requests
+/// (router fan-out helpers, fleet supervision, benches) would otherwise
+/// pay a handshake per burst. [`ClientPool::get`] hands out an idle
+/// connection when one is parked and dials only when the pool is empty;
+/// dropping the [`PooledClient`] parks the connection again (up to
+/// `max_idle`), unless [`PooledClient::discard`] marked it broken.
+pub struct ClientPool {
+    addr: String,
+    opts: ClientOptions,
+    max_idle: usize,
+    idle: std::sync::Mutex<Vec<Client>>,
+}
+
+impl ClientPool {
+    /// A pool for `addr`; at most `max_idle` parked connections are kept.
+    pub fn new(addr: &str, opts: ClientOptions, max_idle: usize) -> ClientPool {
+        ClientPool {
+            addr: addr.to_string(),
+            opts,
+            max_idle: max_idle.max(1),
+            idle: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check out a connection: a parked idle one when available (most
+    /// recently parked first — its socket is the least likely to have been
+    /// idled out by the peer), a fresh dial otherwise.
+    pub fn get(&self) -> io::Result<PooledClient<'_>> {
+        let parked = {
+            let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+            idle.pop()
+        };
+        let client = match parked {
+            Some(c) => c,
+            None => Client::connect_with(&self.addr, self.opts.clone())?,
+        };
+        Ok(PooledClient {
+            pool: self,
+            client: Some(client),
+        })
+    }
+
+    /// Parked idle connections right now (test/diagnostic hook).
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn park(&self, client: Client) {
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        }
+    }
+}
+
+/// A checked-out pool connection; derefs to [`Client`] and returns the
+/// connection to the pool on drop.
+pub struct PooledClient<'a> {
+    pool: &'a ClientPool,
+    client: Option<Client>,
+}
+
+impl PooledClient<'_> {
+    /// Consume without returning the connection to the pool — call after
+    /// an error that may have desynchronized or killed the stream.
+    pub fn discard(mut self) {
+        self.client = None;
+    }
+}
+
+impl std::ops::Deref for PooledClient<'_> {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client present until drop")
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.pool.park(client);
+        }
     }
 }

@@ -274,6 +274,16 @@ impl Conn {
         self.finish(seq, Outcome::ReplyThenClose(frame));
     }
 
+    /// Append already-encoded frame bytes directly to the write buffer,
+    /// bypassing the seq/reorder machinery. This is how the router's
+    /// *outbound* (backend-facing) connections reuse this state machine:
+    /// requests go out through `enqueue`, replies come back through
+    /// [`Conn::read_some`]/[`Conn::next_frame`], and FIFO request→reply
+    /// matching is the caller's job.
+    pub fn enqueue(&mut self, frame: &[u8]) {
+        self.write_buf.extend_from_slice(frame);
+    }
+
     /// Push buffered reply bytes until the socket pushes back. Progress
     /// resets the write deadline; a stalled, non-empty buffer keeps it
     /// running so a peer that never reads gets cut loose.

@@ -43,7 +43,10 @@ pub mod server;
 
 pub use batch::{BatchLane, BatchOptions, LaneError};
 pub use cache::{CacheStats, FactorCache, FactorEntry};
-pub use client::{CertifiedReply, Client, ClientError, ClientOptions, LoadReply, RetryStats};
+pub use client::{
+    CertifiedReply, Client, ClientError, ClientOptions, ClientPool, EvictReply, LoadReply,
+    PooledClient, ReplicaEvict, RetryStats,
+};
 pub use engine::{
     CertifiedOutcome, Engine, EngineError, EngineOptions, EngineStats, ExecMode, LoadOutcome,
 };

@@ -43,7 +43,7 @@
 //! | 0x81 | OK_LOADED  | `fingerprint[16]`, `u64 n`, `u64 factor_nnz`, `u8 already_cached` |
 //! | 0x82 | OK_SOLVED  | `u64 n`, `x[n·f64]`, then for certified solves `u32 iterations`, `f64 backward_error`, `u8 certified` |
 //! | 0x83 | OK_STATS   | `u64 count`, then per stat `u16 keylen`, key bytes, `u64 value` |
-//! | 0x84 | OK_EVICTED | `u8 existed` |
+//! | 0x84 | OK_EVICTED | `u8 existed`, then optional per-replica outcomes (see below) |
 //! | 0x85 | OK_BYE     | empty |
 //! | 0xFF | ERR        | `u16 code`, `u32 msglen`, UTF-8 message, then code-specific extras |
 //!
@@ -51,6 +51,20 @@
 //! `u64 retry_after_ms` — the server's backoff hint for the shed request.
 //! Other codes carry no extras; decoders must ignore trailing bytes they do
 //! not understand so future codes can add fields compatibly.
+//!
+//! `OK_EVICTED` from a *router* (the sharded front tier in
+//! `trisolv-router`) appends per-replica outcomes after the `u8 existed`
+//! aggregate: `u8 count`, then per replica `u16 addrlen`, the backend
+//! address bytes, and a `u8` status (`0` = not resident, `1` = evicted,
+//! `2` = unreachable). Single-server replies omit the trailer entirely;
+//! [`crate::client::Client::evict`] ignores it and
+//! [`crate::client::Client::evict_detailed`] decodes it.
+//!
+//! `OK_STATS` keys include the cache-occupancy gauges `cache_entries` and
+//! `cache_bytes` (aliases of `entries`/`resident_bytes`, kept stable for
+//! placement/balance decisions by the router tier) alongside the engine
+//! counters; a router replies with the *sum* over its backends plus its own
+//! `router_*` keys.
 //!
 //! Error codes are in [`ErrorCode`]. Protocol errors on a decodable frame
 //! produce an `ERR` reply and leave the connection open; an undecodable
@@ -229,6 +243,49 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
         ));
     }
     Ok((head[4], body))
+}
+
+/// A full wire frame (`len | opcode | payload`) as a byte vector, ready to
+/// append to a connection's write buffer. Reply sizes are bounded by
+/// request sizes, so overflow is unreachable in practice; if it ever
+/// happens the peer gets a structured `ERR` instead of a dead worker.
+pub fn encode_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    if write_frame(&mut frame, opcode, payload).is_err() {
+        frame.clear();
+        let p = err_payload(ErrorCode::Internal, "reply exceeded frame limit", None);
+        write_frame(&mut frame, op::ERR, &p).expect("error frame fits");
+    }
+    frame
+}
+
+/// Encode an `ERR` frame payload (with the Busy retry hint when present).
+pub fn err_payload(code: ErrorCode, msg: &str, retry_after_ms: Option<u64>) -> Vec<u8> {
+    let bytes = msg.as_bytes();
+    let mut b = Builder::new()
+        .u16(code as u16)
+        .u32(bytes.len() as u32)
+        .bytes(bytes);
+    if let Some(ms) = retry_after_ms {
+        b = b.u64(ms);
+    }
+    b.build()
+}
+
+/// Decode an `ERR` payload into `(code, message, retry_after_ms)`. The code
+/// is `None` when unrecognized; the retry hint is present only on `Busy`.
+/// Trailing bytes on other codes are ignored for forward compatibility.
+pub fn parse_err(payload: &[u8]) -> Result<(Option<ErrorCode>, String, Option<u64>), String> {
+    let mut c = Cursor::new(payload);
+    let code = c.u16()?;
+    let mlen = c.u32()? as usize;
+    let msg = String::from_utf8_lossy(c.bytes(mlen)?).into_owned();
+    let code = ErrorCode::from_u16(code);
+    let retry_after_ms = match code {
+        Some(ErrorCode::Busy) => c.u64().ok(),
+        _ => None,
+    };
+    Ok((code, msg, retry_after_ms))
 }
 
 /// Incremental little-endian payload reader.
@@ -466,6 +523,28 @@ mod tests {
         // truncation is an error, not a panic
         let mut c = Cursor::new(&payload[..3]);
         assert!(c.u32().is_err());
+    }
+
+    #[test]
+    fn err_frame_helpers_round_trip() {
+        let payload = err_payload(ErrorCode::Busy, "shed", Some(17));
+        let (code, msg, hint) = parse_err(&payload).unwrap();
+        assert_eq!(code, Some(ErrorCode::Busy));
+        assert_eq!(msg, "shed");
+        assert_eq!(hint, Some(17));
+        // non-Busy codes carry no hint, and trailing junk is tolerated
+        let mut payload = err_payload(ErrorCode::Timeout, "slow", None);
+        payload.extend_from_slice(&[9, 9, 9]);
+        let (code, msg, hint) = parse_err(&payload).unwrap();
+        assert_eq!(code, Some(ErrorCode::Timeout));
+        assert_eq!(msg, "slow");
+        assert_eq!(hint, None);
+        // encode_frame produces a parseable wire frame
+        let frame = encode_frame(op::OK_BYE, &[1, 2]);
+        let (opcode, body) = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(opcode, op::OK_BYE);
+        assert_eq!(body, vec![1, 2]);
+        assert!(parse_err(&[1]).is_err(), "truncated ERR payload rejected");
     }
 
     #[test]

@@ -59,7 +59,8 @@ use crate::engine::{Engine, EngineError, EngineOptions};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::poller::{self, Interest, PollFd, Waker};
 use crate::protocol::{
-    op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN, SOLVE_FLAG_CERTIFIED,
+    encode_frame, err_payload, op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN,
+    SOLVE_FLAG_CERTIFIED,
 };
 
 /// Front-end configuration.
@@ -773,32 +774,6 @@ fn watchdog_loop(
 // Frame building + dispatch
 // ---------------------------------------------------------------------------
 
-/// A full wire frame for `opcode`/`payload`. Reply sizes are bounded by
-/// request sizes, so overflow is unreachable in practice; if it ever
-/// happens the peer gets a structured `ERR` instead of a dead worker.
-fn encode_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(5 + payload.len());
-    if write_frame(&mut frame, opcode, payload).is_err() {
-        frame.clear();
-        let p = err_payload(ErrorCode::Internal, "reply exceeded frame limit", None);
-        write_frame(&mut frame, op::ERR, &p).expect("error frame fits");
-    }
-    frame
-}
-
-/// Encode an ERR frame payload (with the Busy retry hint when present).
-fn err_payload(code: ErrorCode, msg: &str, retry_after_ms: Option<u64>) -> Vec<u8> {
-    let bytes = msg.as_bytes();
-    let mut b = Builder::new()
-        .u16(code as u16)
-        .u32(bytes.len() as u32)
-        .bytes(bytes);
-    if let Some(ms) = retry_after_ms {
-        b = b.u64(ms);
-    }
-    b.build()
-}
-
 enum Dispatch {
     Reply(u8, Vec<u8>),
     Error {
@@ -917,12 +892,17 @@ fn dispatch(
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 26] = [
+            let pairs: [(&str, u64); 28] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
                 ("entries", s.cache.entries as u64),
                 ("resident_bytes", s.cache.resident_bytes as u64),
+                // Stable cache-occupancy gauges for the router tier's
+                // balance/placement decisions (aliases of the two above,
+                // which predate the router and keep their legacy names).
+                ("cache_entries", s.cache.entries as u64),
+                ("cache_bytes", s.cache.resident_bytes as u64),
                 ("budget_bytes", engine.options().budget_bytes as u64),
                 ("solves_ok", s.solves_ok),
                 ("solves_err", s.solves_err),

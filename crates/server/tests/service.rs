@@ -58,11 +58,61 @@ fn tcp_round_trip_load_solve_stats_evict() {
     assert_eq!(get("entries"), 1);
     assert_eq!(get("solves_ok"), 1);
     assert!(get("resident_bytes") > 0);
+    // cache-occupancy gauges (router placement inputs) mirror the legacy keys
+    assert_eq!(get("cache_entries"), get("entries"));
+    assert_eq!(get("cache_bytes"), get("resident_bytes"));
+    assert!(get("cache_bytes") > 0);
 
     assert!(client.evict(loaded.fingerprint).unwrap());
     assert!(!client.evict(loaded.fingerprint).unwrap());
 
     client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Satellite: two sequential solves through a [`ClientPool`] ride one TCP
+/// connection — the second checkout reuses the parked idle connection
+/// instead of dialing, pinned by the server's `connections_total` counter.
+#[test]
+fn pooled_clients_reuse_one_connection() {
+    use trisolv_server::{ClientOptions, ClientPool};
+    let server = Server::spawn(server_opts(ExecMode::Seq, 1, 2)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let a = gen::grid2d_laplacian(6, 6);
+    let fp = {
+        let pool = ClientPool::new(&addr, ClientOptions::default(), 4);
+        let mut c = pool.get().unwrap();
+        let fp = c.load(&a).unwrap().fingerprint;
+        let b = gen::random_rhs(36, 1, 1);
+        c.solve(fp, b.col(0)).unwrap();
+        drop(c); // parks the connection
+        assert_eq!(pool.idle_count(), 1);
+        let mut c2 = pool.get().unwrap();
+        assert_eq!(pool.idle_count(), 0, "second checkout took the idle conn");
+        c2.solve(fp, b.col(0)).unwrap();
+        fp
+    };
+
+    // LOAD + two solves all happened over a single connection
+    let mut probe = Client::connect(&addr).unwrap();
+    let stats = probe.stats().unwrap();
+    let total = stats
+        .iter()
+        .find(|(k, _)| k == "connections_total")
+        .unwrap()
+        .1;
+    assert_eq!(
+        total, 2,
+        "one pooled connection + this probe; a fresh dial per solve would show more"
+    );
+    // a discarded connection is not returned to the pool
+    let pool = ClientPool::new(&addr, ClientOptions::default(), 4);
+    let mut c = pool.get().unwrap();
+    c.solve(fp, gen::random_rhs(36, 1, 2).col(0)).unwrap();
+    c.discard();
+    assert_eq!(pool.idle_count(), 0);
+    probe.shutdown_server().unwrap();
     server.join();
 }
 

@@ -11,7 +11,10 @@
 //! * `gen <spec> <out>` — generate a test matrix (`grid2d:64`, `fem3d:...`,
 //!   `random:...`) so nothing needs external matrix files;
 //! * `serve` / `client` — the factor-caching, RHS-batching solve service
-//!   and its load-generating client (see `crates/server` and DESIGN.md §10).
+//!   and its load-generating client (see `crates/server` and DESIGN.md §10);
+//! * `route` — the sharded, replicated distributed solve tier: a
+//!   consistent-hash router in front of N `serve` backends, speaking the
+//!   same protocol (see `crates/router` and DESIGN.md §15).
 //!
 //! Matrices are detected by extension: `.mtx` → Matrix Market, otherwise
 //! Harwell-Boeing.
@@ -116,6 +119,35 @@ pub enum Command {
         /// loop stops reading that socket).
         pipeline: usize,
     },
+    /// Run the distributed-tier router in front of a backend fleet.
+    Route {
+        /// Client-facing bind address (port 0 picks an ephemeral port).
+        addr: String,
+        /// Backend addresses (`host:port`, comma-separated on the CLI).
+        /// Mutually exclusive with `spawn`.
+        backends: Vec<String>,
+        /// Spawn this many local backend processes on ephemeral ports
+        /// instead of routing to `backends`.
+        spawn: usize,
+        /// Replication factor (factors resident on this many backends).
+        replication: usize,
+        /// Virtual nodes per backend on the hash ring.
+        vnodes: usize,
+        /// Cap on client SOLVE deadlines in milliseconds (0 = uncapped).
+        deadline_cap_ms: u64,
+        /// Slow-peer socket timeout in milliseconds (0 = disabled).
+        io_timeout_ms: u64,
+        /// Base reconnect-probe interval for unhealthy backends, in
+        /// milliseconds.
+        probe_ms: u64,
+        /// Maximum concurrent client connections (0 = unlimited).
+        max_conns: usize,
+        /// Per-connection pipelining cap.
+        pipeline: usize,
+        /// Byte budget (MiB) for retained LOAD payloads replayed to
+        /// rejoining backends (0 = retain nothing).
+        retained_mb: usize,
+    },
     /// Drive a running server with the load generator.
     Client {
         /// Server address.
@@ -144,7 +176,7 @@ pub enum Command {
 
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
-    let usage = "usage: trisolv <info|solve|convert|gen|serve|client> ...\n\
+    let usage = "usage: trisolv <info|solve|convert|gen|serve|route|client> ...\n\
                  \x20 trisolv info <matrix>\n\
                  \x20 trisolv solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering nd|multilevel|mindeg|rcm|natural]\n\
                  \x20               [--threads T]      (real shared-memory solve width; 0 = available parallelism)\n\
@@ -156,6 +188,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20               [--verify-every N]  (factor-integrity checksum cadence; 0 = off)\n\
                  \x20               [--max-conns C]     (concurrent-connection cap; 0 = unlimited)\n\
                  \x20               [--pipeline P]      (per-connection in-flight frame cap)\n\
+                 \x20 trisolv route [--addr A] (--backends h:p,h:p,... | --spawn N) [--replication R] [--vnodes V]\n\
+                 \x20               [--deadline-cap-ms D] [--io-timeout-ms T] [--probe-ms P] [--max-conns C] [--pipeline P]\n\
+                 \x20               [--retained-mb M]   (retained-LOAD replay budget for rejoining backends)\n\
                  \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
                  \x20               [--timeout-ms T] [--retries R] [--backoff-ms B] [--idle-conns I]";
     let mut it = args.iter();
@@ -321,6 +356,94 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 verify_every,
                 max_conns,
                 pipeline,
+            })
+        }
+        Some("route") => {
+            let mut addr = "127.0.0.1:7412".to_string();
+            let mut backends: Vec<String> = Vec::new();
+            let mut spawn = 0usize;
+            let mut replication = 2usize;
+            let mut vnodes = trisolv_router::Ring::DEFAULT_VNODES;
+            let mut deadline_cap_ms = 30_000u64;
+            let mut io_timeout_ms = 10_000u64;
+            let mut probe_ms = 100u64;
+            let mut max_conns = 0usize;
+            let mut pipeline = 64usize;
+            let mut retained_mb = 256usize;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--backends" => {
+                        backends = value
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--spawn" => spawn = value.parse().map_err(|e| format!("bad --spawn: {e}"))?,
+                    "--replication" => {
+                        replication = value
+                            .parse()
+                            .map_err(|e| format!("bad --replication: {e}"))?
+                    }
+                    "--vnodes" => {
+                        vnodes = value.parse().map_err(|e| format!("bad --vnodes: {e}"))?
+                    }
+                    "--deadline-cap-ms" => {
+                        deadline_cap_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --deadline-cap-ms: {e}"))?
+                    }
+                    "--io-timeout-ms" => {
+                        io_timeout_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --io-timeout-ms: {e}"))?
+                    }
+                    "--probe-ms" => {
+                        probe_ms = value.parse().map_err(|e| format!("bad --probe-ms: {e}"))?
+                    }
+                    "--max-conns" => {
+                        max_conns = value.parse().map_err(|e| format!("bad --max-conns: {e}"))?
+                    }
+                    "--pipeline" => {
+                        pipeline = value.parse().map_err(|e| format!("bad --pipeline: {e}"))?
+                    }
+                    "--retained-mb" => {
+                        retained_mb = value
+                            .parse()
+                            .map_err(|e| format!("bad --retained-mb: {e}"))?
+                    }
+                    other => return Err(format!("unknown flag {other}\n{usage}")),
+                }
+            }
+            match (backends.is_empty(), spawn) {
+                (true, 0) => return Err("route needs --backends or --spawn\n".to_string() + usage),
+                (false, s) if s > 0 => {
+                    return Err("--backends and --spawn are mutually exclusive".to_string())
+                }
+                _ => {}
+            }
+            if replication == 0 || vnodes == 0 || pipeline == 0 || probe_ms == 0 {
+                return Err(
+                    "--replication, --vnodes, --pipeline, --probe-ms must be positive".to_string(),
+                );
+            }
+            Ok(Command::Route {
+                addr,
+                backends,
+                spawn,
+                replication,
+                vnodes,
+                deadline_cap_ms,
+                io_timeout_ms,
+                probe_ms,
+                max_conns,
+                pipeline,
+                retained_mb,
             })
         }
         Some("client") => {
@@ -637,6 +760,61 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             server.wait();
             let _ = writeln!(out, "server shut down cleanly");
         }
+        Command::Route {
+            addr,
+            backends,
+            spawn,
+            replication,
+            vnodes,
+            deadline_cap_ms,
+            io_timeout_ms,
+            probe_ms,
+            max_conns,
+            pipeline,
+            retained_mb,
+        } => {
+            // --spawn: supervise a local fleet of `trisolv serve` children
+            // on ephemeral ports; kept alive until the router exits.
+            let (fleet, backend_addrs) = if *spawn > 0 {
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("cannot find own executable: {e}"))?;
+                let args: Vec<String> = ["serve", "--addr", "127.0.0.1:0"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                let fleet = trisolv_router::Fleet::spawn(&exe.to_string_lossy(), &args, *spawn)
+                    .map_err(|e| format!("cannot spawn backend fleet: {e}"))?;
+                let addrs = fleet.addrs().to_vec();
+                (Some(fleet), addrs)
+            } else {
+                (None, backends.clone())
+            };
+            let nbackends = backend_addrs.len();
+            let router = trisolv_router::Router::spawn(trisolv_router::RouterOptions {
+                addr: addr.clone(),
+                backends: backend_addrs,
+                replication: *replication,
+                vnodes: *vnodes,
+                io_timeout: Duration::from_millis(*io_timeout_ms),
+                deadline_cap: Duration::from_millis(*deadline_cap_ms),
+                max_conns: *max_conns,
+                max_pipeline: *pipeline,
+                probe_interval: Duration::from_millis(*probe_ms),
+                retained_budget: retained_mb * 1024 * 1024,
+            })
+            .map_err(|e| format!("cannot route: {e}"))?;
+            // Announce the bound address immediately (scripts and the CI
+            // router-smoke job parse this line), then park until SHUTDOWN.
+            println!(
+                "trisolv-router listening on {} ({nbackends} backends, replication {replication})",
+                router.local_addr()
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            router.wait();
+            drop(fleet);
+            let _ = writeln!(out, "router shut down cleanly");
+        }
         Command::Client {
             addr,
             spec,
@@ -950,6 +1128,72 @@ mod tests {
             "--gen and --matrix are mutually exclusive"
         );
         assert!(parse_args(&strv(&["client", "a:1", "--clients", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_route() {
+        assert_eq!(
+            parse_args(&strv(&[
+                "route",
+                "--backends",
+                "127.0.0.1:7411, 127.0.0.1:7413",
+                "--replication",
+                "3",
+                "--vnodes",
+                "32",
+                "--deadline-cap-ms",
+                "5000",
+                "--io-timeout-ms",
+                "2500",
+                "--probe-ms",
+                "50",
+                "--max-conns",
+                "1000",
+                "--pipeline",
+                "16",
+                "--retained-mb",
+                "64",
+            ]))
+            .unwrap(),
+            Command::Route {
+                addr: "127.0.0.1:7412".into(),
+                backends: vec!["127.0.0.1:7411".into(), "127.0.0.1:7413".into()],
+                spawn: 0,
+                replication: 3,
+                vnodes: 32,
+                deadline_cap_ms: 5000,
+                io_timeout_ms: 2500,
+                probe_ms: 50,
+                max_conns: 1000,
+                pipeline: 16,
+                retained_mb: 64,
+            }
+        );
+        assert_eq!(
+            parse_args(&strv(&["route", "--spawn", "3"])).unwrap(),
+            Command::Route {
+                addr: "127.0.0.1:7412".into(),
+                backends: vec![],
+                spawn: 3,
+                replication: 2,
+                vnodes: trisolv_router::Ring::DEFAULT_VNODES,
+                deadline_cap_ms: 30_000,
+                io_timeout_ms: 10_000,
+                probe_ms: 100,
+                max_conns: 0,
+                pipeline: 64,
+                retained_mb: 256,
+            }
+        );
+        assert!(
+            parse_args(&strv(&["route"])).is_err(),
+            "route needs --backends or --spawn"
+        );
+        assert!(
+            parse_args(&strv(&["route", "--backends", "a:1", "--spawn", "2"])).is_err(),
+            "--backends and --spawn are mutually exclusive"
+        );
+        assert!(parse_args(&strv(&["route", "--spawn", "2", "--replication", "0"])).is_err());
     }
 
     #[test]
