@@ -11,6 +11,12 @@
 //!   through the run — the goodput the replication + failover machinery
 //!   preserves, with zero unrecovered client errors required.
 //!
+//! Plus a rejoin-latency pair: restart the only backend cold (empty cache)
+//! and warm (`--persist-dir` recovery), measuring time from replacement
+//! spawn to the first successful solve through the router. Warm restart
+//! answers the rejoin replay's LOAD from the recovered snapshot instead of
+//! refactoring (DESIGN.md §16).
+//!
 //! Writes `BENCH_router.json`.
 //!
 //! Run: `cargo run --release -p trisolv-bench --bin bench_router`
@@ -25,7 +31,7 @@ use trisolv_matrix::gen;
 use trisolv_router::{Ring, Router, RouterOptions};
 use trisolv_server::{
     BatchOptions, Client, ClientOptions, EngineOptions, ExecMode, LoadGenOptions, RunningServer,
-    Server, ServerOptions,
+    Server, ServerOptions, StoreOptions,
 };
 
 const MATRIX_SPEC: &str = "grid2d:96";
@@ -54,8 +60,12 @@ struct ScenarioResult {
 }
 
 fn spawn_backend(workers: usize) -> RunningServer {
+    spawn_backend_at("127.0.0.1:0", workers, None)
+}
+
+fn spawn_backend_at(addr: &str, workers: usize, persist: Option<StoreOptions>) -> RunningServer {
     Server::spawn(ServerOptions {
-        addr: "127.0.0.1:0".to_string(),
+        addr: addr.to_string(),
         workers,
         engine: EngineOptions {
             exec: ExecMode::Threaded,
@@ -66,6 +76,7 @@ fn spawn_backend(workers: usize) -> RunningServer {
             },
             ..EngineOptions::default()
         },
+        persist,
         ..ServerOptions::default()
     })
     .expect("bind backend")
@@ -147,6 +158,99 @@ fn run_scenario(a: &trisolv_matrix::CscMatrix, nbackends: usize, kill: bool) -> 
     }
 }
 
+struct RejoinResult {
+    warm: bool,
+    rejoin_ms: f64,
+    recovered: u64,
+    load_hits: u64,
+}
+
+/// Rejoin latency: one backend behind the router holds the benched factor;
+/// it is shut down and a replacement comes up on the same address. `warm`
+/// gives both incarnations a `--persist-dir`, so the replacement recovers
+/// the factor from disk and the router's rejoin-replay LOAD is a cache hit
+/// instead of a refactorization. Measured: replacement spawn → first
+/// successful solve through the router.
+fn run_rejoin_scenario(a: &trisolv_matrix::CscMatrix, warm: bool) -> RejoinResult {
+    let persist_dir = std::env::temp_dir().join(format!(
+        "trisolv-bench-rejoin-{}-{}",
+        std::process::id(),
+        warm
+    ));
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    let persist = || warm.then(|| StoreOptions::new(&persist_dir));
+
+    let server = spawn_backend_at("127.0.0.1:0", 4, persist());
+    let addr = server.local_addr().to_string();
+    let router = Router::spawn(RouterOptions {
+        backends: vec![addr.clone()],
+        replication: 1,
+        probe_interval: Duration::from_millis(20),
+        ..RouterOptions::default()
+    })
+    .expect("bind router");
+    assert!(router.wait_healthy(1, Duration::from_secs(10)));
+    let raddr = router.local_addr().to_string();
+
+    let mut client = Client::connect(&raddr).expect("connect");
+    let loaded = client.load(a).expect("factor and cache");
+    let b = gen::random_rhs(loaded.n, 1, 9);
+    client.solve(loaded.fingerprint, b.col(0)).expect("solve");
+    if warm {
+        // wait for the write-behind snapshot to land before the kill
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let n = std::fs::read_dir(&persist_dir)
+                .map(|it| {
+                    it.flatten()
+                        .filter(|d| d.file_name().to_string_lossy().ends_with(".factor"))
+                        .count()
+                })
+                .unwrap_or(0);
+            if n >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "snapshot never landed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    server.join();
+
+    let t0 = std::time::Instant::now();
+    let replacement = spawn_backend_at(&addr, 4, persist());
+    assert!(router.wait_healthy(1, Duration::from_secs(30)));
+    let x = client
+        .solve_with_deadline(loaded.fingerprint, b.col(0), 30_000)
+        .expect("solve after rejoin");
+    let rejoin_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(x.len(), loaded.n);
+
+    // ask the replacement itself how the factor came back
+    let mut direct = Client::connect(&addr).expect("connect backend");
+    let stats = direct.stats().expect("stats");
+    let stat = |k: &str| stats.iter().find(|(key, _)| key == k).map_or(0, |p| p.1);
+    let (recovered, load_hits) = (stat("persist_recovered"), stat("load_hits"));
+    if warm {
+        assert_eq!(recovered, 1, "warm rejoin must recover the snapshot");
+        assert!(load_hits >= 1, "rejoin replay LOAD must hit the cache");
+    }
+
+    drop(client);
+    drop(direct);
+    router.join();
+    replacement.join();
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    RejoinResult {
+        warm,
+        rejoin_ms,
+        recovered,
+        load_hits,
+    }
+}
+
 fn main() {
     let spec = std::env::var("BENCH_MATRIX").unwrap_or_else(|_| MATRIX_SPEC.to_string());
     let smoke = env_or("BENCH_SMOKE", 0u32) != 0;
@@ -187,6 +291,23 @@ fn main() {
         results.push(r);
     }
 
+    println!(
+        "\n{:>8} {:>12} {:>10} {:>10}",
+        "rejoin", "latency ms", "recovered", "load_hits"
+    );
+    let mut rejoins = Vec::new();
+    for warm in [false, true] {
+        let r = run_rejoin_scenario(&a, warm);
+        println!(
+            "{:>8} {:>12.1} {:>10} {:>10}",
+            if r.warm { "warm" } else { "cold" },
+            r.rejoin_ms,
+            r.recovered,
+            r.load_hits
+        );
+        rejoins.push(r);
+    }
+
     if smoke {
         println!("\nsmoke mode: skipping BENCH_router.json");
         return;
@@ -222,6 +343,25 @@ fn main() {
             Json::Int(std::thread::available_parallelism().map_or(1, |t| t.get()) as i64),
         ),
         ("scenarios", Json::Arr(scenarios)),
+        (
+            "rejoin_scenarios",
+            Json::Arr(
+                rejoins
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            (
+                                "mode",
+                                Json::Str(if r.warm { "warm" } else { "cold" }.into()),
+                            ),
+                            ("rejoin_ms", Json::Num(r.rejoin_ms)),
+                            ("persist_recovered", Json::Int(r.recovered as i64)),
+                            ("load_hits", Json::Int(r.load_hits as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     std::fs::write("BENCH_router.json", doc.pretty()).expect("write BENCH_router.json");
     println!("\nwrote BENCH_router.json");

@@ -390,6 +390,59 @@ impl SparseCholeskySolver {
         Self::factor_with_perm_opts(a, &p, opts)
     }
 
+    /// Rebuild a solver from a matrix plus the flat numeric factor values a
+    /// snapshot persisted: the per-supernode trapezoids of a solver built
+    /// by [`Self::factor`], concatenated in supernode order
+    /// (`block(0).as_slice() ++ block(1).as_slice() ++ …`).
+    ///
+    /// Re-runs the deterministic symbolic pipeline — nested dissection,
+    /// supernode analysis, plan construction — and skips only the numeric
+    /// factorization, so the rebuilt solver is bit-identical to the one the
+    /// values were taken from: the permutation, partition, and plan are
+    /// pure functions of the matrix structure, and the values are restored
+    /// verbatim. Fails with `InvalidStructure` when the value count does
+    /// not match the partition the matrix analyzes to (a stale or foreign
+    /// snapshot).
+    pub fn from_factor_values(
+        a: &CscMatrix,
+        values: &[f64],
+        perturbations: Vec<(usize, f64)>,
+    ) -> Result<Self, MatrixError> {
+        let g = trisolv_graph::Graph::from_sym_lower(a);
+        let p = trisolv_graph::nd::nested_dissection(&g, trisolv_graph::nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(a, &p);
+        let total: usize = (0..an.part.nsup())
+            .map(|s| an.part.height(s) * an.part.width(s))
+            .sum();
+        if total != values.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "persisted factor has {} values but the matrix analyzes to {}",
+                values.len(),
+                total
+            )));
+        }
+        let mut off = 0usize;
+        let mut blocks = Vec::with_capacity(an.part.nsup());
+        for s in 0..an.part.nsup() {
+            let len = an.part.height(s) * an.part.width(s);
+            blocks.push(DenseMatrix::from_column_major(
+                an.part.height(s),
+                an.part.width(s),
+                values[off..off + len].to_vec(),
+            )?);
+            off += len;
+        }
+        let mut factor = SupernodalFactor::new(an.part, blocks);
+        factor.set_perturbations(perturbations);
+        let plan = SolvePlan::new(factor.partition())
+            .expect("internally built factors have nested supernode structure");
+        Ok(SparseCholeskySolver {
+            perm: an.perm,
+            factor,
+            plan,
+        })
+    }
+
     /// The combined permutation (fill-reducing ∘ postorder).
     pub fn perm(&self) -> &Permutation {
         &self.perm
@@ -493,6 +546,29 @@ mod tests {
             nd::nested_dissection_coords(&g, &nd::grid2d_coords(k, k, 1), nd::NdOptions::default());
         let an = analyze_with_perm(&a, &p);
         factor_supernodal(&an.pa, &an.part).unwrap()
+    }
+
+    #[test]
+    fn from_factor_values_rebuilds_bit_identical_solver() {
+        let a = gen::grid2d_laplacian(9, 9);
+        let original = SparseCholeskySolver::factor(&a).unwrap();
+        let f = original.factor_matrix();
+        let mut values = Vec::new();
+        for s in 0..f.nsup() {
+            values.extend_from_slice(f.block(s).as_slice());
+        }
+        let rebuilt =
+            SparseCholeskySolver::from_factor_values(&a, &values, f.perturbations().to_vec())
+                .unwrap();
+        let b = gen::random_rhs(81, 3, 5);
+        assert_eq!(
+            original.solve(&b).as_slice(),
+            rebuilt.solve(&b).as_slice(),
+            "recovered solver must answer bit-identically"
+        );
+        // wrong value count is a structured error, not a panic
+        let err = SparseCholeskySolver::from_factor_values(&a, &values[..values.len() - 1], vec![]);
+        assert!(matches!(err, Err(MatrixError::InvalidStructure(_))));
     }
 
     #[test]

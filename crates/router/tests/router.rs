@@ -240,3 +240,54 @@ fn dead_backend_rejoins_as_warm_standby() {
     router.join();
     replacement.join();
 }
+
+#[test]
+fn fleet_wide_evict_drops_the_retained_copy_so_rejoin_cannot_replay_it() {
+    // Regression guard: a fleet-wide EVICT must also drop the router's
+    // retained LOAD payload. If it lingered, a backend restart would get
+    // the evicted factor replayed right back — an eviction that silently
+    // un-evicts itself.
+    let (servers, addrs) = spawn_fleet(1);
+    let router = Router::spawn(router_opts(addrs, 1)).unwrap();
+    assert!(router.wait_healthy(1, Duration::from_secs(10)));
+
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+    let a = gen::grid2d_laplacian(6, 6);
+    let fp = client.load(&a).unwrap().fingerprint;
+    let reply = client.evict_detailed(fp).unwrap();
+    assert!(reply.existed);
+
+    let stats = client.stats().unwrap();
+    let retained = stats
+        .iter()
+        .find(|(k, _)| k == "router_retained_loads")
+        .unwrap()
+        .1;
+    assert_eq!(retained, 0, "EVICT must drop the retained LOAD copy");
+
+    // restart the backend on the same address; the rejoin replay must have
+    // nothing to replay, so the evicted fingerprint stays unknown
+    let addr = servers[0].local_addr();
+    for s in servers {
+        s.join();
+    }
+    let replacement = Server::spawn(ServerOptions {
+        addr: addr.to_string(),
+        ..backend_opts()
+    })
+    .unwrap();
+    assert!(router.wait_healthy(1, Duration::from_secs(10)));
+
+    let b = gen::random_rhs(36, 1, 3);
+    let mut c2 = Client::connect(router.local_addr().to_string()).unwrap();
+    let err = c2.solve_with_deadline(fp, b.col(0), 20_000).unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, Some(ErrorCode::UnknownFingerprint)),
+        other => panic!("expected an unknown-fingerprint error, got {other:?}"),
+    }
+
+    drop(client);
+    drop(c2);
+    router.join();
+    replacement.join();
+}

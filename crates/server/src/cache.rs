@@ -163,6 +163,16 @@ impl FactorEntry {
     }
 }
 
+/// Outcome of a cache insert: whether the entry was newly admitted, and
+/// which resident entries the byte budget pushed out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admitted {
+    /// `true` if the entry was not previously resident.
+    pub fresh: bool,
+    /// Fingerprints evicted by the LRU policy to make room.
+    pub evicted: Vec<Fingerprint>,
+}
+
 /// Counters and occupancy reported by `STATS`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -247,15 +257,19 @@ impl FactorCache {
 
     /// Insert an entry (most-recently-used), then evict least-recently-used
     /// *other* entries until the estimated resident size fits the budget.
-    /// Returns `false` (and keeps the resident entry) if the fingerprint was
-    /// already cached.
-    pub fn insert(&self, entry: Arc<FactorEntry>) -> bool {
+    /// The outcome reports `fresh == false` (resident entry kept) if the
+    /// fingerprint was already cached, and lists every LRU victim so the
+    /// persistence layer can delete their snapshots.
+    pub fn insert(&self, entry: Arc<FactorEntry>) -> Admitted {
         let mut g = lock_cache(&self.inner);
         g.tick += 1;
         let tick = g.tick;
         if let Some(slot) = g.map.get_mut(&entry.fingerprint) {
             slot.last_used = tick;
-            return false;
+            return Admitted {
+                fresh: false,
+                evicted: Vec::new(),
+            };
         }
         g.resident_bytes += entry.bytes;
         let new_fp = entry.fingerprint;
@@ -266,6 +280,7 @@ impl FactorCache {
                 last_used: tick,
             },
         );
+        let mut evicted = Vec::new();
         while g.resident_bytes > self.budget_bytes && g.map.len() > 1 {
             let victim = g
                 .map
@@ -277,8 +292,12 @@ impl FactorCache {
             let gone = g.map.remove(&victim).unwrap();
             g.resident_bytes -= gone.entry.bytes;
             g.evictions += 1;
+            evicted.push(victim);
         }
-        true
+        Admitted {
+            fresh: true,
+            evicted,
+        }
     }
 
     /// Swap the resident entry for `entry.fingerprint` in place, keeping
@@ -357,8 +376,8 @@ mod tests {
         let e = entry_for("grid2d:6");
         let fp = e.fingerprint;
         assert!(cache.get(fp).is_none());
-        assert!(cache.insert(Arc::clone(&e)));
-        assert!(!cache.insert(e), "re-insert reports already cached");
+        assert!(cache.insert(Arc::clone(&e)).fresh);
+        assert!(!cache.insert(e).fresh, "re-insert reports already cached");
         assert!(cache.get(fp).is_some());
         assert!(cache.peek(fp).is_some());
         let s = cache.stats();
@@ -377,7 +396,9 @@ mod tests {
         cache.insert(Arc::clone(&b));
         // Touch `a` so `b` is the LRU victim.
         assert!(cache.get(a.fingerprint).is_some());
-        cache.insert(Arc::clone(&c));
+        let admitted = cache.insert(Arc::clone(&c));
+        assert!(admitted.fresh);
+        assert_eq!(admitted.evicted, vec![b.fingerprint], "victim is reported");
         assert!(
             cache.peek(a.fingerprint).is_some(),
             "recently used survives"

@@ -28,6 +28,7 @@ use crate::batch::{BatchLane, BatchOptions, LaneError};
 use crate::cache::{CacheStats, FactorCache, FactorEntry};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
+use crate::store::FactorStore;
 
 /// Which executor runs the blocked solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -228,6 +229,15 @@ pub struct EngineStats {
     /// Frames parsed while earlier requests on the same connection were
     /// still in flight (pipelining depth signal).
     pub frames_pipelined: u64,
+    /// `LOAD`s answered from the resident cache without refactorization
+    /// (checksum verified, full pipeline skipped).
+    pub load_hits: u64,
+    /// Snapshot files committed by the persistence write-behind thread.
+    pub persist_writes: u64,
+    /// Snapshots loaded by the startup recovery scan.
+    pub persist_recovered: u64,
+    /// Snapshot files the recovery scan unlinked (torn/corrupt/stale).
+    pub persist_dropped: u64,
 }
 
 /// Factor-caching, micro-batching solve engine.
@@ -235,7 +245,9 @@ pub struct Engine {
     opts: EngineOptions,
     cache: FactorCache,
     fault: FaultPlan,
+    store: Option<Arc<FactorStore>>,
     pending: AtomicUsize,
+    load_hits: AtomicU64,
     solves_ok: AtomicU64,
     solves_err: AtomicU64,
     shed: AtomicU64,
@@ -274,11 +286,27 @@ impl Engine {
     /// A fresh engine that trips the given fault plan at its `solve` and
     /// `factor` sites.
     pub fn with_fault(opts: EngineOptions, fault: FaultPlan) -> Engine {
-        Engine {
+        Engine::with_store(opts, fault, None)
+    }
+
+    /// A fresh engine backed by an optional crash-consistent factor store.
+    /// When a store is given, its recovery scan has already classified the
+    /// on-disk snapshots; every survivor is inserted into the cache here, so
+    /// the engine starts warm — without re-running symbolic analysis *or*
+    /// numeric factorization (only the solve plan and subtree schedule are
+    /// recomputed, which DESIGN.md §12 guarantees is bit-identical).
+    pub fn with_store(
+        opts: EngineOptions,
+        fault: FaultPlan,
+        store: Option<Arc<FactorStore>>,
+    ) -> Engine {
+        let eng = Engine {
             opts,
             cache: FactorCache::new(opts.budget_bytes),
             fault,
+            store,
             pending: AtomicUsize::new(0),
+            load_hits: AtomicU64::new(0),
             solves_ok: AtomicU64::new(0),
             solves_err: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -297,7 +325,29 @@ impl Engine {
             conns_open: AtomicU64::new(0),
             conns_total: AtomicU64::new(0),
             frames_pipelined: AtomicU64::new(0),
+        };
+        if let Some(store) = eng.store.clone() {
+            // Warm restart: every snapshot that survived the recovery scan
+            // becomes a resident cache entry. The entry's integrity checksum
+            // is re-digested from the rebuilt factor, which the scan already
+            // verified equals the persisted one.
+            let threads = eng.solver_threads();
+            for rec in store.recover() {
+                let entry = Arc::new(FactorEntry::new(
+                    rec.fingerprint,
+                    rec.matrix,
+                    rec.solver,
+                    threads,
+                    BatchLane::new(eng.opts.batch),
+                ));
+                // A cache budget tighter than the disk budget can evict
+                // while warming; keep disk and RAM coherent.
+                for victim in eng.cache.insert(entry).evicted {
+                    store.delete(victim);
+                }
+            }
         }
+        eng
     }
 
     /// The engine configuration.
@@ -364,6 +414,16 @@ impl Engine {
         }
         let fingerprint = Fingerprint::of_matrix(a);
         if let Some(entry) = self.cache.peek(fingerprint) {
+            // Fast path — and what makes router rejoin replay cheap: verify
+            // the resident factor's checksum instead of re-running symbolic
+            // analysis + numeric factorization. A failed check self-heals
+            // before replying, so the OK still vouches for a good factor.
+            let entry = if entry.verify() {
+                entry
+            } else {
+                self.heal(&entry)?
+            };
+            self.load_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(LoadOutcome {
                 fingerprint,
                 n: entry.n,
@@ -397,12 +457,22 @@ impl Engine {
             BatchLane::new(self.opts.batch),
         ));
         let n = entry.n;
-        let inserted = self.cache.insert(entry);
+        let admitted = self.cache.insert(Arc::clone(&entry));
+        if let Some(store) = &self.store {
+            if admitted.fresh {
+                // write-behind: an Arc clone and a channel send; the disk
+                // work happens on the store's writer thread
+                store.save(entry);
+            }
+            for victim in &admitted.evicted {
+                store.delete(*victim);
+            }
+        }
         Ok(LoadOutcome {
             fingerprint,
             n,
             factor_nnz,
-            already_cached: !inserted,
+            already_cached: !admitted.fresh,
         })
     }
 
@@ -630,6 +700,11 @@ impl Engine {
         ));
         self.cache.replace(Arc::clone(&entry));
         self.self_heals.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            // the on-disk snapshot may be the corrupted copy (or missing);
+            // re-snapshot the healed factor
+            store.save(Arc::clone(&entry));
+        }
         Ok(entry)
     }
 
@@ -731,9 +806,28 @@ impl Engine {
         out
     }
 
-    /// Drop a cached factor. Returns whether it was resident.
+    /// Drop a cached factor (and its on-disk snapshot, when persistence is
+    /// on). Returns whether it was resident.
     pub fn evict(&self, fp: Fingerprint) -> bool {
+        if let Some(store) = &self.store {
+            store.delete(fp);
+        }
         self.cache.evict(fp)
+    }
+
+    /// The persistence store, when configured.
+    pub fn store(&self) -> Option<&Arc<FactorStore>> {
+        self.store.as_ref()
+    }
+
+    /// Block until every queued snapshot write/delete has been applied.
+    /// Called on graceful shutdown so a SIGTERM cannot strand a pending
+    /// snapshot. No-op (`true`) without a store.
+    pub fn flush_store(&self, timeout: Duration) -> bool {
+        match &self.store {
+            Some(store) => store.flush(timeout),
+            None => true,
+        }
     }
 
     /// True when every resident lane holds no in-flight state (no boarding
@@ -766,6 +860,10 @@ impl Engine {
             connections_open: self.conns_open.load(Ordering::Relaxed),
             connections_total: self.conns_total.load(Ordering::Relaxed),
             frames_pipelined: self.frames_pipelined.load(Ordering::Relaxed),
+            load_hits: self.load_hits.load(Ordering::Relaxed),
+            persist_writes: self.store.as_ref().map_or(0, |s| s.writes()),
+            persist_recovered: self.store.as_ref().map_or(0, |s| s.recovered_count()),
+            persist_dropped: self.store.as_ref().map_or(0, |s| s.dropped_count()),
         }
     }
 

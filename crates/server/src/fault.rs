@@ -30,6 +30,7 @@
 //! | `factor` | inside `LOAD` factorization                      | `panic`, `stall` |
 //! | `worker` | in the worker loop, outside all panic isolation  | `panic` |
 //! | `cache`  | cached-factor lookup on the solve path           | `torn` |
+//! | `store`  | snapshot write in the persistence thread         | `torn`, `stall`, `bitflip` |
 //!
 //! `torn` at the `write` site writes a truncated frame and then drops the
 //! connection, which is exactly what a peer crash mid-`writev` looks like;
@@ -37,7 +38,12 @@
 //! values (keeping the integrity checksum of the *original*), which is what
 //! undetected memory corruption looks like — the engine's verify cadence
 //! must catch, evict, and refactor it. `worker.panic` kills the worker
-//! thread itself, exercising the supervisor's respawn path.
+//! thread itself, exercising the supervisor's respawn path. At the `store`
+//! site, `torn` leaves a truncated snapshot at the *final* file name
+//! (a crash between `write` and `fsync`), `stall` sleeps before the write
+//! (widening the window a SIGKILL drill aims at), and `bitflip` flips one
+//! payload byte after the trailer checksum was computed (silent media
+//! corruption) — the recovery scan must discard all three without panicking.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +69,8 @@ pub enum FaultSite {
     Worker,
     /// Cached-factor lookup on the solve path (integrity drills).
     Cache,
+    /// Snapshot write in the factor-store persistence thread.
+    Store,
 }
 
 impl FaultSite {
@@ -75,9 +83,10 @@ impl FaultSite {
             "factor" => FaultSite::Factor,
             "worker" => FaultSite::Worker,
             "cache" => FaultSite::Cache,
+            "store" => FaultSite::Store,
             other => {
                 return Err(format!(
-                    "unknown fault site {other:?} (conn|read|write|solve|factor|worker|cache)"
+                    "unknown fault site {other:?} (conn|read|write|solve|factor|worker|cache|store)"
                 ))
             }
         })
@@ -92,6 +101,7 @@ impl FaultSite {
             FaultSite::Factor => "factor",
             FaultSite::Worker => "worker",
             FaultSite::Cache => "cache",
+            FaultSite::Store => "store",
         }
     }
 }
@@ -107,6 +117,9 @@ pub enum FaultAction {
     Drop,
     /// Write a truncated frame, then drop the connection.
     Torn,
+    /// Flip one payload byte after checksums were computed (silent
+    /// corruption; `store` site only).
+    BitFlip,
 }
 
 impl FaultAction {
@@ -116,6 +129,7 @@ impl FaultAction {
             FaultAction::Panic => "panic",
             FaultAction::Drop => "drop",
             FaultAction::Torn => "torn",
+            FaultAction::BitFlip => "bitflip",
         }
     }
 }
@@ -247,9 +261,10 @@ impl FaultPlan {
                 "panic" => FaultAction::Panic,
                 "drop" => FaultAction::Drop,
                 "torn" => FaultAction::Torn,
+                "bitflip" => FaultAction::BitFlip,
                 other => {
                     return Err(format!(
-                        "unknown fault action {other:?} (stall|panic|drop|torn)"
+                        "unknown fault action {other:?} (stall|panic|drop|torn|bitflip)"
                     ))
                 }
             };
@@ -260,6 +275,7 @@ impl FaultPlan {
                 FaultSite::Solve | FaultSite::Factor => &["panic", "stall"],
                 FaultSite::Worker => &["panic"],
                 FaultSite::Cache => &["torn"],
+                FaultSite::Store => &["torn", "stall", "bitflip"],
             };
             if !allowed.contains(&action.kind()) {
                 return Err(format!(
@@ -395,6 +411,8 @@ mod tests {
         let cache = FaultPlan::parse("cache.torn=every:2").unwrap();
         assert_eq!(cache.check(FaultSite::Cache), None);
         assert_eq!(cache.check(FaultSite::Cache), Some(FaultAction::Torn));
+        let store = FaultPlan::parse("store.bitflip=every:1;store.torn=every:2").unwrap();
+        assert_eq!(store.check(FaultSite::Store), Some(FaultAction::BitFlip));
     }
 
     #[test]
@@ -428,6 +446,8 @@ mod tests {
             ("read.panic=every:1", "not valid at site"),
             ("conn.torn=every:1", "not valid at site"),
             ("cache.panic=every:1", "not valid at site"),
+            ("store.drop=every:1", "not valid at site"),
+            ("solve.bitflip=every:1", "not valid at site"),
             ("seed=banana;solve.panic=every:1", "bad fault seed"),
         ] {
             let err = FaultPlan::parse(spec).unwrap_err();

@@ -87,6 +87,27 @@ impl Fingerprint {
         Fingerprint(h.a, h.b)
     }
 
+    /// Checksum of raw bytes through the same two FNV-1a lanes, folding the
+    /// length in. Whole 8-byte words are hashed as little-endian `u64`s, a
+    /// zero-padded tail word covers the remainder. This is the snapshot
+    /// trailer checksum of the on-disk factor store: any truncation,
+    /// extension, or flipped bit in the payload changes it.
+    pub fn of_bytes(bytes: &[u8]) -> Fingerprint {
+        let mut h = Hasher::new();
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            h.word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            h.word(u64::from_le_bytes(last));
+        }
+        h.word(bytes.len() as u64);
+        Fingerprint(h.a, h.b)
+    }
+
     /// The 16-byte wire encoding (big-endian lanes, lane 0 first).
     pub fn to_bytes(self) -> [u8; 16] {
         let mut b = [0u8; 16];
@@ -186,6 +207,24 @@ mod tests {
         assert_eq!(base, Fingerprint::of_value_slices([&flat[..]]));
         let longer = [1.0f64, 2.0, 3.0, 4.0, 5.0, 0.0];
         assert_ne!(base, Fingerprint::of_value_slices([&longer[..]]));
+    }
+
+    #[test]
+    fn byte_checksum_sees_truncation_extension_and_flips() {
+        let data: Vec<u8> = (0..37).collect();
+        let base = Fingerprint::of_bytes(&data);
+        assert_eq!(base, Fingerprint::of_bytes(&data), "deterministic");
+        for cut in [0, 1, 8, 17, 36] {
+            assert_ne!(base, Fingerprint::of_bytes(&data[..cut]), "cut at {cut}");
+        }
+        let mut longer = data.clone();
+        longer.push(0);
+        assert_ne!(base, Fingerprint::of_bytes(&longer), "zero-extension");
+        for i in [0, 7, 8, 36] {
+            let mut flipped = data.clone();
+            flipped[i] ^= 1;
+            assert_ne!(base, Fingerprint::of_bytes(&flipped), "flip at {i}");
+        }
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub mod loadgen;
 pub mod poller;
 pub mod protocol;
 pub mod server;
+pub mod signal;
+pub mod store;
 
 pub use batch::{BatchLane, BatchOptions, LaneError};
 pub use cache::{CacheStats, FactorCache, FactorEntry};
@@ -54,3 +56,4 @@ pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use fingerprint::Fingerprint;
 pub use loadgen::{run_load, LoadGenOptions, LoadGenReport};
 pub use server::{RunningServer, Server, ServerOptions};
+pub use store::{DropReason, FactorStore, RecoveredFactor, StoreOptions};

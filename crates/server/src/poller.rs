@@ -216,6 +216,15 @@ impl Waker {
         let mut tx = self.tx.lock().unwrap_or_else(|e| e.into_inner());
         let _ = tx.write(&[1]);
     }
+
+    /// The raw descriptor of the write half, for the signal handler: a
+    /// handler must not touch the `Mutex` (not async-signal-safe), so it
+    /// `write(2)`s its wake byte to this descriptor directly. Concurrent
+    /// one-byte writes with [`Waker::wake`] are safe — both sides only ever
+    /// append wake bytes the loop drains in bulk.
+    pub fn raw_fd(&self) -> RawFd {
+        fd_of(&*self.tx.lock().unwrap_or_else(|e| e.into_inner()))
+    }
 }
 
 /// A connected loopback socket pair: the [`Waker`] write half (shareable

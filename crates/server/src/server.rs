@@ -62,6 +62,8 @@ use crate::protocol::{
     encode_frame, err_payload, op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN,
     SOLVE_FLAG_CERTIFIED,
 };
+use crate::signal;
+use crate::store::{FactorStore, StoreOptions};
 
 /// Front-end configuration.
 #[derive(Debug, Clone)]
@@ -90,6 +92,10 @@ pub struct ServerOptions {
     /// requests on the same connection are still in flight. Past the cap
     /// the loop stops reading the socket, so flooding clients block on TCP.
     pub max_pipeline: usize,
+    /// Crash-consistent factor persistence (`--persist-dir`): snapshot
+    /// sealed cache entries to this store and warm-restart from it at
+    /// spawn. `None` (the default) keeps the cache memory-only.
+    pub persist: Option<StoreOptions>,
 }
 
 impl Default for ServerOptions {
@@ -103,6 +109,7 @@ impl Default for ServerOptions {
             deadline_cap: Duration::from_secs(30),
             max_conns: 0,
             max_pipeline: 64,
+            persist: None,
         }
     }
 }
@@ -233,7 +240,15 @@ impl Server {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::with_fault(opts.engine, opts.fault.clone()));
+        // Open the store (and run its recovery scan inside the engine)
+        // before accepting any traffic: a warm-restarted server is
+        // indistinguishable from one that never died by the time the first
+        // connection lands.
+        let store = match &opts.persist {
+            Some(p) => Some(FactorStore::open(p.clone(), opts.fault.clone())?),
+            None => None,
+        };
+        let engine = Arc::new(Engine::with_store(opts.engine, opts.fault.clone(), store));
         let shutdown = Arc::new(AtomicBool::new(false));
         let (waker, wake_rx) = poller::wake_pair()?;
         let waker = Arc::new(waker);
@@ -305,6 +320,14 @@ impl RunningServer {
         &self.engine
     }
 
+    /// Route SIGTERM/SIGINT into this server's graceful-shutdown path
+    /// (flush snapshots, drain lanes, exit the loop). Changes process-wide
+    /// signal disposition — intended for the `serve` CLI, not for
+    /// in-process test servers.
+    pub fn install_signal_handlers(&self) {
+        signal::install(self.waker.raw_fd());
+    }
+
     /// Signal shutdown without waiting.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -372,8 +395,11 @@ fn event_loop(mut ctx: LoopCtx) {
                 close_conn(&ctx, &mut conns, id);
             }
         }
-        if ctx.shutdown.load(Ordering::SeqCst) {
+        if ctx.shutdown.load(Ordering::SeqCst) || signal::shutdown_requested() {
             shutdown_drain(&ctx, &mut conns);
+            // a signal (or SHUTDOWN frame) must not strand a queued
+            // snapshot: wait for the write-behind thread to drain
+            ctx.engine.flush_store(Duration::from_secs(5));
             return; // drops jobs_tx: workers see disconnect and exit
         }
 
@@ -892,7 +918,7 @@ fn dispatch(
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 28] = [
+            let pairs: [(&str, u64); 32] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
@@ -924,6 +950,10 @@ fn dispatch(
                 ("connections_open", s.connections_open),
                 ("connections_total", s.connections_total),
                 ("frames_pipelined", s.frames_pipelined),
+                ("load_hits", s.load_hits),
+                ("persist_writes", s.persist_writes),
+                ("persist_recovered", s.persist_recovered),
+                ("persist_dropped", s.persist_dropped),
             ];
             let mut b = Builder::new().u64(pairs.len() as u64);
             for (key, val) in pairs {

@@ -1,0 +1,247 @@
+//! Durability tests for the crash-consistent factor store: snapshot
+//! round-trips, the torn-file table (every section boundary ±1), fault
+//! injection at the `store` site, byte-budget eviction, and deletion.
+//!
+//! The contract under test (DESIGN.md §16): recovery loads exactly the
+//! snapshots whose trailer checksum verifies, unlinks everything else with
+//! a counted reason, and never panics on any file content whatsoever.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use trisolv_core::SparseCholeskySolver;
+use trisolv_matrix::gen;
+use trisolv_server::batch::{BatchLane, BatchOptions};
+use trisolv_server::store::{
+    decode_snapshot, encode_snapshot, section_boundaries, DropReason, FactorStore, StoreOptions,
+};
+use trisolv_server::{FactorEntry, FaultPlan, Fingerprint};
+
+fn entry_for(spec: &str) -> Arc<FactorEntry> {
+    let a = gen::from_spec(spec).unwrap();
+    let fp = Fingerprint::of_matrix(&a);
+    let solver = SparseCholeskySolver::factor(&a).unwrap();
+    Arc::new(FactorEntry::new(
+        fp,
+        a,
+        solver,
+        2,
+        BatchLane::new(BatchOptions::default()),
+    ))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trisolv-persist-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The reason `decode_snapshot` refused `bytes` (panics if it decoded).
+fn drop_reason(bytes: &[u8], fp: Fingerprint) -> DropReason {
+    match decode_snapshot(bytes, fp) {
+        Err(r) => r,
+        Ok(_) => panic!("snapshot decoded but a drop was expected"),
+    }
+}
+
+fn snapshot_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|d| d.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".factor"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn snapshot_round_trips_through_save_and_recover() {
+    let dir = temp_dir("roundtrip");
+    let entry = entry_for("grid2d:9");
+    let fp = entry.fingerprint;
+    let b = gen::random_rhs(entry.n, 3, 11);
+    let want = entry.solver.solve(&b);
+    {
+        let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+        store.save(Arc::clone(&entry));
+        assert!(store.flush(Duration::from_secs(10)));
+        assert_eq!(store.writes(), 1);
+    }
+    assert_eq!(snapshot_files(&dir), vec![format!("{fp}.factor")]);
+
+    // a fresh store (a "restarted server") recovers it, bit-identical
+    let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+    let recovered = store.recover();
+    assert_eq!(store.recovered_count(), 1);
+    assert_eq!(store.dropped_count(), 0);
+    assert_eq!(recovered.len(), 1);
+    let rec = &recovered[0];
+    assert_eq!(rec.fingerprint, fp);
+    assert_eq!(rec.checksum, entry.checksum);
+    assert_eq!(rec.matrix, entry.matrix);
+    let got = rec.solver.solve(&b);
+    assert_eq!(got, want, "recovered factor must solve bit-identically");
+}
+
+#[test]
+fn torn_file_table_drops_every_truncation_without_panicking() {
+    let entry = entry_for("grid2d:7");
+    let fp = entry.fingerprint;
+    let bytes = encode_snapshot(&entry);
+    assert!(
+        decode_snapshot(&bytes, fp).is_ok(),
+        "pristine image decodes"
+    );
+
+    let marks = section_boundaries(&bytes);
+    assert!(marks.len() >= 5, "all sections were walked: {marks:?}");
+    assert_eq!(*marks.last().unwrap(), bytes.len());
+    for &m in &marks {
+        for cut in [m.saturating_sub(1), m, m + 1] {
+            if cut >= bytes.len() {
+                continue; // not a truncation
+            }
+            let err = drop_reason(&bytes[..cut], fp);
+            assert!(
+                matches!(err, DropReason::Torn | DropReason::Corrupt),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    // the empty file (crash before any write hit the disk)
+    assert_eq!(drop_reason(&[], fp), DropReason::Torn);
+
+    // a single flipped payload byte: the trailer checksum catches it
+    for off in [6, bytes.len() / 2, bytes.len() - 17] {
+        let mut flipped = bytes.clone();
+        flipped[off] ^= 0x01;
+        assert_eq!(drop_reason(&flipped, fp), DropReason::Torn, "flip at {off}");
+    }
+
+    // a version from the future is stale, not corrupt
+    let mut future = bytes.clone();
+    future[4] = 0xff;
+    assert_eq!(drop_reason(&future, fp), DropReason::Stale);
+
+    // wrong magic
+    let mut magic = bytes.clone();
+    magic[0] = b'X';
+    assert_eq!(drop_reason(&magic, fp), DropReason::Corrupt);
+
+    // a valid snapshot under the wrong name must not be trusted
+    let other = entry_for("grid2d:8");
+    assert_eq!(drop_reason(&bytes, other.fingerprint), DropReason::Corrupt);
+}
+
+#[test]
+fn recovery_scan_unlinks_bad_files_and_keeps_good_ones() {
+    let dir = temp_dir("scan");
+    let good = entry_for("grid2d:8");
+    let bytes = encode_snapshot(&good);
+    fs::write(dir.join(format!("{}.factor", good.fingerprint)), &bytes).unwrap();
+
+    // torn copy of a different entry, under its real name
+    let torn_entry = entry_for("grid2d:6");
+    let torn_bytes = encode_snapshot(&torn_entry);
+    fs::write(
+        dir.join(format!("{}.factor", torn_entry.fingerprint)),
+        &torn_bytes[..torn_bytes.len() * 2 / 3],
+    )
+    .unwrap();
+    // orphaned tmp debris, an empty snapshot, and an untrusted name
+    fs::write(
+        dir.join("0123456789abcdef0123456789abcdef.factor.tmp"),
+        b"x",
+    )
+    .unwrap();
+    fs::write(dir.join("00000000000000000000000000000000.factor"), b"").unwrap();
+    fs::write(dir.join("not-a-fingerprint.factor"), b"junk").unwrap();
+
+    let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+    let recovered = store.recover();
+    assert_eq!(recovered.len(), 1);
+    assert_eq!(recovered[0].fingerprint, good.fingerprint);
+    assert_eq!(store.recovered_count(), 1);
+    assert_eq!(store.dropped_count(), 4, "torn + tmp + empty + bad name");
+    assert_eq!(
+        snapshot_files(&dir),
+        vec![format!("{}.factor", good.fingerprint)],
+        "everything else was unlinked"
+    );
+}
+
+#[test]
+fn injected_store_faults_are_caught_at_recovery() {
+    // store.torn leaves a truncated file under the final name (a simulated
+    // crash between write and fsync); store.bitflip flips a payload byte
+    // after the trailer was computed (silent corruption). Both must be
+    // dropped by the next recovery scan.
+    for (spec, tag) in [
+        ("store.torn=every:1", "torn"),
+        ("store.bitflip=every:1", "flip"),
+    ] {
+        let dir = temp_dir(&format!("fault-{tag}"));
+        let entry = entry_for("grid2d:7");
+        {
+            let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::parse(spec).unwrap())
+                .unwrap();
+            store.save(Arc::clone(&entry));
+            assert!(store.flush(Duration::from_secs(10)));
+        }
+        assert_eq!(snapshot_files(&dir).len(), 1, "{tag}: file landed");
+        let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+        assert!(store.recover().is_empty(), "{tag}: snapshot must not load");
+        assert_eq!(store.dropped_count(), 1, "{tag}");
+        assert!(snapshot_files(&dir).is_empty(), "{tag}: bad file unlinked");
+    }
+}
+
+#[test]
+fn byte_budget_evicts_oldest_snapshot_first() {
+    let dir = temp_dir("budget");
+    let a = entry_for("grid2d:6");
+    let b = entry_for("grid2d:7");
+    let c = entry_for("grid2d:8");
+    // room for the two newest snapshots but not all three
+    let mut opts = StoreOptions::new(&dir);
+    opts.budget_bytes = (encode_snapshot(&b).len() + encode_snapshot(&c).len()) as u64 + 64;
+    {
+        let store = FactorStore::open(opts.clone(), FaultPlan::default()).unwrap();
+        for e in [&a, &b, &c] {
+            store.save(Arc::clone(e));
+        }
+        assert!(store.flush(Duration::from_secs(10)));
+        assert_eq!(store.writes(), 3, "eviction happens after the write");
+    }
+    let files = snapshot_files(&dir);
+    assert!(
+        !files.contains(&format!("{}.factor", a.fingerprint)),
+        "oldest evicted: {files:?}"
+    );
+    assert!(files.contains(&format!("{}.factor", c.fingerprint)));
+
+    // recovery enforces the same budget and keeps the newest survivors
+    let store = FactorStore::open(opts, FaultPlan::default()).unwrap();
+    let fps: Vec<Fingerprint> = store.recover().iter().map(|r| r.fingerprint).collect();
+    assert!(fps.contains(&c.fingerprint));
+    assert!(!fps.contains(&a.fingerprint));
+}
+
+#[test]
+fn delete_unlinks_the_snapshot() {
+    let dir = temp_dir("delete");
+    let entry = entry_for("grid2d:6");
+    let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+    store.save(Arc::clone(&entry));
+    assert!(store.flush(Duration::from_secs(10)));
+    assert_eq!(snapshot_files(&dir).len(), 1);
+    store.delete(entry.fingerprint);
+    assert!(store.flush(Duration::from_secs(10)));
+    assert!(snapshot_files(&dir).is_empty());
+    assert!(store.recover().is_empty());
+}

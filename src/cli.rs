@@ -118,6 +118,10 @@ pub enum Command {
         /// Per-connection pipelining cap (frames in flight before the event
         /// loop stops reading that socket).
         pipeline: usize,
+        /// Durable factor-store directory (empty = no persistence).
+        persist_dir: String,
+        /// Durable factor-store byte budget in MiB (0 = unbounded).
+        persist_budget_mb: usize,
     },
     /// Run the distributed-tier router in front of a backend fleet.
     Route {
@@ -188,6 +192,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20               [--verify-every N]  (factor-integrity checksum cadence; 0 = off)\n\
                  \x20               [--max-conns C]     (concurrent-connection cap; 0 = unlimited)\n\
                  \x20               [--pipeline P]      (per-connection in-flight frame cap)\n\
+                 \x20               [--persist-dir D]   (durable factor store; warm restart recovers it)\n\
+                 \x20               [--persist-budget-mb M]  (on-disk snapshot budget; 0 = unbounded)\n\
                  \x20 trisolv route [--addr A] (--backends h:p,h:p,... | --spawn N) [--replication R] [--vnodes V]\n\
                  \x20               [--deadline-cap-ms D] [--io-timeout-ms T] [--probe-ms P] [--max-conns C] [--pipeline P]\n\
                  \x20               [--retained-mb M]   (retained-LOAD replay budget for rejoining backends)\n\
@@ -279,6 +285,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut verify_every = 0u64;
             let mut max_conns = 0usize;
             let mut pipeline = 64usize;
+            let mut persist_dir = String::new();
+            let mut persist_budget_mb = 0usize;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -330,6 +338,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--pipeline" => {
                         pipeline = value.parse().map_err(|e| format!("bad --pipeline: {e}"))?
                     }
+                    "--persist-dir" => persist_dir = value.clone(),
+                    "--persist-budget-mb" => {
+                        persist_budget_mb = value
+                            .parse()
+                            .map_err(|e| format!("bad --persist-budget-mb: {e}"))?
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -338,6 +352,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             if pipeline == 0 {
                 return Err("--pipeline must be positive".to_string());
+            }
+            if persist_dir.is_empty() && persist_budget_mb != 0 {
+                return Err("--persist-budget-mb needs --persist-dir".to_string());
             }
             trisolv_server::ExecMode::parse(&exec)?;
             trisolv_server::FaultPlan::parse(&fault_spec)?;
@@ -356,6 +373,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 verify_every,
                 max_conns,
                 pipeline,
+                persist_dir,
+                persist_budget_mb,
             })
         }
         Some("route") => {
@@ -716,8 +735,19 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             verify_every,
             max_conns,
             pipeline,
+            persist_dir,
+            persist_budget_mb,
         } => {
             let fault = srv::FaultPlan::parse(fault_spec)?;
+            let persist = if persist_dir.is_empty() {
+                None
+            } else {
+                let mut p = srv::StoreOptions::new(persist_dir);
+                if *persist_budget_mb > 0 {
+                    p.budget_bytes = (*persist_budget_mb as u64) << 20;
+                }
+                Some(p)
+            };
             let opts = srv::ServerOptions {
                 addr: addr.clone(),
                 workers: *workers,
@@ -738,8 +768,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 deadline_cap: Duration::from_millis(*deadline_cap_ms),
                 max_conns: *max_conns,
                 max_pipeline: *pipeline,
+                persist,
             };
             let server = srv::Server::spawn(opts).map_err(|e| format!("cannot serve: {e}"))?;
+            // SIGTERM/SIGINT drain through the event loop's waker and exit
+            // cleanly; only the CLI installs the process-wide handler.
+            server.install_signal_handlers();
             // Announce the bound address immediately (scripts and the CI
             // smoke job parse this line), then park until a SHUTDOWN frame.
             println!(
@@ -1027,6 +1061,8 @@ mod tests {
                 verify_every: 0,
                 max_conns: 0,
                 pipeline: 64,
+                persist_dir: String::new(),
+                persist_budget_mb: 0,
             }
         );
         assert_eq!(
@@ -1060,6 +1096,10 @@ mod tests {
                 "5000",
                 "--pipeline",
                 "16",
+                "--persist-dir",
+                "/tmp/factors",
+                "--persist-budget-mb",
+                "128",
             ]))
             .unwrap(),
             Command::Serve {
@@ -1077,7 +1117,13 @@ mod tests {
                 verify_every: 64,
                 max_conns: 5000,
                 pipeline: 16,
+                persist_dir: "/tmp/factors".into(),
+                persist_budget_mb: 128,
             }
+        );
+        assert!(
+            parse_args(&strv(&["serve", "--persist-budget-mb", "8"])).is_err(),
+            "--persist-budget-mb without --persist-dir is rejected"
         );
         assert!(parse_args(&strv(&["serve", "--exec", "warp"])).is_err());
         assert!(parse_args(&strv(&["serve", "--workers", "0"])).is_err());

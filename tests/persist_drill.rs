@@ -1,0 +1,180 @@
+//! Crash drills for the durable factor store, against the real `trisolv`
+//! binary over real sockets and real signals (unix only).
+//!
+//! * `kill_dash_nine_mid_snapshot_recovers_sealed_factors` — SIGKILL the
+//!   server while its write-behind thread is mid-snapshot (a `store.stall`
+//!   fault holds the window open and a `store.torn` fault leaves a
+//!   truncated file), restart on the same directory, and demand that every
+//!   sealed snapshot is recovered, the torn one is dropped and counted,
+//!   and post-restart answers are bit-identical to the in-process solver.
+//! * `sigterm_drains_and_exits_zero` — a real SIGTERM routes through the
+//!   self-pipe into the event loop, flushes the store, and exits 0.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use trisolv_core::SparseCholeskySolver;
+use trisolv_matrix::gen;
+use trisolv_server::Client;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trisolv-drill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn `trisolv serve` with the given extra flags and return the child
+/// plus the address it announced on stdout.
+fn spawn_serve(persist_dir: &Path, extra: &[&str]) -> (Child, BufReader<ChildStdout>, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_trisolv"));
+    cmd.args([
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "4",
+        "--exec",
+        "seq",
+    ])
+    .args(["--persist-dir", &persist_dir.to_string_lossy()])
+    .args(extra)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    let mut child = cmd.spawn().unwrap();
+    let mut out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    out.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("trisolv-server listening on"),
+        "unexpected announce line: {line:?}"
+    );
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .expect("announce line carries the address")
+        .to_string();
+    (child, out, addr)
+}
+
+fn snapshot_count(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter(|d| d.file_name().to_string_lossy().ends_with(".factor"))
+        .count()
+}
+
+fn stat(stats: &[(String, u64)], key: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing stat {key}"))
+        .1
+}
+
+#[test]
+fn kill_dash_nine_mid_snapshot_recovers_sealed_factors() {
+    let dir = temp_dir("kill9");
+    // Arrivals at the store site, in save order: 1–3 write clean
+    // snapshots, the 4th is torn (truncated file under its final name —
+    // a crash between write and fsync), and the 5th stalls for 60 s.
+    // The SIGKILL lands inside that stall, so the 5th never reaches disk.
+    let (mut child, _out, addr) = spawn_serve(
+        &dir,
+        &[
+            "--fault-spec",
+            "store.stall=every:5,ms:60000;store.torn=every:4",
+        ],
+    );
+
+    let mats: Vec<_> = (6..=10)
+        .map(|k| gen::from_spec(&format!("grid2d:{k}")).unwrap())
+        .collect();
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(5)).unwrap();
+    let fps: Vec<_> = mats
+        .iter()
+        .map(|a| client.load(a).unwrap().fingerprint)
+        .collect();
+
+    // wait until snapshots 1–4 are on disk (the 4th is the torn one) and
+    // the writer is parked inside the 5th save's stall
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while snapshot_count(&dir) < 4 {
+        assert!(Instant::now() < deadline, "snapshots never landed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap(); // SIGKILL: no destructors, no flush
+    child.wait().unwrap();
+
+    // restart on the same directory, no faults this time
+    let (mut child2, mut out2, addr2) = spawn_serve(&dir, &[]);
+    let mut client = Client::connect_retry(addr2.as_str(), Duration::from_secs(5)).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "persist_recovered"), 3, "sealed snapshots");
+    assert!(
+        stat(&stats, "persist_dropped") >= 1,
+        "torn snapshot counted"
+    );
+    assert_eq!(stat(&stats, "entries"), 3, "recovered factors are resident");
+
+    // SOLVE the three recovered factors without re-LOADing; the `seq`
+    // executor answers bit-identically to the in-process solver
+    for (a, fp) in mats.iter().zip(&fps).take(3) {
+        let b = gen::random_rhs(a.ncols(), 1, 77);
+        let x = client.solve(*fp, b.col(0)).unwrap();
+        let expect = SparseCholeskySolver::factor(a).unwrap().solve(&b);
+        assert_eq!(x, expect.col(0), "recovered factor answer drifted");
+    }
+    // a re-LOAD of a recovered matrix is the fast path: no refactorization
+    let reloaded = client.load(&mats[0]).unwrap();
+    assert!(reloaded.already_cached);
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "load_hits"), 1);
+    assert_eq!(stat(&stats, "misses"), 0, "nothing was refactored");
+
+    // the torn and never-written factors are gone
+    for fp in &fps[3..] {
+        assert!(client.solve(*fp, &vec![1.0; 100]).is_err());
+    }
+
+    client.shutdown_server().unwrap();
+    let status = child2.wait().unwrap();
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut out2, &mut rest).unwrap();
+    assert!(rest.contains("server shut down cleanly"), "{rest:?}");
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let dir = temp_dir("sigterm");
+    let (mut child, mut out, addr) = spawn_serve(&dir, &[]);
+    let a = gen::from_spec("grid2d:8").unwrap();
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(5)).unwrap();
+    client.load(&a).unwrap();
+
+    // a real SIGTERM: the handler's wake byte must pull the event loop out
+    // of poll(2), drain, flush the store, and exit 0
+    let rc = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(rc.success());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(Instant::now() < deadline, "server ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut out, &mut rest).unwrap();
+    assert!(rest.contains("server shut down cleanly"), "{rest:?}");
+    assert_eq!(snapshot_count(&dir), 1, "the pending snapshot was flushed");
+}
