@@ -9,7 +9,10 @@
 //! `n×k` solves amortizes the per-request cost. A final configuration
 //! re-runs the k=8 sweep under an injected fault plan (torn replies,
 //! dropped connections, executor panics) with retrying clients, reporting
-//! the goodput the hardening ladder preserves. A connection sweep then
+//! the goodput the hardening ladder preserves. A cache-density row then
+//! round-robins a six-grid working set at a fixed byte budget calibrated
+//! to hold the whole set in `f32` but not in `f64`, reporting each lane's
+//! LOAD hit rate (DESIGN.md §17). A connection sweep then
 //! holds 30 / 300 / 3000 mostly-idle connections against the event-driven
 //! front end while a small active fleet keeps soliciting solves — the
 //! claim under test is that idle fan-in costs (almost) nothing and active
@@ -28,7 +31,7 @@ use trisolv_bench::timing::Json;
 use trisolv_matrix::gen;
 use trisolv_server::{
     BatchOptions, Client, ClientOptions, EngineOptions, ExecMode, FaultPlan, LoadGenOptions,
-    Server, ServerOptions,
+    PrecisionMode, Server, ServerOptions,
 };
 
 const MATRIX_SPEC: &str = "grid2d:112";
@@ -213,6 +216,157 @@ fn run_conn_sweep(a: &trisolv_matrix::CscMatrix, conns: usize) -> SweepResult {
     }
 }
 
+/// Working set for the cache-hit-rate row: six distinct well-conditioned
+/// grids of near-equal factor size, round-robined against a byte budget
+/// sized (by calibration) to hold all six in `f32` but not in `f64`.
+const DENSITY_SPECS: [&str; 6] = [
+    "grid2d:84x78",
+    "grid2d:84x80",
+    "grid2d:84x82",
+    "grid2d:84x84",
+    "grid2d:84x86",
+    "grid2d:84x88",
+];
+const DENSITY_ROUNDS: usize = 3;
+
+struct DensityResult {
+    precision: &'static str,
+    hits: u64,
+    misses: u64,
+    entries: usize,
+    resident_bytes: usize,
+    demoted: u64,
+    us_per_request: f64,
+}
+
+/// One lane of the cache-hit-rate row: LOAD + single-RHS SOLVE for each
+/// matrix in round-robin order against the real server at `budget` bytes.
+/// A LOAD that finds the factor resident is the hit path; a miss
+/// refactors (and, in the `f32` lane, demotes) before answering. Hit and
+/// miss counts cover only the timed passes, after one warmup pass.
+fn run_cache_density(
+    mats: &[trisolv_matrix::CscMatrix],
+    budget: usize,
+    precision: PrecisionMode,
+) -> DensityResult {
+    let server = Server::spawn(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        engine: EngineOptions {
+            budget_bytes: budget,
+            precision,
+            ..EngineOptions::default()
+        },
+        ..ServerOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let rhs: Vec<_> = mats
+        .iter()
+        .map(|a| gen::random_rhs(a.ncols(), 1, 5))
+        .collect();
+    for a in mats {
+        client.load(a).expect("warmup load");
+    }
+    // `already_cached` on each timed LOAD is the per-request hit signal
+    // (the engine's cache.misses counter only covers SOLVE lookups)
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..DENSITY_ROUNDS {
+        for (k, a) in mats.iter().enumerate() {
+            let loaded = client.load(a).expect("load");
+            if loaded.already_cached {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            client
+                .solve(loaded.fingerprint, rhs[k].col(0))
+                .expect("solve");
+        }
+    }
+    let us_per_request = t0.elapsed().as_secs_f64() * 1e6 / (DENSITY_ROUNDS * mats.len()) as f64;
+    let stats = server.engine().stats();
+    client.shutdown_server().expect("shutdown");
+    server.join();
+    DensityResult {
+        precision: match precision {
+            PrecisionMode::F64 => "f64",
+            PrecisionMode::F32 => "f32",
+            PrecisionMode::Auto => "auto",
+        },
+        hits,
+        misses,
+        entries: stats.cache.entries,
+        resident_bytes: stats.cache.resident_bytes,
+        demoted: stats.demoted_factors,
+        us_per_request,
+    }
+}
+
+/// Calibrate the density budget: resident bytes of the full working set
+/// in the `f32` lane, measured on an uncapped server, plus 2 % headroom.
+fn density_budget(mats: &[trisolv_matrix::CscMatrix]) -> usize {
+    let server = Server::spawn(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        engine: EngineOptions {
+            budget_bytes: usize::MAX,
+            precision: PrecisionMode::F32,
+            ..EngineOptions::default()
+        },
+        ..ServerOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    for a in mats {
+        client.load(a).expect("load");
+    }
+    let total = server.engine().stats().cache.resident_bytes;
+    client.shutdown_server().expect("shutdown");
+    server.join();
+    total + total / 50
+}
+
+/// Run both lanes of the cache-hit-rate row, print the table, and return
+/// (budget, results) for the JSON doc.
+fn run_density_section() -> (usize, Vec<DensityResult>) {
+    let mats: Vec<_> = DENSITY_SPECS
+        .iter()
+        .map(|s| gen::from_spec(s).expect("matrix spec"))
+        .collect();
+    let budget = density_budget(&mats);
+    println!(
+        "\ncache hit rate at a {:.1} MiB budget ({} grids round-robin, {} timed requests):",
+        budget as f64 / (1024.0 * 1024.0),
+        mats.len(),
+        DENSITY_ROUNDS * mats.len()
+    );
+    println!(
+        "{:>6} {:>6} {:>8} {:>9} {:>10} {:>13} {:>12}",
+        "lane", "hits", "misses", "hit rate", "resident", "bytes", "us/request"
+    );
+    let mut out = Vec::new();
+    for precision in [PrecisionMode::F64, PrecisionMode::F32] {
+        let r = run_cache_density(&mats, budget, precision);
+        println!(
+            "{:>6} {:>6} {:>8} {:>8.0}% {:>10} {:>13} {:>12.0}",
+            r.precision,
+            r.hits,
+            r.misses,
+            100.0 * r.hits as f64 / (r.hits + r.misses).max(1) as f64,
+            r.entries,
+            r.resident_bytes,
+            r.us_per_request
+        );
+        out.push(r);
+    }
+    (budget, out)
+}
+
 /// Connection levels to sweep, from `BENCH_CONN_SWEEP` (comma-separated)
 /// or the [`CONN_SWEEP`] default.
 fn sweep_levels() -> Vec<usize> {
@@ -363,6 +517,8 @@ fn main() {
         "retrying clients should absorb every injected fault"
     );
 
+    let (density_budget, density) = run_density_section();
+
     let sweep = run_sweep_section(&a);
     let sweep_json: Vec<Json> = sweep
         .iter()
@@ -432,6 +588,50 @@ fn main() {
                 ("reconnects", Json::Int(faulted.reconnects as i64)),
                 ("exec_fallbacks", Json::Int(faulted.exec_fallbacks as i64)),
                 ("faults_injected", Json::Int(faulted.faults_injected as i64)),
+            ]),
+        ),
+        (
+            "cache_density",
+            Json::obj(vec![
+                (
+                    "working_set",
+                    Json::Arr(
+                        DENSITY_SPECS
+                            .iter()
+                            .map(|s| Json::Str((*s).to_string()))
+                            .collect(),
+                    ),
+                ),
+                ("budget_bytes", Json::Int(density_budget as i64)),
+                (
+                    "timed_requests",
+                    Json::Int((DENSITY_ROUNDS * DENSITY_SPECS.len()) as i64),
+                ),
+                (
+                    "lanes",
+                    Json::Arr(
+                        density
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("precision", Json::Str(r.precision.to_string())),
+                                    ("load_hits", Json::Int(r.hits as i64)),
+                                    ("load_misses", Json::Int(r.misses as i64)),
+                                    (
+                                        "hit_rate",
+                                        Json::Num(
+                                            r.hits as f64 / (r.hits + r.misses).max(1) as f64,
+                                        ),
+                                    ),
+                                    ("entries", Json::Int(r.entries as i64)),
+                                    ("resident_bytes", Json::Int(r.resident_bytes as i64)),
+                                    ("demoted_factors", Json::Int(r.demoted as i64)),
+                                    ("us_per_request", Json::Num(r.us_per_request)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         ("connection_sweep", Json::Arr(sweep_json)),

@@ -54,6 +54,9 @@ pub mod tree;
 pub use driver::{ParallelSolver, ParallelSolverOptions};
 pub use mapping::SubcubeMapping;
 pub use plan::{PlanError, SolvePlan, SubtreeSchedule};
-pub use refine::{certified_solve, CertifiedSolve, CertifyOptions, RefineOptions, SolveReport};
-pub use seq::SparseCholeskySolver;
+pub use refine::{
+    certified_solve, certified_solve_mixed, CertifiedSolve, CertifyOptions, MixedSolve,
+    RefineOptions, SolveReport,
+};
+pub use seq::{SparseCholeskySolver, SparseCholeskySolverF32};
 pub use threaded::{default_threads, SolveWorkspace, ThreadedSolver};

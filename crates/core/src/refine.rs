@@ -26,7 +26,7 @@
 //! reported for the scaled system *is* the ω of the original one.
 
 use crate::estimate;
-use crate::seq::SparseCholeskySolver;
+use crate::seq::{SparseCholeskySolver, SparseCholeskySolverF32};
 use trisolv_factor::seqchol::FactorOptions;
 use trisolv_matrix::{equilibrate_sym, validate_finite, CscMatrix, DenseMatrix, MatrixError};
 
@@ -155,6 +155,70 @@ pub fn refine(
     ))
 }
 
+/// Iteratively refine against the original `f64` matrix using a **demoted
+/// `f32` factor** for every triangular solve — the mixed-precision hot
+/// path. Residuals are always formed in `f64` against `a`; only the
+/// `A⁻¹`-application runs in the narrow lane.
+///
+/// Unlike [`refine`], the first correction sweep is applied
+/// *unconditionally*: an `f32` direct solve carries ~`1e-7` relative
+/// error and never meets a `1e-10` componentwise target, so measuring ω
+/// before the first sweep only buys two wasted SpMVs. `omega_history`
+/// therefore starts at the ω *after* the first sweep and `iterations`
+/// counts that sweep (it is ≥ 1 on every call).
+///
+/// A result with `report.certified == false` means the narrow factor
+/// cannot carry the refinement to the target (severe ill-conditioning:
+/// `κ(A)·ε_f32 ≳ 1`); callers fall back to an `f64` refactorization — see
+/// [`certified_solve_mixed`]. Never a panic, never a silent bad answer.
+pub fn refine_mixed(
+    solver: &SparseCholeskySolverF32,
+    a: &CscMatrix,
+    b: &DenseMatrix,
+    opts: &RefineOptions,
+) -> Result<(DenseMatrix, SolveReport), MatrixError> {
+    validate_finite("rhs", b.as_slice())?;
+    let mut x = solver.solve(b);
+    let r = a.residual_sym_lower(&x, b)?;
+    let dx = solver.solve(&r);
+    x.axpy(1.0, &dx).expect("same shape");
+    let mut omega = componentwise_backward_error(a, &x, b)?;
+    let mut history = vec![omega];
+    let mut iterations = 1usize;
+    while omega > opts.target && iterations < opts.max_iters && omega.is_finite() {
+        let r = a.residual_sym_lower(&x, b)?;
+        let dx = solver.solve(&r);
+        let mut xn = x.clone();
+        xn.axpy(1.0, &dx).expect("same shape");
+        let on = componentwise_backward_error(a, &xn, b)?;
+        // NaN-safe "failed to improve" test: a NaN ω also ends the loop
+        if on.partial_cmp(&omega) != Some(std::cmp::Ordering::Less) {
+            break;
+        }
+        x = xn;
+        let stagnated = on > 0.5 * omega;
+        omega = on;
+        history.push(omega);
+        iterations += 1;
+        if stagnated {
+            break;
+        }
+    }
+    let certified = omega <= opts.target;
+    Ok((
+        x,
+        SolveReport {
+            iterations,
+            backward_error: omega,
+            certified,
+            omega_history: history,
+            perturbations: solver.factor_matrix().perturbations().len(),
+            scaling_ratio: None,
+            condition_estimate: None,
+        },
+    ))
+}
+
 /// Policy for the end-to-end certified pipeline ([`certified_solve`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CertifyOptions {
@@ -235,6 +299,86 @@ pub fn certified_solve(
         None => xs,
     };
     Ok(CertifiedSolve { x, report })
+}
+
+/// A certified solution from the mixed-precision pipeline
+/// ([`certified_solve_mixed`]).
+#[derive(Debug, Clone)]
+pub struct MixedSolve {
+    /// The solution in the original (unscaled) variables.
+    pub x: DenseMatrix,
+    /// What the pipeline did and how good the answer is. When
+    /// `fell_back` is set this reports the `f64` lane that produced the
+    /// answer, not the abandoned `f32` attempt.
+    pub report: SolveReport,
+    /// `true` when the `f32` lane stagnated short of the certificate and
+    /// the pipeline transparently refactored in `f64`. A fallback is a
+    /// counted outcome, never an error.
+    pub fell_back: bool,
+}
+
+/// End-to-end **mixed-precision** certified solve of `A·X = B`: factor in
+/// `f64`, demote the factor to `f32` (halving the resident bytes the
+/// solve streams), then run [`refine_mixed`] — `f32` triangular solves,
+/// `f64` residuals — to the same componentwise certificate as
+/// [`certified_solve`]. If the narrow lane stagnates short of the target,
+/// the pipeline transparently refactors in `f64` and refines there
+/// (`fell_back = true`); the caller always gets either a certified answer
+/// or an honest `certified == false` report from the wide lane.
+///
+/// The `f64` factor is dropped as soon as it is demoted — deliberately
+/// mirroring cache residency in the server tier, where only the narrow
+/// factor stays resident and a fallback really does refactor.
+pub fn certified_solve_mixed(
+    a: &CscMatrix,
+    b: &DenseMatrix,
+    opts: &CertifyOptions,
+) -> Result<MixedSolve, MatrixError> {
+    validate_finite("rhs", b.as_slice())?;
+    let scaling = if opts.scale {
+        Some(equilibrate_sym(a)?)
+    } else {
+        validate_finite("matrix values", a.values())?;
+        None
+    };
+    let work_a = scaling.as_ref().map_or(a, |s| &s.scaled);
+    let fopts = FactorOptions {
+        regularize: opts.regularize,
+        beta: opts.beta,
+    };
+    let solver32 = {
+        let solver = SparseCholeskySolver::factor_opts(work_a, fopts)?;
+        solver.demote()
+        // f64 factor dropped here: only the narrow lane stays resident
+    };
+    let work_b = match &scaling {
+        Some(s) => s.scale_rhs(b)?,
+        None => b.clone(),
+    };
+    let (xs, report32) = refine_mixed(&solver32, work_a, &work_b, &opts.refine)?;
+    let (xs, mut report, fell_back) = if report32.certified {
+        (xs, report32, false)
+    } else {
+        let solver = SparseCholeskySolver::factor_opts(work_a, fopts)?;
+        let (xw, repw) = refine(&solver, work_a, &work_b, &opts.refine)?;
+        (xw, repw, true)
+    };
+    report.scaling_ratio = scaling.as_ref().map(|s| s.ratio());
+    if opts.condition {
+        // estimate on a fresh f64 factor: the narrow factor would skew the
+        // Hager–Higham probe solves
+        let est = SparseCholeskySolver::factor_opts(work_a, fopts)?;
+        report.condition_estimate = Some(estimate::condition_estimate(work_a, est.factor_matrix()));
+    }
+    let x = match &scaling {
+        Some(s) => s.unscale_solution(&xs)?,
+        None => xs,
+    };
+    Ok(MixedSolve {
+        x,
+        report,
+        fell_back,
+    })
 }
 
 #[cfg(test)]
@@ -353,6 +497,77 @@ mod tests {
             refine(&solver, &a, &b, &RefineOptions::default()),
             Err(MatrixError::NonFinite { .. })
         ));
+    }
+
+    #[test]
+    fn mixed_refine_certifies_well_conditioned_systems() {
+        for a in [gen::grid2d_laplacian(16, 16), gen::fem2d(8, 8, 3)] {
+            let n = a.ncols();
+            let solver = SparseCholeskySolver::factor(&a).unwrap();
+            let solver32 = solver.demote();
+            let x_true = gen::random_rhs(n, 2, 11);
+            let b = a.spmv_sym_lower(&x_true).unwrap();
+            let (x, rep) = refine_mixed(&solver32, &a, &b, &RefineOptions::default()).unwrap();
+            assert!(rep.certified, "ω = {}", rep.backward_error);
+            assert!(rep.backward_error <= 1e-10);
+            assert!(rep.iterations >= 1, "first sweep is unconditional");
+            assert!(x.max_abs_diff(&x_true).unwrap() < 1e-7);
+            // deterministic: same inputs, same bits
+            let (x2, rep2) = refine_mixed(&solver32, &a, &b, &RefineOptions::default()).unwrap();
+            assert_eq!(x.as_slice(), x2.as_slice());
+            assert_eq!(rep.omega_history, rep2.omega_history);
+        }
+    }
+
+    #[test]
+    fn mixed_pipeline_falls_back_on_near_singular_matrix_and_still_certifies() {
+        // smallest eigenvalue exactly 1e-12: κ ≈ 1e13 is *spectral*
+        // ill-conditioning (no diagonal scaling fixes it). Refinement on
+        // the demoted factor stagnates near ω ≈ 1e-7 — backward-error
+        // refinement is forgiving, but not thirteen decades forgiving —
+        // while the f64 lane (κ·ε₆₄ ≈ 2e-3) still converges, so the
+        // pipeline must transparently refactor and certify there.
+        let a = gen::rank_deficient_grid(12, 12, 1e-12);
+        let x_true = gen::random_rhs(144, 1, 3);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        let out = certified_solve_mixed(&a, &b, &CertifyOptions::default()).unwrap();
+        assert!(out.fell_back, "f32 lane should stagnate at κ ≈ 1e13");
+        assert!(out.report.certified, "ω = {}", out.report.backward_error);
+        let r = a.residual_sym_lower(&out.x, &b).unwrap();
+        assert!(r.norm_max() / b.norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn equilibration_composes_with_demotion() {
+        // the same graded matrix, scaled first: equilibration tames the
+        // value range before demotion, so the narrow lane certifies
+        // without falling back
+        let a = gen::graded_diagonal(80, 10);
+        let x_true = gen::random_rhs(80, 1, 3);
+        let b = a.spmv_sym_lower(&x_true).unwrap();
+        let opts = CertifyOptions {
+            scale: true,
+            condition: true,
+            ..CertifyOptions::default()
+        };
+        let out = certified_solve_mixed(&a, &b, &opts).unwrap();
+        assert!(!out.fell_back, "equilibration should rescue the f32 lane");
+        assert!(out.report.certified, "ω = {}", out.report.backward_error);
+        assert!(out.report.scaling_ratio.unwrap() > 1e3);
+        assert!(out.report.condition_estimate.unwrap() >= 1.0);
+        let r = a.residual_sym_lower(&out.x, &b).unwrap();
+        assert!(r.norm_max() / b.norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_zero_rhs_certifies_after_one_free_sweep() {
+        let a = gen::grid2d_laplacian(4, 4);
+        let b = DenseMatrix::zeros(16, 1);
+        let out = certified_solve_mixed(&a, &b, &CertifyOptions::default()).unwrap();
+        assert!(out.report.certified);
+        assert!(!out.fell_back);
+        assert_eq!(out.report.backward_error, 0.0);
+        assert!(out.x.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

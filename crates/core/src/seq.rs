@@ -12,7 +12,7 @@
 //! thread count.
 
 use crate::plan::SolvePlan;
-use trisolv_factor::{blas, seqchol, SupernodalFactor};
+use trisolv_factor::{blas, seqchol, FScalar, FactorBlocks, SupernodalFactor, SupernodalFactorF32};
 use trisolv_graph::Permutation;
 use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError};
 
@@ -20,16 +20,17 @@ use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError};
 /// [`forward_with_plan`]: dense triangle solve on the top block, then the
 /// rectangle update `w_below −= L21 · w_top` (top copied out so the GEMM
 /// sees disjoint operand slices). Exactly mirrors the threaded executor's
-/// `forward_body`.
-fn forward_snode_body(
-    blk: &DenseMatrix,
+/// `forward_body`. Generic over the factor's storage scalar; the `f64`
+/// instantiation is the pre-generic code verbatim.
+fn forward_snode_body<S: FScalar>(
+    blk: &[S],
     ns: usize,
     t: usize,
     nrhs: usize,
-    w: &mut [f64],
-    top_copy: &mut [f64],
+    w: &mut [S],
+    top_copy: &mut [S],
 ) {
-    blas::trsm_lower_left(blk.as_slice(), ns, w, ns, t, nrhs);
+    blas::trsm_lower_left(blk, ns, w, ns, t, nrhs);
     if ns > t {
         for r in 0..nrhs {
             top_copy[r * t..(r + 1) * t].copy_from_slice(&w[r * ns..r * ns + t]);
@@ -37,7 +38,7 @@ fn forward_snode_body(
         blas::gemm_update(
             &mut w[t..],
             ns,
-            &blk.as_slice()[t..],
+            &blk[t..],
             ns,
             &top_copy[..t * nrhs],
             t,
@@ -134,7 +135,7 @@ pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
                 }
             }
         }
-        forward_snode_body(blk, ns, t, nrhs, w, &mut top_copy);
+        forward_snode_body(blk.as_slice(), ns, t, nrhs, w, &mut top_copy);
         for r in 0..nrhs {
             let yc = y.col_mut(r);
             for (k, &gi) in rows[..t].iter().enumerate() {
@@ -150,6 +151,20 @@ pub fn forward(f: &SupernodalFactor, b: &DenseMatrix) -> DenseMatrix {
 /// per-solve overhead is just the arena fill. Bit-identical to
 /// [`forward`].
 pub fn forward_with_plan(f: &SupernodalFactor, plan: &SolvePlan, b: &DenseMatrix) -> DenseMatrix {
+    forward_with_plan_any(f, plan, b)
+}
+
+/// [`forward_with_plan`] over any storage precision. The right-hand side
+/// and output stay `f64`; the per-supernode arithmetic runs in the
+/// factor's scalar `F::S`. For `S = f64` the conversions are identities
+/// and the result is bit-identical to the pre-generic code; for `S = f32`
+/// every published value widens exactly, so re-narrowing downstream (the
+/// backward gather) recovers the same bits.
+pub fn forward_with_plan_any<F: FactorBlocks>(
+    f: &F,
+    plan: &SolvePlan,
+    b: &DenseMatrix,
+) -> DenseMatrix {
     let n = plan.n();
     let nrhs = b.ncols();
     assert_eq!(b.nrows(), n, "rhs must have n rows");
@@ -169,19 +184,22 @@ pub fn forward_with_plan(f: &SupernodalFactor, plan: &SolvePlan, b: &DenseMatrix
         rows_total += plan.height(s);
         max_t = max_t.max(plan.width(s));
     }
-    let mut arena = vec![0.0f64; rows_total * nrhs];
-    let mut top_copy = vec![0.0f64; max_t * nrhs];
+    let mut arena = vec![F::S::ZERO; rows_total * nrhs];
+    let mut top_copy = vec![F::S::ZERO; max_t * nrhs];
 
     for s in 0..nsup {
         let ns = plan.height(s);
         let cols = plan.cols(s);
         let t = cols.len();
-        let blk = f.block(s);
+        let blk = f.values(s);
         let (done, rest) = arena.split_at_mut(off[s] * nrhs);
         let w = &mut rest[..ns * nrhs];
         for r in 0..nrhs {
-            w[r * ns..r * ns + t].copy_from_slice(&b.col(r)[cols.clone()]);
-            w[r * ns + t..(r + 1) * ns].fill(0.0);
+            let bc = &b.col(r)[cols.clone()];
+            for (k, &bv) in bc.iter().enumerate() {
+                w[r * ns + k] = F::S::from_f64(bv);
+            }
+            w[r * ns + t..(r + 1) * ns].fill(F::S::ZERO);
         }
         for &c in plan.children(s) {
             let nsc = plan.height(c);
@@ -198,7 +216,10 @@ pub fn forward_with_plan(f: &SupernodalFactor, plan: &SolvePlan, b: &DenseMatrix
         }
         forward_snode_body(blk, ns, t, nrhs, w, &mut top_copy);
         for r in 0..nrhs {
-            y.col_mut(r)[cols.clone()].copy_from_slice(&w[r * ns..r * ns + t]);
+            let yc = &mut y.col_mut(r)[cols.clone()];
+            for (k, yv) in yc.iter_mut().enumerate() {
+                *yv = w[r * ns + k].to_f64();
+            }
         }
     }
     y
@@ -211,6 +232,15 @@ pub fn forward_with_plan(f: &SupernodalFactor, plan: &SolvePlan, b: &DenseMatrix
 /// rectangle product from the top `t` right-hand-side entries, and solve
 /// the transposed dense triangle (paper §2.2).
 pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
+    backward_any(f, y)
+}
+
+/// [`backward`] over any storage precision. Solved values ride in the
+/// `f64` output; the rectangle gather re-narrows them with `from_f64`,
+/// which is exact for values that originated in `F::S` — so the narrow
+/// lane is as deterministic as the wide one, and the `f64` instantiation
+/// is bit-identical to the pre-generic code.
+pub fn backward_any<F: FactorBlocks>(f: &F, y: &DenseMatrix) -> DenseMatrix {
     let part = f.partition();
     let n = part.n();
     let nrhs = y.ncols();
@@ -218,42 +248,60 @@ pub fn backward(f: &SupernodalFactor, y: &DenseMatrix) -> DenseMatrix {
     let mut x = DenseMatrix::zeros(n, nrhs);
 
     let max_h = (0..part.nsup()).map(|s| part.height(s)).max().unwrap_or(0);
-    let mut work = DenseMatrix::zeros(max_h, nrhs);
+    let max_b = (0..part.nsup())
+        .map(|s| part.height(s) - part.width(s))
+        .max()
+        .unwrap_or(0);
+    let mut work = vec![F::S::ZERO; max_h * nrhs];
+    let mut below = vec![F::S::ZERO; max_b * nrhs];
 
     for s in (0..part.nsup()).rev() {
         let rows = part.rows(s);
         let t = part.width(s);
         let ns = rows.len();
-        let blk = f.block(s);
+        let blk = f.values(s);
         // w_top = y[cols]; w_top -= L21ᵀ · x[below]
         for r in 0..nrhs {
             let yc = y.col(r);
-            let wc = work.col_mut(r);
+            let wc = &mut work[r * max_h..];
             for (k, &gi) in rows[..t].iter().enumerate() {
-                wc[k] = yc[gi];
+                wc[k] = F::S::from_f64(yc[gi]);
             }
         }
         if ns > t {
+            // Gather the (already solved) below-rows once, then apply the
+            // rectangle with the blocked kernel. Each inner product keeps
+            // the scalar loop's single-accumulator ascending-row order, so
+            // the bits are unchanged — but the narrowing conversion runs
+            // once per row instead of once per (row, column), and the
+            // kernel's register blocking gives the dots four-way ILP.
+            let nb = ns - t;
             for r in 0..nrhs {
                 let xc = x.col(r);
-                let wc = work.col_mut(r);
-                for k in 0..t {
-                    let lcol = &blk.col(k)[t..ns];
-                    let mut sum = 0.0;
-                    for (off, &gi) in rows[t..].iter().enumerate() {
-                        sum += lcol[off] * xc[gi];
-                    }
-                    wc[k] -= sum;
+                let bl = &mut below[r * nb..(r + 1) * nb];
+                for (i, &gi) in rows[t..].iter().enumerate() {
+                    bl[i] = F::S::from_f64(xc[gi]);
                 }
             }
+            blas::gemm_tn_update(
+                &mut work,
+                max_h,
+                &blk[t..],
+                ns,
+                &below[..nb * nrhs],
+                nb,
+                t,
+                nrhs,
+                nb,
+            );
         }
         // solve L11ᵀ x_top = w_top
-        blas::trsm_lower_trans_left(blk.as_slice(), ns, work.as_mut_slice(), max_h, t, nrhs);
+        blas::trsm_lower_trans_left(blk, ns, &mut work, max_h, t, nrhs);
         for r in 0..nrhs {
             let xc = x.col_mut(r);
-            let wc = work.col(r);
+            let wc = &work[r * max_h..];
             for (k, &gi) in rows[..t].iter().enumerate() {
-                xc[gi] = wc[k];
+                xc[gi] = wc[k].to_f64();
             }
         }
     }
@@ -530,6 +578,107 @@ impl SparseCholeskySolver {
         }
         x
     }
+
+    /// Demote the solver's factor to `f32` storage, keeping the
+    /// permutation and solve plan (both precision-independent). The `f64`
+    /// factor is not retained — the caller decides whether to keep it
+    /// (mixed-precision refinement only needs the original matrix).
+    pub fn demote(&self) -> SparseCholeskySolverF32 {
+        SparseCholeskySolverF32 {
+            perm: self.perm.clone(),
+            factor: self.factor.demote(),
+            plan: self.plan.clone(),
+        }
+    }
+}
+
+/// [`SparseCholeskySolver`] with the factor stored in `f32`: half the
+/// factor bytes per solve sweep on the bandwidth-bound substitution path.
+/// Built by [`SparseCholeskySolver::demote`] (factorization always runs
+/// in `f64`) or rebuilt from a persisted snapshot via
+/// [`Self::from_factor_values`]. A direct solve carries roughly
+/// single-precision accuracy; `refine::refine_mixed` certifies it back to
+/// the `f64` ω ≤ target standard against the retained matrix.
+#[derive(Debug, Clone)]
+pub struct SparseCholeskySolverF32 {
+    perm: Permutation,
+    factor: SupernodalFactorF32,
+    plan: SolvePlan,
+}
+
+impl SparseCholeskySolverF32 {
+    /// Rebuild from a matrix plus the flat persisted `f32` factor values
+    /// (the f32 counterpart of
+    /// [`SparseCholeskySolver::from_factor_values`]): re-runs the
+    /// deterministic symbolic pipeline and restores the values verbatim,
+    /// so the rebuilt solver answers bit-identically to the one the
+    /// snapshot was taken from.
+    pub fn from_factor_values(
+        a: &CscMatrix,
+        values: &[f32],
+        perturbations: Vec<(usize, f64)>,
+    ) -> Result<Self, MatrixError> {
+        let g = trisolv_graph::Graph::from_sym_lower(a);
+        let p = trisolv_graph::nd::nested_dissection(&g, trisolv_graph::nd::NdOptions::default());
+        let an = seqchol::analyze_with_perm(a, &p);
+        let factor = SupernodalFactorF32::from_flat_values(an.part, values, perturbations)?;
+        let plan = SolvePlan::new(factor.partition())
+            .expect("internally built factors have nested supernode structure");
+        Ok(SparseCholeskySolverF32 {
+            perm: an.perm,
+            factor,
+            plan,
+        })
+    }
+
+    /// The combined permutation (fill-reducing ∘ postorder).
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// The f32 supernodal factor (in the permuted index space).
+    pub fn factor_matrix(&self) -> &SupernodalFactorF32 {
+        &self.factor
+    }
+
+    /// Mutable factor access for integrity drills; normal solves never
+    /// mutate the factor.
+    pub fn factor_matrix_mut(&mut self) -> &mut SupernodalFactorF32 {
+        &mut self.factor
+    }
+
+    /// The solve plan (structure shared with the f64 solver).
+    pub fn plan(&self) -> &SolvePlan {
+        &self.plan
+    }
+
+    /// Solve `A·X ≈ B` through the f32 factor. Input and output are `f64`;
+    /// all per-supernode arithmetic runs in `f32`. Deterministic: the same
+    /// `b` always yields the same bits.
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        let n = self.factor.n();
+        assert_eq!(b.nrows(), n);
+        let nrhs = b.ncols();
+        let mut pb = DenseMatrix::zeros(n, nrhs);
+        for r in 0..nrhs {
+            let src = b.col(r);
+            let dst = pb.col_mut(r);
+            for i in 0..n {
+                dst[self.perm.apply(i)] = src[i];
+            }
+        }
+        let py = forward_with_plan_any(&self.factor, &self.plan, &pb);
+        let px = backward_any(&self.factor, &py);
+        let mut x = DenseMatrix::zeros(n, nrhs);
+        for r in 0..nrhs {
+            let src = px.col(r);
+            let dst = x.col_mut(r);
+            for i in 0..n {
+                dst[i] = src[self.perm.apply(i)];
+            }
+        }
+        x
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +717,49 @@ mod tests {
         );
         // wrong value count is a structured error, not a panic
         let err = SparseCholeskySolver::from_factor_values(&a, &values[..values.len() - 1], vec![]);
+        assert!(matches!(err, Err(MatrixError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn demoted_solver_solves_to_f32_accuracy() {
+        for (name, a) in [
+            ("grid2d", gen::grid2d_laplacian(9, 7)),
+            ("grid3d", gen::grid3d_laplacian(4, 4, 4)),
+            ("fem2d", gen::fem2d(5, 4, 3)),
+        ] {
+            let n = a.ncols();
+            let solver = SparseCholeskySolver::factor(&a).unwrap();
+            let s32 = solver.demote();
+            let x_true = gen::random_rhs(n, 2, 7);
+            let b = a.spmv_sym_lower(&x_true).unwrap();
+            let x = s32.solve(&b);
+            let err = x.max_abs_diff(&x_true).unwrap();
+            assert!(err < 1e-3, "{name}: f32-lane error {err}");
+            // deterministic: same rhs, same bits
+            assert_eq!(x.as_slice(), s32.solve(&b).as_slice(), "{name}");
+        }
+    }
+
+    #[test]
+    fn f32_from_factor_values_rebuilds_bit_identical_solver() {
+        let a = gen::grid2d_laplacian(9, 9);
+        let s32 = SparseCholeskySolver::factor(&a).unwrap().demote();
+        let f = s32.factor_matrix();
+        let mut values = Vec::new();
+        for s in 0..f.nsup() {
+            values.extend_from_slice(f.values(s));
+        }
+        let rebuilt =
+            SparseCholeskySolverF32::from_factor_values(&a, &values, f.perturbations().to_vec())
+                .unwrap();
+        let b = gen::random_rhs(81, 3, 5);
+        assert_eq!(
+            s32.solve(&b).as_slice(),
+            rebuilt.solve(&b).as_slice(),
+            "recovered f32 solver must answer bit-identically"
+        );
+        let err =
+            SparseCholeskySolverF32::from_factor_values(&a, &values[..values.len() - 1], vec![]);
         assert!(matches!(err, Err(MatrixError::InvalidStructure(_))));
     }
 

@@ -31,7 +31,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use trisolv_factor::{blas, SupernodalFactor};
+use trisolv_factor::{blas, FScalar, FactorBlocks, SupernodalFactor};
 use trisolv_matrix::DenseMatrix;
 
 pub use crate::plan::{PlanError, SolvePlan, SubtreeSchedule};
@@ -51,14 +51,24 @@ fn lock_ws<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Widen a solved column of storage-scalar values into an `f64` output
+/// slice. Identity (a plain copy) for `f64`; exact widening for `f32`.
+#[inline]
+fn publish_col<S: FScalar>(dst: &mut [f64], src: &[S]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f64();
+    }
+}
+
 /// One slot's private working storage: a contiguous arena holding the
 /// working vectors of every supernode in the slot's subtree tasks, plus a
 /// scratch block for the widest top-copy / below-gather either pass needs.
-/// Only the owning worker thread ever touches it.
-struct Arena {
-    buf: Vec<f64>,
+/// Only the owning worker thread ever touches it. Stored in the factor's
+/// scalar — the narrow lane's intermediates stay narrow.
+struct Arena<S: FScalar> {
+    buf: Vec<S>,
     rows: usize,
-    scratch: Vec<f64>,
+    scratch: Vec<S>,
     max_h: usize,
 }
 
@@ -74,13 +84,17 @@ enum Unit {
 /// roots handing their update across threads — use mutex-guarded shared
 /// buffers, uncontended except for brief child reads at gather time.
 /// Repeated solves through one workspace do not allocate.
-pub struct SolveWorkspace {
+///
+/// Generic over the factor's storage scalar (default `f64`); an `f32`
+/// factor's workspace holds `f32` buffers — the whole solve's working set
+/// halves along with the factor.
+pub struct SolveWorkspace<S: FScalar = f64> {
     nrhs: usize,
     /// Thread count of the schedule the arena layout was built for
     /// (`0` = not built yet). Schedules are deterministic per
     /// `(plan, nthreads)`, so this is the only cache key needed.
     sched_threads: usize,
-    bufs: Vec<Mutex<Vec<f64>>>,
+    bufs: Vec<Mutex<Vec<S>>>,
     /// Dependency counters for dispatch units (subtree tasks first, then
     /// top supernodes).
     deps: Vec<AtomicUsize>,
@@ -89,20 +103,20 @@ pub struct SolveWorkspace {
     task_ready: Vec<Mutex<Vec<usize>>>,
     /// Per-worker ready lists for top units; idle workers steal from any.
     top_ready: Vec<Mutex<Vec<usize>>>,
-    arenas: Vec<Arena>,
+    arenas: Vec<Arena<S>>,
     /// Row offset of each supernode inside its slot arena (`NONE` on top).
     arena_off: Vec<usize>,
     /// Slot owning each supernode's arena region (`NONE` on top).
     arena_slot: Vec<usize>,
     /// Compact work buffer for the serial backward path (`max_h` rows per
     /// right-hand side), grown lazily on first use.
-    serial_work: Vec<f64>,
+    serial_work: Vec<S>,
 }
 
-impl SolveWorkspace {
+impl<S: FScalar> SolveWorkspace<S> {
     /// Build a workspace for solves with up to `nrhs` right-hand sides.
     /// Arena layout is derived from the solver's schedule on first use.
-    pub fn new(plan: &SolvePlan, nrhs: usize) -> SolveWorkspace {
+    pub fn new(plan: &SolvePlan, nrhs: usize) -> SolveWorkspace<S> {
         SolveWorkspace {
             nrhs,
             sched_threads: 0,
@@ -127,9 +141,9 @@ impl SolveWorkspace {
         self.nrhs = nrhs;
         for a in &mut self.arenas {
             a.buf.clear();
-            a.buf.resize(a.rows * nrhs, 0.0);
+            a.buf.resize(a.rows * nrhs, S::ZERO);
             a.scratch.clear();
-            a.scratch.resize(a.max_h * nrhs, 0.0);
+            a.scratch.resize(a.max_h * nrhs, S::ZERO);
         }
     }
 
@@ -157,9 +171,9 @@ impl SolveWorkspace {
                 }
             }
             self.arenas.push(Arena {
-                buf: vec![0.0; rows * self.nrhs],
+                buf: vec![S::ZERO; rows * self.nrhs],
                 rows,
-                scratch: vec![0.0; max_h * self.nrhs],
+                scratch: vec![S::ZERO; max_h * self.nrhs],
                 max_h,
             });
         }
@@ -184,17 +198,24 @@ pub fn default_threads() -> usize {
 /// [`forward`](ThreadedSolver::forward) /
 /// [`backward`](ThreadedSolver::backward) then run allocation-free
 /// (modulo their output) through a caller-held [`SolveWorkspace`].
-pub struct ThreadedSolver<'f> {
-    factor: &'f SupernodalFactor,
+///
+/// Generic over the factor representation (default: the `f64`
+/// [`SupernodalFactor`]); instantiating with `SupernodalFactorF32` gives
+/// the mixed-precision solve lane the same subtree-mapped executor with
+/// `f32` arenas. Per-supernode operation order is precision-independent,
+/// so each lane stays bit-identical to its sequential counterpart at any
+/// thread count.
+pub struct ThreadedSolver<'f, F: FactorBlocks = SupernodalFactor> {
+    factor: &'f F,
     plan: Cow<'f, SolvePlan>,
     schedule: Cow<'f, SubtreeSchedule>,
 }
 
-impl<'f> ThreadedSolver<'f> {
+impl<'f, F: FactorBlocks> ThreadedSolver<'f, F> {
     /// Plan solves over `factor`. Fails with a structured error if a
     /// child supernode's below-rows do not nest in its parent's pattern
     /// (the old fork-join solver walked off the end of an array instead).
-    pub fn new(factor: &'f SupernodalFactor) -> Result<ThreadedSolver<'f>, PlanError> {
+    pub fn new(factor: &'f F) -> Result<ThreadedSolver<'f, F>, PlanError> {
         let plan = SolvePlan::new(factor.partition())?;
         let schedule = plan.subtree_schedule(default_threads());
         Ok(ThreadedSolver {
@@ -212,7 +233,7 @@ impl<'f> ThreadedSolver<'f> {
     /// # Panics
     /// If `plan` was built from a different partition (order or supernode
     /// count mismatch).
-    pub fn with_plan(factor: &'f SupernodalFactor, plan: &'f SolvePlan) -> ThreadedSolver<'f> {
+    pub fn with_plan(factor: &'f F, plan: &'f SolvePlan) -> ThreadedSolver<'f, F> {
         assert_eq!(plan.n(), factor.n(), "plan/factor order mismatch");
         assert_eq!(
             plan.nsup(),
@@ -235,10 +256,10 @@ impl<'f> ThreadedSolver<'f> {
     /// # Panics
     /// If `plan` or `schedule` were built for a different partition.
     pub fn with_plan_schedule(
-        factor: &'f SupernodalFactor,
+        factor: &'f F,
         plan: &'f SolvePlan,
         schedule: &'f SubtreeSchedule,
-    ) -> ThreadedSolver<'f> {
+    ) -> ThreadedSolver<'f, F> {
         assert_eq!(plan.n(), factor.n(), "plan/factor order mismatch");
         assert_eq!(
             plan.nsup(),
@@ -261,7 +282,7 @@ impl<'f> ThreadedSolver<'f> {
     /// `1` yields a single whole-forest task: fully sequential, zero
     /// synchronization. Rebuilds the subtree schedule if the width
     /// changes.
-    pub fn with_threads(mut self, nthreads: usize) -> ThreadedSolver<'f> {
+    pub fn with_threads(mut self, nthreads: usize) -> ThreadedSolver<'f, F> {
         let nthreads = nthreads.max(1);
         if self.schedule.nthreads() != nthreads {
             self.schedule = Cow::Owned(self.plan.subtree_schedule(nthreads));
@@ -286,7 +307,7 @@ impl<'f> ThreadedSolver<'f> {
 
     /// A workspace sized for `nrhs` right-hand sides, with the arena
     /// layout for this solver's schedule already built.
-    pub fn workspace(&self, nrhs: usize) -> SolveWorkspace {
+    pub fn workspace(&self, nrhs: usize) -> SolveWorkspace<F::S> {
         let mut ws = SolveWorkspace::new(&self.plan, nrhs);
         ws.ensure_schedule(&self.plan, &self.schedule);
         ws
@@ -301,7 +322,12 @@ impl<'f> ThreadedSolver<'f> {
     }
 
     /// Solve `L·Y = B` into `y` through `ws`, allocation-free.
-    pub fn forward_into(&self, b: &DenseMatrix, ws: &mut SolveWorkspace, y: &mut DenseMatrix) {
+    pub fn forward_into(
+        &self,
+        b: &DenseMatrix,
+        ws: &mut SolveWorkspace<F::S>,
+        y: &mut DenseMatrix,
+    ) {
         let n = self.plan.n();
         let nrhs = b.ncols();
         assert_eq!(b.nrows(), n, "rhs must have n rows");
@@ -320,19 +346,24 @@ impl<'f> ThreadedSolver<'f> {
             if self.publishes_forward(s) {
                 let buf = lock_ws(&ws.bufs[s]);
                 for r in 0..nrhs {
-                    y.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+                    publish_col(&mut y.col_mut(r)[cols.clone()], &buf[r * ns..r * ns + t]);
                 }
             } else {
                 let w = &ws.arenas[ws.arena_slot[s]].buf[ws.arena_off[s] * nrhs..];
                 for r in 0..nrhs {
-                    y.col_mut(r)[cols.clone()].copy_from_slice(&w[r * ns..r * ns + t]);
+                    publish_col(&mut y.col_mut(r)[cols.clone()], &w[r * ns..r * ns + t]);
                 }
             }
         }
     }
 
     /// Solve `Lᵀ·X = Y` into `x` through `ws`, allocation-free.
-    pub fn backward_into(&self, y: &DenseMatrix, ws: &mut SolveWorkspace, x: &mut DenseMatrix) {
+    pub fn backward_into(
+        &self,
+        y: &DenseMatrix,
+        ws: &mut SolveWorkspace<F::S>,
+        x: &mut DenseMatrix,
+    ) {
         let n = self.plan.n();
         let nrhs = y.ncols();
         assert_eq!(y.nrows(), n, "rhs must have n rows");
@@ -351,8 +382,10 @@ impl<'f> ThreadedSolver<'f> {
                 .map(|s| self.plan.height(s))
                 .max()
                 .unwrap_or(0);
-            if ws.serial_work.len() < max_h * nrhs {
-                ws.serial_work.resize(max_h * nrhs, 0.0);
+            // first max_h·nrhs is the per-supernode work panel, the rest is
+            // a gather buffer for solved below-rows (height − width ≤ max_h)
+            if ws.serial_work.len() < 2 * max_h * nrhs {
+                ws.serial_work.resize(2 * max_h * nrhs, F::S::ZERO);
             }
             self.backward_serial(y, nrhs, max_h, &mut ws.serial_work, x);
             return;
@@ -365,26 +398,26 @@ impl<'f> ThreadedSolver<'f> {
             if self.schedule.task_of(s).is_none() {
                 let buf = lock_ws(&ws.bufs[s]);
                 for r in 0..nrhs {
-                    x.col_mut(r)[cols.clone()].copy_from_slice(&buf[r * ns..r * ns + t]);
+                    publish_col(&mut x.col_mut(r)[cols.clone()], &buf[r * ns..r * ns + t]);
                 }
             } else {
                 let w = &ws.arenas[ws.arena_slot[s]].buf[ws.arena_off[s] * nrhs..];
                 for r in 0..nrhs {
-                    x.col_mut(r)[cols.clone()].copy_from_slice(&w[r * ns..r * ns + t]);
+                    publish_col(&mut x.col_mut(r)[cols.clone()], &w[r * ns..r * ns + t]);
                 }
             }
         }
     }
 
     /// Solve `L·Y = B` through `ws`, allocating only the output.
-    pub fn forward_with(&self, b: &DenseMatrix, ws: &mut SolveWorkspace) -> DenseMatrix {
+    pub fn forward_with(&self, b: &DenseMatrix, ws: &mut SolveWorkspace<F::S>) -> DenseMatrix {
         let mut y = DenseMatrix::zeros(self.plan.n(), b.ncols());
         self.forward_into(b, ws, &mut y);
         y
     }
 
     /// Solve `Lᵀ·X = Y` through `ws`, allocating only the output.
-    pub fn backward_with(&self, y: &DenseMatrix, ws: &mut SolveWorkspace) -> DenseMatrix {
+    pub fn backward_with(&self, y: &DenseMatrix, ws: &mut SolveWorkspace<F::S>) -> DenseMatrix {
         let mut x = DenseMatrix::zeros(self.plan.n(), y.ncols());
         self.backward_into(y, ws, &mut x);
         x
@@ -403,27 +436,36 @@ impl<'f> ThreadedSolver<'f> {
     }
 
     /// Forward + backward through one workspace.
-    pub fn forward_backward_with(&self, b: &DenseMatrix, ws: &mut SolveWorkspace) -> DenseMatrix {
+    pub fn forward_backward_with(
+        &self,
+        b: &DenseMatrix,
+        ws: &mut SolveWorkspace<F::S>,
+    ) -> DenseMatrix {
         let y = self.forward_with(b, ws);
         self.backward_with(&y, ws)
     }
 
     /// Gather supernode `s`'s own rows of `b` into `w`'s top block and
-    /// zero the below block (the extend-add target).
-    fn gather_b(&self, s: usize, b: &DenseMatrix, nrhs: usize, w: &mut [f64]) {
+    /// zero the below block (the extend-add target). Narrows per element
+    /// when the storage scalar is narrower than `f64` (exact round-trip
+    /// for values that originated in the narrow lane).
+    fn gather_b(&self, s: usize, b: &DenseMatrix, nrhs: usize, w: &mut [F::S]) {
         let ns = self.plan.height(s);
         let cols = self.plan.cols(s);
         let t = cols.len();
         for r in 0..nrhs {
-            w[r * ns..r * ns + t].copy_from_slice(&b.col(r)[cols.clone()]);
-            w[r * ns + t..(r + 1) * ns].fill(0.0);
+            let bc = &b.col(r)[cols.clone()];
+            for (k, &bv) in bc.iter().enumerate() {
+                w[r * ns + k] = F::S::from_f64(bv);
+            }
+            w[r * ns + t..(r + 1) * ns].fill(F::S::ZERO);
         }
     }
 
     /// Extend-add child `c`'s below block (`cbuf` is its full working
     /// buffer) into parent working vector `w` (leading dimension `ns`)
     /// through the precomputed scatter map.
-    fn extend_add(&self, c: usize, nrhs: usize, w: &mut [f64], ns: usize, cbuf: &[f64]) {
+    fn extend_add(&self, c: usize, nrhs: usize, w: &mut [F::S], ns: usize, cbuf: &[F::S]) {
         let nsc = self.plan.height(c);
         let tc = self.plan.width(c);
         let scat = self.plan.scatter(c);
@@ -440,11 +482,11 @@ impl<'f> ThreadedSolver<'f> {
     /// right-hand sides: `w_top ← L11⁻¹·w_top`, then
     /// `w_below −= L21·w_top` (top copied out so the GEMM sees disjoint
     /// operand slices).
-    fn forward_body(&self, s: usize, nrhs: usize, w: &mut [f64], top_copy: &mut [f64]) {
+    fn forward_body(&self, s: usize, nrhs: usize, w: &mut [F::S], top_copy: &mut [F::S]) {
         let ns = self.plan.height(s);
         let t = self.plan.width(s);
-        let blk = self.factor.block(s);
-        blas::trsm_lower_left(blk.as_slice(), ns, w, ns, t, nrhs);
+        let blk = self.factor.values(s);
+        blas::trsm_lower_left(blk, ns, w, ns, t, nrhs);
         if ns > t {
             for r in 0..nrhs {
                 top_copy[r * t..(r + 1) * t].copy_from_slice(&w[r * ns..r * ns + t]);
@@ -452,7 +494,7 @@ impl<'f> ThreadedSolver<'f> {
             blas::gemm_update(
                 &mut w[t..],
                 ns,
-                &blk.as_slice()[t..],
+                &blk[t..],
                 ns,
                 &top_copy[..t * nrhs],
                 t,
@@ -466,12 +508,12 @@ impl<'f> ThreadedSolver<'f> {
     /// One fine-grained forward unit: a supernode above the cut. All of
     /// its children are above the cut too or are publishing subtree
     /// roots, so every operand lives in a shared buffer.
-    fn forward_top(&self, s: usize, b: &DenseMatrix, nrhs: usize, bufs: &[Mutex<Vec<f64>>]) {
+    fn forward_top(&self, s: usize, b: &DenseMatrix, nrhs: usize, bufs: &[Mutex<Vec<F::S>>]) {
         let ns = self.plan.height(s);
         let t = self.plan.width(s);
         let mut buf = lock_ws(&bufs[s]);
         buf.clear();
-        buf.resize(ns * nrhs + t * nrhs, 0.0);
+        buf.resize(ns * nrhs + t * nrhs, F::S::ZERO);
         let (w, top_copy) = buf.split_at_mut(ns * nrhs);
         self.gather_b(s, b, nrhs, w);
         for &c in self.plan.children(s) {
@@ -490,9 +532,9 @@ impl<'f> ThreadedSolver<'f> {
         task: usize,
         b: &DenseMatrix,
         nrhs: usize,
-        arena: &mut Arena,
+        arena: &mut Arena<F::S>,
         arena_off: &[usize],
-        bufs: &[Mutex<Vec<f64>>],
+        bufs: &[Mutex<Vec<F::S>>],
         hook: Option<&(dyn Fn(usize) + Sync)>,
     ) {
         let plan = &*self.plan;
@@ -507,7 +549,7 @@ impl<'f> ThreadedSolver<'f> {
             if self.publishes_forward(s) {
                 let mut sb = lock_ws(&bufs[s]);
                 sb.clear();
-                sb.resize(ns * nrhs + t * nrhs, 0.0);
+                sb.resize(ns * nrhs + t * nrhs, F::S::ZERO);
                 let (w, top_copy) = sb.split_at_mut(ns * nrhs);
                 self.gather_b(s, b, nrhs, w);
                 for &c in plan.children(s) {
@@ -533,19 +575,22 @@ impl<'f> ThreadedSolver<'f> {
     /// One fine-grained backward unit: gather solved ancestor values from
     /// the parent's shared buffer, apply the transposed rectangle, solve
     /// the transposed triangle, republish full height for the children.
-    fn backward_top(&self, s: usize, y: &DenseMatrix, nrhs: usize, bufs: &[Mutex<Vec<f64>>]) {
+    fn backward_top(&self, s: usize, y: &DenseMatrix, nrhs: usize, bufs: &[Mutex<Vec<F::S>>]) {
         let plan = &*self.plan;
         let ns = plan.height(s);
         let cols = plan.cols(s);
         let t = cols.len();
         let nb = ns - t;
-        let blk = self.factor.block(s);
+        let blk = self.factor.values(s);
         let mut buf = lock_ws(&bufs[s]);
         buf.clear();
-        buf.resize(ns * nrhs + nb * nrhs, 0.0);
+        buf.resize(ns * nrhs + nb * nrhs, F::S::ZERO);
         let (w, below) = buf.split_at_mut(ns * nrhs);
         for r in 0..nrhs {
-            w[r * ns..r * ns + t].copy_from_slice(&y.col(r)[cols.clone()]);
+            let yc = &y.col(r)[cols.clone()];
+            for (k, &yv) in yc.iter().enumerate() {
+                w[r * ns + k] = F::S::from_f64(yv);
+            }
         }
         if nb > 0 {
             let p = plan.parent(s).expect("validated: non-roots only");
@@ -561,9 +606,9 @@ impl<'f> ThreadedSolver<'f> {
                     }
                 }
             }
-            blas::gemm_tn_update(w, ns, &blk.as_slice()[t..], ns, below, nb, t, nrhs, nb);
+            blas::gemm_tn_update(w, ns, &blk[t..], ns, below, nb, t, nrhs, nb);
         }
-        blas::trsm_lower_trans_left(blk.as_slice(), ns, w, ns, t, nrhs);
+        blas::trsm_lower_trans_left(blk, ns, w, ns, t, nrhs);
         for r in 0..nrhs {
             w[r * ns + t..(r + 1) * ns].copy_from_slice(&below[r * nb..(r + 1) * nb]);
         }
@@ -578,9 +623,9 @@ impl<'f> ThreadedSolver<'f> {
         task: usize,
         y: &DenseMatrix,
         nrhs: usize,
-        arena: &mut Arena,
+        arena: &mut Arena<F::S>,
         arena_off: &[usize],
-        bufs: &[Mutex<Vec<f64>>],
+        bufs: &[Mutex<Vec<F::S>>],
         hook: Option<&(dyn Fn(usize) + Sync)>,
     ) {
         let plan = &*self.plan;
@@ -594,13 +639,16 @@ impl<'f> ThreadedSolver<'f> {
             let cols = plan.cols(s);
             let t = cols.len();
             let nb = ns - t;
-            let blk = self.factor.block(s);
+            let blk = self.factor.values(s);
             let off = arena_off[s] * nrhs;
             let end = off + ns * nrhs;
             let (head, tail) = buf.split_at_mut(end);
             let w = &mut head[off..];
             for r in 0..nrhs {
-                w[r * ns..r * ns + t].copy_from_slice(&y.col(r)[cols.clone()]);
+                let yc = &y.col(r)[cols.clone()];
+                for (k, &yv) in yc.iter().enumerate() {
+                    w[r * ns + k] = F::S::from_f64(yv);
+                }
             }
             let below = &mut scratch[..nb * nrhs];
             if nb > 0 {
@@ -627,9 +675,9 @@ impl<'f> ThreadedSolver<'f> {
                         }
                     }
                 }
-                blas::gemm_tn_update(w, ns, &blk.as_slice()[t..], ns, below, nb, t, nrhs, nb);
+                blas::gemm_tn_update(w, ns, &blk[t..], ns, below, nb, t, nrhs, nb);
             }
-            blas::trsm_lower_trans_left(blk.as_slice(), ns, w, ns, t, nrhs);
+            blas::trsm_lower_trans_left(blk, ns, w, ns, t, nrhs);
             for r in 0..nrhs {
                 w[r * ns + t..(r + 1) * ns].copy_from_slice(&below[r * nb..(r + 1) * nb]);
             }
@@ -649,43 +697,54 @@ impl<'f> ThreadedSolver<'f> {
         y: &DenseMatrix,
         nrhs: usize,
         max_h: usize,
-        work: &mut [f64],
+        work: &mut [F::S],
         x: &mut DenseMatrix,
     ) {
         let part = self.factor.partition();
+        let (work, below) = work.split_at_mut(max_h * nrhs);
         for s in (0..part.nsup()).rev() {
             let rows = part.rows(s);
             let t = part.width(s);
             let ns = rows.len();
-            let blk = self.factor.block(s);
+            let blk = self.factor.values(s);
             for r in 0..nrhs {
                 let yc = y.col(r);
                 let wc = &mut work[r * max_h..];
                 for (k, &gi) in rows[..t].iter().enumerate() {
-                    wc[k] = yc[gi];
+                    wc[k] = F::S::from_f64(yc[gi]);
                 }
             }
             if ns > t {
-                // ancestors sit later in postorder, so x[gi] is solved
+                // ancestors sit later in postorder, so x[gi] is solved:
+                // gather them once, then let the blocked kernel run the
+                // same single-accumulator ascending-row dots with one
+                // narrowing conversion per row instead of per (row, col)
+                let nb = ns - t;
                 for r in 0..nrhs {
                     let xc = x.col(r);
-                    let wc = &mut work[r * max_h..];
-                    for (k, wk) in wc.iter_mut().enumerate().take(t) {
-                        let lcol = &blk.col(k)[t..ns];
-                        let mut sum = 0.0;
-                        for (off, &gi) in rows[t..].iter().enumerate() {
-                            sum += lcol[off] * xc[gi];
-                        }
-                        *wk -= sum;
+                    let bl = &mut below[r * nb..(r + 1) * nb];
+                    for (i, &gi) in rows[t..].iter().enumerate() {
+                        bl[i] = F::S::from_f64(xc[gi]);
                     }
                 }
+                blas::gemm_tn_update(
+                    work,
+                    max_h,
+                    &blk[t..],
+                    ns,
+                    &below[..nb * nrhs],
+                    nb,
+                    t,
+                    nrhs,
+                    nb,
+                );
             }
-            blas::trsm_lower_trans_left(blk.as_slice(), ns, work, max_h, t, nrhs);
+            blas::trsm_lower_trans_left(blk, ns, work, max_h, t, nrhs);
             for r in 0..nrhs {
                 let xc = x.col_mut(r);
                 let wc = &work[r * max_h..];
                 for (k, &gi) in rows[..t].iter().enumerate() {
-                    xc[gi] = wc[k];
+                    xc[gi] = wc[k].to_f64();
                 }
             }
         }
@@ -696,7 +755,7 @@ impl<'f> ThreadedSolver<'f> {
     /// processing (test seam for panic containment).
     fn run(
         &self,
-        ws: &mut SolveWorkspace,
+        ws: &mut SolveWorkspace<F::S>,
         forward: bool,
         rhs: &DenseMatrix,
         nrhs: usize,
@@ -1138,6 +1197,40 @@ mod tests {
             // thread count → identical bits, not just close values
             assert_eq!(got.as_slice(), expect.as_slice(), "nthreads {nthreads}");
         }
+    }
+
+    #[test]
+    fn f32_threaded_bit_identical_to_f32_seq_at_any_thread_count() {
+        // the f32 lane keeps the bit-identity contract of the f64 lane:
+        // every supernode runs identical arithmetic whether executed by
+        // the sequential solver or any number of pool threads
+        let a = gen::fem2d(6, 5, 2);
+        let f = build(&a).demote();
+        let plan = SolvePlan::new(f.partition()).unwrap();
+        let b = gen::random_rhs(f.n(), 3, 9);
+        let seq_y = seq::forward_with_plan_any(&f, &plan, &b);
+        let seq_x = seq::backward_any(&f, &seq_y);
+        for nthreads in [1usize, 2, 4] {
+            let solver = ThreadedSolver::new(&f).unwrap().with_threads(nthreads);
+            let mut ws = solver.workspace(3);
+            let y = solver.forward_with(&b, &mut ws);
+            assert_eq!(y.as_slice(), seq_y.as_slice(), "nthreads {nthreads}");
+            let x = solver.backward_with(&y, &mut ws);
+            assert_eq!(x.as_slice(), seq_x.as_slice(), "nthreads {nthreads}");
+        }
+    }
+
+    #[test]
+    fn f32_threaded_solve_reaches_f32_accuracy() {
+        let a = gen::grid2d_laplacian(12, 12);
+        let f64_factor = build(&a);
+        let f = f64_factor.demote();
+        let x_true = gen::random_rhs(f.n(), 2, 7);
+        let b = f64_factor.llt_times(&x_true);
+        let solver = ThreadedSolver::new(&f).unwrap().with_threads(2);
+        let mut ws = solver.workspace(2);
+        let x = solver.forward_backward_with(&b, &mut ws);
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-3);
     }
 
     #[test]

@@ -23,18 +23,19 @@
 //! sum — so results are bit-identical whatever the blocking or RHS count
 //! (a property the solve service's batching layer relies on).
 
+use crate::fscalar::FScalar;
 use trisolv_matrix::MatrixError;
 
 /// Split four consecutive columns `j..j+4` of a column-major buffer with
 /// leading dimension `ld` into disjoint mutable column slices of length `m`.
 #[inline]
 #[allow(clippy::type_complexity)]
-fn four_cols_mut(
-    x: &mut [f64],
+fn four_cols_mut<S: FScalar>(
+    x: &mut [S],
     ld: usize,
     j: usize,
     m: usize,
-) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+) -> (&mut [S], &mut [S], &mut [S], &mut [S]) {
     let block = &mut x[j * ld..j * ld + 3 * ld + m];
     let (c0, rest) = block.split_at_mut(ld);
     let (c1, rest) = rest.split_at_mut(ld);
@@ -43,12 +44,17 @@ fn four_cols_mut(
 }
 
 /// `C ← C − A·B` where `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
-pub fn gemm_update(
-    c: &mut [f64],
+///
+/// Generic over the storage scalar: the `f64` instantiation is the
+/// factorization/solve workhorse, the `f32` one serves the demoted-factor
+/// solve lane. Operation order is identical in both, so each lane is
+/// bit-identical to its own one-column reference.
+pub fn gemm_update<S: FScalar>(
+    c: &mut [S],
     ldc: usize,
-    a: &[f64],
+    a: &[S],
     lda: usize,
-    b: &[f64],
+    b: &[S],
     ldb: usize,
     m: usize,
     n: usize,
@@ -67,7 +73,7 @@ pub fn gemm_update(
             let b1 = b[l + 1];
             let b2 = b[l + 2];
             let b3 = b[l + 3];
-            if b0 != 0.0 && b1 != 0.0 && b2 != 0.0 && b3 != 0.0 {
+            if b0 != S::ZERO && b1 != S::ZERO && b2 != S::ZERO && b3 != S::ZERO {
                 let (a0, rest) = a[l * lda..l * lda + 3 * lda + m].split_at(lda);
                 let (a1, rest) = rest.split_at(lda);
                 let (a2, a3) = rest.split_at(lda);
@@ -82,7 +88,7 @@ pub fn gemm_update(
             } else {
                 // rare: preserve the per-l zero-skip of the scalar kernel
                 for (ll, bl) in [(l, b0), (l + 1, b1), (l + 2, b2), (l + 3, b3)] {
-                    if bl == 0.0 {
+                    if bl == S::ZERO {
                         continue;
                     }
                     let a_col = &a[ll * lda..ll * lda + m];
@@ -95,7 +101,7 @@ pub fn gemm_update(
         }
         while l < k {
             let bl = b[l];
-            if bl != 0.0 {
+            if bl != S::ZERO {
                 let a_col = &a[l * lda..l * lda + m];
                 for i in 0..m {
                     c_col[i] -= a_col[i] * bl;
@@ -116,7 +122,7 @@ pub fn gemm_update(
             let b1 = b[l + (j + 1) * ldb];
             let b2 = b[l + (j + 2) * ldb];
             let b3 = b[l + (j + 3) * ldb];
-            if b0 != 0.0 && b1 != 0.0 && b2 != 0.0 && b3 != 0.0 {
+            if b0 != S::ZERO && b1 != S::ZERO && b2 != S::ZERO && b3 != S::ZERO {
                 for i in 0..m {
                     let ai = a_col[i];
                     c0[i] -= ai * b0;
@@ -133,7 +139,7 @@ pub fn gemm_update(
                     (&mut *c2, b2),
                     (&mut *c3, b3),
                 ] {
-                    if bb == 0.0 {
+                    if bb == S::ZERO {
                         continue;
                     }
                     for i in 0..m {
@@ -147,7 +153,7 @@ pub fn gemm_update(
     while j < n {
         for l in 0..k {
             let blj = b[l + j * ldb];
-            if blj == 0.0 {
+            if blj == S::ZERO {
                 continue;
             }
             let a_col = &a[l * lda..l * lda + m];
@@ -194,12 +200,12 @@ pub fn gemm_nt_update(
 /// (`k = n_s − t` below-rows, `m = t` columns) and `B = x_below`, it
 /// subtracts `L21ᵀ·x_below` from the top block in one blocked pass. Both
 /// inner products run down columns of `A` and `B` (unit stride).
-pub fn gemm_tn_update(
-    c: &mut [f64],
+pub fn gemm_tn_update<S: FScalar>(
+    c: &mut [S],
     ldc: usize,
-    a: &[f64],
+    a: &[S],
     lda: usize,
-    b: &[f64],
+    b: &[S],
     ldb: usize,
     m: usize,
     n: usize,
@@ -217,7 +223,7 @@ pub fn gemm_tn_update(
             let (a0, rest) = a[i * lda..i * lda + 3 * lda + k].split_at(lda);
             let (a1, rest) = rest.split_at(lda);
             let (a2, a3) = rest.split_at(lda);
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut s0, mut s1, mut s2, mut s3) = (S::ZERO, S::ZERO, S::ZERO, S::ZERO);
             for l in 0..k {
                 let bl = b_col[l];
                 s0 += a0[l] * bl;
@@ -233,7 +239,7 @@ pub fn gemm_tn_update(
         }
         while i < m {
             let a_col = &a[i * lda..i * lda + k];
-            let mut sum = 0.0;
+            let mut sum = S::ZERO;
             for l in 0..k {
                 sum += a_col[l] * b_col[l];
             }
@@ -252,7 +258,7 @@ pub fn gemm_tn_update(
         let b3 = &b[(j + 3) * ldb..(j + 3) * ldb + k];
         for i in 0..m {
             let a_col = &a[i * lda..i * lda + k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut s0, mut s1, mut s2, mut s3) = (S::ZERO, S::ZERO, S::ZERO, S::ZERO);
             for l in 0..k {
                 let al = a_col[l];
                 s0 += al * b0[l];
@@ -271,7 +277,7 @@ pub fn gemm_tn_update(
         let b_col = &b[j * ldb..j * ldb + k];
         for i in 0..m {
             let a_col = &a[i * lda..i * lda + k];
-            let mut sum = 0.0;
+            let mut sum = S::ZERO;
             for l in 0..k {
                 sum += a_col[l] * b_col[l];
             }
@@ -379,7 +385,14 @@ pub fn potrf_lower_reg(
 
 /// `X ← L⁻¹·X` where `L` is `m×m` lower-triangular (leading dim `ldl`) and
 /// `X` is `m×n` (leading dim `ldx`): forward substitution on a block.
-pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
+pub fn trsm_lower_left<S: FScalar>(
+    l: &[S],
+    ldl: usize,
+    x: &mut [S],
+    ldx: usize,
+    m: usize,
+    n: usize,
+) {
     debug_assert!(ldl >= m && ldx >= m);
     if n == 1 {
         // single-RHS fast path: the column update is a bounds-check-free
@@ -389,7 +402,7 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
             let l_col = &l[k * ldl..k * ldl + m];
             let xk = x_col[k] / l_col[k];
             x_col[k] = xk;
-            if xk == 0.0 {
+            if xk == S::ZERO {
                 continue;
             }
             for (xi, &lik) in x_col[k + 1..].iter_mut().zip(&l_col[k + 1..]) {
@@ -414,7 +427,7 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
             x1[k] = k1;
             x2[k] = k2;
             x3[k] = k3;
-            if k0 != 0.0 && k1 != 0.0 && k2 != 0.0 && k3 != 0.0 {
+            if k0 != S::ZERO && k1 != S::ZERO && k2 != S::ZERO && k3 != S::ZERO {
                 for i in k + 1..m {
                     let lik = l_col[i];
                     x0[i] -= lik * k0;
@@ -431,7 +444,7 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
                     (&mut *x2, k2),
                     (&mut *x3, k3),
                 ] {
-                    if xk == 0.0 {
+                    if xk == S::ZERO {
                         continue;
                     }
                     for i in k + 1..m {
@@ -447,7 +460,7 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
         for k in 0..m {
             let xk = x_col[k] / l[k + k * ldl];
             x_col[k] = xk;
-            if xk == 0.0 {
+            if xk == S::ZERO {
                 continue;
             }
             for i in k + 1..m {
@@ -460,7 +473,14 @@ pub fn trsm_lower_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usiz
 
 /// `X ← L⁻ᵀ·X` where `L` is `m×m` lower-triangular and `X` is `m×n`:
 /// backward substitution on a block.
-pub fn trsm_lower_trans_left(l: &[f64], ldl: usize, x: &mut [f64], ldx: usize, m: usize, n: usize) {
+pub fn trsm_lower_trans_left<S: FScalar>(
+    l: &[S],
+    ldl: usize,
+    x: &mut [S],
+    ldx: usize,
+    m: usize,
+    n: usize,
+) {
     debug_assert!(ldl >= m && ldx >= m);
     if n == 1 {
         // single-RHS fast path: sliced single-accumulator dot per row, the
@@ -1147,6 +1167,108 @@ mod tests {
                 x_ref[(k, 0)] = s / l[(k, k)];
             }
             assert_eq!(x_fast.as_slice(), x_ref.as_slice(), "trsm_t m={m}");
+        }
+    }
+
+    #[test]
+    fn f32_kernels_blocked_bit_identical_to_single_column() {
+        // The f32 monomorphization must satisfy the same contract as f64:
+        // blocked multi-column execution matches the one-column kernel bit
+        // for bit, per column. (The mixed-precision solve lane's
+        // determinism rests on this.)
+        let m = 9;
+        let k = 6;
+        let to32 =
+            |d: &DenseMatrix| -> Vec<f32> { d.as_slice().iter().map(|&v| v as f32).collect() };
+        for n in [1usize, 3, 5, 8] {
+            let big = m.max(k).max(n) + 3;
+            let a = to32(&spd(big, 61).sub_block(0, m, 0, k));
+            let bmat = to32(&spd(big, 62).sub_block(0, k, 0, n));
+            let c0 = to32(&spd(big, 63).sub_block(0, m, 0, n));
+            let mut c_all = c0.clone();
+            gemm_update(&mut c_all, m, &a, m, &bmat, k, m, n, k);
+            let mut c_one = c0.clone();
+            for j in 0..n {
+                gemm_update(
+                    &mut c_one[j * m..(j + 1) * m],
+                    m,
+                    &a,
+                    m,
+                    &bmat[j * k..(j + 1) * k],
+                    k,
+                    m,
+                    1,
+                    k,
+                );
+            }
+            assert_eq!(c_all, c_one, "f32 gemm n={n}");
+
+            let at = to32(&spd(big, 64).sub_block(0, k, 0, m));
+            let mut c_all = c0.clone();
+            gemm_tn_update(&mut c_all, m, &at, k, &bmat, k, m, n, k);
+            let mut c_one = c0.clone();
+            for j in 0..n {
+                gemm_tn_update(
+                    &mut c_one[j * m..(j + 1) * m],
+                    m,
+                    &at,
+                    k,
+                    &bmat[j * k..(j + 1) * k],
+                    k,
+                    m,
+                    1,
+                    k,
+                );
+            }
+            assert_eq!(c_all, c_one, "f32 gemm_tn n={n}");
+
+            let mut l64 = spd(m, 65);
+            potrf_lower(l64.as_mut_slice(), m, m).unwrap();
+            let l = to32(&l64);
+            for trans in [false, true] {
+                let x0 = to32(&spd(big, 66).sub_block(0, m, 0, n));
+                let mut x_all = x0.clone();
+                let mut x_one = x0.clone();
+                if trans {
+                    trsm_lower_trans_left(&l, m, &mut x_all, m, m, n);
+                } else {
+                    trsm_lower_left(&l, m, &mut x_all, m, m, n);
+                }
+                for j in 0..n {
+                    let col = &mut x_one[j * m..(j + 1) * m];
+                    if trans {
+                        trsm_lower_trans_left(&l, m, col, m, m, 1);
+                    } else {
+                        trsm_lower_left(&l, m, col, m, m, 1);
+                    }
+                }
+                assert_eq!(x_all, x_one, "f32 trsm trans={trans} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_trsm_solves_close_to_f64() {
+        // numeric sanity for the narrow lane: a demoted triangle still
+        // solves its system to f32 accuracy
+        let m = 8;
+        let a = spd(m, 71);
+        let mut l = a.clone();
+        potrf_lower(l.as_mut_slice(), m, m).unwrap();
+        let x_true = spd(m + 1, 72).sub_block(0, m, 0, 1);
+        let mut lc = l.clone();
+        for j in 0..m {
+            for i in 0..j {
+                lc[(i, j)] = 0.0;
+            }
+        }
+        let b = lc.matmul(&x_true).unwrap();
+        let l32: Vec<f32> = l.as_slice().iter().map(|&v| v as f32).collect();
+        let mut x32: Vec<f32> = b.as_slice().iter().map(|&v| v as f32).collect();
+        trsm_lower_left(&l32, m, &mut x32, m, m, 1);
+        for i in 0..m {
+            let err = (f64::from(x32[i]) - x_true[(i, 0)]).abs();
+            assert!(err < 1e-4, "row {i}: err {err}");
         }
     }
 

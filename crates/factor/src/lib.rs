@@ -25,10 +25,12 @@ pub mod blas;
 pub mod dense;
 pub mod dense_par;
 pub mod fio;
+pub mod fscalar;
 pub mod mapping;
 pub mod par;
 pub mod seqchol;
 pub mod snfactor;
 
+pub use fscalar::{FScalar, FactorBlocks};
 pub use mapping::SubcubeMapping;
-pub use snfactor::SupernodalFactor;
+pub use snfactor::{SupernodalFactor, SupernodalFactorF32};

@@ -1,6 +1,7 @@
 //! Supernodal storage of the Cholesky factor.
 
-use trisolv_matrix::{CscMatrix, DenseMatrix, TripletMatrix};
+use crate::fscalar::FactorBlocks;
+use trisolv_matrix::{CscMatrix, DenseMatrix, MatrixError, TripletMatrix};
 use trisolv_symbolic::SupernodePartition;
 
 /// The Cholesky factor `L` stored supernode by supernode.
@@ -118,6 +119,147 @@ impl SupernodalFactor {
     pub fn nnz(&self) -> usize {
         self.part.nnz()
     }
+
+    /// Total stored values across all trapezoids (Σ height·width — larger
+    /// than [`Self::nnz`] because the strict upper triangle of each top
+    /// block is stored as explicit zeros).
+    pub fn value_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.as_slice().len()).sum()
+    }
+
+    /// Demote the factor to `f32` storage (round-to-nearest per entry).
+    ///
+    /// The partition is shared structure and the recorded perturbations are
+    /// kept verbatim in `f64` — they describe what the *factorization* did,
+    /// not how the result is stored. This is the cache-insert step of the
+    /// mixed-precision lane: factorization always runs in `f64`, only the
+    /// resident representation narrows.
+    pub fn demote(&self) -> SupernodalFactorF32 {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| b.as_slice().iter().map(|&v| v as f32).collect())
+            .collect();
+        SupernodalFactorF32 {
+            part: self.part.clone(),
+            blocks,
+            perturbations: self.perturbations.clone(),
+        }
+    }
+}
+
+impl FactorBlocks for SupernodalFactor {
+    type S = f64;
+
+    fn partition(&self) -> &SupernodePartition {
+        &self.part
+    }
+
+    fn values(&self, s: usize) -> &[f64] {
+        self.blocks[s].as_slice()
+    }
+}
+
+/// An `f32`-storage twin of [`SupernodalFactor`]: same partition, same
+/// column-major trapezoids, half the bytes per value. Produced by
+/// [`SupernodalFactor::demote`] — never factored directly — and consumed
+/// by the generic solve kernels through [`FactorBlocks`].
+#[derive(Debug, Clone)]
+pub struct SupernodalFactorF32 {
+    part: SupernodePartition,
+    blocks: Vec<Vec<f32>>,
+    /// Perturbations inherited from the f64 factorization (see
+    /// [`SupernodalFactor::perturbations`]); kept in `f64`.
+    perturbations: Vec<(usize, f64)>,
+}
+
+impl SupernodalFactorF32 {
+    /// Reassemble from a partition plus the flat persisted values — the
+    /// per-supernode trapezoids concatenated in supernode order, exactly
+    /// the layout [`Self::values`] exposes. Fails with `InvalidStructure`
+    /// on a value-count mismatch (stale or foreign snapshot).
+    pub fn from_flat_values(
+        part: SupernodePartition,
+        values: &[f32],
+        perturbations: Vec<(usize, f64)>,
+    ) -> Result<Self, MatrixError> {
+        let total: usize = (0..part.nsup())
+            .map(|s| part.height(s) * part.width(s))
+            .sum();
+        if total != values.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "persisted f32 factor has {} values but the partition holds {}",
+                values.len(),
+                total
+            )));
+        }
+        let mut off = 0usize;
+        let mut blocks = Vec::with_capacity(part.nsup());
+        for s in 0..part.nsup() {
+            let len = part.height(s) * part.width(s);
+            blocks.push(values[off..off + len].to_vec());
+            off += len;
+        }
+        Ok(SupernodalFactorF32 {
+            part,
+            blocks,
+            perturbations,
+        })
+    }
+
+    /// The supernode partition.
+    pub fn partition(&self) -> &SupernodePartition {
+        &self.part
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.part.n()
+    }
+
+    /// Number of supernodes.
+    pub fn nsup(&self) -> usize {
+        self.part.nsup()
+    }
+
+    /// The flat column-major values of supernode `s`'s trapezoid.
+    pub fn values(&self, s: usize) -> &[f32] {
+        &self.blocks[s]
+    }
+
+    /// Perturbations inherited from the originating f64 factorization.
+    pub fn perturbations(&self) -> &[(usize, f64)] {
+        &self.perturbations
+    }
+
+    /// Nonzeros stored (trapezoid entries at or below the diagonal).
+    pub fn nnz(&self) -> usize {
+        self.part.nnz()
+    }
+
+    /// Total stored values across all trapezoids (Σ height·width).
+    pub fn value_count(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Mutable access to supernode `s`'s values. Exists for integrity
+    /// drills (bit flips simulating silent corruption); normal solves
+    /// never mutate the factor.
+    pub fn values_mut(&mut self, s: usize) -> &mut [f32] {
+        &mut self.blocks[s]
+    }
+}
+
+impl FactorBlocks for SupernodalFactorF32 {
+    type S = f32;
+
+    fn partition(&self) -> &SupernodePartition {
+        &self.part
+    }
+
+    fn values(&self, s: usize) -> &[f32] {
+        &self.blocks[s]
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +310,39 @@ mod tests {
         let part = small_partition();
         let blocks: Vec<DenseMatrix> = (0..part.nsup()).map(|_| DenseMatrix::zeros(1, 1)).collect();
         SupernodalFactor::new(part, blocks);
+    }
+
+    #[test]
+    fn demote_truncates_values_and_keeps_structure() {
+        let part = small_partition();
+        let mut f = identity_factor(part);
+        // plant a value that is not f32-representable
+        let fine = 1.0 + f64::EPSILON;
+        f.block_mut(0)[(0, 0)] = fine;
+        f.set_perturbations(vec![(3, 0.25)]);
+        let d = f.demote();
+        assert_eq!(d.nsup(), f.nsup());
+        assert_eq!(d.n(), f.n());
+        assert_eq!(d.value_count(), f.value_count());
+        assert_eq!(d.values(0)[0], 1.0f32, "round-to-nearest demotion");
+        assert_eq!(d.perturbations(), f.perturbations(), "perturbations kept");
+        // flat round-trip reassembles bit-identically
+        let mut flat = Vec::new();
+        for s in 0..d.nsup() {
+            flat.extend_from_slice(d.values(s));
+        }
+        let re = SupernodalFactorF32::from_flat_values(
+            d.partition().clone(),
+            &flat,
+            d.perturbations().to_vec(),
+        )
+        .unwrap();
+        for s in 0..d.nsup() {
+            assert_eq!(re.values(s), d.values(s));
+        }
+        // wrong value count is a structured error, not a panic
+        let err = SupernodalFactorF32::from_flat_values(d.partition().clone(), &flat[1..], vec![]);
+        assert!(matches!(err, Err(MatrixError::InvalidStructure(_))));
     }
 
     #[test]

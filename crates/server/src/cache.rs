@@ -14,8 +14,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use trisolv_core::{SolvePlan, SolveWorkspace, SparseCholeskySolver, SubtreeSchedule};
-use trisolv_matrix::CscMatrix;
+use trisolv_core::{
+    SolvePlan, SolveWorkspace, SparseCholeskySolver, SparseCholeskySolverF32, SubtreeSchedule,
+};
+use trisolv_graph::Permutation;
+use trisolv_matrix::{CscMatrix, DenseMatrix};
 
 use crate::batch::BatchLane;
 use crate::engine::EngineError;
@@ -32,6 +35,159 @@ fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// The resident numeric representation of a cached factor: the full `f64`
+/// solver, or its demoted `f32` twin.
+///
+/// Factorization always runs in `f64`; the `F32` lane exists only as a
+/// cache-insert demotion (`--precision f32|auto`). Direct solves on the
+/// narrow lane stream half the factor bytes and answer at `f32` accuracy;
+/// certified solves refine back to the full `f64` componentwise target
+/// against the retained matrix (falling back to an `f64` refactorization
+/// when refinement stagnates — see the engine's precision ladder).
+#[derive(Clone)]
+pub enum SolverLane {
+    /// Full-precision resident factor.
+    F64(SparseCholeskySolver),
+    /// Demoted resident factor (half the value bytes).
+    F32(SparseCholeskySolverF32),
+}
+
+impl From<SparseCholeskySolver> for SolverLane {
+    fn from(s: SparseCholeskySolver) -> SolverLane {
+        SolverLane::F64(s)
+    }
+}
+
+impl From<SparseCholeskySolverF32> for SolverLane {
+    fn from(s: SparseCholeskySolverF32) -> SolverLane {
+        SolverLane::F32(s)
+    }
+}
+
+impl SolverLane {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        match self {
+            SolverLane::F64(s) => s.factor_matrix().n(),
+            SolverLane::F32(s) => s.factor_matrix().n(),
+        }
+    }
+
+    /// Nonzeros in the numeric factor (at or below the diagonal).
+    pub fn factor_nnz(&self) -> usize {
+        match self {
+            SolverLane::F64(s) => s.factor_matrix().nnz(),
+            SolverLane::F32(s) => s.factor_matrix().nnz(),
+        }
+    }
+
+    /// Total stored factor values (Σ trapezoid height·width).
+    pub fn value_count(&self) -> usize {
+        match self {
+            SolverLane::F64(s) => s.factor_matrix().value_count(),
+            SolverLane::F32(s) => s.factor_matrix().value_count(),
+        }
+    }
+
+    /// Total row-index entries across all supernode row lists — the
+    /// factor's *structural* storage, one `usize` per trapezoid row (not
+    /// per nonzero: the blocks themselves are dense).
+    pub fn structure_rows(&self) -> usize {
+        let part = match self {
+            SolverLane::F64(s) => s.factor_matrix().partition(),
+            SolverLane::F32(s) => s.factor_matrix().partition(),
+        };
+        (0..part.nsup()).map(|s| part.height(s)).sum()
+    }
+
+    /// Bytes per stored factor value: 8 for `f64`, 4 for `f32`. This is
+    /// what makes the cache's byte accounting honest about demotion — a
+    /// fixed budget holds roughly twice as many demoted factors.
+    pub fn bytes_per_value(&self) -> usize {
+        match self {
+            SolverLane::F64(_) => 8,
+            SolverLane::F32(_) => 4,
+        }
+    }
+
+    /// `true` for the demoted lane.
+    pub fn is_f32(&self) -> bool {
+        matches!(self, SolverLane::F32(_))
+    }
+
+    /// Human-readable precision tag (`"f64"` / `"f32"`).
+    pub fn precision_name(&self) -> &'static str {
+        match self {
+            SolverLane::F64(_) => "f64",
+            SolverLane::F32(_) => "f32",
+        }
+    }
+
+    /// The solve plan built at factor time.
+    pub fn plan(&self) -> &SolvePlan {
+        match self {
+            SolverLane::F64(s) => s.plan(),
+            SolverLane::F32(s) => s.plan(),
+        }
+    }
+
+    /// The combined permutation (fill-reducing ∘ postorder).
+    pub fn perm(&self) -> &Permutation {
+        match self {
+            SolverLane::F64(s) => s.perm(),
+            SolverLane::F32(s) => s.perm(),
+        }
+    }
+
+    /// Diagonal perturbations recorded by the (f64) factorization.
+    pub fn perturbations(&self) -> &[(usize, f64)] {
+        match self {
+            SolverLane::F64(s) => s.factor_matrix().perturbations(),
+            SolverLane::F32(s) => s.factor_matrix().perturbations(),
+        }
+    }
+
+    /// Sequential solve on whichever lane is resident (`f64` in, `f64`
+    /// out; the narrow lane converts at its boundaries).
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        match self {
+            SolverLane::F64(s) => s.solve(b),
+            SolverLane::F32(s) => s.solve(b),
+        }
+    }
+
+    /// Digest of the resident factor's value blocks at their native
+    /// width (two-lane FNV over the stored bit patterns).
+    pub fn digest(&self) -> Fingerprint {
+        match self {
+            SolverLane::F64(s) => {
+                let f = s.factor_matrix();
+                Fingerprint::of_value_slices((0..f.nsup()).map(|s| f.block(s).as_slice()))
+            }
+            SolverLane::F32(s) => {
+                let f = s.factor_matrix();
+                Fingerprint::of_value_slices_f32((0..f.nsup()).map(|s| f.values(s)))
+            }
+        }
+    }
+
+    /// The full-precision solver, when resident.
+    pub fn as_f64(&self) -> Option<&SparseCholeskySolver> {
+        match self {
+            SolverLane::F64(s) => Some(s),
+            SolverLane::F32(_) => None,
+        }
+    }
+
+    /// The demoted solver, when resident.
+    pub fn as_f32(&self) -> Option<&SparseCholeskySolverF32> {
+        match self {
+            SolverLane::F64(_) => None,
+            SolverLane::F32(s) => Some(s),
+        }
+    }
+}
+
 /// A resident factorization plus everything needed to serve solves on it.
 pub struct FactorEntry {
     /// Content hash this entry is keyed by.
@@ -42,8 +198,9 @@ pub struct FactorEntry {
     /// iterative refinement (residuals need `A`, not `L`) and for
     /// self-healing refactorization after integrity-check failures.
     pub matrix: CscMatrix,
-    /// Permutation + supernodal Cholesky factor + solve plan.
-    pub solver: SparseCholeskySolver,
+    /// Permutation + supernodal Cholesky factor + solve plan, in whichever
+    /// precision lane this entry is resident.
+    pub solver: SolverLane,
     /// Subtree-to-thread schedule precomputed for the engine's configured
     /// executor width, so batched solves never rebuild it.
     pub schedule: SubtreeSchedule,
@@ -58,6 +215,7 @@ pub struct FactorEntry {
     /// Solves served by this entry (drives the verify cadence).
     solves: AtomicU64,
     workspaces: Mutex<Vec<SolveWorkspace>>,
+    workspaces32: Mutex<Vec<SolveWorkspace<f32>>>,
 }
 
 impl FactorEntry {
@@ -67,18 +225,24 @@ impl FactorEntry {
     pub fn new(
         fingerprint: Fingerprint,
         matrix: CscMatrix,
-        solver: SparseCholeskySolver,
+        solver: impl Into<SolverLane>,
         solver_threads: usize,
         lane: BatchLane<EngineError>,
     ) -> FactorEntry {
-        let f = solver.factor_matrix();
-        let n = f.n();
-        // Estimate: factor values + block indices (~16 B/nnz), the retained
-        // matrix arrays (~16 B/nnz), plus plan, permutation and
-        // per-supernode metadata (~96 B/row).
-        let bytes = f.nnz() * 16 + matrix.nnz() * 16 + n * 96;
+        let solver = solver.into();
+        let n = solver.n();
+        // Estimate charging the *stored* factor values at their native
+        // width (8 B/value f64, 4 B/value f32 — demotion halves the
+        // dominant term), plus supernode row lists (8 B per trapezoid row;
+        // the dense blocks carry no per-nonzero indices), the retained f64
+        // matrix arrays (~16 B/nnz), and plan/permutation/supernode
+        // metadata (~96 B/row).
+        let bytes = solver.value_count() * solver.bytes_per_value()
+            + solver.structure_rows() * 8
+            + matrix.nnz() * 16
+            + n * 96;
         let schedule = solver.plan().subtree_schedule(solver_threads.max(1));
-        let checksum = Self::digest_factor(&solver);
+        let checksum = solver.digest();
         FactorEntry {
             fingerprint,
             n,
@@ -90,21 +254,15 @@ impl FactorEntry {
             checksum,
             solves: AtomicU64::new(0),
             workspaces: Mutex::new(Vec::new()),
+            workspaces32: Mutex::new(Vec::new()),
         }
-    }
-
-    /// Digest a solver's factor value blocks (two-lane FNV over the
-    /// IEEE-754 bit patterns).
-    fn digest_factor(solver: &SparseCholeskySolver) -> Fingerprint {
-        let f = solver.factor_matrix();
-        Fingerprint::of_value_slices((0..f.nsup()).map(|s| f.block(s).as_slice()))
     }
 
     /// Re-digest the factor values and compare against the checksum taken
     /// at construction. `false` means the resident factor no longer matches
     /// what was inserted — silent corruption.
     pub fn verify(&self) -> bool {
-        Self::digest_factor(&self.solver) == self.checksum
+        self.solver.digest() == self.checksum
     }
 
     /// Count one solve against this entry; returns the new total. The
@@ -123,11 +281,21 @@ impl FactorEntry {
         lane: BatchLane<EngineError>,
     ) -> FactorEntry {
         let mut solver = self.solver.clone();
-        {
-            let f = solver.factor_matrix_mut();
-            if f.nsup() > 0 {
-                if let Some(v) = f.block_mut(0).as_mut_slice().first_mut() {
-                    *v = f64::from_bits(v.to_bits() ^ 1);
+        match &mut solver {
+            SolverLane::F64(s) => {
+                let f = s.factor_matrix_mut();
+                if f.nsup() > 0 {
+                    if let Some(v) = f.block_mut(0).as_mut_slice().first_mut() {
+                        *v = f64::from_bits(v.to_bits() ^ 1);
+                    }
+                }
+            }
+            SolverLane::F32(s) => {
+                let f = s.factor_matrix_mut();
+                if f.nsup() > 0 {
+                    if let Some(v) = f.values_mut(0).first_mut() {
+                        *v = f32::from_bits(v.to_bits() ^ 1);
+                    }
                 }
             }
         }
@@ -147,16 +315,32 @@ impl FactorEntry {
         self.solver.plan()
     }
 
-    /// Take a pooled workspace (or make a fresh one sized for `nrhs`).
-    /// Workspaces auto-grow, so any pooled one fits any batch width.
+    /// Take a pooled `f64` workspace (or make a fresh one sized for
+    /// `nrhs`). Workspaces auto-grow, so any pooled one fits any batch
+    /// width.
     pub fn take_workspace(&self, nrhs: usize) -> SolveWorkspace {
         let pooled = lock_cache(&self.workspaces).pop();
         pooled.unwrap_or_else(|| SolveWorkspace::new(self.solver.plan(), nrhs))
     }
 
-    /// Return a workspace to the pool (dropped if the pool is full).
+    /// Return an `f64` workspace to the pool (dropped if the pool is full).
     pub fn put_workspace(&self, ws: SolveWorkspace) {
         let mut pool = lock_cache(&self.workspaces);
+        if pool.len() < WORKSPACE_POOL_CAP {
+            pool.push(ws);
+        }
+    }
+
+    /// Take a pooled `f32` workspace for the demoted lane's threaded
+    /// executor (or make a fresh one sized for `nrhs`).
+    pub fn take_workspace32(&self, nrhs: usize) -> SolveWorkspace<f32> {
+        let pooled = lock_cache(&self.workspaces32).pop();
+        pooled.unwrap_or_else(|| SolveWorkspace::new(self.solver.plan(), nrhs))
+    }
+
+    /// Return an `f32` workspace to the pool (dropped if the pool is full).
+    pub fn put_workspace32(&self, ws: SolveWorkspace<f32>) {
+        let mut pool = lock_cache(&self.workspaces32);
         if pool.len() < WORKSPACE_POOL_CAP {
             pool.push(ws);
         }
@@ -450,5 +634,86 @@ mod tests {
         assert!(!cache.evict(e.fingerprint));
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    fn lane_entry(a: &CscMatrix, f32_lane: bool) -> Arc<FactorEntry> {
+        let fp = Fingerprint::of_matrix(a);
+        let solver = SparseCholeskySolver::factor(a).unwrap();
+        let lane = if f32_lane {
+            SolverLane::F32(solver.demote())
+        } else {
+            SolverLane::F64(solver)
+        };
+        Arc::new(FactorEntry::new(
+            fp,
+            a.clone(),
+            lane,
+            2,
+            BatchLane::new(BatchOptions::default()),
+        ))
+    }
+
+    #[test]
+    fn demotion_saves_exactly_four_bytes_per_stored_value() {
+        let a = gen::from_spec("grid2d:24").unwrap();
+        let e64 = lane_entry(&a, false);
+        let e32 = lane_entry(&a, true);
+        assert_eq!(e64.solver.value_count(), e32.solver.value_count());
+        // Only the value width differs between the lanes' accounting: the
+        // retained matrix, row lists, and per-row metadata are charged
+        // identically.
+        assert_eq!(e64.bytes - e32.bytes, 4 * e64.solver.value_count());
+    }
+
+    #[test]
+    fn fixed_budget_holds_more_f32_factors_before_evicting() {
+        // Same structure, distinct fingerprints: scaling an SPD matrix by
+        // a positive constant keeps it SPD and leaves the factor shape
+        // (hence the entry size) unchanged.
+        let base = gen::grid3d_laplacian(12, 12, 12);
+        let variants: Vec<CscMatrix> = (0..5)
+            .map(|k| {
+                let vals: Vec<f64> = base.values().iter().map(|v| v * (1.0 + k as f64)).collect();
+                CscMatrix::from_parts(
+                    base.nrows(),
+                    base.ncols(),
+                    base.colptr().to_vec(),
+                    base.rowidx().to_vec(),
+                    vals,
+                )
+                .unwrap()
+            })
+            .collect();
+        let e64: Vec<_> = variants.iter().map(|a| lane_entry(a, false)).collect();
+        let e32: Vec<_> = variants.iter().map(|a| lane_entry(a, true)).collect();
+        let (b64, b32) = (e64[0].bytes, e32[0].bytes);
+        assert!(e64.iter().all(|e| e.bytes == b64), "uniform entry size");
+        assert!(e32.iter().all(|e| e.bytes == b32), "uniform entry size");
+
+        // A budget that admits exactly two f64 residents...
+        let budget = 2 * b64 + b64 / 4;
+        let cache = FactorCache::new(budget);
+        for e in &e64[..3] {
+            cache.insert(Arc::clone(e));
+        }
+        assert_eq!(cache.stats().entries, 2, "third f64 insert evicts");
+
+        // ...holds at least three f32 residents: the factor payload itself
+        // halves exactly; the retained matrix and symbolic structure are
+        // overhead both lanes pay, which is what keeps the entry-level
+        // gain below the ideal 2x on small problems.
+        let n32 = (budget / b32).min(e32.len() - 1);
+        assert!(n32 >= 3, "f32 capacity gain too small: {b64} vs {b32}");
+        let cache = FactorCache::new(budget);
+        for e in e32.iter().take(n32) {
+            cache.insert(Arc::clone(e));
+        }
+        assert_eq!(cache.stats().entries, n32, "all narrow entries resident");
+        cache.insert(Arc::clone(&e32[n32]));
+        assert_eq!(
+            cache.stats().entries,
+            n32,
+            "one-past-capacity f32 insert finally evicts"
+        );
     }
 }

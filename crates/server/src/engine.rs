@@ -15,17 +15,18 @@
 //! [`EngineError::Busy`] and a `retry_after_ms` hint instead of growing
 //! memory without bound.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use trisolv_core::{SparseCholeskySolver, ThreadedSolver};
+use trisolv_core::{SolveReport, SparseCholeskySolver, ThreadedSolver};
 use trisolv_matrix::{CscMatrix, DenseMatrix};
 
 use crate::batch::{BatchLane, BatchOptions, LaneError};
-use crate::cache::{CacheStats, FactorCache, FactorEntry};
+use crate::cache::{CacheStats, FactorCache, FactorEntry, SolverLane};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
 use crate::store::FactorStore;
@@ -52,6 +53,40 @@ impl ExecMode {
     }
 }
 
+/// Which precision lane newly loaded factors are cached in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecisionMode {
+    /// Full-precision resident factors; the default and the historical
+    /// behavior.
+    #[default]
+    F64,
+    /// Demote every factor to `f32` at cache insert. Direct solves run on
+    /// the narrow lane; certified solves refine back to the `f64` target,
+    /// refactoring in `f64` per request when refinement stagnates.
+    F32,
+    /// Like `F32`, but a factor whose certified solve ever needed the
+    /// `f64` fallback is **promoted**: it stays `f64`-resident from then
+    /// on (including across re-loads and self-heals).
+    Auto,
+}
+
+impl PrecisionMode {
+    /// Parse `"f64"` / `"f32"` / `"auto"`.
+    pub fn parse(s: &str) -> Result<PrecisionMode, String> {
+        match s {
+            "f64" => Ok(PrecisionMode::F64),
+            "f32" => Ok(PrecisionMode::F32),
+            "auto" => Ok(PrecisionMode::Auto),
+            other => Err(format!("unknown precision mode {other:?} (f64|f32|auto)")),
+        }
+    }
+
+    /// Does this mode demote at insert time?
+    fn demotes(self) -> bool {
+        !matches!(self, PrecisionMode::F64)
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
@@ -74,6 +109,8 @@ pub struct EngineOptions {
     /// insert; a mismatch evicts the entry and transparently refactors from
     /// the retained matrix. `0` disables the check.
     pub verify_every: u64,
+    /// Which precision lane newly loaded factors are cached in.
+    pub precision: PrecisionMode,
 }
 
 impl Default for EngineOptions {
@@ -85,6 +122,7 @@ impl Default for EngineOptions {
             max_pending: 1024,
             solver_threads: 0,
             verify_every: 0,
+            precision: PrecisionMode::F64,
         }
     }
 }
@@ -238,6 +276,13 @@ pub struct EngineStats {
     pub persist_recovered: u64,
     /// Snapshot files the recovery scan unlinked (torn/corrupt/stale).
     pub persist_dropped: u64,
+    /// Solves (direct or certified) served on an `f32`-resident factor.
+    pub f32_solves: u64,
+    /// Certified solves whose `f32` refinement stagnated and were
+    /// transparently re-answered by an `f64` refactorization.
+    pub precision_fallbacks: u64,
+    /// Factors demoted to `f32` at cache-insert time.
+    pub demoted_factors: u64,
 }
 
 /// Factor-caching, micro-batching solve engine.
@@ -266,6 +311,12 @@ pub struct Engine {
     conns_open: AtomicU64,
     conns_total: AtomicU64,
     frames_pipelined: AtomicU64,
+    f32_solves: AtomicU64,
+    precision_fallbacks: AtomicU64,
+    demoted_factors: AtomicU64,
+    /// Fingerprints promoted to permanent `f64` residency by the `auto`
+    /// precision mode (their certified solves needed the fallback).
+    promoted: Mutex<HashSet<Fingerprint>>,
 }
 
 /// RAII in-flight counter for admission control.
@@ -325,6 +376,10 @@ impl Engine {
             conns_open: AtomicU64::new(0),
             conns_total: AtomicU64::new(0),
             frames_pipelined: AtomicU64::new(0),
+            f32_solves: AtomicU64::new(0),
+            precision_fallbacks: AtomicU64::new(0),
+            demoted_factors: AtomicU64::new(0),
+            promoted: Mutex::new(HashSet::new()),
         };
         if let Some(store) = eng.store.clone() {
             // Warm restart: every snapshot that survived the recovery scan
@@ -403,6 +458,63 @@ impl Engine {
         }
     }
 
+    /// The residency lane for a freshly factored matrix. `f32` and `auto`
+    /// modes demote at insert time — except for fingerprints a prior
+    /// certified-solve fallback has promoted to permanent `f64` residency.
+    fn insert_lane(&self, fp: Fingerprint, solver: SparseCholeskySolver) -> SolverLane {
+        if self.opts.precision.demotes() && !self.is_promoted(fp) {
+            self.demoted_factors.fetch_add(1, Ordering::Relaxed);
+            SolverLane::F32(solver.demote())
+        } else {
+            SolverLane::F64(solver)
+        }
+    }
+
+    fn is_promoted(&self, fp: Fingerprint) -> bool {
+        self.promoted.lock().unwrap().contains(&fp)
+    }
+
+    /// Precision fallback: a certified solve on an `f32`-resident factor
+    /// stagnated short of its certificate. Refactor in `f64` from the
+    /// retained matrix, swap the full-precision entry in (keeping the LRU
+    /// position), and — in `auto` mode — pin the fingerprint so later
+    /// re-loads never demote it again.
+    fn promote(&self, bad: &FactorEntry) -> Result<Arc<FactorEntry>, EngineError> {
+        let rebuilt = panic::catch_unwind(AssertUnwindSafe(|| {
+            SparseCholeskySolver::factor(&bad.matrix)
+                .map_err(|e| EngineError::NotSpd(e.to_string()))
+        }));
+        let solver = match rebuilt {
+            Ok(Ok(solver)) => solver,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Internal(format!(
+                    "precision-fallback refactorization panicked: {}",
+                    panic_message(&payload)
+                )));
+            }
+        };
+        let entry = Arc::new(FactorEntry::new(
+            bad.fingerprint,
+            bad.matrix.clone(),
+            solver,
+            self.solver_threads(),
+            BatchLane::new(self.opts.batch),
+        ));
+        self.cache.replace(Arc::clone(&entry));
+        if self.opts.precision == PrecisionMode::Auto {
+            self.promoted.lock().unwrap().insert(bad.fingerprint);
+        }
+        self.precision_fallbacks.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            // the on-disk snapshot still holds the f32 payload; re-snapshot
+            // the promoted factor so a restart keeps full precision
+            store.save(Arc::clone(&entry));
+        }
+        Ok(entry)
+    }
+
     /// Factor `a` and cache it under its content hash (idempotent: a
     /// resident matrix is not re-factored).
     pub fn load(&self, a: &CscMatrix) -> Result<LoadOutcome, EngineError> {
@@ -427,7 +539,7 @@ impl Engine {
             return Ok(LoadOutcome {
                 fingerprint,
                 n: entry.n,
-                factor_nnz: entry.solver.factor_matrix().nnz(),
+                factor_nnz: entry.solver.factor_nnz(),
                 already_cached: true,
             });
         }
@@ -449,10 +561,11 @@ impl Engine {
             }
         };
         let factor_nnz = solver.factor_matrix().nnz();
+        let lane = self.insert_lane(fingerprint, solver);
         let entry = Arc::new(FactorEntry::new(
             fingerprint,
             a.clone(),
-            solver,
+            lane,
             self.solver_threads(),
             BatchLane::new(self.opts.batch),
         ));
@@ -604,28 +717,47 @@ impl Engine {
             });
         }
         let n = entry.n;
-        let refined = panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut b = DenseMatrix::zeros(n, 1);
-            b.col_mut(0).copy_from_slice(&rhs);
-            trisolv_core::refine::refine(
-                &entry.solver,
-                &entry.matrix,
-                &b,
-                &trisolv_core::RefineOptions::default(),
-            )
-        }));
-        let (x, report) = match refined {
-            Ok(Ok(pair)) => pair,
-            Ok(Err(e)) => {
-                return Err(EngineError::Internal(format!("refinement failed: {e}")));
+        // Lane dispatch behind one catch_unwind shape: the f64 lane runs
+        // classic refinement, the f32 lane runs the mixed-precision driver
+        // (f32 correction solves, f64 residuals against the retained
+        // matrix).
+        let run_refine = |e: &FactorEntry| -> Result<(DenseMatrix, SolveReport), EngineError> {
+            let refined = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut b = DenseMatrix::zeros(n, 1);
+                b.col_mut(0).copy_from_slice(&rhs);
+                let opts = trisolv_core::RefineOptions::default();
+                match &e.solver {
+                    SolverLane::F64(s) => trisolv_core::refine::refine(s, &e.matrix, &b, &opts),
+                    SolverLane::F32(s) => {
+                        trisolv_core::refine::refine_mixed(s, &e.matrix, &b, &opts)
+                    }
+                }
+            }));
+            match refined {
+                Ok(Ok(pair)) => Ok(pair),
+                Ok(Err(e)) => Err(EngineError::Internal(format!("refinement failed: {e}"))),
+                Err(payload) => {
+                    self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    Err(EngineError::Internal(format!(
+                        "certified solve panicked: {}",
+                        panic_message(&payload)
+                    )))
+                }
             }
-            Err(payload) => {
-                self.panics_caught.fetch_add(1, Ordering::Relaxed);
-                return Err(EngineError::Internal(format!(
-                    "certified solve panicked: {}",
-                    panic_message(&payload)
-                )));
+        };
+        let was_f32 = entry.solver.is_f32();
+        let (x, report) = run_refine(&entry)?;
+        let (x, report) = if was_f32 && !report.certified {
+            // The narrow factor cannot carry refinement to the certificate
+            // (κ(A)·ε_f32 ≳ 1). Fall back: refactor in f64 and re-answer.
+            // Counted, transparent, never an error.
+            let promoted = self.promote(&entry)?;
+            run_refine(&promoted)?
+        } else {
+            if was_f32 {
+                self.f32_solves.fetch_add(1, Ordering::Relaxed);
             }
+            (x, report)
         };
         // The refinement loop ran to completion; a deadline that expired
         // while it was running still counts as a miss.
@@ -691,10 +823,18 @@ impl Engine {
                 )));
             }
         };
+        // Heal back into the lane the entry occupied: a corrupted f32
+        // resident comes back as a freshly demoted copy of the (bit-wise
+        // reproducible) f64 refactorization.
+        let lane = if bad.solver.is_f32() {
+            SolverLane::F32(solver.demote())
+        } else {
+            SolverLane::F64(solver)
+        };
         let entry = Arc::new(FactorEntry::new(
             bad.fingerprint,
             bad.matrix.clone(),
-            solver,
+            lane,
             self.solver_threads(),
             BatchLane::new(self.opts.batch),
         ));
@@ -744,6 +884,9 @@ impl Engine {
         if cols.iter().any(|c| !c.iter().all(|v| v.is_finite())) {
             return Err(EngineError::NumericBreakdown);
         }
+        if entry.solver.is_f32() {
+            self.f32_solves.fetch_add(k as u64, Ordering::Relaxed);
+        }
         Ok(cols)
     }
 
@@ -787,14 +930,30 @@ impl Engine {
                 dst[perm.apply(i)] = col[i];
             }
         }
-        let solver = ThreadedSolver::with_plan_schedule(
-            entry.solver.factor_matrix(),
-            entry.solver.plan(),
-            &entry.schedule,
-        );
-        let mut ws = entry.take_workspace(k);
-        let px = solver.forward_backward_with(&pb, &mut ws);
-        entry.put_workspace(ws);
+        let px = match &entry.solver {
+            SolverLane::F64(s) => {
+                let solver = ThreadedSolver::with_plan_schedule(
+                    s.factor_matrix(),
+                    s.plan(),
+                    &entry.schedule,
+                );
+                let mut ws = entry.take_workspace(k);
+                let px = solver.forward_backward_with(&pb, &mut ws);
+                entry.put_workspace(ws);
+                px
+            }
+            SolverLane::F32(s) => {
+                let solver = ThreadedSolver::with_plan_schedule(
+                    s.factor_matrix(),
+                    s.plan(),
+                    &entry.schedule,
+                );
+                let mut ws = entry.take_workspace32(k);
+                let px = solver.forward_backward_with(&pb, &mut ws);
+                entry.put_workspace32(ws);
+                px
+            }
+        };
         // Unpermute into fresh output columns.
         let mut out = vec![vec![0.0f64; n]; k];
         for (c, col) in out.iter_mut().enumerate() {
@@ -864,6 +1023,9 @@ impl Engine {
             persist_writes: self.store.as_ref().map_or(0, |s| s.writes()),
             persist_recovered: self.store.as_ref().map_or(0, |s| s.recovered_count()),
             persist_dropped: self.store.as_ref().map_or(0, |s| s.dropped_count()),
+            f32_solves: self.f32_solves.load(Ordering::Relaxed),
+            precision_fallbacks: self.precision_fallbacks.load(Ordering::Relaxed),
+            demoted_factors: self.demoted_factors.load(Ordering::Relaxed),
         }
     }
 
@@ -1204,5 +1366,147 @@ mod tests {
             "{err:?}"
         );
         assert_eq!(eng.stats().panics_caught, 1);
+    }
+
+    fn precision_engine(exec: ExecMode, precision: PrecisionMode) -> Engine {
+        Engine::new(EngineOptions {
+            exec,
+            precision,
+            batch: BatchOptions {
+                max_batch: 2,
+                window: Duration::from_millis(1),
+                wait_timeout: Duration::from_secs(10),
+            },
+            ..EngineOptions::default()
+        })
+    }
+
+    #[test]
+    fn f32_mode_demotes_at_insert_and_serves_plain_solves() {
+        for exec in [ExecMode::Seq, ExecMode::Threaded] {
+            let eng = precision_engine(exec, PrecisionMode::F32);
+            let a = gen::grid2d_laplacian(10, 10);
+            let fp = eng.load(&a).unwrap().fingerprint;
+            let entry = eng.cache.peek(fp).unwrap();
+            assert!(entry.solver.is_f32(), "{exec:?}");
+            assert!(entry.verify(), "f32 digest matches at insert");
+            let b = gen::random_rhs(100, 1, 11);
+            let x = eng.solve(fp, b.col(0).to_vec()).unwrap();
+            let mut xm = DenseMatrix::zeros(100, 1);
+            xm.col_mut(0).copy_from_slice(&x);
+            let ax = a.spmv_sym_lower(&xm).unwrap();
+            // a direct f32 solve carries f32 accuracy, nothing better
+            let resid = ax.max_abs_diff(&b).unwrap() / b.norm_max().max(1.0);
+            assert!(resid < 1e-3, "{exec:?}: {resid:e}");
+            let s = eng.stats();
+            assert_eq!(s.demoted_factors, 1, "{exec:?}");
+            assert_eq!(s.f32_solves, 1, "{exec:?}");
+            assert_eq!(s.precision_fallbacks, 0, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn f32_certified_solve_certifies_well_conditioned_systems() {
+        let eng = precision_engine(ExecMode::Threaded, PrecisionMode::F32);
+        let a = gen::grid2d_laplacian(10, 10);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let b = gen::random_rhs(100, 1, 5);
+        let out = eng.solve_certified(fp, b.col(0).to_vec(), None).unwrap();
+        assert!(out.certified);
+        assert!(out.backward_error <= 1e-10, "{:e}", out.backward_error);
+        let s = eng.stats();
+        assert_eq!(s.precision_fallbacks, 0);
+        assert_eq!(s.f32_solves, 1);
+        assert!(eng.cache.peek(fp).unwrap().solver.is_f32(), "stays narrow");
+    }
+
+    #[test]
+    fn auto_mode_fallback_promotes_the_fingerprint_permanently() {
+        let eng = precision_engine(ExecMode::Threaded, PrecisionMode::Auto);
+        // Near-singular: smallest eigenvalue 1e-12, so κ(A)·ε_f32 ≫ 1 and
+        // the narrow lane must stagnate; f64 refinement still converges.
+        let a = gen::rank_deficient_grid(12, 12, 1e-12);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        assert_eq!(eng.stats().demoted_factors, 1);
+        assert!(eng.cache.peek(fp).unwrap().solver.is_f32());
+        let b = gen::random_rhs(144, 1, 5);
+        let out = eng.solve_certified(fp, b.col(0).to_vec(), None).unwrap();
+        assert!(out.certified, "the fallback answer must still certify");
+        let s = eng.stats();
+        assert_eq!(s.precision_fallbacks, 1);
+        assert_eq!(
+            s.f32_solves, 0,
+            "the abandoned f32 attempt is not a solve served"
+        );
+        assert!(
+            !eng.cache.peek(fp).unwrap().solver.is_f32(),
+            "the resident entry was promoted to f64"
+        );
+        // A promoted fingerprint never demotes again, even through evict +
+        // re-load...
+        assert!(eng.evict(fp));
+        let again = eng.load(&a).unwrap();
+        assert!(!again.already_cached);
+        assert_eq!(eng.stats().demoted_factors, 1, "no second demotion");
+        assert!(!eng.cache.peek(fp).unwrap().solver.is_f32());
+        // ...and its certified solves no longer need the fallback.
+        let out2 = eng.solve_certified(fp, b.col(0).to_vec(), None).unwrap();
+        assert!(out2.certified);
+        assert_eq!(eng.stats().precision_fallbacks, 1);
+    }
+
+    #[test]
+    fn f32_mode_without_auto_demotes_again_after_fallback_eviction() {
+        // Forced-f32 mode answers the hard system correctly through the
+        // fallback, but does not pin the fingerprint: residency policy is
+        // the user's call, correctness is not.
+        let eng = precision_engine(ExecMode::Threaded, PrecisionMode::F32);
+        let a = gen::rank_deficient_grid(12, 12, 1e-12);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        let b = gen::random_rhs(144, 1, 5);
+        let out = eng.solve_certified(fp, b.col(0).to_vec(), None).unwrap();
+        assert!(out.certified);
+        assert_eq!(eng.stats().precision_fallbacks, 1);
+        assert!(eng.evict(fp));
+        eng.load(&a).unwrap();
+        assert_eq!(eng.stats().demoted_factors, 2, "f32 mode demotes again");
+        assert!(eng.cache.peek(fp).unwrap().solver.is_f32());
+    }
+
+    #[test]
+    fn corrupted_f32_factor_heals_back_into_the_narrow_lane() {
+        let fault = FaultPlan::parse("cache.torn=every:2").unwrap();
+        let eng = Engine::with_fault(
+            EngineOptions {
+                exec: ExecMode::Threaded,
+                precision: PrecisionMode::F32,
+                verify_every: 1,
+                batch: BatchOptions {
+                    max_batch: 1,
+                    window: Duration::from_millis(1),
+                    wait_timeout: Duration::from_secs(5),
+                },
+                ..EngineOptions::default()
+            },
+            fault,
+        );
+        let a = gen::grid2d_laplacian(9, 9);
+        let fp = eng.load(&a).unwrap().fingerprint;
+        // reference: a fresh f64 factor demoted the same way
+        let expect = {
+            let solver32 = SparseCholeskySolver::factor(&a).unwrap().demote();
+            let b = gen::random_rhs(81, 1, 21);
+            solver32.solve(&b).col(0).to_vec()
+        };
+        let b = gen::random_rhs(81, 1, 21);
+        let clean = eng.solve(fp, b.col(0).to_vec()).unwrap();
+        assert_eq!(clean, expect, "uncorrupted f32 solve is bit-identical");
+        let healed = eng.solve(fp, b.col(0).to_vec()).unwrap();
+        assert_eq!(healed, expect, "healed f32 solve is bit-identical");
+        let s = eng.stats();
+        assert_eq!(s.self_heals, 1);
+        let entry = eng.cache.peek(fp).unwrap();
+        assert!(entry.solver.is_f32(), "heal preserved the resident lane");
+        assert!(entry.verify());
     }
 }

@@ -87,6 +87,27 @@ impl Fingerprint {
         Fingerprint(h.a, h.b)
     }
 
+    /// `f32` counterpart of [`Fingerprint::of_value_slices`]: digests the
+    /// stored `f32` bit patterns directly. Widening to `f64` first would
+    /// work too (the widening is exact), but digesting the resident bits
+    /// keeps the integrity check honest about what is actually in memory.
+    pub fn of_value_slices_f32<'a, I>(slices: I) -> Fingerprint
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut h = Hasher::new();
+        let mut total = 0u64;
+        for s in slices {
+            total += s.len() as u64;
+            for &v in s {
+                h.word(u64::from(v.to_bits()));
+            }
+        }
+        // fold the length in so prefix-identical block lists differ
+        h.word(total);
+        Fingerprint(h.a, h.b)
+    }
+
     /// Checksum of raw bytes through the same two FNV-1a lanes, folding the
     /// length in. Whole 8-byte words are hashed as little-endian `u64`s, a
     /// zero-padded tail word covers the remainder. This is the snapshot

@@ -44,13 +44,14 @@ pub mod signal;
 pub mod store;
 
 pub use batch::{BatchLane, BatchOptions, LaneError};
-pub use cache::{CacheStats, FactorCache, FactorEntry};
+pub use cache::{CacheStats, FactorCache, FactorEntry, SolverLane};
 pub use client::{
     CertifiedReply, Client, ClientError, ClientOptions, ClientPool, EvictReply, LoadReply,
     PooledClient, ReplicaEvict, RetryStats,
 };
 pub use engine::{
     CertifiedOutcome, Engine, EngineError, EngineOptions, EngineStats, ExecMode, LoadOutcome,
+    PrecisionMode,
 };
 pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use fingerprint::Fingerprint;

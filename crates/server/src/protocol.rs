@@ -358,6 +358,16 @@ impl<'a> Cursor<'a> {
             .collect())
     }
 
+    /// Read `n` `f32`s (v2 factor snapshots persist the demoted lane's
+    /// values at their native width).
+    pub fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, String> {
+        let raw = self.take(n.checked_mul(4).ok_or("size overflow")?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
     /// Read a 16-byte fingerprint.
     pub fn fingerprint(&mut self) -> Result<Fingerprint, String> {
         Ok(Fingerprint::from_bytes(self.take(16)?.try_into().unwrap()))
@@ -446,6 +456,15 @@ impl Builder {
     /// Append `f64`s by bit pattern.
     pub fn f64_slice(mut self, vs: &[f64]) -> Builder {
         self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append `f32`s by bit pattern.
+    pub fn f32_slice(mut self, vs: &[f32]) -> Builder {
+        self.buf.reserve(vs.len() * 4);
         for &v in vs {
             self.buf.extend_from_slice(&v.to_le_bytes());
         }

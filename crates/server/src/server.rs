@@ -918,7 +918,7 @@ fn dispatch(
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 32] = [
+            let pairs: [(&str, u64); 35] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
@@ -954,6 +954,9 @@ fn dispatch(
                 ("persist_writes", s.persist_writes),
                 ("persist_recovered", s.persist_recovered),
                 ("persist_dropped", s.persist_dropped),
+                ("f32_solves", s.f32_solves),
+                ("precision_fallbacks", s.precision_fallbacks),
+                ("demoted_factors", s.demoted_factors),
             ];
             let mut b = Builder::new().u64(pairs.len() as u64);
             for (key, val) in pairs {

@@ -54,19 +54,26 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use trisolv_core::SparseCholeskySolver;
+use trisolv_core::{SparseCholeskySolver, SparseCholeskySolverF32};
 use trisolv_factor::seqchol::FactorOptions;
 use trisolv_matrix::CscMatrix;
 
-use crate::cache::FactorEntry;
+use crate::cache::{FactorEntry, SolverLane};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::fingerprint::Fingerprint;
 use crate::protocol::{Builder, Cursor};
 
 /// Leading magic of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TSVF";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current snapshot format version. Version 2 added the precision tag and
+/// native-width (`f32`) factor payloads; version-1 files (implicitly `f64`)
+/// still load — recovery, not rejection, for every file an older server
+/// wrote.
+pub const SNAPSHOT_VERSION: u16 = 2;
+/// Precision-tag byte: full-precision `f64` factor payload.
+pub const PRECISION_F64: u8 = 0;
+/// Precision-tag byte: demoted `f32` factor payload.
+pub const PRECISION_F32: u8 = 1;
 /// Snapshot file extension (files are named `<fingerprint>.factor`).
 pub const SNAPSHOT_EXT: &str = "factor";
 
@@ -116,8 +123,10 @@ pub struct RecoveredFactor {
     pub fingerprint: Fingerprint,
     /// The original matrix, retained for refinement and self-healing.
     pub matrix: CscMatrix,
-    /// The rebuilt solver; bit-identical to the one that was persisted.
-    pub solver: SparseCholeskySolver,
+    /// The rebuilt solver in its persisted precision lane; bit-identical
+    /// to the one that was persisted (version-1 snapshots are always
+    /// `f64`).
+    pub solver: SolverLane,
     /// The factor-integrity checksum carried in the snapshot.
     pub checksum: Fingerprint,
 }
@@ -443,31 +452,47 @@ fn read_manifest(dir: &Path) -> Vec<Fingerprint> {
 }
 
 /// Encode a sealed cache entry into the full snapshot file image
-/// (header + payload + trailer checksum).
+/// (header + payload + trailer checksum). The factor payload is written at
+/// its resident width: `f64` blocks for a full-precision entry, raw `f32`
+/// bits for a demoted one — half the bytes, and the bit-exact resident
+/// values either way.
 pub fn encode_snapshot(entry: &FactorEntry) -> Vec<u8> {
     let m = &entry.matrix;
-    let f = entry.solver.factor_matrix();
     let opts = FactorOptions::default();
+    let tag = if entry.solver.is_f32() {
+        PRECISION_F32
+    } else {
+        PRECISION_F64
+    };
     let mut b = Builder::new()
         .fingerprint(entry.fingerprint)
         .u8(u8::from(opts.regularize))
         .f64(opts.beta)
+        .u8(tag)
         .u64(m.nrows() as u64)
         .u64(m.nnz() as u64)
         .usize_slice(m.colptr())
         .usize_slice(m.rowidx())
         .f64_slice(m.values())
         .fingerprint(entry.checksum)
-        .u64(
-            (0..f.nsup())
-                .map(|s| f.block(s).as_slice().len() as u64)
-                .sum(),
-        );
-    for s in 0..f.nsup() {
-        b = b.f64_slice(f.block(s).as_slice());
+        .u64(entry.solver.value_count() as u64);
+    match &entry.solver {
+        SolverLane::F64(solver) => {
+            let f = solver.factor_matrix();
+            for s in 0..f.nsup() {
+                b = b.f64_slice(f.block(s).as_slice());
+            }
+        }
+        SolverLane::F32(solver) => {
+            let f = solver.factor_matrix();
+            for s in 0..f.nsup() {
+                b = b.f32_slice(f.values(s));
+            }
+        }
     }
-    b = b.u64(f.perturbations().len() as u64);
-    for &(col, delta) in f.perturbations() {
+    let perts = entry.solver.perturbations();
+    b = b.u64(perts.len() as u64);
+    for &(col, delta) in perts {
         b = b.u64(col as u64).f64(delta);
     }
     let payload = b.build();
@@ -491,7 +516,9 @@ pub fn decode_snapshot(bytes: &[u8], expect: Fingerprint) -> Result<RecoveredFac
         return Err(DropReason::Corrupt);
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != SNAPSHOT_VERSION {
+    // Backward, not forward, compatible: every version this server has
+    // ever written still loads; files from a *newer* server are stale.
+    if version == 0 || version > SNAPSHOT_VERSION {
         return Err(DropReason::Stale);
     }
     let payload = &bytes[HEADER_LEN..bytes.len() - TRAILER_LEN];
@@ -515,6 +542,12 @@ pub fn decode_snapshot(bytes: &[u8], expect: Fingerprint) -> Result<RecoveredFac
             // server would compute — classified as stale below
             return Err("policy".to_string());
         }
+        // Version 1 predates the precision tag; those files are `f64` by
+        // construction.
+        let tag = if version >= 2 { c.u8()? } else { PRECISION_F64 };
+        if tag != PRECISION_F64 && tag != PRECISION_F32 {
+            return Err("unknown precision tag".to_string());
+        }
         let n = c.u64()? as usize;
         let nnz = c.u64()? as usize;
         if n.checked_add(1).is_none() || nnz > payload.len() {
@@ -530,24 +563,35 @@ pub fn decode_snapshot(bytes: &[u8], expect: Fingerprint) -> Result<RecoveredFac
         }
         let checksum = c.fingerprint()?;
         let nvals = c.u64()? as usize;
-        let fvals = c.f64_vec(nvals)?;
-        let npert = c.u64()? as usize;
-        let mut perts = Vec::with_capacity(npert.min(n));
-        for _ in 0..npert {
-            let col = c.u64()? as usize;
-            let delta = c.f64()?;
-            perts.push((col, delta));
-        }
-        c.finish()?;
-        let solver = SparseCholeskySolver::from_factor_values(&matrix, &fvals, perts)
-            .map_err(|e| e.to_string())?;
-        let digest = {
-            let f = solver.factor_matrix();
-            Fingerprint::of_value_slices((0..f.nsup()).map(|s| f.block(s).as_slice()))
+        let solver: SolverLane = if tag == PRECISION_F32 {
+            let fvals = c.f32_vec(nvals)?;
+            let perts = read_perturbations(&mut c, n)?;
+            c.finish()?;
+            let solver = SparseCholeskySolverF32::from_factor_values(&matrix, &fvals, perts)
+                .map_err(|e| e.to_string())?;
+            let digest = {
+                let f = solver.factor_matrix();
+                Fingerprint::of_value_slices_f32((0..f.nsup()).map(|s| f.values(s)))
+            };
+            if digest != checksum {
+                return Err("rebuilt factor does not match persisted checksum".to_string());
+            }
+            SolverLane::F32(solver)
+        } else {
+            let fvals = c.f64_vec(nvals)?;
+            let perts = read_perturbations(&mut c, n)?;
+            c.finish()?;
+            let solver = SparseCholeskySolver::from_factor_values(&matrix, &fvals, perts)
+                .map_err(|e| e.to_string())?;
+            let digest = {
+                let f = solver.factor_matrix();
+                Fingerprint::of_value_slices((0..f.nsup()).map(|s| f.block(s).as_slice()))
+            };
+            if digest != checksum {
+                return Err("rebuilt factor does not match persisted checksum".to_string());
+            }
+            SolverLane::F64(solver)
         };
-        if digest != checksum {
-            return Err("rebuilt factor does not match persisted checksum".to_string());
-        }
         Ok(RecoveredFactor {
             fingerprint: fp,
             matrix,
@@ -564,12 +608,28 @@ pub fn decode_snapshot(bytes: &[u8], expect: Fingerprint) -> Result<RecoveredFac
     })
 }
 
+/// The perturbation ledger tail shared by both precision lanes (always
+/// persisted in `f64`: the recorded diagonal boosts are a property of the
+/// factorization, not of the storage width).
+fn read_perturbations(c: &mut Cursor<'_>, n: usize) -> Result<Vec<(usize, f64)>, String> {
+    let npert = c.u64()? as usize;
+    let mut perts = Vec::with_capacity(npert.min(n));
+    for _ in 0..npert {
+        let col = c.u64()? as usize;
+        let delta = c.f64()?;
+        perts.push((col, delta));
+    }
+    Ok(perts)
+}
+
 /// Byte offsets of every section boundary inside an encoded snapshot:
 /// after the header, and after each payload section (identity+policy,
 /// matrix arrays, factor checksum+values, perturbations), ending at the
 /// trailer. Test aid for the torn-file drill — truncating the file at any
-/// of these offsets ±1 must be rejected by [`decode_snapshot`].
+/// of these offsets ±1 must be rejected by [`decode_snapshot`]. Replays
+/// the layout of whichever version the header declares.
 pub fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
     let payload = &bytes[HEADER_LEN..bytes.len() - TRAILER_LEN];
     let mut c = Cursor::new(payload);
     let mut marks = vec![HEADER_LEN];
@@ -577,6 +637,7 @@ pub fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
         let _ = c.fingerprint()?;
         let _ = c.u8()?;
         let _ = c.f64()?;
+        let tag = if version >= 2 { c.u8()? } else { PRECISION_F64 };
         marks.push(HEADER_LEN + (payload.len() - c.remaining()));
         let n = c.u64()? as usize;
         let nnz = c.u64()? as usize;
@@ -586,7 +647,11 @@ pub fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
         marks.push(HEADER_LEN + (payload.len() - c.remaining()));
         let _ = c.fingerprint()?;
         let nvals = c.u64()? as usize;
-        let _ = c.f64_vec(nvals)?;
+        if tag == PRECISION_F32 {
+            let _ = c.f32_vec(nvals)?;
+        } else {
+            let _ = c.f64_vec(nvals)?;
+        }
         marks.push(HEADER_LEN + (payload.len() - c.remaining()));
         let npert = c.u64()? as usize;
         for _ in 0..npert {

@@ -16,8 +16,9 @@ use trisolv_matrix::gen;
 use trisolv_server::batch::{BatchLane, BatchOptions};
 use trisolv_server::store::{
     decode_snapshot, encode_snapshot, section_boundaries, DropReason, FactorStore, StoreOptions,
+    PRECISION_F64, SNAPSHOT_MAGIC,
 };
-use trisolv_server::{FactorEntry, FaultPlan, Fingerprint};
+use trisolv_server::{FactorEntry, FaultPlan, Fingerprint, SolverLane};
 
 fn entry_for(spec: &str) -> Arc<FactorEntry> {
     let a = gen::from_spec(spec).unwrap();
@@ -27,6 +28,19 @@ fn entry_for(spec: &str) -> Arc<FactorEntry> {
         fp,
         a,
         solver,
+        2,
+        BatchLane::new(BatchOptions::default()),
+    ))
+}
+
+fn f32_entry_for(spec: &str) -> Arc<FactorEntry> {
+    let a = gen::from_spec(spec).unwrap();
+    let fp = Fingerprint::of_matrix(&a);
+    let solver = SparseCholeskySolver::factor(&a).unwrap().demote();
+    Arc::new(FactorEntry::new(
+        fp,
+        a,
+        SolverLane::F32(solver),
         2,
         BatchLane::new(BatchOptions::default()),
     ))
@@ -230,6 +244,127 @@ fn byte_budget_evicts_oldest_snapshot_first() {
     let fps: Vec<Fingerprint> = store.recover().iter().map(|r| r.fingerprint).collect();
     assert!(fps.contains(&c.fingerprint));
     assert!(!fps.contains(&a.fingerprint));
+}
+
+#[test]
+fn f32_snapshot_round_trips_in_the_narrow_lane() {
+    let dir = temp_dir("f32-roundtrip");
+    let entry = f32_entry_for("grid2d:9");
+    let fp = entry.fingerprint;
+    let b = gen::random_rhs(entry.n, 3, 13);
+    let want = entry.solver.solve(&b);
+
+    // a demoted factor snapshots at its resident width: half the value
+    // bytes of the same entry stored in f64
+    let narrow = encode_snapshot(&entry);
+    let wide = encode_snapshot(&entry_for("grid2d:9"));
+    assert!(
+        narrow.len() < wide.len(),
+        "f32 snapshot ({}) must be smaller than f64 ({})",
+        narrow.len(),
+        wide.len()
+    );
+
+    {
+        let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+        store.save(Arc::clone(&entry));
+        assert!(store.flush(Duration::from_secs(10)));
+    }
+    let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+    let recovered = store.recover();
+    assert_eq!(recovered.len(), 1);
+    let rec = &recovered[0];
+    assert_eq!(rec.fingerprint, fp);
+    assert!(rec.solver.is_f32(), "precision lane survives the restart");
+    assert_eq!(rec.checksum, entry.checksum);
+    let got = rec.solver.solve(&b);
+    assert_eq!(got, want, "recovered f32 factor must solve bit-identically");
+
+    // the torn-file contract holds for the narrow layout too
+    let marks = section_boundaries(&narrow);
+    assert_eq!(*marks.last().unwrap(), narrow.len());
+    for &m in &marks {
+        if m < narrow.len() {
+            assert!(matches!(
+                drop_reason(&narrow[..m], fp),
+                DropReason::Torn | DropReason::Corrupt
+            ));
+        }
+    }
+}
+
+/// Byte offset of the version-2 precision-tag byte inside a snapshot image:
+/// 6-byte header, then fingerprint (16) + regularize (1) + beta (8).
+const TAG_OFFSET: usize = 6 + 16 + 1 + 8;
+
+/// Rebuild a snapshot image with `mutate` applied to the payload and a
+/// freshly computed trailer, so only the mutation (not the checksum)
+/// decides the verdict.
+fn resealed(bytes: &[u8], version: u16, mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut payload = bytes[6..bytes.len() - 16].to_vec();
+    mutate(&mut payload);
+    let trailer = Fingerprint::of_bytes(&payload).to_bytes();
+    let mut out = Vec::with_capacity(6 + payload.len() + 16);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&trailer);
+    out
+}
+
+#[test]
+fn version_one_snapshot_still_recovers_as_f64() {
+    // A version-1 file is exactly the version-2 layout minus the precision
+    // tag; synthesize one from a real f64 snapshot and demand full recovery
+    // — files an older server wrote must keep loading forever.
+    let dir = temp_dir("v1");
+    let entry = entry_for("grid2d:8");
+    let fp = entry.fingerprint;
+    let bytes = encode_snapshot(&entry);
+    assert_eq!(
+        bytes[TAG_OFFSET], PRECISION_F64,
+        "tag sits where documented"
+    );
+    let v1 = resealed(&bytes, 1, |payload| {
+        payload.remove(TAG_OFFSET - 6);
+    });
+
+    let rec = decode_snapshot(&v1, fp).expect("version-1 image decodes");
+    assert!(!rec.solver.is_f32(), "tagless snapshots are f64");
+    let b = gen::random_rhs(entry.n, 2, 5);
+    assert_eq!(rec.solver.solve(&b), entry.solver.solve(&b));
+
+    // and through the full store scan, not just the codec
+    std::fs::write(dir.join(format!("{fp}.factor")), &v1).unwrap();
+    let store = FactorStore::open(StoreOptions::new(&dir), FaultPlan::default()).unwrap();
+    let recovered = store.recover();
+    assert_eq!(store.recovered_count(), 1);
+    assert_eq!(store.dropped_count(), 0);
+    assert_eq!(recovered[0].fingerprint, fp);
+}
+
+#[test]
+fn unknown_precision_tag_is_corrupt_and_future_version_is_stale() {
+    let entry = entry_for("grid2d:7");
+    let fp = entry.fingerprint;
+    let bytes = encode_snapshot(&entry);
+
+    // a tag this server never writes, under a valid trailer: the writer is
+    // inconsistent, not the disk
+    let bad_tag = resealed(&bytes, 2, |payload| {
+        payload[TAG_OFFSET - 6] = 7;
+    });
+    assert_eq!(drop_reason(&bad_tag, fp), DropReason::Corrupt);
+
+    // version 3 exactly (not just 0xff..): stale, never parsed
+    let mut v3 = bytes.clone();
+    v3[4..6].copy_from_slice(&3u16.to_le_bytes());
+    assert_eq!(drop_reason(&v3, fp), DropReason::Stale);
+
+    // version 0 was never produced by any writer
+    let mut v0 = bytes;
+    v0[4..6].copy_from_slice(&0u16.to_le_bytes());
+    assert_eq!(drop_reason(&v0, fp), DropReason::Stale);
 }
 
 #[test]

@@ -69,6 +69,11 @@ pub enum Command {
         /// Symmetric diagonal equilibration before factoring (implies the
         /// certified pipeline).
         scale: bool,
+        /// Precision lane for the certified pipeline: `f64` (classic),
+        /// or `f32`/`auto` — the mixed-precision driver (implies the
+        /// certified pipeline; `f32` and `auto` behave identically here,
+        /// the distinction only matters for the server's cache policy).
+        precision: String,
     },
     /// Convert between matrix file formats.
     Convert {
@@ -122,6 +127,10 @@ pub enum Command {
         persist_dir: String,
         /// Durable factor-store byte budget in MiB (0 = unbounded).
         persist_budget_mb: usize,
+        /// Cache residency lane for new factors: `f64`, `f32`, or `auto`
+        /// (demote like `f32`, but promote fingerprints whose certified
+        /// solves ever needed the `f64` fallback).
+        precision: String,
     },
     /// Run the distributed-tier router in front of a backend fleet.
     Route {
@@ -175,6 +184,11 @@ pub enum Command {
         /// Extra connections opened before the run and held idle through it
         /// (connection-scaling smoke; see the event-driven front end).
         idle_conns: usize,
+        /// Issue one certified SOLVE (protocol v3 certify flag) after the
+        /// load and print the server's refinement certificate.
+        certify: bool,
+        /// Print the server's STATS counters after the run.
+        stats: bool,
     },
 }
 
@@ -185,6 +199,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20 trisolv solve <matrix> [--procs P] [--nrhs M] [--block B] [--ordering nd|multilevel|mindeg|rcm|natural]\n\
                  \x20               [--threads T]      (real shared-memory solve width; 0 = available parallelism)\n\
                  \x20               [--certify] [--regularize] [--scale]   (certified solve: refinement / pivot boosting / equilibration)\n\
+                 \x20               [--precision f64|f32|auto]  (f32/auto: mixed-precision certified pipeline)\n\
                  \x20 trisolv convert <in> <out>\n\
                  \x20 trisolv gen <spec> <out>      (spec e.g. grid2d:64, grid3d:16x16x16, fem2d:24x24:3, random:500:6:1)\n\
                  \x20 trisolv serve [--addr A] [--workers N] [--max-batch K] [--window-us U] [--budget-mb M] [--exec seq|threaded]\n\
@@ -194,11 +209,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20               [--pipeline P]      (per-connection in-flight frame cap)\n\
                  \x20               [--persist-dir D]   (durable factor store; warm restart recovers it)\n\
                  \x20               [--persist-budget-mb M]  (on-disk snapshot budget; 0 = unbounded)\n\
+                 \x20               [--precision f64|f32|auto]  (cache lane; auto promotes factors that needed fallback)\n\
                  \x20 trisolv route [--addr A] (--backends h:p,h:p,... | --spawn N) [--replication R] [--vnodes V]\n\
                  \x20               [--deadline-cap-ms D] [--io-timeout-ms T] [--probe-ms P] [--max-conns C] [--pipeline P]\n\
                  \x20               [--retained-mb M]   (retained-LOAD replay budget for rejoining backends)\n\
                  \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
-                 \x20               [--timeout-ms T] [--retries R] [--backoff-ms B] [--idle-conns I]";
+                 \x20               [--timeout-ms T] [--retries R] [--backoff-ms B] [--idle-conns I]\n\
+                 \x20               [--certify]  (one certified SOLVE; prints the refinement certificate)\n\
+                 \x20               [--stats]    (print the server's STATS counters after the run)";
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("info") => {
@@ -215,6 +233,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut certify = false;
             let mut regularize = false;
             let mut scale = false;
+            let mut precision = "f64".to_string();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--certify" => {
@@ -242,12 +261,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--threads" => {
                         threads = value.parse().map_err(|e| format!("bad --threads: {e}"))?
                     }
+                    "--precision" => precision = value.clone(),
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
             if procs == 0 || nrhs == 0 || block == 0 {
                 return Err("--procs, --nrhs, --block must be positive".to_string());
             }
+            trisolv_server::PrecisionMode::parse(&precision)?;
             Ok(Command::Solve {
                 path,
                 procs,
@@ -258,6 +279,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 certify,
                 regularize,
                 scale,
+                precision,
             })
         }
         Some("convert") => {
@@ -287,6 +309,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut pipeline = 64usize;
             let mut persist_dir = String::new();
             let mut persist_budget_mb = 0usize;
+            let mut precision = "f64".to_string();
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -344,6 +367,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| format!("bad --persist-budget-mb: {e}"))?
                     }
+                    "--precision" => precision = value.clone(),
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -358,6 +382,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             trisolv_server::ExecMode::parse(&exec)?;
             trisolv_server::FaultPlan::parse(&fault_spec)?;
+            trisolv_server::PrecisionMode::parse(&precision)?;
             Ok(Command::Serve {
                 addr,
                 workers,
@@ -375,6 +400,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 pipeline,
                 persist_dir,
                 persist_budget_mb,
+                precision,
             })
         }
         Some("route") => {
@@ -479,9 +505,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut retries = 3u32;
             let mut backoff_ms = 50u64;
             let mut idle_conns = 0usize;
+            let mut certify = false;
+            let mut stats = false;
             while let Some(flag) = it.next() {
                 if flag == "--shutdown" {
                     shutdown = true;
+                    continue;
+                }
+                if flag == "--certify" {
+                    certify = true;
+                    continue;
+                }
+                if flag == "--stats" {
+                    stats = true;
                     continue;
                 }
                 let value = it
@@ -535,6 +571,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 retries,
                 backoff_ms,
                 idle_conns,
+                certify,
+                stats,
             })
         }
         _ => Err(usage.to_string()),
@@ -610,6 +648,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             certify,
             regularize,
             scale,
+            precision,
         } => {
             let (a, title) = load_matrix(path)?;
             let perm = ordering_perm(ordering, &a)?;
@@ -671,7 +710,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             // of the three flags turns it on, since equilibration and
             // regularization only make sense refined against the original
             // matrix (DESIGN.md §13).
-            if *certify || *regularize || *scale {
+            let mixed = precision != "f64";
+            if *certify || *regularize || *scale || mixed {
                 let copts = trisolv_core::CertifyOptions {
                     scale: *scale,
                     regularize: *regularize,
@@ -679,12 +719,24 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     ..trisolv_core::CertifyOptions::default()
                 };
                 let cb = gen::random_rhs(a.ncols(), 1, 7);
-                let cs = trisolv_core::certified_solve(&a, &cb, &copts)
-                    .map_err(|e| format!("certified solve failed: {e}"))?;
-                let r = &cs.report;
+                let (report, lane_note) = if mixed {
+                    let ms = trisolv_core::certified_solve_mixed(&a, &cb, &copts)
+                        .map_err(|e| format!("certified solve failed: {e}"))?;
+                    let note = if ms.fell_back {
+                        " [f32 lane, fell back to f64]"
+                    } else {
+                        " [f32 lane]"
+                    };
+                    (ms.report, note)
+                } else {
+                    let cs = trisolv_core::certified_solve(&a, &cb, &copts)
+                        .map_err(|e| format!("certified solve failed: {e}"))?;
+                    (cs.report, "")
+                };
+                let r = &report;
                 let _ = writeln!(
                     out,
-                    "certify:  omega {:.3e} after {} refinement step(s) -> {}",
+                    "certify:  omega {:.3e} after {} refinement step(s) -> {}{lane_note}",
                     r.backward_error,
                     r.iterations,
                     if r.certified {
@@ -737,6 +789,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             pipeline,
             persist_dir,
             persist_budget_mb,
+            precision,
         } => {
             let fault = srv::FaultPlan::parse(fault_spec)?;
             let persist = if persist_dir.is_empty() {
@@ -762,6 +815,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     max_pending: *max_pending,
                     solver_threads: *solver_threads,
                     verify_every: *verify_every,
+                    precision: srv::PrecisionMode::parse(precision)?,
                 },
                 fault,
                 io_timeout: Duration::from_millis(*io_timeout_ms),
@@ -860,6 +914,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             retries,
             backoff_ms,
             idle_conns,
+            certify,
+            stats,
         } => {
             let a = match (spec, matrix) {
                 (Some(s), None) => gen::from_spec(s)?,
@@ -929,6 +985,28 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     report.retry.deadline_missed,
                     report.retry.reconnects
                 );
+            }
+            if *certify {
+                let rhs = gen::random_rhs(loaded.n, 1, 7);
+                let reply = client
+                    .solve_certified(loaded.fingerprint, rhs.col(0), 0)
+                    .map_err(|e| format!("certified SOLVE failed: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "certify:  omega {:.3e} after {} refinement step(s) -> {}",
+                    reply.backward_error,
+                    reply.iterations,
+                    if reply.certified {
+                        "certified"
+                    } else {
+                        "NOT certified"
+                    }
+                );
+            }
+            if *stats {
+                for (key, value) in client.stats().map_err(|e| format!("STATS failed: {e}"))? {
+                    let _ = writeln!(out, "stat {key} = {value}");
+                }
             }
             if *shutdown {
                 client
@@ -1001,6 +1079,7 @@ mod tests {
                 certify: false,
                 regularize: false,
                 scale: false,
+                precision: "f64".into(),
             }
         );
         // the certify flags are boolean (no value) and order-insensitive
@@ -1012,6 +1091,8 @@ mod tests {
             "4",
             "--scale",
             "--regularize",
+            "--precision",
+            "f32",
         ]))
         .unwrap();
         assert_eq!(
@@ -1026,9 +1107,14 @@ mod tests {
                 certify: true,
                 regularize: true,
                 scale: true,
+                precision: "f32".into(),
             }
         );
         assert!(parse_args(&strv(&["solve"])).is_err());
+        assert!(
+            parse_args(&strv(&["solve", "m", "--precision", "f16"])).is_err(),
+            "bad precision lanes are rejected at parse time"
+        );
         assert!(parse_args(&strv(&["bogus"])).is_err());
         assert!(parse_args(&strv(&["solve", "m", "--procs"])).is_err());
         assert!(parse_args(&strv(&["solve", "m", "--procs", "0"])).is_err());
@@ -1063,6 +1149,7 @@ mod tests {
                 pipeline: 64,
                 persist_dir: String::new(),
                 persist_budget_mb: 0,
+                precision: "f64".into(),
             }
         );
         assert_eq!(
@@ -1100,6 +1187,8 @@ mod tests {
                 "/tmp/factors",
                 "--persist-budget-mb",
                 "128",
+                "--precision",
+                "auto",
             ]))
             .unwrap(),
             Command::Serve {
@@ -1119,7 +1208,12 @@ mod tests {
                 pipeline: 16,
                 persist_dir: "/tmp/factors".into(),
                 persist_budget_mb: 128,
+                precision: "auto".into(),
             }
+        );
+        assert!(
+            parse_args(&strv(&["serve", "--precision", "bf16"])).is_err(),
+            "bad precision lanes are rejected at parse time"
         );
         assert!(
             parse_args(&strv(&["serve", "--persist-budget-mb", "8"])).is_err(),
@@ -1165,8 +1259,17 @@ mod tests {
                 retries: 5,
                 backoff_ms: 20,
                 idle_conns: 100,
+                certify: false,
+                stats: false,
             }
         );
+        if let Command::Client { certify, stats, .. } =
+            parse_args(&strv(&["client", "a:1", "--certify", "--stats"])).unwrap()
+        {
+            assert!(certify && stats);
+        } else {
+            panic!("expected client command");
+        }
         assert!(parse_args(&strv(&["client"])).is_err());
         assert!(parse_args(&strv(&["client", "a:1", "--backoff-ms", "0"])).is_err());
         assert!(
@@ -1262,11 +1365,16 @@ mod tests {
             retries: 3,
             backoff_ms: 50,
             idle_conns: 10,
+            certify: true,
+            stats: true,
         })
         .unwrap();
         assert!(out.contains("loaded grid2d:12"), "{out}");
         assert!(out.contains("idle:     10 extra connections"), "{out}");
         assert!(out.contains("requests:"), "{out}");
+        assert!(out.contains("certify:  omega"), "{out}");
+        assert!(out.contains("-> certified"), "{out}");
+        assert!(out.contains("stat solves_ok = "), "{out}");
         assert!(out.contains("server shutdown acknowledged"), "{out}");
         // SHUTDOWN must actually have stopped the server
         server.wait();
@@ -1337,6 +1445,7 @@ mod tests {
             certify: false,
             regularize: false,
             scale: false,
+            precision: "f64".into(),
         })
         .unwrap();
         assert!(solved.contains("residual:"), "{solved}");
@@ -1356,11 +1465,16 @@ mod tests {
             certify: true,
             regularize: true,
             scale: true,
+            precision: "f32".into(),
         })
         .unwrap();
         assert!(
             certified.contains("certify:") && certified.contains("certified"),
             "{certified}"
+        );
+        assert!(
+            certified.contains("[f32 lane]"),
+            "a well-conditioned grid must certify on the narrow lane: {certified}"
         );
         assert!(
             certified.contains("boosted pivots 0")

@@ -7,6 +7,11 @@
 //!   truncated file), restart on the same directory, and demand that every
 //!   sealed snapshot is recovered, the torn one is dropped and counted,
 //!   and post-restart answers are bit-identical to the in-process solver.
+//! * `kill_dash_nine_preserves_the_f32_lane` — same drill under
+//!   `--precision f32`: demoted factors snapshot at their resident width,
+//!   survive the SIGKILL, recover in the narrow lane, and answer
+//!   bit-identically; a planted version-1 (pre-precision-tag) f64 file in
+//!   the same directory recovers alongside them.
 //! * `sigterm_drains_and_exits_zero` — a real SIGTERM routes through the
 //!   self-pipe into the event loop, flushes the store, and exits 0.
 #![cfg(unix)]
@@ -14,11 +19,14 @@
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use trisolv_core::SparseCholeskySolver;
-use trisolv_matrix::gen;
-use trisolv_server::Client;
+use trisolv_matrix::{gen, CscMatrix};
+use trisolv_server::batch::{BatchLane, BatchOptions};
+use trisolv_server::store::{encode_snapshot, SNAPSHOT_MAGIC};
+use trisolv_server::{Client, FactorEntry, Fingerprint};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("trisolv-drill-{tag}-{}", std::process::id()));
@@ -147,6 +155,98 @@ fn kill_dash_nine_mid_snapshot_recovers_sealed_factors() {
     let mut rest = String::new();
     std::io::Read::read_to_string(&mut out2, &mut rest).unwrap();
     assert!(rest.contains("server shut down cleanly"), "{rest:?}");
+}
+
+/// Synthesize a version-1 snapshot of `a` — the current f64 layout with the
+/// precision tag removed and the header version set to 1 — as an old server
+/// would have written it.
+fn v1_snapshot(a: &CscMatrix) -> Vec<u8> {
+    let fp = Fingerprint::of_matrix(a);
+    let solver = SparseCholeskySolver::factor(a).unwrap();
+    let entry = Arc::new(FactorEntry::new(
+        fp,
+        a.clone(),
+        solver,
+        1,
+        BatchLane::new(BatchOptions::default()),
+    ));
+    let v2 = encode_snapshot(&entry);
+    // payload starts at 6; the tag byte sits after fingerprint (16) +
+    // regularize flag (1) + beta (8)
+    let mut payload = v2[6..v2.len() - 16].to_vec();
+    payload.remove(16 + 1 + 8);
+    let trailer = Fingerprint::of_bytes(&payload).to_bytes();
+    let mut out = Vec::with_capacity(6 + payload.len() + 16);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&trailer);
+    out
+}
+
+#[test]
+fn kill_dash_nine_preserves_the_f32_lane() {
+    let dir = temp_dir("kill9-f32");
+    let (mut child, _out, addr) = spawn_serve(&dir, &["--precision", "f32"]);
+    let mats: Vec<_> = (8..=9)
+        .map(|k| gen::from_spec(&format!("grid2d:{k}")).unwrap())
+        .collect();
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(5)).unwrap();
+    let fps: Vec<_> = mats
+        .iter()
+        .map(|a| client.load(a).unwrap().fingerprint)
+        .collect();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stat(&stats, "demoted_factors"),
+        2,
+        "f32 mode demotes on load"
+    );
+
+    // both snapshots on disk, then SIGKILL: no destructors, no flush
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while snapshot_count(&dir) < 2 {
+        assert!(Instant::now() < deadline, "snapshots never landed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // plant a stale-version f64 snapshot (as a pre-upgrade server would
+    // have left behind) in the same directory
+    let old = gen::from_spec("grid2d:7").unwrap();
+    let old_fp = Fingerprint::of_matrix(&old);
+    std::fs::write(dir.join(format!("{old_fp}.factor")), v1_snapshot(&old)).unwrap();
+
+    // restart on the same directory, still in f32 mode
+    let (mut child2, _out2, addr2) = spawn_serve(&dir, &["--precision", "f32"]);
+    let mut client = Client::connect_retry(addr2.as_str(), Duration::from_secs(5)).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "persist_recovered"), 3, "two f32 + one v1 f64");
+    assert_eq!(stat(&stats, "persist_dropped"), 0);
+    assert_eq!(stat(&stats, "entries"), 3);
+    assert_eq!(
+        stat(&stats, "demoted_factors"),
+        0,
+        "recovery restores lanes verbatim, it never re-demotes"
+    );
+
+    // recovered f32 factors answer bit-identically to an in-process
+    // factor-then-demote solver
+    for (a, fp) in mats.iter().zip(&fps) {
+        let b = gen::random_rhs(a.ncols(), 1, 33);
+        let x = client.solve(*fp, b.col(0)).unwrap();
+        let expect = SparseCholeskySolver::factor(a).unwrap().demote().solve(&b);
+        assert_eq!(x, expect.col(0), "f32-lane answer drifted across kill -9");
+    }
+    // the planted version-1 factor still answers in full f64 precision
+    let b = gen::random_rhs(old.ncols(), 1, 34);
+    let x = client.solve(old_fp, b.col(0)).unwrap();
+    let expect = SparseCholeskySolver::factor(&old).unwrap().solve(&b);
+    assert_eq!(x, expect.col(0), "v1 snapshot must recover as f64");
+
+    client.shutdown_server().unwrap();
+    assert!(child2.wait().unwrap().success());
 }
 
 #[test]

@@ -758,6 +758,115 @@ fn equilibrated_solve_matches_unscaled() {
     }
 }
 
+/// The mixed-precision certified pipeline, across every generator family
+/// `from_spec` knows (grids, FEM, irregular meshes, random SPD, graded
+/// diagonals, rank-deficient-ε Neumann grids): each case either certifies
+/// ω ≤ 1e-10 in the `f32` lane or transparently falls back to `f64` —
+/// an uncertified answer is only ever allowed when full `f64` precision
+/// cannot certify either, and nothing panics or reports a lying
+/// certificate.
+#[test]
+fn mixed_precision_certifies_or_falls_back_never_surrenders_early() {
+    use trisolv::core::{certified_solve, certified_solve_mixed, CertifyOptions};
+    let specs = [
+        "grid2d:9x7",
+        "grid2d9:8",
+        "grid3d:4x5x3",
+        "grid3d27:4",
+        "fem2d:5x4:2",
+        "fem3d:3:2",
+        "mesh2d:7:9",
+        "mesh3d:4:5",
+        "random:48:3:17",
+        "graded:24:9",
+        "graded:30:13",
+        "rankdef:6x5:1e-8",
+        "rankdef:12x12:1e-12",
+        "rankdef:7x6:0",
+    ];
+    let mut rng = Rng::seed_from_u64(0xE1);
+    let mut fallbacks = 0u32;
+    for (case, spec) in specs.iter().enumerate() {
+        let a = gen::from_spec(spec).unwrap();
+        let b = gen::random_rhs(a.ncols(), rng.range_usize(1, 4), rng.next_u64() % 100);
+        let opts = CertifyOptions {
+            regularize: true,
+            ..CertifyOptions::default()
+        };
+        let mixed = std::panic::catch_unwind(|| certified_solve_mixed(&a, &b, &opts))
+            .unwrap_or_else(|_| panic!("case {case} ({spec}): panicked"))
+            .unwrap_or_else(|e| panic!("case {case} ({spec}): structured error {e}"));
+        let r = &mixed.report;
+        if r.certified {
+            assert!(
+                r.backward_error <= 1e-10,
+                "case {case} ({spec}): certified but omega {:.3e}",
+                r.backward_error
+            );
+            assert!(
+                mixed.x.as_slice().iter().all(|v| v.is_finite()),
+                "case {case} ({spec}): certified solution has non-finite entries"
+            );
+        } else {
+            // the narrow lane must never surrender before trying f64
+            assert!(
+                mixed.fell_back,
+                "case {case} ({spec}): uncertified without a fallback attempt"
+            );
+            let wide = certified_solve(&a, &b, &opts).unwrap();
+            assert!(
+                !wide.report.certified,
+                "case {case} ({spec}): f64 certifies but the mixed pipeline gave up"
+            );
+        }
+        if mixed.fell_back {
+            fallbacks += 1;
+        }
+    }
+    assert!(
+        fallbacks >= 1,
+        "the near-singular cases must engage the f64 fallback"
+    );
+}
+
+/// Symmetric equilibration composes with demotion: `scale: true` through
+/// the mixed pipeline still certifies on graded diagonals, stays in the
+/// `f32` lane, reports a sane scaling ratio, and agrees with the unscaled
+/// mixed answer wherever both certify.
+#[test]
+fn equilibration_composes_with_demotion() {
+    use trisolv::core::{certified_solve_mixed, CertifyOptions};
+    let mut rng = Rng::seed_from_u64(0xE2);
+    for case in 0..12 {
+        let a = gen::graded_diagonal(rng.range_usize(8, 40), rng.range_usize(4, 11) as u32);
+        let b = gen::random_rhs(a.ncols(), rng.range_usize(1, 3), rng.next_u64() % 100);
+        let scaled = certified_solve_mixed(
+            &a,
+            &b,
+            &CertifyOptions {
+                scale: true,
+                ..CertifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(scaled.report.certified, "case {case}");
+        assert!(
+            !scaled.fell_back,
+            "case {case}: equilibration + componentwise refinement keep the f32 lane"
+        );
+        let ratio = scaled.report.scaling_ratio.unwrap();
+        assert!(ratio >= 1.0 && ratio.is_finite(), "case {case}: {ratio}");
+        let plain = certified_solve_mixed(&a, &b, &CertifyOptions::default()).unwrap();
+        if plain.report.certified {
+            let denom = plain.x.norm_max().max(1.0);
+            assert!(
+                plain.x.max_abs_diff(&scaled.x).unwrap() / denom < 1e-8,
+                "case {case}: scaled and unscaled mixed answers diverge"
+            );
+        }
+    }
+}
+
 /// Amalgamation at random relaxation levels preserves factorization
 /// correctness.
 #[test]
