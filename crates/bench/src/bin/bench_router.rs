@@ -11,6 +11,14 @@
 //!   through the run — the goodput the replication + failover machinery
 //!   preserves, with zero unrecovered client errors required.
 //!
+//! Plus a hedged-tail pair (DESIGN.md §18): two backends, R = 2, the
+//! primary replica stalling every fourth solve — hedging off vs on, with
+//! the hedge rate accounted. The stalls are the p99 until hedging
+//! duplicates them to the clean replica. This pair runs at low
+//! concurrency on purpose: hedging dodges stragglers, it does not shed
+//! overload, so the measurement keeps the CPU unsaturated where the
+//! injected stall — not queueing — is the tail.
+//!
 //! Plus a rejoin-latency pair: restart the only backend cold (empty cache)
 //! and warm (`--persist-dir` recovery), measuring time from replacement
 //! spawn to the first successful solve through the router. Warm restart
@@ -158,6 +166,123 @@ fn run_scenario(a: &trisolv_matrix::CscMatrix, nbackends: usize, kill: bool) -> 
     }
 }
 
+struct HedgeResult {
+    hedging: bool,
+    requests: u64,
+    errors: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hedges_sent: u64,
+    hedge_wins: u64,
+    hedge_rate: f64,
+}
+
+/// Hedged-tail scenario: two backends with R = 2, and the benched
+/// factor's *primary* replica stalls every fourth solve by 40 ms — a
+/// straggler, not an outage. With hedging off the stalls are the p99;
+/// with hedging on, a stalled solve is duplicated to the clean replica
+/// once it outlives the adaptive threshold, the duplicate's reply wins,
+/// and the straggler's late answer is discarded by request id.
+fn run_hedge_scenario(a: &trisolv_matrix::CscMatrix, hedging: bool) -> HedgeResult {
+    // Hedging dodges a straggler's tail; it cannot shed overload — at CPU
+    // saturation the duplicate is pure extra work and queueing delay *is*
+    // the p99, drowning the stall this pair prices. Cap concurrency so the
+    // measured tail is the injected stall, the thing hedging routes around.
+    let clients = env_or("BENCH_CLIENTS", CLIENTS).min(4);
+    let run_secs = env_or("BENCH_RUN_SECS", RUN_SECS);
+    let fp = trisolv_server::Fingerprint::of_matrix(a);
+
+    let clean = spawn_backend(clients / 2 + 2);
+    let straggler = Server::spawn(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients / 2 + 2,
+        engine: EngineOptions {
+            exec: ExecMode::Threaded,
+            batch: BatchOptions {
+                max_batch: 8,
+                window: Duration::from_millis(2),
+                wait_timeout: Duration::from_secs(30),
+            },
+            ..EngineOptions::default()
+        },
+        fault: trisolv_server::FaultPlan::parse("solve.stall=every:4,ms:40").expect("fault spec"),
+        ..ServerOptions::default()
+    })
+    .expect("bind straggler backend");
+
+    // order the backend list so the ring makes the straggler primary for
+    // the benched fingerprint — every solve must cross the stall cadence
+    let ring = Ring::new(2, RouterOptions::default().vnodes);
+    let (c, s) = (
+        clean.local_addr().to_string(),
+        straggler.local_addr().to_string(),
+    );
+    let backends = if ring.primary(fp) == Some(1) {
+        vec![c, s]
+    } else {
+        vec![s, c]
+    };
+    let router = Router::spawn(RouterOptions {
+        backends,
+        replication: 2,
+        probe_interval: Duration::from_millis(20),
+        hedge_after: Duration::from_millis(5),
+        // generous budget so the bench isolates the mechanism; the rate
+        // actually consumed is reported alongside
+        hedge_budget: if hedging { 0.5 } else { 0.0 },
+        ..RouterOptions::default()
+    })
+    .expect("bind router");
+    assert!(router.wait_healthy(2, Duration::from_secs(10)));
+    let raddr = router.local_addr().to_string();
+
+    let loaded = Client::connect(&raddr)
+        .expect("connect")
+        .load(a)
+        .expect("factor and cache");
+    assert_eq!(loaded.fingerprint, fp);
+
+    let report = trisolv_server::run_load(&LoadGenOptions {
+        addr: raddr.clone(),
+        fingerprint: fp,
+        n: loaded.n,
+        clients,
+        duration: Duration::from_secs_f64(run_secs),
+        seed: 42,
+        deadline_ms: 0,
+        client: ClientOptions {
+            retries: 16,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            ..ClientOptions::default()
+        },
+        idle_conns: 0,
+    })
+    .expect("load generation");
+
+    let (hedges_sent, hedge_wins) = (router.hedges_sent(), router.hedge_wins());
+    router.join();
+    clean.join();
+    straggler.join();
+
+    HedgeResult {
+        hedging,
+        requests: report.requests,
+        errors: report.errors,
+        rps: report.throughput_rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        hedges_sent,
+        hedge_wins,
+        hedge_rate: if report.requests > 0 {
+            hedges_sent as f64 / report.requests as f64
+        } else {
+            0.0
+        },
+    }
+}
+
 struct RejoinResult {
     warm: bool,
     rejoin_ms: f64,
@@ -292,6 +417,36 @@ fn main() {
     }
 
     println!(
+        "\n{:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "hedging", "req/s", "p50 us", "p99 us", "hedges", "wins", "rate"
+    );
+    let mut hedge_results = Vec::new();
+    for hedging in [false, true] {
+        let r = run_hedge_scenario(&a, hedging);
+        println!(
+            "{:>8} {:>10.0} {:>10.0} {:>10.0} {:>8} {:>8} {:>8.3}",
+            if r.hedging { "on" } else { "off" },
+            r.rps,
+            r.p50_us,
+            r.p99_us,
+            r.hedges_sent,
+            r.hedge_wins,
+            r.hedge_rate
+        );
+        assert_eq!(
+            r.errors, 0,
+            "hedge scenario (hedging={hedging}): unrecovered client errors"
+        );
+        if hedging {
+            assert!(r.hedges_sent >= 1, "hedging on: no hedges dispatched");
+            assert!(r.hedge_wins >= 1, "hedging on: no hedge ever won");
+        } else {
+            assert_eq!(r.hedges_sent, 0, "hedging off: budget zero must gate");
+        }
+        hedge_results.push(r);
+    }
+
+    println!(
         "\n{:>8} {:>12} {:>10} {:>10}",
         "rejoin", "latency ms", "recovered", "load_hits"
     );
@@ -343,6 +498,27 @@ fn main() {
             Json::Int(std::thread::available_parallelism().map_or(1, |t| t.get()) as i64),
         ),
         ("scenarios", Json::Arr(scenarios)),
+        (
+            "hedge_scenarios",
+            Json::Arr(
+                hedge_results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("hedging", Json::Int(i64::from(r.hedging))),
+                            ("requests", Json::Int(r.requests as i64)),
+                            ("errors", Json::Int(r.errors as i64)),
+                            ("goodput_rps", Json::Num(r.rps)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("p99_us", Json::Num(r.p99_us)),
+                            ("hedges_sent", Json::Int(r.hedges_sent as i64)),
+                            ("hedge_wins", Json::Int(r.hedge_wins as i64)),
+                            ("hedge_rate", Json::Num(r.hedge_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         (
             "rejoin_scenarios",
             Json::Arr(

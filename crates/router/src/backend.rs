@@ -35,6 +35,19 @@ pub(crate) const DEAD_THRESHOLD: u32 = 3;
 /// Cap on the probe-backoff exponent (`probe_interval * 2^exp`).
 pub(crate) const MAX_BACKOFF_EXP: u32 = 6;
 
+/// Wire protocol spoken on one backend connection, settled by the `HELLO`
+/// handshake the router opens every connection with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Proto {
+    /// `HELLO` sent, answer pending; no sub-requests may be queued yet.
+    Negotiating,
+    /// v4: enveloped frames, replies correlate by request id (out-of-order
+    /// legal), per-sub-request expiry.
+    V4,
+    /// Legacy (≤ v3) backend: plain frames, strict FIFO reply order.
+    Fifo,
+}
+
 /// Breaker state of one backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Health {
@@ -48,19 +61,93 @@ pub enum Health {
     Dead,
 }
 
-/// One in-flight sub-request on a backend connection, in send order. The
-/// backend answers its connection strictly in order, so a FIFO of these is
-/// the whole request→reply correlation state.
+/// One in-flight sub-request on a backend connection. On a legacy (FIFO)
+/// backend these sit in send order and the backend answers strictly in
+/// order; on a v4 backend they live in a map keyed by the wire request id
+/// and replies may land in any order.
 pub(crate) struct SubReq {
     /// Router request id this sub-request belongs to.
     pub req: u64,
-    /// Backstop deadline: a reply later than this means the backend is hung
-    /// and the whole connection is condemned (FIFO matching cannot survive
-    /// skipping one reply).
+    /// Backstop deadline for the reply. On a FIFO backend a blown head
+    /// condemns the whole connection (FIFO matching cannot survive
+    /// skipping one reply); on a v4 backend only this sub-request fails.
     pub expires: Instant,
+    /// When the sub-request was enqueued (latency samples, hedge timing).
+    pub sent: Instant,
+    /// Whether this is a SOLVE forward (only those are hedge candidates
+    /// and only their completions feed the latency window).
+    pub solve: bool,
+    /// Whether this sub-request *is* a hedge (duplicate dispatch).
+    pub hedge: bool,
+    /// Cleared once the hedge scan has considered this sub-request, so a
+    /// past-threshold sub that cannot be hedged (budget, no replica) does
+    /// not wake the loop forever.
+    pub hedge_eligible: bool,
 }
 
-/// One backend: address, breaker, connection, and in-flight FIFO.
+impl SubReq {
+    /// A plain (non-hedge) sub-request.
+    pub fn new(req: u64, expires: Instant, sent: Instant, solve: bool) -> SubReq {
+        SubReq {
+            req,
+            expires,
+            sent,
+            solve,
+            hedge: false,
+            hedge_eligible: solve,
+        }
+    }
+
+    /// A hedge duplicate of a SOLVE sub-request.
+    pub fn new_hedge(req: u64, expires: Instant, sent: Instant) -> SubReq {
+        SubReq {
+            req,
+            expires,
+            sent,
+            solve: true,
+            hedge: true,
+            hedge_eligible: false,
+        }
+    }
+}
+
+/// Windowed completion-latency tracker feeding the adaptive hedge
+/// threshold: a ring of the last [`LatencyWindow::CAP`] non-hedged SOLVE
+/// completion times, queried at p99. Hedged completions are excluded so a
+/// stalled replica cannot poison the threshold through its own rescues.
+#[derive(Default)]
+pub(crate) struct LatencyWindow {
+    samples: Vec<u32>,
+    next: usize,
+}
+
+impl LatencyWindow {
+    const CAP: usize = 64;
+
+    pub fn record(&mut self, d: Duration) {
+        let ms = d.as_millis().min(u128::from(u32::MAX)) as u32;
+        if self.samples.len() < Self::CAP {
+            self.samples.push(ms);
+        } else {
+            self.samples[self.next] = ms;
+        }
+        self.next = (self.next + 1) % Self::CAP;
+    }
+
+    /// The windowed p99 (max of the top 1%; with ≤ 100 samples, the max).
+    /// Zero when no samples have landed yet.
+    pub fn p99(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() * 99).div_ceil(100).saturating_sub(1);
+        Duration::from_millis(u64::from(sorted[idx]))
+    }
+}
+
+/// One backend: address, breaker, connection, and in-flight bookkeeping.
 pub(crate) struct Backend {
     /// Dial address (as configured; also reported in EVICT outcomes).
     pub addr: String,
@@ -68,8 +155,18 @@ pub(crate) struct Backend {
     pub health: Health,
     /// Live connection, when one exists (`Standby`/`Healthy`).
     pub conn: Option<Conn>,
-    /// In-flight sub-requests in send order.
+    /// Negotiated wire protocol for the live connection.
+    pub proto: Proto,
+    /// Backstop for the `HELLO` answer while `Negotiating`.
+    pub hello_deadline: Option<Instant>,
+    /// In-flight sub-requests in send order (legacy FIFO backends).
     pub fifo: VecDeque<SubReq>,
+    /// In-flight sub-requests keyed by wire request id (v4 backends).
+    pub inflight: HashMap<u64, SubReq>,
+    /// Next wire request id on a v4 connection.
+    pub next_wire: u64,
+    /// Completion-latency window feeding the adaptive hedge threshold.
+    pub latency: LatencyWindow,
     /// Consecutive failures since the last successful connect.
     pub failures: u32,
     /// Earliest next dial attempt.
@@ -87,7 +184,12 @@ impl Backend {
             addr,
             health: Health::Probing,
             conn: None,
+            proto: Proto::Negotiating,
+            hello_deadline: None,
             fifo: VecDeque::new(),
+            inflight: HashMap::new(),
+            next_wire: 1,
+            latency: LatencyWindow::default(),
             failures: 0,
             next_probe: now,
             dialing: false,
@@ -106,6 +208,8 @@ impl Backend {
     /// The caller owns draining `fifo` *before* calling this.
     pub fn note_failure(&mut self, now: Instant, probe_interval: Duration) {
         self.conn = None;
+        self.proto = Proto::Negotiating;
+        self.hello_deadline = None;
         self.rejoining = 0;
         self.failures = self.failures.saturating_add(1);
         self.health = if self.failures >= DEAD_THRESHOLD {
@@ -262,6 +366,28 @@ mod tests {
             b.note_failure(t0, step);
         }
         assert_eq!(b.next_probe, t0 + step * (1 << MAX_BACKOFF_EXP));
+    }
+
+    #[test]
+    fn latency_window_p99_tracks_recent_samples() {
+        let mut w = LatencyWindow::default();
+        assert_eq!(w.p99(), Duration::ZERO, "empty window contributes nothing");
+        for _ in 0..50 {
+            w.record(Duration::from_millis(10));
+        }
+        assert_eq!(w.p99(), Duration::from_millis(10));
+        w.record(Duration::from_millis(500));
+        assert_eq!(
+            w.p99(),
+            Duration::from_millis(500),
+            "a tail spike is visible at p99"
+        );
+        // the window is a ring: a full turn of fresh fast samples pushes
+        // the spike out again
+        for _ in 0..LatencyWindow::CAP {
+            w.record(Duration::from_millis(5));
+        }
+        assert_eq!(w.p99(), Duration::from_millis(5));
     }
 
     #[test]

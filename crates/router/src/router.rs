@@ -1,13 +1,38 @@
-//! The router proper: a protocol-v3 proxy event loop with consistent-hash
-//! placement, replication, and deterministic failover.
+//! The router proper: a protocol-v4 proxy event loop with consistent-hash
+//! placement, replication, deterministic failover, and hedged dispatch.
 //!
 //! One loop thread owns every socket — the client-facing listener plus one
 //! outbound connection per backend — through the same [`poller`] /
 //! [`Conn`] machinery as the server front end (reused, not forked; the
 //! backend side uses [`Conn::enqueue`] for requests and the incremental
-//! frame parser for replies). There is no worker pool: proxying is cheap,
-//! and every reply correlates by FIFO order on its backend connection
-//! because backends answer each connection strictly in request order.
+//! frame parser for replies). There is no worker pool: proxying is cheap.
+//!
+//! Every backend connection opens with a `HELLO` handshake. A v4 backend
+//! gets enveloped frames (64-bit wire request id + payload checksum
+//! trailer): replies correlate through a per-connection id map, may land
+//! out of order, and a hung reply expires *alone* instead of condemning
+//! the connection. A reply whose checksum fails is counted
+//! (`router_crc_rejects`) and dropped — its id is untrustworthy — and the
+//! sub-request runs into its own expiry. A reply that correlates to
+//! nothing (duplicate, or late after its sub expired) is counted
+//! (`router_orphan_replies`) and dropped; the connection keeps serving. A
+//! backend that answers the handshake with `ERR UnknownOpcode` is a
+//! legacy (≤ v3) peer: it keeps the plain framing and the strict-FIFO
+//! correlation, where a blown reply deadline still condemns the whole
+//! connection (FIFO matching cannot skip a reply).
+//!
+//! The same envelope is offered to clients: a client that opens with
+//! `HELLO` gets v4 framing end-to-end (ids echoed verbatim, checksummed
+//! both ways — a corrupt request is refused with `ERR Corrupt` and the
+//! connection survives); clients that skip the handshake keep the legacy
+//! protocol byte-for-byte.
+//!
+//! Hedged SOLVE (DESIGN.md §18): once a forwarded SOLVE outlives an
+//! adaptive per-backend threshold — `max(`windowed p99 of that backend's
+//! completions`, hedge_after)` — the router duplicates it to the next
+//! replica, first valid reply wins, and the loser is discarded safely by
+//! request id. Hedges are capped by `hedge_budget` (a fraction of SOLVE
+//! sub-requests sent) and never re-hedged.
 //!
 //! Per-opcode routing (DESIGN.md §15):
 //!
@@ -49,12 +74,12 @@ use std::time::{Duration, Instant};
 use trisolv_server::conn::{Conn, FrameStep, Outcome, ReadStatus};
 use trisolv_server::poller::{self, Interest, PollFd, Waker};
 use trisolv_server::protocol::{
-    encode_frame, err_payload, op, parse_err, write_frame, Builder, Cursor, ErrorCode,
-    MAX_FRAME_LEN,
+    encode_frame, err_payload, op, parse_err, unwrap_v4, v4_req_id_hint, wrap_v4, write_frame,
+    Builder, Cursor, ErrorCode, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use trisolv_server::Fingerprint;
 
-use crate::backend::{Backend, Retained, SubReq};
+use crate::backend::{Backend, Proto, Retained, SubReq};
 use crate::ring::Ring;
 
 /// Router configuration.
@@ -86,6 +111,12 @@ pub struct RouterOptions {
     pub probe_interval: Duration,
     /// Byte budget for retained LOAD payloads (rejoin replay).
     pub retained_budget: usize,
+    /// Floor on the adaptive hedge threshold: a forwarded SOLVE is never
+    /// hedged before it is at least this old. Zero disables hedging.
+    pub hedge_after: Duration,
+    /// Hedge budget as a fraction of SOLVE sub-requests sent (0.10 = at
+    /// most ~10% extra dispatches). Zero disables hedging.
+    pub hedge_budget: f64,
 }
 
 impl Default for RouterOptions {
@@ -101,6 +132,8 @@ impl Default for RouterOptions {
             max_pipeline: 64,
             probe_interval: Duration::from_millis(100),
             retained_budget: 256 << 20,
+            hedge_after: Duration::from_millis(50),
+            hedge_budget: 0.10,
         }
     }
 }
@@ -111,6 +144,10 @@ struct Shared {
     requests: AtomicU64,
     failovers: AtomicU64,
     rejoins: AtomicU64,
+    hedges_sent: AtomicU64,
+    hedge_wins: AtomicU64,
+    crc_rejects: AtomicU64,
+    orphan_replies: AtomicU64,
 }
 
 /// Handle to a spawned router; dropping it shuts the router down.
@@ -147,6 +184,10 @@ impl Router {
             requests: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
+            hedges_sent: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            crc_rejects: AtomicU64::new(0),
+            orphan_replies: AtomicU64::new(0),
         });
         let (dial_tx, dial_rx) = mpsc::channel::<Dial>();
         let dials = Arc::new(DialQueue {
@@ -187,6 +228,7 @@ impl Router {
             next_req: 0,
             retained,
             touched: Vec::new(),
+            solve_subs_sent: 0,
         };
         threads.push(
             std::thread::Builder::new()
@@ -217,6 +259,28 @@ impl RunningRouter {
     /// SOLVE re-routes performed so far (replica failovers).
     pub fn failovers(&self) -> u64 {
         self.shared.failovers.load(Ordering::Acquire)
+    }
+
+    /// Hedge duplicates dispatched so far.
+    pub fn hedges_sent(&self) -> u64 {
+        self.shared.hedges_sent.load(Ordering::Acquire)
+    }
+
+    /// Requests answered by a hedge duplicate rather than the primary.
+    pub fn hedge_wins(&self) -> u64 {
+        self.shared.hedge_wins.load(Ordering::Acquire)
+    }
+
+    /// Frames rejected for a payload-checksum mismatch (corrupt backend
+    /// replies and corrupt v4 client requests).
+    pub fn crc_rejects(&self) -> u64 {
+        self.shared.crc_rejects.load(Ordering::Acquire)
+    }
+
+    /// Backend replies that correlated to nothing (duplicates, or replies
+    /// landing after their sub-request expired) — dropped, not fatal.
+    pub fn orphan_replies(&self) -> u64 {
+        self.shared.orphan_replies.load(Ordering::Acquire)
     }
 
     /// Block until at least `min` backends are `Healthy`, up to `timeout`.
@@ -339,6 +403,12 @@ enum Kind {
         next: usize,
         deadline: Instant,
         last_err: Option<ErrInfo>,
+        /// Sub-requests currently in flight for this request (> 1 while a
+        /// hedge races the primary). A transient failure on one arm only
+        /// fails over once the other arm has also resolved.
+        subs: usize,
+        /// Whether a hedge was already dispatched (one per request).
+        hedged: bool,
     },
     Load {
         outstanding: usize,
@@ -363,6 +433,9 @@ enum Kind {
 struct Request {
     client: u64,
     seq: u64,
+    /// The client's wire request id, echoed in the reply envelope when the
+    /// client negotiated v4 (`None` on legacy client connections).
+    cwire: Option<u64>,
     kind: Kind,
 }
 
@@ -371,8 +444,9 @@ struct Request {
 enum Step {
     /// Fan-out still has outstanding sub-requests.
     Pending,
-    /// The request is complete: answer the client with this frame.
-    Reply(Vec<u8>),
+    /// The request is complete: answer the client with this reply
+    /// (opcode, payload) — enveloped at the edge if the client is v4.
+    Reply(u8, Vec<u8>),
     /// Solve failover: try the next replica.
     Retry,
     /// A STATS fan-out completed; build the fleet reply from this
@@ -410,6 +484,9 @@ struct RouterLoop {
     /// Clients whose reply state changed off the socket-readiness path
     /// (backend replies, failures); they need a write/extract pass.
     touched: Vec<u64>,
+    /// SOLVE sub-requests dispatched (hedges included); the denominator of
+    /// the hedge budget.
+    solve_subs_sent: u64,
 }
 
 fn router_loop(mut lp: RouterLoop) {
@@ -425,6 +502,7 @@ fn router_loop(mut lp: RouterLoop) {
             return;
         }
         lp.check_backend_timeouts(now);
+        lp.check_hedges(now);
         lp.start_due_dials(now);
         lp.flush_touched();
 
@@ -481,23 +559,74 @@ fn router_loop(mut lp: RouterLoop) {
 impl RouterLoop {
     // -- time-driven maintenance --------------------------------------------
 
-    /// Condemn any backend whose oldest in-flight sub-request blew its
-    /// backstop deadline: FIFO correlation cannot skip a reply, so a hung
-    /// head poisons the whole connection.
+    /// Reply-deadline sweep. On a legacy (FIFO) backend a blown head
+    /// condemns the whole connection — FIFO correlation cannot skip a
+    /// reply. On a v4 backend each expired sub-request fails *alone* (the
+    /// id map correlates whatever else still arrives), and only a stuck
+    /// write or a hung `HELLO` answer condemns the connection.
     fn check_backend_timeouts(&mut self, now: Instant) {
         for b in 0..self.backends.len() {
-            let expired = self.backends[b]
+            let condemned = self.backends[b]
                 .fifo
                 .front()
                 .is_some_and(|h| now >= h.expires)
+                || self.backends[b].hello_deadline.is_some_and(|d| now >= d)
                 || self.backends[b]
                     .conn
                     .as_ref()
                     .is_some_and(|c| c.write_deadline.is_some_and(|d| now >= d));
-            if expired {
+            if condemned {
                 self.backend_failure(b, now);
+                continue;
+            }
+            let expired: Vec<u64> = self.backends[b]
+                .inflight
+                .iter()
+                .filter(|(_, s)| now >= s.expires)
+                .map(|(&w, _)| w)
+                .collect();
+            let hint = self.retry_hint_ms();
+            for wire in expired {
+                if let Some(sub) = self.backends[b].inflight.remove(&wire) {
+                    self.fail_sub(b, sub, now, hint);
+                }
             }
         }
+    }
+
+    /// Dispatch hedge duplicates for SOLVE sub-requests that outlived
+    /// their backend's adaptive threshold. Each sub-request is considered
+    /// exactly once — a hedge that cannot be dispatched (budget spent, no
+    /// spare replica, request already hedged) is forfeited rather than
+    /// retried, so this sweep never wakes the loop twice for the same sub.
+    fn check_hedges(&mut self, now: Instant) {
+        if !self.hedging_enabled() {
+            return;
+        }
+        let floor = self.opts.hedge_after;
+        let mut due: Vec<u64> = Vec::new();
+        for b in &mut self.backends {
+            let thr = b.latency.p99().max(floor);
+            for sub in b.inflight.values_mut().chain(b.fifo.iter_mut()) {
+                if sub.hedge_eligible && now >= sub.sent + thr {
+                    sub.hedge_eligible = false;
+                    due.push(sub.req);
+                }
+            }
+        }
+        for rid in due {
+            self.try_send_hedge(rid, now);
+        }
+    }
+
+    fn hedging_enabled(&self) -> bool {
+        self.opts.hedge_budget > 0.0 && !self.opts.hedge_after.is_zero()
+    }
+
+    /// `hedges_sent + 1 ≤ ceil(hedge_budget · solve_subs_sent)`?
+    fn hedge_budget_allows(&self) -> bool {
+        let cap = (self.opts.hedge_budget * self.solve_subs_sent as f64).ceil() as u64;
+        self.shared.hedges_sent.load(Ordering::Relaxed) < cap
     }
 
     fn start_due_dials(&mut self, now: Instant) {
@@ -524,10 +653,26 @@ impl RouterLoop {
             consider(conn.read_deadline);
             consider(conn.write_deadline);
         }
+        let hedging = self.hedging_enabled();
+        let floor = self.opts.hedge_after;
         for b in &self.backends {
             if let Some(conn) = &b.conn {
                 consider(conn.write_deadline);
+                consider(b.hello_deadline);
                 consider(b.fifo.front().map(|h| h.expires));
+                let thr = if hedging {
+                    Some(b.latency.p99().max(floor))
+                } else {
+                    None
+                };
+                for sub in b.inflight.values().chain(b.fifo.iter()) {
+                    consider(Some(sub.expires));
+                    if let Some(thr) = thr {
+                        if sub.hedge_eligible {
+                            consider(Some(sub.sent + thr));
+                        }
+                    }
+                }
             } else if !b.dialing {
                 consider(Some(b.next_probe));
             }
@@ -553,37 +698,74 @@ impl RouterLoop {
                     self.backends[d.idx].note_failure(now, self.opts.probe_interval);
                     return;
                 }
-                self.backends[d.idx].conn = Some(Conn::new(stream));
+                let mut conn = Conn::new(stream);
+                // Version negotiation opens every backend connection; the
+                // rejoin replays queue only once the answer settles the
+                // framing (they must be enveloped iff the peer is v4).
+                conn.enqueue(&encode_frame(
+                    op::HELLO,
+                    &Builder::new().u16(PROTOCOL_VERSION).build(),
+                ));
+                self.backends[d.idx].conn = Some(conn);
                 self.backends[d.idx].note_connected();
+                self.backends[d.idx].proto = Proto::Negotiating;
+                self.backends[d.idx].hello_deadline =
+                    Some(now + self.opts.io_timeout.max(Duration::from_secs(1)));
                 self.shared.rejoins.fetch_add(1, Ordering::Relaxed);
-                // Warm-standby replay: re-LOAD every retained factor the
-                // ring places on this backend before it takes traffic.
-                let replays: Vec<Vec<u8>> = self
-                    .retained
-                    .iter()
-                    .filter(|(fp, _)| {
-                        self.ring
-                            .replicas(**fp, self.opts.replication)
-                            .contains(&d.idx)
-                    })
-                    .map(|(_, payload)| payload.clone())
-                    .collect();
-                let expires = now + self.sub_request_backstop();
-                for payload in replays {
-                    let rid = self.new_request(Request {
-                        client: INTERNAL,
-                        seq: 0,
-                        kind: Kind::Rejoin { backend: d.idx },
-                    });
-                    self.backends[d.idx].rejoining += 1;
-                    self.send_sub(d.idx, op::LOAD, &payload, SubReq { req: rid, expires });
-                }
-                if self.backends[d.idx].rejoining == 0 {
-                    self.backends[d.idx].finish_rejoin();
-                }
-                self.set_healthy_gauge();
             }
         }
+    }
+
+    /// The `HELLO` answer landed: settle the connection's framing, then
+    /// queue the warm-standby replays (re-LOAD every retained factor the
+    /// ring places on this backend) before it takes new traffic.
+    fn finish_negotiation(&mut self, b: usize, opcode: u8, payload: &[u8], now: Instant) {
+        let proto = match opcode {
+            op::OK_HELLO => match Cursor::new(payload).u16() {
+                Ok(theirs) if theirs >= 4 => Proto::V4,
+                Ok(_) => Proto::Fifo,
+                Err(_) => {
+                    self.backend_failure(b, now);
+                    return;
+                }
+            },
+            // A pre-v4 backend does not know HELLO; the refusal leaves its
+            // connection open and IS the downgrade signal.
+            op::ERR => match parse_err(payload) {
+                Ok((Some(ErrorCode::UnknownOpcode), _, _)) => Proto::Fifo,
+                _ => {
+                    self.backend_failure(b, now);
+                    return;
+                }
+            },
+            _ => {
+                self.backend_failure(b, now);
+                return;
+            }
+        };
+        self.backends[b].proto = proto;
+        self.backends[b].hello_deadline = None;
+        let replays: Vec<Vec<u8>> = self
+            .retained
+            .iter()
+            .filter(|(fp, _)| self.ring.replicas(**fp, self.opts.replication).contains(&b))
+            .map(|(_, payload)| payload.clone())
+            .collect();
+        let expires = now + self.sub_request_backstop();
+        for payload in replays {
+            let rid = self.new_request(Request {
+                client: INTERNAL,
+                seq: 0,
+                cwire: None,
+                kind: Kind::Rejoin { backend: b },
+            });
+            self.backends[b].rejoining += 1;
+            self.send_sub(b, op::LOAD, &payload, SubReq::new(rid, expires, now, false));
+        }
+        if self.backends[b].rejoining == 0 {
+            self.backends[b].finish_rejoin();
+        }
+        self.set_healthy_gauge();
     }
 
     /// Backstop for a backend to answer a fan-out/replay sub-request.
@@ -603,9 +785,21 @@ impl RouterLoop {
     // -- backend I/O ---------------------------------------------------------
 
     fn send_sub(&mut self, b: usize, opcode: u8, payload: &[u8], sub: SubReq) {
-        if let Some(conn) = self.backends[b].conn.as_mut() {
+        if sub.solve {
+            self.solve_subs_sent += 1;
+        }
+        let backend = &mut self.backends[b];
+        let Some(conn) = backend.conn.as_mut() else {
+            return;
+        };
+        if backend.proto == Proto::V4 {
+            let wire = backend.next_wire;
+            backend.next_wire += 1;
+            conn.enqueue(&encode_frame(opcode, &wrap_v4(opcode, wire, payload)));
+            backend.inflight.insert(wire, sub);
+        } else {
             conn.enqueue(&encode_frame(opcode, payload));
-            self.backends[b].fifo.push_back(sub);
+            backend.fifo.push_back(sub);
         }
     }
 
@@ -662,52 +856,118 @@ impl RouterLoop {
     }
 
     fn handle_backend_reply(&mut self, b: usize, opcode: u8, payload: Vec<u8>, now: Instant) {
-        let Some(sub) = self.backends[b].fifo.pop_front() else {
-            // A reply with nothing in flight is a protocol violation; the
-            // connection's correlation state is unrecoverable.
-            self.backend_failure(b, now);
+        if self.backends[b].proto == Proto::Negotiating {
+            self.finish_negotiation(b, opcode, &payload, now);
             return;
+        }
+        let (sub, payload) = if self.backends[b].proto == Proto::V4 {
+            match unwrap_v4(opcode, &payload) {
+                Ok((wire, inner)) => {
+                    let inner = inner.to_vec();
+                    match self.backends[b].inflight.remove(&wire) {
+                        Some(sub) => (sub, inner),
+                        None => {
+                            // Duplicate, or late after its sub-request
+                            // expired: correlates to nothing. Ids never
+                            // reuse, so dropping it is safe and the
+                            // connection keeps serving.
+                            self.shared.orphan_replies.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Corrupt frame (or a legacy-encoded close-path ERR):
+                    // the id field cannot be trusted, so count and drop.
+                    // The owning sub-request runs into its own expiry; if
+                    // the connection is really dying, the EOF that follows
+                    // a close-path ERR tears it down.
+                    self.shared.crc_rejects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        } else {
+            match self.backends[b].fifo.pop_front() {
+                Some(sub) => (sub, payload),
+                None => {
+                    // A reply with nothing in flight: a duplicate, or one
+                    // that arrived after a condemnation already drained the
+                    // FIFO. Count it and drop it — condemning the
+                    // connection here (as the router once did) turns one
+                    // stray frame into a full teardown and a rejoin storm.
+                    self.shared.orphan_replies.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
         };
+        // The adaptive hedge threshold learns from replies that *served* a
+        // request, and only from un-hedged SOLVEs. Hedge arms are born
+        // past the threshold (counting them skews the window upward), and
+        // late losers are exactly the tail the hedge routed around —
+        // feeding them back in would walk the threshold up to the stall
+        // and the hedger would never fire early again.
+        if sub.solve && !sub.hedge && self.requests.contains_key(&sub.req) {
+            self.backends[b]
+                .latency
+                .record(now.saturating_duration_since(sub.sent));
+        }
         let rid = sub.req;
         let step = {
             let Some(req) = self.requests.get_mut(&rid) else {
+                // Already resolved: a hedge raced this arm and won (or the
+                // request failed over past it). A late loser, not an error.
                 return;
             };
             match &mut req.kind {
-                Kind::Solve { last_err, .. } => match opcode {
-                    op::OK_SOLVED => Step::Reply(encode_frame(op::OK_SOLVED, &payload)),
-                    op::ERR => {
-                        let parsed = parse_err(&payload).unwrap_or_else(|e| {
-                            (
-                                Some(ErrorCode::Internal),
-                                format!("undecodable backend error: {e}"),
-                                None,
-                            )
-                        });
-                        let code = parsed.0.unwrap_or(ErrorCode::Internal);
-                        *last_err = Some((code, parsed.1, parsed.2));
-                        match code {
-                            // Transient-at-this-replica: shed under load, a
-                            // stale rejoin, or a backend-side stall. The
-                            // factor lives elsewhere too — go there.
-                            ErrorCode::Busy
-                            | ErrorCode::UnknownFingerprint
-                            | ErrorCode::Timeout => Step::Retry,
-                            _ => {
-                                let (c, m, h) = last_err.clone().expect("just set");
-                                Step::Reply(encode_frame(op::ERR, &err_payload(c, &m, h)))
+                Kind::Solve { last_err, subs, .. } => {
+                    *subs = subs.saturating_sub(1);
+                    match opcode {
+                        op::OK_SOLVED => {
+                            if sub.hedge {
+                                self.shared.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Step::Reply(op::OK_SOLVED, payload)
+                        }
+                        op::ERR => {
+                            let parsed = parse_err(&payload).unwrap_or_else(|e| {
+                                (
+                                    Some(ErrorCode::Internal),
+                                    format!("undecodable backend error: {e}"),
+                                    None,
+                                )
+                            });
+                            let code = parsed.0.unwrap_or(ErrorCode::Internal);
+                            *last_err = Some((code, parsed.1, parsed.2));
+                            match code {
+                                // Transient-at-this-replica: shed under
+                                // load, a stale rejoin, or a backend-side
+                                // stall. The factor lives elsewhere too —
+                                // go there, once every arm has resolved.
+                                ErrorCode::Busy
+                                | ErrorCode::UnknownFingerprint
+                                | ErrorCode::Timeout => {
+                                    if *subs > 0 {
+                                        Step::Pending
+                                    } else {
+                                        Step::Retry
+                                    }
+                                }
+                                _ => {
+                                    let (c, m, h) = last_err.clone().expect("just set");
+                                    Step::Reply(op::ERR, err_payload(c, &m, h))
+                                }
                             }
                         }
-                    }
-                    other => Step::Reply(encode_frame(
-                        op::ERR,
-                        &err_payload(
-                            ErrorCode::Internal,
-                            &format!("unexpected backend reply opcode 0x{other:02x}"),
-                            None,
+                        other => Step::Reply(
+                            op::ERR,
+                            err_payload(
+                                ErrorCode::Internal,
+                                &format!("unexpected backend reply opcode 0x{other:02x}"),
+                                None,
+                            ),
                         ),
-                    )),
-                },
+                    }
+                }
                 Kind::Load {
                     outstanding,
                     reply,
@@ -760,7 +1020,10 @@ impl RouterLoop {
                         slot.1 = status;
                     }
                     if *outstanding == 0 {
-                        Step::Reply(evict_reply(*existed, outcomes, &self.opts.backends))
+                        Step::Reply(
+                            op::OK_EVICTED,
+                            evict_reply(*existed, outcomes, &self.opts.backends),
+                        )
                     } else {
                         Step::Pending
                     }
@@ -785,9 +1048,9 @@ impl RouterLoop {
     fn apply_step(&mut self, rid: u64, step: Step, now: Instant) {
         match step {
             Step::Pending => {}
-            Step::Reply(frame) => {
+            Step::Reply(opcode, payload) => {
                 if let Some(req) = self.requests.remove(&rid) {
-                    self.finish_client(req.client, req.seq, Outcome::Reply(frame));
+                    self.finish_client(req.client, req.seq, req.cwire, opcode, &payload, false);
                 }
             }
             Step::Retry => {
@@ -795,9 +1058,16 @@ impl RouterLoop {
                 self.try_send_solve(rid, now);
             }
             Step::StatsDone(acc) => {
-                let frame = self.stats_reply_frame(&acc);
+                let payload = self.stats_reply_payload(&acc);
                 if let Some(req) = self.requests.remove(&rid) {
-                    self.finish_client(req.client, req.seq, Outcome::Reply(frame));
+                    self.finish_client(
+                        req.client,
+                        req.seq,
+                        req.cwire,
+                        op::OK_STATS,
+                        &payload,
+                        false,
+                    );
                 }
             }
             Step::Rejoined(b) => {
@@ -810,71 +1080,89 @@ impl RouterLoop {
     }
 
     /// Tear down a backend connection: every in-flight sub-request on it
-    /// fails over (solves) or counts against its fan-out (everything
-    /// else), and the breaker schedules a reconnect probe.
+    /// (FIFO and id-correlated alike) fails over (solves) or counts
+    /// against its fan-out (everything else), and the breaker schedules a
+    /// reconnect probe.
     fn backend_failure(&mut self, b: usize, now: Instant) {
-        let drained: Vec<SubReq> = self.backends[b].fifo.drain(..).collect();
+        let mut drained: Vec<SubReq> = self.backends[b].fifo.drain(..).collect();
+        drained.extend(self.backends[b].inflight.drain().map(|(_, s)| s));
         self.backends[b].note_failure(now, self.opts.probe_interval);
         self.set_healthy_gauge();
         let hint = self.retry_hint_ms();
         for sub in drained {
-            let rid = sub.req;
-            let step = {
-                let Some(req) = self.requests.get_mut(&rid) else {
-                    continue;
-                };
-                match &mut req.kind {
-                    Kind::Solve { last_err, .. } => {
+            self.fail_sub(b, sub, now, hint);
+        }
+    }
+
+    /// Resolve one failed sub-request — expired individually on a v4
+    /// backend, or drained from a torn-down connection — against its
+    /// request. A hedged SOLVE with another arm still running stays
+    /// pending; failover happens only once every arm has resolved.
+    fn fail_sub(&mut self, b: usize, sub: SubReq, now: Instant, hint: u64) {
+        let rid = sub.req;
+        let step = {
+            let Some(req) = self.requests.get_mut(&rid) else {
+                return;
+            };
+            match &mut req.kind {
+                Kind::Solve { last_err, subs, .. } => {
+                    *subs = subs.saturating_sub(1);
+                    *last_err = Some((
+                        ErrorCode::Busy,
+                        format!("backend {} unreachable", self.backends[b].addr),
+                        Some(hint),
+                    ));
+                    if *subs > 0 {
+                        Step::Pending
+                    } else {
+                        Step::Retry
+                    }
+                }
+                Kind::Load {
+                    outstanding,
+                    reply,
+                    last_err,
+                } => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    if last_err.is_none() {
                         *last_err = Some((
                             ErrorCode::Busy,
                             format!("backend {} unreachable", self.backends[b].addr),
                             Some(hint),
                         ));
-                        Step::Retry
                     }
-                    Kind::Load {
-                        outstanding,
-                        reply,
-                        last_err,
-                    } => {
-                        *outstanding = outstanding.saturating_sub(1);
-                        if last_err.is_none() {
-                            *last_err = Some((
-                                ErrorCode::Busy,
-                                format!("backend {} unreachable", self.backends[b].addr),
-                                Some(hint),
-                            ));
-                        }
-                        finish_load(*outstanding, reply, last_err)
-                    }
-                    Kind::Evict {
-                        existed,
-                        outstanding,
-                        outcomes,
-                    } => {
-                        *outstanding = outstanding.saturating_sub(1);
-                        if *outstanding == 0 {
-                            Step::Reply(evict_reply(*existed, outcomes, &self.opts.backends))
-                        } else {
-                            Step::Pending
-                        }
-                    }
-                    Kind::Stats { outstanding, acc } => {
-                        *outstanding = outstanding.saturating_sub(1);
-                        if *outstanding == 0 {
-                            Step::StatsDone(std::mem::take(acc))
-                        } else {
-                            Step::Pending
-                        }
-                    }
-                    Kind::Rejoin { .. } => {
-                        self.requests.remove(&rid);
-                        continue;
+                    finish_load(*outstanding, reply, last_err)
+                }
+                Kind::Evict {
+                    existed,
+                    outstanding,
+                    outcomes,
+                } => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    if *outstanding == 0 {
+                        Step::Reply(
+                            op::OK_EVICTED,
+                            evict_reply(*existed, outcomes, &self.opts.backends),
+                        )
+                    } else {
+                        Step::Pending
                     }
                 }
-            };
-            self.apply_step(rid, step, now);
-        }
+                Kind::Stats { outstanding, acc } => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    if *outstanding == 0 {
+                        Step::StatsDone(std::mem::take(acc))
+                    } else {
+                        Step::Pending
+                    }
+                }
+                // The replay died with its sub-request; account for it so a
+                // Standby backend still promotes (solve failover covers a
+                // replica that genuinely lacks the factor).
+                Kind::Rejoin { backend } => Step::Rejoined(*backend),
+            }
+        };
+        self.apply_step(rid, step, now);
     }
 
     // -- solve forwarding / failover ----------------------------------------
@@ -902,6 +1190,8 @@ impl RouterLoop {
                     next,
                     deadline,
                     last_err,
+                    subs,
+                    ..
                 } = &mut req.kind
                 else {
                     return;
@@ -929,6 +1219,7 @@ impl RouterLoop {
                     self.shared.failovers.fetch_add(skipped, Ordering::Relaxed);
                     match chosen {
                         Some(b) => {
+                            *subs += 1;
                             let remaining =
                                 deadline.saturating_duration_since(now).as_millis() as u64;
                             let mut fwd = payload.clone();
@@ -958,7 +1249,10 @@ impl RouterLoop {
                     self.finish_client(
                         req.client,
                         req.seq,
-                        Outcome::Reply(encode_frame(op::ERR, &err_payload(code, &msg, hint))),
+                        req.cwire,
+                        op::ERR,
+                        &err_payload(code, &msg, hint),
+                        false,
                     );
                 }
             }
@@ -967,8 +1261,87 @@ impl RouterLoop {
                 frame_payload,
                 expires,
             } => {
-                self.send_sub(b, op::SOLVE, &frame_payload, SubReq { req: rid, expires });
+                self.send_sub(
+                    b,
+                    op::SOLVE,
+                    &frame_payload,
+                    SubReq::new(rid, expires, now, true),
+                );
             }
+        }
+    }
+
+    /// Duplicate a slow SOLVE to the next replica in ring order: the first
+    /// valid reply wins, the loser resolves by request id without harm.
+    /// The remaining deadline is rewritten for the hedge hop exactly as it
+    /// is for a failover. At most one hedge per request, and only within
+    /// the hedge budget.
+    fn try_send_hedge(&mut self, rid: u64, now: Instant) {
+        if !self.hedge_budget_allows() {
+            return;
+        }
+        struct Hedge {
+            b: usize,
+            frame_payload: Vec<u8>,
+            expires: Instant,
+        }
+        let action = {
+            let Some(req) = self.requests.get_mut(&rid) else {
+                return;
+            };
+            let Kind::Solve {
+                payload,
+                replicas,
+                next,
+                deadline,
+                subs,
+                hedged,
+                ..
+            } = &mut req.kind
+            else {
+                return;
+            };
+            if *hedged || now >= *deadline {
+                None
+            } else {
+                let mut chosen = None;
+                let mut skipped = 0u64;
+                let mut i = *next;
+                while i < replicas.len() {
+                    let b = replicas[i];
+                    i += 1;
+                    if self.backends[b].usable() {
+                        chosen = Some(b);
+                        break;
+                    }
+                    skipped += 1;
+                }
+                chosen.map(|b| {
+                    // replicas skipped here are consumed exactly as the
+                    // failover path consumes them, so count them the same
+                    self.shared.failovers.fetch_add(skipped, Ordering::Relaxed);
+                    *next = i;
+                    *hedged = true;
+                    *subs += 1;
+                    let remaining = deadline.saturating_duration_since(now).as_millis() as u64;
+                    let mut fwd = payload.clone();
+                    fwd[16..24].copy_from_slice(&remaining.max(1).to_le_bytes());
+                    Hedge {
+                        b,
+                        frame_payload: fwd,
+                        expires: *deadline + self.opts.io_timeout.max(Duration::from_secs(1)),
+                    }
+                })
+            }
+        };
+        if let Some(h) = action {
+            self.shared.hedges_sent.fetch_add(1, Ordering::Relaxed);
+            self.send_sub(
+                h.b,
+                op::SOLVE,
+                &h.frame_payload,
+                SubReq::new_hedge(rid, h.expires, now),
+            );
         }
     }
 
@@ -1081,13 +1454,75 @@ impl RouterLoop {
                 }
                 FrameStep::Frame { opcode, payload } => {
                     extracted = true;
+                    let (is_v4, begun) = {
+                        let Some(conn) = self.clients.get_mut(&id) else {
+                            return;
+                        };
+                        (conn.is_v4(), conn.requests_begun())
+                    };
+                    // Version negotiation: first frame only, answered
+                    // inline (it must settle the framing before any
+                    // pipelined request is parsed).
+                    if opcode == op::HELLO && !is_v4 && begun == 0 {
+                        let reply = match Cursor::new(&payload).u16() {
+                            Ok(theirs) => {
+                                let negotiated = theirs.min(PROTOCOL_VERSION);
+                                if negotiated >= 4 {
+                                    if let Some(conn) = self.clients.get_mut(&id) {
+                                        conn.set_v4();
+                                    }
+                                }
+                                encode_frame(op::OK_HELLO, &Builder::new().u16(negotiated).build())
+                            }
+                            Err(msg) => encode_frame(
+                                op::ERR,
+                                &err_payload(ErrorCode::Malformed, &msg, None),
+                            ),
+                        };
+                        if let Some(conn) = self.clients.get_mut(&id) {
+                            conn.enqueue(&reply);
+                        }
+                        continue;
+                    }
+                    let mut payload = payload;
+                    let mut cwire = None;
+                    if is_v4 {
+                        match unwrap_v4(opcode, &payload) {
+                            Ok((w, inner)) => {
+                                cwire = Some(w);
+                                payload = inner.to_vec();
+                            }
+                            Err(e) => {
+                                // Refuse the damaged frame, keep the
+                                // connection: framing is still intact, and
+                                // the id hint lets the client correlate.
+                                let (code, msg) = match e {
+                                    trisolv_server::protocol::EnvelopeError::Checksum => {
+                                        self.shared.crc_rejects.fetch_add(1, Ordering::Relaxed);
+                                        (ErrorCode::Corrupt, "payload checksum mismatch")
+                                    }
+                                    trisolv_server::protocol::EnvelopeError::TooShort => (
+                                        ErrorCode::Malformed,
+                                        "payload shorter than the v4 envelope",
+                                    ),
+                                };
+                                let hint = v4_req_id_hint(&payload);
+                                let err = err_payload(code, msg, None);
+                                let frame = encode_frame(op::ERR, &wrap_v4(op::ERR, hint, &err));
+                                if let Some(conn) = self.clients.get_mut(&id) {
+                                    conn.enqueue(&frame);
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     let seq = {
                         let Some(conn) = self.clients.get_mut(&id) else {
                             return;
                         };
                         conn.begin_request()
                     };
-                    self.dispatch_client(id, seq, opcode, payload, now);
+                    self.dispatch_client(id, seq, cwire, opcode, payload, now);
                 }
             }
         }
@@ -1097,9 +1532,31 @@ impl RouterLoop {
         }
     }
 
-    fn finish_client(&mut self, id: u64, seq: u64, outcome: Outcome) {
+    /// Complete one client request: the reply is enveloped (echoing the
+    /// client's wire request id) when the client negotiated v4, and sent
+    /// bare on legacy connections.
+    fn finish_client(
+        &mut self,
+        id: u64,
+        seq: u64,
+        cwire: Option<u64>,
+        opcode: u8,
+        payload: &[u8],
+        close: bool,
+    ) {
+        let frame = match cwire {
+            Some(w) => encode_frame(opcode, &wrap_v4(opcode, w, payload)),
+            None => encode_frame(opcode, payload),
+        };
         if let Some(conn) = self.clients.get_mut(&id) {
-            conn.finish(seq, outcome);
+            conn.finish(
+                seq,
+                if close {
+                    Outcome::ReplyThenClose(frame)
+                } else {
+                    Outcome::Reply(frame)
+                },
+            );
             self.touched.push(id);
         }
     }
@@ -1138,32 +1595,48 @@ impl RouterLoop {
         rid
     }
 
-    fn reply_err(&mut self, id: u64, seq: u64, code: ErrorCode, msg: &str, hint: Option<u64>) {
+    fn reply_err(
+        &mut self,
+        id: u64,
+        seq: u64,
+        cwire: Option<u64>,
+        code: ErrorCode,
+        msg: &str,
+        hint: Option<u64>,
+    ) {
         self.finish_client(
             id,
             seq,
-            Outcome::Reply(encode_frame(op::ERR, &err_payload(code, msg, hint))),
+            cwire,
+            op::ERR,
+            &err_payload(code, msg, hint),
+            false,
         );
     }
 
-    fn dispatch_client(&mut self, id: u64, seq: u64, opcode: u8, payload: Vec<u8>, now: Instant) {
+    fn dispatch_client(
+        &mut self,
+        id: u64,
+        seq: u64,
+        cwire: Option<u64>,
+        opcode: u8,
+        payload: Vec<u8>,
+        now: Instant,
+    ) {
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
         match opcode {
-            op::SOLVE => self.dispatch_solve(id, seq, payload, now),
-            op::LOAD => self.dispatch_load(id, seq, payload, now),
-            op::EVICT => self.dispatch_evict(id, seq, &payload, now),
-            op::STATS => self.dispatch_stats(id, seq, now),
+            op::SOLVE => self.dispatch_solve(id, seq, cwire, payload, now),
+            op::LOAD => self.dispatch_load(id, seq, cwire, payload, now),
+            op::EVICT => self.dispatch_evict(id, seq, cwire, &payload, now),
+            op::STATS => self.dispatch_stats(id, seq, cwire, now),
             op::SHUTDOWN => {
                 self.shutdown.store(true, Ordering::SeqCst);
-                self.finish_client(
-                    id,
-                    seq,
-                    Outcome::ReplyThenClose(encode_frame(op::OK_BYE, &[])),
-                );
+                self.finish_client(id, seq, cwire, op::OK_BYE, &[], true);
             }
             other => self.reply_err(
                 id,
                 seq,
+                cwire,
                 ErrorCode::UnknownOpcode,
                 &format!("unknown request opcode 0x{other:02x}"),
                 None,
@@ -1171,9 +1644,23 @@ impl RouterLoop {
         }
     }
 
-    fn dispatch_solve(&mut self, id: u64, seq: u64, payload: Vec<u8>, now: Instant) {
+    fn dispatch_solve(
+        &mut self,
+        id: u64,
+        seq: u64,
+        cwire: Option<u64>,
+        payload: Vec<u8>,
+        now: Instant,
+    ) {
         if payload.len() < 32 {
-            self.reply_err(id, seq, ErrorCode::Malformed, "short SOLVE payload", None);
+            self.reply_err(
+                id,
+                seq,
+                cwire,
+                ErrorCode::Malformed,
+                "short SOLVE payload",
+                None,
+            );
             return;
         }
         let fp = Fingerprint::from_bytes(payload[..16].try_into().expect("16 bytes"));
@@ -1183,22 +1670,32 @@ impl RouterLoop {
         let rid = self.new_request(Request {
             client: id,
             seq,
+            cwire,
             kind: Kind::Solve {
                 payload,
                 replicas,
                 next: 0,
                 deadline: now + budget,
                 last_err: None,
+                subs: 0,
+                hedged: false,
             },
         });
         self.try_send_solve(rid, now);
     }
 
-    fn dispatch_load(&mut self, id: u64, seq: u64, payload: Vec<u8>, now: Instant) {
+    fn dispatch_load(
+        &mut self,
+        id: u64,
+        seq: u64,
+        cwire: Option<u64>,
+        payload: Vec<u8>,
+        now: Instant,
+    ) {
         let fp = match load_fingerprint(&payload) {
             Ok(fp) => fp,
             Err(msg) => {
-                self.reply_err(id, seq, ErrorCode::Malformed, &msg, None);
+                self.reply_err(id, seq, cwire, ErrorCode::Malformed, &msg, None);
                 return;
             }
         };
@@ -1213,6 +1710,7 @@ impl RouterLoop {
             self.reply_err(
                 id,
                 seq,
+                cwire,
                 ErrorCode::Busy,
                 "no healthy replica to load onto",
                 Some(hint),
@@ -1223,6 +1721,7 @@ impl RouterLoop {
         let rid = self.new_request(Request {
             client: id,
             seq,
+            cwire,
             kind: Kind::Load {
                 outstanding: targets.len(),
                 reply: None,
@@ -1231,17 +1730,24 @@ impl RouterLoop {
         });
         let expires = now + self.sub_request_backstop();
         for b in targets {
-            self.send_sub(b, op::LOAD, &payload, SubReq { req: rid, expires });
+            self.send_sub(b, op::LOAD, &payload, SubReq::new(rid, expires, now, false));
         }
     }
 
-    fn dispatch_evict(&mut self, id: u64, seq: u64, payload: &[u8], now: Instant) {
+    fn dispatch_evict(
+        &mut self,
+        id: u64,
+        seq: u64,
+        cwire: Option<u64>,
+        payload: &[u8],
+        now: Instant,
+    ) {
         let fp = {
             let mut c = Cursor::new(payload);
             match c.fingerprint().and_then(|fp| c.finish().map(|_| fp)) {
                 Ok(fp) => fp,
                 Err(msg) => {
-                    self.reply_err(id, seq, ErrorCode::Malformed, &msg, None);
+                    self.reply_err(id, seq, cwire, ErrorCode::Malformed, &msg, None);
                     return;
                 }
             }
@@ -1255,13 +1761,14 @@ impl RouterLoop {
             .filter(|&b| self.backends[b].usable())
             .collect();
         if targets.is_empty() {
-            let frame = evict_reply(false, &outcomes, &self.opts.backends);
-            self.finish_client(id, seq, Outcome::Reply(frame));
+            let payload = evict_reply(false, &outcomes, &self.opts.backends);
+            self.finish_client(id, seq, cwire, op::OK_EVICTED, &payload, false);
             return;
         }
         let rid = self.new_request(Request {
             client: id,
             seq,
+            cwire,
             kind: Kind::Evict {
                 existed: false,
                 outstanding: targets.len(),
@@ -1270,22 +1777,28 @@ impl RouterLoop {
         });
         let expires = now + self.sub_request_backstop();
         for b in targets {
-            self.send_sub(b, op::EVICT, &fp.to_bytes(), SubReq { req: rid, expires });
+            self.send_sub(
+                b,
+                op::EVICT,
+                &fp.to_bytes(),
+                SubReq::new(rid, expires, now, false),
+            );
         }
     }
 
-    fn dispatch_stats(&mut self, id: u64, seq: u64, now: Instant) {
+    fn dispatch_stats(&mut self, id: u64, seq: u64, cwire: Option<u64>, now: Instant) {
         let targets: Vec<usize> = (0..self.backends.len())
             .filter(|&b| self.backends[b].usable())
             .collect();
         if targets.is_empty() {
-            let frame = self.stats_reply_frame(&BTreeMap::new());
-            self.finish_client(id, seq, Outcome::Reply(frame));
+            let payload = self.stats_reply_payload(&BTreeMap::new());
+            self.finish_client(id, seq, cwire, op::OK_STATS, &payload, false);
             return;
         }
         let rid = self.new_request(Request {
             client: id,
             seq,
+            cwire,
             kind: Kind::Stats {
                 outstanding: targets.len(),
                 acc: BTreeMap::new(),
@@ -1293,13 +1806,13 @@ impl RouterLoop {
         });
         let expires = now + self.sub_request_backstop();
         for b in targets {
-            self.send_sub(b, op::STATS, &[], SubReq { req: rid, expires });
+            self.send_sub(b, op::STATS, &[], SubReq::new(rid, expires, now, false));
         }
     }
 
     /// The fleet STATS view: summed backend counters plus `router_*` keys.
-    fn stats_reply_frame(&self, acc: &BTreeMap<String, u64>) -> Vec<u8> {
-        let router_pairs: [(&str, u64); 7] = [
+    fn stats_reply_payload(&self, acc: &BTreeMap<String, u64>) -> Vec<u8> {
+        let router_pairs: [(&str, u64); 11] = [
             ("router_backends", self.backends.len() as u64),
             (
                 "router_backends_healthy",
@@ -1319,6 +1832,22 @@ impl RouterLoop {
             ),
             ("router_retained_loads", self.retained.len() as u64),
             ("router_retained_bytes", self.retained.bytes() as u64),
+            (
+                "router_hedges_sent",
+                self.shared.hedges_sent.load(Ordering::Relaxed),
+            ),
+            (
+                "router_hedge_wins",
+                self.shared.hedge_wins.load(Ordering::Relaxed),
+            ),
+            (
+                "router_crc_rejects",
+                self.shared.crc_rejects.load(Ordering::Relaxed),
+            ),
+            (
+                "router_orphan_replies",
+                self.shared.orphan_replies.load(Ordering::Relaxed),
+            ),
         ];
         let mut b = Builder::new().u64((acc.len() + router_pairs.len()) as u64);
         for (key, val) in acc {
@@ -1327,7 +1856,7 @@ impl RouterLoop {
         for (key, val) in router_pairs {
             b = b.u16(key.len() as u16).bytes(key.as_bytes()).u64(val);
         }
-        encode_frame(op::OK_STATS, &b.build())
+        b.build()
     }
 
     // -- shutdown ------------------------------------------------------------
@@ -1382,19 +1911,19 @@ fn finish_load(outstanding: usize, reply: &Option<Vec<u8>>, last_err: &Option<Er
         return Step::Pending;
     }
     match reply {
-        Some(ok) => Step::Reply(encode_frame(op::OK_LOADED, ok)),
+        Some(ok) => Step::Reply(op::OK_LOADED, ok.clone()),
         None => {
             let (code, msg, hint) = last_err.clone().unwrap_or((
                 ErrorCode::Internal,
                 "load fan-out resolved without any reply".into(),
                 None,
             ));
-            Step::Reply(encode_frame(op::ERR, &err_payload(code, &msg, hint)))
+            Step::Reply(op::ERR, err_payload(code, &msg, hint))
         }
     }
 }
 
-/// Build the router `OK_EVICTED` frame: aggregate `existed`, then the
+/// Build the router `OK_EVICTED` payload: aggregate `existed`, then the
 /// per-replica outcome trailer (`u8 count`, then per replica `u16 addrlen`,
 /// addr bytes, `u8 status`).
 fn evict_reply(existed: bool, outcomes: &[(usize, u8)], addrs: &[String]) -> Vec<u8> {
@@ -1405,7 +1934,7 @@ fn evict_reply(existed: bool, outcomes: &[(usize, u8)], addrs: &[String]) -> Vec
         let addr = addrs.get(idx).map(String::as_str).unwrap_or("?");
         b = b.u16(addr.len() as u16).bytes(addr.as_bytes()).u8(status);
     }
-    encode_frame(op::OK_EVICTED, &b.build())
+    b.build()
 }
 
 /// Sum one backend's `OK_STATS` payload into the fleet accumulator.
@@ -1491,10 +2020,8 @@ mod tests {
     #[test]
     fn evict_reply_trailer_encodes_addrs_and_statuses() {
         let addrs = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
-        let frame = evict_reply(true, &[(1, 1), (0, 2)], &addrs);
-        // strip the 5-byte frame header
-        let payload = &frame[5..];
-        let mut c = Cursor::new(payload);
+        let payload = evict_reply(true, &[(1, 1), (0, 2)], &addrs);
+        let mut c = Cursor::new(&payload);
         assert_eq!(c.u8().unwrap(), 1, "existed");
         assert_eq!(c.u8().unwrap(), 2, "count");
         let l = c.u16().unwrap() as usize;

@@ -59,7 +59,140 @@ fn resilient_opts(seed: u64) -> ClientOptions {
         backoff: Duration::from_millis(1),
         max_backoff: Duration::from_millis(25),
         seed,
+        ..ClientOptions::default()
     }
+}
+
+/// Protocol-v4 chaos drill: R=2 with one replica both stalling solves
+/// and flipping bits on its wire. Hedging must rescue the stalled tail
+/// (at least one hedge win), the checksum trailer must catch every
+/// flipped frame (at least one crc reject, zero wrong answers), and the
+/// faulted backend's out-of-order late replies must never condemn its
+/// connection — both backends are still healthy when the dust settles.
+#[test]
+fn hedged_fleet_survives_a_stalling_bitflipping_replica() {
+    let _dog = Watchdog::arm("protocol v4 chaos drill", Duration::from_secs(120));
+
+    let exe = env!("CARGO_BIN_EXE_trisolv-backend");
+    let base = |extra: &[&str]| -> Vec<String> {
+        ["--addr", "127.0.0.1:0", "--workers", "4"]
+            .iter()
+            .copied()
+            .chain(extra.iter().copied())
+            .map(str::to_string)
+            .collect()
+    };
+    // clean replica: the sequential bit-exact reference executor
+    let clean = Fleet::spawn(exe, &base(&["--exec", "seq"]), 1).unwrap();
+    // faulted replica: threaded executor (answers bit-identically by
+    // construction — the solve fault site lives there), every other solve
+    // stalled well past the hedge threshold, every 6th written frame gets
+    // one byte silently flipped on the wire
+    let faulty = Fleet::spawn(
+        exe,
+        &base(&[
+            "--exec",
+            "threaded",
+            "--fault-spec",
+            "seed=7;solve.stall=every:2,ms:900;write.bitflip=every:6",
+        ]),
+        1,
+    )
+    .unwrap();
+
+    let n = 48;
+    let a = gen::random_spd(n, 5, 42);
+    let reference = SparseCholeskySolver::factor(&a).unwrap();
+    let fp = Fingerprint::of_matrix(&a);
+
+    // order the backend list so the ring places this fingerprint's
+    // *primary* on the faulted replica: every solve must cross the stall
+    // and the bit-flips to come home correct
+    let ring = Ring::new(2, trisolv_router::Ring::DEFAULT_VNODES);
+    let (b0, b1) = (clean.addrs()[0].clone(), faulty.addrs()[0].clone());
+    let backends = if ring.primary(fp) == Some(1) {
+        vec![b0, b1]
+    } else {
+        vec![b1, b0]
+    };
+
+    let router = Router::spawn(RouterOptions {
+        backends,
+        replication: 2,
+        probe_interval: Duration::from_millis(10),
+        io_timeout: Duration::from_secs(2),
+        deadline_cap: Duration::from_secs(4),
+        hedge_after: Duration::from_millis(25),
+        hedge_budget: 1.0,
+        ..RouterOptions::default()
+    })
+    .unwrap();
+    assert!(router.wait_healthy(2, Duration::from_secs(10)));
+    let raddr = router.local_addr().to_string();
+
+    {
+        let mut c = Client::connect_with(&raddr, resilient_opts(500)).unwrap();
+        assert_eq!(c.load(&a).unwrap().fingerprint, fp);
+    }
+
+    let nclients = 4u64;
+    let rounds = 12u64;
+    std::thread::scope(|scope| {
+        for c in 0..nclients {
+            let raddr = raddr.clone();
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect_with(&raddr, resilient_opts(c)).unwrap();
+                let mut rng = Rng::seed_from_u64(8000 + c);
+                for r in 0..rounds {
+                    let mut b = DenseMatrix::zeros(n, 1);
+                    for v in b.col_mut(0) {
+                        *v = rng.range_f64(-1.0, 1.0);
+                    }
+                    let x = client
+                        .solve_with_retry(fp, b.col(0), 0)
+                        .unwrap_or_else(|e| panic!("client {c} round {r}: {e}"));
+                    assert_eq!(
+                        x.as_slice(),
+                        reference.solve(&b).col(0),
+                        "client {c} round {r}: answer not bit-identical under chaos"
+                    );
+                }
+            });
+        }
+    });
+
+    // The hedges win long before the stalled replicas finish: their late
+    // replies — the out-of-order losers, some bit-flipped — land *after*
+    // the workload. Wait for them; the checksum rejects and the survival
+    // of the connection under that barrage are the drill's whole point.
+    let start = std::time::Instant::now();
+    while router.crc_rejects() == 0 && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        router.hedge_wins() >= 1,
+        "a hedge must have rescued at least one stalled solve \
+         (hedges_sent={})",
+        router.hedges_sent()
+    );
+    assert!(
+        router.crc_rejects() >= 1,
+        "the checksum trailer must have caught at least one flipped frame"
+    );
+    // the drill's whole point: a replica that stalls, answers late and out
+    // of order, and corrupts frames is *degraded*, never condemned — its
+    // connection is still up and the fleet is whole
+    assert_eq!(
+        router.healthy_backends(),
+        2,
+        "the faulted backend's connection must never be condemned by a \
+         late, out-of-order, or corrupt reply"
+    );
+
+    drop(clean);
+    drop(faulty);
+    router.join();
 }
 
 #[test]

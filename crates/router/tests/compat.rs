@@ -1,0 +1,207 @@
+//! Router version-compat matrix (satellite c) and the orphan-reply
+//! regression (satellite a).
+//!
+//! The rolling-upgrade contract has two sides. Client-facing: v3 and v4
+//! clients interleave on the same router, each served in its own framing.
+//! Backend-facing: a pre-v4 backend refuses the router's `HELLO` with
+//! `ERR UnknownOpcode` and the router drops to the legacy strict-FIFO
+//! dialect on that connection — sub-requests go out bare, replies
+//! correlate by order. In FIFO mode a reply with nothing in flight (a
+//! duplicate, or a late frame after a drain) used to condemn the whole
+//! connection; now it is counted as an orphan and dropped while the
+//! connection keeps serving.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use trisolv_matrix::gen;
+use trisolv_router::{Router, RouterOptions};
+use trisolv_server::protocol::{self, op, ErrorCode};
+use trisolv_server::{
+    BatchOptions, Client, ClientOptions, EngineOptions, ExecMode, Server, ServerOptions,
+};
+
+/// A hand-rolled pre-v4 backend: refuses `HELLO` the way a v3 server
+/// does (ERR UnknownOpcode, connection kept), records every frame it
+/// receives afterwards, and answers each STATS **twice** — the second
+/// reply is exactly the stray frame that used to condemn the connection.
+type SeenFrames = Arc<Mutex<Vec<(u8, usize)>>>;
+
+fn spawn_legacy_backend() -> (String, SeenFrames, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let seen: SeenFrames = Arc::new(Mutex::new(Vec::new()));
+    let extras = Arc::new(AtomicU64::new(0));
+    let seen2 = Arc::clone(&seen);
+    let extras2 = Arc::clone(&extras);
+    std::thread::spawn(move || {
+        // serve reconnects too: the router may redial after the test ends
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            while let Ok((opcode, _payload)) = protocol::read_frame(&mut stream) {
+                match opcode {
+                    op::HELLO => {
+                        let p = protocol::err_payload(
+                            ErrorCode::UnknownOpcode,
+                            "unknown request opcode 0x06",
+                            None,
+                        );
+                        let mut out = Vec::new();
+                        protocol::write_frame(&mut out, op::ERR, &p).unwrap();
+                        let _ = stream.write_all(&out);
+                    }
+                    op::STATS => {
+                        seen2.lock().unwrap().push((opcode, _payload.len()));
+                        // a minimal legacy OK_STATS: zero pairs
+                        let p = protocol::Builder::new().u64(0).build();
+                        let mut out = Vec::new();
+                        protocol::write_frame(&mut out, op::OK_STATS, &p).unwrap();
+                        // ...written twice: reply + unsolicited duplicate
+                        out.extend_from_slice(&out.clone());
+                        extras2.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.write_all(&out);
+                    }
+                    other => {
+                        seen2.lock().unwrap().push((other, _payload.len()));
+                        let p = protocol::err_payload(
+                            ErrorCode::UnknownFingerprint,
+                            "legacy stub",
+                            None,
+                        );
+                        let mut out = Vec::new();
+                        protocol::write_frame(&mut out, op::ERR, &p).unwrap();
+                        let _ = stream.write_all(&out);
+                    }
+                }
+            }
+        }
+    });
+    (addr, seen, extras)
+}
+
+/// FIFO fallback against a legacy backend, plus the orphan regression:
+/// the duplicate reply is counted, dropped, and the connection keeps
+/// serving — it is never condemned.
+#[test]
+fn legacy_backend_gets_fifo_framing_and_orphans_do_not_condemn() {
+    let (addr, seen, _extras) = spawn_legacy_backend();
+    let router = Router::spawn(RouterOptions {
+        backends: vec![addr],
+        replication: 1,
+        probe_interval: Duration::from_millis(20),
+        ..RouterOptions::default()
+    })
+    .unwrap();
+    assert!(
+        router.wait_healthy(1, Duration::from_secs(10)),
+        "the HELLO refusal must read as a downgrade, not a failure"
+    );
+
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+    // each STATS round trip provokes one duplicate backend reply
+    let stats = client.stats().unwrap();
+    let get = |stats: &[(String, u64)], k: &str| {
+        stats
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing stat {k}"))
+            .1
+    };
+    assert_eq!(get(&stats, "router_backends_healthy"), 1);
+
+    // the duplicate lands asynchronously; wait for the counter
+    let start = Instant::now();
+    while router.orphan_replies() == 0 {
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "orphan reply was never counted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // regression: the stray frame must not have condemned the connection —
+    // the same backend connection still answers
+    let stats = client.stats().unwrap();
+    assert_eq!(get(&stats, "router_backends_healthy"), 1);
+    assert!(get(&stats, "router_orphan_replies") >= 1);
+    assert_eq!(get(&stats, "router_crc_rejects"), 0);
+
+    // and every frame the backend saw was bare legacy framing: a FIFO-mode
+    // STATS sub-request has an empty payload, not a 24-byte v4 envelope
+    for (opcode, plen) in seen.lock().unwrap().iter() {
+        assert_eq!(*opcode, op::STATS);
+        assert_eq!(
+            *plen, 0,
+            "sub-requests to a legacy backend must not be enveloped"
+        );
+    }
+
+    drop(client);
+    router.join();
+}
+
+fn backend_opts() -> ServerOptions {
+    ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        engine: EngineOptions {
+            exec: ExecMode::Seq,
+            batch: BatchOptions {
+                max_batch: 4,
+                window: Duration::from_millis(1),
+                wait_timeout: Duration::from_secs(20),
+            },
+            ..EngineOptions::default()
+        },
+        ..ServerOptions::default()
+    }
+}
+
+/// A mixed-version fleet round trip: v3 and v4 clients interleaved on
+/// one router over v4 backends, every answer bit-identical.
+#[test]
+fn mixed_version_clients_round_trip_through_the_router() {
+    let servers: Vec<_> = (0..2)
+        .map(|_| Server::spawn(backend_opts()).unwrap())
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let router = Router::spawn(RouterOptions {
+        backends: addrs,
+        replication: 2,
+        probe_interval: Duration::from_millis(20),
+        ..RouterOptions::default()
+    })
+    .unwrap();
+    assert!(router.wait_healthy(2, Duration::from_secs(10)));
+    let raddr = router.local_addr().to_string();
+
+    // a legacy client and a negotiated one on the same router
+    let mut v3 = Client::connect(raddr.clone()).unwrap();
+    assert_eq!(v3.negotiated_version(), 3);
+    let mut v4 = Client::connect_with(&raddr, ClientOptions::default()).unwrap();
+    assert_eq!(v4.negotiated_version(), 4);
+
+    let a = gen::grid2d_laplacian(8, 8);
+    let fp = v3.load(&a).unwrap().fingerprint;
+    let b = gen::random_rhs(64, 1, 13);
+    // interleave so both framings are live on the router at once
+    for _ in 0..3 {
+        let x3 = v3.solve(fp, b.col(0)).unwrap();
+        let x4 = v4.solve(fp, b.col(0)).unwrap();
+        assert_eq!(x3, x4, "framing must not change the numbers");
+    }
+    // the v4 client's STATS sees the fleet aggregation keys
+    let stats = v4.stats().unwrap();
+    assert!(stats.iter().any(|(k, _)| k == "router_hedges_sent"));
+    assert!(stats.iter().any(|(k, _)| k == "router_orphan_replies"));
+
+    drop(v3);
+    drop(v4);
+    router.join();
+    for s in servers {
+        s.join();
+    }
+}

@@ -242,6 +242,69 @@ fn dead_backend_rejoins_as_warm_standby() {
 }
 
 #[test]
+fn hedged_solve_rescues_a_stalled_primary_replica() {
+    // Backend 1 stalls every solve far longer than the hedge threshold;
+    // backend 0 is clean. With R=2 the factor lives on both, so a solve
+    // whose primary is the stalled replica is exactly the tail the hedge
+    // exists for: the duplicate lands on the clean replica, its reply
+    // wins, and the stalled arm resolves later as a discarded late loser.
+    let fast = Server::spawn(backend_opts()).unwrap();
+    // the solve fault site lives in the threaded executor (which answers
+    // bit-identically to the sequential reference by construction)
+    let mut slow_opts = backend_opts();
+    slow_opts.engine.exec = ExecMode::Threaded;
+    slow_opts.fault = trisolv_server::FaultPlan::parse("solve.stall=every:1,ms:2000").unwrap();
+    let slow = Server::spawn(slow_opts).unwrap();
+    let addrs = vec![fast.local_addr().to_string(), slow.local_addr().to_string()];
+    let opts = RouterOptions {
+        backends: addrs,
+        replication: 2,
+        probe_interval: Duration::from_millis(20),
+        hedge_after: Duration::from_millis(25),
+        hedge_budget: 1.0,
+        ..RouterOptions::default()
+    };
+    let ring = Ring::new(2, opts.vnodes);
+    let router = Router::spawn(opts).unwrap();
+    assert!(router.wait_healthy(2, Duration::from_secs(10)));
+
+    let mut client = Client::connect(router.local_addr().to_string()).unwrap();
+    // walk grid sizes until the ring places a factor's primary on the
+    // stalled backend (placement is a pure function of the fingerprint,
+    // so the test can pick its victim deterministically)
+    let (a, n) = (4..32)
+        .map(|k| (gen::grid2d_laplacian(k, k), k * k))
+        .find(|(a, _)| ring.primary(Fingerprint::of_matrix(a)) == Some(1))
+        .expect("some grid must land on backend 1");
+    let fp = client.load(&a).unwrap().fingerprint;
+
+    let b = gen::random_rhs(n, 1, 17);
+    let t0 = std::time::Instant::now();
+    let x = client.solve_with_deadline(fp, b.col(0), 10_000).unwrap();
+    let elapsed = t0.elapsed();
+    check_solution(&a, &b, &x);
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "hedge should beat the 2 s stall, took {elapsed:?}"
+    );
+    assert!(router.hedges_sent() >= 1, "a hedge was dispatched");
+    assert!(router.hedge_wins() >= 1, "the hedge's reply won");
+
+    // the stalled arm's eventual reply is a late loser, not an orphan
+    // condemnation: both backends stay healthy and keep serving
+    std::thread::sleep(Duration::from_millis(2200));
+    assert_eq!(router.healthy_backends(), 2);
+    let x2 = client.solve_with_deadline(fp, b.col(0), 10_000).unwrap();
+    check_solution(&a, &b, &x2);
+    assert_eq!(x, x2, "hedged and direct answers are bit-identical");
+
+    drop(client);
+    router.join();
+    fast.join();
+    slow.join();
+}
+
+#[test]
 fn fleet_wide_evict_drops_the_retained_copy_so_rejoin_cannot_replay_it() {
     // Regression guard: a fleet-wide EVICT must also drop the router's
     // retained LOAD payload. If it lingered, a backend restart would get

@@ -1,9 +1,19 @@
 //! Blocking client for the solve service.
 //!
 //! One [`Client`] wraps one TCP connection and issues one request at a
-//! time (the protocol has no request ids, so pipelining is per-connection;
-//! concurrency comes from opening more connections, which is exactly what
-//! feeds the server-side micro-batcher).
+//! time; concurrency comes from opening more connections, which is exactly
+//! what feeds the server-side micro-batcher.
+//!
+//! Protocol v4 (opt-out via [`ClientOptions::max_version`]): clients built
+//! by [`Client::connect_with`] open with a `HELLO` handshake. Against a v4
+//! peer every subsequent frame carries a 64-bit request id plus a payload
+//! checksum trailer; the client verifies both on every reply — an id
+//! mismatch or checksum failure surfaces as [`ClientError::Protocol`],
+//! which [`Client::solve_with_retry`] treats as transient across a
+//! mandatory reconnect. Against an older peer the handshake is answered
+//! with `ERR UnknownOpcode` and the client falls back to the legacy (v3)
+//! framing on the same connection, so mixed-version fleets keep working
+//! during rolling upgrades.
 //!
 //! Resilience (new in the hardening pass) is opt-in through
 //! [`ClientOptions`]: connect/request timeouts, transparent reconnect, and
@@ -22,7 +32,8 @@ use trisolv_matrix::CscMatrix;
 
 use crate::fingerprint::Fingerprint;
 use crate::protocol::{
-    op, parse_err, read_frame, write_frame, Builder, Cursor, ErrorCode, SOLVE_FLAG_CERTIFIED,
+    op, parse_err, read_frame, unwrap_v4, wrap_v4, write_frame, Builder, Cursor, EnvelopeError,
+    ErrorCode, PROTOCOL_VERSION, SOLVE_FLAG_CERTIFIED,
 };
 
 /// Client-visible failure.
@@ -54,7 +65,10 @@ impl ClientError {
             ClientError::Io(_) | ClientError::Protocol(_) => true,
             ClientError::Server { code, .. } => matches!(
                 code,
-                Some(ErrorCode::Busy) | Some(ErrorCode::Deadline) | Some(ErrorCode::Timeout)
+                Some(ErrorCode::Busy)
+                    | Some(ErrorCode::Deadline)
+                    | Some(ErrorCode::Timeout)
+                    | Some(ErrorCode::Corrupt)
             ),
         }
     }
@@ -143,6 +157,10 @@ pub struct ClientOptions {
     pub max_backoff: Duration,
     /// Seed for backoff jitter (deterministic tests; vary it per client).
     pub seed: u64,
+    /// Highest protocol version to offer in the `HELLO` handshake.
+    /// Below 4 the handshake is skipped entirely and the client speaks
+    /// the legacy framing (pin to 3 for version-compat tests).
+    pub max_version: u16,
 }
 
 impl Default for ClientOptions {
@@ -154,6 +172,7 @@ impl Default for ClientOptions {
             backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
             seed: 0,
+            max_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -179,10 +198,17 @@ pub struct Client {
     opts: ClientOptions,
     rng: Rng,
     stats: RetryStats,
+    /// Protocol version negotiated on this connection (3 = legacy framing,
+    /// no ids or checksums; ≥ 4 = enveloped frames).
+    negotiated: u16,
+    /// Next request id on a v4 connection.
+    next_rid: u64,
 }
 
 impl Client {
-    /// Connect once, with no timeouts and no retry machinery.
+    /// Connect once, with no timeouts, no retry machinery, and no version
+    /// handshake — the connection speaks the legacy (v3) framing, which
+    /// keeps this constructor suitable for raw-frame test traffic.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -195,21 +221,76 @@ impl Client {
             },
             rng: Rng::seed_from_u64(0),
             stats: RetryStats::default(),
+            negotiated: 3,
+            next_rid: 1,
         })
     }
 
     /// Connect with resilience options: a bounded connect, socket
     /// read/write timeouts, and the address retained so
     /// [`Client::solve_with_retry`] can reconnect after transport failures.
+    /// Unless [`ClientOptions::max_version`] pins the legacy protocol, the
+    /// connection opens with a `HELLO` handshake and upgrades to v4 framing
+    /// when the peer supports it.
     pub fn connect_with(addr: &str, opts: ClientOptions) -> io::Result<Client> {
         let stream = Self::dial(addr, &opts)?;
-        Ok(Client {
+        let mut client = Client {
             stream,
             addr: Some(addr.to_string()),
             rng: Rng::seed_from_u64(opts.seed),
             opts,
             stats: RetryStats::default(),
-        })
+            negotiated: 3,
+            next_rid: 1,
+        };
+        client
+            .hello()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(client)
+    }
+
+    /// Negotiate the protocol version on the current stream. Must be the
+    /// first request on a connection. A peer that predates `HELLO` answers
+    /// `ERR UnknownOpcode` and leaves the connection open — that is the
+    /// downgrade signal, and the client stays on the legacy framing.
+    /// Returns the negotiated version.
+    pub fn hello(&mut self) -> Result<u16, ClientError> {
+        if self.opts.max_version < 4 {
+            self.negotiated = self.opts.max_version.min(3);
+            return Ok(self.negotiated);
+        }
+        let payload = Builder::new().u16(self.opts.max_version).build();
+        write_frame(&mut self.stream, op::HELLO, &payload)?;
+        let (opcode, reply) = read_frame(&mut self.stream)?;
+        match opcode {
+            op::OK_HELLO => {
+                let mut c = Cursor::new(&reply);
+                let theirs = c.u16().map_err(ClientError::Protocol)?;
+                self.negotiated = theirs.min(self.opts.max_version);
+                Ok(self.negotiated)
+            }
+            op::ERR => match parse_err(&reply) {
+                Ok((Some(ErrorCode::UnknownOpcode), _, _)) => {
+                    self.negotiated = 3;
+                    Ok(3)
+                }
+                Ok((code, message, retry_after_ms)) => Err(ClientError::Server {
+                    code,
+                    message,
+                    retry_after_ms,
+                }),
+                Err(m) => Err(ClientError::Protocol(format!("undecodable ERR frame: {m}"))),
+            },
+            other => Err(ClientError::Protocol(format!(
+                "unexpected HELLO reply opcode 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Protocol version negotiated on this connection (3 until a `HELLO`
+    /// upgrades it).
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated
     }
 
     fn dial(addr: &str, opts: &ClientOptions) -> io::Result<TcpStream> {
@@ -396,6 +477,12 @@ impl Client {
                     code: Some(ErrorCode::Deadline) | Some(ErrorCode::Timeout),
                     ..
                 } => self.stats.deadline_missed += 1,
+                // A frame damaged in transit; the connection itself is
+                // still framed correctly, so a plain retry may succeed.
+                ClientError::Server {
+                    code: Some(ErrorCode::Corrupt),
+                    ..
+                } => {}
                 ClientError::Io(_) | ClientError::Protocol(_) => {}
                 _ => return Err(err), // permanent
             }
@@ -431,12 +518,16 @@ impl Client {
     }
 
     /// Replace the connection (only possible for `connect_with` clients).
+    /// The fresh stream re-negotiates from scratch — a rolling upgrade may
+    /// land the reconnect on a peer speaking a different version.
     fn reconnect(&mut self) -> Result<(), ClientError> {
         let addr = self
             .addr
             .clone()
             .ok_or_else(|| ClientError::Io("no address retained for reconnect".to_string()))?;
         self.stream = Self::dial(&addr, &self.opts)?;
+        self.negotiated = 3;
+        self.hello()?;
         self.stats.reconnects += 1;
         Ok(())
     }
@@ -533,8 +624,38 @@ impl Client {
     }
 
     fn round_trip(&mut self, opcode: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
-        write_frame(&mut self.stream, opcode, payload)?;
-        Ok(read_frame(&mut self.stream)?)
+        if self.negotiated < 4 {
+            write_frame(&mut self.stream, opcode, payload)?;
+            return Ok(read_frame(&mut self.stream)?);
+        }
+        let rid = self.next_rid;
+        self.next_rid += 1;
+        let wrapped = wrap_v4(opcode, rid, payload);
+        write_frame(&mut self.stream, opcode, &wrapped)?;
+        let (ropc, rbody) = read_frame(&mut self.stream)?;
+        match unwrap_v4(ropc, &rbody) {
+            Ok((got, inner)) => {
+                // ERR frames echo a best-effort id (the request may have
+                // been too corrupt to trust its id field), so only success
+                // replies are held to exact correlation.
+                if ropc != op::ERR && got != rid {
+                    return Err(ClientError::Protocol(format!(
+                        "reply correlates to request {got}, expected {rid}"
+                    )));
+                }
+                Ok((ropc, inner.to_vec()))
+            }
+            // Close-path errors (bad frame length, idle timeout, accept
+            // shed) are emitted before or outside the per-request path and
+            // stay legacy-encoded even on a v4 connection.
+            Err(_) if ropc == op::ERR => Ok((ropc, rbody)),
+            Err(EnvelopeError::Checksum) => Err(ClientError::Protocol(
+                "reply failed its payload checksum".to_string(),
+            )),
+            Err(EnvelopeError::TooShort) => Err(ClientError::Protocol(
+                "reply shorter than the v4 envelope".to_string(),
+            )),
+        }
     }
 
     fn expect(opcode: u8, wanted: u8, reply: &[u8]) -> Result<(), ClientError> {

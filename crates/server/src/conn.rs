@@ -17,6 +17,15 @@
 //! socket, so a flooding client blocks on TCP instead of ballooning the
 //! queue.
 //!
+//! A connection that negotiates protocol v4 ([`set_v4`]) switches to
+//! *unordered* replies: every frame carries a request ID the peer
+//! correlates on, so [`finish`] skips the reorder map and flushes each
+//! outcome the moment it completes. Out-of-order replies are the feature —
+//! they are what lets a receiver tolerate one slow request without
+//! head-of-line blocking the connection.
+//!
+//! [`set_v4`]: Conn::set_v4
+//!
 //! [`read_some`]: Conn::read_some
 //! [`next_frame`]: Conn::next_frame
 //! [`try_write`]: Conn::try_write
@@ -101,6 +110,9 @@ pub struct Conn {
     input_dead: bool,
     /// Close as soon as the write buffer drains.
     closing: bool,
+    /// Protocol v4 negotiated: frames are enveloped (request ID +
+    /// checksum) and replies go out in completion order, not request order.
+    v4: bool,
 }
 
 impl Conn {
@@ -121,7 +133,26 @@ impl Conn {
             eof: false,
             input_dead: false,
             closing: false,
+            v4: false,
         }
+    }
+
+    /// Switch this connection to protocol v4 (after a `HELLO` handshake):
+    /// replies flush in completion order from now on. Only legal before
+    /// any non-`HELLO` request is admitted.
+    pub fn set_v4(&mut self) {
+        self.v4 = true;
+    }
+
+    /// Has this connection negotiated protocol v4?
+    pub fn is_v4(&self) -> bool {
+        self.v4
+    }
+
+    /// How many requests have been admitted (sequence numbers handed out).
+    /// The `HELLO` handshake uses this to enforce first-frame-only.
+    pub fn requests_begun(&self) -> u64 {
+        self.next_seq
     }
 
     /// Pull whatever the socket has buffered. `Err` means the transport
@@ -230,26 +261,39 @@ impl Conn {
     }
 
     /// Resolve request `seq`. In-order outcomes flow straight into the
-    /// write buffer; early arrivals wait in the reorder map.
+    /// write buffer; early arrivals wait in the reorder map. On a v4
+    /// connection the reorder map is bypassed entirely — the outcome
+    /// flushes now, in completion order, and the peer correlates by the
+    /// request ID inside the frame.
     pub fn finish(&mut self, seq: u64, outcome: Outcome) {
         self.in_flight = self.in_flight.saturating_sub(1);
+        if self.v4 {
+            if !self.closing {
+                self.apply_outcome(outcome);
+            }
+            return;
+        }
         self.done.insert(seq, outcome);
         while !self.closing {
             let Some(out) = self.done.remove(&self.next_out) else {
                 break;
             };
             self.next_out += 1;
-            match out {
-                Outcome::Reply(frame) => self.write_buf.extend_from_slice(&frame),
-                Outcome::ReplyThenClose(frame) => {
-                    self.write_buf.extend_from_slice(&frame);
-                    self.input_dead = true;
-                    self.closing = true;
-                }
-                Outcome::CloseSilent => {
-                    self.input_dead = true;
-                    self.closing = true;
-                }
+            self.apply_outcome(out);
+        }
+    }
+
+    fn apply_outcome(&mut self, out: Outcome) {
+        match out {
+            Outcome::Reply(frame) => self.write_buf.extend_from_slice(&frame),
+            Outcome::ReplyThenClose(frame) => {
+                self.write_buf.extend_from_slice(&frame);
+                self.input_dead = true;
+                self.closing = true;
+            }
+            Outcome::CloseSilent => {
+                self.input_dead = true;
+                self.closing = true;
             }
         }
     }
@@ -452,6 +496,33 @@ mod tests {
         assert_eq!(&conn.write_buf, b"ABC");
         assert_eq!(conn.in_flight, 0);
         assert!(!conn.finished(), "open connection with unflushed bytes");
+    }
+
+    #[test]
+    fn v4_mode_writes_in_completion_order() {
+        let (_peer, server) = pair();
+        let mut conn = Conn::new(server);
+        assert!(!conn.is_v4());
+        conn.set_v4();
+        assert!(conn.is_v4());
+        let s0 = conn.begin_request();
+        let s1 = conn.begin_request();
+        let s2 = conn.begin_request();
+        assert_eq!(conn.requests_begun(), 3);
+        // completion order C, A, B flushes as C, A, B — the peer
+        // correlates by request ID, not arrival order
+        conn.finish(s2, Outcome::Reply(b"C".to_vec()));
+        assert_eq!(&conn.write_buf, b"C", "no reorder hold-back in v4");
+        conn.finish(s0, Outcome::Reply(b"A".to_vec()));
+        conn.finish(s1, Outcome::Reply(b"B".to_vec()));
+        assert_eq!(&conn.write_buf, b"CAB");
+        assert_eq!(conn.in_flight, 0);
+        // a close still gates later completions
+        let s3 = conn.begin_request();
+        let s4 = conn.begin_request();
+        conn.finish(s3, Outcome::ReplyThenClose(b"!".to_vec()));
+        conn.finish(s4, Outcome::Reply(b"late".to_vec()));
+        assert_eq!(&conn.write_buf, b"CAB!");
     }
 
     #[test]

@@ -283,6 +283,9 @@ pub struct EngineStats {
     pub precision_fallbacks: u64,
     /// Factors demoted to `f32` at cache-insert time.
     pub demoted_factors: u64,
+    /// v4 frames rejected by the payload-checksum trailer (wire
+    /// corruption caught before the request was parsed).
+    pub crc_rejects: u64,
 }
 
 /// Factor-caching, micro-batching solve engine.
@@ -314,6 +317,7 @@ pub struct Engine {
     f32_solves: AtomicU64,
     precision_fallbacks: AtomicU64,
     demoted_factors: AtomicU64,
+    crc_rejects: AtomicU64,
     /// Fingerprints promoted to permanent `f64` residency by the `auto`
     /// precision mode (their certified solves needed the fallback).
     promoted: Mutex<HashSet<Fingerprint>>,
@@ -379,6 +383,7 @@ impl Engine {
             f32_solves: AtomicU64::new(0),
             precision_fallbacks: AtomicU64::new(0),
             demoted_factors: AtomicU64::new(0),
+            crc_rejects: AtomicU64::new(0),
             promoted: Mutex::new(HashSet::new()),
         };
         if let Some(store) = eng.store.clone() {
@@ -440,6 +445,12 @@ impl Engine {
     /// connection were still in flight.
     pub fn note_frames_pipelined(&self, n: u64) {
         self.frames_pipelined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a v4 frame rejected by its payload checksum (called by the
+    /// front end so wire corruption lands in `STATS`).
+    pub fn note_crc_reject(&self) {
+        self.crc_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The backoff hint attached to `Busy` responses: two batching windows,
@@ -1026,6 +1037,7 @@ impl Engine {
             f32_solves: self.f32_solves.load(Ordering::Relaxed),
             precision_fallbacks: self.precision_fallbacks.load(Ordering::Relaxed),
             demoted_factors: self.demoted_factors.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
         }
     }
 

@@ -24,8 +24,8 @@
 //! | site     | where it fires                                   | actions |
 //! |----------|--------------------------------------------------|---------|
 //! | `conn`   | connection handed to a worker                    | `drop` |
-//! | `read`   | before reading a request frame                   | `stall`, `drop` |
-//! | `write`  | before writing a reply frame                     | `stall`, `drop`, `torn` |
+//! | `read`   | before reading a request frame                   | `stall`, `drop`, `bitflip` |
+//! | `write`  | before writing a reply frame                     | `stall`, `drop`, `torn`, `bitflip` |
 //! | `solve`  | inside the blocked solve (threaded executor)     | `panic`, `stall` |
 //! | `factor` | inside `LOAD` factorization                      | `panic`, `stall` |
 //! | `worker` | in the worker loop, outside all panic isolation  | `panic` |
@@ -44,6 +44,13 @@
 //! (widening the window a SIGKILL drill aims at), and `bitflip` flips one
 //! payload byte after the trailer checksum was computed (silent media
 //! corruption) — the recovery scan must discard all three without panicking.
+//! At the `read` site, `bitflip` flips one byte of a parsed request payload
+//! before it is decoded; at the `write` site it flips one byte of an
+//! encoded reply frame after its v4 checksum trailer was computed. Both
+//! model wire corruption that length framing cannot see: on a negotiated
+//! v4 connection the receiver's checksum rejects the frame (`ERR Corrupt`
+//! server-side, a counted drop at the router), while a legacy connection
+//! silently carries the damage — which is the whole argument for v4.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,8 +124,8 @@ pub enum FaultAction {
     Drop,
     /// Write a truncated frame, then drop the connection.
     Torn,
-    /// Flip one payload byte after checksums were computed (silent
-    /// corruption; `store` site only).
+    /// Flip one payload byte after checksums were computed (silent wire or
+    /// media corruption; `read`, `write`, and `store` sites).
     BitFlip,
 }
 
@@ -270,8 +277,8 @@ impl FaultPlan {
             };
             let allowed: &[&str] = match site {
                 FaultSite::Conn => &["drop"],
-                FaultSite::Read => &["stall", "drop"],
-                FaultSite::Write => &["stall", "drop", "torn"],
+                FaultSite::Read => &["stall", "drop", "bitflip"],
+                FaultSite::Write => &["stall", "drop", "torn", "bitflip"],
                 FaultSite::Solve | FaultSite::Factor => &["panic", "stall"],
                 FaultSite::Worker => &["panic"],
                 FaultSite::Cache => &["torn"],
@@ -413,6 +420,10 @@ mod tests {
         assert_eq!(cache.check(FaultSite::Cache), Some(FaultAction::Torn));
         let store = FaultPlan::parse("store.bitflip=every:1;store.torn=every:2").unwrap();
         assert_eq!(store.check(FaultSite::Store), Some(FaultAction::BitFlip));
+        // wire-corruption drills: bitflip is legal at read and write
+        let wire = FaultPlan::parse("read.bitflip=every:1;write.bitflip=every:1").unwrap();
+        assert_eq!(wire.check(FaultSite::Read), Some(FaultAction::BitFlip));
+        assert_eq!(wire.check(FaultSite::Write), Some(FaultAction::BitFlip));
     }
 
     #[test]

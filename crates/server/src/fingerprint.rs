@@ -129,6 +129,27 @@ impl Fingerprint {
         Fingerprint(h.a, h.b)
     }
 
+    /// [`Fingerprint::of_bytes`] seeded with one extra leading word. This
+    /// is the protocol-v4 frame checksum: `tag` carries the opcode so a
+    /// flipped opcode byte changes the digest even though the opcode
+    /// travels outside the checksummed payload region.
+    pub fn of_tagged_bytes(tag: u64, bytes: &[u8]) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.word(tag);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            h.word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            h.word(u64::from_le_bytes(last));
+        }
+        h.word(bytes.len() as u64);
+        Fingerprint(h.a, h.b)
+    }
+
     /// The 16-byte wire encoding (big-endian lanes, lane 0 first).
     pub fn to_bytes(self) -> [u8; 16] {
         let mut b = [0u8; 16];
@@ -246,6 +267,18 @@ mod tests {
             flipped[i] ^= 1;
             assert_ne!(base, Fingerprint::of_bytes(&flipped), "flip at {i}");
         }
+    }
+
+    #[test]
+    fn tagged_byte_checksum_separates_tags() {
+        let data: Vec<u8> = (0..23).collect();
+        let a = Fingerprint::of_tagged_bytes(1, &data);
+        assert_eq!(a, Fingerprint::of_tagged_bytes(1, &data), "deterministic");
+        assert_ne!(a, Fingerprint::of_tagged_bytes(2, &data), "tag-sensitive");
+        assert_ne!(a, Fingerprint::of_bytes(&data), "distinct from untagged");
+        let mut flipped = data.clone();
+        flipped[11] ^= 0x40;
+        assert_ne!(a, Fingerprint::of_tagged_bytes(1, &flipped), "bit flip");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | 0x03 | STATS    | empty |
 //! | 0x04 | EVICT    | `fingerprint[16]` |
 //! | 0x05 | SHUTDOWN | empty |
+//! | 0x06 | HELLO    | `u16 max_version` (version negotiation, v4) |
 //!
 //! `deadline_ms` (new in protocol version 2) is the client's end-to-end
 //! budget for the request, measured from when the server finishes reading
@@ -45,8 +46,45 @@
 //! | 0x83 | OK_STATS   | `u64 count`, then per stat `u16 keylen`, key bytes, `u64 value` |
 //! | 0x84 | OK_EVICTED | `u8 existed`, then optional per-replica outcomes (see below) |
 //! | 0x85 | OK_BYE     | empty |
+//! | 0x86 | OK_HELLO   | `u16 negotiated_version` |
 //! | 0xFF | ERR        | `u16 code`, `u32 msglen`, UTF-8 message, then code-specific extras |
 //!
+//! # Protocol v4: negotiation, request IDs, frame integrity
+//!
+//! A v4 peer opens a connection by sending `HELLO` with the highest
+//! version it speaks; a v4 server replies `OK_HELLO` with
+//! `min(theirs, PROTOCOL_VERSION)`. A v3 server answers the unknown
+//! opcode with `ERR UnknownOpcode` and leaves the connection open, which
+//! *is* the downgrade signal: the caller falls back to the legacy (v3)
+//! framing on the same connection, byte-unchanged. A v2/v3 client simply
+//! never sends `HELLO` and the server keeps speaking v3 to it. `HELLO` is
+//! only legal as the very first frame of a connection.
+//!
+//! Once version ≥ 4 is negotiated, every subsequent frame in *both*
+//! directions wraps its payload in the v4 envelope:
+//!
+//! ```text
+//! | u32 len | u8 opcode | u64 req_id | inner payload | ck_lo u64 | ck_hi u64 |
+//! ```
+//!
+//! `req_id` is chosen by the requester (any 64-bit value; typically a
+//! per-connection counter) and echoed verbatim in the reply, so replies
+//! may legally arrive out of order and a receiver correlates them by ID
+//! instead of FIFO position. The 16-byte trailer is the two-lane FNV-1a
+//! checksum [`Fingerprint::of_tagged_bytes`]`(opcode, req_id ‖ inner)`:
+//! it covers the opcode, the request ID, and the payload, so any wire
+//! corruption that slips past TCP (or is injected by the `read.bitflip` /
+//! `write.bitflip` fault sites) is rejected as `ERR Corrupt` instead of
+//! being parsed — length framing alone cannot see a flipped bit.
+//! [`wrap_v4`] builds the enveloped payload and [`unwrap_v4`] verifies
+//! and strips it.
+//!
+//! `ERR` frames emitted from the event loop's close paths (bad length
+//! prefix, slow-peer timeout, admission-control reject at accept) may
+//! still be legacy-encoded even on a negotiated connection — they can
+//! precede or outlive any specific request. A v4 receiver that fails to
+//! unwrap an `ERR` payload falls back to the legacy [`parse_err`] decode
+//! and treats the error as connection-scoped.
 //! An `ERR` with code [`ErrorCode::Busy`] carries one extra trailing field,
 //! `u64 retry_after_ms` — the server's backoff hint for the shed request.
 //! Other codes carry no extras; decoders must ignore trailing bytes they do
@@ -75,8 +113,15 @@
 /// `deadline_ms` field and error codes 9–12 (`Busy`, `Deadline`,
 /// `NonFinite`, `NumericBreakdown`). Version 3 added the optional SOLVE
 /// `flags` byte (certified solves) and the refinement certificate trailing
-/// the `OK_SOLVED` reply; version-2 frames remain valid.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// the `OK_SOLVED` reply; version-2 frames remain valid. Version 4 added
+/// the `HELLO`/`OK_HELLO` negotiation handshake, the request-ID + checksum
+/// envelope on negotiated connections, and `ERR Corrupt`; un-negotiated
+/// connections keep speaking v3 byte-unchanged.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Per-frame envelope overhead on a negotiated v4 connection: the leading
+/// `u64 req_id` plus the 16-byte checksum trailer.
+pub const V4_ENVELOPE_BYTES: usize = 8 + 16;
 
 /// SOLVE `flags` bit 0: run iterative refinement and return the certificate
 /// (`u32 iterations`, `f64 backward_error`, `u8 certified`) after `x`.
@@ -103,6 +148,8 @@ pub mod op {
     pub const EVICT: u8 = 0x04;
     /// Stop the server gracefully.
     pub const SHUTDOWN: u8 = 0x05;
+    /// Version negotiation (v4): `u16 max_version`, first frame only.
+    pub const HELLO: u8 = 0x06;
     /// Successful LOAD reply.
     pub const OK_LOADED: u8 = 0x81;
     /// Successful SOLVE reply.
@@ -113,6 +160,8 @@ pub mod op {
     pub const OK_EVICTED: u8 = 0x84;
     /// Acknowledged SHUTDOWN.
     pub const OK_BYE: u8 = 0x85;
+    /// Successful HELLO reply: `u16 negotiated_version`.
+    pub const OK_HELLO: u8 = 0x86;
     /// Error reply.
     pub const ERR: u8 = 0xFF;
 }
@@ -146,6 +195,9 @@ pub enum ErrorCode {
     NonFinite = 11,
     /// The solve produced NaN/Inf output (numeric breakdown).
     NumericBreakdown = 12,
+    /// A v4 frame failed its payload checksum (wire corruption). The
+    /// frame is rejected; the connection stays open.
+    Corrupt = 13,
 }
 
 impl ErrorCode {
@@ -164,6 +216,7 @@ impl ErrorCode {
             10 => ErrorCode::Deadline,
             11 => ErrorCode::NonFinite,
             12 => ErrorCode::NumericBreakdown,
+            13 => ErrorCode::Corrupt,
             _ => return None,
         })
     }
@@ -286,6 +339,65 @@ pub fn parse_err(payload: &[u8]) -> Result<(Option<ErrorCode>, String, Option<u6
         _ => None,
     };
     Ok((code, msg, retry_after_ms))
+}
+
+/// Why a v4 envelope failed to unwrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Payload shorter than `req_id` + checksum trailer — not a v4 frame.
+    TooShort,
+    /// The checksum trailer does not match the frame contents.
+    Checksum,
+}
+
+/// The v4 frame checksum: two-lane FNV-1a over the opcode (as the seed
+/// word) followed by `req_id ‖ inner payload`, where `enveloped_prefix`
+/// is the wrapped payload *without* its 16-byte trailer.
+fn v4_checksum(opcode: u8, enveloped_prefix: &[u8]) -> Fingerprint {
+    Fingerprint::of_tagged_bytes(u64::from(opcode), enveloped_prefix)
+}
+
+/// Wrap an inner payload in the v4 envelope: `req_id` prefix, checksum
+/// trailer. The result is the frame payload to pass to [`write_frame`] /
+/// [`encode_frame`] with the same opcode.
+pub fn wrap_v4(opcode: u8, req_id: u64, inner: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(V4_ENVELOPE_BYTES + inner.len());
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(inner);
+    let ck = v4_checksum(opcode, &out);
+    out.extend_from_slice(&ck.0.to_le_bytes());
+    out.extend_from_slice(&ck.1.to_le_bytes());
+    out
+}
+
+/// Verify and strip the v4 envelope, returning `(req_id, inner payload)`.
+/// A checksum mismatch means the frame was corrupted in flight (or by a
+/// `*.bitflip` fault site); the caller rejects the *frame* — with
+/// `ERR Corrupt` server-side, a counted drop router-side — and keeps the
+/// connection.
+pub fn unwrap_v4(opcode: u8, payload: &[u8]) -> Result<(u64, &[u8]), EnvelopeError> {
+    if payload.len() < V4_ENVELOPE_BYTES {
+        return Err(EnvelopeError::TooShort);
+    }
+    let trailer_at = payload.len() - 16;
+    let ck = v4_checksum(opcode, &payload[..trailer_at]);
+    let lo = u64::from_le_bytes(payload[trailer_at..trailer_at + 8].try_into().unwrap());
+    let hi = u64::from_le_bytes(payload[trailer_at + 8..].try_into().unwrap());
+    if (ck.0, ck.1) != (lo, hi) {
+        return Err(EnvelopeError::Checksum);
+    }
+    let req_id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    Ok((req_id, &payload[8..trailer_at]))
+}
+
+/// Best-effort `req_id` of a v4 payload that failed verification — used
+/// to echo the ID on an `ERR Corrupt` reply. The ID itself sits in the
+/// corrupt region, so it is a hint, not a fact.
+pub fn v4_req_id_hint(payload: &[u8]) -> u64 {
+    payload
+        .get(..8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0)
 }
 
 /// Incremental little-endian payload reader.
@@ -581,10 +693,48 @@ mod tests {
             ErrorCode::Deadline,
             ErrorCode::NonFinite,
             ErrorCode::NumericBreakdown,
+            ErrorCode::Corrupt,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
         }
         assert_eq!(ErrorCode::from_u16(0), None);
         assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn v4_envelope_round_trip() {
+        let inner = [7u8, 8, 9, 10, 11];
+        let wrapped = wrap_v4(op::SOLVE, 0xdead_beef_cafe_f00d, &inner);
+        assert_eq!(wrapped.len(), inner.len() + V4_ENVELOPE_BYTES);
+        let (rid, body) = unwrap_v4(op::SOLVE, &wrapped).unwrap();
+        assert_eq!(rid, 0xdead_beef_cafe_f00d);
+        assert_eq!(body, inner);
+        // empty inner payload is legal (STATS, SHUTDOWN)
+        let wrapped = wrap_v4(op::STATS, 3, &[]);
+        let (rid, body) = unwrap_v4(op::STATS, &wrapped).unwrap();
+        assert_eq!((rid, body.len()), (3, 0));
+    }
+
+    #[test]
+    fn v4_envelope_rejects_corruption_everywhere() {
+        let inner: Vec<u8> = (0..100).collect();
+        let wrapped = wrap_v4(op::SOLVE, 42, &inner);
+        // every single-bit flip in the frame is caught: req_id, payload,
+        // and trailer bytes alike
+        for i in 0..wrapped.len() {
+            let mut bad = wrapped.clone();
+            bad[i] ^= 0x10;
+            assert_eq!(
+                unwrap_v4(op::SOLVE, &bad),
+                Err(EnvelopeError::Checksum),
+                "flip at byte {i} must be caught"
+            );
+        }
+        // a flipped opcode byte (outside the payload) is caught too
+        assert_eq!(unwrap_v4(op::LOAD, &wrapped), Err(EnvelopeError::Checksum));
+        // too-short payloads are structurally rejected, id hint survives
+        assert_eq!(unwrap_v4(op::SOLVE, &[0; 23]), Err(EnvelopeError::TooShort));
+        assert_eq!(v4_req_id_hint(&wrapped), 42);
+        assert_eq!(v4_req_id_hint(&[1]), 0);
     }
 }

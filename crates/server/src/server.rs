@@ -35,7 +35,13 @@
 //!   `STATS worker_respawns`, and closes the connection whose request died
 //!   with the worker so its client can retry on a fresh stream;
 //! * `SHUTDOWN` (or [`RunningServer::shutdown`]) flushes pending replies,
-//!   stops the loop, drains the workers, and joins every thread.
+//!   stops the loop, drains the workers, and joins every thread;
+//! * a `HELLO` first frame negotiates protocol v4 inline in the loop
+//!   (never through the worker pool, so no pipelined enveloped frame can
+//!   race the mode switch): subsequent frames carry a request ID echoed in
+//!   the reply plus a checksum trailer, replies flush in completion order,
+//!   and a frame failing its checksum gets `ERR Corrupt` (counted in
+//!   `STATS crc_rejects`) while the connection keeps serving.
 //!
 //! Every fault-injection site ([`FaultSite`]) on the request path lives in
 //! this file except `solve`/`factor`, which the engine trips: `conn` at
@@ -59,8 +65,8 @@ use crate::engine::{Engine, EngineError, EngineOptions};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::poller::{self, Interest, PollFd, Waker};
 use crate::protocol::{
-    encode_frame, err_payload, op, write_frame, Builder, Cursor, ErrorCode, MAX_FRAME_LEN,
-    SOLVE_FLAG_CERTIFIED,
+    encode_frame, err_payload, op, unwrap_v4, v4_req_id_hint, wrap_v4, write_frame, Builder,
+    Cursor, EnvelopeError, ErrorCode, MAX_FRAME_LEN, PROTOCOL_VERSION, SOLVE_FLAG_CERTIFIED,
 };
 use crate::signal;
 use crate::store::{FactorStore, StoreOptions};
@@ -129,6 +135,9 @@ struct Job {
     seq: u64,
     opcode: u8,
     payload: Vec<u8>,
+    /// The v4 request ID to echo in the reply envelope; `None` on a legacy
+    /// (un-negotiated) connection, whose replies stay bare v3 frames.
+    wire: Option<u64>,
     /// When the frame finished arriving; deadlines count from here, not
     /// from when a worker got around to it.
     received: Instant,
@@ -607,15 +616,76 @@ fn extract_frames(ctx: &LoopCtx, id: u64, conn: &mut Conn) -> bool {
                 ));
                 break;
             }
-            FrameStep::Frame { opcode, payload } => {
+            FrameStep::Frame {
+                opcode,
+                mut payload,
+            } => {
                 extracted = true;
                 // The read fault site fires per parsed frame, as the old
                 // per-read-attempt site effectively did: a drop severs the
                 // connection mid-stream, a stall stalls the loop — which is
                 // exactly what a stalled read did to the old per-conn thread,
-                // writ service-wide.
-                if ctx.fault.trip(FaultSite::Read) == Some(FaultAction::Drop) {
-                    return true;
+                // writ service-wide. A bitflip corrupts one payload byte in
+                // flight: the v4 checksum rejects the frame as `ERR Corrupt`;
+                // a legacy connection carries the damage into the decoder.
+                match ctx.fault.trip(FaultSite::Read) {
+                    Some(FaultAction::Drop) => return true,
+                    Some(FaultAction::BitFlip) if !payload.is_empty() => {
+                        let at = payload.len() / 2;
+                        payload[at] ^= 0x20;
+                    }
+                    _ => {}
+                }
+                // Version negotiation: HELLO is only legal as the very
+                // first frame and is answered inline — routing it through
+                // the worker pool would let a pipelined enveloped frame
+                // race the mode switch. Any later HELLO falls through to
+                // dispatch and gets ERR UnknownOpcode, exactly what a v3
+                // server says.
+                if opcode == op::HELLO && !conn.is_v4() && conn.requests_begun() == 0 {
+                    let reply = match Cursor::new(&payload).u16() {
+                        Ok(theirs) => {
+                            let negotiated = theirs.min(PROTOCOL_VERSION);
+                            if negotiated >= 4 {
+                                conn.set_v4();
+                            }
+                            encode_frame(op::OK_HELLO, &Builder::new().u16(negotiated).build())
+                        }
+                        Err(msg) => {
+                            encode_frame(op::ERR, &err_payload(ErrorCode::Malformed, &msg, None))
+                        }
+                    };
+                    conn.enqueue(&reply);
+                    continue;
+                }
+                // Envelope unwrap on a negotiated connection: verify the
+                // checksum trailer before any byte reaches a decoder. A
+                // mismatch rejects the *frame* — ERR Corrupt, counted —
+                // and the connection keeps serving.
+                let mut wire = None;
+                if conn.is_v4() {
+                    match unwrap_v4(opcode, &payload) {
+                        Ok((rid, inner)) => {
+                            let inner = inner.to_vec();
+                            wire = Some(rid);
+                            payload = inner;
+                        }
+                        Err(e) => {
+                            let (code, msg) = match e {
+                                EnvelopeError::Checksum => {
+                                    ctx.engine.note_crc_reject();
+                                    (ErrorCode::Corrupt, "frame failed payload checksum")
+                                }
+                                EnvelopeError::TooShort => {
+                                    (ErrorCode::Malformed, "v4 frame shorter than its envelope")
+                                }
+                            };
+                            let rid = v4_req_id_hint(&payload);
+                            let body = wrap_v4(op::ERR, rid, &err_payload(code, msg, None));
+                            conn.enqueue(&encode_frame(op::ERR, &body));
+                            continue;
+                        }
+                    }
                 }
                 if conn.in_flight > 0 {
                     ctx.engine.note_frames_pipelined(1);
@@ -626,6 +696,7 @@ fn extract_frames(ctx: &LoopCtx, id: u64, conn: &mut Conn) -> bool {
                     seq,
                     opcode,
                     payload,
+                    wire,
                     received: Instant::now(),
                 };
                 if ctx.jobs_tx.send(job).is_err() {
@@ -732,7 +803,7 @@ fn serve_job(ctx: &WorkerCtx, job: &Job) -> Outcome {
         msg: "request handler panicked".to_string(),
         retry_after_ms: None,
     });
-    let (opcode, payload, close) = match dispatched {
+    let (opcode, mut payload, close) = match dispatched {
         Dispatch::Reply(opcode, reply) => (opcode, reply, false),
         Dispatch::Error {
             code,
@@ -741,16 +812,36 @@ fn serve_job(ctx: &WorkerCtx, job: &Job) -> Outcome {
         } => (op::ERR, err_payload(code, &msg, retry_after_ms), false),
         Dispatch::Bye => (op::OK_BYE, Vec::new(), true),
     };
+    // Replies on a negotiated connection echo the request ID and carry the
+    // checksum trailer; the envelope wraps *before* the write fault site so
+    // an injected bitflip lands after the checksum — silent wire corruption
+    // the receiver must catch.
+    if let Some(rid) = job.wire {
+        payload = wrap_v4(opcode, rid, &payload);
+    }
     // The write fault site: a stall is served in place, a drop closes
-    // without writing, and a torn write queues a truncated prefix of the
-    // real frame and then closes — exactly the partial-frame garbage a
-    // crashing server would leave on the wire.
+    // without writing, a torn write queues a truncated prefix of the real
+    // frame and then closes — exactly the partial-frame garbage a crashing
+    // server would leave on the wire — and a bitflip flips one byte of the
+    // encoded frame past the length prefix, leaving the connection open.
     match ctx.fault.trip(FaultSite::Write) {
         Some(FaultAction::Drop) => return Outcome::CloseSilent,
         Some(FaultAction::Torn) => {
             let frame = encode_frame(opcode, &payload);
             let cut = (frame.len() / 2).max(1);
             return Outcome::ReplyThenClose(frame[..cut].to_vec());
+        }
+        Some(FaultAction::BitFlip) => {
+            let mut frame = encode_frame(opcode, &payload);
+            // flip inside opcode+payload, never the length prefix (that
+            // would desynchronize the stream, which is `torn`'s job)
+            let at = 4 + (frame.len() - 4) / 2;
+            frame[at] ^= 0x20;
+            return if close {
+                Outcome::ReplyThenClose(frame)
+            } else {
+                Outcome::Reply(frame)
+            };
         }
         _ => {}
     }
@@ -918,7 +1009,7 @@ fn dispatch(
         }
         op::STATS => {
             let s = engine.stats();
-            let pairs: [(&str, u64); 35] = [
+            let pairs: [(&str, u64); 36] = [
                 ("hits", s.cache.hits),
                 ("misses", s.cache.misses),
                 ("evictions", s.cache.evictions),
@@ -957,6 +1048,7 @@ fn dispatch(
                 ("f32_solves", s.f32_solves),
                 ("precision_fallbacks", s.precision_fallbacks),
                 ("demoted_factors", s.demoted_factors),
+                ("crc_rejects", s.crc_rejects),
             ];
             let mut b = Builder::new().u64(pairs.len() as u64);
             for (key, val) in pairs {

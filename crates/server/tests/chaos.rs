@@ -78,6 +78,7 @@ fn resilient_opts(seed: u64) -> ClientOptions {
         backoff: Duration::from_millis(1),
         max_backoff: Duration::from_millis(20),
         seed,
+        ..ClientOptions::default()
     }
 }
 

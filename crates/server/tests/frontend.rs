@@ -106,11 +106,14 @@ fn burst_past_pipeline_cap_is_fully_answered() {
     o.max_pipeline = 1;
     let server = Server::spawn(o).unwrap();
     let addr = server.local_addr().to_string();
-    // bounded reads so a stranded frame fails the test instead of hanging it
+    // bounded reads so a stranded frame fails the test instead of hanging
+    // it; pinned to the legacy protocol because the burst below is raw
+    // legacy-framed bytes
     let mut client = Client::connect_with(
         &addr,
         ClientOptions {
             request_timeout: Duration::from_secs(5),
+            max_version: 3,
             ..ClientOptions::default()
         },
     )
@@ -418,6 +421,9 @@ fn protocol_errors_retry_once_on_a_fresh_connection_only() {
             retries: 5,
             backoff: Duration::from_millis(1),
             request_timeout: Duration::from_secs(2),
+            // the fake server answers everything (a HELLO included) with
+            // garbage; pin legacy so construction reaches the retry ladder
+            max_version: 3,
             ..ClientOptions::default()
         },
     )

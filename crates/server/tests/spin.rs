@@ -59,6 +59,8 @@ fn expired_deadline_behind_inflight_solve_does_not_spin() {
         &addr,
         ClientOptions {
             request_timeout: Duration::from_secs(10),
+            // the hand-built frames below are legacy-framed
+            max_version: 3,
             ..ClientOptions::default()
         },
     )

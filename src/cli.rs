@@ -160,6 +160,13 @@ pub enum Command {
         /// Byte budget (MiB) for retained LOAD payloads replayed to
         /// rejoining backends (0 = retain nothing).
         retained_mb: usize,
+        /// Hedged-SOLVE latency floor in milliseconds: duplicate a solve to
+        /// the next replica once it outlives max(backend p99, this floor)
+        /// (0 = hedging off).
+        hedge_after_ms: u64,
+        /// Hedge budget as a fraction of dispatched solve sub-requests
+        /// (0 = hedging off).
+        hedge_budget: f64,
     },
     /// Drive a running server with the load generator.
     Client {
@@ -213,6 +220,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                  \x20 trisolv route [--addr A] (--backends h:p,h:p,... | --spawn N) [--replication R] [--vnodes V]\n\
                  \x20               [--deadline-cap-ms D] [--io-timeout-ms T] [--probe-ms P] [--max-conns C] [--pipeline P]\n\
                  \x20               [--retained-mb M]   (retained-LOAD replay budget for rejoining backends)\n\
+                 \x20               [--hedge-after-ms H] [--hedge-budget F]  (tail-latency hedging; 0 for either = off)\n\
                  \x20 trisolv client <addr> [--gen spec | --matrix path] [--clients N] [--secs S] [--shutdown]\n\
                  \x20               [--timeout-ms T] [--retries R] [--backoff-ms B] [--idle-conns I]\n\
                  \x20               [--certify]  (one certified SOLVE; prints the refinement certificate)\n\
@@ -415,6 +423,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut max_conns = 0usize;
             let mut pipeline = 64usize;
             let mut retained_mb = 256usize;
+            let mut hedge_after_ms = 50u64;
+            let mut hedge_budget = 0.10f64;
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
@@ -462,6 +472,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| format!("bad --retained-mb: {e}"))?
                     }
+                    "--hedge-after-ms" => {
+                        hedge_after_ms = value
+                            .parse()
+                            .map_err(|e| format!("bad --hedge-after-ms: {e}"))?
+                    }
+                    "--hedge-budget" => {
+                        hedge_budget = value
+                            .parse()
+                            .map_err(|e| format!("bad --hedge-budget: {e}"))?;
+                        if !(0.0..=1.0).contains(&hedge_budget) {
+                            return Err("--hedge-budget must be in [0, 1]".to_string());
+                        }
+                    }
                     other => return Err(format!("unknown flag {other}\n{usage}")),
                 }
             }
@@ -489,6 +512,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_conns,
                 pipeline,
                 retained_mb,
+                hedge_after_ms,
+                hedge_budget,
             })
         }
         Some("client") => {
@@ -860,6 +885,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             max_conns,
             pipeline,
             retained_mb,
+            hedge_after_ms,
+            hedge_budget,
         } => {
             // --spawn: supervise a local fleet of `trisolv serve` children
             // on ephemeral ports; kept alive until the router exits.
@@ -889,6 +916,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 max_pipeline: *pipeline,
                 probe_interval: Duration::from_millis(*probe_ms),
                 retained_budget: retained_mb * 1024 * 1024,
+                hedge_after: Duration::from_millis(*hedge_after_ms),
+                hedge_budget: *hedge_budget,
             })
             .map_err(|e| format!("cannot route: {e}"))?;
             // Announce the bound address immediately (scripts and the CI
@@ -1302,6 +1331,10 @@ mod tests {
                 "16",
                 "--retained-mb",
                 "64",
+                "--hedge-after-ms",
+                "25",
+                "--hedge-budget",
+                "0.2",
             ]))
             .unwrap(),
             Command::Route {
@@ -1316,6 +1349,8 @@ mod tests {
                 max_conns: 1000,
                 pipeline: 16,
                 retained_mb: 64,
+                hedge_after_ms: 25,
+                hedge_budget: 0.2,
             }
         );
         assert_eq!(
@@ -1332,6 +1367,8 @@ mod tests {
                 max_conns: 0,
                 pipeline: 64,
                 retained_mb: 256,
+                hedge_after_ms: 50,
+                hedge_budget: 0.10,
             }
         );
         assert!(
@@ -1343,6 +1380,10 @@ mod tests {
             "--backends and --spawn are mutually exclusive"
         );
         assert!(parse_args(&strv(&["route", "--spawn", "2", "--replication", "0"])).is_err());
+        assert!(
+            parse_args(&strv(&["route", "--spawn", "2", "--hedge-budget", "1.5"])).is_err(),
+            "--hedge-budget must be a fraction"
+        );
     }
 
     #[test]
